@@ -1,0 +1,72 @@
+/// \file bench_ablation_centrality.cpp
+/// Ablation: swap TVOF's eigenvector-reputation removal rule for degree,
+/// closeness and betweenness centrality (the alternatives the paper cites
+/// in [5]-[8]) plus random removal, on identical scenarios. Reports the
+/// final VO's average global reputation and payoff per rule.
+#include "bench/common.hpp"
+#include "core/centrality_vof.hpp"
+#include "core/rvof.hpp"
+#include "ip/bnb.hpp"
+
+int main() {
+  using namespace svo;
+  bench::banner("Ablation", "removal rule: eigenvector vs other centralities");
+
+  sim::ExperimentConfig cfg = bench::paper_config();
+  cfg.task_sizes = {256};
+  const sim::ScenarioFactory factory(cfg);
+  const ip::BnbAssignmentSolver solver(cfg.solver);
+
+  const std::vector<core::CentralityRule> rules{
+      core::CentralityRule::Eigenvector, core::CentralityRule::Degree,
+      core::CentralityRule::Closeness, core::CentralityRule::Betweenness};
+
+  struct RuleStats {
+    util::RunningStats reputation;
+    util::RunningStats payoff;
+    util::RunningStats vo_size;
+  };
+  std::vector<RuleStats> stats(rules.size() + 1);  // +1 for random
+
+  for (std::size_t rep = 0; rep < cfg.repetitions; ++rep) {
+    const sim::Scenario s = factory.make(256, rep);
+    for (std::size_t ri = 0; ri < rules.size(); ++ri) {
+      const core::CentralityVofMechanism mech(solver, rules[ri],
+                                              cfg.mechanism);
+      util::Xoshiro256 rng(s.tvof_seed);
+      const core::MechanismResult r =
+          mech.run(s.instance.assignment, s.trust, rng);
+      if (!r.success) continue;
+      stats[ri].reputation.add(r.avg_global_reputation);
+      stats[ri].payoff.add(r.payoff_share);
+      stats[ri].vo_size.add(static_cast<double>(r.selected.size()));
+    }
+    const core::RvofMechanism rvof(solver, cfg.mechanism);
+    util::Xoshiro256 rng(s.rvof_seed);
+    const core::MechanismResult r =
+        rvof.run(s.instance.assignment, s.trust, rng);
+    if (r.success) {
+      stats.back().reputation.add(r.avg_global_reputation);
+      stats.back().payoff.add(r.payoff_share);
+      stats.back().vo_size.add(static_cast<double>(r.selected.size()));
+    }
+  }
+
+  util::Table table(
+      {"removal rule", "avg reputation", "payoff share", "VO size", "runs"});
+  table.set_precision(4);
+  for (std::size_t ri = 0; ri < rules.size(); ++ri) {
+    table.add_row({std::string(core::to_string(rules[ri])),
+                   stats[ri].reputation.mean(), stats[ri].payoff.mean(),
+                   stats[ri].vo_size.mean(),
+                   static_cast<long long>(stats[ri].reputation.count())});
+  }
+  table.add_row({std::string("random (RVOF)"), stats.back().reputation.mean(),
+                 stats.back().payoff.mean(), stats.back().vo_size.mean(),
+                 static_cast<long long>(stats.back().reputation.count())});
+  bench::emit(table, "ablation_centrality.csv");
+  std::printf("\ninterpretation: the eigenvector rule should dominate "
+              "random and at least match simpler centralities on "
+              "reputation, at equal payoff (same selection rule).\n");
+  return 0;
+}

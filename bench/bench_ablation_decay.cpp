@@ -1,0 +1,99 @@
+/// \file bench_ablation_decay.cpp
+/// Reproduces the paper's critique of time-decaying trust (Azzedin &
+/// Maheswaran [9], Section I-A): "GSPs form VOs and as a result would
+/// tend to just trust the members of their respective VOs. ... This
+/// method converges to a state in which the formation of new VOs is not
+/// possible." We sweep the decay rate lambda: each round one program is
+/// executed, only the executing VO's members refresh mutual trust, and
+/// everything else ages. Reported per lambda: how locked-in VO
+/// membership becomes (consecutive-VO Jaccard overlap, distinct GSPs
+/// ever selected) and how much reputation signal survives outside the
+/// incumbent clique.
+#include <algorithm>
+
+#include "bench/common.hpp"
+#include "core/tvof.hpp"
+#include "ip/bnb.hpp"
+#include "trust/decay.hpp"
+#include "workload/instance_gen.hpp"
+
+namespace {
+
+double jaccard(svo::game::Coalition a, svo::game::Coalition b) {
+  const auto inter = a.intersect(b).size();
+  const auto uni = a.unite(b).size();
+  return uni == 0 ? 0.0 : static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+}  // namespace
+
+int main() {
+  using namespace svo;
+  bench::banner("Ablation", "time-decaying trust locks VO membership in");
+
+  constexpr std::size_t kGsps = 16;
+  constexpr std::size_t kRounds = 20;
+
+  util::Table table({"lambda", "mean VO Jaccard overlap",
+                     "distinct GSPs selected", "dead edge fraction",
+                     "outside rep spread"});
+  table.set_precision(4);
+
+  for (const double lambda : {0.0, 0.5, 1.5, 3.0}) {
+    util::Xoshiro256 rng(4711);  // identical programs across lambdas
+    trust::DecayingTrustGraph decaying(
+        trust::random_trust_graph(kGsps, 0.3, rng),
+        trust::DecayLaw::Exponential, lambda);
+
+    workload::InstanceGenOptions gopts;
+    const ip::BnbAssignmentSolver solver;
+    const core::TvofMechanism tvof(solver);
+
+    util::RunningStats overlap;
+    util::RunningStats spread;
+    std::uint64_t ever_selected = 0;
+    game::Coalition previous;
+    for (std::size_t round = 0; round < kRounds; ++round) {
+      trace::ProgramSpec program;
+      program.num_tasks = 96;
+      program.mean_task_runtime = 3600.0 * rng.uniform(3.0, 8.0);
+      const workload::GridInstance grid =
+          workload::generate_instance(program, gopts, rng);
+
+      const trust::TrustGraph snap = decaying.snapshot();
+      const core::MechanismResult r = tvof.run(grid.assignment, snap, rng);
+      if (r.success) {
+        if (!previous.empty()) overlap.add(jaccard(previous, r.selected));
+        previous = r.selected;
+        ever_selected |= r.selected.bits();
+        // Reputation spread among GSPs *outside* the executing VO: the
+        // signal available for forming the next, different VO.
+        double lo = 1.0;
+        double hi = 0.0;
+        for (std::size_t g = 0; g < kGsps; ++g) {
+          if (r.selected.contains(g)) continue;
+          lo = std::min(lo, r.global_reputation[g]);
+          hi = std::max(hi, r.global_reputation[g]);
+        }
+        if (hi >= lo) spread.add(hi - lo);
+        const auto members = r.selected.members();
+        for (const std::size_t i : members) {
+          for (const std::size_t j : members) {
+            if (i != j) decaying.record_interaction(i, j, 0.9, 0.5);
+          }
+        }
+      }
+      decaying.advance(1.0);
+    }
+    table.add_row({lambda, overlap.mean(),
+                   static_cast<long long>(game::Coalition(ever_selected).size()),
+                   decaying.dead_edge_fraction(1e-2), spread.mean()});
+  }
+  bench::emit(table, "ablation_decay.csv");
+  std::printf("\ninterpretation: with lambda = 0 (the paper's static trust) "
+              "membership stays fluid; as lambda grows, trust survives "
+              "only inside the incumbent VO, overlap between consecutive "
+              "VOs rises and outsiders' reputation signal dies — the "
+              "convergence the paper criticizes in [9].\n");
+  return 0;
+}

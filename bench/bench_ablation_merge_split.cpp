@@ -1,0 +1,87 @@
+/// \file bench_ablation_merge_split.cpp
+/// Extension comparison: TVOF (this paper) vs the authors' earlier
+/// merge-and-split mechanism MSVOF [25] vs RVOF, on identical scenarios.
+/// Reports payoff, reputation, executing-VO size and solver effort —
+/// the trade the paper implicitly makes by moving from merge/split to
+/// reputation-guided pruning.
+#include "bench/common.hpp"
+#include "core/merge_split.hpp"
+#include "core/rvof.hpp"
+#include "core/tvof.hpp"
+#include "ip/bnb.hpp"
+
+int main() {
+  using namespace svo;
+  bench::banner("Extension", "TVOF vs merge-and-split (MSVOF) vs RVOF");
+
+  sim::ExperimentConfig cfg = bench::paper_config();
+  cfg.task_sizes = {256};
+  const sim::ScenarioFactory factory(cfg);
+  const ip::BnbAssignmentSolver solver(cfg.solver);
+
+  struct Row {
+    util::RunningStats payoff, reputation, vo_size, seconds;
+  };
+  Row tvof_row;
+  Row msvof_row;
+  Row rvof_row;
+  util::RunningStats structure_sizes;
+
+  for (std::size_t rep = 0; rep < cfg.repetitions; ++rep) {
+    const sim::Scenario s = factory.make(256, rep);
+
+    const core::TvofMechanism tvof(solver, cfg.mechanism);
+    util::Xoshiro256 rng_t(s.tvof_seed);
+    const core::MechanismResult rt =
+        tvof.run(s.instance.assignment, s.trust, rng_t);
+    if (rt.success) {
+      tvof_row.payoff.add(rt.payoff_share);
+      tvof_row.reputation.add(rt.avg_global_reputation);
+      tvof_row.vo_size.add(static_cast<double>(rt.selected.size()));
+      tvof_row.seconds.add(rt.elapsed_seconds);
+    }
+
+    const core::MergeSplitMechanism msvof(solver);
+    const core::MergeSplitResult rm =
+        msvof.run(s.instance.assignment, s.trust);
+    if (rm.success) {
+      msvof_row.payoff.add(rm.payoff_share);
+      msvof_row.reputation.add(rm.avg_global_reputation);
+      msvof_row.vo_size.add(static_cast<double>(rm.selected.size()));
+      msvof_row.seconds.add(rm.elapsed_seconds);
+      structure_sizes.add(static_cast<double>(rm.structure.size()));
+    }
+
+    const core::RvofMechanism rvof(solver, cfg.mechanism);
+    util::Xoshiro256 rng_r(s.rvof_seed);
+    const core::MechanismResult rr =
+        rvof.run(s.instance.assignment, s.trust, rng_r);
+    if (rr.success) {
+      rvof_row.payoff.add(rr.payoff_share);
+      rvof_row.reputation.add(rr.avg_global_reputation);
+      rvof_row.vo_size.add(static_cast<double>(rr.selected.size()));
+      rvof_row.seconds.add(rr.elapsed_seconds);
+    }
+  }
+
+  util::Table table({"mechanism", "payoff share", "avg reputation",
+                     "VO size", "seconds", "runs"});
+  table.set_precision(4);
+  const auto add = [&table](const char* name, const Row& row) {
+    table.add_row({std::string(name), row.payoff.mean(),
+                   row.reputation.mean(), row.vo_size.mean(),
+                   row.seconds.mean(),
+                   static_cast<long long>(row.payoff.count())});
+  };
+  add("TVOF", tvof_row);
+  add("MSVOF (merge-split)", msvof_row);
+  add("RVOF", rvof_row);
+  bench::emit(table, "ablation_merge_split.csv");
+  std::printf("\nMSVOF final structures held %.1f coalitions on average.\n",
+              structure_sizes.mean());
+  std::printf("interpretation: merge-and-split explores pairwise deals and "
+              "can reach higher payoffs, at more IP solves; TVOF trades "
+              "some payoff headroom for reputation-guided, linear-length "
+              "exploration.\n");
+  return 0;
+}

@@ -1,0 +1,87 @@
+/// \file bench_ablation_propagation.cpp
+/// Ablation of the reputation machinery itself: the paper's power-method
+/// global reputation vs path-based trust propagation (Hang et al. [1],
+/// surveyed in Section I-A). We densify a sparse ER(16, 0.1) trust graph
+/// with propagated trust, rerun TVOF on it, and compare against TVOF on
+/// the raw graph — does propagation-as-preprocessing change the VOs the
+/// mechanism forms?
+#include "bench/common.hpp"
+#include "core/tvof.hpp"
+#include "ip/bnb.hpp"
+#include "trust/propagation.hpp"
+
+namespace {
+
+/// Trust graph whose missing edges are filled by propagation.
+svo::trust::TrustGraph densify(const svo::trust::TrustGraph& g,
+                               const svo::trust::PropagationOptions& opts) {
+  using namespace svo;
+  const linalg::Matrix m = trust::propagated_matrix(g, opts);
+  trust::TrustGraph out(g.size());
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    for (std::size_t j = 0; j < g.size(); ++j) {
+      if (i != j && m(i, j) > 0.0) out.set_trust(i, j, m(i, j));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  using namespace svo;
+  bench::banner("Ablation",
+                "reputation machinery: power method vs trust propagation");
+
+  sim::ExperimentConfig cfg = bench::paper_config();
+  cfg.task_sizes = {256};
+  const sim::ScenarioFactory factory(cfg);
+  const ip::BnbAssignmentSolver solver(cfg.solver);
+  const core::TvofMechanism tvof(solver, cfg.mechanism);
+
+  struct Variant {
+    const char* name;
+    bool propagate;
+    trust::PropagationOptions opts;
+  };
+  std::vector<Variant> variants{
+      {"raw graph (paper)", false, {}},
+      {"product/best-path", true, {}},
+      {"min/best-path", true,
+       {trust::Concatenation::Minimum, trust::Aggregation::BestPath, 4, true}},
+      {"product/prob-or", true,
+       {trust::Concatenation::Product, trust::Aggregation::ProbabilisticOr, 4,
+        true}},
+  };
+
+  util::Table table({"trust preprocessing", "edges", "avg reputation",
+                     "payoff share", "VO size"});
+  table.set_precision(4);
+  for (const auto& variant : variants) {
+    util::RunningStats reputation;
+    util::RunningStats payoff;
+    util::RunningStats vo_size;
+    util::RunningStats edges;
+    for (std::size_t rep = 0; rep < cfg.repetitions; ++rep) {
+      const sim::Scenario s = factory.make(256, rep);
+      const trust::TrustGraph graph =
+          variant.propagate ? densify(s.trust, variant.opts) : s.trust;
+      edges.add(static_cast<double>(graph.graph().edge_count()));
+      util::Xoshiro256 rng(s.tvof_seed);
+      const core::MechanismResult r =
+          tvof.run(s.instance.assignment, graph, rng);
+      if (!r.success) continue;
+      reputation.add(r.avg_global_reputation);
+      payoff.add(r.payoff_share);
+      vo_size.add(static_cast<double>(r.selected.size()));
+    }
+    table.add_row({std::string(variant.name), edges.mean(),
+                   reputation.mean(), payoff.mean(), vo_size.mean()});
+  }
+  bench::emit(table, "ablation_propagation.csv");
+  std::printf("\ninterpretation: propagation densifies opinion coverage "
+              "(more edges) but smooths the reputation signal; the power "
+              "method on the raw graph already aggregates transitive "
+              "trust, which is the paper's argument for eq. (4).\n");
+  return 0;
+}

@@ -1,0 +1,77 @@
+/// \file bench_ablation_stability.cpp
+/// Ablation: Theorem 1's individual stability under two readings of the
+/// member preference. The paper's proof (Case 2) argues with the VO's
+/// *total* reputation — under that preference stability always holds.
+/// Under the arguably more natural *average* reputation it can fail;
+/// this harness measures how often, across many random scenarios.
+#include "bench/common.hpp"
+#include "core/tvof.hpp"
+#include "game/payoff.hpp"
+#include "game/stability.hpp"
+#include "ip/bnb.hpp"
+
+int main() {
+  using namespace svo;
+  bench::banner("Ablation",
+                "Theorem 1 stability: total vs average reputation preference");
+
+  sim::ExperimentConfig cfg = bench::paper_config();
+  cfg.gen.params.num_gsps = 8;
+  cfg.task_sizes = {64};
+  cfg.trace.canonical_sizes = {64};
+  const sim::ScenarioFactory factory(cfg);
+  const ip::BnbAssignmentSolver solver(cfg.solver);
+
+  std::size_t runs = 0;
+  std::size_t stable_total = 0;
+  std::size_t stable_average = 0;
+  const std::size_t scenarios = std::max<std::size_t>(cfg.repetitions, 20);
+  for (std::size_t rep = 0; rep < scenarios; ++rep) {
+    const sim::Scenario s = factory.make(64, rep);
+    const core::TvofMechanism tvof(solver, cfg.mechanism);
+    util::Xoshiro256 rng(s.tvof_seed);
+    const core::MechanismResult r =
+        tvof.run(s.instance.assignment, s.trust, rng);
+    if (!r.success) continue;
+    ++runs;
+
+    const game::VoValueFunction v(s.instance.assignment, solver);
+    const auto make_scorer = [&](bool average) {
+      return [&, average](game::Coalition c) {
+        game::BicriteriaPoint p;
+        p.tag = c.bits();
+        const auto& eval = v.evaluate(c);
+        p.payoff =
+            eval.feasible ? game::equal_share(eval.value, c.size()) : 0.0;
+        double rep_sum = 0.0;
+        for (const std::size_t g : c.members()) {
+          rep_sum += r.global_reputation[g];
+        }
+        p.reputation = average && !c.empty()
+                           ? rep_sum / static_cast<double>(c.size())
+                           : rep_sum;
+        return p;
+      };
+    };
+    stable_total += game::individually_stable(r.selected, make_scorer(false));
+    stable_average +=
+        game::individually_stable(r.selected, make_scorer(true));
+  }
+
+  util::Table table({"preference", "stable VOs", "runs", "rate"});
+  table.set_precision(3);
+  table.add_row({std::string("total reputation (paper's proof)"),
+                 static_cast<long long>(stable_total),
+                 static_cast<long long>(runs),
+                 runs ? static_cast<double>(stable_total) / runs : 0.0});
+  table.add_row({std::string("average reputation (eq. 7 metric)"),
+                 static_cast<long long>(stable_average),
+                 static_cast<long long>(runs),
+                 runs ? static_cast<double>(stable_average) / runs : 0.0});
+  bench::emit(table, "ablation_stability.csv");
+  std::printf("\ninterpretation: under total reputation every departure "
+              "strictly lowers the VO's reputation mass, so Theorem 1 is "
+              "immediate; under average reputation departures of "
+              "below-average members can be weakly preferred.\n");
+  return 0;
+}

@@ -1,0 +1,58 @@
+/// \file bench_ablation_tightness.cpp
+/// Sensitivity of the mechanism to Table I's two economic knobs: the
+/// deadline factor range (capacity tightness) and the payment factor
+/// range (budget tightness). Explains the dynamics behind Figs. 1-3:
+/// tight deadlines force large VOs, generous ones let TVOF prune deep;
+/// payment shifts payoffs but not membership (cost minimization is
+/// payment-independent until (10) binds).
+#include "bench/common.hpp"
+
+int main() {
+  using namespace svo;
+  bench::banner("Ablation", "deadline/payment tightness sensitivity");
+
+  struct Band {
+    const char* name;
+    double d_lo, d_hi;
+    double p_lo, p_hi;
+  };
+  const std::vector<Band> bands{
+      {"paper (d 0.3-2.0, P 0.2-0.4)", 0.3, 2.0, 0.2, 0.4},
+      {"tight deadline (0.3-0.6)", 0.3, 0.6, 0.2, 0.4},
+      {"loose deadline (2.0-4.0)", 2.0, 4.0, 0.2, 0.4},
+      {"tight payment (0.12-0.15)", 0.3, 2.0, 0.12, 0.15},
+      {"rich payment (0.8-1.0)", 0.3, 2.0, 0.8, 1.0},
+  };
+
+  util::Table table({"band", "VO size", "payoff share", "avg reputation",
+                     "feasibility redraws"});
+  table.set_precision(3);
+  for (const auto& band : bands) {
+    sim::ExperimentConfig cfg = bench::paper_config();
+    cfg.task_sizes = {256};
+    cfg.run_rvof = false;
+    cfg.gen.params.deadline_factor_lo = band.d_lo;
+    cfg.gen.params.deadline_factor_hi = band.d_hi;
+    cfg.gen.params.payment_factor_lo = band.p_lo;
+    cfg.gen.params.payment_factor_hi = band.p_hi;
+    const sim::ScenarioFactory factory(cfg);
+    util::RunningStats redraws;
+    for (std::size_t rep = 0; rep < cfg.repetitions; ++rep) {
+      redraws.add(static_cast<double>(
+          factory.make(256, rep).instance.feasibility_redraws));
+    }
+    const sim::ExperimentRunner runner(cfg);
+    const sim::SweepResult sweep = runner.run_sweep();
+    const auto& p = sweep.points.front();
+    table.add_row({std::string(band.name), p.tvof.vo_size.mean(),
+                   p.tvof.payoff.mean(), p.tvof.avg_reputation.mean(),
+                   redraws.mean()});
+  }
+  bench::emit(table, "ablation_tightness.csv");
+  std::printf("\ninterpretation: the deadline band sets the minimum VO "
+              "size (and how many draws the feasibility guarantee "
+              "rejects); the payment band translates payoffs almost "
+              "linearly and only reshapes membership when (10) starts "
+              "binding from below.\n");
+  return 0;
+}

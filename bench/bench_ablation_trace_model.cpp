@@ -1,0 +1,48 @@
+/// \file bench_ablation_trace_model.cpp
+/// Workload-family robustness: do the paper's headline findings survive
+/// a change of trace model? Reruns the Fig. 1/3 comparison on the
+/// Lublin-Feitelson batch model next to the Atlas-matched generator —
+/// if TVOF's reputation advantage were an artifact of one generator's
+/// marginals, this is where it would show.
+#include "bench/common.hpp"
+
+int main() {
+  using namespace svo;
+  bench::banner("Ablation", "workload family: Atlas-like vs Lublin-Feitelson");
+
+  util::Table table({"trace model", "tasks", "payoff ratio TVOF/RVOF",
+                     "TVOF reputation", "RVOF reputation", "runs"});
+  table.set_precision(4);
+  for (const auto model : {sim::ExperimentConfig::TraceModel::AtlasLike,
+                           sim::ExperimentConfig::TraceModel::LublinFeitelson}) {
+    sim::ExperimentConfig cfg = bench::paper_config();
+    cfg.trace_model = model;
+    // The Lublin model produces organic (unretagged) job sizes; evaluate
+    // at sizes with enough probability mass under both families.
+    cfg.task_sizes = {256, 1024};
+    cfg.lublin.num_jobs = 120'000;
+    cfg.lublin.completed_fraction = 0.8;
+    const char* name =
+        model == sim::ExperimentConfig::TraceModel::AtlasLike
+            ? "Atlas-like"
+            : "Lublin-Feitelson";
+    const sim::ExperimentRunner runner(cfg);
+    const sim::SweepResult sweep = runner.run_sweep();
+    for (const auto& p : sweep.points) {
+      const double ratio = p.rvof.payoff.mean() > 0.0
+                               ? p.tvof.payoff.mean() / p.rvof.payoff.mean()
+                               : 0.0;
+      table.add_row({std::string(name),
+                     static_cast<long long>(p.num_tasks), ratio,
+                     p.tvof.avg_reputation.mean(),
+                     p.rvof.avg_reputation.mean(),
+                     static_cast<long long>(p.tvof.payoff.count())});
+    }
+  }
+  bench::emit(table, "ablation_trace_model.csv");
+  std::printf("\ninterpretation: both findings (payoff ratio ~1, TVOF "
+              "reputation > RVOF) should hold under either workload "
+              "family — the mechanism's properties come from the game and "
+              "the trust graph, not from the trace marginals.\n");
+  return 0;
+}

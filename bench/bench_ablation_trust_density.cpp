@@ -1,0 +1,44 @@
+/// \file bench_ablation_trust_density.cpp
+/// Ablation: sensitivity of the TVOF-vs-RVOF reputation gap to the trust
+/// graph's Erdős–Rényi density p (the paper fixes p = 0.1 without
+/// justification). Also reports power-method convergence effort per
+/// density.
+#include "bench/common.hpp"
+#include "trust/reputation.hpp"
+
+int main() {
+  using namespace svo;
+  bench::banner("Ablation", "trust density p vs reputation gap");
+
+  const std::vector<double> densities{0.05, 0.1, 0.2, 0.4, 0.8};
+  util::Table table({"p", "TVOF reputation", "RVOF reputation", "gap",
+                     "TVOF VO size", "power iters (m=16)"});
+  table.set_precision(4);
+
+  for (const double p : densities) {
+    sim::ExperimentConfig cfg = bench::paper_config();
+    cfg.task_sizes = {256};
+    cfg.gen.params.trust_edge_probability = p;
+    const sim::ExperimentRunner runner(cfg);
+    const sim::SweepResult sweep = runner.run_sweep();
+    const auto& point = sweep.points.front();
+
+    // Convergence effort at this density (fresh graph, full 16 GSPs).
+    util::Xoshiro256 rng(cfg.seed ^ 0xD15EA5E);
+    const trust::TrustGraph g = trust::random_trust_graph(16, p, rng);
+    const trust::ReputationEngine engine(cfg.mechanism.reputation);
+    const trust::ReputationResult rep = engine.compute(g);
+
+    table.add_row({p, point.tvof.avg_reputation.mean(),
+                   point.rvof.avg_reputation.mean(),
+                   point.tvof.avg_reputation.mean() -
+                       point.rvof.avg_reputation.mean(),
+                   point.tvof.vo_size.mean(),
+                   static_cast<long long>(rep.iterations)});
+  }
+  bench::emit(table, "ablation_trust_density.csv");
+  std::printf("\ninterpretation: sparse graphs give reputations driven by "
+              "few opinions (larger TVOF advantage variance); dense graphs "
+              "flatten scores toward uniform, shrinking the gap.\n");
+  return 0;
+}

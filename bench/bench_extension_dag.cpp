@@ -1,0 +1,99 @@
+/// \file bench_extension_dag.cpp
+/// Extension (the paper's future work): VO formation for programs with
+/// task dependencies. Compares the cost-aware HEFT placement against
+/// classic HEFT on random layered workflows, and runs TVOF end-to-end
+/// with the DAG solver plugged in through the standard interface.
+#include "bench/common.hpp"
+#include "core/tvof.hpp"
+#include "ip/dag.hpp"
+#include "workload/instance_gen.hpp"
+
+namespace {
+
+/// Random layered DAG: `layers` layers of `width` tasks, each task
+/// depending on 1-3 random tasks of the previous layer.
+svo::ip::TaskDag layered_dag(std::size_t layers, std::size_t width,
+                             svo::util::Xoshiro256& rng) {
+  svo::ip::TaskDag dag(layers * width);
+  for (std::size_t l = 1; l < layers; ++l) {
+    for (std::size_t a = 0; a < width; ++a) {
+      const std::size_t succ = l * width + a;
+      const std::size_t deps = 1 + rng.index(3);
+      for (std::size_t d = 0; d < deps; ++d) {
+        dag.add_dependency((l - 1) * width + rng.index(width), succ);
+      }
+    }
+  }
+  return dag;
+}
+
+}  // namespace
+
+int main() {
+  using namespace svo;
+  bench::banner("Extension", "task dependencies (paper future work)");
+
+  util::Xoshiro256 rng(1357);
+  workload::InstanceGenOptions gopts;
+  gopts.params.num_gsps = 12;
+
+  util::Table table({"layers x width", "CP lower bound", "classic makespan",
+                     "classic cost", "cost-aware makespan",
+                     "cost-aware cost", "cost saving %"});
+  table.set_precision(1);
+
+  for (const auto& [layers, width] :
+       std::vector<std::pair<std::size_t, std::size_t>>{
+           {4, 16}, {8, 16}, {8, 32}, {16, 32}}) {
+    const ip::TaskDag dag = layered_dag(layers, width, rng);
+    trace::ProgramSpec program;
+    program.num_tasks = layers * width;
+    program.mean_task_runtime = 3.0 * 3600.0;
+    workload::GridInstance grid =
+        workload::generate_instance(program, gopts, rng);
+    grid.assignment.deadline *= static_cast<double>(layers);
+
+    const ip::DagSolverAdapter classic(dag, {/*cost_aware=*/false});
+    const ip::DagSolverAdapter cost_aware(dag, {/*cost_aware=*/true});
+    const ip::DagSchedule sc = classic.schedule(grid.assignment);
+    const ip::DagSchedule sa = cost_aware.schedule(grid.assignment);
+    const double saving = sc.cost > 0.0
+                              ? 100.0 * (sc.cost - sa.cost) / sc.cost
+                              : 0.0;
+    char label[32];
+    std::snprintf(label, sizeof(label), "%zu x %zu", layers, width);
+    table.add_row({std::string(label),
+                   dag.critical_path_lower_bound(grid.assignment.time),
+                   sc.makespan, sc.cost, sa.makespan, sa.cost, saving});
+  }
+  bench::emit(table, "extension_dag_scheduler.csv");
+
+  // End-to-end: TVOF over a workflow program.
+  const ip::TaskDag dag = layered_dag(6, 24, rng);
+  trace::ProgramSpec program;
+  program.num_tasks = 6 * 24;
+  program.mean_task_runtime = 3.0 * 3600.0;
+  workload::GridInstance grid =
+      workload::generate_instance(program, gopts, rng);
+  // Generous slack: the pipeline serializes its 6 layers, and constraint
+  // (13) forces every member to take work.
+  grid.assignment.deadline *= 18.0;
+  const trust::TrustGraph trust =
+      trust::random_trust_graph(12, 0.2, rng);
+  const ip::DagSolverAdapter solver(dag);
+  const core::TvofMechanism tvof(solver);
+  const core::MechanismResult r = tvof.run(grid.assignment, trust, rng);
+  if (r.success) {
+    std::printf("\nTVOF on the 6x24 workflow: VO of %zu/12 GSPs, "
+                "payoff/member %.2f, avg reputation %.4f, %zu iterations\n",
+                r.selected.size(), r.payoff_share, r.avg_global_reputation,
+                r.journal.size());
+  } else {
+    std::printf("\nTVOF on the 6x24 workflow: no feasible VO\n");
+  }
+  std::printf("interpretation: cost-aware placement exploits schedule "
+              "slack (deadline minus critical path) to buy cheaper GSPs "
+              "at equal feasibility; classic HEFT minimizes makespan it "
+              "does not need.\n");
+  return 0;
+}

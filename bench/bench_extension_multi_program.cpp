@@ -1,0 +1,50 @@
+/// \file bench_extension_multi_program.cpp
+/// Extension: the paper's multi-program remark, measured — programs
+/// arrive while earlier VOs are still committed, and the mechanism can
+/// only recruit free GSPs. Sweeps the arrival intensity and reports
+/// admission rate, utilization, and total system value for TVOF.
+#include "bench/common.hpp"
+#include "core/tvof.hpp"
+#include "ip/bnb.hpp"
+#include "sim/multi_program.hpp"
+
+int main() {
+  using namespace svo;
+  bench::banner("Extension",
+                "multi-program formation under resource contention");
+
+  const ip::BnbAssignmentSolver solver;
+  const core::TvofMechanism tvof(solver);
+
+  util::Table table({"arrival intensity", "admission rate",
+                     "mean utilization", "total value", "mean VO size"});
+  table.set_precision(3);
+  for (const double intensity : {4.0, 1.0, 0.25, 0.05}) {
+    sim::MultiProgramConfig cfg;
+    cfg.programs = 40;
+    cfg.arrival_intensity = intensity;
+    cfg.gen.params.num_gsps = 16;
+    util::RunningStats admission;
+    util::RunningStats utilization;
+    util::RunningStats value;
+    util::RunningStats vo_size;
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+      const sim::MultiProgramResult r =
+          sim::run_multi_program(tvof, cfg, seed);
+      admission.add(r.admission_rate);
+      utilization.add(r.mean_utilization);
+      value.add(r.total_value);
+      for (const auto& o : r.outcomes) {
+        if (o.admitted) vo_size.add(static_cast<double>(o.vo.size()));
+      }
+    }
+    table.add_row({intensity, admission.mean(), utilization.mean(),
+                   value.mean(), vo_size.mean()});
+  }
+  bench::emit(table, "extension_multi_program.csv");
+  std::printf("\ninterpretation: sparse arrivals (high intensity value = "
+              "long gaps) admit everything at low utilization; dense "
+              "arrivals saturate the 16 GSPs, admission falls, and VOs "
+              "shrink to whatever free capacity remains.\n");
+  return 0;
+}

@@ -1,0 +1,102 @@
+/// \file bench_extension_reliability.cpp
+/// The closed-loop experiment the paper motivates but never runs:
+/// hidden per-GSP reliabilities, all-or-nothing payment (Section II-A:
+/// "if the program execution exceeds d, the user is not willing to pay
+/// any amount"), and trust learned from delivered service. Compares
+/// TVOF and RVOF on *realized* value over a sequence of programs —
+/// quantifying what reputation-guided formation is actually worth.
+#include "bench/common.hpp"
+#include "core/rvof.hpp"
+#include "core/tvof.hpp"
+#include "ip/bnb.hpp"
+#include "sim/learning.hpp"
+
+int main() {
+  using namespace svo;
+  bench::banner("Extension",
+                "closed-loop reliability: realized value, TVOF vs RVOF");
+
+  sim::ClosedLoopConfig cfg;
+  cfg.rounds = 30;
+  cfg.num_tasks = 96;
+  cfg.gen.params.num_gsps = 16;
+  const std::size_t kSeeds = 8;
+
+  const ip::BnbAssignmentSolver solver;
+  const core::TvofMechanism tvof(solver);
+  const core::RvofMechanism rvof(solver);
+  core::MechanismConfig risk_cfg;
+  risk_cfg.selection = core::SelectionRule::MaxExpectedIndividualPayoff;
+  const core::TvofMechanism risk_aware(solver, risk_cfg);
+
+  // Learning curves: per round (averaged over seeds), the fraction of
+  // unreliable members in the selected VO and the completion indicator.
+  std::vector<util::RunningStats> tvof_unreliable(cfg.rounds);
+  std::vector<util::RunningStats> rvof_unreliable(cfg.rounds);
+  std::vector<util::RunningStats> tvof_completed(cfg.rounds);
+  std::vector<util::RunningStats> rvof_completed(cfg.rounds);
+  util::RunningStats tvof_realized;
+  util::RunningStats rvof_realized;
+  util::RunningStats risk_realized;
+  util::RunningStats tvof_completion;
+  util::RunningStats rvof_completion;
+  util::RunningStats risk_completion;
+
+  for (std::size_t seed = 1; seed <= kSeeds; ++seed) {
+    util::Xoshiro256 rng(seed * 7919);
+    const sim::ReliabilityModel model =
+        sim::ReliabilityModel::bimodal(16, 0.625, 0.9, 0.3, rng);
+    const sim::ClosedLoopResult rt =
+        sim::run_closed_loop(tvof, model, cfg, seed);
+    const sim::ClosedLoopResult rr =
+        sim::run_closed_loop(rvof, model, cfg, seed);
+    const sim::ClosedLoopResult rk =
+        sim::run_closed_loop(risk_aware, model, cfg, seed);
+    tvof_realized.add(rt.mean_realized_share);
+    rvof_realized.add(rr.mean_realized_share);
+    risk_realized.add(rk.mean_realized_share);
+    tvof_completion.add(rt.completion_rate);
+    rvof_completion.add(rr.completion_rate);
+    risk_completion.add(rk.completion_rate);
+    for (std::size_t round = 0; round < cfg.rounds; ++round) {
+      if (rt.rounds[round].formed) {
+        tvof_unreliable[round].add(rt.rounds[round].unreliable_member_fraction);
+        tvof_completed[round].add(rt.rounds[round].completed ? 1.0 : 0.0);
+      }
+      if (rr.rounds[round].formed) {
+        rvof_unreliable[round].add(rr.rounds[round].unreliable_member_fraction);
+        rvof_completed[round].add(rr.rounds[round].completed ? 1.0 : 0.0);
+      }
+    }
+  }
+
+  util::Table curve({"round", "TVOF unreliable frac", "RVOF unreliable frac",
+                     "TVOF completion", "RVOF completion"});
+  curve.set_precision(3);
+  for (std::size_t round = 0; round < cfg.rounds; round += 3) {
+    curve.add_row({static_cast<long long>(round),
+                   tvof_unreliable[round].mean(),
+                   rvof_unreliable[round].mean(),
+                   tvof_completed[round].mean(),
+                   rvof_completed[round].mean()});
+  }
+  bench::emit(curve, "extension_reliability_curve.csv");
+
+  util::Table summary({"mechanism", "mean realized share",
+                       "completion rate"});
+  summary.set_precision(3);
+  summary.add_row({std::string("TVOF"), tvof_realized.mean(),
+                   tvof_completion.mean()});
+  summary.add_row({std::string("RVOF"), rvof_realized.mean(),
+                   rvof_completion.mean()});
+  summary.add_row({std::string("TVOF + expected-payoff selection"),
+                   risk_realized.mean(), risk_completion.mean()});
+  std::printf("\n");
+  bench::emit(summary, "extension_reliability_summary.csv");
+  std::printf("\ninterpretation: the unreliable population is 37.5%% of all "
+              "GSPs. TVOF's curve should fall below that baseline within a "
+              "few rounds as delivered-service trust accumulates; RVOF "
+              "stays at the population rate, and its all-or-nothing "
+              "payments crater its realized share.\n");
+  return 0;
+}

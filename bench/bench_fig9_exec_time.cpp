@@ -1,0 +1,34 @@
+/// \file bench_fig9_exec_time.cpp
+/// Fig. 9: mechanism execution time vs number of tasks, TVOF vs RVOF.
+/// Paper finding: both times grow with the task count (the IP solves
+/// dominate); absolute values depend on the solver, so only the shape is
+/// comparable (the paper ran CPLEX on 2012 hardware).
+#include "bench/common.hpp"
+
+int main() {
+  using namespace svo;
+  bench::banner("Fig. 9", "mechanism execution time vs number of tasks");
+
+  const sim::ExperimentConfig cfg = bench::paper_config();
+  const sim::SweepResult sweep = bench::run_paper_sweep(cfg);
+
+  util::Table table({"tasks", "TVOF seconds", "RVOF seconds",
+                     "TVOF stddev", "RVOF stddev"});
+  table.set_precision(4);
+  for (const auto& p : sweep.points) {
+    table.add_row({static_cast<long long>(p.num_tasks),
+                   p.tvof.exec_seconds.mean(), p.rvof.exec_seconds.mean(),
+                   p.tvof.exec_seconds.stddev(),
+                   p.rvof.exec_seconds.stddev()});
+  }
+  bench::emit(table, "fig9_exec_time.csv");
+  const double first = sweep.points.front().tvof.exec_seconds.mean();
+  const double last = sweep.points.back().tvof.exec_seconds.mean();
+  if (first > 0.0) {
+    std::printf("\nTVOF time grows %.1fx from n=%zu to n=%zu "
+                "(paper: increasing, dominated by the mapping).\n",
+                last / first, sweep.points.front().num_tasks,
+                sweep.points.back().num_tasks);
+  }
+  return 0;
+}

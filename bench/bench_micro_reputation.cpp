@@ -1,0 +1,84 @@
+/// \file bench_micro_reputation.cpp
+/// Microbenchmarks of the reputation engine (Algorithm 2): power-method
+/// cost vs graph size, trust density, convergence threshold, and the
+/// serial vs pooled mat-vec path.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "trust/reputation.hpp"
+
+namespace {
+
+using namespace svo;
+
+trust::TrustGraph make_graph(std::size_t m, double p, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  return trust::random_trust_graph(m, p, rng);
+}
+
+void BM_ReputationVsSize(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const trust::TrustGraph g = make_graph(m, 0.1, 42);
+  const trust::ReputationEngine engine;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.compute(g));
+  }
+  state.counters["gsps"] = static_cast<double>(m);
+}
+BENCHMARK(BM_ReputationVsSize)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_ReputationVsDensity(benchmark::State& state) {
+  const double p = static_cast<double>(state.range(0)) / 100.0;
+  const trust::TrustGraph g = make_graph(64, p, 43);
+  const trust::ReputationEngine engine;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.compute(g));
+  }
+  state.counters["p"] = p;
+}
+BENCHMARK(BM_ReputationVsDensity)->Arg(5)->Arg(10)->Arg(40)->Arg(100);
+
+void BM_ReputationVsEpsilon(benchmark::State& state) {
+  const trust::TrustGraph g = make_graph(64, 0.1, 44);
+  trust::ReputationOptions opts;
+  opts.power.epsilon = std::pow(10.0, -static_cast<double>(state.range(0)));
+  const trust::ReputationEngine engine(opts);
+  std::size_t iterations = 0;
+  for (auto _ : state) {
+    const trust::ReputationResult r = engine.compute(g);
+    iterations = r.iterations;
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["power_iters"] = static_cast<double>(iterations);
+}
+BENCHMARK(BM_ReputationVsEpsilon)->Arg(3)->Arg(6)->Arg(9)->Arg(12);
+
+void BM_ReputationCoalitionSubgraph(benchmark::State& state) {
+  // Cost of scoring a shrinking coalition, the TVOF inner-loop pattern.
+  const trust::TrustGraph g = make_graph(16, 0.1, 45);
+  const trust::ReputationEngine engine;
+  const auto size = static_cast<std::size_t>(state.range(0));
+  std::vector<std::size_t> members(size);
+  for (std::size_t i = 0; i < size; ++i) members[i] = i;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.compute(g, members));
+  }
+}
+BENCHMARK(BM_ReputationCoalitionSubgraph)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_PowerMethodParallelMatvec(benchmark::State& state) {
+  const trust::TrustGraph g = make_graph(1024, 0.05, 46);
+  trust::ReputationOptions opts;
+  opts.power.threads = static_cast<std::size_t>(state.range(0));
+  const trust::ReputationEngine engine(opts);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.compute(g));
+  }
+  state.counters["threads"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_PowerMethodParallelMatvec)->Arg(1)->Arg(2)->Arg(4);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,120 @@
+/// \file bench_micro_solver.cpp
+/// Microbenchmarks of the assignment solvers replacing CPLEX: greedy
+/// construction + local search, the specialized B&B, and the literal
+/// LP-relaxation B&B, across instance sizes. Counters report solution
+/// cost so quality/time trade-offs are visible in one run.
+#include <benchmark/benchmark.h>
+
+#include "ip/annealing.hpp"
+#include "ip/bnb.hpp"
+#include "ip/greedy.hpp"
+#include "ip/lp_bnb.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace svo;
+
+ip::AssignmentInstance make_instance(std::size_t k, std::size_t n,
+                                     std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  ip::AssignmentInstance inst;
+  inst.cost = linalg::Matrix(k, n);
+  inst.time = linalg::Matrix(k, n);
+  for (std::size_t g = 0; g < k; ++g) {
+    for (std::size_t t = 0; t < n; ++t) {
+      inst.cost(g, t) = rng.uniform(1.0, 1000.0);
+      inst.time(g, t) = rng.uniform(10.0, 500.0);
+    }
+  }
+  inst.deadline = 500.0 * 2.0 * static_cast<double>(n) / static_cast<double>(k);
+  inst.payment = 1000.0 * static_cast<double>(n);
+  return inst;
+}
+
+void BM_GreedySolver(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const ip::AssignmentInstance inst = make_instance(16, n, 7);
+  const ip::GreedyAssignmentSolver solver;
+  double cost = 0.0;
+  for (auto _ : state) {
+    const ip::AssignmentSolution sol = solver.solve(inst);
+    cost = sol.cost;
+    benchmark::DoNotOptimize(sol);
+  }
+  state.counters["cost"] = cost;
+}
+BENCHMARK(BM_GreedySolver)->Arg(256)->Arg(1024)->Arg(4096)->Arg(8192);
+
+void BM_BnbSolver(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const ip::AssignmentInstance inst = make_instance(16, n, 7);
+  ip::BnbOptions opts;
+  opts.max_nodes = 20'000;
+  const ip::BnbAssignmentSolver solver(opts);
+  double cost = 0.0;
+  double proven = 0.0;
+  for (auto _ : state) {
+    const ip::AssignmentSolution sol = solver.solve(inst);
+    cost = sol.cost;
+    proven = sol.proven_optimal() ? 1.0 : 0.0;
+    benchmark::DoNotOptimize(sol);
+  }
+  state.counters["cost"] = cost;
+  state.counters["proven_optimal"] = proven;
+}
+BENCHMARK(BM_BnbSolver)->Arg(256)->Arg(1024)->Arg(4096)->Arg(8192);
+
+void BM_BnbSolverExactSmall(benchmark::State& state) {
+  // Sizes where the B&B proves optimality outright.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const ip::AssignmentInstance inst = make_instance(3, n, 11);
+  const ip::BnbAssignmentSolver solver;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.solve(inst));
+  }
+}
+BENCHMARK(BM_BnbSolverExactSmall)->Arg(6)->Arg(10)->Arg(14);
+
+void BM_LpBnbSolverLiteral(benchmark::State& state) {
+  // The literal eqs. (9)-(14) formulation; only viable on small models.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const ip::AssignmentInstance inst = make_instance(3, n, 11);
+  const ip::LpBnbAssignmentSolver solver;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.solve(inst));
+  }
+}
+BENCHMARK(BM_LpBnbSolverLiteral)->Arg(4)->Arg(6)->Arg(8);
+
+void BM_AnnealingSolver(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const ip::AssignmentInstance inst = make_instance(16, n, 7);
+  ip::AnnealingOptions opts;
+  opts.iterations = 30'000;
+  const ip::AnnealingAssignmentSolver solver(opts);
+  double cost = 0.0;
+  for (auto _ : state) {
+    const ip::AssignmentSolution sol = solver.solve(inst);
+    cost = sol.cost;
+    benchmark::DoNotOptimize(sol);
+  }
+  state.counters["cost"] = cost;
+}
+BENCHMARK(BM_AnnealingSolver)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_LocalSearchPolish(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const ip::AssignmentInstance inst = make_instance(16, n, 13);
+  const ip::Assignment seed =
+      ip::greedy_construct(inst, ip::GreedyOptions::Order::TimeDescending);
+  for (auto _ : state) {
+    ip::Assignment a = seed;
+    benchmark::DoNotOptimize(ip::local_search(inst, a, {}));
+  }
+}
+BENCHMARK(BM_LocalSearchPolish)->Arg(256)->Arg(1024)->Arg(4096);
+
+}  // namespace
+
+BENCHMARK_MAIN();

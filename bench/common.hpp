@@ -1,0 +1,98 @@
+/// \file common.hpp
+/// Shared scaffolding for the figure/table harnesses in bench/: default
+/// experiment configuration (the paper's full protocol), environment
+/// overrides, and result emission.
+///
+/// Environment overrides (all optional):
+///   SVO_SEED   root seed (default 20120910)
+///   SVO_REPS   repetitions per sweep point (default 10, the paper's)
+///   SVO_SIZES  comma-separated program sizes (default 256..8192)
+///   SVO_CSV    directory to also write CSV files into (default: skip)
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "sim/runner.hpp"
+#include "util/csv.hpp"
+
+namespace svo::bench {
+
+/// Parse "a,b,c" into sizes; returns fallback on absence or garbage.
+inline std::vector<std::size_t> parse_sizes(const char* env,
+                                            std::vector<std::size_t> fallback) {
+  if (env == nullptr || *env == '\0') return fallback;
+  std::vector<std::size_t> out;
+  std::string token;
+  for (const char* p = env;; ++p) {
+    if (*p == ',' || *p == '\0') {
+      if (!token.empty()) {
+        const long v = std::strtol(token.c_str(), nullptr, 10);
+        if (v <= 0) return fallback;
+        out.push_back(static_cast<std::size_t>(v));
+        token.clear();
+      }
+      if (*p == '\0') break;
+    } else {
+      token += *p;
+    }
+  }
+  return out.empty() ? fallback : out;
+}
+
+/// The paper's experimental setup (Section IV-A) with env overrides.
+inline sim::ExperimentConfig paper_config() {
+  sim::ExperimentConfig cfg;
+  if (const char* seed = std::getenv("SVO_SEED")) {
+    cfg.seed = std::strtoull(seed, nullptr, 10);
+  }
+  if (const char* reps = std::getenv("SVO_REPS")) {
+    const long v = std::strtol(reps, nullptr, 10);
+    if (v > 0) cfg.repetitions = static_cast<std::size_t>(v);
+  }
+  cfg.task_sizes = parse_sizes(std::getenv("SVO_SIZES"), cfg.task_sizes);
+  // Node budget for the anytime IP-B&B in mechanism loops: identical for
+  // TVOF and RVOF (DESIGN.md §4.4).
+  cfg.solver.max_nodes = 20'000;
+  return cfg;
+}
+
+/// Print the table and optionally persist a CSV next to it.
+inline void emit(const util::Table& table, const std::string& csv_name) {
+  table.write_pretty(std::cout);
+  if (const char* dir = std::getenv("SVO_CSV")) {
+    const std::string path = std::string(dir) + "/" + csv_name;
+    table.write_csv_file(path);
+    std::printf("csv written: %s\n", path.c_str());
+  }
+}
+
+/// Run the paper's full sweep (Figs. 1, 2, 3, 9 share it) and echo
+/// progress so long runs are visibly alive.
+inline sim::SweepResult run_paper_sweep(const sim::ExperimentConfig& cfg) {
+  const sim::ExperimentRunner runner(cfg);
+  std::size_t done = 0;
+  const std::size_t total =
+      cfg.task_sizes.size() * cfg.repetitions * (cfg.run_rvof ? 2 : 1);
+  return runner.run_sweep([&](std::size_t n, std::size_t rep,
+                              const std::string& mech,
+                              const core::MechanismResult& res) {
+    ++done;
+    std::fprintf(stderr, "  [%3zu/%zu] n=%zu rep=%zu %s: |C|=%zu %.3fs\n",
+                 done, total, n, rep, mech.c_str(), res.selected.size(),
+                 res.elapsed_seconds);
+  });
+}
+
+/// Header banner shared by all harnesses.
+inline void banner(const char* figure, const char* what) {
+  std::printf("=== %s: %s ===\n", figure, what);
+  std::printf(
+      "(reproduction of Mashayekhy & Grosu, ICPP 2012; synthetic Atlas "
+      "trace, m=16 GSPs, ER(16,0.1) trust)\n\n");
+}
+
+}  // namespace svo::bench

@@ -1,0 +1,125 @@
+/// \file custom_solver.cpp
+/// Extending the library: plug a user-defined assignment solver into the
+/// mechanisms via the ip::AssignmentSolver strategy interface. The toy
+/// solver here assigns every task to its cheapest deadline-feasible GSP
+/// and repairs coverage — then we compare it against the shipped greedy
+/// and branch-and-bound solvers inside a full TVOF run.
+///
+///   $ ./custom_solver
+#include <cstdio>
+
+#include "core/tvof.hpp"
+#include "ip/bnb.hpp"
+#include "ip/greedy.hpp"
+#include "workload/instance_gen.hpp"
+
+namespace {
+
+using namespace svo;
+
+/// Minimal user solver: cheapest-feasible insertion in task order.
+/// Deliberately naive — no regret ordering, no local search.
+class CheapestFitSolver final : public ip::AssignmentSolver {
+ public:
+  ip::AssignmentSolution solve(
+      const ip::AssignmentInstance& inst) const override {
+    ip::AssignmentSolution sol;
+    const std::size_t k = inst.num_gsps();
+    const std::size_t n = inst.num_tasks();
+    if (inst.require_all_gsps_used && k > n) {
+      sol.status = ip::AssignStatus::Infeasible;  // provable: pigeonhole
+      return sol;
+    }
+    ip::Assignment a(n);
+    std::vector<double> load(k, 0.0);
+    std::vector<std::size_t> count(k, 0);
+    for (std::size_t t = 0; t < n; ++t) {
+      std::size_t best = SIZE_MAX;
+      for (std::size_t g = 0; g < k; ++g) {
+        if (load[g] + inst.time(g, t) > inst.deadline) continue;
+        if (best == SIZE_MAX || inst.cost(g, t) < inst.cost(best, t)) {
+          best = g;
+        }
+      }
+      if (best == SIZE_MAX) {
+        sol.status = ip::AssignStatus::Unknown;  // heuristic dead end
+        return sol;
+      }
+      a[t] = best;
+      load[best] += inst.time(best, t);
+      ++count[best];
+    }
+    // Coverage repair: hand each idle GSP one task from a rich donor.
+    for (std::size_t g = 0; g < k && inst.require_all_gsps_used; ++g) {
+      if (count[g] > 0) continue;
+      bool repaired = false;
+      for (std::size_t t = 0; t < n && !repaired; ++t) {
+        if (count[a[t]] > 1 && load[g] + inst.time(g, t) <= inst.deadline) {
+          load[a[t]] -= inst.time(a[t], t);
+          --count[a[t]];
+          a[t] = g;
+          load[g] += inst.time(g, t);
+          ++count[g];
+          repaired = true;
+        }
+      }
+      if (!repaired) {
+        sol.status = ip::AssignStatus::Unknown;
+        return sol;
+      }
+    }
+    const double cost = ip::assignment_cost(inst, a);
+    if (cost > inst.payment) {
+      sol.status = ip::AssignStatus::Unknown;
+      return sol;
+    }
+    sol.status = ip::AssignStatus::Feasible;
+    sol.assignment = std::move(a);
+    sol.cost = cost;
+    return sol;
+  }
+
+  std::string name() const override { return "cheapest-fit"; }
+};
+
+}  // namespace
+
+int main() {
+  using namespace svo;
+  util::Xoshiro256 rng(4242);
+
+  trace::ProgramSpec program;
+  program.num_tasks = 128;
+  program.mean_task_runtime = 4.5 * 3600.0;
+  workload::InstanceGenOptions gopts;
+  gopts.params.num_gsps = 10;
+  const workload::GridInstance grid =
+      workload::generate_instance(program, gopts, rng);
+  const trust::TrustGraph trust = trust::random_trust_graph(10, 0.3, rng);
+
+  const CheapestFitSolver naive;
+  const ip::GreedyAssignmentSolver greedy;
+  const ip::BnbAssignmentSolver bnb;
+
+  std::printf("%-14s %-10s %-14s %-10s %-14s\n", "solver", "VO size",
+              "payoff/member", "cost", "avg reputation");
+  for (const ip::AssignmentSolver* solver :
+       {static_cast<const ip::AssignmentSolver*>(&naive),
+        static_cast<const ip::AssignmentSolver*>(&greedy),
+        static_cast<const ip::AssignmentSolver*>(&bnb)}) {
+    const core::TvofMechanism tvof(*solver);
+    util::Xoshiro256 mech_rng(7);  // identical removal tie-breaks
+    const core::MechanismResult r =
+        tvof.run(grid.assignment, trust, mech_rng);
+    if (!r.success) {
+      std::printf("%-14s no feasible VO\n", solver->name().c_str());
+      continue;
+    }
+    std::printf("%-14s %-10zu %-14.2f %-10.0f %-14.4f\n",
+                solver->name().c_str(), r.selected.size(), r.payoff_share,
+                r.cost, r.avg_global_reputation);
+  }
+  std::printf("\nbetter solvers find cheaper mappings, which raises v(C) "
+              "and the per-member payoff for the same VOs.\n");
+  return 0;
+}

@@ -1,0 +1,238 @@
+/// \file svo_cli.cpp
+/// Command-line driver for the library — the adoption-ready entry point:
+///
+///   svo_cli trace-gen <out.swf> [jobs] [seed]   generate a synthetic
+///                                               Atlas-like SWF trace
+///   svo_cli trace-stats <in.swf>                characterize a trace
+///   svo_cli form <in.swf> <tasks> [options]     form a VO for a program
+///       --mechanism tvof|rvof     (default tvof)
+///       --gsps N                  (default 16)
+///       --trust-p P               (default 0.1)
+///       --seed S                  (default 42)
+///   svo_cli sweep [--reps N] [--seed S]         run the paper's sweep
+///                                               and print Figs. 1-3, 9
+///   svo_cli closed-loop [--rounds N] [--seed S] hidden-reliability closed
+///                                               loop, TVOF vs RVOF
+///   svo_cli multi [--programs N] [--seed S]     multi-program contention
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "core/rvof.hpp"
+#include "core/tvof.hpp"
+#include "ip/bnb.hpp"
+#include "sim/learning.hpp"
+#include "sim/multi_program.hpp"
+#include "sim/runner.hpp"
+#include "trace/atlas_synth.hpp"
+#include "trace/programs.hpp"
+#include "util/csv.hpp"
+#include "util/histogram.hpp"
+#include "workload/instance_gen.hpp"
+
+namespace {
+
+using namespace svo;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: svo_cli "
+               "<trace-gen|trace-stats|form|sweep|closed-loop|multi> ...\n"
+               "see the header of examples/svo_cli.cpp for details\n");
+  return 2;
+}
+
+/// Option lookup: value of `--name` in argv, or fallback.
+const char* opt(int argc, char** argv, const char* name,
+                const char* fallback) {
+  for (int i = 0; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return argv[i + 1];
+  }
+  return fallback;
+}
+
+int cmd_trace_gen(int argc, char** argv) {
+  if (argc < 1) return usage();
+  trace::AtlasSynthOptions opts;
+  if (argc >= 2) opts.num_jobs = std::strtoul(argv[1], nullptr, 10);
+  const std::uint64_t seed =
+      argc >= 3 ? std::strtoull(argv[2], nullptr, 10) : 42;
+  const trace::Trace t = trace::generate_atlas_like(opts, seed);
+  trace::write_swf_file(argv[0], t);
+  std::printf("wrote %zu jobs to %s\n", t.jobs.size(), argv[0]);
+  return 0;
+}
+
+int cmd_trace_stats(int argc, char** argv) {
+  if (argc < 1) return usage();
+  const trace::Trace t = trace::parse_swf_file(argv[0]);
+  const trace::TraceStats s = trace::compute_stats(t.jobs);
+  std::printf("jobs:            %zu (%zu malformed lines skipped)\n",
+              s.total_jobs, t.malformed_lines);
+  std::printf("completed:       %zu (%.1f%%)\n", s.completed_jobs,
+              100.0 * static_cast<double>(s.completed_jobs) /
+                  static_cast<double>(std::max<std::size_t>(1, s.total_jobs)));
+  std::printf("long (>2h):      %zu (%.1f%% of completed)\n",
+              s.long_completed_jobs, 100.0 * s.long_fraction());
+  std::printf("processors:      [%lld, %lld]\n",
+              static_cast<long long>(s.min_processors),
+              static_cast<long long>(s.max_processors));
+  std::printf("runtime (s):     [%.0f, %.0f]\n", s.min_runtime, s.max_runtime);
+  if (s.max_runtime > s.min_runtime && s.min_runtime >= 0.0) {
+    util::Histogram runtimes = util::Histogram::logarithmic(
+        std::max(1.0, s.min_runtime), s.max_runtime + 1.0, 10);
+    for (const auto& j : t.jobs) {
+      if (j.run_time > 0.0) runtimes.add(j.run_time);
+    }
+    std::printf("\nruntime distribution:\n%s", runtimes.render(40).c_str());
+  }
+  return 0;
+}
+
+int cmd_closed_loop(int argc, char** argv) {
+  sim::ClosedLoopConfig cfg;
+  cfg.rounds = std::strtoul(opt(argc, argv, "--rounds", "20"), nullptr, 10);
+  cfg.num_tasks = 96;
+  cfg.gen.params.num_gsps = 16;
+  const std::uint64_t seed =
+      std::strtoull(opt(argc, argv, "--seed", "42"), nullptr, 10);
+  util::Xoshiro256 rng(seed);
+  const sim::ReliabilityModel model =
+      sim::ReliabilityModel::bimodal(16, 0.625, 0.9, 0.3, rng);
+  const ip::BnbAssignmentSolver solver;
+  const core::TvofMechanism tvof(solver);
+  const core::RvofMechanism rvof(solver);
+  const sim::ClosedLoopResult rt = sim::run_closed_loop(tvof, model, cfg, seed);
+  const sim::ClosedLoopResult rr = sim::run_closed_loop(rvof, model, cfg, seed);
+  std::printf("%-6s %-20s %-20s\n", "", "TVOF", "RVOF");
+  std::printf("%-6s %-20.3f %-20.3f\n", "compl", rt.completion_rate,
+              rr.completion_rate);
+  std::printf("%-6s %-20.2f %-20.2f\n", "share", rt.mean_realized_share,
+              rr.mean_realized_share);
+  std::printf("\nper-round unreliable-member fraction (TVOF / RVOF):\n");
+  for (std::size_t i = 0; i < rt.rounds.size(); i += 2) {
+    std::printf("  round %2zu: %.2f / %.2f\n", i,
+                rt.rounds[i].unreliable_member_fraction,
+                rr.rounds[i].unreliable_member_fraction);
+  }
+  return 0;
+}
+
+int cmd_multi(int argc, char** argv) {
+  sim::MultiProgramConfig cfg;
+  cfg.programs =
+      std::strtoul(opt(argc, argv, "--programs", "25"), nullptr, 10);
+  cfg.gen.params.num_gsps = 16;
+  const std::uint64_t seed =
+      std::strtoull(opt(argc, argv, "--seed", "42"), nullptr, 10);
+  const ip::BnbAssignmentSolver solver;
+  const core::TvofMechanism tvof(solver);
+  const sim::MultiProgramResult r = sim::run_multi_program(tvof, cfg, seed);
+  std::printf("admission rate:   %.3f\n", r.admission_rate);
+  std::printf("mean utilization: %.3f\n", r.mean_utilization);
+  std::printf("total value:      %.1f\n", r.total_value);
+  for (const auto& o : r.outcomes) {
+    std::printf("  #%-3zu t=%-10.0f free=%-2zu %s", o.index, o.arrival_time,
+                o.available_gsps, o.admitted ? "VO {" : "refused\n");
+    if (o.admitted) {
+      for (const std::size_t g : o.vo.members()) std::printf(" G%zu", g);
+      std::printf(" }\n");
+    }
+  }
+  return 0;
+}
+
+int cmd_form(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const trace::Trace t = trace::parse_swf_file(argv[0]);
+  const std::size_t tasks = std::strtoul(argv[1], nullptr, 10);
+  const std::string mechanism = opt(argc, argv, "--mechanism", "tvof");
+  const std::size_t gsps =
+      std::strtoul(opt(argc, argv, "--gsps", "16"), nullptr, 10);
+  const double trust_p = std::strtod(opt(argc, argv, "--trust-p", "0.1"), nullptr);
+  const std::uint64_t seed =
+      std::strtoull(opt(argc, argv, "--seed", "42"), nullptr, 10);
+
+  util::Xoshiro256 rng(seed);
+  const auto programs = trace::sample_programs(t.jobs, tasks, 1, rng);
+  if (programs.empty()) {
+    std::fprintf(stderr, "no completed job with %zu processors and >= 2h "
+                         "runtime in the trace\n", tasks);
+    return 1;
+  }
+  workload::InstanceGenOptions gopts;
+  gopts.params.num_gsps = gsps;
+  const workload::GridInstance grid =
+      workload::generate_instance(programs.front(), gopts, rng);
+  const trust::TrustGraph trust =
+      trust::random_trust_graph(gsps, trust_p, rng);
+
+  const ip::BnbAssignmentSolver solver;
+  core::MechanismResult r;
+  if (mechanism == "rvof") {
+    r = core::RvofMechanism(solver).run(grid.assignment, trust, rng);
+  } else if (mechanism == "tvof") {
+    r = core::TvofMechanism(solver).run(grid.assignment, trust, rng);
+  } else {
+    std::fprintf(stderr, "unknown --mechanism %s\n", mechanism.c_str());
+    return 2;
+  }
+  if (!r.success) {
+    std::printf("no feasible VO\n");
+    return 1;
+  }
+  std::printf("mechanism:       %s\n", mechanism.c_str());
+  std::printf("selected VO:    ");
+  for (const std::size_t g : r.selected.members()) std::printf(" G%zu", g);
+  std::printf("  (%zu of %zu GSPs)\n", r.selected.size(), gsps);
+  std::printf("cost / value:    %.2f / %.2f\n", r.cost, r.value);
+  std::printf("payoff/member:   %.2f\n", r.payoff_share);
+  std::printf("avg reputation:  %.4f\n", r.avg_global_reputation);
+  std::printf("iterations:      %zu (%.3f s, %zu B&B nodes)\n",
+              r.journal.size(), r.elapsed_seconds, r.total_solver_nodes);
+  return 0;
+}
+
+int cmd_sweep(int argc, char** argv) {
+  sim::ExperimentConfig cfg;
+  cfg.repetitions =
+      std::strtoul(opt(argc, argv, "--reps", "10"), nullptr, 10);
+  cfg.seed = std::strtoull(opt(argc, argv, "--seed", "20120910"), nullptr, 10);
+  cfg.solver.max_nodes = 20'000;
+  const sim::ExperimentRunner runner(cfg);
+  const sim::SweepResult sweep = runner.run_sweep();
+
+  util::Table table({"tasks", "TVOF payoff", "RVOF payoff", "TVOF |C|",
+                     "RVOF |C|", "TVOF rep", "RVOF rep", "TVOF s", "RVOF s"});
+  table.set_precision(4);
+  for (const auto& p : sweep.points) {
+    table.add_row({static_cast<long long>(p.num_tasks),
+                   p.tvof.payoff.mean(), p.rvof.payoff.mean(),
+                   p.tvof.vo_size.mean(), p.rvof.vo_size.mean(),
+                   p.tvof.avg_reputation.mean(), p.rvof.avg_reputation.mean(),
+                   p.tvof.exec_seconds.mean(), p.rvof.exec_seconds.mean()});
+  }
+  table.write_pretty(std::cout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "trace-gen") return cmd_trace_gen(argc - 2, argv + 2);
+    if (cmd == "trace-stats") return cmd_trace_stats(argc - 2, argv + 2);
+    if (cmd == "form") return cmd_form(argc - 2, argv + 2);
+    if (cmd == "sweep") return cmd_sweep(argc - 2, argv + 2);
+    if (cmd == "closed-loop") return cmd_closed_loop(argc - 2, argv + 2);
+    if (cmd == "multi") return cmd_multi(argc - 2, argv + 2);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}

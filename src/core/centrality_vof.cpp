@@ -1,0 +1,67 @@
+#include "core/centrality_vof.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "graph/centrality.hpp"
+
+namespace svo::core {
+
+const char* to_string(CentralityRule rule) noexcept {
+  switch (rule) {
+    case CentralityRule::Eigenvector: return "eigenvector";
+    case CentralityRule::Degree: return "degree";
+    case CentralityRule::Closeness: return "closeness";
+    case CentralityRule::Betweenness: return "betweenness";
+  }
+  return "unknown";
+}
+
+CentralityVofMechanism::CentralityVofMechanism(
+    const ip::AssignmentSolver& solver, CentralityRule rule,
+    MechanismConfig config)
+    : VoFormationMechanism(solver, config), rule_(rule) {}
+
+std::string CentralityVofMechanism::name() const {
+  return std::string("CVOF-") + to_string(rule_);
+}
+
+std::size_t CentralityVofMechanism::choose_removal(
+    const trust::TrustGraph& trust, const std::vector<std::size_t>& members,
+    const std::vector<double>& scores, util::Xoshiro256& rng) const {
+  std::vector<double> centrality;
+  if (rule_ == CentralityRule::Eigenvector) {
+    centrality = scores;  // already the recomputed reputation
+  } else {
+    // Induced trust subgraph of the current VO, renumbered to match
+    // `members` order.
+    std::vector<bool> keep(trust.size(), false);
+    for (const std::size_t g : members) keep[g] = true;
+    const graph::Digraph sub = trust.graph().induced_subgraph(keep);
+    switch (rule_) {
+      case CentralityRule::Degree:
+        centrality = graph::degree_centrality(sub);
+        break;
+      case CentralityRule::Closeness:
+        centrality = graph::closeness_centrality(sub);
+        break;
+      case CentralityRule::Betweenness:
+        centrality = graph::betweenness_centrality(sub);
+        break;
+      case CentralityRule::Eigenvector:
+        break;  // handled above
+    }
+  }
+  detail::require(centrality.size() == members.size(),
+                  "CentralityVofMechanism: centrality arity mismatch");
+  constexpr double kTieTol = 1e-12;
+  double lowest = std::numeric_limits<double>::infinity();
+  for (const double s : centrality) lowest = std::min(lowest, s);
+  std::vector<std::size_t> ties;
+  for (std::size_t i = 0; i < centrality.size(); ++i) {
+    if (centrality[i] <= lowest + kTieTol) ties.push_back(i);
+  }
+  return ties[ties.size() == 1 ? 0 : rng.index(ties.size())];
+}
+
+}  // namespace svo::core

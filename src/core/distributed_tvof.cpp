@@ -1,0 +1,119 @@
+#include "core/distributed_tvof.hpp"
+
+namespace svo::core {
+
+DistributedRunResult run_distributed(const VoFormationMechanism& mechanism,
+                                     const ip::AssignmentInstance& inst,
+                                     const trust::TrustGraph& trust,
+                                     util::Xoshiro256& rng,
+                                     const ProtocolOptions& options) {
+  detail::require(options.gsp_processing_seconds >= 0.0,
+                  "run_distributed: negative processing delay");
+  const std::size_t m = inst.num_gsps();
+  const std::size_t n = inst.num_tasks();
+
+  des::Simulator sim;
+  des::Network net(sim, m + 1, options.latency, options.network_seed);
+  constexpr std::size_t kTrustedParty = 0;
+  const auto gsp_node = [](std::size_t g) { return g + 1; };
+
+  DistributedRunResult result;
+  std::size_t reports = 0;
+  std::size_t acks = 0;
+  std::size_t awards_expected = 0;
+  bool mechanism_ran = false;
+
+  // GSP behaviour: answer CFPs with a report after local processing;
+  // acknowledge awards; ignore releases.
+  for (std::size_t g = 0; g < m; ++g) {
+    net.set_handler(gsp_node(g), [&, g](const des::Message& msg) {
+      if (msg.type == "CFP") {
+        sim.schedule(options.gsp_processing_seconds, [&, g] {
+          des::Message report;
+          report.from = gsp_node(g);
+          report.to = kTrustedParty;
+          report.type = "REPORT";
+          // Trust row (8m) + cost and time columns (16n) + envelope.
+          report.bytes = 8 * m + 16 * n + options.envelope_bytes;
+          net.send(std::move(report));
+        });
+      } else if (msg.type == "AWARD") {
+        des::Message ack;
+        ack.from = gsp_node(g);
+        ack.to = kTrustedParty;
+        ack.type = "ACK";
+        ack.bytes = options.envelope_bytes;
+        net.send(std::move(ack));
+      }
+      // RELEASE needs no reply.
+    });
+  }
+
+  // Trusted-party behaviour.
+  net.set_handler(kTrustedParty, [&](const des::Message& msg) {
+    if (msg.type == "REPORT") {
+      if (++reports < m) return;
+      result.protocol.report_phase_seconds = sim.now();
+      // All data in: run the actual mechanism; its measured compute time
+      // advances the simulated clock before the notices go out.
+      const MechanismResult mr = mechanism.run(inst, trust, rng);
+      mechanism_ran = true;
+      const double compute = mr.elapsed_seconds;
+      result.mechanism = mr;
+      sim.schedule(compute, [&] {
+        const MechanismResult& r = result.mechanism;
+        // Release every GSP that was removed along the way.
+        for (const auto& it : r.journal) {
+          if (it.removed_gsp == SIZE_MAX) continue;
+          if (r.selected.contains(it.removed_gsp)) continue;
+          des::Message release;
+          release.from = kTrustedParty;
+          release.to = gsp_node(it.removed_gsp);
+          release.type = "RELEASE";
+          release.bytes = options.envelope_bytes;
+          net.send(std::move(release));
+        }
+        if (!r.success) return;  // no awards: protocol ends with releases
+        // Award each member its task list.
+        std::vector<std::size_t> tasks_per_member(m, 0);
+        for (const std::size_t g : r.mapping) ++tasks_per_member[g];
+        for (const std::size_t g : r.selected.members()) {
+          des::Message award;
+          award.from = kTrustedParty;
+          award.to = gsp_node(g);
+          award.type = "AWARD";
+          award.bytes = 8 * tasks_per_member[g] + options.envelope_bytes;
+          net.send(std::move(award));
+          ++awards_expected;
+        }
+      });
+    } else if (msg.type == "ACK") {
+      if (++acks == awards_expected) {
+        result.protocol.completion_seconds = sim.now();
+      }
+    }
+  });
+
+  // Kick off: CFP broadcast.
+  for (std::size_t g = 0; g < m; ++g) {
+    des::Message cfp;
+    cfp.from = kTrustedParty;
+    cfp.to = gsp_node(g);
+    cfp.type = "CFP";
+    cfp.bytes = options.envelope_bytes + 32;  // program metadata
+    net.send(std::move(cfp));
+  }
+  (void)sim.run();
+
+  detail::require(mechanism_ran,
+                  "run_distributed: protocol never reached the decision");
+  if (result.protocol.completion_seconds == 0.0) {
+    // No awards were sent (mechanism failed): completion = last event.
+    result.protocol.completion_seconds = sim.now();
+  }
+  result.protocol.messages = net.messages_sent();
+  result.protocol.bytes = net.bytes_sent();
+  return result;
+}
+
+}  // namespace svo::core

@@ -1,0 +1,201 @@
+#include "core/merge_split.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "game/payoff.hpp"
+#include "util/timer.hpp"
+
+namespace svo::core {
+
+namespace {
+
+/// Pareto comparison of coalition points for the merge/split rules:
+/// `after` is acceptable to a part's members iff it is >= in every
+/// considered criterion; a rule fires only if some part is strictly
+/// better off.
+struct Point {
+  double share = 0.0;
+  double reputation = 0.0;
+};
+
+bool weakly_better(const Point& after, const Point& before,
+                   bool consider_reputation) {
+  if (after.share < before.share) return false;
+  return !consider_reputation || after.reputation >= before.reputation;
+}
+
+bool strictly_better(const Point& after, const Point& before,
+                     bool consider_reputation) {
+  if (!weakly_better(after, before, consider_reputation)) return false;
+  return after.share > before.share ||
+         (consider_reputation && after.reputation > before.reputation);
+}
+
+}  // namespace
+
+MergeSplitMechanism::MergeSplitMechanism(const ip::AssignmentSolver& solver,
+                                         MergeSplitConfig config)
+    : solver_(solver), config_(config) {}
+
+MergeSplitResult MergeSplitMechanism::run(const ip::AssignmentInstance& inst,
+                                          const trust::TrustGraph& trust) const {
+  inst.validate();
+  detail::require(trust.size() == inst.num_gsps(),
+                  "MergeSplitMechanism::run: trust size != num GSPs");
+  const std::size_t m = inst.num_gsps();
+  const util::WallTimer timer;
+
+  MergeSplitResult result;
+  const trust::ReputationEngine engine(config_.reputation);
+  result.global_reputation = engine.compute(trust).scores;
+  const game::VoValueFunction v(inst, solver_);
+
+  const auto point_of = [&](game::Coalition c) {
+    Point p;
+    const auto& eval = v.evaluate(c);
+    p.share = eval.feasible ? game::equal_share(eval.value, c.size()) : 0.0;
+    if (!c.empty()) {
+      double rep = 0.0;
+      for (const std::size_t g : c.members()) {
+        rep += result.global_reputation[g];
+      }
+      p.reputation = rep / static_cast<double>(c.size());
+    }
+    return p;
+  };
+
+  // Start from singletons.
+  std::vector<game::Coalition> cs;
+  cs.reserve(m);
+  for (std::size_t g = 0; g < m; ++g) cs.push_back(game::Coalition::of({g}));
+
+  const bool use_rep = config_.consider_reputation;
+  for (result.rounds = 0; result.rounds < config_.max_rounds;
+       ++result.rounds) {
+    bool changed = false;
+
+    // Merge passes: try every unordered pair; restart scanning after a
+    // merge (indices shift).
+    bool merged = true;
+    while (merged) {
+      merged = false;
+      for (std::size_t i = 0; i < cs.size() && !merged; ++i) {
+        for (std::size_t j = i + 1; j < cs.size() && !merged; ++j) {
+          const game::Coalition u = cs[i].unite(cs[j]);
+          const Point pu = point_of(u);
+          const Point pi = point_of(cs[i]);
+          const Point pj = point_of(cs[j]);
+          // "Nothing to lose": two zero-share (infeasible) coalitions may
+          // always pool resources — without this the process cannot leave
+          // the all-infeasible singleton start, since no strict payoff
+          // improvement exists below the feasibility threshold. Such
+          // merges can never be undone by a split (splits require strict
+          // improvement), so termination is preserved.
+          const bool nothing_to_lose = pi.share == 0.0 && pj.share == 0.0;
+          if (nothing_to_lose ||
+              (weakly_better(pu, pi, use_rep) &&
+               weakly_better(pu, pj, use_rep) &&
+               (strictly_better(pu, pi, use_rep) ||
+                strictly_better(pu, pj, use_rep)))) {
+            cs[i] = u;
+            cs.erase(cs.begin() + static_cast<std::ptrdiff_t>(j));
+            ++result.merges;
+            merged = true;
+            changed = true;
+          }
+        }
+      }
+    }
+
+    // Split passes: first improving bipartition per coalition.
+    bool split = true;
+    while (split) {
+      split = false;
+      for (std::size_t i = 0; i < cs.size() && !split; ++i) {
+        const game::Coalition c = cs[i];
+        if (c.size() < 2) continue;
+        const std::vector<std::size_t> members = c.members();
+        const Point pc = point_of(c);
+        const std::size_t half_space =
+            std::size_t{1} << (members.size() - 1);
+        const bool exhaustive = half_space <= config_.max_split_enumeration;
+        // Pin members[0] into part A so each unordered bipartition is
+        // visited once. Non-exhaustive mode tests only single-member
+        // breakaways (mask = one bit), the cheapest useful subset.
+        const auto test_split = [&](std::uint64_t mask) {
+          game::Coalition a = game::Coalition::of({members[0]});
+          for (std::size_t b = 1; b < members.size(); ++b) {
+            if ((mask >> (b - 1)) & 1U) a = a.with(members[b]);
+          }
+          const game::Coalition rest(c.bits() & ~a.bits());
+          if (a == c || rest.empty()) return false;
+          const Point pa = point_of(a);
+          const Point pb = point_of(rest);
+          if (weakly_better(pa, pc, use_rep) &&
+              weakly_better(pb, pc, use_rep) &&
+              (strictly_better(pa, pc, use_rep) ||
+               strictly_better(pb, pc, use_rep))) {
+            cs[i] = a;
+            cs.push_back(rest);
+            ++result.splits;
+            return true;
+          }
+          return false;
+        };
+        if (exhaustive) {
+          for (std::uint64_t mask = 0; mask < half_space && !split; ++mask) {
+            split = test_split(mask);
+          }
+        } else {
+          // Breakaway of each single member other than members[0], plus
+          // members[0] alone (mask 0).
+          split = test_split(0);
+          for (std::size_t b = 1; b < members.size() && !split; ++b) {
+            // A = everyone except members[b]  <=>  mask with all bits but
+            // (b-1) set.
+            const std::uint64_t all =
+                (members.size() - 1 >= 64)
+                    ? ~std::uint64_t{0}
+                    : ((std::uint64_t{1} << (members.size() - 1)) - 1);
+            split = test_split(all & ~(std::uint64_t{1} << (b - 1)));
+          }
+        }
+        if (split) changed = true;
+      }
+    }
+
+    if (!changed) break;
+  }
+
+  result.structure = cs;
+  // Execute on the feasible coalition with the highest individual payoff.
+  double best = -std::numeric_limits<double>::infinity();
+  for (const game::Coalition c : cs) {
+    const auto& eval = v.evaluate(c);
+    if (!eval.feasible) continue;
+    const double share = game::equal_share(eval.value, c.size());
+    if (share > best) {
+      best = share;
+      result.selected = c;
+    }
+  }
+  if (!result.selected.empty()) {
+    const auto& eval = v.evaluate(result.selected);
+    result.success = true;
+    result.mapping = eval.mapping;
+    result.cost = eval.cost;
+    result.value = eval.value;
+    result.payoff_share = best;
+    double rep = 0.0;
+    for (const std::size_t g : result.selected.members()) {
+      rep += result.global_reputation[g];
+    }
+    result.avg_global_reputation =
+        rep / static_cast<double>(result.selected.size());
+  }
+  result.elapsed_seconds = timer.seconds();
+  return result;
+}
+
+}  // namespace svo::core

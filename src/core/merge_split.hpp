@@ -1,0 +1,78 @@
+/// \file merge_split.hpp
+/// Merge-and-split VO formation — the authors' earlier mechanism
+/// (Mashayekhy & Grosu, IPCCC 2011, cited as [25]) rebuilt here as an
+/// additional comparison point for TVOF, following the generic
+/// merge/split framework of Apt & Witzel the paper cites as [22].
+///
+/// Starting from singleton coalitions, two rules are applied to
+/// quiescence:
+///   merge: coalitions A and B merge when every member of both weakly
+///          prefers A u B (and someone strictly does);
+///   split: coalition C splits into {S, C \ S} when every member of both
+///          parts weakly prefers its part (and someone strictly does).
+/// Preference compares (equal-share payoff, average global reputation)
+/// with Pareto semantics — set `consider_reputation = false` for the
+/// payoff-only ordering of the 2011 paper.
+///
+/// The resulting structure is D_hp-stable (no applicable merge or
+/// split). As in TVOF, exactly one coalition then executes the program:
+/// the feasible one with the highest individual payoff.
+#pragma once
+
+#include "core/mechanism.hpp"
+
+namespace svo::core {
+
+/// Options for the merge-and-split process.
+struct MergeSplitConfig {
+  /// Include average global reputation in the Pareto preference.
+  bool consider_reputation = true;
+  /// Split enumeration is Θ(2^(|C|-1)); coalitions whose enumeration
+  /// would exceed this many subsets only test single-member splits.
+  std::size_t max_split_enumeration = 4096;
+  /// Safety cap on merge/split alternation rounds.
+  std::size_t max_rounds = 64;
+  trust::ReputationOptions reputation;
+};
+
+/// Outcome of a merge-and-split run.
+struct MergeSplitResult {
+  /// Final coalition structure (disjoint cover of all GSPs).
+  std::vector<game::Coalition> structure;
+  /// Executing coalition (empty when no coalition is feasible).
+  game::Coalition selected;
+  bool success = false;
+  ip::Assignment mapping;
+  double cost = 0.0;
+  double value = 0.0;
+  double payoff_share = 0.0;
+  double avg_global_reputation = 0.0;
+  /// Global reputation scores over all GSPs.
+  std::vector<double> global_reputation;
+  std::size_t merges = 0;
+  std::size_t splits = 0;
+  std::size_t rounds = 0;
+  double elapsed_seconds = 0.0;
+};
+
+/// The mechanism object (thread-safe run(), like the others).
+class MergeSplitMechanism {
+ public:
+  /// `solver` must outlive the mechanism.
+  explicit MergeSplitMechanism(const ip::AssignmentSolver& solver,
+                               MergeSplitConfig config = {});
+
+  [[nodiscard]] MergeSplitResult run(const ip::AssignmentInstance& inst,
+                                     const trust::TrustGraph& trust) const;
+
+  [[nodiscard]] std::string name() const { return "MSVOF"; }
+  [[nodiscard]] const MergeSplitConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  const ip::AssignmentSolver& solver_;
+  MergeSplitConfig config_;
+};
+
+}  // namespace svo::core

@@ -1,0 +1,15 @@
+#include "core/rvof.hpp"
+
+namespace svo::core {
+
+RvofMechanism::RvofMechanism(const ip::AssignmentSolver& solver,
+                             MechanismConfig config)
+    : VoFormationMechanism(solver, config) {}
+
+std::size_t RvofMechanism::choose_removal(
+    const trust::TrustGraph& /*trust*/, const std::vector<std::size_t>& members,
+    const std::vector<double>& /*scores*/, util::Xoshiro256& rng) const {
+  return rng.index(members.size());
+}
+
+}  // namespace svo::core

@@ -1,0 +1,25 @@
+/// \file rvof.hpp
+/// RVOF — the paper's baseline (Section IV-B): the same formation loop as
+/// TVOF but with reputation-blind, uniformly random removal.
+#pragma once
+
+#include "core/mechanism.hpp"
+
+namespace svo::core {
+
+/// Random VO Formation. Identical solver, identical selection rule —
+/// isolating exactly the contribution of reputation-guided removal, as
+/// the paper's experimental design intends.
+class RvofMechanism final : public VoFormationMechanism {
+ public:
+  explicit RvofMechanism(const ip::AssignmentSolver& solver,
+                         MechanismConfig config = {});
+  [[nodiscard]] std::string name() const override { return "RVOF"; }
+
+ protected:
+  [[nodiscard]] std::size_t choose_removal(
+      const trust::TrustGraph& trust, const std::vector<std::size_t>& members,
+      const std::vector<double>& scores, util::Xoshiro256& rng) const override;
+};
+
+}  // namespace svo::core

@@ -1,0 +1,30 @@
+#include "core/tvof.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace svo::core {
+
+TvofMechanism::TvofMechanism(const ip::AssignmentSolver& solver,
+                             MechanismConfig config)
+    : VoFormationMechanism(solver, config) {}
+
+std::size_t TvofMechanism::choose_removal(
+    const trust::TrustGraph& /*trust*/,
+    const std::vector<std::size_t>& members, const std::vector<double>& scores,
+    util::Xoshiro256& rng) const {
+  detail::require(members.size() == scores.size(),
+                  "TvofMechanism: scores arity mismatch");
+  // Lowest reputation; ties (within an absolute tolerance) are broken
+  // uniformly at random, as Algorithm 1 specifies.
+  constexpr double kTieTol = 1e-12;
+  double lowest = std::numeric_limits<double>::infinity();
+  for (const double s : scores) lowest = std::min(lowest, s);
+  std::vector<std::size_t> ties;
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    if (scores[i] <= lowest + kTieTol) ties.push_back(i);
+  }
+  return ties[ties.size() == 1 ? 0 : rng.index(ties.size())];
+}
+
+}  // namespace svo::core

@@ -1,0 +1,27 @@
+/// \file tvof.hpp
+/// TVOF — the paper's Trust-based VO Formation mechanism (Algorithm 1).
+#pragma once
+
+#include "core/mechanism.hpp"
+
+namespace svo::core {
+
+/// Removes, each iteration, the GSP with the lowest reputation as
+/// recomputed on the current VO's induced trust subgraph; ties are broken
+/// uniformly at random (Algorithm 1, line 11). Theorems 1 and 2 of the
+/// paper (individual stability, Pareto optimality within L) apply to the
+/// VO this mechanism returns; both are re-verified empirically by the
+/// test suite.
+class TvofMechanism final : public VoFormationMechanism {
+ public:
+  explicit TvofMechanism(const ip::AssignmentSolver& solver,
+                         MechanismConfig config = {});
+  [[nodiscard]] std::string name() const override { return "TVOF"; }
+
+ protected:
+  [[nodiscard]] std::size_t choose_removal(
+      const trust::TrustGraph& trust, const std::vector<std::size_t>& members,
+      const std::vector<double>& scores, util::Xoshiro256& rng) const override;
+};
+
+}  // namespace svo::core

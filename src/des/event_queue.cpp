@@ -1,0 +1,41 @@
+#include "des/event_queue.hpp"
+
+#include <limits>
+#include <utility>
+
+namespace svo::des {
+
+void Simulator::schedule(double delay, EventFn fn) {
+  detail::require(delay >= 0.0, "Simulator::schedule: negative delay");
+  schedule_at(now_ + delay, std::move(fn));
+}
+
+void Simulator::schedule_at(double time, EventFn fn) {
+  detail::require(time >= now_, "Simulator::schedule_at: time in the past");
+  detail::require(static_cast<bool>(fn), "Simulator::schedule_at: empty event");
+  queue_.push(Entry{time, next_seq_++, std::move(fn)});
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  // Copy out before pop: the handler may schedule new events.
+  Entry e = queue_.top();
+  queue_.pop();
+  now_ = e.time;
+  e.fn();
+  return true;
+}
+
+std::size_t Simulator::run(double until) {
+  std::size_t executed = 0;
+  while (!queue_.empty() && queue_.top().time <= until) {
+    (void)step();
+    ++executed;
+  }
+  if (now_ < until && until != std::numeric_limits<double>::infinity()) {
+    now_ = until;  // idle advance to the horizon (events beyond it wait)
+  }
+  return executed;
+}
+
+}  // namespace svo::des

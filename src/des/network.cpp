@@ -1,0 +1,33 @@
+#include "des/network.hpp"
+
+namespace svo::des {
+
+Network::Network(Simulator& sim, std::size_t nodes, LatencyModel latency,
+                 std::uint64_t seed)
+    : sim_(sim), handlers_(nodes), latency_(latency), rng_(seed) {
+  detail::require(nodes > 0, "Network: need at least one node");
+  detail::require(latency.base_seconds >= 0.0 && latency.jitter >= 0.0 &&
+                      latency.bytes_per_second >= 0.0,
+                  "Network: negative latency parameters");
+}
+
+void Network::set_handler(std::size_t node, Handler handler) {
+  detail::require(node < handlers_.size(), "Network: node out of range");
+  handlers_[node] = std::move(handler);
+}
+
+void Network::send(Message message) {
+  detail::require(message.from < handlers_.size() &&
+                      message.to < handlers_.size(),
+                  "Network::send: endpoint out of range");
+  ++messages_;
+  bytes_ += message.bytes;
+  const double delay = latency_.sample(message.bytes, rng_);
+  sim_.schedule(delay, [this, msg = std::move(message)]() {
+    detail::require(static_cast<bool>(handlers_[msg.to]),
+                    "Network: message delivered to node without handler");
+    handlers_[msg.to](msg);
+  });
+}
+
+}  // namespace svo::des

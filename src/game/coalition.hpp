@@ -1,0 +1,104 @@
+/// \file coalition.hpp
+/// Coalitions (VOs) as bitsets over at most 64 players. The paper uses
+/// m = 16 GSPs; a word-sized mask gives O(1) set algebra and a dense key
+/// for characteristic-function memoization.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <initializer_list>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace svo::game {
+
+/// Immutable coalition value type.
+class Coalition {
+ public:
+  static constexpr std::size_t kMaxPlayers = 64;
+
+  /// Empty coalition.
+  constexpr Coalition() noexcept : bits_(0) {}
+
+  /// From a raw bitmask.
+  explicit constexpr Coalition(std::uint64_t bits) noexcept : bits_(bits) {}
+
+  /// Grand coalition over m players. Requires m <= 64.
+  static Coalition all(std::size_t m) {
+    detail::require(m <= kMaxPlayers, "Coalition: more than 64 players");
+    return Coalition(m == kMaxPlayers ? ~std::uint64_t{0}
+                                      : (std::uint64_t{1} << m) - 1);
+  }
+
+  /// From an explicit member list.
+  static Coalition of(std::initializer_list<std::size_t> members) {
+    std::uint64_t b = 0;
+    for (const std::size_t i : members) {
+      detail::require(i < kMaxPlayers, "Coalition: player index >= 64");
+      b |= std::uint64_t{1} << i;
+    }
+    return Coalition(b);
+  }
+
+  [[nodiscard]] constexpr std::uint64_t bits() const noexcept { return bits_; }
+  [[nodiscard]] constexpr bool empty() const noexcept { return bits_ == 0; }
+  [[nodiscard]] constexpr std::size_t size() const noexcept {
+    return static_cast<std::size_t>(std::popcount(bits_));
+  }
+  [[nodiscard]] constexpr bool contains(std::size_t i) const noexcept {
+    return i < kMaxPlayers && (bits_ >> i) & 1U;
+  }
+  /// This coalition plus player i.
+  [[nodiscard]] Coalition with(std::size_t i) const {
+    detail::require(i < kMaxPlayers, "Coalition: player index >= 64");
+    return Coalition(bits_ | (std::uint64_t{1} << i));
+  }
+  /// This coalition minus player i.
+  [[nodiscard]] Coalition without(std::size_t i) const {
+    detail::require(i < kMaxPlayers, "Coalition: player index >= 64");
+    return Coalition(bits_ & ~(std::uint64_t{1} << i));
+  }
+  /// Set operations.
+  [[nodiscard]] constexpr Coalition unite(Coalition o) const noexcept {
+    return Coalition(bits_ | o.bits_);
+  }
+  [[nodiscard]] constexpr Coalition intersect(Coalition o) const noexcept {
+    return Coalition(bits_ & o.bits_);
+  }
+  [[nodiscard]] constexpr bool is_subset_of(Coalition o) const noexcept {
+    return (bits_ & o.bits_) == bits_;
+  }
+
+  /// Member indices in increasing order.
+  [[nodiscard]] std::vector<std::size_t> members() const {
+    std::vector<std::size_t> out;
+    out.reserve(size());
+    std::uint64_t b = bits_;
+    while (b != 0) {
+      out.push_back(static_cast<std::size_t>(std::countr_zero(b)));
+      b &= b - 1;
+    }
+    return out;
+  }
+
+  /// Membership mask as vector<bool> of length m (for matrix restriction).
+  [[nodiscard]] std::vector<bool> mask(std::size_t m) const {
+    detail::require(m <= kMaxPlayers, "Coalition: more than 64 players");
+    std::vector<bool> keep(m, false);
+    for (std::size_t i = 0; i < m; ++i) keep[i] = contains(i);
+    return keep;
+  }
+
+  friend constexpr bool operator==(Coalition a, Coalition b) noexcept {
+    return a.bits_ == b.bits_;
+  }
+  friend constexpr bool operator!=(Coalition a, Coalition b) noexcept {
+    return a.bits_ != b.bits_;
+  }
+
+ private:
+  std::uint64_t bits_;
+};
+
+}  // namespace svo::game

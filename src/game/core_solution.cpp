@@ -1,0 +1,77 @@
+#include "game/core_solution.hpp"
+
+#include <cmath>
+
+#include "lp/simplex.hpp"
+
+namespace svo::game {
+
+namespace {
+
+double coalition_sum(const std::vector<double>& psi, Coalition c) {
+  double acc = 0.0;
+  for (const std::size_t i : c.members()) acc += psi[i];
+  return acc;
+}
+
+}  // namespace
+
+bool is_imputation(const std::vector<double>& psi, const ValueOracle& v,
+                   double tol) {
+  const std::size_t m = psi.size();
+  detail::require(m > 0 && m <= 20, "is_imputation: m must be in [1,20]");
+  for (std::size_t i = 0; i < m; ++i) {
+    if (psi[i] < v(Coalition::of({i})) - tol) return false;
+  }
+  const Coalition grand = Coalition::all(m);
+  return std::abs(coalition_sum(psi, grand) - v(grand)) <= tol;
+}
+
+bool in_core(const std::vector<double>& psi, const ValueOracle& v,
+             double tol) {
+  const std::size_t m = psi.size();
+  detail::require(m > 0 && m <= 20, "in_core: m must be in [1,20]");
+  const Coalition grand = Coalition::all(m);
+  if (std::abs(coalition_sum(psi, grand) - v(grand)) > tol) return false;
+  for (std::uint64_t s = 1; s <= grand.bits(); ++s) {
+    const Coalition c(s);
+    if (coalition_sum(psi, c) < v(c) - tol) return false;
+    if (s == grand.bits()) break;
+  }
+  return true;
+}
+
+std::optional<std::vector<double>> find_core_imputation(std::size_t m,
+                                                        const ValueOracle& v) {
+  detail::require(m > 0 && m <= 16, "find_core_imputation: m must be in [1,16]");
+  const Coalition grand = Coalition::all(m);
+  // Feasibility LP over psi >= 0 is not general enough: core payoffs may
+  // be negative in arbitrary games. Shift variables by a constant K so
+  // psi_i = y_i - K with y_i >= 0; K chosen from the value scale.
+  double scale = std::abs(v(grand));
+  for (std::size_t i = 0; i < m; ++i) {
+    scale = std::max(scale, std::abs(v(Coalition::of({i}))));
+  }
+  const double shift = scale + 1.0;
+
+  lp::Problem p(m);
+  // Objective 0 (pure feasibility).
+  // Efficiency: sum (y_i - K) == v(G)  ->  sum y_i == v(G) + m*K.
+  p.add_constraint(std::vector<double>(m, 1.0), lp::Sense::Equal,
+                   v(grand) + static_cast<double>(m) * shift);
+  // Coalition rationality rows.
+  for (std::uint64_t s = 1; s < grand.bits(); ++s) {
+    const Coalition c(s);
+    std::vector<double> row(m, 0.0);
+    for (const std::size_t i : c.members()) row[i] = 1.0;
+    p.add_constraint(std::move(row), lp::Sense::GreaterEqual,
+                     v(c) + static_cast<double>(c.size()) * shift);
+  }
+  const lp::Solution sol = lp::solve(p);
+  if (sol.status != lp::SolveStatus::Optimal) return std::nullopt;
+  std::vector<double> psi(m);
+  for (std::size_t i = 0; i < m; ++i) psi[i] = sol.x[i] - shift;
+  return psi;
+}
+
+}  // namespace svo::game

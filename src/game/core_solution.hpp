@@ -1,0 +1,35 @@
+/// \file core_solution.hpp
+/// Classical coalitional-game solution concepts for the VO game:
+/// imputations, the core, and a constructive core-membership LP. The
+/// paper (Section II-C, citing the authors' earlier merge-and-split
+/// work [25]) notes the core of the VO game can be empty — the
+/// example `core_emptiness` and the tests demonstrate both cases.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "game/payoff.hpp"
+
+namespace svo::game {
+
+/// True iff `psi` is an imputation of the m-player game `v`:
+/// psi_i >= v({i}) for all i (individual rationality) and
+/// sum psi_i == v(grand coalition) (efficiency), within `tol`.
+[[nodiscard]] bool is_imputation(const std::vector<double>& psi,
+                                 const ValueOracle& v, double tol = 1e-6);
+
+/// True iff `psi` lies in the core: efficiency plus
+/// sum_{i in S} psi_i >= v(S) for every coalition S. Enumerates all 2^m
+/// subsets — m <= 20 enforced.
+[[nodiscard]] bool in_core(const std::vector<double>& psi,
+                           const ValueOracle& v, double tol = 1e-6);
+
+/// Find a core imputation by LP (variables psi_i, one >=-row per
+/// coalition, efficiency as equality; feasibility problem solved with
+/// the svo::lp simplex). Returns nullopt iff the core is empty.
+/// m <= 16 enforced (2^m LP rows).
+[[nodiscard]] std::optional<std::vector<double>> find_core_imputation(
+    std::size_t m, const ValueOracle& v);
+
+}  // namespace svo::game

@@ -1,0 +1,41 @@
+#include "game/pareto.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace svo::game {
+
+bool dominates(const BicriteriaPoint& a, const BicriteriaPoint& b) noexcept {
+  const bool ge = a.payoff >= b.payoff && a.reputation >= b.reputation;
+  const bool gt = a.payoff > b.payoff || a.reputation > b.reputation;
+  return ge && gt;
+}
+
+std::vector<std::size_t> pareto_front(
+    const std::vector<BicriteriaPoint>& points) {
+  // Candidate sets in this project are tiny (the |L| <= m VOs a mechanism
+  // explores), so the O(n^2) definition-based filter is the right tool:
+  // no sweep-order subtleties around duplicate points.
+  std::vector<std::size_t> front;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    bool dominated = false;
+    for (std::size_t j = 0; j < points.size() && !dominated; ++j) {
+      dominated = (j != i) && dominates(points[j], points[i]);
+    }
+    if (!dominated) front.push_back(i);
+  }
+  return front;
+}
+
+bool is_pareto_optimal(const std::vector<BicriteriaPoint>& points,
+                       std::size_t index) {
+  detail::require(index < points.size(), "is_pareto_optimal: index range");
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (i != index && dominates(points[i], points[index])) return false;
+  }
+  return true;
+}
+
+}  // namespace svo::game

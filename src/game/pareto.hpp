@@ -1,0 +1,35 @@
+/// \file pareto.hpp
+/// Bicriteria (payoff, reputation) dominance and Pareto-front extraction
+/// for the optimization problem of eqs. (16)-(17). Theorem 2 states TVOF
+/// returns a Pareto-optimal VO; the tests verify it with these helpers.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace svo::game {
+
+/// One candidate solution in (individual payoff, average reputation)
+/// space; `tag` identifies the candidate (e.g. coalition bits).
+struct BicriteriaPoint {
+  double payoff = 0.0;
+  double reputation = 0.0;
+  std::uint64_t tag = 0;
+};
+
+/// Weak Pareto dominance: a dominates b iff a is >= b in both criteria
+/// and > in at least one.
+[[nodiscard]] bool dominates(const BicriteriaPoint& a,
+                             const BicriteriaPoint& b) noexcept;
+
+/// Indices of the non-dominated points (the Pareto front), in input
+/// order. O(n log n) via a sweep after sorting by payoff.
+[[nodiscard]] std::vector<std::size_t> pareto_front(
+    const std::vector<BicriteriaPoint>& points);
+
+/// True iff points[index] is dominated by no other point.
+[[nodiscard]] bool is_pareto_optimal(const std::vector<BicriteriaPoint>& points,
+                                     std::size_t index);
+
+}  // namespace svo::game

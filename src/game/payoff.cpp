@@ -1,0 +1,46 @@
+#include "game/payoff.hpp"
+
+namespace svo::game {
+
+double equal_share(double coalition_value, std::size_t size) {
+  return size == 0 ? 0.0 : coalition_value / static_cast<double>(size);
+}
+
+std::vector<double> equal_share_vector(Coalition c, double coalition_value,
+                                       std::size_t m) {
+  detail::require(m <= Coalition::kMaxPlayers, "equal_share_vector: m > 64");
+  std::vector<double> psi(m, 0.0);
+  const double share = equal_share(coalition_value, c.size());
+  for (const std::size_t i : c.members()) psi[i] = share;
+  return psi;
+}
+
+std::vector<double> shapley_value(std::size_t m, const ValueOracle& v) {
+  detail::require(m > 0 && m <= 20, "shapley_value: m must be in [1,20]");
+  // Precompute |S|-dependent weights |S|!(m-|S|-1)!/m! iteratively to
+  // avoid factorial overflow: w(s) = s!(m-s-1)!/m!.
+  std::vector<double> weight(m, 0.0);
+  for (std::size_t s = 0; s < m; ++s) {
+    // w(s) = 1 / (m * C(m-1, s)).
+    double binom = 1.0;
+    for (std::size_t j = 1; j <= s; ++j) {
+      binom *= static_cast<double>(m - j) / static_cast<double>(j);
+    }
+    weight[s] = 1.0 / (static_cast<double>(m) * binom);
+  }
+  std::vector<double> phi(m, 0.0);
+  const std::uint64_t full = Coalition::all(m).bits();
+  for (std::uint64_t s = 0; s <= full; ++s) {
+    const Coalition base(s);
+    const double vs = v(base);
+    const std::size_t size = base.size();
+    for (std::size_t i = 0; i < m; ++i) {
+      if (base.contains(i)) continue;
+      phi[i] += weight[size] * (v(base.with(i)) - vs);
+    }
+    if (s == full) break;  // avoid uint64 wrap when m == 64 (guarded anyway)
+  }
+  return phi;
+}
+
+}  // namespace svo::game

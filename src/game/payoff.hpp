@@ -1,0 +1,34 @@
+/// \file payoff.hpp
+/// Payoff division rules. The paper adopts equal sharing (eq. (18)):
+/// every member of coalition C receives psi = v(C)/|C|; the Shapley value
+/// is implemented exactly (O(2^m) with a memoized v) for the payoff-
+/// division ablation on small games.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "game/coalition.hpp"
+
+namespace svo::game {
+
+/// Value oracle signature: v(C) for any coalition of the m players.
+using ValueOracle = std::function<double(Coalition)>;
+
+/// Equal share psi_G(C) = v(C)/|C| (eq. (18)). Empty coalitions share 0.
+[[nodiscard]] double equal_share(double coalition_value, std::size_t size);
+
+/// Equal-share payoff vector over m players: members of `c` get the
+/// share, outsiders 0.
+[[nodiscard]] std::vector<double> equal_share_vector(Coalition c,
+                                                     double coalition_value,
+                                                     std::size_t m);
+
+/// Exact Shapley value of the game (m players, oracle v):
+///   phi_i = sum_{S not containing i} |S|! (m-|S|-1)! / m! * (v(S+i)-v(S)).
+/// Cost: 2^m oracle calls per player without memoization (use a memoized
+/// oracle!). Requires m <= 20 to guard against accidental blowups.
+[[nodiscard]] std::vector<double> shapley_value(std::size_t m,
+                                                const ValueOracle& v);
+
+}  // namespace svo::game

@@ -1,0 +1,68 @@
+#include "game/sampling.hpp"
+
+#include <cmath>
+#include <numeric>
+
+namespace svo::game {
+
+SampledShapley shapley_value_sampled(std::size_t m, const ValueOracle& v,
+                                     std::size_t permutations,
+                                     util::Xoshiro256& rng) {
+  detail::require(m > 0 && m <= Coalition::kMaxPlayers,
+                  "shapley_value_sampled: m must be in [1,64]");
+  detail::require(permutations >= 1,
+                  "shapley_value_sampled: need at least one permutation");
+
+  SampledShapley out;
+  out.permutations = permutations;
+  std::vector<double> sum(m, 0.0);
+  std::vector<double> sum_sq(m, 0.0);
+
+  std::vector<std::size_t> order(m);
+  std::iota(order.begin(), order.end(), 0);
+  for (std::size_t p = 0; p < permutations; ++p) {
+    rng.shuffle(order);
+    Coalition prefix;
+    double prev = v(prefix);  // v(empty) — oracles must handle it
+    for (const std::size_t player : order) {
+      prefix = prefix.with(player);
+      const double curr = v(prefix);
+      const double marginal = curr - prev;
+      sum[player] += marginal;
+      sum_sq[player] += marginal * marginal;
+      prev = curr;
+    }
+  }
+  out.value.resize(m);
+  out.standard_error.resize(m);
+  const double n = static_cast<double>(permutations);
+  for (std::size_t i = 0; i < m; ++i) {
+    out.value[i] = sum[i] / n;
+    const double var =
+        permutations > 1
+            ? std::max(0.0, (sum_sq[i] - sum[i] * sum[i] / n) / (n - 1.0))
+            : 0.0;
+    out.standard_error[i] = std::sqrt(var / n);
+  }
+  return out;
+}
+
+std::vector<double> banzhaf_index(std::size_t m, const ValueOracle& v) {
+  detail::require(m > 0 && m <= 20, "banzhaf_index: m must be in [1,20]");
+  std::vector<double> beta(m, 0.0);
+  const std::uint64_t full = Coalition::all(m).bits();
+  for (std::uint64_t s = 0;; ++s) {
+    const Coalition base(s);
+    const double vs = v(base);
+    for (std::size_t i = 0; i < m; ++i) {
+      if (base.contains(i)) continue;
+      beta[i] += v(base.with(i)) - vs;
+    }
+    if (s == full) break;
+  }
+  const double scale = std::ldexp(1.0, -static_cast<int>(m - 1));  // 2^-(m-1)
+  for (double& b : beta) b *= scale;
+  return beta;
+}
+
+}  // namespace svo::game

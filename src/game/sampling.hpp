@@ -1,0 +1,42 @@
+/// \file sampling.hpp
+/// Approximate and alternative power/payoff indices:
+///  - Monte-Carlo Shapley value (Castro et al.-style permutation
+///    sampling), usable at the paper's m = 16 where the exact O(2^m)
+///    computation needs 65k IP solves;
+///  - exact Banzhaf index, the other classical marginal-contribution
+///    index, for the payoff-division ablation.
+#pragma once
+
+#include <cstdint>
+
+#include "game/payoff.hpp"
+#include "util/rng.hpp"
+
+namespace svo::game {
+
+/// Result of sampled Shapley estimation.
+struct SampledShapley {
+  /// Estimated values, one per player.
+  std::vector<double> value;
+  /// Per-player standard error of the estimate (sigma / sqrt(samples)).
+  std::vector<double> standard_error;
+  /// Permutations drawn.
+  std::size_t permutations = 0;
+};
+
+/// Estimate the Shapley value by sampling `permutations` random player
+/// orders; each permutation contributes one marginal vector. Unbiased;
+/// error shrinks as 1/sqrt(permutations). Requires m in [1, 64] and
+/// permutations >= 1. Deterministic in `rng`.
+[[nodiscard]] SampledShapley shapley_value_sampled(std::size_t m,
+                                                   const ValueOracle& v,
+                                                   std::size_t permutations,
+                                                   util::Xoshiro256& rng);
+
+/// Exact (raw, non-normalized) Banzhaf index:
+///   beta_i = 2^-(m-1) * sum_{S not containing i} (v(S+i) - v(S)).
+/// Requires m in [1, 20] (2^m oracle calls — memoize the oracle).
+[[nodiscard]] std::vector<double> banzhaf_index(std::size_t m,
+                                                const ValueOracle& v);
+
+}  // namespace svo::game

@@ -1,0 +1,28 @@
+#include "game/stability.hpp"
+
+namespace svo::game {
+
+bool weakly_prefers(const BicriteriaPoint& after,
+                    const BicriteriaPoint& before) noexcept {
+  return after.payoff >= before.payoff &&
+         after.reputation >= before.reputation;
+}
+
+std::size_t find_blocking_departure(Coalition c,
+                                    const CoalitionScorer& scorer) {
+  if (c.size() <= 1) return SIZE_MAX;
+  const BicriteriaPoint before = scorer(c);
+  for (const std::size_t i : c.members()) {
+    const BicriteriaPoint after = scorer(c.without(i));
+    // Equal sharing makes all remaining members' comparison identical;
+    // the scorer returns that common point.
+    if (weakly_prefers(after, before)) return i;
+  }
+  return SIZE_MAX;
+}
+
+bool individually_stable(Coalition c, const CoalitionScorer& scorer) {
+  return find_blocking_departure(c, scorer) == SIZE_MAX;
+}
+
+}  // namespace svo::game

@@ -1,0 +1,44 @@
+/// \file stability.hpp
+/// Individual stability (paper Definition 1): a VO C is individually
+/// stable if no member G_i can leave C without making at least one
+/// remaining member worse off under the bicriteria preference
+/// (individual payoff, average reputation).
+///
+/// With equal sharing every member of a VO has the same payoff, so the
+/// member preference comparison between C and C \ {G_i} reduces to one
+/// comparison of the two VOs' (share, average-reputation) points; we keep
+/// the per-member formulation in the API for clarity and future payoff
+/// rules.
+#pragma once
+
+#include <functional>
+
+#include "game/coalition.hpp"
+#include "game/pareto.hpp"
+
+namespace svo::game {
+
+/// Evaluates a coalition to its bicriteria point (payoff share of each
+/// member, average reputation). Implementations typically combine a
+/// VoValueFunction with a reputation metric.
+using CoalitionScorer = std::function<BicriteriaPoint(Coalition)>;
+
+/// Weak preference of a (remaining) member between staying in `before`
+/// and moving to `after`: after >= before iff `after` is at least as good
+/// in both payoff and reputation.
+[[nodiscard]] bool weakly_prefers(const BicriteriaPoint& after,
+                                  const BicriteriaPoint& before) noexcept;
+
+/// Definition 1 check: returns true iff there is NO member G_i of `c`
+/// whose departure leaves every remaining member weakly better off
+/// (i.e. C\{G_i} >=_j C for all j in C\{G_i}).
+/// Singleton and empty coalitions are trivially stable.
+[[nodiscard]] bool individually_stable(Coalition c,
+                                       const CoalitionScorer& scorer);
+
+/// If unstable, returns the index of a member whose removal every
+/// remaining member weakly prefers; SIZE_MAX when stable.
+[[nodiscard]] std::size_t find_blocking_departure(Coalition c,
+                                                  const CoalitionScorer& scorer);
+
+}  // namespace svo::game

@@ -1,0 +1,65 @@
+#include "game/structure.hpp"
+
+#include <bit>
+#include <limits>
+#include <vector>
+
+namespace svo::game {
+
+OptimalStructure optimal_coalition_structure(std::size_t m,
+                                             const ValueOracle& v) {
+  detail::require(m > 0 && m <= 16,
+                  "optimal_coalition_structure: m must be in [1,16]");
+  const std::uint64_t full = Coalition::all(m).bits();
+  const std::size_t n_subsets = static_cast<std::size_t>(full) + 1;
+
+  // Cache v over all subsets once (the DP touches each v(T) many times).
+  std::vector<double> value(n_subsets, 0.0);
+  for (std::uint64_t s = 1; s <= full; ++s) {
+    value[s] = v(Coalition(s));
+  }
+
+  std::vector<double> best(n_subsets, 0.0);
+  std::vector<std::uint64_t> choice(n_subsets, 0);
+  for (std::uint64_t s = 1; s <= full; ++s) {
+    // Anchor the lowest set bit of s into the chosen block T so every
+    // partition is enumerated exactly once.
+    const std::uint64_t anchor = s & (~s + 1);
+    const std::uint64_t rest = s ^ anchor;
+    double bs = -std::numeric_limits<double>::infinity();
+    std::uint64_t bc = 0;
+    // Enumerate T = anchor | sub for every subset `sub` of `rest`.
+    std::uint64_t sub = rest;
+    for (;;) {
+      const std::uint64_t t = anchor | sub;
+      const double candidate = value[t] + best[s ^ t];
+      if (candidate > bs) {
+        bs = candidate;
+        bc = t;
+      }
+      if (sub == 0) break;
+      sub = (sub - 1) & rest;
+    }
+    best[s] = bs;
+    choice[s] = bc;
+  }
+
+  OptimalStructure out;
+  out.total_value = best[full];
+  out.evaluations = static_cast<std::size_t>(full);
+  std::uint64_t s = full;
+  while (s != 0) {
+    out.partition.emplace_back(choice[s]);
+    s ^= choice[s];
+  }
+  return out;
+}
+
+double structure_value(const std::vector<Coalition>& partition,
+                       const ValueOracle& v) {
+  double acc = 0.0;
+  for (const Coalition c : partition) acc += v(c);
+  return acc;
+}
+
+}  // namespace svo::game

@@ -1,0 +1,41 @@
+#include "game/value_function.hpp"
+
+namespace svo::game {
+
+VoValueFunction::VoValueFunction(const ip::AssignmentInstance& inst,
+                                 const ip::AssignmentSolver& solver)
+    : inst_(inst), solver_(solver) {
+  inst_.validate();
+  detail::require(inst_.num_gsps() <= Coalition::kMaxPlayers,
+                  "VoValueFunction: more than 64 GSPs");
+}
+
+const CoalitionEvaluation& VoValueFunction::evaluate(Coalition c) const {
+  const auto it = cache_.find(c.bits());
+  if (it != cache_.end()) return it->second;
+
+  CoalitionEvaluation eval;
+  if (!c.empty()) {
+    detail::require(Coalition::all(inst_.num_gsps()).bits() ==
+                        (c.bits() | Coalition::all(inst_.num_gsps()).bits()),
+                    "VoValueFunction: coalition has players outside the game");
+    std::vector<std::size_t> original;
+    const ip::AssignmentInstance sub =
+        inst_.restrict_to(c.mask(inst_.num_gsps()), &original);
+    const ip::AssignmentSolution sol = solver_.solve(sub);
+    eval.solver_status = sol.status;
+    eval.solver_nodes = sol.nodes_explored;
+    if (sol.has_assignment()) {
+      eval.feasible = true;
+      eval.cost = sol.cost;
+      eval.value = inst_.payment - sol.cost;  // eq. (15)
+      eval.mapping.resize(sol.assignment.size());
+      for (std::size_t t = 0; t < sol.assignment.size(); ++t) {
+        eval.mapping[t] = original[sol.assignment[t]];
+      }
+    }
+  }
+  return cache_.emplace(c.bits(), std::move(eval)).first->second;
+}
+
+}  // namespace svo::game

@@ -1,0 +1,69 @@
+/// \file value_function.hpp
+/// The VO formation game's characteristic function, eq. (15):
+///
+///   v(C) = 0                 if C is empty or the IP is infeasible,
+///   v(C) = P - C(T, C)       otherwise,
+///
+/// where C(T, C) is the optimal (or best-found) assignment cost of the
+/// program on coalition C. Evaluations are memoized per coalition mask,
+/// so a mechanism run and subsequent game-theoretic analysis (stability,
+/// Shapley, core) never solve the same IP twice.
+#pragma once
+
+#include <cstddef>
+#include <unordered_map>
+
+#include "game/coalition.hpp"
+#include "ip/assignment.hpp"
+
+namespace svo::game {
+
+/// One memoized coalition evaluation.
+struct CoalitionEvaluation {
+  /// Whether the solver produced a constraint-satisfying mapping.
+  bool feasible = false;
+  /// v(C) per eq. (15); 0 when infeasible.
+  double value = 0.0;
+  /// C(T, C): total assignment cost (meaningful only when feasible).
+  double cost = 0.0;
+  /// Task -> *original* GSP index mapping (empty when infeasible).
+  ip::Assignment mapping;
+  /// Raw solver status (Optimal / Feasible / Infeasible / Unknown).
+  ip::AssignStatus solver_status = ip::AssignStatus::Unknown;
+  std::size_t solver_nodes = 0;
+};
+
+/// Memoizing characteristic function. Holds references to the instance
+/// and solver; both must outlive this object.
+class VoValueFunction {
+ public:
+  /// `inst` covers all m GSPs; coalitions restrict it by row.
+  VoValueFunction(const ip::AssignmentInstance& inst,
+                  const ip::AssignmentSolver& solver);
+
+  /// Number of players (GSPs) in the underlying instance.
+  [[nodiscard]] std::size_t num_players() const noexcept {
+    return inst_.num_gsps();
+  }
+
+  /// Full evaluation of coalition `c` (memoized). An Unknown solver
+  /// outcome is treated as infeasible for game semantics — both
+  /// mechanisms see the identical solver, so comparisons stay fair
+  /// (DESIGN.md §4.4). Throws InvalidArgument if `c` exceeds m players.
+  const CoalitionEvaluation& evaluate(Coalition c) const;
+
+  /// v(C) shortcut.
+  [[nodiscard]] double value(Coalition c) const { return evaluate(c).value; }
+
+  /// Number of distinct coalitions evaluated so far.
+  [[nodiscard]] std::size_t evaluations() const noexcept {
+    return cache_.size();
+  }
+
+ private:
+  const ip::AssignmentInstance& inst_;
+  const ip::AssignmentSolver& solver_;
+  mutable std::unordered_map<std::uint64_t, CoalitionEvaluation> cache_;
+};
+
+}  // namespace svo::game

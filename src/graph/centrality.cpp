@@ -1,0 +1,131 @@
+#include "graph/centrality.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+namespace svo::graph {
+
+namespace {
+
+/// Normalize to sum 1; uniform on all-zero input. Empty input unchanged.
+std::vector<double> normalized_or_uniform(std::vector<double> v) {
+  if (v.empty()) return v;
+  if (!linalg::normalize_l1(v)) {
+    std::fill(v.begin(), v.end(), 1.0 / static_cast<double>(v.size()));
+  }
+  return v;
+}
+
+/// Dijkstra over distances 1/weight from `source`; returns distance vector
+/// (infinity when unreachable) and, when sigma/pred are non-null, the
+/// shortest-path counts and predecessor lists Brandes' algorithm needs,
+/// plus the settle order in `order`.
+void dijkstra(const Digraph& g, std::size_t source, std::vector<double>& dist,
+              std::vector<double>* sigma,
+              std::vector<std::vector<std::size_t>>* pred,
+              std::vector<std::size_t>* order) {
+  const std::size_t n = g.vertex_count();
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  dist.assign(n, kInf);
+  if (sigma != nullptr) sigma->assign(n, 0.0);
+  if (pred != nullptr) pred->assign(n, {});
+  if (order != nullptr) order->clear();
+  dist[source] = 0.0;
+  if (sigma != nullptr) (*sigma)[source] = 1.0;
+
+  using Item = std::pair<double, std::size_t>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  heap.push({0.0, source});
+  std::vector<bool> settled(n, false);
+  while (!heap.empty()) {
+    const auto [d, v] = heap.top();
+    heap.pop();
+    if (settled[v]) continue;
+    settled[v] = true;
+    if (order != nullptr) order->push_back(v);
+    for (const auto& e : g.out_edges(v)) {
+      if (e.weight <= 0.0) continue;
+      const double nd = d + 1.0 / e.weight;
+      constexpr double kTol = 1e-12;
+      if (nd < dist[e.to] - kTol) {
+        dist[e.to] = nd;
+        heap.push({nd, e.to});
+        if (sigma != nullptr) {
+          (*sigma)[e.to] = (*sigma)[v];
+          (*pred)[e.to].assign(1, v);
+        }
+      } else if (sigma != nullptr && std::abs(nd - dist[e.to]) <= kTol) {
+        (*sigma)[e.to] += (*sigma)[v];
+        (*pred)[e.to].push_back(v);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<double> degree_centrality(const Digraph& g) {
+  const std::size_t n = g.vertex_count();
+  std::vector<double> c(n, 0.0);
+  for (std::size_t v = 0; v < n; ++v) {
+    for (const auto& e : g.out_edges(v)) c[e.to] += e.weight;
+  }
+  return normalized_or_uniform(std::move(c));
+}
+
+std::vector<double> closeness_centrality(const Digraph& g) {
+  const std::size_t n = g.vertex_count();
+  std::vector<double> c(n, 0.0);
+  std::vector<double> dist;
+  // Harmonic closeness of v over incoming paths = sum over sources s != v
+  // of 1 / d(s, v); a single forward Dijkstra per source covers all targets.
+  for (std::size_t s = 0; s < n; ++s) {
+    dijkstra(g, s, dist, nullptr, nullptr, nullptr);
+    for (std::size_t v = 0; v < n; ++v) {
+      if (v != s && std::isfinite(dist[v]) && dist[v] > 0.0) {
+        c[v] += 1.0 / dist[v];
+      }
+    }
+  }
+  return normalized_or_uniform(std::move(c));
+}
+
+std::vector<double> betweenness_centrality(const Digraph& g) {
+  const std::size_t n = g.vertex_count();
+  std::vector<double> bc(n, 0.0);
+  std::vector<double> dist;
+  std::vector<double> sigma;
+  std::vector<std::vector<std::size_t>> pred;
+  std::vector<std::size_t> order;
+  std::vector<double> delta(n, 0.0);
+  for (std::size_t s = 0; s < n; ++s) {
+    dijkstra(g, s, dist, &sigma, &pred, &order);
+    std::fill(delta.begin(), delta.end(), 0.0);
+    // Accumulate dependencies in reverse settle order (Brandes).
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+      const std::size_t w = *it;
+      for (const std::size_t v : pred[w]) {
+        delta[v] += sigma[v] / sigma[w] * (1.0 + delta[w]);
+      }
+      if (w != s) bc[w] += delta[w];
+    }
+  }
+  return normalized_or_uniform(std::move(bc));
+}
+
+std::vector<double> eigenvector_centrality(
+    const Digraph& g, const linalg::PowerMethodOptions& opts) {
+  const std::size_t n = g.vertex_count();
+  linalg::Matrix a = g.adjacency_matrix();
+  // Row-normalize (paper eq. (1)); zero rows stay zero and are handled as
+  // dangling by the power method.
+  for (std::size_t i = 0; i < n; ++i) {
+    auto row = a.row(i);
+    (void)linalg::normalize_l1(row);
+  }
+  return power_method(a, opts).eigenvector;
+}
+
+}  // namespace svo::graph

@@ -1,0 +1,37 @@
+/// \file centrality.hpp
+/// Graph centrality measures. The paper's reputation metric is eigenvector
+/// centrality of the normalized trust matrix (Section II-B cites [5]-[8],
+/// [19], [20]); degree, closeness and betweenness centrality are provided
+/// as alternative removal rules for the ablation study
+/// (bench_ablation_centrality).
+#pragma once
+
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "linalg/power_method.hpp"
+
+namespace svo::graph {
+
+/// Weighted in-degree centrality, L1-normalized to sum 1 over vertices
+/// (all-zero graphs yield the uniform vector). "Being trusted by many"
+/// without trust propagation.
+[[nodiscard]] std::vector<double> degree_centrality(const Digraph& g);
+
+/// Closeness centrality on shortest paths with distance 1/weight (higher
+/// trust = shorter distance), computed over *incoming* paths so that, like
+/// the other measures here, it rewards being trusted. Unreachable pairs
+/// contribute zero (harmonic variant: sum of 1/d). L1-normalized.
+[[nodiscard]] std::vector<double> closeness_centrality(const Digraph& g);
+
+/// Betweenness centrality (Brandes' algorithm) on the same 1/weight
+/// distances. L1-normalized; all-zero results become uniform.
+[[nodiscard]] std::vector<double> betweenness_centrality(const Digraph& g);
+
+/// Eigenvector centrality of the row-normalized adjacency matrix — the
+/// paper's reputation measure. Thin wrapper over linalg::power_method with
+/// the trust normalization of eq. (1) applied first.
+[[nodiscard]] std::vector<double> eigenvector_centrality(
+    const Digraph& g, const linalg::PowerMethodOptions& opts = {});
+
+}  // namespace svo::graph

@@ -1,0 +1,119 @@
+#include "graph/digraph.hpp"
+
+#include <algorithm>
+
+namespace svo::graph {
+
+void Digraph::check_vertex(std::size_t v) const {
+  detail::require(v < adjacency_.size(), "Digraph: vertex out of range");
+}
+
+void Digraph::set_edge(std::size_t from, std::size_t to, double weight) {
+  check_vertex(from);
+  check_vertex(to);
+  detail::require(weight >= 0.0, "Digraph::set_edge: negative weight");
+  for (auto& e : adjacency_[from]) {
+    if (e.to == to) {
+      e.weight = weight;
+      return;
+    }
+  }
+  adjacency_[from].push_back(Edge{to, weight});
+  ++edges_;
+}
+
+bool Digraph::remove_edge(std::size_t from, std::size_t to) {
+  check_vertex(from);
+  check_vertex(to);
+  auto& out = adjacency_[from];
+  const auto it = std::find_if(out.begin(), out.end(),
+                               [to](const Edge& e) { return e.to == to; });
+  if (it == out.end()) return false;
+  out.erase(it);
+  --edges_;
+  return true;
+}
+
+std::optional<double> Digraph::edge_weight(std::size_t from,
+                                           std::size_t to) const {
+  check_vertex(from);
+  check_vertex(to);
+  for (const auto& e : adjacency_[from]) {
+    if (e.to == to) return e.weight;
+  }
+  return std::nullopt;
+}
+
+const std::vector<Edge>& Digraph::out_edges(std::size_t v) const {
+  check_vertex(v);
+  return adjacency_[v];
+}
+
+std::size_t Digraph::out_degree(std::size_t v) const {
+  check_vertex(v);
+  return adjacency_[v].size();
+}
+
+double Digraph::out_weight(std::size_t v) const {
+  check_vertex(v);
+  double acc = 0.0;
+  for (const auto& e : adjacency_[v]) acc += e.weight;
+  return acc;
+}
+
+std::size_t Digraph::in_degree(std::size_t v) const {
+  check_vertex(v);
+  std::size_t deg = 0;
+  for (const auto& out : adjacency_) {
+    for (const auto& e : out) {
+      if (e.to == v) ++deg;
+    }
+  }
+  return deg;
+}
+
+double Digraph::in_weight(std::size_t v) const {
+  check_vertex(v);
+  double acc = 0.0;
+  for (const auto& out : adjacency_) {
+    for (const auto& e : out) {
+      if (e.to == v) acc += e.weight;
+    }
+  }
+  return acc;
+}
+
+linalg::Matrix Digraph::adjacency_matrix() const {
+  const std::size_t n = vertex_count();
+  linalg::Matrix m(n, n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (const auto& e : adjacency_[i]) m(i, e.to) = e.weight;
+  }
+  return m;
+}
+
+Digraph Digraph::induced_subgraph(const std::vector<bool>& keep,
+                                  std::vector<std::size_t>* original_ids) const {
+  if (keep.size() != vertex_count()) {
+    throw DimensionMismatch("Digraph::induced_subgraph: keep.size() != n");
+  }
+  std::vector<std::size_t> new_id(vertex_count(), SIZE_MAX);
+  std::vector<std::size_t> old_id;
+  for (std::size_t v = 0; v < vertex_count(); ++v) {
+    if (keep[v]) {
+      new_id[v] = old_id.size();
+      old_id.push_back(v);
+    }
+  }
+  Digraph sub(old_id.size());
+  for (std::size_t v = 0; v < vertex_count(); ++v) {
+    if (!keep[v]) continue;
+    for (const auto& e : adjacency_[v]) {
+      if (keep[e.to]) sub.set_edge(new_id[v], new_id[e.to], e.weight);
+    }
+  }
+  if (original_ids != nullptr) *original_ids = std::move(old_id);
+  return sub;
+}
+
+}  // namespace svo::graph

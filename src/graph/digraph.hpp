@@ -1,0 +1,73 @@
+/// \file digraph.hpp
+/// Weighted directed graph. Vertices are dense indices [0, n); each edge
+/// (i, j, w) carries a non-negative weight. This is the representation
+/// under the paper's trust graph (G, E) with weights u_ij.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace svo::graph {
+
+/// One outgoing edge.
+struct Edge {
+  std::size_t to = 0;
+  double weight = 0.0;
+};
+
+/// Weighted digraph over dense vertex ids with O(1) amortized edge
+/// insertion and O(out-degree) neighbor iteration.
+class Digraph {
+ public:
+  /// Graph with n isolated vertices.
+  explicit Digraph(std::size_t n = 0) : adjacency_(n) {}
+
+  [[nodiscard]] std::size_t vertex_count() const noexcept {
+    return adjacency_.size();
+  }
+  [[nodiscard]] std::size_t edge_count() const noexcept { return edges_; }
+
+  /// Add or overwrite edge (from -> to) with `weight` >= 0.
+  /// Self-loops are allowed but the generators never create them.
+  /// Throws InvalidArgument on out-of-range vertices or negative weight.
+  void set_edge(std::size_t from, std::size_t to, double weight);
+
+  /// Remove edge (from -> to) if present; returns whether it existed.
+  bool remove_edge(std::size_t from, std::size_t to);
+
+  /// Weight of (from -> to), or nullopt when absent.
+  [[nodiscard]] std::optional<double> edge_weight(std::size_t from,
+                                                  std::size_t to) const;
+
+  /// Outgoing edges of a vertex.
+  [[nodiscard]] const std::vector<Edge>& out_edges(std::size_t v) const;
+
+  /// Out-degree / weighted out-degree.
+  [[nodiscard]] std::size_t out_degree(std::size_t v) const;
+  [[nodiscard]] double out_weight(std::size_t v) const;
+
+  /// In-degree / weighted in-degree (O(E); cached nowhere — call sparingly).
+  [[nodiscard]] std::size_t in_degree(std::size_t v) const;
+  [[nodiscard]] double in_weight(std::size_t v) const;
+
+  /// Dense adjacency (weight) matrix; absent edges are 0.
+  [[nodiscard]] linalg::Matrix adjacency_matrix() const;
+
+  /// Subgraph induced by `keep[v] == true`, with vertices renumbered in
+  /// ascending original order. `original_ids`, when non-null, receives the
+  /// mapping new-id -> old-id. Throws DimensionMismatch if keep.size() != n.
+  [[nodiscard]] Digraph induced_subgraph(
+      const std::vector<bool>& keep,
+      std::vector<std::size_t>* original_ids = nullptr) const;
+
+ private:
+  void check_vertex(std::size_t v) const;
+
+  std::vector<std::vector<Edge>> adjacency_;
+  std::size_t edges_ = 0;
+};
+
+}  // namespace svo::graph

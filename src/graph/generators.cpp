@@ -1,0 +1,49 @@
+#include "graph/generators.hpp"
+
+#include <limits>
+
+namespace svo::graph {
+
+namespace {
+
+/// Uniform draw in (lo, hi]: rejects 0 so edges always carry trust.
+double positive_uniform(double lo, double hi, util::Xoshiro256& rng) {
+  double w = rng.uniform(lo, hi);
+  while (w <= lo && hi > lo) w = rng.uniform(lo, hi);
+  return w > 0.0 ? w : std::numeric_limits<double>::min();
+}
+
+}  // namespace
+
+Digraph erdos_renyi(std::size_t n, const ErdosRenyiOptions& opts,
+                    util::Xoshiro256& rng) {
+  detail::require(opts.p >= 0.0 && opts.p <= 1.0,
+                  "erdos_renyi: p must be in [0,1]");
+  detail::require(opts.weight_lo <= opts.weight_hi,
+                  "erdos_renyi: weight_lo > weight_hi");
+  Digraph g(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j && !opts.self_loops) continue;
+      if (rng.bernoulli(opts.p)) {
+        g.set_edge(i, j, positive_uniform(opts.weight_lo, opts.weight_hi, rng));
+      }
+    }
+  }
+  return g;
+}
+
+Digraph complete_graph(std::size_t n, double weight_lo, double weight_hi,
+                       util::Xoshiro256& rng) {
+  detail::require(weight_lo <= weight_hi, "complete_graph: weight_lo > weight_hi");
+  Digraph g(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      g.set_edge(i, j, positive_uniform(weight_lo, weight_hi, rng));
+    }
+  }
+  return g;
+}
+
+}  // namespace svo::graph

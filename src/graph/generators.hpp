@@ -1,0 +1,38 @@
+/// \file generators.hpp
+/// Random graph generators. The paper draws its trust graphs from the
+/// Erdős–Rényi G(m, p) model with m = 16, p = 0.1 (Section IV-A).
+#pragma once
+
+#include <cstddef>
+
+#include "graph/digraph.hpp"
+#include "util/rng.hpp"
+
+namespace svo::graph {
+
+/// Options for Erdős–Rényi generation.
+struct ErdosRenyiOptions {
+  /// Edge probability, in [0, 1].
+  double p = 0.1;
+  /// Lower/upper bound of the uniform edge-weight distribution. The paper
+  /// does not pin the trust-weight distribution beyond u_ij >= 0; we use
+  /// U[weight_lo, weight_hi] with defaults (0, 1].
+  double weight_lo = 0.0;
+  double weight_hi = 1.0;
+  /// Allow self-loops (the trust model never wants them).
+  bool self_loops = false;
+};
+
+/// Directed G(n, p): each ordered pair (i, j), i != j unless self_loops,
+/// receives an edge independently with probability p, weighted uniformly
+/// in (weight_lo, weight_hi]. Weights are strictly positive so that an
+/// existing edge always carries non-zero trust (u_ij = 0 means "no edge /
+/// complete distrust" in the paper's semantics).
+[[nodiscard]] Digraph erdos_renyi(std::size_t n, const ErdosRenyiOptions& opts,
+                                  util::Xoshiro256& rng);
+
+/// Complete digraph with uniform random weights (ablation: dense trust).
+[[nodiscard]] Digraph complete_graph(std::size_t n, double weight_lo,
+                                     double weight_hi, util::Xoshiro256& rng);
+
+}  // namespace svo::graph

@@ -1,0 +1,98 @@
+#include "graph/scc.hpp"
+
+#include <algorithm>
+
+namespace svo::graph {
+
+SccResult strongly_connected_components(const Digraph& g) {
+  const std::size_t n = g.vertex_count();
+  SccResult result;
+  result.component.assign(n, SIZE_MAX);
+
+  constexpr std::size_t kUnvisited = SIZE_MAX;
+  std::vector<std::size_t> index(n, kUnvisited);
+  std::vector<std::size_t> lowlink(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<std::size_t> stack;
+  std::size_t next_index = 0;
+
+  // Explicit DFS frame: vertex + position within its out-edge list.
+  struct Frame {
+    std::size_t v;
+    std::size_t edge_pos;
+  };
+  std::vector<Frame> call_stack;
+
+  for (std::size_t root = 0; root < n; ++root) {
+    if (index[root] != kUnvisited) continue;
+    call_stack.push_back({root, 0});
+    index[root] = lowlink[root] = next_index++;
+    stack.push_back(root);
+    on_stack[root] = true;
+
+    while (!call_stack.empty()) {
+      auto& frame = call_stack.back();
+      const std::size_t v = frame.v;
+      const auto& out = g.out_edges(v);
+      bool descended = false;
+      while (frame.edge_pos < out.size()) {
+        const auto& e = out[frame.edge_pos++];
+        if (e.weight <= 0.0) continue;
+        const std::size_t w = e.to;
+        if (index[w] == kUnvisited) {
+          index[w] = lowlink[w] = next_index++;
+          stack.push_back(w);
+          on_stack[w] = true;
+          call_stack.push_back({w, 0});
+          descended = true;
+          break;
+        }
+        if (on_stack[w]) lowlink[v] = std::min(lowlink[v], index[w]);
+      }
+      if (descended) continue;
+      // v finished: pop component if root of an SCC.
+      if (lowlink[v] == index[v]) {
+        for (;;) {
+          const std::size_t w = stack.back();
+          stack.pop_back();
+          on_stack[w] = false;
+          result.component[w] = result.count;
+          if (w == v) break;
+        }
+        ++result.count;
+      }
+      call_stack.pop_back();
+      if (!call_stack.empty()) {
+        const std::size_t parent = call_stack.back().v;
+        lowlink[parent] = std::min(lowlink[parent], lowlink[v]);
+      }
+    }
+  }
+  return result;
+}
+
+bool is_strongly_connected(const Digraph& g) {
+  if (g.vertex_count() == 0) return false;
+  return strongly_connected_components(g).count == 1;
+}
+
+std::vector<bool> reachable_from(const Digraph& g, std::size_t source) {
+  const std::size_t n = g.vertex_count();
+  detail::require(source < n, "reachable_from: source out of range");
+  std::vector<bool> seen(n, false);
+  std::vector<std::size_t> frontier{source};
+  seen[source] = true;
+  while (!frontier.empty()) {
+    const std::size_t v = frontier.back();
+    frontier.pop_back();
+    for (const auto& e : g.out_edges(v)) {
+      if (e.weight > 0.0 && !seen[e.to]) {
+        seen[e.to] = true;
+        frontier.push_back(e.to);
+      }
+    }
+  }
+  return seen;
+}
+
+}  // namespace svo::graph

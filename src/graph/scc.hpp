@@ -1,0 +1,36 @@
+/// \file scc.hpp
+/// Strongly connected components (Tarjan) and reachability. Used to
+/// characterize trust graphs: the power method's fixed point is unique
+/// only on graphs whose positive-weight skeleton is strongly connected,
+/// which is why the reputation engine offers damping (DESIGN.md §4.1).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace svo::graph {
+
+/// Result of an SCC decomposition.
+struct SccResult {
+  /// component[v] = id of v's SCC, ids in [0, count). Ids are assigned in
+  /// reverse topological order of the condensation (Tarjan's property).
+  std::vector<std::size_t> component;
+  /// Number of SCCs.
+  std::size_t count = 0;
+};
+
+/// Tarjan's algorithm (iterative; safe for large graphs). Edges with zero
+/// weight are treated as absent.
+[[nodiscard]] SccResult strongly_connected_components(const Digraph& g);
+
+/// True iff the whole graph forms a single SCC (and is non-empty).
+[[nodiscard]] bool is_strongly_connected(const Digraph& g);
+
+/// Set of vertices reachable from `source` (including itself) following
+/// positive-weight edges.
+[[nodiscard]] std::vector<bool> reachable_from(const Digraph& g,
+                                               std::size_t source);
+
+}  // namespace svo::graph

@@ -1,0 +1,108 @@
+/// \file assignment.hpp
+/// The paper's task assignment problem, IP (9)-(14):
+///
+///   minimize   sum_{T,G} sigma(T,G) c(T,G)                          (9)
+///   subject to sum_{T,G} sigma(T,G) c(T,G) <= P        (payment)   (10)
+///              sum_T sigma(T,G) t(T,G) <= d  for all G (deadline)  (11)
+///              sum_G sigma(T,G) = 1          for all T             (12)
+///              sum_T sigma(T,G) >= 1         for all G             (13)
+///              sigma binary                                        (14)
+///
+/// Instances index GSPs as rows (g in [0, k)) and tasks as columns
+/// (t in [0, n)). Several solvers implement AssignmentSolver; all accept
+/// an arbitrary GSP subset (a coalition) via the instance construction
+/// helpers, so the mechanism never copies matrices per coalition.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace svo::ip {
+
+/// One task-assignment instance over k GSPs and n tasks.
+struct AssignmentInstance {
+  /// c(g, t): cost GSP g incurs executing task t. k x n.
+  linalg::Matrix cost;
+  /// t(g, t): seconds GSP g needs for task t. k x n.
+  linalg::Matrix time;
+  /// Deadline d: per-GSP budget on summed execution time (constraint 11).
+  double deadline = 0.0;
+  /// Payment P: cap on total execution cost (constraint 10).
+  double payment = 0.0;
+  /// Enforce constraint (13): every GSP receives at least one task.
+  bool require_all_gsps_used = true;
+
+  [[nodiscard]] std::size_t num_gsps() const noexcept { return cost.rows(); }
+  [[nodiscard]] std::size_t num_tasks() const noexcept { return cost.cols(); }
+
+  /// Validate shape/value invariants; throws InvalidArgument on violation.
+  void validate() const;
+
+  /// Restriction of this instance to the GSPs with keep[g] == true
+  /// (coalition view). `original_gsps`, when non-null, receives the
+  /// mapping restricted-row -> original-row.
+  [[nodiscard]] AssignmentInstance restrict_to(
+      const std::vector<bool>& keep,
+      std::vector<std::size_t>* original_gsps = nullptr) const;
+};
+
+/// Task -> GSP mapping: assignment[t] = row index of the GSP executing t.
+using Assignment = std::vector<std::size_t>;
+
+/// Outcome classification of a solve.
+enum class AssignStatus {
+  Optimal,     ///< Incumbent proven optimal.
+  Feasible,    ///< Incumbent found; optimality not proven (budget hit).
+  Infeasible,  ///< Proven: no assignment satisfies (10)-(13).
+  Unknown,     ///< Budget exhausted with neither incumbent nor proof.
+};
+
+/// Human-readable status name.
+[[nodiscard]] const char* to_string(AssignStatus s) noexcept;
+
+/// Result of a solve.
+struct AssignmentSolution {
+  AssignStatus status = AssignStatus::Unknown;
+  /// Valid iff status is Optimal or Feasible.
+  Assignment assignment;
+  /// Total cost of `assignment` (constraint-(9) objective).
+  double cost = 0.0;
+  /// Search-effort accounting (solver-specific units; B&B nodes).
+  std::size_t nodes_explored = 0;
+  /// Lower bound proved on the optimum (valid even without incumbent).
+  double lower_bound = 0.0;
+
+  [[nodiscard]] bool has_assignment() const noexcept {
+    return status == AssignStatus::Optimal || status == AssignStatus::Feasible;
+  }
+  [[nodiscard]] bool proven_optimal() const noexcept {
+    return status == AssignStatus::Optimal;
+  }
+};
+
+/// Total cost of `a` on `inst`. Throws DimensionMismatch on bad arity.
+[[nodiscard]] double assignment_cost(const AssignmentInstance& inst,
+                                     const Assignment& a);
+
+/// Check every IP constraint (10)-(13) for `a`; returns an empty string
+/// when feasible, else a description of the first violated constraint.
+[[nodiscard]] std::string check_feasible(const AssignmentInstance& inst,
+                                         const Assignment& a,
+                                         double tol = 1e-9);
+
+/// Abstract assignment solver (strategy interface for the mechanisms).
+class AssignmentSolver {
+ public:
+  virtual ~AssignmentSolver() = default;
+  /// Solve `inst`; never throws for infeasibility (reported via status).
+  [[nodiscard]] virtual AssignmentSolution solve(
+      const AssignmentInstance& inst) const = 0;
+  /// Identifying name for logs and benchmark tables.
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+}  // namespace svo::ip

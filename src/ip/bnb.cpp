@@ -1,0 +1,207 @@
+#include "ip/bnb.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "ip/greedy.hpp"
+#include "util/timer.hpp"
+
+namespace svo::ip {
+
+namespace {
+
+constexpr double kEps = 1e-9;
+
+/// All search state for one solve; DFS is recursive (frame is O(1),
+/// depth = number of tasks).
+class Search {
+ public:
+  Search(const AssignmentInstance& inst, const BnbOptions& opts)
+      : inst_(inst), opts_(opts), k_(inst.num_gsps()), n_(inst.num_tasks()) {
+    // Branching order: descending regret (cost spread of two cheapest
+    // GSPs); breaking high-regret decisions first tightens bounds early.
+    order_.resize(n_);
+    std::iota(order_.begin(), order_.end(), 0);
+    std::vector<double> regret(n_, 0.0);
+    min_cost_.assign(n_, 0.0);
+    for (std::size_t t = 0; t < n_; ++t) {
+      double best = std::numeric_limits<double>::infinity();
+      double second = best;
+      for (std::size_t g = 0; g < k_; ++g) {
+        const double c = inst_.cost(g, t);
+        if (c < best) {
+          second = best;
+          best = c;
+        } else if (c < second) {
+          second = c;
+        }
+      }
+      min_cost_[t] = best;
+      regret[t] = std::isfinite(second) ? second - best : 0.0;
+    }
+    std::stable_sort(order_.begin(), order_.end(), [&](std::size_t a, std::size_t b) {
+      return regret[a] > regret[b];
+    });
+    // Child order per task: GSPs by ascending cost.
+    gsp_order_.assign(n_ * k_, 0);
+    for (std::size_t t = 0; t < n_; ++t) {
+      auto* row = gsp_order_.data() + t * k_;
+      std::iota(row, row + k_, std::size_t{0});
+      std::stable_sort(row, row + k_, [&](std::size_t a, std::size_t b) {
+        return inst_.cost(a, t) < inst_.cost(b, t);
+      });
+    }
+    // Suffix of capacity-blind minimum costs in branching order.
+    suffix_min_.assign(n_ + 1, 0.0);
+    for (std::size_t i = n_; i-- > 0;) {
+      suffix_min_[i] = suffix_min_[i + 1] + min_cost_[order_[i]];
+    }
+    load_.assign(k_, 0.0);
+    count_.assign(k_, 0);
+    empties_ = inst_.require_all_gsps_used ? k_ : 0;
+    current_.assign(n_, 0);
+  }
+
+  void seed_incumbent(Assignment a, double cost) {
+    if (cost <= inst_.payment + kEps &&
+        (!has_incumbent_ || cost < incumbent_cost_ - kEps)) {
+      incumbent_ = std::move(a);
+      incumbent_cost_ = cost;
+      has_incumbent_ = true;
+    }
+  }
+
+  /// Run the DFS; returns true if the space was fully exhausted.
+  bool run() {
+    // Quick proven-infeasible screens.
+    if (inst_.require_all_gsps_used && k_ > n_) return true;
+    for (std::size_t t = 0; t < n_; ++t) {
+      bool any = false;
+      for (std::size_t g = 0; g < k_; ++g) {
+        if (inst_.time(g, t) <= inst_.deadline) {
+          any = true;
+          break;
+        }
+      }
+      if (!any) return true;  // some task fits nowhere: exhausted, no leaf
+    }
+    dfs(0, 0.0);
+    return !truncated_;
+  }
+
+  [[nodiscard]] bool has_incumbent() const noexcept { return has_incumbent_; }
+  [[nodiscard]] const Assignment& incumbent() const noexcept { return incumbent_; }
+  [[nodiscard]] double incumbent_cost() const noexcept { return incumbent_cost_; }
+  [[nodiscard]] std::size_t nodes() const noexcept { return nodes_; }
+  [[nodiscard]] double root_bound() const noexcept { return suffix_min_[0]; }
+
+ private:
+  bool budget_exhausted() {
+    if (nodes_ >= opts_.max_nodes) return true;
+    if (opts_.time_limit_seconds > 0.0 && (nodes_ & 1023U) == 0 &&
+        timer_.seconds() > opts_.time_limit_seconds) {
+      return true;
+    }
+    return false;
+  }
+
+  void dfs(std::size_t depth, double cost_so_far) {
+    if (truncated_) return;
+    if (depth == n_) {
+      // All constraints hold by construction of the branching.
+      if (!has_incumbent_ || cost_so_far < incumbent_cost_ - kEps) {
+        incumbent_ = current_;
+        incumbent_cost_ = cost_so_far;
+        has_incumbent_ = true;
+      }
+      return;
+    }
+    const std::size_t t = order_[depth];
+    const std::size_t remaining_after = n_ - depth - 1;
+    const double suffix = suffix_min_[depth + 1];
+    const auto* children = gsp_order_.data() + t * k_;
+    for (std::size_t ci = 0; ci < k_; ++ci) {
+      const std::size_t g = children[ci];
+      const double c = inst_.cost(g, t);
+      const double bound = cost_so_far + c + suffix;
+      // Children are cost-sorted: once the bound fails, all later fail.
+      if (bound > inst_.payment + kEps) break;
+      if (has_incumbent_ && bound >= incumbent_cost_ - kEps) break;
+      const double tm = inst_.time(g, t);
+      if (load_[g] + tm > inst_.deadline + kEps) continue;
+      const bool was_empty = inst_.require_all_gsps_used && count_[g] == 0;
+      const std::size_t empties_after = empties_ - (was_empty ? 1 : 0);
+      if (remaining_after < empties_after) continue;  // (13) unreachable
+
+      ++nodes_;
+      if (budget_exhausted()) {
+        truncated_ = true;
+        return;
+      }
+      load_[g] += tm;
+      ++count_[g];
+      if (was_empty) --empties_;
+      current_[t] = g;
+      dfs(depth + 1, cost_so_far + c);
+      load_[g] -= tm;
+      --count_[g];
+      if (was_empty) ++empties_;
+      if (truncated_) return;
+    }
+  }
+
+  const AssignmentInstance& inst_;
+  const BnbOptions& opts_;
+  std::size_t k_;
+  std::size_t n_;
+  std::vector<std::size_t> order_;
+  std::vector<std::size_t> gsp_order_;
+  std::vector<double> min_cost_;
+  std::vector<double> suffix_min_;
+  std::vector<double> load_;
+  std::vector<std::size_t> count_;
+  std::size_t empties_ = 0;
+  Assignment current_;
+  Assignment incumbent_;
+  double incumbent_cost_ = std::numeric_limits<double>::infinity();
+  bool has_incumbent_ = false;
+  bool truncated_ = false;
+  std::size_t nodes_ = 0;
+  util::WallTimer timer_;
+};
+
+}  // namespace
+
+AssignmentSolution BnbAssignmentSolver::solve(
+    const AssignmentInstance& inst) const {
+  inst.validate();
+  Search search(inst, opts_);
+  if (opts_.seed_with_greedy) {
+    Assignment seed = greedy_construct(inst, GreedyOptions::Order::RegretDescending);
+    if (seed.empty()) {
+      seed = greedy_construct(inst, GreedyOptions::Order::TimeDescending);
+    }
+    if (!seed.empty()) {
+      const double cost = local_search(inst, seed, opts_.polish);
+      search.seed_incumbent(std::move(seed), cost);
+    }
+  }
+  const bool exhausted = search.run();
+
+  AssignmentSolution sol;
+  sol.nodes_explored = search.nodes();
+  sol.lower_bound = search.root_bound();
+  if (search.has_incumbent()) {
+    sol.assignment = search.incumbent();
+    sol.cost = search.incumbent_cost();
+    sol.status = exhausted ? AssignStatus::Optimal : AssignStatus::Feasible;
+    if (exhausted) sol.lower_bound = sol.cost;
+  } else {
+    sol.status = exhausted ? AssignStatus::Infeasible : AssignStatus::Unknown;
+  }
+  return sol;
+}
+
+}  // namespace svo::ip

@@ -1,0 +1,52 @@
+/// \file bnb.hpp
+/// Specialized depth-first branch-and-bound for the task assignment IP
+/// (9)-(14) — the workhorse behind TVOF's "IP-B&B" step (Algorithm 1,
+/// line 5). Exact with proof on small instances; anytime (greedy-seeded,
+/// node/time budgeted) at paper scale. See DESIGN.md §1 and §4.4.
+///
+/// Search organization:
+///  - tasks are branched in descending static-regret order;
+///  - children (GSP choices) are explored in ascending cost order;
+///  - node lower bound = cost so far + sum of capacity-blind per-task
+///    minimum costs of the unassigned suffix (monotone, O(1) per node);
+///  - pruning against the incumbent, the payment cap (10), per-GSP
+///    deadline capacity (11), and a coverage counting argument for (13).
+#pragma once
+
+#include "ip/assignment.hpp"
+#include "ip/local_search.hpp"
+
+namespace svo::ip {
+
+/// Options for the B&B solver.
+struct BnbOptions {
+  /// Node budget; exceeding it makes the result anytime (no proof).
+  std::size_t max_nodes = 500'000;
+  /// Wall-clock budget in seconds; 0 disables the check.
+  double time_limit_seconds = 0.0;
+  /// Seed the incumbent with greedy construction + local search.
+  bool seed_with_greedy = true;
+  /// Local-search options used to polish the greedy seed.
+  LocalSearchOptions polish;
+};
+
+/// Branch-and-bound solver. Status semantics:
+///  - Optimal:    search space exhausted, incumbent proven optimal;
+///  - Infeasible: search space exhausted without any feasible leaf;
+///  - Feasible:   budget hit, best incumbent returned;
+///  - Unknown:    budget hit before any incumbent was found.
+class BnbAssignmentSolver final : public AssignmentSolver {
+ public:
+  explicit BnbAssignmentSolver(BnbOptions opts = {}) : opts_(opts) {}
+
+  [[nodiscard]] AssignmentSolution solve(
+      const AssignmentInstance& inst) const override;
+  [[nodiscard]] std::string name() const override { return "bnb"; }
+
+  [[nodiscard]] const BnbOptions& options() const noexcept { return opts_; }
+
+ private:
+  BnbOptions opts_;
+};
+
+}  // namespace svo::ip

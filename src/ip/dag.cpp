@@ -1,0 +1,338 @@
+#include "ip/dag.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+namespace svo::ip {
+
+TaskDag::TaskDag(std::size_t n) : successors_(n), predecessors_(n) {
+  detail::require(n > 0, "TaskDag: need at least one task");
+}
+
+void TaskDag::add_dependency(std::size_t pred, std::size_t succ) {
+  detail::require(pred < num_tasks() && succ < num_tasks(),
+                  "TaskDag::add_dependency: task out of range");
+  detail::require(pred != succ, "TaskDag::add_dependency: self-loop");
+  auto& out = successors_[pred];
+  if (std::find(out.begin(), out.end(), succ) != out.end()) return;
+  out.push_back(succ);
+  predecessors_[succ].push_back(pred);
+  ++edges_;
+}
+
+const std::vector<std::size_t>& TaskDag::successors(std::size_t t) const {
+  detail::require(t < num_tasks(), "TaskDag::successors: task out of range");
+  return successors_[t];
+}
+
+const std::vector<std::size_t>& TaskDag::predecessors(std::size_t t) const {
+  detail::require(t < num_tasks(), "TaskDag::predecessors: task out of range");
+  return predecessors_[t];
+}
+
+bool TaskDag::is_acyclic() const {
+  // Kahn without materializing the order.
+  std::vector<std::size_t> indegree(num_tasks());
+  for (std::size_t t = 0; t < num_tasks(); ++t) {
+    indegree[t] = predecessors_[t].size();
+  }
+  std::vector<std::size_t> queue;
+  for (std::size_t t = 0; t < num_tasks(); ++t) {
+    if (indegree[t] == 0) queue.push_back(t);
+  }
+  std::size_t seen = 0;
+  while (!queue.empty()) {
+    const std::size_t t = queue.back();
+    queue.pop_back();
+    ++seen;
+    for (const std::size_t s : successors_[t]) {
+      if (--indegree[s] == 0) queue.push_back(s);
+    }
+  }
+  return seen == num_tasks();
+}
+
+std::vector<std::size_t> TaskDag::topological_order() const {
+  std::vector<std::size_t> indegree(num_tasks());
+  for (std::size_t t = 0; t < num_tasks(); ++t) {
+    indegree[t] = predecessors_[t].size();
+  }
+  std::vector<std::size_t> order;
+  order.reserve(num_tasks());
+  std::vector<std::size_t> queue;
+  for (std::size_t t = 0; t < num_tasks(); ++t) {
+    if (indegree[t] == 0) queue.push_back(t);
+  }
+  while (!queue.empty()) {
+    const std::size_t t = queue.back();
+    queue.pop_back();
+    order.push_back(t);
+    for (const std::size_t s : successors_[t]) {
+      if (--indegree[s] == 0) queue.push_back(s);
+    }
+  }
+  detail::require(order.size() == num_tasks(),
+                  "TaskDag::topological_order: graph is cyclic");
+  return order;
+}
+
+double TaskDag::critical_path_lower_bound(const linalg::Matrix& time) const {
+  detail::require(time.cols() == num_tasks(),
+                  "TaskDag::critical_path_lower_bound: task count mismatch");
+  std::vector<double> min_time(num_tasks(),
+                               std::numeric_limits<double>::infinity());
+  for (std::size_t t = 0; t < num_tasks(); ++t) {
+    for (std::size_t g = 0; g < time.rows(); ++g) {
+      min_time[t] = std::min(min_time[t], time(g, t));
+    }
+  }
+  const std::vector<std::size_t> order = topological_order();
+  std::vector<double> longest(num_tasks(), 0.0);
+  double bound = 0.0;
+  for (const std::size_t t : order) {
+    longest[t] += min_time[t];
+    bound = std::max(bound, longest[t]);
+    for (const std::size_t s : successors_[t]) {
+      longest[s] = std::max(longest[s], longest[t]);
+    }
+  }
+  return bound;
+}
+
+namespace {
+
+/// Core evaluator shared by schedule_fixed_assignment and the solver:
+/// dispatch tasks in `order` (a valid topological order), each GSP
+/// executing its tasks sequentially in dispatch order.
+DagSchedule evaluate(const AssignmentInstance& inst, const TaskDag& dag,
+                     const Assignment& assignment,
+                     const std::vector<std::size_t>& order) {
+  DagSchedule s;
+  s.assignment = assignment;
+  const std::size_t n = dag.num_tasks();
+  s.start.assign(n, 0.0);
+  s.finish.assign(n, 0.0);
+  std::vector<double> available(inst.num_gsps(), 0.0);
+  for (const std::size_t t : order) {
+    const std::size_t g = assignment[t];
+    double ready = 0.0;
+    for (const std::size_t p : dag.predecessors(t)) {
+      ready = std::max(ready, s.finish[p]);
+    }
+    s.start[t] = std::max(ready, available[g]);
+    s.finish[t] = s.start[t] + inst.time(g, t);
+    available[g] = s.finish[t];
+    s.makespan = std::max(s.makespan, s.finish[t]);
+    s.cost += inst.cost(g, t);
+  }
+  return s;
+}
+
+/// Verify `order` is a permutation consistent with the DAG.
+void check_order(const TaskDag& dag, const std::vector<std::size_t>& order) {
+  detail::require(order.size() == dag.num_tasks(),
+                  "dag schedule: order arity mismatch");
+  std::vector<std::size_t> position(dag.num_tasks(), SIZE_MAX);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    detail::require(order[i] < dag.num_tasks() &&
+                        position[order[i]] == SIZE_MAX,
+                    "dag schedule: order is not a permutation");
+    position[order[i]] = i;
+  }
+  for (std::size_t t = 0; t < dag.num_tasks(); ++t) {
+    for (const std::size_t succ : dag.successors(t)) {
+      detail::require(position[t] < position[succ],
+                      "dag schedule: order violates precedence");
+    }
+  }
+}
+
+/// HEFT upward ranks: avg execution time + max successor rank; the
+/// descending-rank order is a topological order for positive times.
+std::vector<std::size_t> rank_order(const AssignmentInstance& inst,
+                                    const TaskDag& dag) {
+  const std::size_t n = dag.num_tasks();
+  std::vector<double> avg(n, 0.0);
+  for (std::size_t t = 0; t < n; ++t) {
+    for (std::size_t g = 0; g < inst.num_gsps(); ++g) {
+      avg[t] += inst.time(g, t);
+    }
+    avg[t] /= static_cast<double>(inst.num_gsps());
+  }
+  const std::vector<std::size_t> topo = dag.topological_order();
+  std::vector<double> rank(n, 0.0);
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    const std::size_t t = *it;
+    double best_succ = 0.0;
+    for (const std::size_t s : dag.successors(t)) {
+      best_succ = std::max(best_succ, rank[s]);
+    }
+    rank[t] = avg[t] + best_succ;
+  }
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return rank[a] > rank[b];
+  });
+  return order;
+}
+
+/// Latest feasible finish per task: deadline minus the min-time critical
+/// tail hanging below the task. A placement finishing after this bound
+/// cannot lead to a deadline-feasible schedule (under optimistic tails).
+std::vector<double> latest_finish_bounds(const AssignmentInstance& inst,
+                                         const TaskDag& dag) {
+  const std::size_t n = dag.num_tasks();
+  std::vector<double> min_time(n, std::numeric_limits<double>::infinity());
+  for (std::size_t t = 0; t < n; ++t) {
+    for (std::size_t g = 0; g < inst.num_gsps(); ++g) {
+      min_time[t] = std::min(min_time[t], inst.time(g, t));
+    }
+  }
+  const std::vector<std::size_t> topo = dag.topological_order();
+  std::vector<double> tail(n, 0.0);
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    const std::size_t t = *it;
+    for (const std::size_t s : dag.successors(t)) {
+      tail[t] = std::max(tail[t], min_time[s] + tail[s]);
+    }
+  }
+  std::vector<double> bound(n, 0.0);
+  for (std::size_t t = 0; t < n; ++t) bound[t] = inst.deadline - tail[t];
+  return bound;
+}
+
+}  // namespace
+
+DagSchedule schedule_fixed_assignment(const AssignmentInstance& inst,
+                                      const TaskDag& dag,
+                                      const Assignment& assignment) {
+  inst.validate();
+  detail::require(dag.num_tasks() == inst.num_tasks(),
+                  "schedule_fixed_assignment: DAG/instance task mismatch");
+  detail::require(assignment.size() == inst.num_tasks(),
+                  "schedule_fixed_assignment: assignment arity mismatch");
+  for (const std::size_t g : assignment) {
+    detail::require(g < inst.num_gsps(),
+                    "schedule_fixed_assignment: GSP out of range");
+  }
+  const std::vector<std::size_t> order = dag.topological_order();
+  check_order(dag, order);
+  return evaluate(inst, dag, assignment, order);
+}
+
+DagSolverAdapter::DagSolverAdapter(const TaskDag& dag,
+                                   DagSchedulerOptions opts)
+    : dag_(dag), opts_(opts) {
+  detail::require(dag.is_acyclic(), "DagSolverAdapter: DAG is cyclic");
+}
+
+DagSchedule DagSolverAdapter::schedule(const AssignmentInstance& inst) const {
+  inst.validate();
+  detail::require(dag_.num_tasks() == inst.num_tasks(),
+                  "DagSolverAdapter: DAG/instance task mismatch");
+  const std::size_t k = inst.num_gsps();
+  const std::vector<std::size_t> order = rank_order(inst, dag_);
+  const std::vector<double> lff =
+      opts_.cost_aware ? latest_finish_bounds(inst, dag_)
+                       : std::vector<double>{};
+
+  Assignment assignment(inst.num_tasks(), 0);
+  std::vector<double> available(k, 0.0);
+  std::vector<double> finish(inst.num_tasks(), 0.0);
+  std::vector<std::size_t> count(k, 0);
+  for (const std::size_t t : order) {
+    double ready = 0.0;
+    for (const std::size_t p : dag_.predecessors(t)) {
+      ready = std::max(ready, finish[p]);
+    }
+    std::size_t chosen = SIZE_MAX;
+    if (opts_.cost_aware) {
+      // Cheapest GSP whose finish keeps the optimistic tail feasible.
+      std::vector<std::size_t> by_cost(k);
+      std::iota(by_cost.begin(), by_cost.end(), 0);
+      std::stable_sort(by_cost.begin(), by_cost.end(),
+                       [&](std::size_t a, std::size_t b) {
+                         return inst.cost(a, t) < inst.cost(b, t);
+                       });
+      for (const std::size_t g : by_cost) {
+        const double eft = std::max(ready, available[g]) + inst.time(g, t);
+        if (eft <= lff[t]) {
+          chosen = g;
+          break;
+        }
+      }
+    }
+    if (chosen == SIZE_MAX) {
+      // Classic HEFT: earliest finish time.
+      double best_eft = std::numeric_limits<double>::infinity();
+      for (std::size_t g = 0; g < k; ++g) {
+        const double eft = std::max(ready, available[g]) + inst.time(g, t);
+        if (eft < best_eft) {
+          best_eft = eft;
+          chosen = g;
+        }
+      }
+    }
+    assignment[t] = chosen;
+    finish[t] = std::max(ready, available[chosen]) + inst.time(chosen, t);
+    available[chosen] = finish[t];
+    ++count[chosen];
+  }
+
+  // Coverage repair for constraint (13): hand every idle GSP the
+  // cheapest task owned by a donor with at least two tasks.
+  if (inst.require_all_gsps_used) {
+    for (std::size_t g = 0; g < k; ++g) {
+      if (count[g] > 0) continue;
+      std::size_t best_task = SIZE_MAX;
+      double best_delta = std::numeric_limits<double>::infinity();
+      for (std::size_t t = 0; t < inst.num_tasks(); ++t) {
+        if (count[assignment[t]] <= 1) continue;
+        const double delta = inst.cost(g, t) - inst.cost(assignment[t], t);
+        if (delta < best_delta) {
+          best_delta = delta;
+          best_task = t;
+        }
+      }
+      if (best_task == SIZE_MAX) break;  // unrepairable; caller rejects
+      --count[assignment[best_task]];
+      assignment[best_task] = g;
+      ++count[g];
+    }
+  }
+  return schedule_fixed_assignment(inst, dag_, assignment);
+}
+
+AssignmentSolution DagSolverAdapter::solve(
+    const AssignmentInstance& inst) const {
+  AssignmentSolution sol;
+  if (inst.require_all_gsps_used && inst.num_gsps() > inst.num_tasks()) {
+    sol.status = AssignStatus::Infeasible;  // pigeonhole: provable
+    return sol;
+  }
+  const DagSchedule s = schedule(inst);
+  sol.lower_bound = dag_.critical_path_lower_bound(inst.time);
+  // Feasibility: makespan within deadline, payment, and coverage.
+  if (s.makespan > inst.deadline || s.cost > inst.payment) {
+    sol.status = AssignStatus::Unknown;
+    return sol;
+  }
+  if (inst.require_all_gsps_used) {
+    std::vector<bool> used(inst.num_gsps(), false);
+    for (const std::size_t g : s.assignment) used[g] = true;
+    for (const bool u : used) {
+      if (!u) {
+        sol.status = AssignStatus::Unknown;
+        return sol;
+      }
+    }
+  }
+  sol.status = AssignStatus::Feasible;
+  sol.assignment = s.assignment;
+  sol.cost = s.cost;
+  return sol;
+}
+
+}  // namespace svo::ip

@@ -1,0 +1,115 @@
+/// \file dag.hpp
+/// Task-dependency extension — the paper's stated future work ("we would
+/// like to consider the task dependencies in our VO formation model").
+///
+/// A TaskDag adds precedence constraints over the program's tasks; the
+/// deadline then bounds the *makespan* of the whole schedule instead of
+/// each GSP's summed load (the natural generalization of constraint
+/// (11)). Scheduling is a HEFT-style list scheduler (upward ranks,
+/// earliest-finish-time placement with insertion) with a cost-aware
+/// placement rule, plus a fixed-assignment schedule evaluator used for
+/// validation and coverage repair. Inter-task communication costs are
+/// assumed zero (tasks exchange data through shared grid storage), the
+/// common bag-of-workflows simplification; the APIs leave room to add
+/// them later.
+///
+/// DagSolverAdapter exposes all of this through the ip::AssignmentSolver
+/// interface, so TVOF, RVOF and merge-and-split run on DAG programs
+/// without modification.
+#pragma once
+
+#include "ip/assignment.hpp"
+
+namespace svo::ip {
+
+/// Immutable-after-build precedence DAG over n tasks.
+class TaskDag {
+ public:
+  /// n isolated tasks (a bag-of-tasks — the paper's base model).
+  explicit TaskDag(std::size_t n);
+
+  [[nodiscard]] std::size_t num_tasks() const noexcept {
+    return successors_.size();
+  }
+  [[nodiscard]] std::size_t num_edges() const noexcept { return edges_; }
+
+  /// Add `pred` -> `succ` (pred must finish before succ starts).
+  /// Duplicate edges are ignored. Throws InvalidArgument on self-loops
+  /// or out-of-range ids. Cycles are only detected by is_acyclic() /
+  /// topological_order(), since detection per edge would be quadratic.
+  void add_dependency(std::size_t pred, std::size_t succ);
+
+  [[nodiscard]] const std::vector<std::size_t>& successors(std::size_t t) const;
+  [[nodiscard]] const std::vector<std::size_t>& predecessors(std::size_t t) const;
+
+  /// Kahn's algorithm; false when a cycle exists.
+  [[nodiscard]] bool is_acyclic() const;
+
+  /// Topological order. Throws InvalidArgument when cyclic.
+  [[nodiscard]] std::vector<std::size_t> topological_order() const;
+
+  /// Lower bound on any schedule's makespan: the critical-path length
+  /// when every task runs at its fastest GSP (time matrix row minimum).
+  [[nodiscard]] double critical_path_lower_bound(
+      const linalg::Matrix& time) const;
+
+ private:
+  std::vector<std::vector<std::size_t>> successors_;
+  std::vector<std::vector<std::size_t>> predecessors_;
+  std::size_t edges_ = 0;
+};
+
+/// A complete schedule: assignment plus start/finish times.
+struct DagSchedule {
+  Assignment assignment;       ///< task -> GSP row index
+  std::vector<double> start;   ///< start time per task
+  std::vector<double> finish;  ///< finish time per task
+  double makespan = 0.0;
+  double cost = 0.0;
+};
+
+/// Evaluate a *given* assignment under list scheduling: tasks are
+/// dispatched in topological order; each GSP executes its tasks
+/// sequentially in dispatch order. Deterministic; used for validation,
+/// repair, and as the fixed-assignment half of the solver. Throws on a
+/// cyclic DAG or arity mismatch.
+[[nodiscard]] DagSchedule schedule_fixed_assignment(
+    const AssignmentInstance& inst, const TaskDag& dag,
+    const Assignment& assignment);
+
+/// Options for the HEFT-style solver.
+struct DagSchedulerOptions {
+  /// Candidate GSPs for a task are scanned cheapest-first; the first one
+  /// whose placement keeps the task's latest-feasible-finish bound is
+  /// taken. Setting this false reverts to classic HEFT (pure earliest
+  /// finish time), ignoring cost until the final feasibility check.
+  bool cost_aware = true;
+};
+
+/// HEFT-style DAG scheduler behind the AssignmentSolver interface: the
+/// drop-in "IP-B&B" replacement for programs with dependencies. Status
+/// is Feasible when the schedule satisfies makespan <= deadline,
+/// coverage (13) and payment (10); Unknown otherwise (a list scheduler
+/// proves nothing), except the pigeonhole case (more GSPs than tasks)
+/// which is proven Infeasible.
+class DagSolverAdapter final : public AssignmentSolver {
+ public:
+  /// `dag` must outlive the adapter and match the task count of every
+  /// instance passed to solve().
+  explicit DagSolverAdapter(const TaskDag& dag,
+                            DagSchedulerOptions opts = {});
+
+  [[nodiscard]] AssignmentSolution solve(
+      const AssignmentInstance& inst) const override;
+  [[nodiscard]] std::string name() const override { return "dag-heft"; }
+
+  /// Full schedule of the last successful solve is not retained (the
+  /// solver is stateless/thread-safe); call this to rebuild it.
+  [[nodiscard]] DagSchedule schedule(const AssignmentInstance& inst) const;
+
+ private:
+  const TaskDag& dag_;
+  DagSchedulerOptions opts_;
+};
+
+}  // namespace svo::ip

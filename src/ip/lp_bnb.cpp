@@ -1,0 +1,183 @@
+#include "ip/lp_bnb.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace svo::ip {
+
+namespace {
+
+constexpr double kEps = 1e-9;
+
+/// One DFS node: the variables fixed so far (var index, value).
+struct Node {
+  std::vector<std::pair<std::size_t, double>> fixes;
+};
+
+/// Apply fixes to a copy of the base problem as equality rows.
+lp::Problem with_fixes(const lp::Problem& base, const Node& node) {
+  lp::Problem p = base;
+  for (const auto& [var, value] : node.fixes) {
+    std::vector<double> row(p.num_vars(), 0.0);
+    row[var] = 1.0;
+    p.add_constraint(std::move(row), lp::Sense::Equal, value);
+  }
+  return p;
+}
+
+}  // namespace
+
+IpResult solve_binary_ip(const lp::Problem& problem,
+                         const std::vector<std::size_t>& binary_vars,
+                         const LpBnbOptions& opts) {
+  lp::Problem base = problem;
+  for (const std::size_t v : binary_vars) base.set_upper_bound(v, 1.0);
+
+  IpResult result;
+  std::vector<double> incumbent;
+  double incumbent_obj = std::numeric_limits<double>::infinity();
+
+  std::vector<Node> stack;
+  stack.push_back(Node{});
+  while (!stack.empty()) {
+    if (result.nodes >= opts.max_nodes) {
+      result.status = IpStatus::NodeLimit;
+      result.x = std::move(incumbent);
+      result.objective = incumbent_obj;
+      return result;
+    }
+    ++result.nodes;
+    const Node node = std::move(stack.back());
+    stack.pop_back();
+
+    const lp::Problem relax = with_fixes(base, node);
+    const lp::Solution sol = lp::solve(relax, opts.simplex);
+    if (sol.status == lp::SolveStatus::Infeasible) continue;
+    if (sol.status != lp::SolveStatus::Optimal) {
+      // Unbounded relaxations cannot occur for bounded binaries with a
+      // finite objective; iteration limits are treated as budget
+      // exhaustion to stay safe.
+      result.status = IpStatus::NodeLimit;
+      result.x = std::move(incumbent);
+      result.objective = incumbent_obj;
+      return result;
+    }
+    if (sol.objective >= incumbent_obj - kEps) continue;  // bound prune
+
+    // Most-fractional binary variable.
+    std::size_t branch_var = SIZE_MAX;
+    double worst_frac = opts.integrality_tolerance;
+    for (const std::size_t v : binary_vars) {
+      const double frac = std::abs(sol.x[v] - std::round(sol.x[v]));
+      if (frac > worst_frac) {
+        worst_frac = frac;
+        branch_var = v;
+      }
+    }
+    if (branch_var == SIZE_MAX) {
+      // Integral: new incumbent.
+      incumbent = sol.x;
+      for (const std::size_t v : binary_vars) {
+        incumbent[v] = std::round(incumbent[v]);
+      }
+      incumbent_obj = sol.objective;
+      continue;
+    }
+    // Depth-first: push the "away" branch first so the branch matching
+    // the LP value is explored next (better incumbents earlier).
+    const double toward = std::round(sol.x[branch_var]) >= 0.5 ? 1.0 : 0.0;
+    Node away = node;
+    away.fixes.emplace_back(branch_var, 1.0 - toward);
+    stack.push_back(std::move(away));
+    Node next = node;
+    next.fixes.emplace_back(branch_var, toward);
+    stack.push_back(std::move(next));
+  }
+
+  if (incumbent.empty()) {
+    result.status = IpStatus::Infeasible;
+  } else {
+    result.status = IpStatus::Optimal;
+    result.x = std::move(incumbent);
+    result.objective = incumbent_obj;
+  }
+  return result;
+}
+
+lp::Problem build_assignment_ip(const AssignmentInstance& inst) {
+  inst.validate();
+  const std::size_t k = inst.num_gsps();
+  const std::size_t n = inst.num_tasks();
+  lp::Problem p(k * n);
+  const auto var = [n](std::size_t g, std::size_t t) { return g * n + t; };
+
+  // Objective (9) and payment row (10) share coefficients.
+  std::vector<double> cost_row(k * n, 0.0);
+  for (std::size_t g = 0; g < k; ++g) {
+    for (std::size_t t = 0; t < n; ++t) cost_row[var(g, t)] = inst.cost(g, t);
+  }
+  p.set_objective(cost_row);
+  p.add_constraint(cost_row, lp::Sense::LessEqual, inst.payment);  // (10)
+
+  for (std::size_t g = 0; g < k; ++g) {  // (11)
+    std::vector<double> row(k * n, 0.0);
+    for (std::size_t t = 0; t < n; ++t) row[var(g, t)] = inst.time(g, t);
+    p.add_constraint(std::move(row), lp::Sense::LessEqual, inst.deadline);
+  }
+  for (std::size_t t = 0; t < n; ++t) {  // (12)
+    std::vector<double> row(k * n, 0.0);
+    for (std::size_t g = 0; g < k; ++g) row[var(g, t)] = 1.0;
+    p.add_constraint(std::move(row), lp::Sense::Equal, 1.0);
+  }
+  if (inst.require_all_gsps_used) {
+    for (std::size_t g = 0; g < k; ++g) {  // (13)
+      std::vector<double> row(k * n, 0.0);
+      for (std::size_t t = 0; t < n; ++t) row[var(g, t)] = 1.0;
+      p.add_constraint(std::move(row), lp::Sense::GreaterEqual, 1.0);
+    }
+  }
+  for (std::size_t v = 0; v < k * n; ++v) p.set_upper_bound(v, 1.0);  // (14) relax
+  return p;
+}
+
+AssignmentSolution LpBnbAssignmentSolver::solve(
+    const AssignmentInstance& inst) const {
+  const lp::Problem ip = build_assignment_ip(inst);
+  std::vector<std::size_t> binaries(ip.num_vars());
+  for (std::size_t v = 0; v < binaries.size(); ++v) binaries[v] = v;
+  const IpResult res = solve_binary_ip(ip, binaries, opts_);
+
+  AssignmentSolution sol;
+  sol.nodes_explored = res.nodes;
+  switch (res.status) {
+    case IpStatus::Infeasible:
+      sol.status = AssignStatus::Infeasible;
+      return sol;
+    case IpStatus::NodeLimit:
+      if (res.x.empty()) {
+        sol.status = AssignStatus::Unknown;
+        return sol;
+      }
+      sol.status = AssignStatus::Feasible;
+      break;
+    case IpStatus::Optimal:
+      sol.status = AssignStatus::Optimal;
+      break;
+  }
+  const std::size_t n = inst.num_tasks();
+  sol.assignment.assign(n, 0);
+  for (std::size_t t = 0; t < n; ++t) {
+    for (std::size_t g = 0; g < inst.num_gsps(); ++g) {
+      if (res.x[g * n + t] > 0.5) {
+        sol.assignment[t] = g;
+        break;
+      }
+    }
+  }
+  sol.cost = assignment_cost(inst, sol.assignment);
+  sol.lower_bound = res.status == IpStatus::Optimal ? sol.cost : 0.0;
+  return sol;
+}
+
+}  // namespace svo::ip

@@ -1,0 +1,66 @@
+/// \file lp_bnb.hpp
+/// Generic 0/1 branch-and-bound over LP relaxations (svo::lp simplex),
+/// plus the explicit IP formulation of the paper's task assignment model.
+///
+/// This is the "textbook CPLEX" path: exact, with LP lower bounds and
+/// most-fractional branching. It scales only to small models, so the
+/// mechanisms use BnbAssignmentSolver; this solver exists to (a) express
+/// eqs. (9)-(14) literally, and (b) cross-validate the specialized solver
+/// in tests and the solver micro-benchmark.
+#pragma once
+
+#include "ip/assignment.hpp"
+#include "lp/simplex.hpp"
+
+namespace svo::ip {
+
+/// Status of a generic binary-IP solve.
+enum class IpStatus {
+  Optimal,    ///< Proven optimal integral solution.
+  Infeasible, ///< No integral feasible point exists.
+  NodeLimit,  ///< Budget hit before a proof (x holds best incumbent if any).
+};
+
+/// Result of solve_binary_ip().
+struct IpResult {
+  IpStatus status = IpStatus::NodeLimit;
+  /// Best integral solution found (empty if none).
+  std::vector<double> x;
+  double objective = 0.0;
+  std::size_t nodes = 0;
+};
+
+/// Options for solve_binary_ip().
+struct LpBnbOptions {
+  std::size_t max_nodes = 100'000;
+  /// |x - round(x)| below this counts as integral.
+  double integrality_tolerance = 1e-6;
+  lp::SimplexOptions simplex;
+};
+
+/// Minimize `problem` with the listed variables restricted to {0, 1}
+/// (their upper bounds are forced to 1). Remaining variables stay
+/// continuous. Depth-first B&B, most-fractional branching.
+[[nodiscard]] IpResult solve_binary_ip(const lp::Problem& problem,
+                                       const std::vector<std::size_t>& binary_vars,
+                                       const LpBnbOptions& opts = {});
+
+/// Build the paper's IP (9)-(14) for `inst` as an explicit lp::Problem.
+/// Variable layout: sigma(G_g, T_t) at index g * num_tasks + t.
+[[nodiscard]] lp::Problem build_assignment_ip(const AssignmentInstance& inst);
+
+/// AssignmentSolver facade over solve_binary_ip(). Exact on small
+/// instances; returns Feasible/Unknown when the node budget is hit.
+class LpBnbAssignmentSolver final : public AssignmentSolver {
+ public:
+  explicit LpBnbAssignmentSolver(LpBnbOptions opts = {}) : opts_(opts) {}
+
+  [[nodiscard]] AssignmentSolution solve(
+      const AssignmentInstance& inst) const override;
+  [[nodiscard]] std::string name() const override { return "lp-bnb"; }
+
+ private:
+  LpBnbOptions opts_;
+};
+
+}  // namespace svo::ip

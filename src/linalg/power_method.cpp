@@ -1,0 +1,114 @@
+#include "linalg/power_method.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/thread_pool.hpp"
+
+namespace svo::linalg {
+
+namespace {
+
+/// One application of the (dangling-patched, damped) transposed operator:
+///   y_j = (1-d) * [ sum_i a_ij x_i + dangling_mass / n ] + d / n
+/// where dangling_mass = sum over zero-rows i of x_i. With row-stochastic
+/// a and an L1-normalized x this keeps y L1-normalized.
+void apply_operator(const Matrix& a, const std::vector<bool>& dangling,
+                    double damping, std::span<const double> x,
+                    std::vector<double>& y, std::size_t threads) {
+  const std::size_t n = a.rows();
+  std::fill(y.begin(), y.end(), 0.0);
+  double dangling_mass = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (dangling[i]) dangling_mass += x[i];
+  }
+  if (threads > 1 && n >= 256) {
+    // Column-block parallel A^T x: each worker owns a disjoint slice of y.
+    const std::size_t block = (n + threads - 1) / threads;
+    svo::util::parallel_for(
+        0, threads,
+        [&](std::size_t t) {
+          const std::size_t j0 = t * block;
+          const std::size_t j1 = std::min(j0 + block, n);
+          for (std::size_t i = 0; i < n; ++i) {
+            const double xi = x[i];
+            if (xi == 0.0 || dangling[i]) continue;
+            const auto row = a.row(i);
+            for (std::size_t j = j0; j < j1; ++j) y[j] += xi * row[j];
+          }
+        },
+        1);
+  } else {
+    for (std::size_t i = 0; i < n; ++i) {
+      const double xi = x[i];
+      if (xi == 0.0 || dangling[i]) continue;
+      const auto row = a.row(i);
+      for (std::size_t j = 0; j < n; ++j) y[j] += xi * row[j];
+    }
+  }
+  // y currently holds sum_i a_ij x_i; apply damping and spread the
+  // dangling mass uniformly.
+  const double base =
+      (1.0 - damping) * dangling_mass / static_cast<double>(n) +
+      damping / static_cast<double>(n);
+  for (std::size_t j = 0; j < n; ++j) y[j] = (1.0 - damping) * y[j] + base;
+}
+
+}  // namespace
+
+PowerMethodResult power_method(const Matrix& a, const PowerMethodOptions& opts) {
+  detail::require(a.rows() == a.cols(), "power_method: matrix must be square");
+  detail::require(opts.epsilon > 0.0, "power_method: epsilon must be > 0");
+  detail::require(opts.damping >= 0.0 && opts.damping < 1.0,
+                  "power_method: damping must be in [0,1)");
+
+  PowerMethodResult result;
+  const std::size_t n = a.rows();
+  if (n == 0) {
+    result.converged = true;
+    return result;
+  }
+  std::vector<bool> dangling(n, false);
+  for (std::size_t i = 0; i < n; ++i) {
+    double row_sum = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      const double v = a(i, j);
+      detail::require(v >= 0.0, "power_method: matrix must be non-negative");
+      row_sum += v;
+    }
+    dangling[i] = (row_sum <= 0.0);
+  }
+
+  // Paper Algorithm 2 line 3: start uniform, x^0_i = 1/|C|.
+  std::vector<double> x(n, 1.0 / static_cast<double>(n));
+  std::vector<double> y(n, 0.0);
+
+  for (std::size_t it = 0; it < opts.max_iterations; ++it) {
+    apply_operator(a, dangling, opts.damping, x, y, opts.threads);
+    // Rayleigh-style eigenvalue estimate before normalization: with x
+    // L1-normalized, ||y||_1 approximates the dominant eigenvalue of the
+    // damped operator (exactly 1 for a patched stochastic matrix).
+    result.eigenvalue = norm_l1(y);
+    if (!normalize_l1(y)) {
+      // Operator annihilated x (possible only with damping == 0 on a
+      // nilpotent-like trust graph): fall back to uniform, report
+      // non-convergence.
+      std::fill(y.begin(), y.end(), 1.0 / static_cast<double>(n));
+      result.iterations = it + 1;
+      result.converged = false;
+      result.eigenvector = std::move(y);
+      return result;
+    }
+    const double delta = distance_l1(y, x);
+    x.swap(y);
+    result.iterations = it + 1;
+    if (delta < opts.epsilon) {
+      result.converged = true;
+      break;
+    }
+  }
+  result.eigenvector = std::move(x);
+  return result;
+}
+
+}  // namespace svo::linalg

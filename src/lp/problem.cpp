@@ -1,0 +1,83 @@
+#include "lp/problem.hpp"
+
+#include <cmath>
+
+namespace svo::lp {
+
+Problem::Problem(std::size_t num_vars)
+    : objective_(num_vars, 0.0), upper_bounds_(num_vars) {
+  detail::require(num_vars > 0, "lp::Problem: num_vars must be > 0");
+}
+
+void Problem::set_objective(std::vector<double> c) {
+  if (c.size() != objective_.size()) {
+    throw DimensionMismatch("lp::Problem::set_objective: size mismatch");
+  }
+  objective_ = std::move(c);
+}
+
+void Problem::set_objective_coeff(std::size_t var, double c) {
+  detail::require(var < num_vars(), "lp::Problem: var out of range");
+  objective_[var] = c;
+}
+
+std::size_t Problem::add_constraint(std::vector<double> coeffs, Sense sense,
+                                    double rhs) {
+  if (coeffs.size() != num_vars()) {
+    throw DimensionMismatch("lp::Problem::add_constraint: size mismatch");
+  }
+  constraints_.push_back(Constraint{std::move(coeffs), sense, rhs});
+  return constraints_.size() - 1;
+}
+
+const Constraint& Problem::constraint(std::size_t i) const {
+  detail::require(i < constraints_.size(),
+                  "lp::Problem::constraint: index out of range");
+  return constraints_[i];
+}
+
+void Problem::set_upper_bound(std::size_t var, double ub) {
+  detail::require(var < num_vars(), "lp::Problem: var out of range");
+  detail::require(ub >= 0.0, "lp::Problem: upper bound must be >= 0");
+  upper_bounds_[var] = ub;
+}
+
+std::optional<double> Problem::upper_bound(std::size_t var) const {
+  detail::require(var < num_vars(), "lp::Problem: var out of range");
+  return upper_bounds_[var];
+}
+
+double Problem::objective_value(const std::vector<double>& x) const {
+  if (x.size() != num_vars()) {
+    throw DimensionMismatch("lp::Problem::objective_value: size mismatch");
+  }
+  double acc = 0.0;
+  for (std::size_t j = 0; j < x.size(); ++j) acc += objective_[j] * x[j];
+  return acc;
+}
+
+bool Problem::is_feasible(const std::vector<double>& x, double tol) const {
+  if (x.size() != num_vars()) return false;
+  for (std::size_t j = 0; j < x.size(); ++j) {
+    if (x[j] < -tol) return false;
+    if (upper_bounds_[j] && x[j] > *upper_bounds_[j] + tol) return false;
+  }
+  for (const auto& c : constraints_) {
+    double lhs = 0.0;
+    for (std::size_t j = 0; j < x.size(); ++j) lhs += c.coeffs[j] * x[j];
+    switch (c.sense) {
+      case Sense::LessEqual:
+        if (lhs > c.rhs + tol) return false;
+        break;
+      case Sense::GreaterEqual:
+        if (lhs < c.rhs - tol) return false;
+        break;
+      case Sense::Equal:
+        if (std::abs(lhs - c.rhs) > tol) return false;
+        break;
+    }
+  }
+  return true;
+}
+
+}  // namespace svo::lp

@@ -1,0 +1,71 @@
+/// \file problem.hpp
+/// Linear program model: minimize c^T x subject to linear constraints and
+/// x >= 0 (optional per-variable upper bounds). The paper solved its task
+/// assignment IP (eqs. (9)-(14)) with CPLEX; this module plus svo::ip is
+/// our from-scratch replacement (DESIGN.md §1).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace svo::lp {
+
+/// Direction of one linear constraint.
+enum class Sense { LessEqual, GreaterEqual, Equal };
+
+/// One constraint: coeffs . x  (sense)  rhs.
+struct Constraint {
+  std::vector<double> coeffs;
+  Sense sense = Sense::LessEqual;
+  double rhs = 0.0;
+};
+
+/// A minimization LP over non-negative variables.
+class Problem {
+ public:
+  /// LP with `num_vars` variables, zero objective, no constraints.
+  explicit Problem(std::size_t num_vars);
+
+  [[nodiscard]] std::size_t num_vars() const noexcept { return objective_.size(); }
+  [[nodiscard]] std::size_t num_constraints() const noexcept {
+    return constraints_.size();
+  }
+
+  /// Set the objective vector (must match num_vars).
+  void set_objective(std::vector<double> c);
+  /// Set one objective coefficient.
+  void set_objective_coeff(std::size_t var, double c);
+  [[nodiscard]] const std::vector<double>& objective() const noexcept {
+    return objective_;
+  }
+
+  /// Append a constraint; returns its index. coeffs must match num_vars.
+  std::size_t add_constraint(std::vector<double> coeffs, Sense sense,
+                             double rhs);
+  [[nodiscard]] const Constraint& constraint(std::size_t i) const;
+  [[nodiscard]] const std::vector<Constraint>& constraints() const noexcept {
+    return constraints_;
+  }
+
+  /// Optional upper bound on a variable (handled by the solver as an
+  /// extra row). nullopt = unbounded above.
+  void set_upper_bound(std::size_t var, double ub);
+  [[nodiscard]] std::optional<double> upper_bound(std::size_t var) const;
+
+  /// Evaluate the objective at a point (size-checked).
+  [[nodiscard]] double objective_value(const std::vector<double>& x) const;
+
+  /// True iff `x` satisfies every constraint and bound within `tol`.
+  [[nodiscard]] bool is_feasible(const std::vector<double>& x,
+                                 double tol = 1e-7) const;
+
+ private:
+  std::vector<double> objective_;
+  std::vector<Constraint> constraints_;
+  std::vector<std::optional<double>> upper_bounds_;
+};
+
+}  // namespace svo::lp

@@ -1,0 +1,274 @@
+#include "lp/simplex.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace svo::lp {
+
+const char* to_string(SolveStatus s) noexcept {
+  switch (s) {
+    case SolveStatus::Optimal: return "Optimal";
+    case SolveStatus::Infeasible: return "Infeasible";
+    case SolveStatus::Unbounded: return "Unbounded";
+    case SolveStatus::IterationLimit: return "IterationLimit";
+  }
+  return "Unknown";
+}
+
+namespace {
+
+/// Dense tableau: `rows` constraint rows + one objective row; columns are
+/// structural + slack/surplus + artificial variables + RHS.
+class Tableau {
+ public:
+  Tableau(const Problem& problem, const SimplexOptions& opts)
+      : opts_(opts), n_struct_(problem.num_vars()) {
+    // Materialize rows: user constraints plus one <= row per upper bound.
+    struct Row {
+      std::vector<double> coeffs;
+      Sense sense;
+      double rhs;
+    };
+    std::vector<Row> rows;
+    rows.reserve(problem.num_constraints() + problem.num_vars());
+    for (const auto& c : problem.constraints()) {
+      rows.push_back({c.coeffs, c.sense, c.rhs});
+    }
+    for (std::size_t j = 0; j < n_struct_; ++j) {
+      if (const auto ub = problem.upper_bound(j)) {
+        std::vector<double> coeffs(n_struct_, 0.0);
+        coeffs[j] = 1.0;
+        rows.push_back({std::move(coeffs), Sense::LessEqual, *ub});
+      }
+    }
+    m_ = rows.size();
+
+    // Normalize RHS signs, count auxiliary columns.
+    std::size_t n_slack = 0;
+    std::size_t n_artificial = 0;
+    for (auto& r : rows) {
+      if (r.rhs < 0.0) {
+        for (double& v : r.coeffs) v = -v;
+        r.rhs = -r.rhs;
+        r.sense = (r.sense == Sense::LessEqual)    ? Sense::GreaterEqual
+                  : (r.sense == Sense::GreaterEqual) ? Sense::LessEqual
+                                                     : Sense::Equal;
+      }
+      if (r.sense != Sense::Equal) ++n_slack;
+      if (r.sense != Sense::LessEqual) ++n_artificial;
+    }
+    n_total_ = n_struct_ + n_slack + n_artificial;
+    artificial_start_ = n_struct_ + n_slack;
+
+    a_.assign(m_, std::vector<double>(n_total_ + 1, 0.0));
+    basis_.assign(m_, 0);
+
+    std::size_t slack_col = n_struct_;
+    std::size_t art_col = artificial_start_;
+    for (std::size_t i = 0; i < m_; ++i) {
+      const auto& r = rows[i];
+      std::copy(r.coeffs.begin(), r.coeffs.end(), a_[i].begin());
+      a_[i][n_total_] = r.rhs;
+      switch (r.sense) {
+        case Sense::LessEqual:
+          a_[i][slack_col] = 1.0;
+          basis_[i] = slack_col++;
+          break;
+        case Sense::GreaterEqual:
+          a_[i][slack_col] = -1.0;  // surplus
+          ++slack_col;
+          a_[i][art_col] = 1.0;
+          basis_[i] = art_col++;
+          break;
+        case Sense::Equal:
+          a_[i][art_col] = 1.0;
+          basis_[i] = art_col++;
+          break;
+      }
+    }
+  }
+
+  [[nodiscard]] std::size_t num_artificials() const noexcept {
+    return n_total_ - artificial_start_;
+  }
+
+  /// Load a cost vector (length n_total_) into the objective row and price
+  /// out the current basic variables.
+  void load_objective(const std::vector<double>& cost) {
+    obj_.assign(n_total_ + 1, 0.0);
+    std::copy(cost.begin(), cost.end(), obj_.begin());
+    obj_value_offset_ = 0.0;
+    for (std::size_t i = 0; i < m_; ++i) {
+      const double cb = cost[basis_[i]];
+      if (cb == 0.0) continue;
+      for (std::size_t j = 0; j <= n_total_; ++j) obj_[j] -= cb * a_[i][j];
+    }
+  }
+
+  /// Run simplex pivots until optimal/unbounded/iteration-limit.
+  /// `allow_artificial_entering` must be false in phase 2.
+  SolveStatus iterate(bool allow_artificial_entering, std::size_t& pivots) {
+    std::size_t degenerate_streak = 0;
+    while (pivots < opts_.max_iterations) {
+      const std::size_t limit =
+          allow_artificial_entering ? n_total_ : artificial_start_;
+      const bool bland = degenerate_streak >= opts_.degeneracy_patience;
+      // Pricing: most-negative reduced cost (Dantzig) or first-negative
+      // (Bland, guarantees anti-cycling).
+      std::size_t enter = n_total_;
+      double best = -opts_.eps;
+      for (std::size_t j = 0; j < limit; ++j) {
+        if (obj_[j] < best) {
+          enter = j;
+          if (bland) break;
+          best = obj_[j];
+        }
+      }
+      if (enter == n_total_) return SolveStatus::Optimal;
+
+      // Ratio test; ties broken by smallest basis index (lexicographic-ish,
+      // pairs with Bland for termination).
+      std::size_t leave_row = m_;
+      double best_ratio = std::numeric_limits<double>::infinity();
+      for (std::size_t i = 0; i < m_; ++i) {
+        const double aij = a_[i][enter];
+        if (aij <= opts_.eps) continue;
+        const double ratio = a_[i][n_total_] / aij;
+        if (ratio < best_ratio - opts_.eps ||
+            (ratio < best_ratio + opts_.eps &&
+             (leave_row == m_ || basis_[i] < basis_[leave_row]))) {
+          best_ratio = ratio;
+          leave_row = i;
+        }
+      }
+      if (leave_row == m_) return SolveStatus::Unbounded;
+      if (best_ratio <= opts_.eps) {
+        ++degenerate_streak;
+      } else {
+        degenerate_streak = 0;
+      }
+      pivot(leave_row, enter);
+      ++pivots;
+    }
+    return SolveStatus::IterationLimit;
+  }
+
+  /// Current objective-row value (negated running objective).
+  [[nodiscard]] double objective_row_value() const noexcept {
+    return -obj_[n_total_];
+  }
+
+  /// After phase 1: try to pivot artificial variables out of the basis;
+  /// returns false only on internal inconsistency (never expected).
+  void drive_out_artificials(std::size_t& pivots) {
+    for (std::size_t i = 0; i < m_; ++i) {
+      if (basis_[i] < artificial_start_) continue;
+      // Find any non-artificial column with a nonzero entry in this row.
+      std::size_t enter = n_total_;
+      for (std::size_t j = 0; j < artificial_start_; ++j) {
+        if (std::abs(a_[i][j]) > opts_.eps) {
+          enter = j;
+          break;
+        }
+      }
+      if (enter == n_total_) continue;  // redundant row; artificial stays at 0
+      pivot(i, enter);
+      ++pivots;
+    }
+  }
+
+  /// Extract values of the structural variables.
+  [[nodiscard]] std::vector<double> extract_solution() const {
+    std::vector<double> x(n_struct_, 0.0);
+    for (std::size_t i = 0; i < m_; ++i) {
+      if (basis_[i] < n_struct_) x[basis_[i]] = a_[i][n_total_];
+    }
+    // Clamp numerical dust.
+    for (double& v : x) {
+      if (v < 0.0 && v > -1e-9) v = 0.0;
+    }
+    return x;
+  }
+
+  [[nodiscard]] std::size_t total_columns() const noexcept { return n_total_; }
+
+ private:
+  void pivot(std::size_t row, std::size_t col) {
+    const double p = a_[row][col];
+    auto& pr = a_[row];
+    for (double& v : pr) v /= p;
+    for (std::size_t i = 0; i < m_; ++i) {
+      if (i == row) continue;
+      const double f = a_[i][col];
+      if (f == 0.0) continue;
+      auto& ri = a_[i];
+      for (std::size_t j = 0; j <= n_total_; ++j) ri[j] -= f * pr[j];
+      ri[col] = 0.0;  // exact zero, fights drift
+    }
+    const double fo = obj_[col];
+    if (fo != 0.0) {
+      for (std::size_t j = 0; j <= n_total_; ++j) obj_[j] -= fo * pr[j];
+      obj_[col] = 0.0;
+    }
+    basis_[row] = col;
+  }
+
+  SimplexOptions opts_;
+  std::size_t n_struct_;
+  std::size_t m_ = 0;
+  std::size_t n_total_ = 0;
+  std::size_t artificial_start_ = 0;
+  std::vector<std::vector<double>> a_;
+  std::vector<double> obj_;
+  std::vector<std::size_t> basis_;
+  double obj_value_offset_ = 0.0;
+};
+
+}  // namespace
+
+Solution solve(const Problem& problem, const SimplexOptions& options) {
+  Solution solution;
+  Tableau tab(problem, options);
+  std::size_t pivots = 0;
+
+  // Phase 1: minimize the sum of artificial variables.
+  if (tab.num_artificials() > 0) {
+    std::vector<double> phase1_cost(tab.total_columns(), 0.0);
+    for (std::size_t j = tab.total_columns() - tab.num_artificials();
+         j < tab.total_columns(); ++j) {
+      phase1_cost[j] = 1.0;
+    }
+    tab.load_objective(phase1_cost);
+    const SolveStatus s1 = tab.iterate(/*allow_artificial_entering=*/true,
+                                       pivots);
+    solution.iterations = pivots;
+    if (s1 == SolveStatus::IterationLimit) {
+      solution.status = SolveStatus::IterationLimit;
+      return solution;
+    }
+    // Unbounded is impossible in phase 1 (objective bounded below by 0).
+    if (tab.objective_row_value() > 1e-7) {
+      solution.status = SolveStatus::Infeasible;
+      return solution;
+    }
+    tab.drive_out_artificials(pivots);
+  }
+
+  // Phase 2: original objective over structural columns.
+  std::vector<double> cost(tab.total_columns(), 0.0);
+  const auto& c = problem.objective();
+  std::copy(c.begin(), c.end(), cost.begin());
+  tab.load_objective(cost);
+  const SolveStatus s2 =
+      tab.iterate(/*allow_artificial_entering=*/false, pivots);
+  solution.iterations = pivots;
+  solution.status = s2;
+  if (s2 == SolveStatus::Optimal) {
+    solution.x = tab.extract_solution();
+    solution.objective = problem.objective_value(solution.x);
+  }
+  return solution;
+}
+
+}  // namespace svo::lp

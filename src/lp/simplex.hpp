@@ -1,0 +1,60 @@
+/// \file simplex.hpp
+/// Two-phase dense tableau primal simplex for svo::lp::Problem.
+///
+/// Design notes:
+///  - Dantzig pricing by default; the solver switches to Bland's rule
+///    after a degeneracy streak, which guarantees termination.
+///  - Upper bounds are expanded into explicit <= rows (the LPs this
+///    project solves exactly — B&B relaxations of small assignment IPs —
+///    are tiny, so tableau simplicity wins over a bounded-variable
+///    implementation).
+///  - Phase 1 minimizes the sum of artificial variables; a positive
+///    phase-1 optimum reports Infeasible. Artificials stuck in the basis
+///    at level zero are kept but barred from re-entering.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "lp/problem.hpp"
+
+namespace svo::lp {
+
+/// Outcome of a simplex run.
+enum class SolveStatus {
+  Optimal,         ///< Optimal basic feasible solution found.
+  Infeasible,      ///< Constraints admit no feasible point.
+  Unbounded,       ///< Objective unbounded below on the feasible set.
+  IterationLimit,  ///< Pivot cap hit before convergence.
+};
+
+/// Human-readable status name.
+[[nodiscard]] const char* to_string(SolveStatus s) noexcept;
+
+/// Solution report.
+struct Solution {
+  SolveStatus status = SolveStatus::IterationLimit;
+  /// Values of the original variables (empty unless Optimal).
+  std::vector<double> x;
+  /// Objective at x (meaningful only when Optimal).
+  double objective = 0.0;
+  /// Total simplex pivots across both phases.
+  std::size_t iterations = 0;
+};
+
+/// Solver options.
+struct SimplexOptions {
+  std::size_t max_iterations = 200'000;
+  /// Numerical tolerance for pricing/ratio tests.
+  double eps = 1e-9;
+  /// Consecutive degenerate pivots tolerated before switching to Bland.
+  std::size_t degeneracy_patience = 50;
+};
+
+/// Solve `problem` (minimization). Never throws for solvable/unsolvable
+/// models — outcomes are reported via Solution::status; throws only on
+/// malformed input (via Problem's own contracts).
+[[nodiscard]] Solution solve(const Problem& problem,
+                             const SimplexOptions& options = {});
+
+}  // namespace svo::lp

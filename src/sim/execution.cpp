@@ -1,0 +1,100 @@
+#include "sim/execution.hpp"
+
+#include <algorithm>
+
+namespace svo::sim {
+
+ReliabilityModel::ReliabilityModel(std::vector<double> thetas)
+    : thetas_(std::move(thetas)) {
+  detail::require(!thetas_.empty(), "ReliabilityModel: no GSPs");
+  for (const double t : thetas_) {
+    detail::require(t >= 0.0 && t <= 1.0,
+                    "ReliabilityModel: theta must be in [0,1]");
+  }
+}
+
+ReliabilityModel ReliabilityModel::bimodal(std::size_t m,
+                                           double reliable_fraction,
+                                           double reliable_lo,
+                                           double unreliable_hi,
+                                           util::Xoshiro256& rng) {
+  detail::require(m > 0, "ReliabilityModel::bimodal: m == 0");
+  detail::require(reliable_fraction >= 0.0 && reliable_fraction <= 1.0,
+                  "ReliabilityModel::bimodal: fraction must be in [0,1]");
+  detail::require(reliable_lo >= 0.0 && reliable_lo <= 1.0 &&
+                      unreliable_hi >= 0.0 && unreliable_hi <= 1.0,
+                  "ReliabilityModel::bimodal: bounds must be in [0,1]");
+  std::vector<double> thetas(m);
+  for (double& t : thetas) {
+    t = rng.bernoulli(reliable_fraction) ? rng.uniform(reliable_lo, 1.0)
+                                         : rng.uniform(0.0, unreliable_hi);
+  }
+  return ReliabilityModel(std::move(thetas));
+}
+
+double ReliabilityModel::theta(std::size_t g) const {
+  detail::require(g < thetas_.size(), "ReliabilityModel: GSP out of range");
+  return thetas_[g];
+}
+
+ExecutionOutcome simulate_execution(const ip::AssignmentInstance& inst,
+                                    const ip::Assignment& mapping,
+                                    game::Coalition vo,
+                                    const ReliabilityModel& reliability,
+                                    util::Xoshiro256& rng) {
+  detail::require(mapping.size() == inst.num_tasks(),
+                  "simulate_execution: mapping arity mismatch");
+  detail::require(reliability.size() >= inst.num_gsps(),
+                  "simulate_execution: reliability model too small");
+
+  ExecutionOutcome out;
+  out.delivered.assign(reliability.size(), 0);
+  out.assigned.assign(reliability.size(), 0);
+  double cost = 0.0;
+  for (std::size_t t = 0; t < mapping.size(); ++t) {
+    const std::size_t g = mapping[t];
+    detail::require(vo.contains(g),
+                    "simulate_execution: mapping uses GSP outside the VO");
+    ++out.assigned[g];
+    cost += inst.cost(g, t);
+  }
+  // One delivery draw per member with work: a provider either honours
+  // its commitment entirely or defaults on it (Section I's failure mode).
+  std::size_t delivered_tasks = 0;
+  for (const std::size_t g : vo.members()) {
+    if (out.assigned[g] == 0) continue;
+    if (rng.bernoulli(reliability.theta(g))) {
+      out.delivered[g] = out.assigned[g];
+      delivered_tasks += out.assigned[g];
+    }
+  }
+  out.delivery_rate = mapping.empty()
+                          ? 0.0
+                          : static_cast<double>(delivered_tasks) /
+                                static_cast<double>(mapping.size());
+  out.completed = delivered_tasks == mapping.size();
+  // All-or-nothing payment (Section II-A): P if complete by the deadline,
+  // otherwise nothing; execution costs are sunk either way.
+  out.realized_value = (out.completed ? inst.payment : 0.0) - cost;
+  out.realized_share =
+      vo.empty() ? 0.0 : out.realized_value / static_cast<double>(vo.size());
+  return out;
+}
+
+void update_trust_from_outcome(trust::TrustGraph& trust, game::Coalition vo,
+                               const ExecutionOutcome& outcome,
+                               double rate) {
+  const std::vector<std::size_t> members = vo.members();
+  for (const std::size_t observer : members) {
+    for (const std::size_t observed : members) {
+      if (observer == observed) continue;
+      if (outcome.assigned[observed] == 0) continue;  // nothing to observe
+      const double score =
+          static_cast<double>(outcome.delivered[observed]) /
+          static_cast<double>(outcome.assigned[observed]);
+      trust.record_interaction(observer, observed, score, rate);
+    }
+  }
+}
+
+}  // namespace svo::sim

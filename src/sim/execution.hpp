@@ -1,0 +1,84 @@
+/// \file execution.hpp
+/// Delivered-service simulation — the behaviour the paper's introduction
+/// motivates but never simulates: "a GSP agrees to provide some
+/// resources, but it fails to deliver ... As a result, the application
+/// program could not be executed by that VO."
+///
+/// Each GSP has a hidden reliability theta in [0, 1]; after a mechanism
+/// selects a VO and a mapping, execution is simulated: each member
+/// either delivers *all* of its assigned work (probability theta) or
+/// fails as a unit — the paper's failure mode is a provider not
+/// delivering promised resources, not individual task crashes. Under the paper's
+/// payment rule the user pays P only when the whole program completes by
+/// the deadline, so one unreliable member can wipe out the VO's profit.
+/// Members observe each other's delivery and update mutual trust, which
+/// closes the loop: over repeated programs TVOF's reputation scores
+/// learn the hidden thetas, while RVOF keeps gambling.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "game/coalition.hpp"
+#include "ip/assignment.hpp"
+#include "trust/trust_graph.hpp"
+#include "util/rng.hpp"
+
+namespace svo::sim {
+
+/// Hidden per-GSP reliability.
+class ReliabilityModel {
+ public:
+  /// Explicit thetas (each in [0, 1]).
+  explicit ReliabilityModel(std::vector<double> thetas);
+
+  /// m GSPs with thetas drawn from a two-point mixture: reliable
+  /// (uniform in [reliable_lo, 1]) with probability `reliable_fraction`,
+  /// unreliable (uniform in [0, unreliable_hi]) otherwise. A crisp
+  /// population that makes learning curves readable.
+  static ReliabilityModel bimodal(std::size_t m, double reliable_fraction,
+                                  double reliable_lo, double unreliable_hi,
+                                  util::Xoshiro256& rng);
+
+  [[nodiscard]] std::size_t size() const noexcept { return thetas_.size(); }
+  [[nodiscard]] double theta(std::size_t g) const;
+  [[nodiscard]] const std::vector<double>& thetas() const noexcept {
+    return thetas_;
+  }
+
+ private:
+  std::vector<double> thetas_;
+};
+
+/// Outcome of executing one mapped program.
+struct ExecutionOutcome {
+  /// Whole program delivered (every task succeeded)?
+  bool completed = false;
+  /// Tasks delivered per GSP (original indices) and tasks assigned.
+  std::vector<std::size_t> delivered;
+  std::vector<std::size_t> assigned;
+  /// Realized coalition profit: P - C(T,C) when completed, else -C(T,C)
+  /// on the paper's all-or-nothing payment (costs are sunk).
+  double realized_value = 0.0;
+  /// Realized per-member share (equal sharing of realized_value).
+  double realized_share = 0.0;
+  /// Fraction of tasks delivered.
+  double delivery_rate = 0.0;
+};
+
+/// Simulate the execution of `mapping` (task -> original GSP index) for
+/// a program with payment/cost taken from `inst`. Deterministic in `rng`.
+[[nodiscard]] ExecutionOutcome simulate_execution(
+    const ip::AssignmentInstance& inst, const ip::Assignment& mapping,
+    game::Coalition vo, const ReliabilityModel& reliability,
+    util::Xoshiro256& rng);
+
+/// Close the loop: members of the VO update their mutual trust from the
+/// observed per-GSP delivery rates (EWMA with `rate`). GSPs outside the
+/// VO observe nothing, exactly as in the paper's direct-trust model.
+void update_trust_from_outcome(trust::TrustGraph& trust,
+                               game::Coalition vo,
+                               const ExecutionOutcome& outcome,
+                               double rate = 0.3);
+
+}  // namespace svo::sim

@@ -1,0 +1,89 @@
+#include "sim/learning.hpp"
+
+namespace svo::sim {
+
+ClosedLoopResult run_closed_loop(const core::VoFormationMechanism& mechanism,
+                                 const ReliabilityModel& reliability,
+                                 const ClosedLoopConfig& config,
+                                 std::uint64_t seed) {
+  const std::size_t m = config.gen.params.num_gsps;
+  detail::require(reliability.size() == m,
+                  "run_closed_loop: reliability size != num_gsps");
+  detail::require(config.rounds > 0, "run_closed_loop: rounds == 0");
+  detail::require(config.initial_trust > 0.0,
+                  "run_closed_loop: initial_trust must be > 0");
+  detail::require(config.deadline_slack >= 1.0,
+                  "run_closed_loop: deadline_slack must be >= 1");
+
+  // Complete initial trust graph: everyone starts equally credible.
+  trust::TrustGraph trust(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < m; ++j) {
+      if (i != j) trust.set_trust(i, j, config.initial_trust);
+    }
+  }
+
+  // Independent streams: the *same* seed gives two mechanisms identical
+  // programs and identical execution randomness (fair comparison).
+  util::Xoshiro256 program_rng(util::derive_seed(seed, 1));
+  util::Xoshiro256 execution_rng(util::derive_seed(seed, 2));
+  util::Xoshiro256 mechanism_rng(util::derive_seed(seed, 3));
+
+  ClosedLoopResult result;
+  result.rounds.reserve(config.rounds);
+  std::size_t formed = 0;
+  std::size_t completed = 0;
+  double sum_realized = 0.0;
+  double sum_promised = 0.0;
+
+  for (std::size_t round = 0; round < config.rounds; ++round) {
+    trace::ProgramSpec program;
+    program.num_tasks = config.num_tasks;
+    program.mean_task_runtime =
+        program_rng.uniform(config.runtime_lo, config.runtime_hi);
+    workload::GridInstance grid =
+        workload::generate_instance(program, config.gen, program_rng);
+    grid.assignment.deadline *= config.deadline_slack;
+
+    RoundRecord rec;
+    rec.round = round;
+    const core::MechanismResult r =
+        mechanism.run(grid.assignment, trust, mechanism_rng);
+    if (r.success) {
+      rec.formed = true;
+      ++formed;
+      rec.vo = r.selected;
+      rec.promised_share = r.payoff_share;
+      std::size_t unreliable = 0;
+      for (const std::size_t g : r.selected.members()) {
+        if (reliability.theta(g) < 0.5) ++unreliable;
+      }
+      rec.unreliable_member_fraction =
+          static_cast<double>(unreliable) /
+          static_cast<double>(r.selected.size());
+
+      const ExecutionOutcome outcome = simulate_execution(
+          grid.assignment, r.mapping, r.selected, reliability, execution_rng);
+      rec.completed = outcome.completed;
+      rec.realized_share = outcome.realized_share;
+      rec.delivery_rate = outcome.delivery_rate;
+      completed += outcome.completed ? 1 : 0;
+      sum_realized += outcome.realized_share;
+      sum_promised += rec.promised_share;
+
+      update_trust_from_outcome(trust, r.selected, outcome,
+                                config.trust_update_rate);
+    }
+    result.rounds.push_back(rec);
+  }
+
+  if (formed > 0) {
+    result.completion_rate =
+        static_cast<double>(completed) / static_cast<double>(formed);
+    result.mean_realized_share = sum_realized / static_cast<double>(formed);
+    result.mean_promised_share = sum_promised / static_cast<double>(formed);
+  }
+  return result;
+}
+
+}  // namespace svo::sim

@@ -1,0 +1,68 @@
+/// \file learning.hpp
+/// Closed-loop trust learning: repeatedly (form VO -> execute -> update
+/// trust) against a hidden reliability model. This operationalizes the
+/// paper's motivation — selecting trusted GSPs avoids failed programs —
+/// into a measurable learning curve, and is how the repository compares
+/// mechanisms on *realized* (not promised) payoff.
+#pragma once
+
+#include "core/mechanism.hpp"
+#include "sim/execution.hpp"
+#include "workload/instance_gen.hpp"
+
+namespace svo::sim {
+
+/// Configuration of one closed-loop run.
+struct ClosedLoopConfig {
+  /// Programs executed in sequence.
+  std::size_t rounds = 30;
+  /// Tasks per program.
+  std::size_t num_tasks = 96;
+  /// Mean task runtime band (seconds); each round draws uniformly.
+  double runtime_lo = 3.0 * 3600.0;
+  double runtime_hi = 8.0 * 3600.0;
+  /// EWMA rate for trust updates from observed delivery.
+  double trust_update_rate = 0.4;
+  /// Initial mutual trust among all GSPs (complete graph) — everyone
+  /// starts equally credible; learning must differentiate.
+  double initial_trust = 0.5;
+  /// Deadline multiplier applied after Table I generation. Table I draws
+  /// make the *grand coalition* barely feasible, leaving no room to
+  /// exclude anyone; slack > 1 lets small VOs be feasible so formation
+  /// decisions (not capacity) drive the outcome.
+  double deadline_slack = 2.5;
+  /// Instance generation (Table I defaults; num_gsps drives everything).
+  workload::InstanceGenOptions gen;
+};
+
+/// Per-round telemetry.
+struct RoundRecord {
+  std::size_t round = 0;
+  bool formed = false;     ///< mechanism found a feasible VO
+  bool completed = false;  ///< all tasks delivered
+  game::Coalition vo;
+  double promised_share = 0.0;  ///< equal share of v(C) (the paper's metric)
+  double realized_share = 0.0;  ///< share of realized value (ours)
+  double delivery_rate = 0.0;
+  /// Fraction of VO members whose hidden theta is below 0.5.
+  double unreliable_member_fraction = 0.0;
+};
+
+/// Aggregate result.
+struct ClosedLoopResult {
+  std::vector<RoundRecord> rounds;
+  double completion_rate = 0.0;      ///< completed / formed
+  double mean_realized_share = 0.0;  ///< over formed rounds
+  double mean_promised_share = 0.0;
+};
+
+/// Run the closed loop for one mechanism. The trust graph starts as a
+/// complete graph at `initial_trust` and evolves only through observed
+/// interactions. Deterministic in `seed`; pass the same seed to compare
+/// mechanisms on identical program sequences and hidden reliabilities.
+[[nodiscard]] ClosedLoopResult run_closed_loop(
+    const core::VoFormationMechanism& mechanism,
+    const ReliabilityModel& reliability, const ClosedLoopConfig& config,
+    std::uint64_t seed);
+
+}  // namespace svo::sim

@@ -1,0 +1,91 @@
+#include "sim/multi_program.hpp"
+
+namespace svo::sim {
+
+MultiProgramResult run_multi_program(
+    const core::VoFormationMechanism& mechanism,
+    const MultiProgramConfig& config, std::uint64_t seed) {
+  detail::require(config.programs > 0, "run_multi_program: programs == 0");
+  detail::require(config.tasks_lo > 0 && config.tasks_lo <= config.tasks_hi,
+                  "run_multi_program: bad task band");
+  detail::require(config.arrival_intensity > 0.0,
+                  "run_multi_program: arrival_intensity must be > 0");
+  detail::require(config.deadline_slack >= 1.0,
+                  "run_multi_program: deadline_slack must be >= 1");
+  const std::size_t m = config.gen.params.num_gsps;
+
+  util::Xoshiro256 rng(util::derive_seed(seed, 0xA11));
+  const trust::TrustGraph trust = trust::random_trust_graph(
+      m, config.gen.params.trust_edge_probability, rng);
+
+  MultiProgramResult result;
+  result.outcomes.reserve(config.programs);
+  // busy_until per GSP in logical seconds.
+  std::vector<double> busy_until(m, 0.0);
+  double now = 0.0;
+  std::size_t admitted = 0;
+  double utilization_sum = 0.0;
+
+  for (std::size_t i = 0; i < config.programs; ++i) {
+    trace::ProgramSpec program;
+    program.num_tasks = config.tasks_lo +
+                        rng.index(config.tasks_hi - config.tasks_lo + 1);
+    program.mean_task_runtime =
+        rng.uniform(config.runtime_lo, config.runtime_hi);
+    workload::GridInstance grid =
+        workload::generate_instance(program, config.gen, rng);
+    grid.assignment.deadline *= config.deadline_slack;
+
+    ProgramOutcome outcome;
+    outcome.index = i;
+    outcome.arrival_time = now;
+
+    std::vector<bool> free(m, false);
+    std::size_t free_count = 0;
+    for (std::size_t g = 0; g < m; ++g) {
+      free[g] = busy_until[g] <= now;
+      free_count += free[g];
+    }
+    outcome.available_gsps = free_count;
+    utilization_sum +=
+        static_cast<double>(m - free_count) / static_cast<double>(m);
+
+    if (free_count > 0) {
+      // Restrict the world to the free GSPs and run the mechanism there.
+      std::vector<std::size_t> original;
+      const ip::AssignmentInstance sub =
+          grid.assignment.restrict_to(free, &original);
+      const trust::TrustGraph sub_trust(
+          trust.graph().induced_subgraph(free));
+      const core::MechanismResult r = mechanism.run(sub, sub_trust, rng);
+      if (r.success) {
+        outcome.admitted = true;
+        ++admitted;
+        game::Coalition vo;
+        for (const std::size_t local : r.selected.members()) {
+          vo = vo.with(original[local]);
+        }
+        outcome.vo = vo;
+        outcome.payoff_share = r.payoff_share;
+        outcome.busy_until = now + grid.assignment.deadline;
+        for (const std::size_t g : vo.members()) {
+          busy_until[g] = outcome.busy_until;
+        }
+        result.total_value += r.value;
+      }
+    }
+    result.outcomes.push_back(outcome);
+    // Next arrival: exponential gap with mean proportional to this
+    // program's duration (intensity < 1 oversubscribes the grid).
+    now += rng.exponential(
+        1.0 / (config.arrival_intensity * grid.assignment.deadline));
+  }
+
+  result.admission_rate = static_cast<double>(admitted) /
+                          static_cast<double>(config.programs);
+  result.mean_utilization =
+      utilization_sum / static_cast<double>(config.programs);
+  return result;
+}
+
+}  // namespace svo::sim

@@ -1,0 +1,184 @@
+#include "trace/swf.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace svo::trace {
+
+namespace {
+
+/// Split a data line into up to 18 numeric tokens; returns token count
+/// or SIZE_MAX when a token fails to parse as a double.
+std::size_t tokenize(std::string_view line, double (&out)[18]) {
+  std::size_t count = 0;
+  std::size_t i = 0;
+  const std::size_t n = line.size();
+  while (i < n && count < 18) {
+    while (i < n && (line[i] == ' ' || line[i] == '\t' || line[i] == '\r')) ++i;
+    if (i >= n) break;
+    const std::size_t start = i;
+    while (i < n && line[i] != ' ' && line[i] != '\t' && line[i] != '\r') ++i;
+    double value = 0.0;
+    const auto* first = line.data() + start;
+    const auto* last = line.data() + i;
+    const auto [ptr, ec] = std::from_chars(first, last, value);
+    if (ec != std::errc() || ptr != last) return SIZE_MAX;
+    out[count++] = value;
+  }
+  // Trailing garbage (a 19th token) is malformed.
+  while (i < n && (line[i] == ' ' || line[i] == '\t' || line[i] == '\r')) ++i;
+  if (i < n) return SIZE_MAX;
+  return count;
+}
+
+std::int64_t as_int(double v) noexcept {
+  return static_cast<std::int64_t>(v);
+}
+
+}  // namespace
+
+bool parse_swf_line(std::string_view line, SwfJob& job) {
+  double f[18];
+  const std::size_t count = tokenize(line, f);
+  if (count != 18) return false;
+  job.job_number = as_int(f[0]);
+  job.submit_time = as_int(f[1]);
+  job.wait_time = as_int(f[2]);
+  job.run_time = f[3];
+  job.allocated_processors = as_int(f[4]);
+  job.avg_cpu_time = f[5];
+  job.used_memory_kb = f[6];
+  job.requested_processors = as_int(f[7]);
+  job.requested_time = f[8];
+  job.requested_memory_kb = f[9];
+  const auto status = as_int(f[10]);
+  switch (status) {
+    case 0: job.status = JobStatus::Failed; break;
+    case 1: job.status = JobStatus::Completed; break;
+    case 2: job.status = JobStatus::PartialToBeContinued; break;
+    case 3: job.status = JobStatus::PartialLastOfJob; break;
+    case 5: job.status = JobStatus::Cancelled; break;
+    default: job.status = JobStatus::Unknown; break;
+  }
+  job.user_id = as_int(f[11]);
+  job.group_id = as_int(f[12]);
+  job.executable_number = as_int(f[13]);
+  job.queue_number = as_int(f[14]);
+  job.partition_number = as_int(f[15]);
+  job.preceding_job = as_int(f[16]);
+  job.think_time = as_int(f[17]);
+  return true;
+}
+
+Trace parse_swf(std::istream& in) {
+  Trace trace;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    // Strip leading whitespace for the comment check.
+    std::size_t first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos) continue;
+    if (line[first] == ';') {
+      std::size_t text = line.find_first_not_of("; \t", first);
+      trace.header.push_back(text == std::string::npos ? std::string{}
+                                                       : line.substr(text));
+      continue;
+    }
+    SwfJob job;
+    if (parse_swf_line(line, job)) {
+      trace.jobs.push_back(job);
+    } else {
+      ++trace.malformed_lines;
+    }
+  }
+  return trace;
+}
+
+Trace parse_swf_file(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw IoError("parse_swf_file: cannot open " + path);
+  return parse_swf(f);
+}
+
+std::string format_swf_line(const SwfJob& job) {
+  std::ostringstream os;
+  const auto num = [&os](double v, bool integral) {
+    if (integral || v == static_cast<double>(static_cast<std::int64_t>(v))) {
+      os << static_cast<std::int64_t>(v);
+    } else {
+      os << v;
+    }
+  };
+  os << job.job_number << ' ' << job.submit_time << ' ' << job.wait_time << ' ';
+  num(job.run_time, false);
+  os << ' ' << job.allocated_processors << ' ';
+  num(job.avg_cpu_time, false);
+  os << ' ';
+  num(job.used_memory_kb, false);
+  os << ' ' << job.requested_processors << ' ';
+  num(job.requested_time, false);
+  os << ' ';
+  num(job.requested_memory_kb, false);
+  os << ' ' << static_cast<int>(job.status) << ' ' << job.user_id << ' '
+     << job.group_id << ' ' << job.executable_number << ' ' << job.queue_number
+     << ' ' << job.partition_number << ' ' << job.preceding_job << ' '
+     << job.think_time;
+  return os.str();
+}
+
+void write_swf(std::ostream& out, const Trace& trace) {
+  for (const auto& h : trace.header) out << "; " << h << '\n';
+  for (const auto& job : trace.jobs) out << format_swf_line(job) << '\n';
+}
+
+void write_swf_file(const std::string& path, const Trace& trace) {
+  std::ofstream f(path);
+  if (!f) throw IoError("write_swf_file: cannot open " + path);
+  write_swf(f, trace);
+}
+
+TraceStats compute_stats(const std::vector<SwfJob>& jobs,
+                         double long_threshold_seconds) {
+  TraceStats s;
+  s.long_job_threshold_seconds = long_threshold_seconds;
+  s.total_jobs = jobs.size();
+  s.min_processors = std::numeric_limits<std::int64_t>::max();
+  s.max_processors = 0;
+  s.min_runtime = std::numeric_limits<double>::infinity();
+  s.max_runtime = 0.0;
+  for (const auto& j : jobs) {
+    if (j.completed()) {
+      ++s.completed_jobs;
+      if (j.run_time > long_threshold_seconds) ++s.long_completed_jobs;
+    }
+    if (j.allocated_processors >= 0) {
+      s.min_processors = std::min(s.min_processors, j.allocated_processors);
+      s.max_processors = std::max(s.max_processors, j.allocated_processors);
+    }
+    if (j.run_time >= 0.0) {
+      s.min_runtime = std::min(s.min_runtime, j.run_time);
+      s.max_runtime = std::max(s.max_runtime, j.run_time);
+    }
+  }
+  if (jobs.empty()) {
+    s.min_processors = 0;
+    s.min_runtime = 0.0;
+  }
+  return s;
+}
+
+std::vector<SwfJob> filter_completed_long(const std::vector<SwfJob>& jobs,
+                                          double min_runtime_seconds) {
+  std::vector<SwfJob> out;
+  for (const auto& j : jobs) {
+    if (j.completed() && j.run_time >= min_runtime_seconds) out.push_back(j);
+  }
+  return out;
+}
+
+}  // namespace svo::trace

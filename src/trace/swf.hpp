@@ -1,0 +1,112 @@
+/// \file swf.hpp
+/// Standard Workload Format (SWF) v2 model, parser and writer.
+///
+/// The paper drives its experiments from LLNL-Atlas-2006-2.1-cln.swf of
+/// the Parallel Workloads Archive. SWF is a line-oriented text format:
+/// ';'-prefixed header comments followed by one job per line with 18
+/// whitespace-separated numeric fields; -1 marks "unknown".
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace svo::trace {
+
+/// SWF job status codes (field 11).
+enum class JobStatus : int {
+  Failed = 0,
+  Completed = 1,
+  PartialToBeContinued = 2,
+  PartialLastOfJob = 3,
+  Cancelled = 5,
+  Unknown = -1,
+};
+
+/// One SWF record. Field names and order follow the SWF definition;
+/// -1 encodes missing values exactly as in the archive files.
+struct SwfJob {
+  std::int64_t job_number = -1;          ///< 1: job id
+  std::int64_t submit_time = -1;         ///< 2: seconds since trace start
+  std::int64_t wait_time = -1;           ///< 3: seconds in queue
+  double run_time = -1.0;                ///< 4: wall-clock runtime, seconds
+  std::int64_t allocated_processors = -1;///< 5
+  double avg_cpu_time = -1.0;            ///< 6: average CPU seconds used
+  double used_memory_kb = -1.0;          ///< 7
+  std::int64_t requested_processors = -1;///< 8
+  double requested_time = -1.0;          ///< 9
+  double requested_memory_kb = -1.0;     ///< 10
+  JobStatus status = JobStatus::Unknown; ///< 11
+  std::int64_t user_id = -1;             ///< 12
+  std::int64_t group_id = -1;            ///< 13
+  std::int64_t executable_number = -1;   ///< 14
+  std::int64_t queue_number = -1;        ///< 15
+  std::int64_t partition_number = -1;    ///< 16
+  std::int64_t preceding_job = -1;       ///< 17
+  std::int64_t think_time = -1;          ///< 18
+
+  [[nodiscard]] bool completed() const noexcept {
+    return status == JobStatus::Completed;
+  }
+};
+
+/// A parsed trace: header comments plus jobs, with parse accounting.
+struct Trace {
+  std::vector<std::string> header;  ///< ';'-comment lines, prefix stripped
+  std::vector<SwfJob> jobs;
+  std::size_t malformed_lines = 0;  ///< lines skipped during parsing
+};
+
+/// Parse one SWF data line. Returns false (and leaves `job` unspecified)
+/// on malformed input; never throws for bad data.
+[[nodiscard]] bool parse_swf_line(std::string_view line, SwfJob& job);
+
+/// Parse a whole SWF stream. Comment lines (';') become header entries;
+/// malformed data lines are counted, not fatal.
+[[nodiscard]] Trace parse_swf(std::istream& in);
+
+/// Parse an SWF file. Throws IoError when the file cannot be opened.
+[[nodiscard]] Trace parse_swf_file(const std::string& path);
+
+/// Serialize a job as one SWF line (18 fields, space separated).
+[[nodiscard]] std::string format_swf_line(const SwfJob& job);
+
+/// Write a full trace (headers as ';' comments, then jobs).
+void write_swf(std::ostream& out, const Trace& trace);
+
+/// Write to a file. Throws IoError when the file cannot be opened.
+void write_swf_file(const std::string& path, const Trace& trace);
+
+/// Aggregate statistics of a job collection (mirrors the paper's workload
+/// characterization in Section IV-A).
+struct TraceStats {
+  std::size_t total_jobs = 0;
+  std::size_t completed_jobs = 0;
+  /// Completed jobs with run_time > threshold_seconds ("large jobs").
+  std::size_t long_completed_jobs = 0;
+  double long_job_threshold_seconds = 7200.0;
+  std::int64_t min_processors = 0;
+  std::int64_t max_processors = 0;
+  double min_runtime = 0.0;
+  double max_runtime = 0.0;
+  /// Fraction of completed jobs that are long.
+  [[nodiscard]] double long_fraction() const noexcept {
+    return completed_jobs == 0
+               ? 0.0
+               : static_cast<double>(long_completed_jobs) /
+                     static_cast<double>(completed_jobs);
+  }
+};
+
+/// Compute statistics over `jobs` with a configurable "long job" cutoff.
+[[nodiscard]] TraceStats compute_stats(const std::vector<SwfJob>& jobs,
+                                       double long_threshold_seconds = 7200.0);
+
+/// Jobs passing the paper's program-source filter: completed and
+/// run_time >= min_runtime_seconds.
+[[nodiscard]] std::vector<SwfJob> filter_completed_long(
+    const std::vector<SwfJob>& jobs, double min_runtime_seconds = 7200.0);
+
+}  // namespace svo::trace

@@ -1,0 +1,92 @@
+#include "trust/beta.hpp"
+
+namespace svo::trust {
+
+BetaReputationSystem::BetaReputationSystem(std::size_t m)
+    : positive_(m * m, 0.0), negative_(m * m, 0.0), m_(m) {
+  detail::require(m > 0, "BetaReputationSystem: need at least one GSP");
+}
+
+void BetaReputationSystem::check(std::size_t observer,
+                                 std::size_t subject) const {
+  detail::require(observer < m_ && subject < m_,
+                  "BetaReputationSystem: index out of range");
+  detail::require(observer != subject,
+                  "BetaReputationSystem: self-observation is not evidence");
+}
+
+void BetaReputationSystem::record(std::size_t observer, std::size_t subject,
+                                  bool positive, double weight) {
+  check(observer, subject);
+  detail::require(weight > 0.0 && weight <= 1.0,
+                  "BetaReputationSystem: weight must be in (0,1]");
+  (positive ? positive_ : negative_)[idx(observer, subject)] += weight;
+}
+
+void BetaReputationSystem::record_graded(std::size_t observer,
+                                         std::size_t subject,
+                                         double outcome) {
+  check(observer, subject);
+  detail::require(outcome >= 0.0 && outcome <= 1.0,
+                  "BetaReputationSystem: outcome must be in [0,1]");
+  positive_[idx(observer, subject)] += outcome;
+  negative_[idx(observer, subject)] += 1.0 - outcome;
+}
+
+double BetaReputationSystem::pairwise(std::size_t observer,
+                                      std::size_t subject) const {
+  check(observer, subject);
+  const double r = positive_[idx(observer, subject)];
+  const double s = negative_[idx(observer, subject)];
+  return (r + 1.0) / (r + s + 2.0);
+}
+
+double BetaReputationSystem::reputation(std::size_t subject) const {
+  detail::require(subject < m_, "BetaReputationSystem: index out of range");
+  double r = 0.0;
+  double s = 0.0;
+  for (std::size_t o = 0; o < m_; ++o) {
+    if (o == subject) continue;
+    r += positive_[idx(o, subject)];
+    s += negative_[idx(o, subject)];
+  }
+  return (r + 1.0) / (r + s + 2.0);
+}
+
+std::vector<double> BetaReputationSystem::reputations() const {
+  std::vector<double> out(m_);
+  for (std::size_t g = 0; g < m_; ++g) out[g] = reputation(g);
+  return out;
+}
+
+double BetaReputationSystem::evidence(std::size_t subject) const {
+  detail::require(subject < m_, "BetaReputationSystem: index out of range");
+  double total = 0.0;
+  for (std::size_t o = 0; o < m_; ++o) {
+    if (o == subject) continue;
+    total += positive_[idx(o, subject)] + negative_[idx(o, subject)];
+  }
+  return total;
+}
+
+void BetaReputationSystem::discount(double factor) {
+  detail::require(factor >= 0.0 && factor < 1.0,
+                  "BetaReputationSystem: factor must be in [0,1)");
+  for (double& v : positive_) v *= factor;
+  for (double& v : negative_) v *= factor;
+}
+
+TrustGraph BetaReputationSystem::to_trust_graph() const {
+  TrustGraph g(m_);
+  for (std::size_t i = 0; i < m_; ++i) {
+    for (std::size_t j = 0; j < m_; ++j) {
+      if (i == j) continue;
+      const double mass =
+          positive_[idx(i, j)] + negative_[idx(i, j)];
+      if (mass > 0.0) g.set_trust(i, j, pairwise(i, j));
+    }
+  }
+  return g;
+}
+
+}  // namespace svo::trust

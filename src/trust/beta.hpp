@@ -1,0 +1,74 @@
+/// \file beta.hpp
+/// Beta reputation system (Jøsang & Ismail) — the evidence-counting
+/// alternative to the paper's eigenvector reputation. Each ordered pair
+/// (observer, subject) accumulates positive and negative interaction
+/// evidence; the pairwise trust estimate is the Beta-posterior mean
+/// (r + 1) / (r + s + 2), and a subject's reputation pools the evidence
+/// of all observers. Useful when interactions are countable outcomes
+/// rather than asserted weights, and convertible into a TrustGraph so
+/// the unchanged TVOF machinery can run on top of it.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "trust/trust_graph.hpp"
+
+namespace svo::trust {
+
+/// Evidence-based reputation over m GSPs.
+class BetaReputationSystem {
+ public:
+  explicit BetaReputationSystem(std::size_t m);
+
+  [[nodiscard]] std::size_t size() const noexcept {
+    return positive_.size();
+  }
+
+  /// Record one interaction outcome observed by `observer` about
+  /// `subject`: weight in (0, 1] counts fractional evidence (e.g. the
+  /// delivered fraction of assigned work and its complement).
+  void record(std::size_t observer, std::size_t subject, bool positive,
+              double weight = 1.0);
+
+  /// Record a graded outcome in [0, 1]: adds `outcome` positive and
+  /// `1 - outcome` negative evidence.
+  void record_graded(std::size_t observer, std::size_t subject,
+                     double outcome);
+
+  /// Pairwise Beta-posterior mean (r+1)/(r+s+2); 0.5 with no evidence.
+  [[nodiscard]] double pairwise(std::size_t observer,
+                                std::size_t subject) const;
+
+  /// Subject reputation pooling every observer's evidence.
+  [[nodiscard]] double reputation(std::size_t subject) const;
+
+  /// All subject reputations.
+  [[nodiscard]] std::vector<double> reputations() const;
+
+  /// Total evidence mass (r + s) held about a subject — the confidence
+  /// behind its reputation.
+  [[nodiscard]] double evidence(std::size_t subject) const;
+
+  /// Age all evidence by `factor` in [0, 1) (multiplicative forgetting;
+  /// Jøsang's longevity factor). factor = 0 erases history.
+  void discount(double factor);
+
+  /// Materialize pairwise estimates as a TrustGraph (edges only where
+  /// evidence exists), ready for the reputation engine / mechanisms.
+  [[nodiscard]] TrustGraph to_trust_graph() const;
+
+ private:
+  void check(std::size_t observer, std::size_t subject) const;
+
+  // Row-major m x m evidence matrices (diagonal unused).
+  std::vector<double> positive_;
+  std::vector<double> negative_;
+  std::size_t m_ = 0;
+
+  [[nodiscard]] std::size_t idx(std::size_t i, std::size_t j) const noexcept {
+    return i * m_ + j;
+  }
+};
+
+}  // namespace svo::trust

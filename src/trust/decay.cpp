@@ -1,0 +1,85 @@
+#include "trust/decay.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace svo::trust {
+
+DecayingTrustGraph::DecayingTrustGraph(std::size_t m, DecayLaw law,
+                                       double lambda)
+    : base_(m), stamp_(m, std::vector<double>(m, 0.0)), law_(law),
+      lambda_(lambda) {
+  detail::require(lambda >= 0.0, "DecayingTrustGraph: lambda must be >= 0");
+}
+
+DecayingTrustGraph::DecayingTrustGraph(TrustGraph base, DecayLaw law,
+                                       double lambda)
+    : base_(std::move(base)),
+      stamp_(base_.size(), std::vector<double>(base_.size(), 0.0)),
+      law_(law), lambda_(lambda) {
+  detail::require(lambda >= 0.0, "DecayingTrustGraph: lambda must be >= 0");
+}
+
+void DecayingTrustGraph::advance(double dt) {
+  detail::require(dt >= 0.0, "DecayingTrustGraph::advance: dt must be >= 0");
+  now_ += dt;
+}
+
+void DecayingTrustGraph::set_trust(std::size_t i, std::size_t j, double u) {
+  base_.set_trust(i, j, u);
+  stamp_[i][j] = now_;
+}
+
+void DecayingTrustGraph::record_interaction(std::size_t i, std::size_t j,
+                                            double outcome, double rate) {
+  detail::require(outcome >= 0.0 && outcome <= 1.0,
+                  "DecayingTrustGraph: outcome must be in [0,1]");
+  detail::require(rate > 0.0 && rate <= 1.0,
+                  "DecayingTrustGraph: rate must be in (0,1]");
+  // EWMA on the *decayed* current value: stale trust contributes less.
+  const double current = trust(i, j);
+  const double updated = (1.0 - rate) * current + rate * outcome;
+  set_trust(i, j, updated);
+}
+
+double DecayingTrustGraph::decayed(double u0, double age) const {
+  if (u0 <= 0.0) return 0.0;
+  switch (law_) {
+    case DecayLaw::Exponential:
+      return u0 * std::exp(-lambda_ * age);
+    case DecayLaw::Linear:
+      return u0 * std::max(0.0, 1.0 - lambda_ * age);
+  }
+  return 0.0;
+}
+
+double DecayingTrustGraph::trust(std::size_t i, std::size_t j) const {
+  const double u0 = base_.trust(i, j);
+  if (u0 <= 0.0) return 0.0;
+  return decayed(u0, now_ - stamp_[i][j]);
+}
+
+TrustGraph DecayingTrustGraph::snapshot() const {
+  TrustGraph snap(size());
+  for (std::size_t i = 0; i < size(); ++i) {
+    for (const auto& e : base_.graph().out_edges(i)) {
+      const double u = decayed(e.weight, now_ - stamp_[i][e.to]);
+      if (u > 0.0) snap.set_trust(i, e.to, u);
+    }
+  }
+  return snap;
+}
+
+double DecayingTrustGraph::dead_edge_fraction(double threshold) const {
+  std::size_t total = 0;
+  std::size_t dead = 0;
+  for (std::size_t i = 0; i < size(); ++i) {
+    for (const auto& e : base_.graph().out_edges(i)) {
+      ++total;
+      if (decayed(e.weight, now_ - stamp_[i][e.to]) < threshold) ++dead;
+    }
+  }
+  return total == 0 ? 0.0 : static_cast<double>(dead) / static_cast<double>(total);
+}
+
+}  // namespace svo::trust

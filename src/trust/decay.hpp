@@ -1,0 +1,67 @@
+/// \file decay.hpp
+/// Time-decaying trust after Azzedin & Maheswaran [9], whose model the
+/// paper critiques: "the assumption of decaying trust and reputation
+/// with time limits the applications of this method in grids. This
+/// method converges to a state in which the formation of new VOs is not
+/// possible." DecayingTrustGraph implements that model so
+/// bench_ablation_decay can reproduce the critique quantitatively.
+#pragma once
+
+#include "trust/trust_graph.hpp"
+
+namespace svo::trust {
+
+/// Decay law applied to the age of a trust relationship.
+enum class DecayLaw {
+  Exponential,  ///< u(t) = u0 * exp(-lambda * age)
+  Linear,       ///< u(t) = u0 * max(0, 1 - lambda * age)
+};
+
+/// Trust graph whose edges lose strength with (logical) time unless
+/// refreshed by interactions. Time is advanced explicitly so that
+/// simulations stay deterministic.
+class DecayingTrustGraph {
+ public:
+  /// `lambda` is the decay rate per unit of logical time (>= 0).
+  DecayingTrustGraph(std::size_t m, DecayLaw law, double lambda);
+
+  /// Adopt an existing trust graph; all edges are stamped "fresh".
+  DecayingTrustGraph(TrustGraph base, DecayLaw law, double lambda);
+
+  [[nodiscard]] std::size_t size() const noexcept { return base_.size(); }
+  [[nodiscard]] double now() const noexcept { return now_; }
+
+  /// Advance logical time by dt >= 0.
+  void advance(double dt);
+
+  /// Set/refresh direct trust at the current time.
+  void set_trust(std::size_t i, std::size_t j, double u);
+
+  /// Interaction update (EWMA, like TrustGraph::record_interaction) —
+  /// also refreshes the edge's timestamp.
+  void record_interaction(std::size_t i, std::size_t j, double outcome,
+                          double rate = 0.3);
+
+  /// Decayed trust value at the current time.
+  [[nodiscard]] double trust(std::size_t i, std::size_t j) const;
+
+  /// Materialize the decayed graph (for the reputation engine and the
+  /// mechanisms, which consume a TrustGraph snapshot).
+  [[nodiscard]] TrustGraph snapshot() const;
+
+  /// Fraction of originally positive edges that have decayed below
+  /// `threshold` at the current time — the "VO formation dies out"
+  /// indicator from the paper's critique.
+  [[nodiscard]] double dead_edge_fraction(double threshold = 1e-3) const;
+
+ private:
+  [[nodiscard]] double decayed(double u0, double age) const;
+
+  TrustGraph base_;                 ///< trust values at their stamp time
+  std::vector<std::vector<double>> stamp_;  ///< last-refresh time per pair
+  DecayLaw law_;
+  double lambda_;
+  double now_ = 0.0;
+};
+
+}  // namespace svo::trust

@@ -1,0 +1,117 @@
+#include "trust/hierarchy.hpp"
+
+#include <cmath>
+
+namespace svo::trust {
+
+ReputationHierarchy::ReputationHierarchy(std::size_t organizations,
+                                         HierarchyAggregation aggregation)
+    : entities_(organizations), aggregation_(aggregation) {
+  detail::require(organizations > 0,
+                  "ReputationHierarchy: need at least one organization");
+}
+
+std::size_t ReputationHierarchy::add_entity(std::size_t org, Entity entity) {
+  detail::require(org < organizations(),
+                  "ReputationHierarchy: organization out of range");
+  detail::require(entity.reputation >= 0.0 && entity.reputation <= 1.0,
+                  "ReputationHierarchy: reputation must be in [0,1]");
+  detail::require(entity.weight > 0.0,
+                  "ReputationHierarchy: weight must be > 0");
+  entities_[org].push_back(std::move(entity));
+  return entities_[org].size() - 1;
+}
+
+const std::vector<Entity>& ReputationHierarchy::entities(
+    std::size_t org) const {
+  detail::require(org < organizations(),
+                  "ReputationHierarchy: organization out of range");
+  return entities_[org];
+}
+
+void ReputationHierarchy::record_entity_outcome(std::size_t org,
+                                                std::size_t entity,
+                                                double outcome, double rate) {
+  detail::require(org < organizations(),
+                  "ReputationHierarchy: organization out of range");
+  detail::require(entity < entities_[org].size(),
+                  "ReputationHierarchy: entity out of range");
+  detail::require(outcome >= 0.0 && outcome <= 1.0,
+                  "ReputationHierarchy: outcome must be in [0,1]");
+  detail::require(rate > 0.0 && rate <= 1.0,
+                  "ReputationHierarchy: rate must be in (0,1]");
+  Entity& e = entities_[org][entity];
+  e.reputation = (1.0 - rate) * e.reputation + rate * outcome;
+}
+
+double ReputationHierarchy::aggregate(const std::vector<double>& scores,
+                                      const std::vector<double>& weights) const {
+  if (scores.empty()) return 0.0;
+  switch (aggregation_) {
+    case HierarchyAggregation::WeightedMean: {
+      double num = 0.0;
+      double den = 0.0;
+      for (std::size_t i = 0; i < scores.size(); ++i) {
+        num += weights[i] * scores[i];
+        den += weights[i];
+      }
+      return den > 0.0 ? num / den : 0.0;
+    }
+    case HierarchyAggregation::Minimum: {
+      double lo = scores.front();
+      for (const double s : scores) lo = std::min(lo, s);
+      return lo;
+    }
+    case HierarchyAggregation::Geometric: {
+      // Weighted geometric mean; a zero score annihilates (by design —
+      // one dead resource should matter under this policy).
+      double log_sum = 0.0;
+      double den = 0.0;
+      for (std::size_t i = 0; i < scores.size(); ++i) {
+        if (scores[i] <= 0.0) return 0.0;
+        log_sum += weights[i] * std::log(scores[i]);
+        den += weights[i];
+      }
+      return den > 0.0 ? std::exp(log_sum / den) : 0.0;
+    }
+  }
+  return 0.0;
+}
+
+double ReputationHierarchy::organization_reputation(std::size_t org) const {
+  detail::require(org < organizations(),
+                  "ReputationHierarchy: organization out of range");
+  std::vector<double> scores;
+  std::vector<double> weights;
+  scores.reserve(entities_[org].size());
+  weights.reserve(entities_[org].size());
+  for (const Entity& e : entities_[org]) {
+    scores.push_back(e.reputation);
+    weights.push_back(e.weight);
+  }
+  return aggregate(scores, weights);
+}
+
+std::vector<double> ReputationHierarchy::organization_reputations() const {
+  std::vector<double> out(organizations());
+  for (std::size_t org = 0; org < organizations(); ++org) {
+    out[org] = organization_reputation(org);
+  }
+  return out;
+}
+
+double ReputationHierarchy::vo_reputation(game::Coalition vo) const {
+  std::vector<double> scores;
+  std::vector<double> weights;
+  for (const std::size_t org : vo.members()) {
+    detail::require(org < organizations(),
+                    "ReputationHierarchy: VO member out of range");
+    scores.push_back(organization_reputation(org));
+    double total_weight = 0.0;
+    for (const Entity& e : entities_[org]) total_weight += e.weight;
+    weights.push_back(total_weight > 0.0 ? total_weight : 1e-12);
+  }
+  return aggregate(scores, weights);
+}
+
+}  // namespace svo::trust

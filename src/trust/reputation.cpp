@@ -1,0 +1,36 @@
+#include "trust/reputation.hpp"
+
+namespace svo::trust {
+
+ReputationResult ReputationEngine::from_matrix(const linalg::Matrix& a) const {
+  ReputationResult r;
+  const linalg::PowerMethodResult pm = linalg::power_method(a, opts_.power);
+  r.scores = pm.eigenvector;
+  r.iterations = pm.iterations;
+  r.converged = pm.converged;
+  r.average = average_reputation(r.scores);
+  return r;
+}
+
+ReputationResult ReputationEngine::compute(const TrustGraph& g) const {
+  return from_matrix(g.normalized_matrix());
+}
+
+ReputationResult ReputationEngine::compute(
+    const TrustGraph& g, const std::vector<std::size_t>& members) const {
+  if (members.empty()) {
+    ReputationResult r;
+    r.converged = true;
+    return r;
+  }
+  return from_matrix(g.normalized_matrix(members));
+}
+
+double average_reputation(const std::vector<double>& scores) {
+  if (scores.empty()) return 0.0;
+  double sum = 0.0;
+  for (double s : scores) sum += s;
+  return sum / static_cast<double>(scores.size());
+}
+
+}  // namespace svo::trust

@@ -1,0 +1,62 @@
+/// \file reputation.hpp
+/// Global reputation of GSPs — paper Algorithm 2 / eqs. (2)-(7): the
+/// dominant left eigenvector of the (coalition-restricted) normalized
+/// trust matrix, found by power iteration; plus the average global
+/// reputation of eq. (7) used as the VO-level metric.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/power_method.hpp"
+#include "trust/trust_graph.hpp"
+
+namespace svo::trust {
+
+/// Result of one reputation computation.
+struct ReputationResult {
+  /// Reputation score per coalition member, aligned with the member list
+  /// passed in (or with GSP ids when scoring all GSPs). L1-normalized.
+  std::vector<double> scores;
+  /// Average global reputation of the coalition, eq. (7). Because scores
+  /// sum to 1, this equals 1/|C| — the *interesting* comparative metric
+  /// across coalitions of different sizes (paper Figs. 3, 5-8) divides
+  /// mass among fewer, better-connected members as TVOF prunes.
+  double average = 0.0;
+  std::size_t iterations = 0;
+  bool converged = false;
+};
+
+/// Options for the engine. Defaults: epsilon 1e-9, damping 0.15
+/// (DESIGN.md §4.1 — set damping to 0 for the paper's literal iteration).
+struct ReputationOptions {
+  linalg::PowerMethodOptions power;
+};
+
+/// Computes global reputation vectors for GSP coalitions.
+class ReputationEngine {
+ public:
+  explicit ReputationEngine(ReputationOptions opts = {}) : opts_(opts) {}
+
+  /// Score every GSP in the trust graph.
+  [[nodiscard]] ReputationResult compute(const TrustGraph& g) const;
+
+  /// Score the coalition `members` (strictly increasing original GSP
+  /// indices) on its induced subgraph. Empty coalition -> empty result.
+  [[nodiscard]] ReputationResult compute(
+      const TrustGraph& g, const std::vector<std::size_t>& members) const;
+
+  [[nodiscard]] const ReputationOptions& options() const noexcept {
+    return opts_;
+  }
+
+ private:
+  [[nodiscard]] ReputationResult from_matrix(const linalg::Matrix& a) const;
+
+  ReputationOptions opts_;
+};
+
+/// Average global reputation (eq. (7)) of an explicit score vector.
+[[nodiscard]] double average_reputation(const std::vector<double>& scores);
+
+}  // namespace svo::trust

@@ -1,0 +1,70 @@
+#include "trust/trust_graph.hpp"
+
+#include <algorithm>
+
+#include "graph/generators.hpp"
+
+namespace svo::trust {
+
+void TrustGraph::set_trust(std::size_t i, std::size_t j, double u) {
+  detail::require(i < size() && j < size(), "TrustGraph: index out of range");
+  detail::require(i != j, "TrustGraph: self-trust is not modeled");
+  detail::require(u >= 0.0, "TrustGraph: trust must be >= 0");
+  if (u == 0.0) {
+    (void)graph_.remove_edge(i, j);
+  } else {
+    graph_.set_edge(i, j, u);
+  }
+}
+
+double TrustGraph::trust(std::size_t i, std::size_t j) const {
+  detail::require(i < size() && j < size(), "TrustGraph: index out of range");
+  return graph_.edge_weight(i, j).value_or(0.0);
+}
+
+linalg::Matrix TrustGraph::normalized_matrix() const {
+  linalg::Matrix a = graph_.adjacency_matrix();
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    auto row = a.row(i);
+    (void)linalg::normalize_l1(row);  // eq. (1); zero rows stay zero
+  }
+  return a;
+}
+
+linalg::Matrix TrustGraph::normalized_matrix(
+    const std::vector<std::size_t>& members) const {
+  detail::require(std::is_sorted(members.begin(), members.end()) &&
+                      std::adjacent_find(members.begin(), members.end()) ==
+                          members.end(),
+                  "TrustGraph: members must be strictly increasing");
+  const std::size_t c = members.size();
+  linalg::Matrix a(c, c);
+  for (std::size_t i = 0; i < c; ++i) {
+    detail::require(members[i] < size(), "TrustGraph: member out of range");
+    for (std::size_t j = 0; j < c; ++j) {
+      if (i == j) continue;
+      a(i, j) = graph_.edge_weight(members[i], members[j]).value_or(0.0);
+    }
+    auto row = a.row(i);
+    (void)linalg::normalize_l1(row);  // normalize within the coalition
+  }
+  return a;
+}
+
+void TrustGraph::record_interaction(std::size_t truster, std::size_t trustee,
+                                    double outcome, double rate) {
+  detail::require(outcome >= 0.0 && outcome <= 1.0,
+                  "TrustGraph: outcome must be in [0,1]");
+  detail::require(rate > 0.0 && rate <= 1.0,
+                  "TrustGraph: rate must be in (0,1]");
+  const double updated = (1.0 - rate) * trust(truster, trustee) + rate * outcome;
+  set_trust(truster, trustee, updated);
+}
+
+TrustGraph random_trust_graph(std::size_t m, double p, util::Xoshiro256& rng) {
+  graph::ErdosRenyiOptions opts;
+  opts.p = p;
+  return TrustGraph(graph::erdos_renyi(m, opts, rng));
+}
+
+}  // namespace svo::trust

@@ -1,0 +1,73 @@
+/// \file trust_graph.hpp
+/// The paper's trust model (Section II-B): a weighted digraph (G, E)
+/// whose edge weight u_ij is the direct trust G_i places in G_j, plus the
+/// row normalization of eq. (1):
+///
+///   a_ij = u_ij / sum_{k in N_i} u_ik,
+///
+/// applied within whatever GSP subset (coalition) is being scored —
+/// Algorithm 2 operates on the induced subgraph (C, E_C).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "linalg/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace svo::trust {
+
+/// Directed trust relationships among m GSPs.
+class TrustGraph {
+ public:
+  /// m GSPs, no trust edges yet.
+  explicit TrustGraph(std::size_t m) : graph_(m) {}
+
+  /// Adopt an existing digraph (e.g. an Erdős–Rényi draw) as trust.
+  explicit TrustGraph(graph::Digraph g) : graph_(std::move(g)) {}
+
+  /// Number of GSPs.
+  [[nodiscard]] std::size_t size() const noexcept {
+    return graph_.vertex_count();
+  }
+
+  /// Set direct trust u_ij (>= 0; 0 removes the edge — the paper equates
+  /// u_ij = 0 with complete distrust / no relationship).
+  void set_trust(std::size_t i, std::size_t j, double u);
+
+  /// Direct trust u_ij; 0 when no edge exists.
+  [[nodiscard]] double trust(std::size_t i, std::size_t j) const;
+
+  /// Underlying digraph (read-only).
+  [[nodiscard]] const graph::Digraph& graph() const noexcept { return graph_; }
+
+  /// Normalized trust matrix A over all GSPs (eq. (1)). Rows of GSPs with
+  /// no outgoing trust are all-zero ("dangling"; the reputation engine
+  /// patches them to uniform).
+  [[nodiscard]] linalg::Matrix normalized_matrix() const;
+
+  /// Normalized trust matrix A_C of the subgraph induced by `members`
+  /// (original GSP indices, strictly increasing). Normalization happens
+  /// *inside* the coalition: opinions of outsiders are excluded, exactly
+  /// as TVOF requires (Section III-A).
+  [[nodiscard]] linalg::Matrix normalized_matrix(
+      const std::vector<std::size_t>& members) const;
+
+  /// Interaction-driven trust update (extension beyond the paper's static
+  /// snapshot; supports dynamic simulations): exponential moving average
+  ///   u_ij <- (1 - rate) * u_ij + rate * outcome,
+  /// where outcome in [0, 1] scores the trustee's delivered service.
+  void record_interaction(std::size_t truster, std::size_t trustee,
+                          double outcome, double rate = 0.3);
+
+ private:
+  graph::Digraph graph_;
+};
+
+/// Convenience: random trust graph per the paper's setup — Erdős–Rényi
+/// G(m, p) with positive uniform weights.
+[[nodiscard]] TrustGraph random_trust_graph(std::size_t m, double p,
+                                            util::Xoshiro256& rng);
+
+}  // namespace svo::trust

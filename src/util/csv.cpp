@@ -1,0 +1,103 @@
+#include "util/csv.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace svo::util {
+
+std::string csv_escape(const std::string& field) {
+  const bool needs_quote =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quote) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  detail::require(!header_.empty(), "Table: header must be non-empty");
+}
+
+void Table::add_row(std::vector<Cell> row) {
+  if (row.size() != header_.size()) {
+    throw DimensionMismatch("Table::add_row: arity differs from header");
+  }
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::render_cell(const Cell& c) const {
+  if (const auto* s = std::get_if<std::string>(&c)) return *s;
+  if (const auto* i = std::get_if<long long>(&c)) return std::to_string(*i);
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision_) << std::get<double>(c);
+  return os.str();
+}
+
+void Table::write_csv(std::ostream& os) const {
+  for (std::size_t j = 0; j < header_.size(); ++j) {
+    if (j) os << ',';
+    os << csv_escape(header_[j]);
+  }
+  os << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t j = 0; j < row.size(); ++j) {
+      if (j) os << ',';
+      os << csv_escape(render_cell(row[j]));
+    }
+    os << '\n';
+  }
+}
+
+void Table::write_csv_file(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) throw IoError("Table::write_csv_file: cannot open " + path);
+  write_csv(f);
+}
+
+void Table::write_pretty(std::ostream& os) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t j = 0; j < header_.size(); ++j) width[j] = header_[j].size();
+  std::vector<std::vector<std::string>> rendered;
+  rendered.reserve(rows_.size());
+  for (const auto& row : rows_) {
+    std::vector<std::string> r;
+    r.reserve(row.size());
+    for (std::size_t j = 0; j < row.size(); ++j) {
+      r.push_back(render_cell(row[j]));
+      width[j] = std::max(width[j], r.back().size());
+    }
+    rendered.push_back(std::move(r));
+  }
+  const auto rule = [&] {
+    os << '+';
+    for (std::size_t w : width) os << std::string(w + 2, '-') << '+';
+    os << '\n';
+  };
+  rule();
+  os << '|';
+  for (std::size_t j = 0; j < header_.size(); ++j) {
+    os << ' ' << std::left << std::setw(static_cast<int>(width[j]))
+       << header_[j] << " |";
+  }
+  os << '\n';
+  rule();
+  for (const auto& r : rendered) {
+    os << '|';
+    for (std::size_t j = 0; j < r.size(); ++j) {
+      os << ' ' << std::right << std::setw(static_cast<int>(width[j])) << r[j]
+         << " |";
+    }
+    os << '\n';
+  }
+  rule();
+}
+
+}  // namespace svo::util

@@ -1,0 +1,57 @@
+/// \file csv.hpp
+/// CSV and aligned-console-table emitters for experiment results.
+///
+/// Every figure harness in bench/ prints two artifacts: an aligned table
+/// for the terminal and (optionally) a CSV file for replotting.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace svo::util {
+
+/// A single table cell: text, integer, or floating-point value.
+using Cell = std::variant<std::string, long long, double>;
+
+/// Row-oriented table with a fixed header. Collects rows, then renders
+/// either as CSV (RFC-4180 quoting) or as an aligned console table.
+class Table {
+ public:
+  /// Construct with column headers (defines the column count).
+  explicit Table(std::vector<std::string> header);
+
+  /// Append a row. Throws DimensionMismatch if the arity differs from
+  /// the header.
+  void add_row(std::vector<Cell> row);
+
+  /// Number of data rows.
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+  /// Number of columns.
+  [[nodiscard]] std::size_t cols() const noexcept { return header_.size(); }
+
+  /// Floating-point precision used when rendering double cells.
+  void set_precision(int digits) noexcept { precision_ = digits; }
+
+  /// Write as CSV to a stream.
+  void write_csv(std::ostream& os) const;
+
+  /// Write as CSV to a file path. Throws IoError if the file cannot open.
+  void write_csv_file(const std::string& path) const;
+
+  /// Render an aligned, boxed console table.
+  void write_pretty(std::ostream& os) const;
+
+ private:
+  [[nodiscard]] std::string render_cell(const Cell& c) const;
+
+  std::vector<std::string> header_;
+  std::vector<std::vector<Cell>> rows_;
+  int precision_ = 4;
+};
+
+/// Escape one CSV field per RFC 4180 (quote when it contains , " or \n).
+[[nodiscard]] std::string csv_escape(const std::string& field);
+
+}  // namespace svo::util

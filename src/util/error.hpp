@@ -1,0 +1,49 @@
+/// \file error.hpp
+/// Error types shared across the svo libraries.
+///
+/// Policy (per C++ Core Guidelines E.14): exceptions are reserved for
+/// *contract violations* — callers passing arguments that make no sense.
+/// Expected outcomes (an infeasible IP, a power method that hit its
+/// iteration cap) are reported through status enums on result structs,
+/// never through exceptions.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace svo {
+
+/// Base class for all svo contract-violation exceptions.
+class Error : public std::logic_error {
+ public:
+  explicit Error(const std::string& what) : std::logic_error(what) {}
+};
+
+/// Thrown when an argument violates a documented precondition.
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when two objects that must agree on a dimension do not.
+class DimensionMismatch : public Error {
+ public:
+  explicit DimensionMismatch(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when a file cannot be opened or parsed at all (I/O layer only;
+/// recoverable per-record parse problems are reported as counts/statuses).
+class IoError : public std::runtime_error {
+ public:
+  explicit IoError(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+/// Require `cond`; otherwise throw InvalidArgument with `msg`.
+inline void require(bool cond, const char* msg) {
+  if (!cond) throw InvalidArgument(msg);
+}
+
+}  // namespace detail
+}  // namespace svo

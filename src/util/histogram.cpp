@@ -1,0 +1,87 @@
+#include "util/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace svo::util {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins, bool log_scale)
+    : lo_(lo), hi_(hi), log_scale_(log_scale), counts_(bins, 0) {
+  detail::require(bins >= 1, "Histogram: need at least one bin");
+  detail::require(lo < hi, "Histogram: lo must be < hi");
+  if (log_scale) {
+    detail::require(lo > 0.0, "Histogram: log scale needs lo > 0");
+  }
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : Histogram(lo, hi, bins, /*log_scale=*/false) {}
+
+Histogram Histogram::logarithmic(double lo, double hi, std::size_t bins) {
+  return Histogram(lo, hi, bins, /*log_scale=*/true);
+}
+
+void Histogram::add(double x) noexcept {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (x >= hi_) {
+    ++overflow_;
+    return;
+  }
+  double fraction;
+  if (log_scale_) {
+    fraction = (std::log(x) - std::log(lo_)) / (std::log(hi_) - std::log(lo_));
+  } else {
+    fraction = (x - lo_) / (hi_ - lo_);
+  }
+  const auto bin = std::min(
+      counts_.size() - 1,
+      static_cast<std::size_t>(fraction * static_cast<double>(counts_.size())));
+  ++counts_[bin];
+}
+
+std::size_t Histogram::count(std::size_t bin) const {
+  detail::require(bin < counts_.size(), "Histogram::count: bin out of range");
+  return counts_[bin];
+}
+
+std::pair<double, double> Histogram::bin_range(std::size_t bin) const {
+  detail::require(bin < counts_.size(),
+                  "Histogram::bin_range: bin out of range");
+  const double n = static_cast<double>(counts_.size());
+  if (log_scale_) {
+    const double llo = std::log(lo_);
+    const double step = (std::log(hi_) - llo) / n;
+    return {std::exp(llo + step * static_cast<double>(bin)),
+            std::exp(llo + step * static_cast<double>(bin + 1))};
+  }
+  const double step = (hi_ - lo_) / n;
+  return {lo_ + step * static_cast<double>(bin),
+          lo_ + step * static_cast<double>(bin + 1)};
+}
+
+std::string Histogram::render(std::size_t width) const {
+  std::size_t max_count = 1;
+  for (const std::size_t c : counts_) max_count = std::max(max_count, c);
+  std::ostringstream os;
+  for (std::size_t bin = 0; bin < counts_.size(); ++bin) {
+    if (counts_[bin] == 0) continue;
+    const auto [lo, hi] = bin_range(bin);
+    const auto bar = static_cast<std::size_t>(
+        static_cast<double>(counts_[bin]) / static_cast<double>(max_count) *
+        static_cast<double>(width));
+    os << "[" << std::scientific;
+    os.precision(2);
+    os << lo << ", " << hi << ") " << std::string(std::max<std::size_t>(bar, 1), '#')
+       << ' ' << counts_[bin] << '\n';
+  }
+  if (underflow_ > 0) os << "underflow: " << underflow_ << '\n';
+  if (overflow_ > 0) os << "overflow: " << overflow_ << '\n';
+  return os.str();
+}
+
+}  // namespace svo::util

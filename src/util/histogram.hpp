@@ -1,0 +1,52 @@
+/// \file histogram.hpp
+/// Fixed-bin histogram used by the trace statistics and the CLI's
+/// `trace-stats` view (runtime and job-size distributions).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace svo::util {
+
+/// Histogram over [lo, hi) with equal-width bins plus overflow/underflow
+/// counters. Log-scale binning is available for heavy-tailed data
+/// (runtimes, job sizes).
+class Histogram {
+ public:
+  /// Linear bins. Requires lo < hi and bins >= 1.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  /// Log-spaced bins over [lo, hi); requires 0 < lo < hi.
+  static Histogram logarithmic(double lo, double hi, std::size_t bins);
+
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::size_t bins() const noexcept { return counts_.size(); }
+  [[nodiscard]] std::size_t count(std::size_t bin) const;
+  [[nodiscard]] std::size_t underflow() const noexcept { return underflow_; }
+  [[nodiscard]] std::size_t overflow() const noexcept { return overflow_; }
+  [[nodiscard]] std::size_t total() const noexcept { return total_; }
+
+  /// [lower, upper) edges of a bin in data space.
+  [[nodiscard]] std::pair<double, double> bin_range(std::size_t bin) const;
+
+  /// ASCII rendering: one line per non-empty bin, bar lengths normalized
+  /// to `width` characters.
+  [[nodiscard]] std::string render(std::size_t width = 50) const;
+
+ private:
+  Histogram(double lo, double hi, std::size_t bins, bool log_scale);
+
+  double lo_;
+  double hi_;
+  bool log_scale_;
+  std::vector<std::size_t> counts_;
+  std::size_t underflow_ = 0;
+  std::size_t overflow_ = 0;
+  std::size_t total_ = 0;
+};
+
+}  // namespace svo::util

@@ -1,0 +1,76 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace svo::util {
+
+RunningStats::RunningStats() noexcept
+    : min_(std::numeric_limits<double>::infinity()),
+      max_(-std::numeric_limits<double>::infinity()) {}
+
+void RunningStats::add(double x) noexcept {
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::variance() const noexcept {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double percentile(std::vector<double> sample, double q) {
+  detail::require(!sample.empty(), "percentile: empty sample");
+  detail::require(q >= 0.0 && q <= 1.0, "percentile: q not in [0,1]");
+  std::sort(sample.begin(), sample.end());
+  if (sample.size() == 1) return sample.front();
+  const double pos = q * static_cast<double>(sample.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sample.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sample[lo] + frac * (sample[hi] - sample[lo]);
+}
+
+Summary summarize(const std::vector<double>& sample) {
+  Summary s;
+  if (sample.empty()) return s;
+  RunningStats rs;
+  for (double x : sample) rs.add(x);
+  s.count = rs.count();
+  s.mean = rs.mean();
+  s.stddev = rs.stddev();
+  s.min = rs.min();
+  s.max = rs.max();
+  s.p25 = percentile(sample, 0.25);
+  s.median = percentile(sample, 0.50);
+  s.p75 = percentile(sample, 0.75);
+  return s;
+}
+
+}  // namespace svo::util

@@ -1,0 +1,66 @@
+/// \file stats.hpp
+/// Streaming and batch descriptive statistics used by the simulation
+/// harness (every figure in the paper reports averages over repetitions).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace svo::util {
+
+/// Welford one-pass accumulator: numerically stable mean/variance,
+/// plus min/max. O(1) per observation, no storage of the samples.
+class RunningStats {
+ public:
+  /// Add one observation.
+  void add(double x) noexcept;
+
+  /// Merge another accumulator (parallel reduction; Chan et al. update).
+  void merge(const RunningStats& other) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  /// Mean of the observations; 0 when empty.
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  /// Unbiased sample variance; 0 when fewer than two observations.
+  [[nodiscard]] double variance() const noexcept;
+  /// sqrt(variance()).
+  [[nodiscard]] double stddev() const noexcept;
+  /// Minimum observation; +inf when empty.
+  [[nodiscard]] double min() const noexcept { return min_; }
+  /// Maximum observation; -inf when empty.
+  [[nodiscard]] double max() const noexcept { return max_; }
+  /// Sum of all observations.
+  [[nodiscard]] double sum() const noexcept { return mean_ * static_cast<double>(n_); }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_;
+  double max_;
+
+ public:
+  RunningStats() noexcept;
+};
+
+/// Batch summary of a sample (computed once; keeps a sorted copy internally
+/// only during construction).
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double p25 = 0.0;
+  double median = 0.0;
+  double p75 = 0.0;
+  double max = 0.0;
+};
+
+/// Summarize a sample. Empty input yields an all-zero Summary.
+[[nodiscard]] Summary summarize(const std::vector<double>& sample);
+
+/// Linear-interpolation percentile of a sample, q in [0,1].
+/// Throws InvalidArgument on empty sample or q outside [0,1].
+[[nodiscard]] double percentile(std::vector<double> sample, double q);
+
+}  // namespace svo::util

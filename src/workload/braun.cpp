@@ -1,0 +1,56 @@
+#include "workload/braun.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace svo::workload {
+
+linalg::Matrix generate_braun_costs(std::size_t num_gsps,
+                                    const std::vector<double>& workloads,
+                                    const BraunOptions& opts,
+                                    util::Xoshiro256& rng) {
+  detail::require(num_gsps > 0, "generate_braun_costs: num_gsps == 0");
+  detail::require(!workloads.empty(), "generate_braun_costs: no workloads");
+  detail::require(opts.phi_b >= 1.0 && opts.phi_r >= 1.0,
+                  "generate_braun_costs: phi_b/phi_r must be >= 1");
+  const std::size_t n = workloads.size();
+
+  // Workload rank of each task: rank[t] = position of t when tasks are
+  // sorted by ascending workload (stable on ties).
+  std::vector<std::size_t> by_workload(n);
+  std::iota(by_workload.begin(), by_workload.end(), 0);
+  std::stable_sort(by_workload.begin(), by_workload.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return workloads[a] < workloads[b];
+                   });
+
+  // Baseline vector, one value per task, U[1, phi_b].
+  std::vector<double> baseline(n);
+  for (double& b : baseline) b = rng.uniform(1.0, opts.phi_b);
+  if (opts.monotonicity != WorkloadMonotonicity::None) {
+    // Align the baseline with workload: smallest workload gets the
+    // smallest baseline value.
+    std::vector<double> sorted_b = baseline;
+    std::sort(sorted_b.begin(), sorted_b.end());
+    for (std::size_t r = 0; r < n; ++r) baseline[by_workload[r]] = sorted_b[r];
+  }
+
+  linalg::Matrix cost(num_gsps, n);
+  for (std::size_t g = 0; g < num_gsps; ++g) {
+    for (std::size_t t = 0; t < n; ++t) {
+      cost(g, t) = baseline[t] * rng.uniform(1.0, opts.phi_r);
+    }
+    if (opts.monotonicity == WorkloadMonotonicity::Strict) {
+      // Re-rank this GSP's costs so cost order == workload order while
+      // keeping the row's multiset of values (paper: smallest-workload
+      // task is cheapest on every GSP).
+      std::vector<double> row(n);
+      for (std::size_t t = 0; t < n; ++t) row[t] = cost(g, t);
+      std::sort(row.begin(), row.end());
+      for (std::size_t r = 0; r < n; ++r) cost(g, by_workload[r]) = row[r];
+    }
+  }
+  return cost;
+}
+
+}  // namespace svo::workload

@@ -1,0 +1,43 @@
+/// \file braun.hpp
+/// Cost-matrix generation after Braun et al. [29]: a baseline value per
+/// task in U[1, phi_b], multiplied per GSP by a row multiplier in
+/// U[1, phi_r]. The paper additionally requires costs to be monotone in
+/// task workload on *every* GSP ("a task with the smallest workload has
+/// the cheapest cost on all GSPs"); see WorkloadMonotonicity.
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace svo::workload {
+
+/// How strictly cost must track workload (DESIGN.md §2, workload row).
+enum class WorkloadMonotonicity {
+  /// Sort each GSP's generated cost row so that cost rank == workload
+  /// rank: w(Tj) > w(Tq) implies c(Tj,G) >= c(Tq,G) on every GSP, exactly
+  /// as the paper's text states. Preserves each row's value multiset.
+  Strict,
+  /// Only the baseline vector is aligned with workload; row multipliers
+  /// may locally invert the order (a looser reading of the paper).
+  BaselineOnly,
+  /// Raw Braun generation, no workload coupling (ablation).
+  None,
+};
+
+/// Options for generate_braun_costs().
+struct BraunOptions {
+  double phi_b = 100.0;
+  double phi_r = 10.0;
+  WorkloadMonotonicity monotonicity = WorkloadMonotonicity::Strict;
+};
+
+/// Generate a num_gsps x num_tasks cost matrix. `workloads` (one entry
+/// per task) drives the monotone coupling; it must be non-empty and match
+/// the task count. Every entry lies in [1, phi_b * phi_r].
+[[nodiscard]] linalg::Matrix generate_braun_costs(
+    std::size_t num_gsps, const std::vector<double>& workloads,
+    const BraunOptions& opts, util::Xoshiro256& rng);
+
+}  // namespace svo::workload

@@ -1,0 +1,64 @@
+#include "workload/etc.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace svo::workload {
+
+linalg::Matrix generate_etc(std::size_t machines, std::size_t tasks,
+                            const EtcOptions& opts, util::Xoshiro256& rng) {
+  detail::require(machines > 0 && tasks > 0, "generate_etc: empty matrix");
+  detail::require(opts.task_heterogeneity >= 1.0 &&
+                      opts.machine_heterogeneity >= 1.0,
+                  "generate_etc: heterogeneity ranges must be >= 1");
+
+  // Range-based generation: one baseline per task, one multiplier per
+  // cell. Stored machines x tasks to match the rest of the codebase
+  // (Braun writes tasks x machines; the consistency semantics are about
+  // machine orderings either way).
+  linalg::Matrix etc(machines, tasks);
+  for (std::size_t t = 0; t < tasks; ++t) {
+    const double baseline = rng.uniform(1.0, opts.task_heterogeneity);
+    for (std::size_t m = 0; m < machines; ++m) {
+      etc(m, t) = baseline * rng.uniform(1.0, opts.machine_heterogeneity);
+    }
+  }
+  const auto sort_task_column = [&](std::size_t t) {
+    std::vector<double> col(machines);
+    for (std::size_t m = 0; m < machines; ++m) col[m] = etc(m, t);
+    std::sort(col.begin(), col.end());
+    for (std::size_t m = 0; m < machines; ++m) etc(m, t) = col[m];
+  };
+  switch (opts.consistency) {
+    case EtcConsistency::Consistent:
+      // Sorting every task's column by the same machine order makes
+      // machine 0 uniformly fastest, machine k-1 uniformly slowest.
+      for (std::size_t t = 0; t < tasks; ++t) sort_task_column(t);
+      break;
+    case EtcConsistency::SemiConsistent:
+      for (std::size_t t = 0; t < tasks; t += 2) sort_task_column(t);
+      break;
+    case EtcConsistency::Inconsistent:
+      break;
+  }
+  return etc;
+}
+
+bool is_consistent_etc(const linalg::Matrix& etc) {
+  const std::size_t machines = etc.rows();
+  const std::size_t tasks = etc.cols();
+  for (std::size_t a = 0; a < machines; ++a) {
+    for (std::size_t b = a + 1; b < machines; ++b) {
+      bool a_faster_somewhere = false;
+      bool b_faster_somewhere = false;
+      for (std::size_t t = 0; t < tasks; ++t) {
+        if (etc(a, t) < etc(b, t)) a_faster_somewhere = true;
+        if (etc(b, t) < etc(a, t)) b_faster_somewhere = true;
+      }
+      if (a_faster_somewhere && b_faster_somewhere) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace svo::workload

@@ -1,0 +1,53 @@
+/// \file etc.hpp
+/// Expected-time-to-compute (ETC) matrix families after Braun et al.
+/// [29] — the heterogeneous-computing benchmark taxonomy the paper's
+/// instance generator descends from:
+///
+///   consistent:      if machine a beats machine b on one task it beats
+///                    it on all (the paper's own time matrix, t = w/s,
+///                    is consistent by construction);
+///   semi-consistent: a consistent sub-block embedded in an otherwise
+///                    inconsistent matrix (even rows/columns sorted);
+///   inconsistent:    raw range-based draws — machine-task affinities.
+///
+/// The paper only evaluates the consistent case; the other two families
+/// let applications (and the heterogeneity ablation) model grids with
+/// specialized hardware where "fastest" depends on the task.
+#pragma once
+
+#include "linalg/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace svo::workload {
+
+/// ETC structure per Braun's taxonomy.
+enum class EtcConsistency {
+  Consistent,
+  SemiConsistent,
+  Inconsistent,
+};
+
+/// Heterogeneity ranges of the range-based generator.
+struct EtcOptions {
+  /// Task heterogeneity: baseline per task drawn from U[1, task_hetero].
+  double task_heterogeneity = 3000.0;
+  /// Machine heterogeneity: multiplier per (task, machine) from
+  /// U[1, machine_hetero].
+  double machine_heterogeneity = 100.0;
+  EtcConsistency consistency = EtcConsistency::Inconsistent;
+};
+
+/// Generate a machines x tasks ETC matrix with the range-based method:
+/// etc(m, t) = baseline(t) * U[1, machine_hetero], then sorted per the
+/// consistency family (each task row sorted across machines for
+/// Consistent; even-indexed tasks sorted for SemiConsistent).
+[[nodiscard]] linalg::Matrix generate_etc(std::size_t machines,
+                                          std::size_t tasks,
+                                          const EtcOptions& opts,
+                                          util::Xoshiro256& rng);
+
+/// Braun consistency check: true iff for every machine pair (a, b),
+/// a is uniformly faster-or-equal or uniformly slower-or-equal.
+[[nodiscard]] bool is_consistent_etc(const linalg::Matrix& etc);
+
+}  // namespace svo::workload

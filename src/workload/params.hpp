@@ -1,0 +1,43 @@
+/// \file params.hpp
+/// Table I of the paper: every simulation parameter, with the paper's
+/// default values. One struct so experiments can state deviations
+/// explicitly.
+#pragma once
+
+#include <cstddef>
+
+namespace svo::workload {
+
+/// Simulation parameters (paper Table I).
+struct TableIParams {
+  /// m: number of GSPs.
+  std::size_t num_gsps = 16;
+  /// Peak performance of one Atlas processor, GFLOPS.
+  double gflops_per_processor = 4.91;
+  /// GSP speed = gflops_per_processor * U_int[speed_lo, speed_hi]
+  /// (number of processors a GSP owns).
+  int speed_lo = 16;
+  int speed_hi = 128;
+  /// Task workload = job_runtime * gflops_per_processor * U[wl_lo, wl_hi].
+  double workload_fraction_lo = 0.5;
+  double workload_fraction_hi = 1.0;
+  /// phi_b: maximum baseline value of the Braun cost generator.
+  double phi_b = 100.0;
+  /// phi_r: maximum row multiplier of the Braun cost generator.
+  double phi_r = 10.0;
+  /// Deadline = U[deadline_lo, deadline_hi] * Runtime * n / 1000 seconds.
+  double deadline_factor_lo = 0.3;
+  double deadline_factor_hi = 2.0;
+  /// Payment = U[payment_lo, payment_hi] * max_cost * n units.
+  double payment_factor_lo = 0.2;
+  double payment_factor_hi = 0.4;
+  /// Minimum job runtime for program extraction, seconds.
+  double min_job_runtime = 7200.0;
+  /// Erdos-Renyi edge probability of the trust graph.
+  double trust_edge_probability = 0.1;
+
+  /// max_c = phi_b * phi_r (upper end of the cost range).
+  [[nodiscard]] double max_cost() const noexcept { return phi_b * phi_r; }
+};
+
+}  // namespace svo::workload

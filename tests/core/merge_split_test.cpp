@@ -1,0 +1,158 @@
+#include "core/merge_split.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "game/payoff.hpp"
+#include "ip/bnb.hpp"
+#include "tests/ip/test_instances.hpp"
+
+namespace svo::core {
+namespace {
+
+struct Fixture {
+  ip::AssignmentInstance instance;
+  trust::TrustGraph trust{0};
+};
+
+Fixture make_fixture(std::size_t m, std::size_t n, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  Fixture f;
+  f.instance = ip::testing::random_instance(m, n, rng);
+  f.trust = trust::random_trust_graph(m, 0.4, rng);
+  return f;
+}
+
+TEST(MergeSplitTest, StructureIsAPartition) {
+  const Fixture f = make_fixture(6, 18, 1);
+  const ip::BnbAssignmentSolver solver;
+  const MergeSplitMechanism msvof(solver);
+  const MergeSplitResult r = msvof.run(f.instance, f.trust);
+  // Every GSP in exactly one coalition.
+  std::uint64_t seen = 0;
+  for (const game::Coalition c : r.structure) {
+    EXPECT_EQ(seen & c.bits(), 0u) << "coalitions overlap";
+    seen |= c.bits();
+  }
+  EXPECT_EQ(seen, game::Coalition::all(6).bits());
+}
+
+TEST(MergeSplitTest, FindsAFeasibleExecutor) {
+  const Fixture f = make_fixture(6, 18, 2);
+  const ip::BnbAssignmentSolver solver;
+  const MergeSplitMechanism msvof(solver);
+  const MergeSplitResult r = msvof.run(f.instance, f.trust);
+  ASSERT_TRUE(r.success);
+  EXPECT_FALSE(r.selected.empty());
+  EXPECT_GT(r.payoff_share, 0.0);
+  EXPECT_NEAR(r.value, f.instance.payment - r.cost, 1e-9);
+  // The mapping uses only members of the selected coalition.
+  for (const std::size_t g : r.mapping) {
+    EXPECT_TRUE(r.selected.contains(g));
+  }
+}
+
+TEST(MergeSplitTest, SelectedIsInStructure) {
+  const Fixture f = make_fixture(6, 18, 3);
+  const ip::BnbAssignmentSolver solver;
+  const MergeSplitMechanism msvof(solver);
+  const MergeSplitResult r = msvof.run(f.instance, f.trust);
+  ASSERT_TRUE(r.success);
+  bool found = false;
+  for (const game::Coalition c : r.structure) found |= (c == r.selected);
+  EXPECT_TRUE(found);
+}
+
+TEST(MergeSplitTest, TerminatesWithinRoundCap) {
+  const Fixture f = make_fixture(8, 24, 4);
+  const ip::BnbAssignmentSolver solver;
+  MergeSplitConfig cfg;
+  cfg.max_rounds = 64;
+  const MergeSplitMechanism msvof(solver, cfg);
+  const MergeSplitResult r = msvof.run(f.instance, f.trust);
+  EXPECT_LT(r.rounds, cfg.max_rounds);  // converged, not capped
+}
+
+TEST(MergeSplitTest, PayoffOnlyModeMatchesReputationBlindRun) {
+  const Fixture f = make_fixture(6, 18, 5);
+  const ip::BnbAssignmentSolver solver;
+  MergeSplitConfig payoff_only;
+  payoff_only.consider_reputation = false;
+  const MergeSplitMechanism msvof(solver, payoff_only);
+  const MergeSplitResult r = msvof.run(f.instance, f.trust);
+  // Reputation must not gate any rule, so the run still succeeds and the
+  // structure remains a partition.
+  std::uint64_t seen = 0;
+  for (const game::Coalition c : r.structure) seen |= c.bits();
+  EXPECT_EQ(seen, game::Coalition::all(6).bits());
+  ASSERT_TRUE(r.success);
+}
+
+TEST(MergeSplitTest, NoSplitUndoesNothingToLoseMerges) {
+  // All coalitions infeasible (payment 0): everything merges into blobs,
+  // nothing ever splits, and the mechanism reports failure gracefully.
+  Fixture f = make_fixture(5, 10, 6);
+  f.instance.payment = 0.0;
+  const ip::BnbAssignmentSolver solver;
+  const MergeSplitMechanism msvof(solver);
+  const MergeSplitResult r = msvof.run(f.instance, f.trust);
+  EXPECT_FALSE(r.success);
+  EXPECT_EQ(r.splits, 0u);
+  std::uint64_t seen = 0;
+  for (const game::Coalition c : r.structure) seen |= c.bits();
+  EXPECT_EQ(seen, game::Coalition::all(5).bits());
+}
+
+TEST(MergeSplitTest, DeterministicAcrossRuns) {
+  const Fixture f = make_fixture(6, 18, 7);
+  const ip::BnbAssignmentSolver solver;
+  const MergeSplitMechanism msvof(solver);
+  const MergeSplitResult a = msvof.run(f.instance, f.trust);
+  const MergeSplitResult b = msvof.run(f.instance, f.trust);
+  EXPECT_EQ(a.selected, b.selected);
+  EXPECT_EQ(a.merges, b.merges);
+  EXPECT_EQ(a.splits, b.splits);
+  EXPECT_DOUBLE_EQ(a.payoff_share, b.payoff_share);
+}
+
+TEST(MergeSplitTest, TrustSizeMismatchThrows) {
+  const Fixture f = make_fixture(5, 10, 8);
+  const trust::TrustGraph wrong(3);
+  const ip::BnbAssignmentSolver solver;
+  const MergeSplitMechanism msvof(solver);
+  EXPECT_THROW((void)msvof.run(f.instance, wrong), InvalidArgument);
+}
+
+/// Property sweep: the final structure is always a partition, and when
+/// the mechanism reports success the selected coalition's payoff is the
+/// best among the structure's feasible coalitions.
+class MergeSplitPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MergeSplitPropertyTest, SelectionIsBestFeasibleInStructure) {
+  const Fixture f = make_fixture(6, 15, GetParam() * 7919);
+  const ip::BnbAssignmentSolver solver;
+  const MergeSplitMechanism msvof(solver);
+  const MergeSplitResult r = msvof.run(f.instance, f.trust);
+  std::uint64_t seen = 0;
+  for (const game::Coalition c : r.structure) {
+    ASSERT_EQ(seen & c.bits(), 0u);
+    seen |= c.bits();
+  }
+  ASSERT_EQ(seen, game::Coalition::all(6).bits());
+  if (!r.success) return;
+  const game::VoValueFunction v(f.instance, solver);
+  for (const game::Coalition c : r.structure) {
+    const auto& eval = v.evaluate(c);
+    if (eval.feasible) {
+      EXPECT_LE(game::equal_share(eval.value, c.size()),
+                r.payoff_share + 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Scenarios, MergeSplitPropertyTest,
+                         ::testing::Range(1, 11));
+
+}  // namespace
+}  // namespace svo::core

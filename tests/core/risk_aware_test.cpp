@@ -1,0 +1,127 @@
+/// Tests for the risk-aware (expected-payoff) selection extension.
+#include <gtest/gtest.h>
+
+#include "core/rvof.hpp"
+#include "core/tvof.hpp"
+#include "ip/bnb.hpp"
+#include "sim/learning.hpp"
+#include "tests/ip/test_instances.hpp"
+
+namespace svo::core {
+namespace {
+
+TEST(EstimateReliabilityTest, MeanIncomingTrustClamped) {
+  trust::TrustGraph trust(4);
+  trust.set_trust(0, 2, 0.8);
+  trust.set_trust(1, 2, 0.4);
+  trust.set_trust(3, 2, 5.0);  // clamped to 1.0
+  EXPECT_NEAR(estimate_reliability(trust, 2), (0.8 + 0.4 + 1.0) / 3.0, 1e-12);
+}
+
+TEST(EstimateReliabilityTest, PriorWhenNoEvidence) {
+  trust::TrustGraph trust(3);
+  trust.set_trust(0, 1, 0.9);  // evidence about 1, none about 2
+  EXPECT_DOUBLE_EQ(estimate_reliability(trust, 2), 0.5);
+  EXPECT_DOUBLE_EQ(estimate_reliability(trust, 2, 0.25), 0.25);
+}
+
+TEST(EstimateReliabilityTest, ValidatesArguments) {
+  trust::TrustGraph trust(2);
+  EXPECT_THROW((void)estimate_reliability(trust, 9), InvalidArgument);
+  EXPECT_THROW((void)estimate_reliability(trust, 0, 2.0), InvalidArgument);
+}
+
+TEST(RiskAwareSelectionTest, PicksMaxExpectedShareFromJournal) {
+  util::Xoshiro256 rng(3);
+  const ip::AssignmentInstance inst = ip::testing::random_instance(6, 18, rng);
+  const trust::TrustGraph trust = trust::random_trust_graph(6, 0.6, rng);
+
+  const ip::BnbAssignmentSolver solver;
+  MechanismConfig cfg;
+  cfg.selection = SelectionRule::MaxExpectedIndividualPayoff;
+  const TvofMechanism tvof(solver, cfg);
+  util::Xoshiro256 mech_rng(5);
+  const MechanismResult r = tvof.run(inst, trust, mech_rng);
+  if (!r.success) GTEST_SKIP() << "no feasible VO";
+
+  const auto expected_share = [&](game::Coalition c, double cost) {
+    double p = 1.0;
+    for (const std::size_t g : c.members()) {
+      p *= estimate_reliability(trust, g);
+    }
+    return (p * inst.payment - cost) / static_cast<double>(c.size());
+  };
+  const auto selected_it =
+      std::find_if(r.journal.begin(), r.journal.end(), [&](const auto& it) {
+        return it.coalition == r.selected;
+      });
+  ASSERT_NE(selected_it, r.journal.end());
+  const double selected_key =
+      expected_share(r.selected, selected_it->cost);
+  for (const auto& it : r.journal) {
+    if (!it.feasible) continue;
+    EXPECT_GE(selected_key, expected_share(it.coalition, it.cost) - 1e-9);
+  }
+}
+
+TEST(RiskAwareSelectionTest, PrefersReliableVoOverCheaperRiskyOne) {
+  // Two GSPs are heavily distrusted; the expected-payoff rule must avoid
+  // VOs containing them even when those VOs promise a higher share.
+  util::Xoshiro256 rng(7);
+  const ip::AssignmentInstance inst = ip::testing::random_instance(5, 15, rng);
+  trust::TrustGraph trust(5);
+  for (std::size_t i = 0; i < 5; ++i) {
+    for (std::size_t j = 0; j < 5; ++j) {
+      if (i == j) continue;
+      trust.set_trust(i, j, j < 2 ? 0.05 : 0.95);  // G0, G1 distrusted
+    }
+  }
+  const ip::BnbAssignmentSolver solver;
+  MechanismConfig cfg;
+  cfg.selection = SelectionRule::MaxExpectedIndividualPayoff;
+  const TvofMechanism risk_aware(solver, cfg);
+  util::Xoshiro256 mech_rng(11);
+  const MechanismResult r = risk_aware.run(inst, trust, mech_rng);
+  if (!r.success) GTEST_SKIP() << "no feasible VO";
+  // The final VO is the feasible list entry with the fewest distrusted
+  // members (TVOF's removal order evicts G0/G1 first, and the expected
+  // rule has no reason to go back to them).
+  std::size_t distrusted = 0;
+  for (const std::size_t g : r.selected.members()) distrusted += g < 2;
+  for (const auto& it : r.journal) {
+    if (!it.feasible) continue;
+    std::size_t cand = 0;
+    for (const std::size_t g : it.coalition.members()) cand += g < 2;
+    EXPECT_LE(distrusted, cand);
+  }
+}
+
+TEST(RiskAwareSelectionTest, ClosedLoopRealizesMoreThanPromiseChaser) {
+  // Same closed loop, same seeds: expected-payoff selection should not
+  // realize less value than the paper's promised-payoff selection when
+  // a third of the population is unreliable.
+  const ip::BnbAssignmentSolver solver;
+  MechanismConfig risk_cfg;
+  risk_cfg.selection = SelectionRule::MaxExpectedIndividualPayoff;
+  const TvofMechanism plain(solver);
+  const TvofMechanism risk_aware(solver, risk_cfg);
+  sim::ClosedLoopConfig cfg;
+  cfg.rounds = 16;
+  cfg.num_tasks = 24;
+  cfg.gen.params.num_gsps = 6;
+  double plain_total = 0.0;
+  double risk_total = 0.0;
+  for (const std::uint64_t seed : {101ull, 202ull, 303ull, 404ull, 505ull}) {
+    util::Xoshiro256 rng(seed);
+    const sim::ReliabilityModel model =
+        sim::ReliabilityModel::bimodal(6, 0.66, 0.9, 0.25, rng);
+    plain_total +=
+        sim::run_closed_loop(plain, model, cfg, seed).mean_realized_share;
+    risk_total +=
+        sim::run_closed_loop(risk_aware, model, cfg, seed).mean_realized_share;
+  }
+  EXPECT_GE(risk_total, plain_total - 1e-9);
+}
+
+}  // namespace
+}  // namespace svo::core

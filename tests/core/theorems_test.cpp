@@ -1,0 +1,132 @@
+/// Empirical verification of the paper's two theorems across many random
+/// scenarios, plus the TVOF-vs-RVOF reputation ordering underlying Fig. 3.
+#include <gtest/gtest.h>
+
+#include "core/rvof.hpp"
+#include "core/tvof.hpp"
+#include "game/pareto.hpp"
+#include "game/payoff.hpp"
+#include "game/stability.hpp"
+#include "ip/bnb.hpp"
+#include "tests/ip/test_instances.hpp"
+#include "trust/reputation.hpp"
+
+namespace svo::core {
+namespace {
+
+struct Scenario {
+  ip::AssignmentInstance instance;
+  trust::TrustGraph trust{0};
+};
+
+Scenario make_scenario(std::uint64_t seed, std::size_t m = 6,
+                       std::size_t n = 18) {
+  util::Xoshiro256 rng(seed);
+  Scenario s;
+  s.instance = ip::testing::random_instance(m, n, rng);
+  s.trust = trust::random_trust_graph(m, 0.4, rng);
+  return s;
+}
+
+class TheoremTest : public ::testing::TestWithParam<int> {};
+
+/// Theorem 1: the VO returned by TVOF is individually stable — no member
+/// can depart leaving all remaining members weakly better off. Note the
+/// paper's proof (Case 2) argues with the *total* reputation of the VO
+/// ("removing G decreases the total reputation of GSPs in C"), so the
+/// member preference here scores coalitions by (payoff share, total
+/// global reputation); under *average* reputation the property does not
+/// hold in general (measured in bench_ablation_stability).
+TEST_P(TheoremTest, Theorem1IndividualStability) {
+  const Scenario s = make_scenario(GetParam() * 1009);
+  const ip::BnbAssignmentSolver solver;
+  const TvofMechanism tvof(solver);
+  util::Xoshiro256 rng(GetParam());
+  const MechanismResult r = tvof.run(s.instance, s.trust, rng);
+  if (!r.success) GTEST_SKIP() << "no feasible VO in this scenario";
+
+  const game::VoValueFunction v(s.instance, solver);
+  const auto scorer = [&](game::Coalition c) {
+    game::BicriteriaPoint p;
+    p.tag = c.bits();
+    const auto& eval = v.evaluate(c);
+    p.payoff = eval.feasible ? game::equal_share(eval.value, c.size()) : 0.0;
+    double rep = 0.0;
+    for (const std::size_t g : c.members()) rep += r.global_reputation[g];
+    p.reputation = rep;  // total, per the paper's proof of Theorem 1
+    return p;
+  };
+  EXPECT_TRUE(game::individually_stable(r.selected, scorer))
+      << "departure of G"
+      << game::find_blocking_departure(r.selected, scorer)
+      << " weakly improves the rest";
+}
+
+/// Theorem 2: TVOF's VO is Pareto optimal within the explored list L —
+/// no other explored feasible VO dominates it in both individual payoff
+/// and average global reputation.
+TEST_P(TheoremTest, Theorem2ParetoOptimalWithinL) {
+  const Scenario s = make_scenario(GetParam() * 2003);
+  const ip::BnbAssignmentSolver solver;
+  const TvofMechanism tvof(solver);
+  util::Xoshiro256 rng(GetParam());
+  const MechanismResult r = tvof.run(s.instance, s.trust, rng);
+  if (!r.success) GTEST_SKIP() << "no feasible VO in this scenario";
+
+  std::vector<game::BicriteriaPoint> points;
+  std::size_t selected_index = SIZE_MAX;
+  for (const auto& it : r.journal) {
+    if (!it.feasible) continue;
+    if (it.coalition == r.selected) selected_index = points.size();
+    points.push_back(
+        {it.payoff_share, it.avg_global_reputation, it.coalition.bits()});
+  }
+  ASSERT_NE(selected_index, SIZE_MAX);
+  EXPECT_TRUE(game::is_pareto_optimal(points, selected_index));
+}
+
+/// Equal-share bookkeeping: per-iteration shares times coalition size
+/// reconstruct v(C) (eq. (18) consistency).
+TEST_P(TheoremTest, EqualSharesSumToCoalitionValue) {
+  const Scenario s = make_scenario(GetParam() * 3001);
+  const ip::BnbAssignmentSolver solver;
+  const TvofMechanism tvof(solver);
+  util::Xoshiro256 rng(GetParam());
+  const MechanismResult r = tvof.run(s.instance, s.trust, rng);
+  for (const auto& it : r.journal) {
+    if (!it.feasible) continue;
+    EXPECT_NEAR(it.payoff_share * static_cast<double>(it.coalition.size()),
+                it.value, 1e-6);
+    EXPECT_NEAR(it.value, s.instance.payment - it.cost, 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Scenarios, TheoremTest, ::testing::Range(1, 16));
+
+/// Fig. 3's mechanism-level claim: across scenarios, TVOF's selected VO
+/// has at least RVOF's average global reputation *on average* (per-run it
+/// can tie or even lose; the aggregate must not).
+TEST(ReputationOrderingTest, TvofBeatsRvofOnAverage) {
+  double tvof_sum = 0.0;
+  double rvof_sum = 0.0;
+  int runs = 0;
+  for (int seed = 1; seed <= 20; ++seed) {
+    const Scenario s = make_scenario(seed * 4001);
+    const ip::BnbAssignmentSolver solver;
+    const TvofMechanism tvof(solver);
+    const RvofMechanism rvof(solver);
+    util::Xoshiro256 rng_t(seed);
+    util::Xoshiro256 rng_r(seed + 1000);
+    const MechanismResult rt = tvof.run(s.instance, s.trust, rng_t);
+    const MechanismResult rr = rvof.run(s.instance, s.trust, rng_r);
+    if (!rt.success || !rr.success) continue;
+    tvof_sum += rt.avg_global_reputation;
+    rvof_sum += rr.avg_global_reputation;
+    ++runs;
+  }
+  ASSERT_GT(runs, 10);
+  EXPECT_GE(tvof_sum, rvof_sum);
+}
+
+}  // namespace
+}  // namespace svo::core

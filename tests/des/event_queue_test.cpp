@@ -1,0 +1,77 @@
+#include "des/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace svo::des {
+namespace {
+
+TEST(SimulatorTest, EventsRunInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule(3.0, [&] { order.push_back(3); });
+  sim.schedule(1.0, [&] { order.push_back(1); });
+  sim.schedule(2.0, [&] { order.push_back(2); });
+  EXPECT_EQ(sim.run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.now(), 3.0);
+}
+
+TEST(SimulatorTest, TiesRunInSchedulingOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sim.schedule(1.0, [&order, i] { order.push_back(i); });
+  }
+  (void)sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(SimulatorTest, EventsMayScheduleMoreEvents) {
+  Simulator sim;
+  int chain = 0;
+  std::function<void()> next = [&] {
+    if (++chain < 10) sim.schedule(1.0, next);
+  };
+  sim.schedule(0.0, next);
+  (void)sim.run();
+  EXPECT_EQ(chain, 10);
+  EXPECT_DOUBLE_EQ(sim.now(), 9.0);
+}
+
+TEST(SimulatorTest, RunUntilHorizonStopsEarly) {
+  Simulator sim;
+  int ran = 0;
+  sim.schedule(1.0, [&] { ++ran; });
+  sim.schedule(5.0, [&] { ++ran; });
+  EXPECT_EQ(sim.run(2.0), 1u);
+  EXPECT_EQ(ran, 1);
+  EXPECT_DOUBLE_EQ(sim.now(), 2.0);  // idle advance to horizon
+  EXPECT_EQ(sim.pending(), 1u);
+  EXPECT_EQ(sim.run(), 1u);
+  EXPECT_EQ(ran, 2);
+}
+
+TEST(SimulatorTest, StepExecutesExactlyOne) {
+  Simulator sim;
+  int ran = 0;
+  sim.schedule(1.0, [&] { ++ran; });
+  sim.schedule(2.0, [&] { ++ran; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(ran, 1);
+  EXPECT_TRUE(sim.step());
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(SimulatorTest, RejectsBadScheduling) {
+  Simulator sim;
+  EXPECT_THROW(sim.schedule(-1.0, [] {}), InvalidArgument);
+  sim.schedule(5.0, [] {});
+  (void)sim.run();
+  EXPECT_THROW(sim.schedule_at(1.0, [] {}), InvalidArgument);  // in the past
+  EXPECT_THROW(sim.schedule(1.0, EventFn{}), InvalidArgument);  // empty fn
+}
+
+}  // namespace
+}  // namespace svo::des

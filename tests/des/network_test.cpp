@@ -1,0 +1,85 @@
+#include "des/network.hpp"
+
+#include <gtest/gtest.h>
+
+namespace svo::des {
+namespace {
+
+LatencyModel no_jitter() {
+  LatencyModel l;
+  l.base_seconds = 1.0;
+  l.bytes_per_second = 100.0;
+  l.jitter = 0.0;
+  return l;
+}
+
+TEST(NetworkTest, DeliversWithModeledLatency) {
+  Simulator sim;
+  Network net(sim, 2, no_jitter(), 1);
+  double delivered_at = -1.0;
+  net.set_handler(1, [&](const Message& m) {
+    EXPECT_EQ(m.type, "ping");
+    EXPECT_EQ(m.from, 0u);
+    delivered_at = sim.now();
+  });
+  net.send({0, 1, "ping", 200, {}});
+  (void)sim.run();
+  // 1 s base + 200/100 s transfer = 3 s.
+  EXPECT_DOUBLE_EQ(delivered_at, 3.0);
+  EXPECT_EQ(net.messages_sent(), 1u);
+  EXPECT_EQ(net.bytes_sent(), 200u);
+}
+
+TEST(NetworkTest, PayloadDataArrivesIntact) {
+  Simulator sim;
+  Network net(sim, 2, no_jitter(), 1);
+  std::vector<double> got;
+  net.set_handler(1, [&](const Message& m) { got = m.data; });
+  net.send({0, 1, "data", 0, {1.5, -2.0, 3.25}});
+  (void)sim.run();
+  EXPECT_EQ(got, (std::vector<double>{1.5, -2.0, 3.25}));
+}
+
+TEST(NetworkTest, RequestReplyRoundTrip) {
+  Simulator sim;
+  Network net(sim, 2, no_jitter(), 1);
+  double reply_at = -1.0;
+  net.set_handler(1, [&](const Message& m) {
+    if (m.type == "req") net.send({1, 0, "rep", 0, {}});
+  });
+  net.set_handler(0, [&](const Message& m) {
+    if (m.type == "rep") reply_at = sim.now();
+  });
+  net.send({0, 1, "req", 0, {}});
+  (void)sim.run();
+  EXPECT_DOUBLE_EQ(reply_at, 2.0);  // two 1 s hops
+  EXPECT_EQ(net.messages_sent(), 2u);
+}
+
+TEST(NetworkTest, JitterIsDeterministicInSeed) {
+  LatencyModel jittery = no_jitter();
+  jittery.jitter = 0.5;
+  const auto run_once = [&](std::uint64_t seed) {
+    Simulator sim;
+    Network net(sim, 2, jittery, seed);
+    double at = 0.0;
+    net.set_handler(1, [&](const Message&) { at = sim.now(); });
+    net.send({0, 1, "x", 50, {}});
+    (void)sim.run();
+    return at;
+  };
+  EXPECT_DOUBLE_EQ(run_once(7), run_once(7));
+  EXPECT_NE(run_once(7), run_once(8));
+}
+
+TEST(NetworkTest, ValidatesEndpointsAndHandlers) {
+  Simulator sim;
+  Network net(sim, 2, no_jitter(), 1);
+  EXPECT_THROW(net.send({0, 5, "x", 0, {}}), InvalidArgument);
+  net.send({0, 1, "x", 0, {}});  // node 1 has no handler yet
+  EXPECT_THROW((void)sim.run(), InvalidArgument);
+  EXPECT_THROW(Network(sim, 0, no_jitter(), 1), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace svo::des

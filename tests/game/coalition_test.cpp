@@ -1,0 +1,66 @@
+#include "game/coalition.hpp"
+
+#include <gtest/gtest.h>
+
+namespace svo::game {
+namespace {
+
+TEST(CoalitionTest, EmptyAndAll) {
+  EXPECT_TRUE(Coalition().empty());
+  EXPECT_EQ(Coalition().size(), 0u);
+  const Coalition grand = Coalition::all(16);
+  EXPECT_EQ(grand.size(), 16u);
+  for (std::size_t i = 0; i < 16; ++i) EXPECT_TRUE(grand.contains(i));
+  EXPECT_FALSE(grand.contains(16));
+}
+
+TEST(CoalitionTest, AllWith64Players) {
+  const Coalition grand = Coalition::all(64);
+  EXPECT_EQ(grand.size(), 64u);
+  EXPECT_TRUE(grand.contains(63));
+}
+
+TEST(CoalitionTest, AllRejectsTooMany) {
+  EXPECT_THROW((void)Coalition::all(65), InvalidArgument);
+}
+
+TEST(CoalitionTest, OfAndMembers) {
+  const Coalition c = Coalition::of({3, 1, 7});
+  EXPECT_EQ(c.size(), 3u);
+  EXPECT_EQ(c.members(), (std::vector<std::size_t>{1, 3, 7}));
+  EXPECT_THROW((void)Coalition::of({64}), InvalidArgument);
+}
+
+TEST(CoalitionTest, WithAndWithout) {
+  Coalition c = Coalition::of({1, 2});
+  c = c.with(5);
+  EXPECT_TRUE(c.contains(5));
+  c = c.without(1);
+  EXPECT_FALSE(c.contains(1));
+  EXPECT_EQ(c.size(), 2u);
+  // Removing an absent member is a no-op.
+  EXPECT_EQ(c.without(9), c);
+}
+
+TEST(CoalitionTest, SetAlgebra) {
+  const Coalition a = Coalition::of({0, 1});
+  const Coalition b = Coalition::of({1, 2});
+  EXPECT_EQ(a.unite(b), Coalition::of({0, 1, 2}));
+  EXPECT_EQ(a.intersect(b), Coalition::of({1}));
+  EXPECT_TRUE(Coalition::of({1}).is_subset_of(a));
+  EXPECT_FALSE(a.is_subset_of(b));
+}
+
+TEST(CoalitionTest, MaskRoundTrip) {
+  const Coalition c = Coalition::of({0, 3});
+  const std::vector<bool> mask = c.mask(5);
+  EXPECT_EQ(mask, (std::vector<bool>{true, false, false, true, false}));
+}
+
+TEST(CoalitionTest, EqualityOnBits) {
+  EXPECT_EQ(Coalition::of({1, 2}), Coalition(0b110));
+  EXPECT_NE(Coalition::of({1}), Coalition::of({2}));
+}
+
+}  // namespace
+}  // namespace svo::game

@@ -1,0 +1,70 @@
+#include "game/core_solution.hpp"
+
+#include <gtest/gtest.h>
+
+namespace svo::game {
+namespace {
+
+/// Three-player majority game: v(S) = 1 iff |S| >= 2. Famous empty core.
+double majority_game(Coalition s) { return s.size() >= 2 ? 1.0 : 0.0; }
+
+/// Additive game: v(S) = |S| — core contains exactly the vector of ones.
+double additive_game(Coalition s) { return static_cast<double>(s.size()); }
+
+/// Convex game: v(S) = |S|^2 — nonempty core (convex games always have one).
+double convex_game(Coalition s) {
+  const double n = static_cast<double>(s.size());
+  return n * n;
+}
+
+TEST(ImputationTest, ChecksRationalityAndEfficiency) {
+  EXPECT_TRUE(is_imputation({1.0, 1.0, 1.0}, additive_game));
+  // Inefficient: sums to 2 != v(grand) = 3.
+  EXPECT_FALSE(is_imputation({1.0, 1.0, 0.0}, additive_game));
+  // Individually irrational: player 0 below v({0}) = 1.
+  EXPECT_FALSE(is_imputation({0.5, 1.5, 1.0}, additive_game));
+}
+
+TEST(InCoreTest, AdditiveGameUniqueCorePoint) {
+  EXPECT_TRUE(in_core({1.0, 1.0, 1.0}, additive_game));
+  EXPECT_FALSE(in_core({0.5, 1.5, 1.0}, additive_game));  // {0} blocks
+}
+
+TEST(InCoreTest, MajorityGameHasNoCorePoint) {
+  // Any efficient split of 1 leaves some pair with less than 1.
+  EXPECT_FALSE(in_core({1.0 / 3, 1.0 / 3, 1.0 / 3}, majority_game));
+  EXPECT_FALSE(in_core({0.5, 0.5, 0.0}, majority_game));
+}
+
+TEST(FindCoreImputationTest, EmptyCoreDetected) {
+  EXPECT_FALSE(find_core_imputation(3, majority_game).has_value());
+}
+
+TEST(FindCoreImputationTest, AdditiveGameFound) {
+  const auto psi = find_core_imputation(3, additive_game);
+  ASSERT_TRUE(psi.has_value());
+  EXPECT_TRUE(in_core(*psi, additive_game));
+  for (const double p : *psi) EXPECT_NEAR(p, 1.0, 1e-6);
+}
+
+TEST(FindCoreImputationTest, ConvexGameFound) {
+  const auto psi = find_core_imputation(4, convex_game);
+  ASSERT_TRUE(psi.has_value());
+  EXPECT_TRUE(in_core(*psi, convex_game));
+}
+
+TEST(FindCoreImputationTest, SinglePlayerTrivial) {
+  const auto psi = find_core_imputation(1, additive_game);
+  ASSERT_TRUE(psi.has_value());
+  EXPECT_NEAR((*psi)[0], 1.0, 1e-9);
+}
+
+TEST(CoreHelpersTest, GuardRails) {
+  const auto v = [](Coalition) { return 0.0; };
+  EXPECT_THROW((void)is_imputation({}, v), InvalidArgument);
+  EXPECT_THROW((void)find_core_imputation(0, v), InvalidArgument);
+  EXPECT_THROW((void)find_core_imputation(17, v), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace svo::game

@@ -1,0 +1,60 @@
+#include "game/pareto.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace svo::game {
+namespace {
+
+TEST(DominatesTest, StrictAndWeakCases) {
+  EXPECT_TRUE(dominates({2.0, 2.0, 0}, {1.0, 1.0, 0}));
+  EXPECT_TRUE(dominates({2.0, 1.0, 0}, {1.0, 1.0, 0}));  // >= in rep, > payoff
+  EXPECT_FALSE(dominates({1.0, 1.0, 0}, {1.0, 1.0, 0}));  // equal points
+  EXPECT_FALSE(dominates({2.0, 0.5, 0}, {1.0, 1.0, 0}));  // trade-off
+}
+
+TEST(ParetoFrontTest, ChainKeepsOnlyTop) {
+  const std::vector<BicriteriaPoint> pts{
+      {1.0, 1.0, 0}, {2.0, 2.0, 1}, {3.0, 3.0, 2}};
+  EXPECT_EQ(pareto_front(pts), (std::vector<std::size_t>{2}));
+}
+
+TEST(ParetoFrontTest, AntichainKeepsAll) {
+  const std::vector<BicriteriaPoint> pts{
+      {3.0, 1.0, 0}, {2.0, 2.0, 1}, {1.0, 3.0, 2}};
+  EXPECT_EQ(pareto_front(pts), (std::vector<std::size_t>{0, 1, 2}));
+}
+
+TEST(ParetoFrontTest, DuplicatesAllSurvive) {
+  const std::vector<BicriteriaPoint> pts{
+      {2.0, 2.0, 0}, {2.0, 2.0, 1}, {1.0, 1.0, 2}};
+  EXPECT_EQ(pareto_front(pts), (std::vector<std::size_t>{0, 1}));
+}
+
+TEST(ParetoFrontTest, MixedSet) {
+  const std::vector<BicriteriaPoint> pts{
+      {5.0, 0.1, 0},   // front (payoff max)
+      {4.0, 0.3, 1},   // front
+      {4.0, 0.2, 2},   // dominated by 1
+      {1.0, 0.9, 3},   // front (rep max)
+      {0.5, 0.5, 4},   // dominated by 3
+  };
+  EXPECT_EQ(pareto_front(pts), (std::vector<std::size_t>{0, 1, 3}));
+}
+
+TEST(ParetoFrontTest, EmptyInput) {
+  EXPECT_TRUE(pareto_front({}).empty());
+}
+
+TEST(IsParetoOptimalTest, MatchesFront) {
+  const std::vector<BicriteriaPoint> pts{
+      {5.0, 0.1, 0}, {4.0, 0.3, 1}, {4.0, 0.2, 2}};
+  EXPECT_TRUE(is_pareto_optimal(pts, 0));
+  EXPECT_TRUE(is_pareto_optimal(pts, 1));
+  EXPECT_FALSE(is_pareto_optimal(pts, 2));
+  EXPECT_THROW((void)is_pareto_optimal(pts, 9), svo::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace svo::game

@@ -1,0 +1,95 @@
+#include "game/payoff.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace svo::game {
+namespace {
+
+TEST(EqualShareTest, DividesEvenly) {
+  EXPECT_DOUBLE_EQ(equal_share(90.0, 3), 30.0);
+  EXPECT_DOUBLE_EQ(equal_share(90.0, 0), 0.0);
+}
+
+TEST(EqualShareVectorTest, MembersGetShareOutsidersZero) {
+  const std::vector<double> psi =
+      equal_share_vector(Coalition::of({0, 2}), 10.0, 4);
+  EXPECT_EQ(psi, (std::vector<double>{5.0, 0.0, 5.0, 0.0}));
+}
+
+TEST(EqualShareVectorTest, SharesSumToValue) {
+  const Coalition c = Coalition::of({1, 3, 4});
+  const std::vector<double> psi = equal_share_vector(c, 17.0, 6);
+  double sum = 0.0;
+  for (const double p : psi) sum += p;
+  EXPECT_NEAR(sum, 17.0, 1e-12);
+}
+
+/// Unanimity game u_T: v(S) = 1 iff T subset of S. Shapley value is the
+/// uniform split over T — the canonical textbook check.
+TEST(ShapleyTest, UnanimityGameSplitsOverCarrier) {
+  const Coalition carrier = Coalition::of({0, 2});
+  const auto v = [&](Coalition s) {
+    return carrier.is_subset_of(s) ? 1.0 : 0.0;
+  };
+  const std::vector<double> phi = shapley_value(4, v);
+  EXPECT_NEAR(phi[0], 0.5, 1e-12);
+  EXPECT_NEAR(phi[1], 0.0, 1e-12);
+  EXPECT_NEAR(phi[2], 0.5, 1e-12);
+  EXPECT_NEAR(phi[3], 0.0, 1e-12);
+}
+
+/// Glove game: players {0} hold left gloves, {1, 2} right gloves;
+/// v(S) = #matched pairs. Known Shapley values: (2/3, 1/6, 1/6).
+TEST(ShapleyTest, GloveGameKnownValues) {
+  const auto v = [](Coalition s) {
+    const double left = s.contains(0) ? 1.0 : 0.0;
+    const double right =
+        (s.contains(1) ? 1.0 : 0.0) + (s.contains(2) ? 1.0 : 0.0);
+    return std::min(left, right);
+  };
+  const std::vector<double> phi = shapley_value(3, v);
+  EXPECT_NEAR(phi[0], 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(phi[1], 1.0 / 6.0, 1e-12);
+  EXPECT_NEAR(phi[2], 1.0 / 6.0, 1e-12);
+}
+
+TEST(ShapleyTest, EfficiencyAxiom) {
+  // Random-ish superadditive game: v(S) = |S|^2.
+  const auto v = [](Coalition s) {
+    const double n = static_cast<double>(s.size());
+    return n * n;
+  };
+  const std::vector<double> phi = shapley_value(5, v);
+  double sum = 0.0;
+  for (const double p : phi) sum += p;
+  EXPECT_NEAR(sum, 25.0, 1e-9);  // v(grand) = 25
+}
+
+TEST(ShapleyTest, SymmetryAxiom) {
+  // All players symmetric: equal split of v(grand).
+  const auto v = [](Coalition s) { return s.size() >= 2 ? 12.0 : 0.0; };
+  const std::vector<double> phi = shapley_value(4, v);
+  for (const double p : phi) EXPECT_NEAR(p, 3.0, 1e-12);
+}
+
+TEST(ShapleyTest, DummyPlayerAxiom) {
+  // Player 2 contributes nothing to any coalition.
+  const auto v = [](Coalition s) {
+    return (s.contains(0) && s.contains(1)) ? 8.0 : 0.0;
+  };
+  const std::vector<double> phi = shapley_value(3, v);
+  EXPECT_NEAR(phi[2], 0.0, 1e-12);
+  EXPECT_NEAR(phi[0], 4.0, 1e-12);
+  EXPECT_NEAR(phi[1], 4.0, 1e-12);
+}
+
+TEST(ShapleyTest, RejectsOutOfRangeM) {
+  const auto v = [](Coalition) { return 0.0; };
+  EXPECT_THROW((void)shapley_value(0, v), InvalidArgument);
+  EXPECT_THROW((void)shapley_value(21, v), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace svo::game

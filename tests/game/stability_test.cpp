@@ -1,0 +1,69 @@
+#include "game/stability.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace svo::game {
+namespace {
+
+TEST(WeaklyPrefersTest, Semantics) {
+  EXPECT_TRUE(weakly_prefers({2.0, 0.5, 0}, {1.0, 0.5, 0}));
+  EXPECT_TRUE(weakly_prefers({1.0, 0.5, 0}, {1.0, 0.5, 0}));  // indifferent
+  EXPECT_FALSE(weakly_prefers({2.0, 0.4, 0}, {1.0, 0.5, 0}));
+  EXPECT_FALSE(weakly_prefers({0.9, 0.9, 0}, {1.0, 0.5, 0}));
+}
+
+CoalitionScorer scorer_from_map(
+    std::map<std::uint64_t, BicriteriaPoint> table) {
+  return [table = std::move(table)](Coalition c) {
+    const auto it = table.find(c.bits());
+    if (it == table.end()) return BicriteriaPoint{0.0, 0.0, c.bits()};
+    return it->second;
+  };
+}
+
+TEST(IndividualStabilityTest, StableWhenEveryDepartureHurts) {
+  // {0,1,2}: any 2-member sub-VO has lower payoff.
+  const auto scorer = scorer_from_map({
+      {Coalition::of({0, 1, 2}).bits(), {10.0, 0.3, 0}},
+      {Coalition::of({0, 1}).bits(), {8.0, 0.5, 0}},   // rep up, payoff down
+      {Coalition::of({0, 2}).bits(), {9.0, 0.2, 0}},   // both down-ish
+      {Coalition::of({1, 2}).bits(), {10.0, 0.2, 0}},  // rep down
+  });
+  EXPECT_TRUE(individually_stable(Coalition::of({0, 1, 2}), scorer));
+  EXPECT_EQ(find_blocking_departure(Coalition::of({0, 1, 2}), scorer),
+            SIZE_MAX);
+}
+
+TEST(IndividualStabilityTest, UnstableWhenSomeDepartureWeaklyImproves) {
+  // Removing player 2 improves payoff and reputation for the rest.
+  const auto scorer = scorer_from_map({
+      {Coalition::of({0, 1, 2}).bits(), {10.0, 0.3, 0}},
+      {Coalition::of({0, 1}).bits(), {12.0, 0.4, 0}},
+      {Coalition::of({0, 2}).bits(), {1.0, 0.1, 0}},
+      {Coalition::of({1, 2}).bits(), {1.0, 0.1, 0}},
+  });
+  EXPECT_FALSE(individually_stable(Coalition::of({0, 1, 2}), scorer));
+  EXPECT_EQ(find_blocking_departure(Coalition::of({0, 1, 2}), scorer), 2u);
+}
+
+TEST(IndividualStabilityTest, IndifferenceCountsAsWeakPreference) {
+  const auto scorer = scorer_from_map({
+      {Coalition::of({0, 1}).bits(), {5.0, 0.5, 0}},
+      {Coalition::of({0}).bits(), {5.0, 0.5, 0}},  // identical point
+      {Coalition::of({1}).bits(), {0.0, 0.0, 0}},
+  });
+  // Departure of 1 leaves {0} exactly as well off -> weakly preferred ->
+  // unstable per Definition 1's weak inequality.
+  EXPECT_FALSE(individually_stable(Coalition::of({0, 1}), scorer));
+}
+
+TEST(IndividualStabilityTest, SingletonAndEmptyTriviallyStable) {
+  const auto scorer = scorer_from_map({});
+  EXPECT_TRUE(individually_stable(Coalition::of({3}), scorer));
+  EXPECT_TRUE(individually_stable(Coalition(), scorer));
+}
+
+}  // namespace
+}  // namespace svo::game

@@ -1,0 +1,95 @@
+#include "game/structure.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace svo::game {
+namespace {
+
+TEST(OptimalStructureTest, SuperadditiveGameFormsGrandCoalition) {
+  const auto v = [](Coalition s) {
+    const double n = static_cast<double>(s.size());
+    return n * n;  // strictly superadditive
+  };
+  const OptimalStructure r = optimal_coalition_structure(5, v);
+  ASSERT_EQ(r.partition.size(), 1u);
+  EXPECT_EQ(r.partition[0], Coalition::all(5));
+  EXPECT_DOUBLE_EQ(r.total_value, 25.0);
+}
+
+TEST(OptimalStructureTest, SubadditiveGameStaysSingletons) {
+  const auto v = [](Coalition s) {
+    return s.empty() ? 0.0 : std::sqrt(static_cast<double>(s.size()));
+  };
+  const OptimalStructure r = optimal_coalition_structure(4, v);
+  EXPECT_EQ(r.partition.size(), 4u);
+  EXPECT_NEAR(r.total_value, 4.0, 1e-12);
+}
+
+TEST(OptimalStructureTest, PairsGame) {
+  // v(S) = 1 iff |S| == 2: optimum pairs everyone up.
+  const auto v = [](Coalition s) { return s.size() == 2 ? 1.0 : 0.0; };
+  const OptimalStructure r = optimal_coalition_structure(6, v);
+  EXPECT_DOUBLE_EQ(r.total_value, 3.0);
+  for (const Coalition c : r.partition) EXPECT_EQ(c.size(), 2u);
+}
+
+TEST(OptimalStructureTest, PartitionIsExactCover) {
+  util::Xoshiro256 rng(3);
+  // Random game values; verify structural invariants only.
+  std::vector<double> table(1u << 8);
+  for (double& x : table) x = rng.uniform(0.0, 10.0);
+  table[0] = 0.0;
+  const auto v = [&](Coalition s) { return table[s.bits()]; };
+  const OptimalStructure r = optimal_coalition_structure(8, v);
+  std::uint64_t seen = 0;
+  for (const Coalition c : r.partition) {
+    EXPECT_FALSE(c.empty());
+    EXPECT_EQ(seen & c.bits(), 0u);
+    seen |= c.bits();
+  }
+  EXPECT_EQ(seen, Coalition::all(8).bits());
+  EXPECT_NEAR(r.total_value, structure_value(r.partition, v), 1e-9);
+}
+
+TEST(OptimalStructureTest, BeatsEveryRandomPartition) {
+  util::Xoshiro256 rng(7);
+  std::vector<double> table(1u << 7);
+  for (double& x : table) x = rng.uniform(0.0, 5.0);
+  table[0] = 0.0;
+  const auto v = [&](Coalition s) { return table[s.bits()]; };
+  const OptimalStructure r = optimal_coalition_structure(7, v);
+  // Sample random partitions; none may beat the DP optimum.
+  for (int trial = 0; trial < 300; ++trial) {
+    std::vector<Coalition> parts;
+    std::vector<std::size_t> block(7);
+    for (std::size_t g = 0; g < 7; ++g) block[g] = rng.index(4);
+    for (std::size_t b = 0; b < 4; ++b) {
+      Coalition c;
+      for (std::size_t g = 0; g < 7; ++g) {
+        if (block[g] == b) c = c.with(g);
+      }
+      if (!c.empty()) parts.push_back(c);
+    }
+    ASSERT_LE(structure_value(parts, v), r.total_value + 1e-9);
+  }
+}
+
+TEST(OptimalStructureTest, SinglePlayer) {
+  const auto v = [](Coalition s) { return s.empty() ? 0.0 : 2.5; };
+  const OptimalStructure r = optimal_coalition_structure(1, v);
+  ASSERT_EQ(r.partition.size(), 1u);
+  EXPECT_DOUBLE_EQ(r.total_value, 2.5);
+}
+
+TEST(OptimalStructureTest, ValidatesArguments) {
+  const auto v = [](Coalition) { return 0.0; };
+  EXPECT_THROW((void)optimal_coalition_structure(0, v), InvalidArgument);
+  EXPECT_THROW((void)optimal_coalition_structure(17, v), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace svo::game

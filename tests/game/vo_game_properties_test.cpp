@@ -1,0 +1,96 @@
+/// Structural properties of the VO game (G, v) itself — facts about
+/// eq. (15) that the paper uses implicitly or that explain its remarks:
+///  - v need NOT be monotone: constraint (13) forces every member to
+///    receive work, so adding an expensive GSP can *reduce* v(C);
+///  - v need not be superadditive, which is why the core can be empty
+///    and the grand coalition need not form (Section II-C).
+#include <gtest/gtest.h>
+
+#include "game/value_function.hpp"
+#include "ip/bnb.hpp"
+#include "tests/ip/test_instances.hpp"
+
+namespace svo::game {
+namespace {
+
+TEST(VoGamePropertiesTest, AddingExpensiveGspCanReduceValue) {
+  // Two cheap GSPs cover both tasks; GSP 2 costs 500 per task. With
+  // constraint (13), {0,1,2} must route a task through GSP 2.
+  ip::AssignmentInstance inst;
+  inst.cost = linalg::Matrix::from_rows(
+      {{1, 1, 1}, {1, 1, 1}, {500, 500, 500}});
+  inst.time = linalg::Matrix(3, 3, 1.0);
+  inst.deadline = 3.0;
+  inst.payment = 10'000.0;
+  const ip::BnbAssignmentSolver solver;
+  const VoValueFunction v(inst, solver);
+  const double small = v.value(Coalition::of({0, 1}));
+  const double large = v.value(Coalition::of({0, 1, 2}));
+  EXPECT_GT(small, large);  // non-monotone: more members, less value
+}
+
+TEST(VoGamePropertiesTest, NonMonotonicityExistsInRandomInstances) {
+  // The effect is generic, not hand-crafted: across random instances we
+  // must find coalitions where adding a member lowers the value.
+  util::Xoshiro256 rng(31);
+  const ip::BnbAssignmentSolver solver;
+  bool found = false;
+  for (int trial = 0; trial < 10 && !found; ++trial) {
+    const ip::AssignmentInstance inst =
+        ip::testing::random_instance(4, 8, rng);
+    const VoValueFunction v(inst, solver);
+    const Coalition grand = Coalition::all(4);
+    for (std::uint64_t s = 1; s < grand.bits() && !found; ++s) {
+      const Coalition c(s);
+      for (std::size_t g = 0; g < 4 && !found; ++g) {
+        if (c.contains(g)) continue;
+        if (v.evaluate(c).feasible && v.evaluate(c.with(g)).feasible) {
+          found = v.value(c.with(g)) < v.value(c) - 1e-9;
+        }
+      }
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(VoGamePropertiesTest, SuperadditivityCanFail) {
+  // Disjoint coalitions cannot both execute the single program, but the
+  // game-theoretic check is about v: find A, B disjoint with
+  // v(A u B) < v(A) + v(B) — which eq. (15) permits freely because both
+  // sides evaluate the same single payment P.
+  util::Xoshiro256 rng(37);
+  const ip::BnbAssignmentSolver solver;
+  bool found = false;
+  for (int trial = 0; trial < 10 && !found; ++trial) {
+    const ip::AssignmentInstance inst =
+        ip::testing::random_instance(4, 8, rng);
+    const VoValueFunction v(inst, solver);
+    for (std::uint64_t a = 1; a < 15 && !found; ++a) {
+      for (std::uint64_t b = 1; b < 15 && !found; ++b) {
+        if ((a & b) != 0) continue;
+        const double va = v.value(Coalition(a));
+        const double vb = v.value(Coalition(b));
+        const double vu = v.value(Coalition(a | b));
+        if (va > 0.0 && vb > 0.0) {
+          found = vu < va + vb - 1e-9;
+        }
+      }
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(VoGamePropertiesTest, ValueBoundedByPayment) {
+  util::Xoshiro256 rng(41);
+  const ip::BnbAssignmentSolver solver;
+  const ip::AssignmentInstance inst = ip::testing::random_instance(4, 8, rng);
+  const VoValueFunction v(inst, solver);
+  for (std::uint64_t s = 0; s <= 15; ++s) {
+    const double val = v.value(Coalition(s));
+    EXPECT_GE(val, 0.0);             // infeasible -> 0, feasible -> P - C >= 0
+    EXPECT_LE(val, inst.payment);    // costs are non-negative
+  }
+}
+
+}  // namespace
+}  // namespace svo::game

@@ -1,0 +1,102 @@
+#include "graph/centrality.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace svo::graph {
+namespace {
+
+double sum(const std::vector<double>& v) {
+  return std::accumulate(v.begin(), v.end(), 0.0);
+}
+
+/// Star graph: every spoke trusts the hub (vertex 0).
+Digraph in_star(std::size_t n) {
+  Digraph g(n);
+  for (std::size_t v = 1; v < n; ++v) g.set_edge(v, 0, 1.0);
+  return g;
+}
+
+TEST(DegreeCentralityTest, HubOfInStarDominates) {
+  const std::vector<double> c = degree_centrality(in_star(5));
+  EXPECT_NEAR(sum(c), 1.0, 1e-12);
+  EXPECT_NEAR(c[0], 1.0, 1e-12);  // hub receives all trust
+  for (std::size_t v = 1; v < 5; ++v) EXPECT_NEAR(c[v], 0.0, 1e-12);
+}
+
+TEST(DegreeCentralityTest, EmptyGraphIsUniform) {
+  const std::vector<double> c = degree_centrality(Digraph(4));
+  for (const double x : c) EXPECT_NEAR(x, 0.25, 1e-12);
+}
+
+TEST(ClosenessCentralityTest, PathGraphEndpointVsTail) {
+  // 0 -> 1 -> 2 with unit weights (distance 1 per hop, incoming paths).
+  Digraph g(3);
+  g.set_edge(0, 1, 1.0);
+  g.set_edge(1, 2, 1.0);
+  const std::vector<double> c = closeness_centrality(g);
+  EXPECT_NEAR(sum(c), 1.0, 1e-12);
+  // Vertex 2 is reachable from 0 (d=2) and 1 (d=1): harmonic 1.5;
+  // vertex 1 from 0 only: 1.0; vertex 0 unreachable: 0.
+  EXPECT_NEAR(c[0], 0.0, 1e-12);
+  EXPECT_NEAR(c[1] / c[2], 1.0 / 1.5, 1e-9);
+}
+
+TEST(ClosenessCentralityTest, HigherTrustMeansCloser) {
+  // Two parallel chains into 2: strong edge vs weak edge.
+  Digraph g(3);
+  g.set_edge(0, 2, 10.0);  // distance 0.1
+  g.set_edge(1, 2, 0.1);   // distance 10
+  const std::vector<double> c = closeness_centrality(g);
+  EXPECT_GT(c[2], 0.99);  // all mass on the only trusted vertex
+}
+
+TEST(BetweennessCentralityTest, MiddleOfPathCarriesAllPaths) {
+  Digraph g(3);
+  g.set_edge(0, 1, 1.0);
+  g.set_edge(1, 2, 1.0);
+  const std::vector<double> c = betweenness_centrality(g);
+  EXPECT_NEAR(sum(c), 1.0, 1e-12);
+  EXPECT_NEAR(c[1], 1.0, 1e-12);  // only 0->2 passes through 1
+}
+
+TEST(BetweennessCentralityTest, CompleteTriangleIsUniform) {
+  Digraph g(3);
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      if (i != j) g.set_edge(i, j, 1.0);
+    }
+  }
+  const std::vector<double> c = betweenness_centrality(g);
+  // No shortest path needs an intermediate vertex: all scores zero ->
+  // normalized to uniform.
+  for (const double x : c) EXPECT_NEAR(x, 1.0 / 3.0, 1e-12);
+}
+
+TEST(BetweennessCentralityTest, SplitShortestPathsShareCredit) {
+  // 0 -> {1, 2} -> 3, all unit weights: two equal shortest paths.
+  Digraph g(4);
+  g.set_edge(0, 1, 1.0);
+  g.set_edge(0, 2, 1.0);
+  g.set_edge(1, 3, 1.0);
+  g.set_edge(2, 3, 1.0);
+  const std::vector<double> c = betweenness_centrality(g);
+  EXPECT_NEAR(c[1], c[2], 1e-12);
+  EXPECT_GT(c[1], 0.0);
+}
+
+TEST(EigenvectorCentralityTest, MatchesReputationSemantics) {
+  // Everyone trusts vertex 0 strongly, vertex 0 trusts 1 weakly.
+  Digraph g(3);
+  g.set_edge(1, 0, 5.0);
+  g.set_edge(2, 0, 5.0);
+  g.set_edge(0, 1, 1.0);
+  const std::vector<double> c = eigenvector_centrality(g);
+  EXPECT_NEAR(sum(c), 1.0, 1e-9);
+  EXPECT_GT(c[0], c[1]);
+  EXPECT_GT(c[1], c[2]);  // 1 is trusted by the highly-reputed 0
+}
+
+}  // namespace
+}  // namespace svo::graph

@@ -1,0 +1,92 @@
+#include "graph/digraph.hpp"
+
+#include <gtest/gtest.h>
+
+namespace svo::graph {
+namespace {
+
+TEST(DigraphTest, EmptyGraph) {
+  Digraph g;
+  EXPECT_EQ(g.vertex_count(), 0u);
+  EXPECT_EQ(g.edge_count(), 0u);
+}
+
+TEST(DigraphTest, SetAndQueryEdges) {
+  Digraph g(3);
+  g.set_edge(0, 1, 2.5);
+  g.set_edge(1, 2, 0.5);
+  EXPECT_EQ(g.edge_count(), 2u);
+  EXPECT_DOUBLE_EQ(g.edge_weight(0, 1).value(), 2.5);
+  EXPECT_FALSE(g.edge_weight(1, 0).has_value());
+  EXPECT_EQ(g.out_degree(0), 1u);
+  EXPECT_EQ(g.in_degree(2), 1u);
+}
+
+TEST(DigraphTest, SetEdgeOverwritesWeight) {
+  Digraph g(2);
+  g.set_edge(0, 1, 1.0);
+  g.set_edge(0, 1, 3.0);
+  EXPECT_EQ(g.edge_count(), 1u);
+  EXPECT_DOUBLE_EQ(g.edge_weight(0, 1).value(), 3.0);
+}
+
+TEST(DigraphTest, RemoveEdge) {
+  Digraph g(2);
+  g.set_edge(0, 1, 1.0);
+  EXPECT_TRUE(g.remove_edge(0, 1));
+  EXPECT_FALSE(g.remove_edge(0, 1));
+  EXPECT_EQ(g.edge_count(), 0u);
+}
+
+TEST(DigraphTest, WeightedDegrees) {
+  Digraph g(3);
+  g.set_edge(0, 2, 1.5);
+  g.set_edge(1, 2, 2.5);
+  EXPECT_DOUBLE_EQ(g.in_weight(2), 4.0);
+  EXPECT_DOUBLE_EQ(g.out_weight(0), 1.5);
+}
+
+TEST(DigraphTest, BoundsChecked) {
+  Digraph g(2);
+  EXPECT_THROW(g.set_edge(0, 2, 1.0), InvalidArgument);
+  EXPECT_THROW(g.set_edge(2, 0, 1.0), InvalidArgument);
+  EXPECT_THROW(g.set_edge(0, 1, -1.0), InvalidArgument);
+  EXPECT_THROW((void)g.out_edges(5), InvalidArgument);
+}
+
+TEST(DigraphTest, AdjacencyMatrix) {
+  Digraph g(2);
+  g.set_edge(0, 1, 0.7);
+  const linalg::Matrix a = g.adjacency_matrix();
+  EXPECT_DOUBLE_EQ(a(0, 1), 0.7);
+  EXPECT_DOUBLE_EQ(a(1, 0), 0.0);
+  EXPECT_DOUBLE_EQ(a(0, 0), 0.0);
+}
+
+TEST(DigraphTest, InducedSubgraphRenumbersAndFiltersEdges) {
+  Digraph g(4);
+  g.set_edge(0, 1, 1.0);
+  g.set_edge(1, 3, 2.0);
+  g.set_edge(3, 0, 3.0);
+  g.set_edge(2, 3, 4.0);
+  std::vector<std::size_t> ids;
+  const Digraph sub = g.induced_subgraph({true, false, true, true}, &ids);
+  EXPECT_EQ(sub.vertex_count(), 3u);
+  ASSERT_EQ(ids.size(), 3u);
+  EXPECT_EQ(ids[0], 0u);
+  EXPECT_EQ(ids[1], 2u);
+  EXPECT_EQ(ids[2], 3u);
+  // Surviving edges: 3->0 (new 2->0) and 2->3 (new 1->2).
+  EXPECT_EQ(sub.edge_count(), 2u);
+  EXPECT_DOUBLE_EQ(sub.edge_weight(2, 0).value(), 3.0);
+  EXPECT_DOUBLE_EQ(sub.edge_weight(1, 2).value(), 4.0);
+  EXPECT_FALSE(sub.edge_weight(0, 1).has_value());
+}
+
+TEST(DigraphTest, InducedSubgraphSizeMismatchThrows) {
+  Digraph g(3);
+  EXPECT_THROW((void)g.induced_subgraph({true, false}), DimensionMismatch);
+}
+
+}  // namespace
+}  // namespace svo::graph

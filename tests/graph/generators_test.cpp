@@ -1,0 +1,86 @@
+#include "graph/generators.hpp"
+
+#include <gtest/gtest.h>
+
+namespace svo::graph {
+namespace {
+
+TEST(ErdosRenyiTest, EdgeCountNearExpectation) {
+  util::Xoshiro256 rng(1);
+  ErdosRenyiOptions opts;
+  opts.p = 0.1;
+  const std::size_t n = 100;
+  const Digraph g = erdos_renyi(n, opts, rng);
+  const double expected = 0.1 * static_cast<double>(n * (n - 1));
+  EXPECT_NEAR(static_cast<double>(g.edge_count()), expected, expected * 0.15);
+}
+
+TEST(ErdosRenyiTest, NoSelfLoopsByDefault) {
+  util::Xoshiro256 rng(2);
+  ErdosRenyiOptions opts;
+  opts.p = 1.0;
+  const Digraph g = erdos_renyi(10, opts, rng);
+  for (std::size_t v = 0; v < 10; ++v) {
+    EXPECT_FALSE(g.edge_weight(v, v).has_value());
+  }
+  EXPECT_EQ(g.edge_count(), 90u);
+}
+
+TEST(ErdosRenyiTest, WeightsArePositiveAndBounded) {
+  util::Xoshiro256 rng(3);
+  ErdosRenyiOptions opts;
+  opts.p = 0.5;
+  opts.weight_lo = 0.0;
+  opts.weight_hi = 2.0;
+  const Digraph g = erdos_renyi(20, opts, rng);
+  for (std::size_t v = 0; v < 20; ++v) {
+    for (const auto& e : g.out_edges(v)) {
+      EXPECT_GT(e.weight, 0.0);
+      EXPECT_LE(e.weight, 2.0);
+    }
+  }
+}
+
+TEST(ErdosRenyiTest, ZeroProbabilityYieldsEmptyGraph) {
+  util::Xoshiro256 rng(4);
+  ErdosRenyiOptions opts;
+  opts.p = 0.0;
+  EXPECT_EQ(erdos_renyi(10, opts, rng).edge_count(), 0u);
+}
+
+TEST(ErdosRenyiTest, DeterministicInSeed) {
+  ErdosRenyiOptions opts;
+  opts.p = 0.3;
+  util::Xoshiro256 rng_a(7);
+  util::Xoshiro256 rng_b(7);
+  const Digraph a = erdos_renyi(15, opts, rng_a);
+  const Digraph b = erdos_renyi(15, opts, rng_b);
+  ASSERT_EQ(a.edge_count(), b.edge_count());
+  for (std::size_t v = 0; v < 15; ++v) {
+    for (const auto& e : a.out_edges(v)) {
+      const auto w = b.edge_weight(v, e.to);
+      ASSERT_TRUE(w.has_value());
+      EXPECT_DOUBLE_EQ(*w, e.weight);
+    }
+  }
+}
+
+TEST(ErdosRenyiTest, RejectsBadParameters) {
+  util::Xoshiro256 rng(1);
+  ErdosRenyiOptions opts;
+  opts.p = 1.5;
+  EXPECT_THROW((void)erdos_renyi(5, opts, rng), InvalidArgument);
+  opts.p = 0.5;
+  opts.weight_lo = 2.0;
+  opts.weight_hi = 1.0;
+  EXPECT_THROW((void)erdos_renyi(5, opts, rng), InvalidArgument);
+}
+
+TEST(CompleteGraphTest, AllOffDiagonalEdgesPresent) {
+  util::Xoshiro256 rng(5);
+  const Digraph g = complete_graph(6, 0.0, 1.0, rng);
+  EXPECT_EQ(g.edge_count(), 30u);
+}
+
+}  // namespace
+}  // namespace svo::graph

@@ -1,0 +1,92 @@
+#include "graph/scc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace svo::graph {
+namespace {
+
+TEST(SccTest, SingleCycleIsOneComponent) {
+  Digraph g(4);
+  for (std::size_t v = 0; v < 4; ++v) g.set_edge(v, (v + 1) % 4, 1.0);
+  const SccResult r = strongly_connected_components(g);
+  EXPECT_EQ(r.count, 1u);
+  EXPECT_TRUE(is_strongly_connected(g));
+}
+
+TEST(SccTest, DagHasOneComponentPerVertex) {
+  Digraph g(4);
+  g.set_edge(0, 1, 1.0);
+  g.set_edge(1, 2, 1.0);
+  g.set_edge(2, 3, 1.0);
+  const SccResult r = strongly_connected_components(g);
+  EXPECT_EQ(r.count, 4u);
+  EXPECT_FALSE(is_strongly_connected(g));
+}
+
+TEST(SccTest, TwoCyclesJoinedByBridge) {
+  Digraph g(6);
+  // Cycle {0,1,2}, cycle {3,4,5}, bridge 2 -> 3.
+  g.set_edge(0, 1, 1.0);
+  g.set_edge(1, 2, 1.0);
+  g.set_edge(2, 0, 1.0);
+  g.set_edge(3, 4, 1.0);
+  g.set_edge(4, 5, 1.0);
+  g.set_edge(5, 3, 1.0);
+  g.set_edge(2, 3, 1.0);
+  const SccResult r = strongly_connected_components(g);
+  EXPECT_EQ(r.count, 2u);
+  EXPECT_EQ(r.component[0], r.component[1]);
+  EXPECT_EQ(r.component[1], r.component[2]);
+  EXPECT_EQ(r.component[3], r.component[4]);
+  EXPECT_EQ(r.component[4], r.component[5]);
+  EXPECT_NE(r.component[0], r.component[3]);
+}
+
+TEST(SccTest, ZeroWeightEdgesIgnored) {
+  Digraph g(2);
+  g.set_edge(0, 1, 0.0);
+  g.set_edge(1, 0, 0.0);
+  const SccResult r = strongly_connected_components(g);
+  EXPECT_EQ(r.count, 2u);
+}
+
+TEST(SccTest, EmptyGraphNotStronglyConnected) {
+  EXPECT_FALSE(is_strongly_connected(Digraph(0)));
+}
+
+TEST(SccTest, SingletonIsStronglyConnected) {
+  EXPECT_TRUE(is_strongly_connected(Digraph(1)));
+}
+
+TEST(SccTest, ComponentIdsCoverAllVertices) {
+  Digraph g(5);
+  g.set_edge(0, 1, 1.0);
+  g.set_edge(1, 0, 1.0);
+  g.set_edge(3, 4, 1.0);
+  const SccResult r = strongly_connected_components(g);
+  std::set<std::size_t> ids(r.component.begin(), r.component.end());
+  EXPECT_EQ(ids.size(), r.count);
+  for (const std::size_t id : r.component) EXPECT_LT(id, r.count);
+}
+
+TEST(ReachabilityTest, FollowsDirectedPositiveEdges) {
+  Digraph g(4);
+  g.set_edge(0, 1, 1.0);
+  g.set_edge(1, 2, 1.0);
+  g.set_edge(3, 0, 1.0);
+  const std::vector<bool> from0 = reachable_from(g, 0);
+  EXPECT_TRUE(from0[0]);
+  EXPECT_TRUE(from0[1]);
+  EXPECT_TRUE(from0[2]);
+  EXPECT_FALSE(from0[3]);
+}
+
+TEST(ReachabilityTest, SourceOutOfRangeThrows) {
+  Digraph g(2);
+  EXPECT_THROW((void)reachable_from(g, 5), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace svo::graph

@@ -1,0 +1,48 @@
+/// Compile-and-link check of the umbrella header: every public module is
+/// reachable through one include, and representative symbols from each
+/// layer are usable together.
+#include "src/svo.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+TEST(UmbrellaHeaderTest, AllLayersReachable) {
+  using namespace svo;
+  util::Xoshiro256 rng(1);
+  const linalg::Matrix id = linalg::Matrix::identity(2);
+  EXPECT_DOUBLE_EQ(id(0, 0), 1.0);
+
+  graph::Digraph g(2);
+  g.set_edge(0, 1, 1.0);
+  EXPECT_EQ(g.edge_count(), 1u);
+
+  lp::Problem lp_problem(1);
+  lp_problem.set_objective({1.0});
+  EXPECT_EQ(lp_problem.num_vars(), 1u);
+
+  des::Simulator sim;
+  sim.schedule(1.0, [] {});
+  EXPECT_EQ(sim.pending(), 1u);
+
+  const trust::TrustGraph trust = trust::random_trust_graph(4, 0.5, rng);
+  EXPECT_EQ(trust.size(), 4u);
+
+  const game::Coalition c = game::Coalition::of({0, 1});
+  EXPECT_EQ(c.size(), 2u);
+
+  trace::ProgramSpec program;
+  program.num_tasks = 8;
+  program.mean_task_runtime = 8000.0;
+  workload::InstanceGenOptions gen;
+  gen.params.num_gsps = 4;
+  const workload::GridInstance grid =
+      workload::generate_instance(program, gen, rng);
+  EXPECT_EQ(grid.assignment.num_gsps(), 4u);
+
+  const ip::BnbAssignmentSolver solver;
+  const core::TvofMechanism tvof(solver);
+  EXPECT_EQ(tvof.name(), "TVOF");
+}
+
+}  // namespace

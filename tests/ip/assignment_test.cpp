@@ -1,0 +1,113 @@
+#include "ip/assignment.hpp"
+
+#include <gtest/gtest.h>
+
+namespace svo::ip {
+namespace {
+
+AssignmentInstance small_instance() {
+  AssignmentInstance inst;
+  inst.cost = linalg::Matrix::from_rows({{1, 2, 3}, {4, 5, 6}});
+  inst.time = linalg::Matrix::from_rows({{1, 1, 1}, {2, 2, 2}});
+  inst.deadline = 10.0;
+  inst.payment = 100.0;
+  return inst;
+}
+
+TEST(AssignmentInstanceTest, ValidateAcceptsGoodInstance) {
+  EXPECT_NO_THROW(small_instance().validate());
+}
+
+TEST(AssignmentInstanceTest, ValidateRejectsShapeMismatch) {
+  AssignmentInstance inst = small_instance();
+  inst.time = linalg::Matrix(2, 2, 1.0);
+  EXPECT_THROW(inst.validate(), InvalidArgument);
+}
+
+TEST(AssignmentInstanceTest, ValidateRejectsBadScalars) {
+  AssignmentInstance inst = small_instance();
+  inst.deadline = 0.0;
+  EXPECT_THROW(inst.validate(), InvalidArgument);
+  inst = small_instance();
+  inst.payment = -1.0;
+  EXPECT_THROW(inst.validate(), InvalidArgument);
+  inst = small_instance();
+  inst.time(0, 0) = 0.0;
+  EXPECT_THROW(inst.validate(), InvalidArgument);
+  inst = small_instance();
+  inst.cost(1, 2) = -0.5;
+  EXPECT_THROW(inst.validate(), InvalidArgument);
+}
+
+TEST(AssignmentInstanceTest, RestrictToSelectsRows) {
+  const AssignmentInstance inst = small_instance();
+  std::vector<std::size_t> original;
+  const AssignmentInstance sub = inst.restrict_to({false, true}, &original);
+  EXPECT_EQ(sub.num_gsps(), 1u);
+  EXPECT_EQ(sub.num_tasks(), 3u);
+  ASSERT_EQ(original.size(), 1u);
+  EXPECT_EQ(original[0], 1u);
+  EXPECT_DOUBLE_EQ(sub.cost(0, 0), 4.0);
+  EXPECT_DOUBLE_EQ(sub.time(0, 2), 2.0);
+  EXPECT_DOUBLE_EQ(sub.deadline, inst.deadline);
+  EXPECT_DOUBLE_EQ(sub.payment, inst.payment);
+}
+
+TEST(AssignmentInstanceTest, RestrictToBadMaskThrows) {
+  EXPECT_THROW((void)small_instance().restrict_to({true}), DimensionMismatch);
+}
+
+TEST(AssignmentCostTest, SumsSelectedEntries) {
+  const AssignmentInstance inst = small_instance();
+  EXPECT_DOUBLE_EQ(assignment_cost(inst, {0, 1, 0}), 1.0 + 5.0 + 3.0);
+}
+
+TEST(AssignmentCostTest, RejectsBadArity) {
+  EXPECT_THROW((void)assignment_cost(small_instance(), {0, 1}),
+               DimensionMismatch);
+}
+
+TEST(CheckFeasibleTest, AcceptsValidAssignment) {
+  EXPECT_EQ(check_feasible(small_instance(), {0, 1, 0}), "");
+}
+
+TEST(CheckFeasibleTest, DetectsDeadlineViolation) {
+  AssignmentInstance inst = small_instance();
+  inst.deadline = 1.5;  // GSP 0 with two unit-time tasks busts it
+  const std::string msg = check_feasible(inst, {0, 1, 0});
+  EXPECT_NE(msg.find("deadline"), std::string::npos);
+}
+
+TEST(CheckFeasibleTest, DetectsCoverageViolation) {
+  const std::string msg = check_feasible(small_instance(), {0, 0, 0});
+  EXPECT_NE(msg.find("coverage"), std::string::npos);
+}
+
+TEST(CheckFeasibleTest, CoverageWaivedWhenDisabled) {
+  AssignmentInstance inst = small_instance();
+  inst.require_all_gsps_used = false;
+  EXPECT_EQ(check_feasible(inst, {0, 0, 0}), "");
+}
+
+TEST(CheckFeasibleTest, DetectsPaymentViolation) {
+  AssignmentInstance inst = small_instance();
+  inst.payment = 5.0;
+  const std::string msg = check_feasible(inst, {0, 1, 0});  // cost 9
+  EXPECT_NE(msg.find("payment"), std::string::npos);
+}
+
+TEST(CheckFeasibleTest, DetectsRangeAndArity) {
+  const AssignmentInstance inst = small_instance();
+  EXPECT_NE(check_feasible(inst, {0, 1}).find("arity"), std::string::npos);
+  EXPECT_NE(check_feasible(inst, {0, 1, 9}).find("range"), std::string::npos);
+}
+
+TEST(StatusToStringTest, AllValuesNamed) {
+  EXPECT_STREQ(to_string(AssignStatus::Optimal), "Optimal");
+  EXPECT_STREQ(to_string(AssignStatus::Feasible), "Feasible");
+  EXPECT_STREQ(to_string(AssignStatus::Infeasible), "Infeasible");
+  EXPECT_STREQ(to_string(AssignStatus::Unknown), "Unknown");
+}
+
+}  // namespace
+}  // namespace svo::ip

@@ -1,0 +1,83 @@
+/// Branch-and-bound with constraint (13) disabled — the
+/// require_all_gsps_used = false code path, used when a VO may leave
+/// members idle (relevant for the DAG adapter and custom applications).
+#include <gtest/gtest.h>
+
+#include "ip/bnb.hpp"
+#include "ip/greedy.hpp"
+#include "tests/ip/test_instances.hpp"
+
+namespace svo::ip {
+namespace {
+
+AssignmentInstance no_coverage(std::size_t k, std::size_t n,
+                               util::Xoshiro256& rng) {
+  AssignmentInstance inst = testing::random_instance(k, n, rng);
+  inst.require_all_gsps_used = false;
+  return inst;
+}
+
+TEST(BnbNoCoverageTest, CanLeaveExpensiveGspIdle) {
+  AssignmentInstance inst;
+  inst.cost = linalg::Matrix::from_rows({{1, 1, 1}, {99, 99, 99}});
+  inst.time = linalg::Matrix::from_rows({{1, 1, 1}, {1, 1, 1}});
+  inst.deadline = 5.0;
+  inst.payment = 1000.0;
+  inst.require_all_gsps_used = false;
+  const AssignmentSolution sol = BnbAssignmentSolver().solve(inst);
+  ASSERT_EQ(sol.status, AssignStatus::Optimal);
+  EXPECT_DOUBLE_EQ(sol.cost, 3.0);  // all on the cheap GSP
+  EXPECT_EQ(sol.assignment, (Assignment{0, 0, 0}));
+}
+
+TEST(BnbNoCoverageTest, MoreGspsThanTasksIsFine) {
+  util::Xoshiro256 rng(3);
+  const AssignmentInstance inst = no_coverage(5, 3, rng);
+  const AssignmentSolution sol = BnbAssignmentSolver().solve(inst);
+  EXPECT_EQ(sol.status, AssignStatus::Optimal);
+  EXPECT_EQ(check_feasible(inst, sol.assignment), "");
+}
+
+TEST(BnbNoCoverageTest, OptimumNeverWorseThanWithCoverage) {
+  util::Xoshiro256 rng(5);
+  for (int trial = 0; trial < 15; ++trial) {
+    AssignmentInstance with = testing::random_instance(3, 6, rng);
+    AssignmentInstance without = with;
+    without.require_all_gsps_used = false;
+    const AssignmentSolution a = BnbAssignmentSolver().solve(with);
+    const AssignmentSolution b = BnbAssignmentSolver().solve(without);
+    ASSERT_TRUE(b.status == AssignStatus::Optimal ||
+                b.status == AssignStatus::Infeasible);
+    if (a.status == AssignStatus::Optimal) {
+      ASSERT_EQ(b.status, AssignStatus::Optimal);
+      EXPECT_LE(b.cost, a.cost + 1e-9);  // relaxation can only help
+    }
+  }
+}
+
+TEST(BnbNoCoverageTest, MatchesBruteForce) {
+  util::Xoshiro256 rng(7);
+  for (int trial = 0; trial < 15; ++trial) {
+    const AssignmentInstance inst = no_coverage(3, 5, rng);
+    const auto oracle = testing::brute_force_optimum(inst);
+    const AssignmentSolution sol = BnbAssignmentSolver().solve(inst);
+    if (oracle.has_value()) {
+      ASSERT_EQ(sol.status, AssignStatus::Optimal);
+      EXPECT_NEAR(sol.cost, *oracle, 1e-7);
+    } else {
+      EXPECT_EQ(sol.status, AssignStatus::Infeasible);
+    }
+  }
+}
+
+TEST(GreedyNoCoverageTest, SkipsRepairPhase) {
+  util::Xoshiro256 rng(9);
+  const AssignmentInstance inst = no_coverage(4, 6, rng);
+  const AssignmentSolution sol = GreedyAssignmentSolver().solve(inst);
+  if (sol.has_assignment()) {
+    EXPECT_EQ(check_feasible(inst, sol.assignment), "");
+  }
+}
+
+}  // namespace
+}  // namespace svo::ip

@@ -1,0 +1,107 @@
+#include "ip/lp_bnb.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ip/bnb.hpp"
+#include "tests/ip/test_instances.hpp"
+
+namespace svo::ip {
+namespace {
+
+TEST(SolveBinaryIpTest, KnapsackKnownOptimum) {
+  // max 10a + 6b + 4c s.t. a + b + c <= 2 (binary)  ->  min negated.
+  lp::Problem p(3);
+  p.set_objective({-10.0, -6.0, -4.0});
+  p.add_constraint({1.0, 1.0, 1.0}, lp::Sense::LessEqual, 2.0);
+  const IpResult r = solve_binary_ip(p, {0, 1, 2});
+  ASSERT_EQ(r.status, IpStatus::Optimal);
+  EXPECT_NEAR(r.objective, -16.0, 1e-7);
+  EXPECT_NEAR(r.x[0], 1.0, 1e-9);
+  EXPECT_NEAR(r.x[1], 1.0, 1e-9);
+  EXPECT_NEAR(r.x[2], 0.0, 1e-9);
+}
+
+TEST(SolveBinaryIpTest, FractionalLpForcedIntegral) {
+  // LP relaxation optimum is fractional (x = y = 0.5); IP optimum differs.
+  // min -(x + y) s.t. 2x + 2y <= 2, binary -> exactly one of x, y.
+  lp::Problem p(2);
+  p.set_objective({-1.0, -1.0});
+  p.add_constraint({2.0, 2.0}, lp::Sense::LessEqual, 2.0);
+  const IpResult r = solve_binary_ip(p, {0, 1});
+  ASSERT_EQ(r.status, IpStatus::Optimal);
+  EXPECT_NEAR(r.objective, -1.0, 1e-7);
+  EXPECT_NEAR(r.x[0] + r.x[1], 1.0, 1e-7);
+}
+
+TEST(SolveBinaryIpTest, InfeasibleIntegerProblem) {
+  // x + y == 1.5 has fractional-only solutions for binaries.
+  lp::Problem p(2);
+  p.set_objective({1.0, 1.0});
+  p.add_constraint({1.0, 1.0}, lp::Sense::Equal, 1.5);
+  EXPECT_EQ(solve_binary_ip(p, {0, 1}).status, IpStatus::Infeasible);
+}
+
+TEST(SolveBinaryIpTest, NodeLimitReported) {
+  lp::Problem p(6);
+  std::vector<double> obj(6, -1.0);
+  p.set_objective(obj);
+  p.add_constraint(std::vector<double>(6, 2.0), lp::Sense::LessEqual, 5.0);
+  LpBnbOptions opts;
+  opts.max_nodes = 1;
+  EXPECT_EQ(solve_binary_ip(p, {0, 1, 2, 3, 4, 5}, opts).status,
+            IpStatus::NodeLimit);
+}
+
+TEST(SolveBinaryIpTest, MixedIntegerKeepsContinuousVars) {
+  // min -y - 0.5 z with y binary, z continuous <= 0.7 (via row).
+  lp::Problem p(2);
+  p.set_objective({-1.0, -0.5});
+  p.add_constraint({0.0, 1.0}, lp::Sense::LessEqual, 0.7);
+  p.set_upper_bound(0, 1.0);
+  const IpResult r = solve_binary_ip(p, {0});
+  ASSERT_EQ(r.status, IpStatus::Optimal);
+  EXPECT_NEAR(r.x[0], 1.0, 1e-9);
+  EXPECT_NEAR(r.x[1], 0.7, 1e-7);
+}
+
+TEST(BuildAssignmentIpTest, ShapeMatchesFormulation) {
+  util::Xoshiro256 rng(31);
+  const AssignmentInstance inst = testing::random_instance(3, 4, rng);
+  const lp::Problem p = build_assignment_ip(inst);
+  EXPECT_EQ(p.num_vars(), 12u);
+  // (10) + 3x(11) + 4x(12) + 3x(13) = 11 rows.
+  EXPECT_EQ(p.num_constraints(), 11u);
+  for (std::size_t v = 0; v < 12; ++v) {
+    EXPECT_DOUBLE_EQ(p.upper_bound(v).value(), 1.0);
+  }
+}
+
+/// Cross-validation: the literal IP formulation (LP-based B&B) and the
+/// specialized combinatorial B&B must agree on optimal cost and
+/// feasibility for random small instances.
+class SolverAgreementTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SolverAgreementTest, LpBnbAgreesWithSpecializedBnb) {
+  util::Xoshiro256 rng(static_cast<std::uint64_t>(GetParam()) * 104729);
+  const std::size_t k = 2 + rng.index(2);
+  const std::size_t n = k + rng.index(3);
+  const AssignmentInstance inst =
+      testing::random_instance(k, n, rng, /*tight=*/GetParam() % 2 == 1);
+  const AssignmentSolution fast = BnbAssignmentSolver().solve(inst);
+  const AssignmentSolution literal = LpBnbAssignmentSolver().solve(inst);
+  ASSERT_TRUE(fast.status == AssignStatus::Optimal ||
+              fast.status == AssignStatus::Infeasible);
+  ASSERT_TRUE(literal.status == AssignStatus::Optimal ||
+              literal.status == AssignStatus::Infeasible);
+  EXPECT_EQ(fast.status, literal.status);
+  if (fast.status == AssignStatus::Optimal) {
+    EXPECT_NEAR(fast.cost, literal.cost, 1e-6);
+    EXPECT_EQ(check_feasible(inst, literal.assignment), "");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, SolverAgreementTest,
+                         ::testing::Range(1, 21));
+
+}  // namespace
+}  // namespace svo::ip

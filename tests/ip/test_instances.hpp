@@ -1,0 +1,59 @@
+/// \file test_instances.hpp
+/// Shared helpers for the ip solver tests: random instance generation and
+/// an exhaustive brute-force oracle for small assignment problems.
+#pragma once
+
+#include <limits>
+#include <optional>
+
+#include "ip/assignment.hpp"
+#include "util/rng.hpp"
+
+namespace svo::ip::testing {
+
+/// Random instance with k GSPs and n tasks. `tight` shrinks deadline and
+/// payment toward the feasibility boundary.
+inline AssignmentInstance random_instance(std::size_t k, std::size_t n,
+                                          util::Xoshiro256& rng,
+                                          bool tight = false) {
+  AssignmentInstance inst;
+  inst.cost = linalg::Matrix(k, n);
+  inst.time = linalg::Matrix(k, n);
+  for (std::size_t g = 0; g < k; ++g) {
+    for (std::size_t t = 0; t < n; ++t) {
+      inst.cost(g, t) = rng.uniform(1.0, 20.0);
+      inst.time(g, t) = rng.uniform(0.5, 4.0);
+    }
+  }
+  const double slack = tight ? rng.uniform(0.9, 1.6) : rng.uniform(1.5, 3.0);
+  inst.deadline =
+      slack * 4.0 * static_cast<double>(n) / static_cast<double>(k);
+  inst.payment = tight ? rng.uniform(6.0, 12.0) * static_cast<double>(n)
+                       : 25.0 * static_cast<double>(n);
+  return inst;
+}
+
+/// Brute force over all k^n assignments; returns the optimal cost or
+/// nullopt when no assignment is feasible. Use only for k^n <= ~1e6.
+inline std::optional<double> brute_force_optimum(
+    const AssignmentInstance& inst) {
+  const std::size_t k = inst.num_gsps();
+  const std::size_t n = inst.num_tasks();
+  Assignment a(n, 0);
+  double best = std::numeric_limits<double>::infinity();
+  bool found = false;
+  for (;;) {
+    if (check_feasible(inst, a).empty()) {
+      best = std::min(best, assignment_cost(inst, a));
+      found = true;
+    }
+    // Odometer increment.
+    std::size_t pos = 0;
+    while (pos < n && ++a[pos] == k) a[pos++] = 0;
+    if (pos == n) break;
+  }
+  if (!found) return std::nullopt;
+  return best;
+}
+
+}  // namespace svo::ip::testing

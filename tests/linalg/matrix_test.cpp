@@ -1,0 +1,103 @@
+#include "linalg/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace svo::linalg {
+namespace {
+
+TEST(MatrixTest, ConstructionAndFill) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_FALSE(m.empty());
+  for (std::size_t i = 0; i < 2; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) EXPECT_DOUBLE_EQ(m(i, j), 1.5);
+  }
+}
+
+TEST(MatrixTest, DefaultIsEmpty) {
+  Matrix m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.rows(), 0u);
+}
+
+TEST(MatrixTest, FromRowsAndAt) {
+  const Matrix m = Matrix::from_rows({{1, 2}, {3, 4}});
+  EXPECT_DOUBLE_EQ(m.at(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(m.at(1, 0), 3.0);
+  EXPECT_THROW((void)m.at(2, 0), InvalidArgument);
+  EXPECT_THROW((void)m.at(0, 2), InvalidArgument);
+}
+
+TEST(MatrixTest, FromRowsRejectsRagged) {
+  EXPECT_THROW((void)Matrix::from_rows({{1, 2}, {3}}), DimensionMismatch);
+}
+
+TEST(MatrixTest, IdentityMultiplyIsIdentityMap) {
+  const Matrix id = Matrix::identity(3);
+  const std::vector<double> x{1.0, -2.0, 0.5};
+  EXPECT_EQ(id.multiply(x), x);
+}
+
+TEST(MatrixTest, MultiplyKnownValues) {
+  const Matrix m = Matrix::from_rows({{1, 2, 3}, {4, 5, 6}});
+  const std::vector<double> x{1.0, 0.0, -1.0};
+  const std::vector<double> y = m.multiply(x);
+  ASSERT_EQ(y.size(), 2u);
+  EXPECT_DOUBLE_EQ(y[0], -2.0);
+  EXPECT_DOUBLE_EQ(y[1], -2.0);
+}
+
+TEST(MatrixTest, MultiplyTransposedMatchesExplicitTranspose) {
+  const Matrix m = Matrix::from_rows({{1, 2, 3}, {4, 5, 6}});
+  const std::vector<double> x{2.0, -1.0};
+  const std::vector<double> a = m.multiply_transposed(x);
+  const std::vector<double> b = m.transposed().multiply(x);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_DOUBLE_EQ(a[i], b[i]);
+}
+
+TEST(MatrixTest, MultiplySizeMismatchThrows) {
+  const Matrix m(2, 3);
+  const std::vector<double> bad(2, 0.0);
+  EXPECT_THROW((void)m.multiply(bad), DimensionMismatch);
+  const std::vector<double> bad_t(3, 0.0);
+  EXPECT_THROW((void)m.multiply_transposed(bad_t), DimensionMismatch);
+}
+
+TEST(MatrixTest, FrobeniusNorm) {
+  const Matrix m = Matrix::from_rows({{3, 0}, {0, 4}});
+  EXPECT_DOUBLE_EQ(m.frobenius_norm(), 5.0);
+}
+
+TEST(VectorOpsTest, Norms) {
+  const std::vector<double> v{3.0, -4.0};
+  EXPECT_DOUBLE_EQ(norm_l1(v), 7.0);
+  EXPECT_DOUBLE_EQ(norm_l2(v), 5.0);
+  EXPECT_DOUBLE_EQ(norm_linf(v), 4.0);
+}
+
+TEST(VectorOpsTest, DotAndDistance) {
+  const std::vector<double> a{1.0, 2.0};
+  const std::vector<double> b{3.0, -1.0};
+  EXPECT_DOUBLE_EQ(dot(a, b), 1.0);
+  EXPECT_DOUBLE_EQ(distance_l1(a, b), 5.0);
+  const std::vector<double> c{1.0};
+  EXPECT_THROW((void)dot(a, c), DimensionMismatch);
+  EXPECT_THROW((void)distance_l1(a, c), DimensionMismatch);
+}
+
+TEST(VectorOpsTest, NormalizeL1) {
+  std::vector<double> v{1.0, 3.0};
+  EXPECT_TRUE(normalize_l1(v));
+  EXPECT_DOUBLE_EQ(v[0], 0.25);
+  EXPECT_DOUBLE_EQ(v[1], 0.75);
+  std::vector<double> zero{0.0, 0.0};
+  EXPECT_FALSE(normalize_l1(zero));
+  EXPECT_DOUBLE_EQ(zero[0], 0.0);
+}
+
+}  // namespace
+}  // namespace svo::linalg

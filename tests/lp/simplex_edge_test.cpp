@@ -1,0 +1,90 @@
+/// Pathological LPs: cycling-prone degeneracy (Beale's classic example),
+/// zero objectives, huge coefficient spreads — the solver must terminate
+/// with the right status on all of them.
+#include <gtest/gtest.h>
+
+#include "lp/simplex.hpp"
+
+namespace svo::lp {
+namespace {
+
+TEST(SimplexEdgeTest, BealeCyclingExampleTerminatesOptimal) {
+  // Beale (1955): Dantzig pricing with naive tie-breaking cycles forever.
+  //   min -0.75 x1 + 150 x2 - 0.02 x3 + 6 x4
+  //   s.t. 0.25 x1 - 60 x2 - 0.04 x3 + 9 x4 <= 0
+  //        0.5  x1 - 90 x2 - 0.02 x3 + 3 x4 <= 0
+  //        x3 <= 1
+  // Optimum: x = (0.04, 0, 1, 0), objective -0.05.
+  Problem p(4);
+  p.set_objective({-0.75, 150.0, -0.02, 6.0});
+  p.add_constraint({0.25, -60.0, -0.04, 9.0}, Sense::LessEqual, 0.0);
+  p.add_constraint({0.5, -90.0, -0.02, 3.0}, Sense::LessEqual, 0.0);
+  p.add_constraint({0.0, 0.0, 1.0, 0.0}, Sense::LessEqual, 1.0);
+  const Solution s = solve(p);
+  ASSERT_EQ(s.status, SolveStatus::Optimal);
+  EXPECT_NEAR(s.objective, -0.05, 1e-9);
+  EXPECT_NEAR(s.x[0], 0.04, 1e-9);
+  EXPECT_NEAR(s.x[2], 1.0, 1e-9);
+}
+
+TEST(SimplexEdgeTest, ZeroObjectiveIsFeasibilityProblem) {
+  Problem p(2);
+  p.add_constraint({1.0, 1.0}, Sense::GreaterEqual, 3.0);
+  p.add_constraint({1.0, -1.0}, Sense::Equal, 1.0);
+  const Solution s = solve(p);
+  ASSERT_EQ(s.status, SolveStatus::Optimal);
+  EXPECT_TRUE(p.is_feasible(s.x));
+}
+
+TEST(SimplexEdgeTest, LargeCoefficientSpread) {
+  // min x + y s.t. 1e6 x + y >= 1e6, x + 1e-6 y >= 1.
+  Problem p(2);
+  p.set_objective({1.0, 1.0});
+  p.add_constraint({1e6, 1.0}, Sense::GreaterEqual, 1e6);
+  p.add_constraint({1.0, 1e-6}, Sense::GreaterEqual, 1.0);
+  const Solution s = solve(p);
+  ASSERT_EQ(s.status, SolveStatus::Optimal);
+  EXPECT_TRUE(p.is_feasible(s.x, 1e-4));
+  EXPECT_NEAR(s.objective, 1.0, 1e-6);  // x = 1, y = 0
+}
+
+TEST(SimplexEdgeTest, EqualityOnlySingleton) {
+  Problem p(1);
+  p.set_objective({5.0});
+  p.add_constraint({2.0}, Sense::Equal, 6.0);
+  const Solution s = solve(p);
+  ASSERT_EQ(s.status, SolveStatus::Optimal);
+  EXPECT_NEAR(s.x[0], 3.0, 1e-9);
+  EXPECT_NEAR(s.objective, 15.0, 1e-9);
+}
+
+TEST(SimplexEdgeTest, ContradictoryEqualities) {
+  Problem p(2);
+  p.add_constraint({1.0, 1.0}, Sense::Equal, 1.0);
+  p.add_constraint({1.0, 1.0}, Sense::Equal, 2.0);
+  EXPECT_EQ(solve(p).status, SolveStatus::Infeasible);
+}
+
+TEST(SimplexEdgeTest, UpperBoundTighterThanConstraint) {
+  Problem p(1);
+  p.set_objective({-1.0});
+  p.add_constraint({1.0}, Sense::LessEqual, 100.0);
+  p.set_upper_bound(0, 3.0);
+  const Solution s = solve(p);
+  ASSERT_EQ(s.status, SolveStatus::Optimal);
+  EXPECT_NEAR(s.x[0], 3.0, 1e-9);
+}
+
+TEST(SimplexEdgeTest, ManyRedundantRows) {
+  Problem p(2);
+  p.set_objective({-1.0, -2.0});
+  for (int i = 0; i < 30; ++i) {
+    p.add_constraint({1.0, 1.0}, Sense::LessEqual, 10.0);
+  }
+  const Solution s = solve(p);
+  ASSERT_EQ(s.status, SolveStatus::Optimal);
+  EXPECT_NEAR(s.objective, -20.0, 1e-9);  // (0, 10)
+}
+
+}  // namespace
+}  // namespace svo::lp

@@ -1,0 +1,164 @@
+#include "lp/simplex.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace svo::lp {
+namespace {
+
+TEST(SimplexTest, SimpleMaximizationAsMinimization) {
+  // max 3x + 2y s.t. x + y <= 4, x <= 2  ->  min -3x - 2y.
+  // Optimum at (2, 2): objective -10.
+  Problem p(2);
+  p.set_objective({-3.0, -2.0});
+  p.add_constraint({1.0, 1.0}, Sense::LessEqual, 4.0);
+  p.add_constraint({1.0, 0.0}, Sense::LessEqual, 2.0);
+  const Solution s = solve(p);
+  ASSERT_EQ(s.status, SolveStatus::Optimal);
+  EXPECT_NEAR(s.objective, -10.0, 1e-9);
+  EXPECT_NEAR(s.x[0], 2.0, 1e-9);
+  EXPECT_NEAR(s.x[1], 2.0, 1e-9);
+}
+
+TEST(SimplexTest, EqualityConstraint) {
+  // min x + 2y s.t. x + y == 3, y >= 1.
+  Problem p(2);
+  p.set_objective({1.0, 2.0});
+  p.add_constraint({1.0, 1.0}, Sense::Equal, 3.0);
+  p.add_constraint({0.0, 1.0}, Sense::GreaterEqual, 1.0);
+  const Solution s = solve(p);
+  ASSERT_EQ(s.status, SolveStatus::Optimal);
+  EXPECT_NEAR(s.x[0], 2.0, 1e-9);
+  EXPECT_NEAR(s.x[1], 1.0, 1e-9);
+  EXPECT_NEAR(s.objective, 4.0, 1e-9);
+}
+
+TEST(SimplexTest, DetectsInfeasibility) {
+  // x <= 1 and x >= 2 cannot both hold.
+  Problem p(1);
+  p.set_objective({1.0});
+  p.add_constraint({1.0}, Sense::LessEqual, 1.0);
+  p.add_constraint({1.0}, Sense::GreaterEqual, 2.0);
+  EXPECT_EQ(solve(p).status, SolveStatus::Infeasible);
+}
+
+TEST(SimplexTest, DetectsUnboundedness) {
+  // min -x with only x >= 0: unbounded below.
+  Problem p(1);
+  p.set_objective({-1.0});
+  p.add_constraint({1.0}, Sense::GreaterEqual, 0.0);
+  EXPECT_EQ(solve(p).status, SolveStatus::Unbounded);
+}
+
+TEST(SimplexTest, UpperBoundsHonored) {
+  Problem p(1);
+  p.set_objective({-1.0});  // maximize x
+  p.set_upper_bound(0, 7.5);
+  const Solution s = solve(p);
+  ASSERT_EQ(s.status, SolveStatus::Optimal);
+  EXPECT_NEAR(s.x[0], 7.5, 1e-9);
+}
+
+TEST(SimplexTest, NegativeRhsNormalized) {
+  // -x <= -2  <=>  x >= 2; min x -> 2.
+  Problem p(1);
+  p.set_objective({1.0});
+  p.add_constraint({-1.0}, Sense::LessEqual, -2.0);
+  const Solution s = solve(p);
+  ASSERT_EQ(s.status, SolveStatus::Optimal);
+  EXPECT_NEAR(s.x[0], 2.0, 1e-9);
+}
+
+TEST(SimplexTest, DegenerateProblemTerminates) {
+  // Classic degeneracy: multiple constraints active at the optimum.
+  Problem p(2);
+  p.set_objective({-1.0, -1.0});
+  p.add_constraint({1.0, 0.0}, Sense::LessEqual, 1.0);
+  p.add_constraint({0.0, 1.0}, Sense::LessEqual, 1.0);
+  p.add_constraint({1.0, 1.0}, Sense::LessEqual, 2.0);
+  p.add_constraint({1.0, 1.0}, Sense::LessEqual, 2.0);  // duplicate row
+  const Solution s = solve(p);
+  ASSERT_EQ(s.status, SolveStatus::Optimal);
+  EXPECT_NEAR(s.objective, -2.0, 1e-9);
+}
+
+TEST(SimplexTest, RedundantEqualityRows) {
+  Problem p(2);
+  p.set_objective({1.0, 1.0});
+  p.add_constraint({1.0, 1.0}, Sense::Equal, 2.0);
+  p.add_constraint({2.0, 2.0}, Sense::Equal, 4.0);  // dependent
+  const Solution s = solve(p);
+  ASSERT_EQ(s.status, SolveStatus::Optimal);
+  EXPECT_NEAR(s.objective, 2.0, 1e-9);
+}
+
+TEST(SimplexTest, TransportationLikeProblem) {
+  // 2 suppliers x 2 consumers, costs [[4,6],[5,3]], supply {3,4} and
+  // demand {5,2} (balanced: 7). Optimum: x11=3 (supplier1->c1),
+  // x21=2, x22=2 -> 4*3 + 5*2 + 3*2 = 28.
+  Problem p(4);  // x11 x12 x21 x22
+  p.set_objective({4.0, 6.0, 5.0, 3.0});
+  p.add_constraint({1.0, 1.0, 0.0, 0.0}, Sense::Equal, 3.0);
+  p.add_constraint({0.0, 0.0, 1.0, 1.0}, Sense::Equal, 4.0);
+  p.add_constraint({1.0, 0.0, 1.0, 0.0}, Sense::Equal, 5.0);
+  p.add_constraint({0.0, 1.0, 0.0, 1.0}, Sense::Equal, 2.0);
+  const Solution s = solve(p);
+  ASSERT_EQ(s.status, SolveStatus::Optimal);
+  EXPECT_NEAR(s.objective, 28.0, 1e-9);
+}
+
+TEST(SimplexTest, SolutionIsAlwaysFeasible) {
+  // Property over random LPs: whenever the solver says Optimal, the point
+  // must satisfy every constraint and beat a sample of random feasible
+  // points (local optimality evidence).
+  util::Xoshiro256 rng(99);
+  int optimal_count = 0;
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t nv = 2 + rng.index(4);
+    const std::size_t nc = 1 + rng.index(4);
+    Problem p(nv);
+    std::vector<double> obj(nv);
+    for (double& c : obj) c = rng.uniform(-5.0, 5.0);
+    p.set_objective(obj);
+    for (std::size_t i = 0; i < nc; ++i) {
+      std::vector<double> row(nv);
+      for (double& a : row) a = rng.uniform(0.1, 3.0);  // positive rows
+      p.add_constraint(row, Sense::LessEqual, rng.uniform(1.0, 10.0));
+    }
+    for (std::size_t v = 0; v < nv; ++v) p.set_upper_bound(v, 10.0);
+    const Solution s = solve(p);
+    ASSERT_NE(s.status, SolveStatus::IterationLimit);
+    if (s.status != SolveStatus::Optimal) continue;
+    ++optimal_count;
+    EXPECT_TRUE(p.is_feasible(s.x));
+    // Random feasible points must not beat the reported optimum.
+    for (int k = 0; k < 200; ++k) {
+      std::vector<double> x(nv);
+      for (double& xi : x) xi = rng.uniform(0.0, 1.0);
+      // Scale into the feasible region.
+      double worst = 1.0;
+      for (std::size_t i = 0; i < nc; ++i) {
+        const auto& c = p.constraint(i);
+        double lhs = 0.0;
+        for (std::size_t v = 0; v < nv; ++v) lhs += c.coeffs[v] * x[v];
+        if (lhs > c.rhs) worst = std::min(worst, c.rhs / lhs);
+      }
+      for (double& xi : x) xi *= worst;
+      ASSERT_GE(p.objective_value(x), s.objective - 1e-7);
+    }
+  }
+  EXPECT_GT(optimal_count, 25);  // bounded feasible LPs: most are optimal
+}
+
+TEST(SimplexTest, IterationLimitReported) {
+  Problem p(2);
+  p.set_objective({-1.0, -1.0});
+  p.add_constraint({1.0, 1.0}, Sense::LessEqual, 4.0);
+  SimplexOptions opts;
+  opts.max_iterations = 0;
+  EXPECT_EQ(solve(p, opts).status, SolveStatus::IterationLimit);
+}
+
+}  // namespace
+}  // namespace svo::lp

@@ -1,0 +1,119 @@
+#include "sim/execution.hpp"
+
+#include <gtest/gtest.h>
+
+namespace svo::sim {
+namespace {
+
+ip::AssignmentInstance tiny_instance() {
+  ip::AssignmentInstance inst;
+  inst.cost = linalg::Matrix(2, 4, 2.0);
+  inst.time = linalg::Matrix(2, 4, 1.0);
+  inst.deadline = 10.0;
+  inst.payment = 100.0;
+  return inst;
+}
+
+TEST(ReliabilityModelTest, ExplicitThetas) {
+  const ReliabilityModel model({0.2, 0.9});
+  EXPECT_EQ(model.size(), 2u);
+  EXPECT_DOUBLE_EQ(model.theta(0), 0.2);
+  EXPECT_DOUBLE_EQ(model.theta(1), 0.9);
+  EXPECT_THROW((void)model.theta(5), InvalidArgument);
+}
+
+TEST(ReliabilityModelTest, RejectsBadThetas) {
+  EXPECT_THROW(ReliabilityModel({}), InvalidArgument);
+  EXPECT_THROW(ReliabilityModel({1.5}), InvalidArgument);
+  EXPECT_THROW(ReliabilityModel({-0.1}), InvalidArgument);
+}
+
+TEST(ReliabilityModelTest, BimodalPopulation) {
+  util::Xoshiro256 rng(3);
+  const ReliabilityModel model =
+      ReliabilityModel::bimodal(200, 0.7, 0.85, 0.3, rng);
+  std::size_t reliable = 0;
+  for (const double t : model.thetas()) {
+    EXPECT_TRUE((t >= 0.85 && t <= 1.0) || (t >= 0.0 && t <= 0.3));
+    reliable += t >= 0.85;
+  }
+  EXPECT_NEAR(static_cast<double>(reliable) / 200.0, 0.7, 0.1);
+}
+
+TEST(SimulateExecutionTest, PerfectReliabilityAlwaysCompletes) {
+  const ip::AssignmentInstance inst = tiny_instance();
+  const ReliabilityModel model({1.0, 1.0});
+  util::Xoshiro256 rng(1);
+  const ExecutionOutcome out = simulate_execution(
+      inst, {0, 1, 0, 1}, game::Coalition::of({0, 1}), model, rng);
+  EXPECT_TRUE(out.completed);
+  EXPECT_DOUBLE_EQ(out.delivery_rate, 1.0);
+  EXPECT_DOUBLE_EQ(out.realized_value, 100.0 - 8.0);
+  EXPECT_DOUBLE_EQ(out.realized_share, 46.0);
+  EXPECT_EQ(out.assigned[0], 2u);
+  EXPECT_EQ(out.delivered[1], 2u);
+}
+
+TEST(SimulateExecutionTest, ZeroReliabilityLosesCosts) {
+  const ip::AssignmentInstance inst = tiny_instance();
+  const ReliabilityModel model({0.0, 1.0});
+  util::Xoshiro256 rng(1);
+  const ExecutionOutcome out = simulate_execution(
+      inst, {0, 0, 0, 0}, game::Coalition::of({0, 1}), model, rng);
+  EXPECT_FALSE(out.completed);
+  EXPECT_DOUBLE_EQ(out.delivery_rate, 0.0);
+  // All-or-nothing payment: costs sunk, nothing earned.
+  EXPECT_DOUBLE_EQ(out.realized_value, -8.0);
+}
+
+TEST(SimulateExecutionTest, CompletionRateTracksTheta) {
+  const ip::AssignmentInstance inst = tiny_instance();
+  const ReliabilityModel model({0.8, 0.8});
+  util::Xoshiro256 rng(7);
+  int completions = 0;
+  constexpr int kTrials = 20'000;
+  for (int i = 0; i < kTrials; ++i) {
+    const ExecutionOutcome out = simulate_execution(
+        inst, {0, 1, 0, 1}, game::Coalition::of({0, 1}), model, rng);
+    completions += out.completed;
+  }
+  // Per-GSP delivery draws: P(both members deliver) = 0.8^2 = 0.64.
+  EXPECT_NEAR(completions / static_cast<double>(kTrials), 0.64, 0.01);
+}
+
+TEST(SimulateExecutionTest, RejectsMappingOutsideVo) {
+  const ip::AssignmentInstance inst = tiny_instance();
+  const ReliabilityModel model({1.0, 1.0});
+  util::Xoshiro256 rng(1);
+  EXPECT_THROW((void)simulate_execution(inst, {0, 1, 0, 1},
+                                        game::Coalition::of({0}), model, rng),
+               InvalidArgument);
+}
+
+TEST(UpdateTrustTest, ObserversLearnDeliveryRates) {
+  trust::TrustGraph trust(3);
+  ExecutionOutcome out;
+  out.assigned = {2, 4, 0};
+  out.delivered = {2, 1, 0};
+  update_trust_from_outcome(trust, game::Coalition::of({0, 1}), out, 0.5);
+  // G0 delivered 100%: trust(1,0) = 0.5*0 + 0.5*1 = 0.5.
+  EXPECT_NEAR(trust.trust(1, 0), 0.5, 1e-12);
+  // G1 delivered 25%: trust(0,1) = 0.5*0 + 0.5*0.25 = 0.125.
+  EXPECT_NEAR(trust.trust(0, 1), 0.125, 1e-12);
+  // G2 was outside the VO: nothing observed.
+  EXPECT_DOUBLE_EQ(trust.trust(0, 2), 0.0);
+  EXPECT_DOUBLE_EQ(trust.trust(2, 0), 0.0);
+}
+
+TEST(UpdateTrustTest, UnassignedMemberNotScored) {
+  trust::TrustGraph trust(2);
+  trust.set_trust(0, 1, 0.8);
+  ExecutionOutcome out;
+  out.assigned = {3, 0};
+  out.delivered = {3, 0};
+  update_trust_from_outcome(trust, game::Coalition::of({0, 1}), out, 0.5);
+  EXPECT_DOUBLE_EQ(trust.trust(0, 1), 0.8);  // untouched: no evidence
+}
+
+}  // namespace
+}  // namespace svo::sim

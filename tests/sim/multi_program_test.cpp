@@ -1,0 +1,112 @@
+#include "sim/multi_program.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/tvof.hpp"
+#include "ip/bnb.hpp"
+
+namespace svo::sim {
+namespace {
+
+MultiProgramConfig small_config() {
+  MultiProgramConfig cfg;
+  cfg.programs = 10;
+  cfg.tasks_lo = 16;
+  cfg.tasks_hi = 32;
+  cfg.gen.params.num_gsps = 8;
+  return cfg;
+}
+
+TEST(MultiProgramTest, OneOutcomePerProgram) {
+  const ip::BnbAssignmentSolver solver;
+  const core::TvofMechanism tvof(solver);
+  const MultiProgramResult r =
+      run_multi_program(tvof, small_config(), 1);
+  ASSERT_EQ(r.outcomes.size(), 10u);
+  for (std::size_t i = 0; i < r.outcomes.size(); ++i) {
+    EXPECT_EQ(r.outcomes[i].index, i);
+  }
+}
+
+TEST(MultiProgramTest, ArrivalTimesNonDecreasing) {
+  const ip::BnbAssignmentSolver solver;
+  const core::TvofMechanism tvof(solver);
+  const MultiProgramResult r = run_multi_program(tvof, small_config(), 2);
+  for (std::size_t i = 1; i < r.outcomes.size(); ++i) {
+    EXPECT_GE(r.outcomes[i].arrival_time, r.outcomes[i - 1].arrival_time);
+  }
+}
+
+TEST(MultiProgramTest, CommittedGspsAreNotReused) {
+  const ip::BnbAssignmentSolver solver;
+  const core::TvofMechanism tvof(solver);
+  const MultiProgramResult r = run_multi_program(tvof, small_config(), 3);
+  for (std::size_t i = 0; i < r.outcomes.size(); ++i) {
+    if (!r.outcomes[i].admitted) continue;
+    for (std::size_t j = 0; j < i; ++j) {
+      if (!r.outcomes[j].admitted) continue;
+      if (r.outcomes[j].busy_until > r.outcomes[i].arrival_time) {
+        // j's VO was still committed when i arrived: no overlap allowed.
+        EXPECT_TRUE(r.outcomes[i].vo.intersect(r.outcomes[j].vo).empty())
+            << "programs " << j << " and " << i << " share a GSP";
+      }
+    }
+  }
+}
+
+TEST(MultiProgramTest, OversubscriptionLowersAdmission) {
+  const ip::BnbAssignmentSolver solver;
+  const core::TvofMechanism tvof(solver);
+  MultiProgramConfig relaxed = small_config();
+  relaxed.arrival_intensity = 6.0;  // sparse arrivals: grid mostly idle
+  MultiProgramConfig oversubscribed = small_config();
+  oversubscribed.arrival_intensity = 0.05;  // dense arrivals
+  double relaxed_rate = 0.0;
+  double tight_rate = 0.0;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    relaxed_rate += run_multi_program(tvof, relaxed, seed).admission_rate;
+    tight_rate +=
+        run_multi_program(tvof, oversubscribed, seed).admission_rate;
+  }
+  EXPECT_GT(relaxed_rate, tight_rate);
+}
+
+TEST(MultiProgramTest, UtilizationWithinBounds) {
+  const ip::BnbAssignmentSolver solver;
+  const core::TvofMechanism tvof(solver);
+  const MultiProgramResult r = run_multi_program(tvof, small_config(), 5);
+  EXPECT_GE(r.mean_utilization, 0.0);
+  EXPECT_LE(r.mean_utilization, 1.0);
+  EXPECT_GE(r.admission_rate, 0.0);
+  EXPECT_LE(r.admission_rate, 1.0);
+}
+
+TEST(MultiProgramTest, DeterministicInSeed) {
+  const ip::BnbAssignmentSolver solver;
+  const core::TvofMechanism tvof(solver);
+  const MultiProgramResult a = run_multi_program(tvof, small_config(), 9);
+  const MultiProgramResult b = run_multi_program(tvof, small_config(), 9);
+  ASSERT_EQ(a.outcomes.size(), b.outcomes.size());
+  for (std::size_t i = 0; i < a.outcomes.size(); ++i) {
+    EXPECT_EQ(a.outcomes[i].vo, b.outcomes[i].vo);
+    EXPECT_DOUBLE_EQ(a.outcomes[i].arrival_time, b.outcomes[i].arrival_time);
+  }
+  EXPECT_DOUBLE_EQ(a.total_value, b.total_value);
+}
+
+TEST(MultiProgramTest, ValidatesConfig) {
+  const ip::BnbAssignmentSolver solver;
+  const core::TvofMechanism tvof(solver);
+  MultiProgramConfig cfg = small_config();
+  cfg.programs = 0;
+  EXPECT_THROW((void)run_multi_program(tvof, cfg, 1), InvalidArgument);
+  cfg = small_config();
+  cfg.arrival_intensity = 0.0;
+  EXPECT_THROW((void)run_multi_program(tvof, cfg, 1), InvalidArgument);
+  cfg = small_config();
+  cfg.tasks_lo = 0;
+  EXPECT_THROW((void)run_multi_program(tvof, cfg, 1), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace svo::sim

@@ -1,0 +1,69 @@
+#include "sim/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace svo::sim {
+namespace {
+
+ExperimentConfig small_config() {
+  ExperimentConfig cfg;
+  cfg.trace.num_jobs = 3000;
+  cfg.trace.min_jobs_per_canonical_size = 4;
+  cfg.trace.canonical_sizes = {32, 64};
+  cfg.task_sizes = {32, 64};
+  cfg.repetitions = 2;
+  cfg.gen.params.num_gsps = 6;
+  return cfg;
+}
+
+TEST(ScenarioFactoryTest, TraceBuiltOnceWithExpectedSize) {
+  const ScenarioFactory factory(small_config());
+  EXPECT_EQ(factory.trace().jobs.size(), 3000u);
+}
+
+TEST(ScenarioFactoryTest, ScenarioShapeMatchesConfig) {
+  const ScenarioFactory factory(small_config());
+  const Scenario s = factory.make(32, 0);
+  EXPECT_EQ(s.instance.assignment.num_tasks(), 32u);
+  EXPECT_EQ(s.instance.assignment.num_gsps(), 6u);
+  EXPECT_EQ(s.trust.size(), 6u);
+  s.instance.assignment.validate();
+}
+
+TEST(ScenarioFactoryTest, DeterministicPerKey) {
+  const ScenarioFactory factory(small_config());
+  const Scenario a = factory.make(64, 1);
+  const Scenario b = factory.make(64, 1);
+  EXPECT_DOUBLE_EQ(a.instance.assignment.deadline,
+                   b.instance.assignment.deadline);
+  EXPECT_DOUBLE_EQ(a.instance.assignment.payment,
+                   b.instance.assignment.payment);
+  EXPECT_EQ(a.tvof_seed, b.tvof_seed);
+  EXPECT_EQ(a.rvof_seed, b.rvof_seed);
+  EXPECT_EQ(a.trust.graph().edge_count(), b.trust.graph().edge_count());
+}
+
+TEST(ScenarioFactoryTest, DifferentRepetitionsDiffer) {
+  const ScenarioFactory factory(small_config());
+  const Scenario a = factory.make(64, 0);
+  const Scenario b = factory.make(64, 1);
+  EXPECT_NE(a.tvof_seed, b.tvof_seed);
+  // Payment draw almost surely differs across repetitions.
+  EXPECT_NE(a.instance.assignment.payment, b.instance.assignment.payment);
+}
+
+TEST(ScenarioFactoryTest, MechanismSeedsAreDistinct) {
+  const ScenarioFactory factory(small_config());
+  const Scenario s = factory.make(32, 0);
+  EXPECT_NE(s.tvof_seed, s.rvof_seed);
+}
+
+TEST(ScenarioFactoryTest, UnknownSizeThrows) {
+  const ScenarioFactory factory(small_config());
+  EXPECT_THROW((void)factory.make(7777, 0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace svo::sim

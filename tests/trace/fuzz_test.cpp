@@ -1,0 +1,80 @@
+/// Deterministic pseudo-fuzz of the SWF parser: arbitrary byte soup must
+/// never crash, throw, or mis-count; valid lines embedded in garbage must
+/// still be recovered.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "trace/swf.hpp"
+#include "util/rng.hpp"
+
+namespace svo::trace {
+namespace {
+
+std::string random_garbage_line(util::Xoshiro256& rng) {
+  static constexpr char kAlphabet[] =
+      "0123456789 .-+eE\tabcXYZ;#!@$%^&*(){}[]|\\\"'";
+  const std::size_t len = rng.index(60);
+  std::string line;
+  line.reserve(len);
+  for (std::size_t i = 0; i < len; ++i) {
+    line += kAlphabet[rng.index(sizeof(kAlphabet) - 1)];
+  }
+  return line;
+}
+
+TEST(SwfFuzzTest, GarbageNeverThrows) {
+  util::Xoshiro256 rng(0xF022);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::ostringstream soup;
+    for (int line = 0; line < 40; ++line) {
+      soup << random_garbage_line(rng) << '\n';
+    }
+    std::istringstream in(soup.str());
+    EXPECT_NO_THROW({
+      const Trace t = parse_swf(in);
+      // Every job that did parse must carry a plausible status enum.
+      for (const auto& j : t.jobs) {
+        (void)j.completed();
+      }
+    });
+  }
+}
+
+TEST(SwfFuzzTest, ValidLinesSurviveSurroundingGarbage) {
+  util::Xoshiro256 rng(4242);
+  constexpr const char* kValid =
+      "5 100 10 9000 128 8500 -1 128 9500 -1 1 3 2 7 1 1 -1 -1";
+  std::ostringstream soup;
+  int valid_count = 0;
+  for (int line = 0; line < 200; ++line) {
+    if (line % 10 == 0) {
+      soup << kValid << '\n';
+      ++valid_count;
+    } else {
+      std::string g = random_garbage_line(rng);
+      // A random line could accidentally be a valid 18-field record; the
+      // odds are astronomically low, but keep the test airtight by
+      // prefixing a non-numeric token.
+      soup << "x" << g << '\n';
+    }
+  }
+  std::istringstream in(soup.str());
+  const Trace t = parse_swf(in);
+  EXPECT_EQ(t.jobs.size(), static_cast<std::size_t>(valid_count));
+  for (const auto& j : t.jobs) EXPECT_EQ(j.allocated_processors, 128);
+}
+
+TEST(SwfFuzzTest, ExtremeNumericValuesHandled) {
+  SwfJob j;
+  // Huge and tiny doubles parse without UB.
+  EXPECT_TRUE(parse_swf_line(
+      "1 0 0 1e308 1 1e-300 -1 1 0 -1 1 1 1 1 1 1 -1 -1", j));
+  EXPECT_DOUBLE_EQ(j.run_time, 1e308);
+  // Over 19 fields of pure numbers: malformed.
+  EXPECT_FALSE(parse_swf_line(
+      "1 2 3 4 5 6 7 8 9 10 11 12 13 14 15 16 17 18 19", j));
+}
+
+}  // namespace
+}  // namespace svo::trace

@@ -1,0 +1,115 @@
+#include "trace/lublin.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/stats.hpp"
+
+namespace svo::trace {
+namespace {
+
+LublinOptions small() {
+  LublinOptions o;
+  o.num_jobs = 6000;
+  return o;
+}
+
+TEST(LublinTest, JobCountAndDeterminism) {
+  const Trace a = generate_lublin(small(), 7);
+  const Trace b = generate_lublin(small(), 7);
+  ASSERT_EQ(a.jobs.size(), 6000u);
+  for (std::size_t i = 0; i < 100; ++i) {
+    ASSERT_EQ(a.jobs[i].allocated_processors,
+              b.jobs[i].allocated_processors);
+    ASSERT_DOUBLE_EQ(a.jobs[i].run_time, b.jobs[i].run_time);
+  }
+}
+
+TEST(LublinTest, SerialFractionNearParameter) {
+  const Trace t = generate_lublin(small(), 1);
+  std::size_t serial = 0;
+  for (const auto& j : t.jobs) serial += j.allocated_processors == 1;
+  EXPECT_NEAR(static_cast<double>(serial) / 6000.0, 0.244, 0.03);
+}
+
+TEST(LublinTest, ParallelSizesWithinRangeWithPow2Bias) {
+  const Trace t = generate_lublin(small(), 2);
+  std::size_t pow2 = 0;
+  std::size_t parallel = 0;
+  for (const auto& j : t.jobs) {
+    EXPECT_GE(j.allocated_processors, 1);
+    EXPECT_LE(j.allocated_processors, 8832);
+    if (j.allocated_processors > 1) {
+      ++parallel;
+      const auto p = static_cast<std::uint64_t>(j.allocated_processors);
+      pow2 += (p & (p - 1)) == 0;
+    }
+  }
+  ASSERT_GT(parallel, 3000u);
+  // Power-of-two rounding applies to ~57.6% of parallel jobs; rounding
+  // of the rest also occasionally lands on powers of two.
+  EXPECT_GT(static_cast<double>(pow2) / static_cast<double>(parallel), 0.5);
+}
+
+TEST(LublinTest, RuntimesHeavyTailedAndBounded) {
+  const Trace t = generate_lublin(small(), 3);
+  util::RunningStats runtimes;
+  std::size_t above_hour = 0;
+  for (const auto& j : t.jobs) {
+    ASSERT_GE(j.run_time, 1.0);
+    ASSERT_LE(j.run_time, 1'209'600.0);
+    runtimes.add(j.run_time);
+    above_hour += j.run_time > 3600.0;
+  }
+  // Hyper-Gamma in log space: both short and multi-hour jobs must exist.
+  EXPECT_GT(above_hour, 500u);
+  EXPECT_LT(above_hour, 5500u);
+  EXPECT_GT(runtimes.max() / runtimes.mean(), 10.0);  // heavy tail
+}
+
+TEST(LublinTest, BiggerJobsLeanLonger) {
+  // pa < 0 shifts big jobs toward the long-runtime Gamma component:
+  // median runtime of large jobs must exceed that of small ones.
+  LublinOptions o = small();
+  o.num_jobs = 20'000;
+  const Trace t = generate_lublin(o, 4);
+  std::vector<double> small_rt;
+  std::vector<double> large_rt;
+  for (const auto& j : t.jobs) {
+    if (j.allocated_processors <= 4) {
+      small_rt.push_back(j.run_time);
+    } else if (j.allocated_processors >= 64) {
+      large_rt.push_back(j.run_time);
+    }
+  }
+  ASSERT_GT(small_rt.size(), 100u);
+  ASSERT_GT(large_rt.size(), 100u);
+  EXPECT_GT(util::percentile(large_rt, 0.5), util::percentile(small_rt, 0.5));
+}
+
+TEST(LublinTest, ArrivalsMonotoneWithExpectedGap) {
+  const Trace t = generate_lublin(small(), 5);
+  util::RunningStats gaps;
+  for (std::size_t i = 1; i < t.jobs.size(); ++i) {
+    ASSERT_GE(t.jobs[i].submit_time, t.jobs[i - 1].submit_time);
+    gaps.add(static_cast<double>(t.jobs[i].submit_time -
+                                 t.jobs[i - 1].submit_time));
+  }
+  EXPECT_NEAR(gaps.mean(), 420.0, 30.0);
+}
+
+TEST(LublinTest, Validation) {
+  LublinOptions o = small();
+  o.num_jobs = 0;
+  EXPECT_THROW((void)generate_lublin(o, 1), InvalidArgument);
+  o = small();
+  o.max_processors = 1;
+  EXPECT_THROW((void)generate_lublin(o, 1), InvalidArgument);
+  o = small();
+  o.umed = 0.1;  // violates ulow < umed
+  EXPECT_THROW((void)generate_lublin(o, 1), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace svo::trace

@@ -1,0 +1,93 @@
+#include "trace/programs.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace svo::trace {
+namespace {
+
+SwfJob eligible_job(std::int64_t procs = 256, double runtime = 8000.0) {
+  SwfJob j;
+  j.job_number = 1;
+  j.run_time = runtime;
+  j.allocated_processors = procs;
+  j.avg_cpu_time = runtime * 0.9;
+  j.status = JobStatus::Completed;
+  return j;
+}
+
+TEST(ProgramFromJobTest, ExtractsTasksAndRuntime) {
+  const ProgramSpec p = program_from_job(eligible_job());
+  EXPECT_EQ(p.num_tasks, 256u);
+  EXPECT_DOUBLE_EQ(p.mean_task_runtime, 8000.0 * 0.9);
+  EXPECT_EQ(p.source_job, 1);
+}
+
+TEST(ProgramFromJobTest, FallsBackToRuntimeWhenCpuUnknown) {
+  SwfJob j = eligible_job();
+  j.avg_cpu_time = -1.0;
+  const ProgramSpec p = program_from_job(j);
+  EXPECT_DOUBLE_EQ(p.mean_task_runtime, 8000.0);
+}
+
+TEST(ProgramFromJobTest, RejectsIneligibleJobs) {
+  SwfJob failed = eligible_job();
+  failed.status = JobStatus::Failed;
+  EXPECT_THROW((void)program_from_job(failed), InvalidArgument);
+  SwfJob short_job = eligible_job(256, 100.0);
+  EXPECT_THROW((void)program_from_job(short_job), InvalidArgument);
+  SwfJob no_procs = eligible_job(0);
+  EXPECT_THROW((void)program_from_job(no_procs), InvalidArgument);
+}
+
+TEST(SampleProgramsTest, FiltersBySizeAndEligibility) {
+  std::vector<SwfJob> jobs;
+  jobs.push_back(eligible_job(256));
+  jobs.push_back(eligible_job(512));
+  jobs.push_back(eligible_job(256, 100.0));  // too short
+  SwfJob failed = eligible_job(256);
+  failed.status = JobStatus::Cancelled;
+  jobs.push_back(failed);
+
+  util::Xoshiro256 rng(1);
+  const auto programs = sample_programs(jobs, 256, 3, rng);
+  ASSERT_EQ(programs.size(), 3u);  // 1 eligible, sampled with replacement
+  for (const auto& p : programs) EXPECT_EQ(p.num_tasks, 256u);
+}
+
+TEST(SampleProgramsTest, EmptyWhenNoMaterial) {
+  util::Xoshiro256 rng(1);
+  EXPECT_TRUE(sample_programs({eligible_job(512)}, 256, 2, rng).empty());
+  EXPECT_TRUE(sample_programs({eligible_job(256)}, 256, 0, rng).empty());
+}
+
+TEST(SampleProgramsTest, WithoutReplacementWhilePossible) {
+  std::vector<SwfJob> jobs;
+  for (int i = 0; i < 5; ++i) {
+    SwfJob j = eligible_job(128, 8000.0 + i);
+    j.job_number = i;
+    jobs.push_back(j);
+  }
+  util::Xoshiro256 rng(2);
+  const auto programs = sample_programs(jobs, 128, 5, rng);
+  ASSERT_EQ(programs.size(), 5u);
+  std::vector<bool> seen(5, false);
+  for (const auto& p : programs) {
+    ASSERT_GE(p.source_job, 0);
+    ASSERT_LT(p.source_job, 5);
+    EXPECT_FALSE(seen[static_cast<std::size_t>(p.source_job)]);
+    seen[static_cast<std::size_t>(p.source_job)] = true;
+  }
+}
+
+TEST(CountEligibleTest, MatchesFilterSemantics) {
+  std::vector<SwfJob> jobs{eligible_job(64), eligible_job(64),
+                           eligible_job(64, 100.0), eligible_job(32)};
+  EXPECT_EQ(count_eligible(jobs, 64), 2u);
+  EXPECT_EQ(count_eligible(jobs, 32), 1u);
+  EXPECT_EQ(count_eligible(jobs, 8), 0u);
+}
+
+}  // namespace
+}  // namespace svo::trace

@@ -1,0 +1,147 @@
+#include "trace/swf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace svo::trace {
+namespace {
+
+constexpr const char* kLine =
+    "17 3600 120 7500.5 256 7100.25 -1 256 9000 -1 1 12 3 44 2 1 -1 -1";
+
+TEST(ParseSwfLineTest, ParsesAllFields) {
+  SwfJob j;
+  ASSERT_TRUE(parse_swf_line(kLine, j));
+  EXPECT_EQ(j.job_number, 17);
+  EXPECT_EQ(j.submit_time, 3600);
+  EXPECT_EQ(j.wait_time, 120);
+  EXPECT_DOUBLE_EQ(j.run_time, 7500.5);
+  EXPECT_EQ(j.allocated_processors, 256);
+  EXPECT_DOUBLE_EQ(j.avg_cpu_time, 7100.25);
+  EXPECT_DOUBLE_EQ(j.used_memory_kb, -1.0);
+  EXPECT_EQ(j.requested_processors, 256);
+  EXPECT_EQ(j.status, JobStatus::Completed);
+  EXPECT_EQ(j.user_id, 12);
+  EXPECT_EQ(j.group_id, 3);
+  EXPECT_EQ(j.executable_number, 44);
+  EXPECT_EQ(j.queue_number, 2);
+  EXPECT_EQ(j.partition_number, 1);
+  EXPECT_EQ(j.preceding_job, -1);
+  EXPECT_EQ(j.think_time, -1);
+  EXPECT_TRUE(j.completed());
+}
+
+TEST(ParseSwfLineTest, RejectsMalformedLines) {
+  SwfJob j;
+  EXPECT_FALSE(parse_swf_line("", j));
+  EXPECT_FALSE(parse_swf_line("1 2 3", j));                       // too few
+  EXPECT_FALSE(parse_swf_line(std::string(kLine) + " 99", j));    // too many
+  EXPECT_FALSE(parse_swf_line("a b c d e f g h i j k l m n o p q r", j));
+}
+
+TEST(ParseSwfLineTest, StatusCodesMapped) {
+  const auto with_status = [](int code) {
+    std::string s = "1 0 0 10 8 10 -1 8 10 -1 ";
+    s += std::to_string(code);
+    s += " 1 1 1 1 1 -1 -1";
+    return s;
+  };
+  SwfJob j;
+  ASSERT_TRUE(parse_swf_line(with_status(0), j));
+  EXPECT_EQ(j.status, JobStatus::Failed);
+  ASSERT_TRUE(parse_swf_line(with_status(5), j));
+  EXPECT_EQ(j.status, JobStatus::Cancelled);
+  ASSERT_TRUE(parse_swf_line(with_status(-1), j));
+  EXPECT_EQ(j.status, JobStatus::Unknown);
+  EXPECT_FALSE(j.completed());
+}
+
+TEST(ParseSwfTest, HeaderCommentsAndMalformedCounting) {
+  std::istringstream in(
+      "; Computer: Atlas\n"
+      ";   MaxJobs: 2\n"
+      "\n" +
+      std::string(kLine) +
+      "\n"
+      "garbage line here\n");
+  const Trace t = parse_swf(in);
+  ASSERT_EQ(t.header.size(), 2u);
+  EXPECT_EQ(t.header[0], "Computer: Atlas");
+  EXPECT_EQ(t.header[1], "MaxJobs: 2");
+  EXPECT_EQ(t.jobs.size(), 1u);
+  EXPECT_EQ(t.malformed_lines, 1u);
+}
+
+TEST(SwfRoundTripTest, FormatThenParseIsIdentity) {
+  SwfJob j;
+  ASSERT_TRUE(parse_swf_line(kLine, j));
+  SwfJob j2;
+  ASSERT_TRUE(parse_swf_line(format_swf_line(j), j2));
+  EXPECT_EQ(j2.job_number, j.job_number);
+  EXPECT_DOUBLE_EQ(j2.run_time, j.run_time);
+  EXPECT_DOUBLE_EQ(j2.avg_cpu_time, j.avg_cpu_time);
+  EXPECT_EQ(j2.status, j.status);
+  EXPECT_EQ(j2.think_time, j.think_time);
+}
+
+TEST(SwfRoundTripTest, WholeTraceRoundTrips) {
+  Trace t;
+  t.header = {"Computer: test"};
+  SwfJob j;
+  ASSERT_TRUE(parse_swf_line(kLine, j));
+  t.jobs = {j, j};
+  std::ostringstream out;
+  write_swf(out, t);
+  std::istringstream in(out.str());
+  const Trace t2 = parse_swf(in);
+  EXPECT_EQ(t2.header.size(), 1u);
+  EXPECT_EQ(t2.jobs.size(), 2u);
+  EXPECT_EQ(t2.malformed_lines, 0u);
+}
+
+TEST(SwfFileTest, MissingFileThrows) {
+  EXPECT_THROW((void)parse_swf_file("/no/such/file.swf"), IoError);
+  EXPECT_THROW(write_swf_file("/no/such/dir/file.swf", Trace{}), IoError);
+}
+
+TEST(ComputeStatsTest, CountsAndFractions) {
+  SwfJob completed_long;
+  ASSERT_TRUE(parse_swf_line(kLine, completed_long));  // 7500s completed
+  SwfJob completed_short = completed_long;
+  completed_short.run_time = 100.0;
+  SwfJob failed = completed_long;
+  failed.status = JobStatus::Failed;
+  const std::vector<SwfJob> jobs{completed_long, completed_short, failed};
+  const TraceStats s = compute_stats(jobs);
+  EXPECT_EQ(s.total_jobs, 3u);
+  EXPECT_EQ(s.completed_jobs, 2u);
+  EXPECT_EQ(s.long_completed_jobs, 1u);
+  EXPECT_NEAR(s.long_fraction(), 0.5, 1e-12);
+  EXPECT_EQ(s.max_processors, 256);
+  EXPECT_DOUBLE_EQ(s.max_runtime, 7500.5);
+}
+
+TEST(ComputeStatsTest, EmptyInputSafe) {
+  const TraceStats s = compute_stats({});
+  EXPECT_EQ(s.total_jobs, 0u);
+  EXPECT_EQ(s.long_fraction(), 0.0);
+  EXPECT_EQ(s.min_processors, 0);
+}
+
+TEST(FilterTest, CompletedLongOnly) {
+  SwfJob keep;
+  ASSERT_TRUE(parse_swf_line(kLine, keep));
+  SwfJob short_job = keep;
+  short_job.run_time = 10.0;
+  SwfJob failed = keep;
+  failed.status = JobStatus::Failed;
+  const auto out = filter_completed_long({keep, short_job, failed});
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_DOUBLE_EQ(out[0].run_time, 7500.5);
+}
+
+}  // namespace
+}  // namespace svo::trace

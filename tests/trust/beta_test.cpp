@@ -1,0 +1,101 @@
+#include "trust/beta.hpp"
+
+#include <gtest/gtest.h>
+
+#include "trust/reputation.hpp"
+
+namespace svo::trust {
+namespace {
+
+TEST(BetaTest, NoEvidenceIsNeutral) {
+  const BetaReputationSystem beta(3);
+  EXPECT_DOUBLE_EQ(beta.pairwise(0, 1), 0.5);
+  EXPECT_DOUBLE_EQ(beta.reputation(2), 0.5);
+  EXPECT_DOUBLE_EQ(beta.evidence(2), 0.0);
+}
+
+TEST(BetaTest, PosteriorMeanMatchesFormula) {
+  BetaReputationSystem beta(2);
+  for (int i = 0; i < 8; ++i) beta.record(0, 1, true);
+  for (int i = 0; i < 2; ++i) beta.record(0, 1, false);
+  EXPECT_DOUBLE_EQ(beta.pairwise(0, 1), 9.0 / 12.0);  // (8+1)/(8+2+2)
+  EXPECT_DOUBLE_EQ(beta.evidence(1), 10.0);
+}
+
+TEST(BetaTest, GradedOutcomeSplitsEvidence) {
+  BetaReputationSystem beta(2);
+  beta.record_graded(0, 1, 0.75);
+  // r = 0.75, s = 0.25: mean (1.75)/(3) = 0.58333...
+  EXPECT_NEAR(beta.pairwise(0, 1), 1.75 / 3.0, 1e-12);
+}
+
+TEST(BetaTest, ReputationPoolsObservers) {
+  BetaReputationSystem beta(3);
+  for (int i = 0; i < 5; ++i) beta.record(0, 2, true);
+  for (int i = 0; i < 5; ++i) beta.record(1, 2, false);
+  // Pooled: r = 5, s = 5 -> 6/12 = 0.5; each pairwise differs.
+  EXPECT_DOUBLE_EQ(beta.reputation(2), 0.5);
+  EXPECT_GT(beta.pairwise(0, 2), 0.5);
+  EXPECT_LT(beta.pairwise(1, 2), 0.5);
+}
+
+TEST(BetaTest, MoreEvidenceMovesEstimateFurther) {
+  BetaReputationSystem weak(2);
+  weak.record(0, 1, true);
+  BetaReputationSystem strong(2);
+  for (int i = 0; i < 50; ++i) strong.record(0, 1, true);
+  EXPECT_GT(strong.pairwise(0, 1), weak.pairwise(0, 1));
+  EXPECT_LT(strong.pairwise(0, 1), 1.0);  // never certain
+}
+
+TEST(BetaTest, DiscountForgetsGradually) {
+  BetaReputationSystem beta(2);
+  for (int i = 0; i < 20; ++i) beta.record(0, 1, false);
+  const double before = beta.pairwise(0, 1);
+  beta.discount(0.5);
+  const double halved = beta.pairwise(0, 1);
+  EXPECT_GT(halved, before);  // less negative evidence -> closer to prior
+  beta.discount(0.0);
+  EXPECT_DOUBLE_EQ(beta.pairwise(0, 1), 0.5);  // history erased
+}
+
+TEST(BetaTest, ToTrustGraphOnlyWhereEvidence) {
+  BetaReputationSystem beta(3);
+  beta.record(0, 1, true);
+  beta.record_graded(2, 0, 0.2);
+  const TrustGraph g = beta.to_trust_graph();
+  EXPECT_DOUBLE_EQ(g.trust(0, 1), beta.pairwise(0, 1));
+  EXPECT_DOUBLE_EQ(g.trust(2, 0), beta.pairwise(2, 0));
+  EXPECT_DOUBLE_EQ(g.trust(1, 0), 0.0);  // no evidence, no edge
+  EXPECT_EQ(g.graph().edge_count(), 2u);
+}
+
+TEST(BetaTest, FeedsReputationEngineEndToEnd) {
+  // Evidence -> TrustGraph -> eigenvector reputation: the GSP everyone
+  // reports good outcomes about must come out on top.
+  BetaReputationSystem beta(4);
+  for (std::size_t o = 0; o < 4; ++o) {
+    for (std::size_t s = 0; s < 4; ++s) {
+      if (o == s) continue;
+      for (int i = 0; i < 10; ++i) beta.record(o, s, s == 2);
+    }
+  }
+  const ReputationEngine engine;
+  const ReputationResult r = engine.compute(beta.to_trust_graph());
+  for (std::size_t g = 0; g < 4; ++g) {
+    if (g != 2) EXPECT_GT(r.scores[2], r.scores[g]);
+  }
+}
+
+TEST(BetaTest, Validation) {
+  EXPECT_THROW(BetaReputationSystem(0), InvalidArgument);
+  BetaReputationSystem beta(2);
+  EXPECT_THROW(beta.record(0, 0, true), InvalidArgument);
+  EXPECT_THROW(beta.record(0, 5, true), InvalidArgument);
+  EXPECT_THROW(beta.record(0, 1, true, 0.0), InvalidArgument);
+  EXPECT_THROW(beta.record_graded(0, 1, 1.5), InvalidArgument);
+  EXPECT_THROW(beta.discount(1.0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace svo::trust

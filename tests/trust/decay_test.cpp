@@ -1,0 +1,86 @@
+#include "trust/decay.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace svo::trust {
+namespace {
+
+TEST(DecayTest, ExponentialLaw) {
+  DecayingTrustGraph g(2, DecayLaw::Exponential, 0.5);
+  g.set_trust(0, 1, 1.0);
+  EXPECT_DOUBLE_EQ(g.trust(0, 1), 1.0);
+  g.advance(2.0);
+  EXPECT_NEAR(g.trust(0, 1), std::exp(-1.0), 1e-12);
+}
+
+TEST(DecayTest, LinearLawHitsZero) {
+  DecayingTrustGraph g(2, DecayLaw::Linear, 0.25);
+  g.set_trust(0, 1, 0.8);
+  g.advance(2.0);
+  EXPECT_NEAR(g.trust(0, 1), 0.8 * 0.5, 1e-12);
+  g.advance(3.0);  // age 5 > 1/lambda = 4
+  EXPECT_DOUBLE_EQ(g.trust(0, 1), 0.0);
+}
+
+TEST(DecayTest, RefreshResetsAge) {
+  DecayingTrustGraph g(2, DecayLaw::Exponential, 1.0);
+  g.set_trust(0, 1, 1.0);
+  g.advance(3.0);
+  g.set_trust(0, 1, 1.0);  // refresh at t = 3
+  g.advance(1.0);
+  EXPECT_NEAR(g.trust(0, 1), std::exp(-1.0), 1e-12);
+}
+
+TEST(DecayTest, InteractionUsesDecayedBase) {
+  DecayingTrustGraph g(2, DecayLaw::Exponential, std::log(2.0));
+  g.set_trust(0, 1, 0.8);
+  g.advance(1.0);  // halves to 0.4
+  g.record_interaction(0, 1, 1.0, 0.5);
+  EXPECT_NEAR(g.trust(0, 1), 0.5 * 0.4 + 0.5 * 1.0, 1e-12);
+}
+
+TEST(DecayTest, SnapshotDropsDeadEdges) {
+  DecayingTrustGraph g(3, DecayLaw::Linear, 1.0);
+  g.set_trust(0, 1, 0.5);
+  g.set_trust(1, 2, 0.5);
+  g.advance(0.5);
+  g.set_trust(1, 2, 0.5);  // refreshed; 0->1 keeps aging
+  g.advance(0.6);          // 0->1 age 1.1 -> dead; 1->2 age 0.6 -> alive
+  const TrustGraph snap = g.snapshot();
+  EXPECT_DOUBLE_EQ(snap.trust(0, 1), 0.0);
+  EXPECT_NEAR(snap.trust(1, 2), 0.5 * 0.4, 1e-12);
+  EXPECT_EQ(snap.graph().edge_count(), 1u);
+}
+
+TEST(DecayTest, DeadEdgeFractionGrowsToOne) {
+  util::Xoshiro256 rng(5);
+  DecayingTrustGraph g(random_trust_graph(16, 0.3, rng),
+                       DecayLaw::Exponential, 1.0);
+  EXPECT_DOUBLE_EQ(g.dead_edge_fraction(), 0.0);
+  g.advance(5.0);
+  const double mid = g.dead_edge_fraction(1e-2);
+  g.advance(20.0);
+  const double late = g.dead_edge_fraction(1e-2);
+  EXPECT_GE(late, mid);
+  EXPECT_DOUBLE_EQ(late, 1.0);  // everything eventually dies: the critique
+}
+
+TEST(DecayTest, ZeroLambdaNeverDecays) {
+  DecayingTrustGraph g(2, DecayLaw::Exponential, 0.0);
+  g.set_trust(0, 1, 0.7);
+  g.advance(1000.0);
+  EXPECT_DOUBLE_EQ(g.trust(0, 1), 0.7);
+}
+
+TEST(DecayTest, ValidatesArguments) {
+  EXPECT_THROW(DecayingTrustGraph(2, DecayLaw::Linear, -1.0),
+               InvalidArgument);
+  DecayingTrustGraph g(2, DecayLaw::Linear, 0.1);
+  EXPECT_THROW(g.advance(-1.0), InvalidArgument);
+  EXPECT_THROW(g.record_interaction(0, 1, 2.0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace svo::trust

@@ -1,0 +1,88 @@
+#include "trust/hierarchy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace svo::trust {
+namespace {
+
+ReputationHierarchy two_org_fixture(
+    HierarchyAggregation agg = HierarchyAggregation::WeightedMean) {
+  ReputationHierarchy h(2, agg);
+  h.add_entity(0, {"cluster-a", 0.9, 3.0});
+  h.add_entity(0, {"cluster-b", 0.6, 1.0});
+  h.add_entity(1, {"cluster-c", 0.4, 2.0});
+  return h;
+}
+
+TEST(HierarchyTest, WeightedMeanAggregation) {
+  const ReputationHierarchy h = two_org_fixture();
+  // Org 0: (3*0.9 + 1*0.6) / 4 = 0.825.
+  EXPECT_NEAR(h.organization_reputation(0), 0.825, 1e-12);
+  EXPECT_NEAR(h.organization_reputation(1), 0.4, 1e-12);
+}
+
+TEST(HierarchyTest, MinimumAggregation) {
+  const ReputationHierarchy h = two_org_fixture(HierarchyAggregation::Minimum);
+  EXPECT_NEAR(h.organization_reputation(0), 0.6, 1e-12);
+}
+
+TEST(HierarchyTest, GeometricAggregation) {
+  const ReputationHierarchy h =
+      two_org_fixture(HierarchyAggregation::Geometric);
+  const double expected =
+      std::exp((3.0 * std::log(0.9) + 1.0 * std::log(0.6)) / 4.0);
+  EXPECT_NEAR(h.organization_reputation(0), expected, 1e-12);
+}
+
+TEST(HierarchyTest, GeometricZeroAnnihilates) {
+  ReputationHierarchy h(1, HierarchyAggregation::Geometric);
+  h.add_entity(0, {"good", 0.9, 1.0});
+  h.add_entity(0, {"dead", 0.0, 1.0});
+  EXPECT_DOUBLE_EQ(h.organization_reputation(0), 0.0);
+}
+
+TEST(HierarchyTest, EmptyOrganizationScoresZero) {
+  ReputationHierarchy h(2);
+  h.add_entity(0, {"only", 0.7, 1.0});
+  EXPECT_DOUBLE_EQ(h.organization_reputation(1), 0.0);
+}
+
+TEST(HierarchyTest, EntityOutcomeEwma) {
+  ReputationHierarchy h(1);
+  h.add_entity(0, {"r", 0.5, 1.0});
+  h.record_entity_outcome(0, 0, 1.0, 0.4);
+  EXPECT_NEAR(h.entities(0)[0].reputation, 0.7, 1e-12);
+  h.record_entity_outcome(0, 0, 0.0, 0.5);
+  EXPECT_NEAR(h.entities(0)[0].reputation, 0.35, 1e-12);
+}
+
+TEST(HierarchyTest, VoReputationWeightsByCapacity) {
+  const ReputationHierarchy h = two_org_fixture();
+  // VO {0,1}: org 0 (score 0.825, weight 4), org 1 (0.4, weight 2):
+  // (4*0.825 + 2*0.4) / 6 = 0.68333...
+  EXPECT_NEAR(h.vo_reputation(game::Coalition::of({0, 1})),
+              (4.0 * 0.825 + 2.0 * 0.4) / 6.0, 1e-12);
+  // Singleton VO = the organization itself.
+  EXPECT_NEAR(h.vo_reputation(game::Coalition::of({0})), 0.825, 1e-12);
+  // Empty VO scores zero.
+  EXPECT_DOUBLE_EQ(h.vo_reputation(game::Coalition()), 0.0);
+}
+
+TEST(HierarchyTest, ValidatesArguments) {
+  EXPECT_THROW(ReputationHierarchy(0), InvalidArgument);
+  ReputationHierarchy h(1);
+  EXPECT_THROW(h.add_entity(5, {"x", 0.5, 1.0}), InvalidArgument);
+  EXPECT_THROW(h.add_entity(0, {"x", 1.5, 1.0}), InvalidArgument);
+  EXPECT_THROW(h.add_entity(0, {"x", 0.5, 0.0}), InvalidArgument);
+  h.add_entity(0, {"ok", 0.5, 1.0});
+  EXPECT_THROW(h.record_entity_outcome(0, 9, 0.5), InvalidArgument);
+  EXPECT_THROW(h.record_entity_outcome(0, 0, 2.0), InvalidArgument);
+  EXPECT_THROW((void)h.organization_reputation(9), InvalidArgument);
+  EXPECT_THROW((void)h.vo_reputation(game::Coalition::of({9})),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace svo::trust

@@ -1,0 +1,75 @@
+#include "util/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace svo::util {
+namespace {
+
+TEST(CsvEscapeTest, PlainFieldUntouched) {
+  EXPECT_EQ(csv_escape("hello"), "hello");
+}
+
+TEST(CsvEscapeTest, CommaTriggersQuoting) {
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+}
+
+TEST(CsvEscapeTest, QuotesAreDoubled) {
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(CsvEscapeTest, NewlineTriggersQuoting) {
+  EXPECT_EQ(csv_escape("a\nb"), "\"a\nb\"");
+}
+
+TEST(TableTest, EmptyHeaderRejected) {
+  EXPECT_THROW(Table({}), InvalidArgument);
+}
+
+TEST(TableTest, ArityMismatchRejected) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({Cell{1LL}}), DimensionMismatch);
+}
+
+TEST(TableTest, CsvOutputMatchesContent) {
+  Table t({"n", "name", "value"});
+  t.set_precision(2);
+  t.add_row({Cell{1LL}, Cell{std::string("alpha")}, Cell{1.5}});
+  t.add_row({Cell{2LL}, Cell{std::string("beta,x")}, Cell{2.25}});
+  std::ostringstream os;
+  t.write_csv(os);
+  EXPECT_EQ(os.str(),
+            "n,name,value\n"
+            "1,alpha,1.50\n"
+            "2,\"beta,x\",2.25\n");
+}
+
+TEST(TableTest, PrettyOutputContainsAllCells) {
+  Table t({"col"});
+  t.add_row({Cell{std::string("payload")}});
+  std::ostringstream os;
+  t.write_pretty(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("col"), std::string::npos);
+  EXPECT_NE(s.find("payload"), std::string::npos);
+  EXPECT_NE(s.find('+'), std::string::npos);  // border present
+}
+
+TEST(TableTest, RowAndColCounts) {
+  Table t({"a", "b"});
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_EQ(t.rows(), 0u);
+  t.add_row({Cell{1LL}, Cell{2LL}});
+  EXPECT_EQ(t.rows(), 1u);
+}
+
+TEST(TableTest, WriteCsvFileRejectsBadPath) {
+  Table t({"a"});
+  EXPECT_THROW(t.write_csv_file("/nonexistent-dir/x.csv"), IoError);
+}
+
+}  // namespace
+}  // namespace svo::util

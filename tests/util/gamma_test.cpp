@@ -1,0 +1,58 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace svo::util {
+namespace {
+
+/// Gamma(shape, scale) has mean shape*scale and variance shape*scale^2;
+/// the Marsaglia-Tsang sampler must reproduce both across regimes
+/// (including the shape < 1 boosting branch).
+class GammaMomentsTest
+    : public ::testing::TestWithParam<std::pair<double, double>> {};
+
+TEST_P(GammaMomentsTest, MeanAndVarianceMatch) {
+  const auto [shape, scale] = GetParam();
+  Xoshiro256 rng(static_cast<std::uint64_t>(shape * 1000 + scale * 10));
+  RunningStats stats;
+  constexpr int kDraws = 200'000;
+  for (int i = 0; i < kDraws; ++i) {
+    const double x = rng.gamma(shape, scale);
+    ASSERT_GT(x, 0.0);
+    stats.add(x);
+  }
+  const double mean = shape * scale;
+  const double var = shape * scale * scale;
+  EXPECT_NEAR(stats.mean(), mean, 0.02 * mean + 0.01);
+  EXPECT_NEAR(stats.variance(), var, 0.08 * var + 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Regimes, GammaMomentsTest,
+    ::testing::Values(std::pair{0.5, 1.0},   // boosting branch
+                      std::pair{1.0, 2.0},   // exponential special case
+                      std::pair{4.2, 0.94},  // Lublin short component
+                      std::pair{312.0, 0.03},  // Lublin long component
+                      std::pair{9.0, 0.5}));
+
+TEST(GammaTest, Shape1MatchesExponential) {
+  // Gamma(1, 1/lambda) == Exponential(lambda): compare tail fractions.
+  Xoshiro256 rng(77);
+  int above = 0;
+  constexpr int kDraws = 100'000;
+  for (int i = 0; i < kDraws; ++i) above += rng.gamma(1.0, 1.0) > 1.0;
+  EXPECT_NEAR(above / static_cast<double>(kDraws), std::exp(-1.0), 0.01);
+}
+
+TEST(GammaTest, Validation) {
+  Xoshiro256 rng(1);
+  EXPECT_THROW((void)rng.gamma(0.0, 1.0), InvalidArgument);
+  EXPECT_THROW((void)rng.gamma(1.0, 0.0), InvalidArgument);
+  EXPECT_THROW((void)rng.gamma(-1.0, 1.0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace svo::util

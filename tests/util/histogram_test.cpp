@@ -1,0 +1,74 @@
+#include "util/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+namespace svo::util {
+namespace {
+
+TEST(HistogramTest, LinearBinning) {
+  Histogram h(0.0, 10.0, 5);
+  for (double x : {0.5, 1.5, 2.5, 2.6, 9.9}) h.add(x);
+  EXPECT_EQ(h.count(0), 2u);  // [0,2): 0.5, 1.5
+  EXPECT_EQ(h.count(1), 2u);  // [2,4): 2.5, 2.6
+  EXPECT_EQ(h.count(4), 1u);  // [8,10): 9.9
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.underflow(), 0u);
+  EXPECT_EQ(h.overflow(), 0u);
+}
+
+TEST(HistogramTest, UnderflowAndOverflow) {
+  Histogram h(0.0, 1.0, 2);
+  h.add(-0.1);
+  h.add(1.0);  // hi is exclusive
+  h.add(2.0);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(HistogramTest, BinRangesTile) {
+  Histogram h(2.0, 12.0, 5);
+  double prev_hi = 2.0;
+  for (std::size_t b = 0; b < 5; ++b) {
+    const auto [lo, hi] = h.bin_range(b);
+    EXPECT_DOUBLE_EQ(lo, prev_hi);
+    EXPECT_GT(hi, lo);
+    prev_hi = hi;
+  }
+  EXPECT_DOUBLE_EQ(prev_hi, 12.0);
+}
+
+TEST(HistogramTest, LogarithmicBinsCoverDecades) {
+  Histogram h = Histogram::logarithmic(1.0, 1000.0, 3);
+  h.add(5.0);     // [1, 10)
+  h.add(50.0);    // [10, 100)
+  h.add(500.0);   // [100, 1000)
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(1), 1u);
+  EXPECT_EQ(h.count(2), 1u);
+  const auto [lo, hi] = h.bin_range(1);
+  EXPECT_NEAR(lo, 10.0, 1e-9);
+  EXPECT_NEAR(hi, 100.0, 1e-9);
+}
+
+TEST(HistogramTest, RenderShowsNonEmptyBins) {
+  Histogram h(0.0, 4.0, 4);
+  h.add(0.5);
+  h.add(0.6);
+  h.add(3.5);
+  const std::string out = h.render(10);
+  EXPECT_NE(out.find('#'), std::string::npos);
+  EXPECT_NE(out.find(" 2"), std::string::npos);
+}
+
+TEST(HistogramTest, Validation) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 3), InvalidArgument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), InvalidArgument);
+  EXPECT_THROW(Histogram::logarithmic(0.0, 10.0, 3), InvalidArgument);
+  Histogram h(0.0, 1.0, 2);
+  EXPECT_THROW((void)h.count(5), InvalidArgument);
+  EXPECT_THROW((void)h.bin_range(5), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace svo::util

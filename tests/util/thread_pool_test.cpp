@@ -1,0 +1,87 @@
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace svo::util {
+namespace {
+
+TEST(ThreadPoolTest, SubmitReturnsResult) {
+  ThreadPool pool(2);
+  auto fut = pool.submit([] { return 41 + 1; });
+  EXPECT_EQ(fut.get(), 42);
+}
+
+TEST(ThreadPoolTest, SubmitPropagatesException) {
+  ThreadPool pool(2);
+  auto fut = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(fut.get(), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, ManyTasksAllComplete) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 500; ++i) {
+    futures.push_back(pool.submit([&counter] { ++counter; }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 500);
+}
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for(pool, 0, hits.size(),
+               [&](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelForTest, MatchesSerialSum) {
+  ThreadPool pool(4);
+  std::vector<double> data(5000);
+  std::iota(data.begin(), data.end(), 0.0);
+  std::vector<double> out(data.size(), 0.0);
+  parallel_for(pool, 0, data.size(),
+               [&](std::size_t i) { out[i] = data[i] * 2.0; });
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    ASSERT_DOUBLE_EQ(out[i], 2.0 * static_cast<double>(i));
+  }
+}
+
+TEST(ParallelForTest, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  int calls = 0;
+  parallel_for(pool, 5, 5, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ParallelForTest, InvertedRangeThrows) {
+  ThreadPool pool(2);
+  EXPECT_THROW(parallel_for(pool, 5, 4, [](std::size_t) {}), InvalidArgument);
+}
+
+TEST(ParallelForTest, RethrowsFirstWorkerException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(parallel_for(pool, 0, 100,
+                            [](std::size_t i) {
+                              if (i == 50) throw std::runtime_error("fail");
+                            },
+                            /*grain=*/1),
+               std::runtime_error);
+}
+
+TEST(ParallelForTest, GlobalPoolOverloadWorks) {
+  std::atomic<int> counter{0};
+  parallel_for(0, 64, [&](std::size_t) { ++counter; });
+  EXPECT_EQ(counter.load(), 64);
+}
+
+}  // namespace
+}  // namespace svo::util

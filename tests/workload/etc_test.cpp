@@ -1,0 +1,80 @@
+#include "workload/etc.hpp"
+
+#include <gtest/gtest.h>
+
+namespace svo::workload {
+namespace {
+
+TEST(EtcTest, ConsistentFamilyPassesConsistencyCheck) {
+  util::Xoshiro256 rng(1);
+  EtcOptions opts;
+  opts.consistency = EtcConsistency::Consistent;
+  const linalg::Matrix etc = generate_etc(8, 40, opts, rng);
+  EXPECT_TRUE(is_consistent_etc(etc));
+}
+
+TEST(EtcTest, InconsistentFamilyFailsConsistencyCheck) {
+  util::Xoshiro256 rng(2);
+  EtcOptions opts;
+  opts.consistency = EtcConsistency::Inconsistent;
+  const linalg::Matrix etc = generate_etc(8, 40, opts, rng);
+  EXPECT_FALSE(is_consistent_etc(etc));
+}
+
+TEST(EtcTest, SemiConsistentHasConsistentEvenBlock) {
+  util::Xoshiro256 rng(3);
+  EtcOptions opts;
+  opts.consistency = EtcConsistency::SemiConsistent;
+  const linalg::Matrix etc = generate_etc(6, 30, opts, rng);
+  // The even-task sub-matrix must be consistent...
+  linalg::Matrix even(6, 15);
+  for (std::size_t m = 0; m < 6; ++m) {
+    for (std::size_t t = 0; t < 30; t += 2) even(m, t / 2) = etc(m, t);
+  }
+  EXPECT_TRUE(is_consistent_etc(even));
+  // ...while the full matrix (with odd tasks) is not.
+  EXPECT_FALSE(is_consistent_etc(etc));
+}
+
+TEST(EtcTest, ValuesWithinHeterogeneityRanges) {
+  util::Xoshiro256 rng(4);
+  EtcOptions opts;
+  opts.task_heterogeneity = 100.0;
+  opts.machine_heterogeneity = 10.0;
+  const linalg::Matrix etc = generate_etc(5, 20, opts, rng);
+  for (std::size_t m = 0; m < 5; ++m) {
+    for (std::size_t t = 0; t < 20; ++t) {
+      EXPECT_GE(etc(m, t), 1.0);
+      EXPECT_LE(etc(m, t), 1000.0);
+    }
+  }
+}
+
+TEST(EtcTest, PaperTimeMatrixIsConsistent) {
+  // t = w / s is Braun-consistent by construction; is_consistent_etc
+  // must agree (cross-check of both implementations).
+  linalg::Matrix t(3, 4);
+  const double speeds[3] = {2.0, 8.0, 4.0};
+  const double work[4] = {10.0, 20.0, 5.0, 40.0};
+  for (std::size_t m = 0; m < 3; ++m) {
+    for (std::size_t j = 0; j < 4; ++j) t(m, j) = work[j] / speeds[m];
+  }
+  EXPECT_TRUE(is_consistent_etc(t));
+}
+
+TEST(EtcTest, ConsistencyCheckToleratesTies) {
+  const linalg::Matrix equal(3, 3, 5.0);
+  EXPECT_TRUE(is_consistent_etc(equal));
+}
+
+TEST(EtcTest, RejectsBadArguments) {
+  util::Xoshiro256 rng(5);
+  EXPECT_THROW((void)generate_etc(0, 3, {}, rng), InvalidArgument);
+  EXPECT_THROW((void)generate_etc(3, 0, {}, rng), InvalidArgument);
+  EtcOptions bad;
+  bad.task_heterogeneity = 0.5;
+  EXPECT_THROW((void)generate_etc(3, 3, bad, rng), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace svo::workload
