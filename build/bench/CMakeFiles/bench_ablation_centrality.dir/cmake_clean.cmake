@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_centrality.dir/bench_ablation_centrality.cpp.o"
+  "CMakeFiles/bench_ablation_centrality.dir/bench_ablation_centrality.cpp.o.d"
+  "bench_ablation_centrality"
+  "bench_ablation_centrality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_centrality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_decay.dir/bench_ablation_decay.cpp.o"
+  "CMakeFiles/bench_ablation_decay.dir/bench_ablation_decay.cpp.o.d"
+  "bench_ablation_decay"
+  "bench_ablation_decay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_decay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

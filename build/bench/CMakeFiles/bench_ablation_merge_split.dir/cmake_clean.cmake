@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_merge_split.dir/bench_ablation_merge_split.cpp.o"
+  "CMakeFiles/bench_ablation_merge_split.dir/bench_ablation_merge_split.cpp.o.d"
+  "bench_ablation_merge_split"
+  "bench_ablation_merge_split.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_merge_split.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_payoff_division.dir/bench_ablation_payoff_division.cpp.o"
+  "CMakeFiles/bench_ablation_payoff_division.dir/bench_ablation_payoff_division.cpp.o.d"
+  "bench_ablation_payoff_division"
+  "bench_ablation_payoff_division.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_payoff_division.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_propagation.dir/bench_ablation_propagation.cpp.o"
+  "CMakeFiles/bench_ablation_propagation.dir/bench_ablation_propagation.cpp.o.d"
+  "bench_ablation_propagation"
+  "bench_ablation_propagation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_propagation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_stability.dir/bench_ablation_stability.cpp.o"
+  "CMakeFiles/bench_ablation_stability.dir/bench_ablation_stability.cpp.o.d"
+  "bench_ablation_stability"
+  "bench_ablation_stability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_stability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

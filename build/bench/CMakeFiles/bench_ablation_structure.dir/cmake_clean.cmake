@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_structure.dir/bench_ablation_structure.cpp.o"
+  "CMakeFiles/bench_ablation_structure.dir/bench_ablation_structure.cpp.o.d"
+  "bench_ablation_structure"
+  "bench_ablation_structure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_structure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_tightness.dir/bench_ablation_tightness.cpp.o"
+  "CMakeFiles/bench_ablation_tightness.dir/bench_ablation_tightness.cpp.o.d"
+  "bench_ablation_tightness"
+  "bench_ablation_tightness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_tightness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_extension_dag.dir/bench_extension_dag.cpp.o"
+  "CMakeFiles/bench_extension_dag.dir/bench_extension_dag.cpp.o.d"
+  "bench_extension_dag"
+  "bench_extension_dag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extension_dag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_extension_multi_program.dir/bench_extension_multi_program.cpp.o"
+  "CMakeFiles/bench_extension_multi_program.dir/bench_extension_multi_program.cpp.o.d"
+  "bench_extension_multi_program"
+  "bench_extension_multi_program.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extension_multi_program.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_extension_multi_program.
+# This may be replaced when dependencies are built.

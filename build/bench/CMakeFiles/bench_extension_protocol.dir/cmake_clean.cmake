@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_extension_protocol.dir/bench_extension_protocol.cpp.o"
+  "CMakeFiles/bench_extension_protocol.dir/bench_extension_protocol.cpp.o.d"
+  "bench_extension_protocol"
+  "bench_extension_protocol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extension_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

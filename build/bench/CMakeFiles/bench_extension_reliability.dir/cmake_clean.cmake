@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_extension_reliability.dir/bench_extension_reliability.cpp.o"
+  "CMakeFiles/bench_extension_reliability.dir/bench_extension_reliability.cpp.o.d"
+  "bench_extension_reliability"
+  "bench_extension_reliability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extension_reliability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

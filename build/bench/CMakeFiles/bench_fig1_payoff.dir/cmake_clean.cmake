@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_payoff.dir/bench_fig1_payoff.cpp.o"
+  "CMakeFiles/bench_fig1_payoff.dir/bench_fig1_payoff.cpp.o.d"
+  "bench_fig1_payoff"
+  "bench_fig1_payoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_payoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_hypotheses.dir/bench_fig2_hypotheses.cpp.o"
+  "CMakeFiles/bench_fig2_hypotheses.dir/bench_fig2_hypotheses.cpp.o.d"
+  "bench_fig2_hypotheses"
+  "bench_fig2_hypotheses.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_hypotheses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_reputation.dir/bench_fig3_reputation.cpp.o"
+  "CMakeFiles/bench_fig3_reputation.dir/bench_fig3_reputation.cpp.o.d"
+  "bench_fig3_reputation"
+  "bench_fig3_reputation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_reputation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

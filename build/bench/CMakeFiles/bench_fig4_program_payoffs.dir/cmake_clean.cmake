@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_program_payoffs.dir/bench_fig4_program_payoffs.cpp.o"
+  "CMakeFiles/bench_fig4_program_payoffs.dir/bench_fig4_program_payoffs.cpp.o.d"
+  "bench_fig4_program_payoffs"
+  "bench_fig4_program_payoffs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_program_payoffs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig56_tvof_iterations.dir/bench_fig56_tvof_iterations.cpp.o"
+  "CMakeFiles/bench_fig56_tvof_iterations.dir/bench_fig56_tvof_iterations.cpp.o.d"
+  "bench_fig56_tvof_iterations"
+  "bench_fig56_tvof_iterations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig56_tvof_iterations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig78_rvof_iterations.dir/bench_fig78_rvof_iterations.cpp.o"
+  "CMakeFiles/bench_fig78_rvof_iterations.dir/bench_fig78_rvof_iterations.cpp.o.d"
+  "bench_fig78_rvof_iterations"
+  "bench_fig78_rvof_iterations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig78_rvof_iterations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig78_rvof_iterations.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig78_rvof_iterations.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_reputation.dir/bench_micro_reputation.cpp.o"
+  "CMakeFiles/bench_micro_reputation.dir/bench_micro_reputation.cpp.o.d"
+  "bench_micro_reputation"
+  "bench_micro_reputation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_reputation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

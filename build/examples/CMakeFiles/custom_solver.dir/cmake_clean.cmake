@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_solver.dir/custom_solver.cpp.o"
+  "CMakeFiles/custom_solver.dir/custom_solver.cpp.o.d"
+  "custom_solver"
+  "custom_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dag_workflow.dir/dag_workflow.cpp.o"
+  "CMakeFiles/dag_workflow.dir/dag_workflow.cpp.o.d"
+  "dag_workflow"
+  "dag_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dag_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reputation_dynamics.dir/reputation_dynamics.cpp.o"
+  "CMakeFiles/reputation_dynamics.dir/reputation_dynamics.cpp.o.d"
+  "reputation_dynamics"
+  "reputation_dynamics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reputation_dynamics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

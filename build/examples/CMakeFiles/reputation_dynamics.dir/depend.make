@@ -1,0 +1,2 @@
+# Empty dependencies file for reputation_dynamics.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svo_cli.dir/svo_cli.cpp.o"
+  "CMakeFiles/svo_cli.dir/svo_cli.cpp.o.d"
+  "svo_cli"
+  "svo_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svo_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_driven_vo.dir/trace_driven_vo.cpp.o"
+  "CMakeFiles/trace_driven_vo.dir/trace_driven_vo.cpp.o.d"
+  "trace_driven_vo"
+  "trace_driven_vo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_driven_vo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for trace_driven_vo.
+# This may be replaced when dependencies are built.

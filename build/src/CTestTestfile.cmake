@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("linalg")
+subdirs("graph")
+subdirs("lp")
+subdirs("des")
+subdirs("ip")
+subdirs("trace")
+subdirs("workload")
+subdirs("trust")
+subdirs("game")
+subdirs("core")
+subdirs("sim")

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/centrality_vof.cpp" "src/core/CMakeFiles/svo_core.dir/centrality_vof.cpp.o" "gcc" "src/core/CMakeFiles/svo_core.dir/centrality_vof.cpp.o.d"
+  "/root/repo/src/core/distributed_tvof.cpp" "src/core/CMakeFiles/svo_core.dir/distributed_tvof.cpp.o" "gcc" "src/core/CMakeFiles/svo_core.dir/distributed_tvof.cpp.o.d"
+  "/root/repo/src/core/mechanism.cpp" "src/core/CMakeFiles/svo_core.dir/mechanism.cpp.o" "gcc" "src/core/CMakeFiles/svo_core.dir/mechanism.cpp.o.d"
+  "/root/repo/src/core/merge_split.cpp" "src/core/CMakeFiles/svo_core.dir/merge_split.cpp.o" "gcc" "src/core/CMakeFiles/svo_core.dir/merge_split.cpp.o.d"
+  "/root/repo/src/core/rvof.cpp" "src/core/CMakeFiles/svo_core.dir/rvof.cpp.o" "gcc" "src/core/CMakeFiles/svo_core.dir/rvof.cpp.o.d"
+  "/root/repo/src/core/tvof.cpp" "src/core/CMakeFiles/svo_core.dir/tvof.cpp.o" "gcc" "src/core/CMakeFiles/svo_core.dir/tvof.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/game/CMakeFiles/svo_game.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/svo_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/trust/CMakeFiles/svo_trust.dir/DependInfo.cmake"
+  "/root/repo/build/src/ip/CMakeFiles/svo_ip.dir/DependInfo.cmake"
+  "/root/repo/build/src/des/CMakeFiles/svo_des.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/svo_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/svo_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/svo_lp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svo_core.dir/centrality_vof.cpp.o"
+  "CMakeFiles/svo_core.dir/centrality_vof.cpp.o.d"
+  "CMakeFiles/svo_core.dir/distributed_tvof.cpp.o"
+  "CMakeFiles/svo_core.dir/distributed_tvof.cpp.o.d"
+  "CMakeFiles/svo_core.dir/mechanism.cpp.o"
+  "CMakeFiles/svo_core.dir/mechanism.cpp.o.d"
+  "CMakeFiles/svo_core.dir/merge_split.cpp.o"
+  "CMakeFiles/svo_core.dir/merge_split.cpp.o.d"
+  "CMakeFiles/svo_core.dir/rvof.cpp.o"
+  "CMakeFiles/svo_core.dir/rvof.cpp.o.d"
+  "CMakeFiles/svo_core.dir/tvof.cpp.o"
+  "CMakeFiles/svo_core.dir/tvof.cpp.o.d"
+  "libsvo_core.a"
+  "libsvo_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svo_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svo_des.dir/event_queue.cpp.o"
+  "CMakeFiles/svo_des.dir/event_queue.cpp.o.d"
+  "CMakeFiles/svo_des.dir/network.cpp.o"
+  "CMakeFiles/svo_des.dir/network.cpp.o.d"
+  "libsvo_des.a"
+  "libsvo_des.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svo_des.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/game/core_solution.cpp" "src/game/CMakeFiles/svo_game.dir/core_solution.cpp.o" "gcc" "src/game/CMakeFiles/svo_game.dir/core_solution.cpp.o.d"
+  "/root/repo/src/game/pareto.cpp" "src/game/CMakeFiles/svo_game.dir/pareto.cpp.o" "gcc" "src/game/CMakeFiles/svo_game.dir/pareto.cpp.o.d"
+  "/root/repo/src/game/payoff.cpp" "src/game/CMakeFiles/svo_game.dir/payoff.cpp.o" "gcc" "src/game/CMakeFiles/svo_game.dir/payoff.cpp.o.d"
+  "/root/repo/src/game/sampling.cpp" "src/game/CMakeFiles/svo_game.dir/sampling.cpp.o" "gcc" "src/game/CMakeFiles/svo_game.dir/sampling.cpp.o.d"
+  "/root/repo/src/game/stability.cpp" "src/game/CMakeFiles/svo_game.dir/stability.cpp.o" "gcc" "src/game/CMakeFiles/svo_game.dir/stability.cpp.o.d"
+  "/root/repo/src/game/structure.cpp" "src/game/CMakeFiles/svo_game.dir/structure.cpp.o" "gcc" "src/game/CMakeFiles/svo_game.dir/structure.cpp.o.d"
+  "/root/repo/src/game/value_function.cpp" "src/game/CMakeFiles/svo_game.dir/value_function.cpp.o" "gcc" "src/game/CMakeFiles/svo_game.dir/value_function.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ip/CMakeFiles/svo_ip.dir/DependInfo.cmake"
+  "/root/repo/build/src/trust/CMakeFiles/svo_trust.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/svo_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/svo_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/svo_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/svo_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

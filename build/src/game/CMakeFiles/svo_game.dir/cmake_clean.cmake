@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svo_game.dir/core_solution.cpp.o"
+  "CMakeFiles/svo_game.dir/core_solution.cpp.o.d"
+  "CMakeFiles/svo_game.dir/pareto.cpp.o"
+  "CMakeFiles/svo_game.dir/pareto.cpp.o.d"
+  "CMakeFiles/svo_game.dir/payoff.cpp.o"
+  "CMakeFiles/svo_game.dir/payoff.cpp.o.d"
+  "CMakeFiles/svo_game.dir/sampling.cpp.o"
+  "CMakeFiles/svo_game.dir/sampling.cpp.o.d"
+  "CMakeFiles/svo_game.dir/stability.cpp.o"
+  "CMakeFiles/svo_game.dir/stability.cpp.o.d"
+  "CMakeFiles/svo_game.dir/structure.cpp.o"
+  "CMakeFiles/svo_game.dir/structure.cpp.o.d"
+  "CMakeFiles/svo_game.dir/value_function.cpp.o"
+  "CMakeFiles/svo_game.dir/value_function.cpp.o.d"
+  "libsvo_game.a"
+  "libsvo_game.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svo_game.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

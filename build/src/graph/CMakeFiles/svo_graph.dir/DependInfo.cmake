@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/centrality.cpp" "src/graph/CMakeFiles/svo_graph.dir/centrality.cpp.o" "gcc" "src/graph/CMakeFiles/svo_graph.dir/centrality.cpp.o.d"
+  "/root/repo/src/graph/digraph.cpp" "src/graph/CMakeFiles/svo_graph.dir/digraph.cpp.o" "gcc" "src/graph/CMakeFiles/svo_graph.dir/digraph.cpp.o.d"
+  "/root/repo/src/graph/generators.cpp" "src/graph/CMakeFiles/svo_graph.dir/generators.cpp.o" "gcc" "src/graph/CMakeFiles/svo_graph.dir/generators.cpp.o.d"
+  "/root/repo/src/graph/scc.cpp" "src/graph/CMakeFiles/svo_graph.dir/scc.cpp.o" "gcc" "src/graph/CMakeFiles/svo_graph.dir/scc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/svo_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/svo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svo_graph.dir/centrality.cpp.o"
+  "CMakeFiles/svo_graph.dir/centrality.cpp.o.d"
+  "CMakeFiles/svo_graph.dir/digraph.cpp.o"
+  "CMakeFiles/svo_graph.dir/digraph.cpp.o.d"
+  "CMakeFiles/svo_graph.dir/generators.cpp.o"
+  "CMakeFiles/svo_graph.dir/generators.cpp.o.d"
+  "CMakeFiles/svo_graph.dir/scc.cpp.o"
+  "CMakeFiles/svo_graph.dir/scc.cpp.o.d"
+  "libsvo_graph.a"
+  "libsvo_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svo_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ip/annealing.cpp" "src/ip/CMakeFiles/svo_ip.dir/annealing.cpp.o" "gcc" "src/ip/CMakeFiles/svo_ip.dir/annealing.cpp.o.d"
+  "/root/repo/src/ip/assignment.cpp" "src/ip/CMakeFiles/svo_ip.dir/assignment.cpp.o" "gcc" "src/ip/CMakeFiles/svo_ip.dir/assignment.cpp.o.d"
+  "/root/repo/src/ip/bnb.cpp" "src/ip/CMakeFiles/svo_ip.dir/bnb.cpp.o" "gcc" "src/ip/CMakeFiles/svo_ip.dir/bnb.cpp.o.d"
+  "/root/repo/src/ip/dag.cpp" "src/ip/CMakeFiles/svo_ip.dir/dag.cpp.o" "gcc" "src/ip/CMakeFiles/svo_ip.dir/dag.cpp.o.d"
+  "/root/repo/src/ip/greedy.cpp" "src/ip/CMakeFiles/svo_ip.dir/greedy.cpp.o" "gcc" "src/ip/CMakeFiles/svo_ip.dir/greedy.cpp.o.d"
+  "/root/repo/src/ip/local_search.cpp" "src/ip/CMakeFiles/svo_ip.dir/local_search.cpp.o" "gcc" "src/ip/CMakeFiles/svo_ip.dir/local_search.cpp.o.d"
+  "/root/repo/src/ip/lp_bnb.cpp" "src/ip/CMakeFiles/svo_ip.dir/lp_bnb.cpp.o" "gcc" "src/ip/CMakeFiles/svo_ip.dir/lp_bnb.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lp/CMakeFiles/svo_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/svo_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/svo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svo_ip.dir/annealing.cpp.o"
+  "CMakeFiles/svo_ip.dir/annealing.cpp.o.d"
+  "CMakeFiles/svo_ip.dir/assignment.cpp.o"
+  "CMakeFiles/svo_ip.dir/assignment.cpp.o.d"
+  "CMakeFiles/svo_ip.dir/bnb.cpp.o"
+  "CMakeFiles/svo_ip.dir/bnb.cpp.o.d"
+  "CMakeFiles/svo_ip.dir/dag.cpp.o"
+  "CMakeFiles/svo_ip.dir/dag.cpp.o.d"
+  "CMakeFiles/svo_ip.dir/greedy.cpp.o"
+  "CMakeFiles/svo_ip.dir/greedy.cpp.o.d"
+  "CMakeFiles/svo_ip.dir/local_search.cpp.o"
+  "CMakeFiles/svo_ip.dir/local_search.cpp.o.d"
+  "CMakeFiles/svo_ip.dir/lp_bnb.cpp.o"
+  "CMakeFiles/svo_ip.dir/lp_bnb.cpp.o.d"
+  "libsvo_ip.a"
+  "libsvo_ip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svo_ip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

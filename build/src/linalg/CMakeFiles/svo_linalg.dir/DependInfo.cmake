@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/linalg/matrix.cpp" "src/linalg/CMakeFiles/svo_linalg.dir/matrix.cpp.o" "gcc" "src/linalg/CMakeFiles/svo_linalg.dir/matrix.cpp.o.d"
+  "/root/repo/src/linalg/power_method.cpp" "src/linalg/CMakeFiles/svo_linalg.dir/power_method.cpp.o" "gcc" "src/linalg/CMakeFiles/svo_linalg.dir/power_method.cpp.o.d"
+  "/root/repo/src/linalg/spectral.cpp" "src/linalg/CMakeFiles/svo_linalg.dir/spectral.cpp.o" "gcc" "src/linalg/CMakeFiles/svo_linalg.dir/spectral.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/svo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svo_linalg.dir/matrix.cpp.o"
+  "CMakeFiles/svo_linalg.dir/matrix.cpp.o.d"
+  "CMakeFiles/svo_linalg.dir/power_method.cpp.o"
+  "CMakeFiles/svo_linalg.dir/power_method.cpp.o.d"
+  "CMakeFiles/svo_linalg.dir/spectral.cpp.o"
+  "CMakeFiles/svo_linalg.dir/spectral.cpp.o.d"
+  "libsvo_linalg.a"
+  "libsvo_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svo_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svo_lp.dir/problem.cpp.o"
+  "CMakeFiles/svo_lp.dir/problem.cpp.o.d"
+  "CMakeFiles/svo_lp.dir/simplex.cpp.o"
+  "CMakeFiles/svo_lp.dir/simplex.cpp.o.d"
+  "libsvo_lp.a"
+  "libsvo_lp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svo_lp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svo_sim.dir/execution.cpp.o"
+  "CMakeFiles/svo_sim.dir/execution.cpp.o.d"
+  "CMakeFiles/svo_sim.dir/learning.cpp.o"
+  "CMakeFiles/svo_sim.dir/learning.cpp.o.d"
+  "CMakeFiles/svo_sim.dir/multi_program.cpp.o"
+  "CMakeFiles/svo_sim.dir/multi_program.cpp.o.d"
+  "CMakeFiles/svo_sim.dir/runner.cpp.o"
+  "CMakeFiles/svo_sim.dir/runner.cpp.o.d"
+  "CMakeFiles/svo_sim.dir/scenario.cpp.o"
+  "CMakeFiles/svo_sim.dir/scenario.cpp.o.d"
+  "libsvo_sim.a"
+  "libsvo_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svo_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/atlas_synth.cpp" "src/trace/CMakeFiles/svo_trace.dir/atlas_synth.cpp.o" "gcc" "src/trace/CMakeFiles/svo_trace.dir/atlas_synth.cpp.o.d"
+  "/root/repo/src/trace/lublin.cpp" "src/trace/CMakeFiles/svo_trace.dir/lublin.cpp.o" "gcc" "src/trace/CMakeFiles/svo_trace.dir/lublin.cpp.o.d"
+  "/root/repo/src/trace/programs.cpp" "src/trace/CMakeFiles/svo_trace.dir/programs.cpp.o" "gcc" "src/trace/CMakeFiles/svo_trace.dir/programs.cpp.o.d"
+  "/root/repo/src/trace/swf.cpp" "src/trace/CMakeFiles/svo_trace.dir/swf.cpp.o" "gcc" "src/trace/CMakeFiles/svo_trace.dir/swf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/svo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

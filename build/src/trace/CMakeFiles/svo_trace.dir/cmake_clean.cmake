@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svo_trace.dir/atlas_synth.cpp.o"
+  "CMakeFiles/svo_trace.dir/atlas_synth.cpp.o.d"
+  "CMakeFiles/svo_trace.dir/lublin.cpp.o"
+  "CMakeFiles/svo_trace.dir/lublin.cpp.o.d"
+  "CMakeFiles/svo_trace.dir/programs.cpp.o"
+  "CMakeFiles/svo_trace.dir/programs.cpp.o.d"
+  "CMakeFiles/svo_trace.dir/swf.cpp.o"
+  "CMakeFiles/svo_trace.dir/swf.cpp.o.d"
+  "libsvo_trace.a"
+  "libsvo_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svo_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trust/beta.cpp" "src/trust/CMakeFiles/svo_trust.dir/beta.cpp.o" "gcc" "src/trust/CMakeFiles/svo_trust.dir/beta.cpp.o.d"
+  "/root/repo/src/trust/decay.cpp" "src/trust/CMakeFiles/svo_trust.dir/decay.cpp.o" "gcc" "src/trust/CMakeFiles/svo_trust.dir/decay.cpp.o.d"
+  "/root/repo/src/trust/hierarchy.cpp" "src/trust/CMakeFiles/svo_trust.dir/hierarchy.cpp.o" "gcc" "src/trust/CMakeFiles/svo_trust.dir/hierarchy.cpp.o.d"
+  "/root/repo/src/trust/propagation.cpp" "src/trust/CMakeFiles/svo_trust.dir/propagation.cpp.o" "gcc" "src/trust/CMakeFiles/svo_trust.dir/propagation.cpp.o.d"
+  "/root/repo/src/trust/reputation.cpp" "src/trust/CMakeFiles/svo_trust.dir/reputation.cpp.o" "gcc" "src/trust/CMakeFiles/svo_trust.dir/reputation.cpp.o.d"
+  "/root/repo/src/trust/trust_graph.cpp" "src/trust/CMakeFiles/svo_trust.dir/trust_graph.cpp.o" "gcc" "src/trust/CMakeFiles/svo_trust.dir/trust_graph.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/svo_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/svo_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/svo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svo_trust.dir/beta.cpp.o"
+  "CMakeFiles/svo_trust.dir/beta.cpp.o.d"
+  "CMakeFiles/svo_trust.dir/decay.cpp.o"
+  "CMakeFiles/svo_trust.dir/decay.cpp.o.d"
+  "CMakeFiles/svo_trust.dir/hierarchy.cpp.o"
+  "CMakeFiles/svo_trust.dir/hierarchy.cpp.o.d"
+  "CMakeFiles/svo_trust.dir/propagation.cpp.o"
+  "CMakeFiles/svo_trust.dir/propagation.cpp.o.d"
+  "CMakeFiles/svo_trust.dir/reputation.cpp.o"
+  "CMakeFiles/svo_trust.dir/reputation.cpp.o.d"
+  "CMakeFiles/svo_trust.dir/trust_graph.cpp.o"
+  "CMakeFiles/svo_trust.dir/trust_graph.cpp.o.d"
+  "libsvo_trust.a"
+  "libsvo_trust.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svo_trust.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svo_util.dir/csv.cpp.o"
+  "CMakeFiles/svo_util.dir/csv.cpp.o.d"
+  "CMakeFiles/svo_util.dir/histogram.cpp.o"
+  "CMakeFiles/svo_util.dir/histogram.cpp.o.d"
+  "CMakeFiles/svo_util.dir/rng.cpp.o"
+  "CMakeFiles/svo_util.dir/rng.cpp.o.d"
+  "CMakeFiles/svo_util.dir/stats.cpp.o"
+  "CMakeFiles/svo_util.dir/stats.cpp.o.d"
+  "CMakeFiles/svo_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/svo_util.dir/thread_pool.cpp.o.d"
+  "libsvo_util.a"
+  "libsvo_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svo_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

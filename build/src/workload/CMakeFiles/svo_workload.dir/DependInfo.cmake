@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/braun.cpp" "src/workload/CMakeFiles/svo_workload.dir/braun.cpp.o" "gcc" "src/workload/CMakeFiles/svo_workload.dir/braun.cpp.o.d"
+  "/root/repo/src/workload/etc.cpp" "src/workload/CMakeFiles/svo_workload.dir/etc.cpp.o" "gcc" "src/workload/CMakeFiles/svo_workload.dir/etc.cpp.o.d"
+  "/root/repo/src/workload/instance_gen.cpp" "src/workload/CMakeFiles/svo_workload.dir/instance_gen.cpp.o" "gcc" "src/workload/CMakeFiles/svo_workload.dir/instance_gen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ip/CMakeFiles/svo_ip.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/svo_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/svo_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/svo_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/svo_lp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svo_workload.dir/braun.cpp.o"
+  "CMakeFiles/svo_workload.dir/braun.cpp.o.d"
+  "CMakeFiles/svo_workload.dir/etc.cpp.o"
+  "CMakeFiles/svo_workload.dir/etc.cpp.o.d"
+  "CMakeFiles/svo_workload.dir/instance_gen.cpp.o"
+  "CMakeFiles/svo_workload.dir/instance_gen.cpp.o.d"
+  "libsvo_workload.a"
+  "libsvo_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svo_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

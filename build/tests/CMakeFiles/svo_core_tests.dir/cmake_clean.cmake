@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svo_core_tests.dir/core/centrality_vof_test.cpp.o"
+  "CMakeFiles/svo_core_tests.dir/core/centrality_vof_test.cpp.o.d"
+  "CMakeFiles/svo_core_tests.dir/core/distributed_test.cpp.o"
+  "CMakeFiles/svo_core_tests.dir/core/distributed_test.cpp.o.d"
+  "CMakeFiles/svo_core_tests.dir/core/mechanism_test.cpp.o"
+  "CMakeFiles/svo_core_tests.dir/core/mechanism_test.cpp.o.d"
+  "CMakeFiles/svo_core_tests.dir/core/merge_split_test.cpp.o"
+  "CMakeFiles/svo_core_tests.dir/core/merge_split_test.cpp.o.d"
+  "CMakeFiles/svo_core_tests.dir/core/risk_aware_test.cpp.o"
+  "CMakeFiles/svo_core_tests.dir/core/risk_aware_test.cpp.o.d"
+  "CMakeFiles/svo_core_tests.dir/core/theorems_test.cpp.o"
+  "CMakeFiles/svo_core_tests.dir/core/theorems_test.cpp.o.d"
+  "svo_core_tests"
+  "svo_core_tests.pdb"
+  "svo_core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svo_core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

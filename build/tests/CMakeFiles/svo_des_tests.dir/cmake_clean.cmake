@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svo_des_tests.dir/des/event_queue_test.cpp.o"
+  "CMakeFiles/svo_des_tests.dir/des/event_queue_test.cpp.o.d"
+  "CMakeFiles/svo_des_tests.dir/des/network_test.cpp.o"
+  "CMakeFiles/svo_des_tests.dir/des/network_test.cpp.o.d"
+  "svo_des_tests"
+  "svo_des_tests.pdb"
+  "svo_des_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svo_des_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svo_game_tests.dir/game/coalition_test.cpp.o"
+  "CMakeFiles/svo_game_tests.dir/game/coalition_test.cpp.o.d"
+  "CMakeFiles/svo_game_tests.dir/game/core_solution_test.cpp.o"
+  "CMakeFiles/svo_game_tests.dir/game/core_solution_test.cpp.o.d"
+  "CMakeFiles/svo_game_tests.dir/game/pareto_test.cpp.o"
+  "CMakeFiles/svo_game_tests.dir/game/pareto_test.cpp.o.d"
+  "CMakeFiles/svo_game_tests.dir/game/payoff_test.cpp.o"
+  "CMakeFiles/svo_game_tests.dir/game/payoff_test.cpp.o.d"
+  "CMakeFiles/svo_game_tests.dir/game/sampling_test.cpp.o"
+  "CMakeFiles/svo_game_tests.dir/game/sampling_test.cpp.o.d"
+  "CMakeFiles/svo_game_tests.dir/game/stability_test.cpp.o"
+  "CMakeFiles/svo_game_tests.dir/game/stability_test.cpp.o.d"
+  "CMakeFiles/svo_game_tests.dir/game/structure_test.cpp.o"
+  "CMakeFiles/svo_game_tests.dir/game/structure_test.cpp.o.d"
+  "CMakeFiles/svo_game_tests.dir/game/value_function_test.cpp.o"
+  "CMakeFiles/svo_game_tests.dir/game/value_function_test.cpp.o.d"
+  "CMakeFiles/svo_game_tests.dir/game/vo_game_properties_test.cpp.o"
+  "CMakeFiles/svo_game_tests.dir/game/vo_game_properties_test.cpp.o.d"
+  "svo_game_tests"
+  "svo_game_tests.pdb"
+  "svo_game_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svo_game_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

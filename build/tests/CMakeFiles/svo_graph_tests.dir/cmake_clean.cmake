@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svo_graph_tests.dir/graph/centrality_test.cpp.o"
+  "CMakeFiles/svo_graph_tests.dir/graph/centrality_test.cpp.o.d"
+  "CMakeFiles/svo_graph_tests.dir/graph/digraph_test.cpp.o"
+  "CMakeFiles/svo_graph_tests.dir/graph/digraph_test.cpp.o.d"
+  "CMakeFiles/svo_graph_tests.dir/graph/generators_test.cpp.o"
+  "CMakeFiles/svo_graph_tests.dir/graph/generators_test.cpp.o.d"
+  "CMakeFiles/svo_graph_tests.dir/graph/scc_test.cpp.o"
+  "CMakeFiles/svo_graph_tests.dir/graph/scc_test.cpp.o.d"
+  "svo_graph_tests"
+  "svo_graph_tests.pdb"
+  "svo_graph_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svo_graph_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svo_integration_tests.dir/integration/full_stack_test.cpp.o"
+  "CMakeFiles/svo_integration_tests.dir/integration/full_stack_test.cpp.o.d"
+  "CMakeFiles/svo_integration_tests.dir/integration/umbrella_test.cpp.o"
+  "CMakeFiles/svo_integration_tests.dir/integration/umbrella_test.cpp.o.d"
+  "svo_integration_tests"
+  "svo_integration_tests.pdb"
+  "svo_integration_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svo_integration_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

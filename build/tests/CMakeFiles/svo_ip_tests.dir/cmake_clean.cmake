@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svo_ip_tests.dir/ip/annealing_test.cpp.o"
+  "CMakeFiles/svo_ip_tests.dir/ip/annealing_test.cpp.o.d"
+  "CMakeFiles/svo_ip_tests.dir/ip/assignment_test.cpp.o"
+  "CMakeFiles/svo_ip_tests.dir/ip/assignment_test.cpp.o.d"
+  "CMakeFiles/svo_ip_tests.dir/ip/bnb_no_coverage_test.cpp.o"
+  "CMakeFiles/svo_ip_tests.dir/ip/bnb_no_coverage_test.cpp.o.d"
+  "CMakeFiles/svo_ip_tests.dir/ip/bnb_test.cpp.o"
+  "CMakeFiles/svo_ip_tests.dir/ip/bnb_test.cpp.o.d"
+  "CMakeFiles/svo_ip_tests.dir/ip/dag_test.cpp.o"
+  "CMakeFiles/svo_ip_tests.dir/ip/dag_test.cpp.o.d"
+  "CMakeFiles/svo_ip_tests.dir/ip/greedy_test.cpp.o"
+  "CMakeFiles/svo_ip_tests.dir/ip/greedy_test.cpp.o.d"
+  "CMakeFiles/svo_ip_tests.dir/ip/local_search_test.cpp.o"
+  "CMakeFiles/svo_ip_tests.dir/ip/local_search_test.cpp.o.d"
+  "CMakeFiles/svo_ip_tests.dir/ip/lp_bnb_test.cpp.o"
+  "CMakeFiles/svo_ip_tests.dir/ip/lp_bnb_test.cpp.o.d"
+  "svo_ip_tests"
+  "svo_ip_tests.pdb"
+  "svo_ip_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svo_ip_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svo_linalg_tests.dir/linalg/matrix_test.cpp.o"
+  "CMakeFiles/svo_linalg_tests.dir/linalg/matrix_test.cpp.o.d"
+  "CMakeFiles/svo_linalg_tests.dir/linalg/power_method_test.cpp.o"
+  "CMakeFiles/svo_linalg_tests.dir/linalg/power_method_test.cpp.o.d"
+  "CMakeFiles/svo_linalg_tests.dir/linalg/spectral_test.cpp.o"
+  "CMakeFiles/svo_linalg_tests.dir/linalg/spectral_test.cpp.o.d"
+  "svo_linalg_tests"
+  "svo_linalg_tests.pdb"
+  "svo_linalg_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svo_linalg_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

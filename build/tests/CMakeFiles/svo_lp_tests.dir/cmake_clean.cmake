@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svo_lp_tests.dir/lp/simplex_edge_test.cpp.o"
+  "CMakeFiles/svo_lp_tests.dir/lp/simplex_edge_test.cpp.o.d"
+  "CMakeFiles/svo_lp_tests.dir/lp/simplex_test.cpp.o"
+  "CMakeFiles/svo_lp_tests.dir/lp/simplex_test.cpp.o.d"
+  "svo_lp_tests"
+  "svo_lp_tests.pdb"
+  "svo_lp_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svo_lp_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

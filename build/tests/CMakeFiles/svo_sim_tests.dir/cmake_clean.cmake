@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svo_sim_tests.dir/sim/execution_test.cpp.o"
+  "CMakeFiles/svo_sim_tests.dir/sim/execution_test.cpp.o.d"
+  "CMakeFiles/svo_sim_tests.dir/sim/learning_test.cpp.o"
+  "CMakeFiles/svo_sim_tests.dir/sim/learning_test.cpp.o.d"
+  "CMakeFiles/svo_sim_tests.dir/sim/multi_program_test.cpp.o"
+  "CMakeFiles/svo_sim_tests.dir/sim/multi_program_test.cpp.o.d"
+  "CMakeFiles/svo_sim_tests.dir/sim/runner_test.cpp.o"
+  "CMakeFiles/svo_sim_tests.dir/sim/runner_test.cpp.o.d"
+  "CMakeFiles/svo_sim_tests.dir/sim/scenario_test.cpp.o"
+  "CMakeFiles/svo_sim_tests.dir/sim/scenario_test.cpp.o.d"
+  "svo_sim_tests"
+  "svo_sim_tests.pdb"
+  "svo_sim_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svo_sim_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svo_trace_tests.dir/trace/atlas_synth_test.cpp.o"
+  "CMakeFiles/svo_trace_tests.dir/trace/atlas_synth_test.cpp.o.d"
+  "CMakeFiles/svo_trace_tests.dir/trace/fuzz_test.cpp.o"
+  "CMakeFiles/svo_trace_tests.dir/trace/fuzz_test.cpp.o.d"
+  "CMakeFiles/svo_trace_tests.dir/trace/lublin_test.cpp.o"
+  "CMakeFiles/svo_trace_tests.dir/trace/lublin_test.cpp.o.d"
+  "CMakeFiles/svo_trace_tests.dir/trace/programs_test.cpp.o"
+  "CMakeFiles/svo_trace_tests.dir/trace/programs_test.cpp.o.d"
+  "CMakeFiles/svo_trace_tests.dir/trace/swf_test.cpp.o"
+  "CMakeFiles/svo_trace_tests.dir/trace/swf_test.cpp.o.d"
+  "svo_trace_tests"
+  "svo_trace_tests.pdb"
+  "svo_trace_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svo_trace_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svo_trust_tests.dir/trust/beta_test.cpp.o"
+  "CMakeFiles/svo_trust_tests.dir/trust/beta_test.cpp.o.d"
+  "CMakeFiles/svo_trust_tests.dir/trust/decay_test.cpp.o"
+  "CMakeFiles/svo_trust_tests.dir/trust/decay_test.cpp.o.d"
+  "CMakeFiles/svo_trust_tests.dir/trust/hierarchy_test.cpp.o"
+  "CMakeFiles/svo_trust_tests.dir/trust/hierarchy_test.cpp.o.d"
+  "CMakeFiles/svo_trust_tests.dir/trust/propagation_test.cpp.o"
+  "CMakeFiles/svo_trust_tests.dir/trust/propagation_test.cpp.o.d"
+  "CMakeFiles/svo_trust_tests.dir/trust/reputation_test.cpp.o"
+  "CMakeFiles/svo_trust_tests.dir/trust/reputation_test.cpp.o.d"
+  "CMakeFiles/svo_trust_tests.dir/trust/trust_graph_test.cpp.o"
+  "CMakeFiles/svo_trust_tests.dir/trust/trust_graph_test.cpp.o.d"
+  "svo_trust_tests"
+  "svo_trust_tests.pdb"
+  "svo_trust_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svo_trust_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

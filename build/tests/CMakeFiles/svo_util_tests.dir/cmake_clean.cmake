@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svo_util_tests.dir/util/csv_test.cpp.o"
+  "CMakeFiles/svo_util_tests.dir/util/csv_test.cpp.o.d"
+  "CMakeFiles/svo_util_tests.dir/util/gamma_test.cpp.o"
+  "CMakeFiles/svo_util_tests.dir/util/gamma_test.cpp.o.d"
+  "CMakeFiles/svo_util_tests.dir/util/histogram_test.cpp.o"
+  "CMakeFiles/svo_util_tests.dir/util/histogram_test.cpp.o.d"
+  "CMakeFiles/svo_util_tests.dir/util/rng_test.cpp.o"
+  "CMakeFiles/svo_util_tests.dir/util/rng_test.cpp.o.d"
+  "CMakeFiles/svo_util_tests.dir/util/stats_test.cpp.o"
+  "CMakeFiles/svo_util_tests.dir/util/stats_test.cpp.o.d"
+  "CMakeFiles/svo_util_tests.dir/util/thread_pool_test.cpp.o"
+  "CMakeFiles/svo_util_tests.dir/util/thread_pool_test.cpp.o.d"
+  "svo_util_tests"
+  "svo_util_tests.pdb"
+  "svo_util_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svo_util_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svo_workload_tests.dir/workload/braun_test.cpp.o"
+  "CMakeFiles/svo_workload_tests.dir/workload/braun_test.cpp.o.d"
+  "CMakeFiles/svo_workload_tests.dir/workload/etc_test.cpp.o"
+  "CMakeFiles/svo_workload_tests.dir/workload/etc_test.cpp.o.d"
+  "CMakeFiles/svo_workload_tests.dir/workload/instance_gen_test.cpp.o"
+  "CMakeFiles/svo_workload_tests.dir/workload/instance_gen_test.cpp.o.d"
+  "svo_workload_tests"
+  "svo_workload_tests.pdb"
+  "svo_workload_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svo_workload_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

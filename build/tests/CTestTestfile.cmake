@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/svo_util_tests[1]_include.cmake")
+include("/root/repo/build/tests/svo_linalg_tests[1]_include.cmake")
+include("/root/repo/build/tests/svo_graph_tests[1]_include.cmake")
+include("/root/repo/build/tests/svo_lp_tests[1]_include.cmake")
+include("/root/repo/build/tests/svo_des_tests[1]_include.cmake")
+include("/root/repo/build/tests/svo_ip_tests[1]_include.cmake")
+include("/root/repo/build/tests/svo_trace_tests[1]_include.cmake")
+include("/root/repo/build/tests/svo_workload_tests[1]_include.cmake")
+include("/root/repo/build/tests/svo_trust_tests[1]_include.cmake")
+include("/root/repo/build/tests/svo_game_tests[1]_include.cmake")
+include("/root/repo/build/tests/svo_core_tests[1]_include.cmake")
+include("/root/repo/build/tests/svo_integration_tests[1]_include.cmake")
+include("/root/repo/build/tests/svo_sim_tests[1]_include.cmake")
