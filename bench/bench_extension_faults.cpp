@@ -1,0 +1,143 @@
+/// \file bench_extension_faults.cpp
+/// Extension: the fault-tolerant trusted-party protocol under stress — a
+/// drop-rate x crash-rate sweep of one VO formation plus execution with
+/// mid-run VO repair. Reports the recovery counters (retries, timeouts,
+/// protocol repair rounds, observed drops, degraded/failed formations)
+/// and the *realized* value of TVOF vs RVOF when the population's hidden
+/// reliability correlates with trust: under faults TVOF keeps selecting
+/// members that both answer and deliver, while RVOF gambles.
+#include <vector>
+
+#include "bench/common.hpp"
+#include "core/distributed_tvof.hpp"
+#include "core/rvof.hpp"
+#include "core/tvof.hpp"
+#include "ip/bnb.hpp"
+#include "sim/execution.hpp"
+#include "tests/ip/test_instances.hpp"
+
+namespace {
+
+using namespace svo;
+
+/// Trust graph whose direct-trust tracks the hidden thetas (plus noise):
+/// the regime in which reputation carries real information about who
+/// will deliver, i.e. the premise of the paper's TVOF.
+trust::TrustGraph trust_from_reliability(const sim::ReliabilityModel& model,
+                                         util::Xoshiro256& rng) {
+  const std::size_t m = model.size();
+  trust::TrustGraph trust(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < m; ++j) {
+      if (i == j || rng.uniform() > 0.6) continue;
+      const double noisy =
+          0.15 + 0.7 * model.theta(j) + 0.15 * rng.uniform();
+      trust.set_trust(i, j, std::min(1.0, std::max(0.0, noisy)));
+    }
+  }
+  return trust;
+}
+
+struct CellStats {
+  util::RunningStats tvof_value, rvof_value;
+  util::RunningStats retries, timeouts, drops, protocol_repairs;
+  std::size_t degraded = 0;
+  std::size_t failed = 0;
+};
+
+}  // namespace
+
+int main() {
+  bench::banner("Extension",
+                "fault-tolerant protocol: drop x crash sweep, TVOF vs RVOF");
+
+  constexpr std::size_t kGsps = 10;
+  constexpr std::size_t kTasks = 48;
+  constexpr std::size_t kReps = 4;
+  const std::vector<double> drop_rates = {0.0, 0.05, 0.15};
+  const std::vector<double> crash_rates = {0.0, 0.10, 0.25};
+
+  const ip::BnbAssignmentSolver solver;
+  const core::TvofMechanism tvof(solver);
+  const core::RvofMechanism rvof(solver);
+
+  util::Table table({"drop p", "crash p", "TVOF value", "RVOF value",
+                     "retries", "timeouts", "drops", "repairs", "degraded",
+                     "failed"});
+  table.set_precision(2);
+  for (const double drop : drop_rates) {
+    for (const double crash : crash_rates) {
+      CellStats cell;
+      for (std::size_t rep = 0; rep < kReps; ++rep) {
+        util::Xoshiro256 gen(9000 + rep);
+        const ip::AssignmentInstance inst =
+            ip::testing::random_instance(kGsps, kTasks, gen);
+        util::Xoshiro256 pop(500 + rep);
+        const sim::ReliabilityModel model =
+            sim::ReliabilityModel::bimodal(kGsps, 0.6, 0.85, 0.3, pop);
+        const trust::TrustGraph trust = trust_from_reliability(model, pop);
+
+        core::ProtocolOptions proto;
+        proto.latency.base_seconds = 0.025;       // WAN round-half: 25 ms
+        proto.latency.bytes_per_second = 1.25e7;  // 100 Mbit/s links
+        proto.latency.jitter = 0.2;
+        proto.report_timeout_seconds = 0.25;
+        proto.award_timeout_seconds = 0.15;
+        proto.faults.drop_probability = drop;
+        proto.faults.straggler_probability = 0.05;
+        proto.faults.straggler_multiplier = 4.0;
+        proto.faults.seed = 0xFA117 + rep;
+        // Permanent provider crashes at a uniform time inside the
+        // protocol's working window (the paper's defaulting GSP). The
+        // horizon matches the protocol's actual span (~0.2 s under this
+        // latency model) so crashes land mid-formation, not after it.
+        proto.faults.crashes = core::gsp_crash_schedule(
+            des::random_crash_windows(kGsps, crash, 0.2, 0.0, 77 + rep));
+
+        const auto realized = [&](const core::VoFormationMechanism& mech,
+                                  std::uint64_t seed) {
+          util::Xoshiro256 rng(seed);
+          const core::DistributedRunResult r =
+              core::run_distributed(mech, inst, trust, rng, proto);
+          double value = 0.0;
+          if (r.mechanism.success) {
+            util::Xoshiro256 exec_rng(seed ^ 0xE0E0);
+            value = sim::execute_with_repair(mech, inst, trust, r.mechanism,
+                                             model, exec_rng)
+                        .total_realized_value;
+          }
+          return std::make_pair(r, value);
+        };
+        const auto [rt, vt] = realized(tvof, 11 + rep);
+        const auto [rr, vr] = realized(rvof, 11 + rep);
+        cell.tvof_value.add(vt);
+        cell.rvof_value.add(vr);
+        cell.retries.add(static_cast<double>(rt.protocol.retries));
+        cell.timeouts.add(static_cast<double>(rt.protocol.timeouts_fired));
+        cell.drops.add(static_cast<double>(rt.protocol.drops_observed));
+        cell.protocol_repairs.add(
+            static_cast<double>(rt.protocol.repair_rounds));
+        cell.degraded += rt.protocol.degraded_quorum ? 1 : 0;
+        cell.failed += rt.protocol.formation_failed ? 1 : 0;
+      }
+      table.add_row({drop, crash, cell.tvof_value.mean(),
+                     cell.rvof_value.mean(), cell.retries.mean(),
+                     cell.timeouts.mean(), cell.drops.mean(),
+                     cell.protocol_repairs.mean(),
+                     static_cast<long long>(cell.degraded),
+                     static_cast<long long>(cell.failed)});
+    }
+  }
+  bench::emit(table, "extension_faults.csv");
+  std::printf(
+      "\ninterpretation: counters are TVOF-side means over %zu reps "
+      "(degraded/failed are counts out of %zu). With faults off every "
+      "counter is zero and values match the lossless protocol; as drops "
+      "and crashes grow, timeouts and CFP re-sends absorb the loss, "
+      "quorum degradation and VO repair keep formations alive, and "
+      "TVOF's realized value degrades more gracefully than RVOF's "
+      "because trust-guided selection avoids the members most likely to "
+      "default mid-execution.\n",
+      kReps, kReps);
+  return 0;
+}

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_extension_faults.cpp" "bench/CMakeFiles/bench_extension_faults.dir/bench_extension_faults.cpp.o" "gcc" "bench/CMakeFiles/bench_extension_faults.dir/bench_extension_faults.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/svo_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/svo_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/game/CMakeFiles/svo_game.dir/DependInfo.cmake"
+  "/root/repo/build/src/trust/CMakeFiles/svo_trust.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/svo_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/svo_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/ip/CMakeFiles/svo_ip.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/svo_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/svo_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/svo_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/svo_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/des/CMakeFiles/svo_des.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_extension_faults.dir/bench_extension_faults.cpp.o"
+  "CMakeFiles/bench_extension_faults.dir/bench_extension_faults.cpp.o.d"
+  "bench_extension_faults"
+  "bench_extension_faults.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extension_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -174,7 +174,7 @@ bench/CMakeFiles/bench_extension_protocol.dir/bench_extension_protocol.cpp.o: \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/stl_tempbuf.h \
  /usr/include/c++/12/bits/uniform_int_dist.h \
- /root/repo/src/sim/scenario.hpp /root/repo/src/sim/config.hpp \
+ /root/repo/src/core/distributed_tvof.hpp \
  /root/repo/src/core/mechanism.hpp /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
@@ -220,16 +220,17 @@ bench/CMakeFiles/bench_extension_protocol.dir/bench_extension_protocol.cpp.o: \
  /root/repo/src/linalg/power_method.hpp \
  /root/repo/src/trust/trust_graph.hpp /root/repo/src/graph/digraph.hpp \
  /usr/include/c++/12/optional /root/repo/src/util/rng.hpp \
- /root/repo/src/ip/bnb.hpp /root/repo/src/ip/local_search.hpp \
- /root/repo/src/trace/atlas_synth.hpp /root/repo/src/trace/swf.hpp \
- /root/repo/src/trace/lublin.hpp /root/repo/src/workload/instance_gen.hpp \
+ /root/repo/src/des/fault.hpp /usr/include/c++/12/limits \
+ /root/repo/src/des/network.hpp /root/repo/src/des/event_queue.hpp \
+ /usr/include/c++/12/queue /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/bits/stl_queue.h /root/repo/src/sim/scenario.hpp \
+ /root/repo/src/sim/config.hpp /root/repo/src/ip/bnb.hpp \
+ /root/repo/src/ip/local_search.hpp /root/repo/src/trace/atlas_synth.hpp \
+ /root/repo/src/trace/swf.hpp /root/repo/src/trace/lublin.hpp \
+ /root/repo/src/workload/instance_gen.hpp \
  /root/repo/src/trace/programs.hpp /root/repo/src/workload/braun.hpp \
  /root/repo/src/workload/params.hpp /root/repo/src/util/stats.hpp \
  /root/repo/src/util/csv.hpp /usr/include/c++/12/variant \
- /usr/include/c++/12/bits/parse_numbers.h \
- /root/repo/src/core/distributed_tvof.hpp /root/repo/src/des/network.hpp \
- /root/repo/src/des/event_queue.hpp /usr/include/c++/12/limits \
- /usr/include/c++/12/queue /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/bits/stl_queue.h /root/repo/src/core/tvof.hpp \
+ /usr/include/c++/12/bits/parse_numbers.h /root/repo/src/core/tvof.hpp \
  /root/repo/tests/ip/test_instances.hpp

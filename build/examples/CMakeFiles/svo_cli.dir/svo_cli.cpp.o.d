@@ -155,7 +155,8 @@ examples/CMakeFiles/svo_cli.dir/svo_cli.cpp.o: \
  /usr/include/c++/12/bits/locale_facets.tcc \
  /usr/include/c++/12/bits/basic_ios.tcc \
  /usr/include/c++/12/bits/ostream.tcc /usr/include/c++/12/istream \
- /usr/include/c++/12/bits/istream.tcc /root/repo/src/core/rvof.hpp \
+ /usr/include/c++/12/bits/istream.tcc \
+ /root/repo/src/core/distributed_tvof.hpp \
  /root/repo/src/core/mechanism.hpp /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_uninitialized.h \
  /usr/include/c++/12/bits/stl_tempbuf.h \
@@ -214,18 +215,23 @@ examples/CMakeFiles/svo_cli.dir/svo_cli.cpp.o: \
  /root/repo/src/linalg/power_method.hpp \
  /root/repo/src/trust/trust_graph.hpp /root/repo/src/graph/digraph.hpp \
  /usr/include/c++/12/optional /root/repo/src/util/rng.hpp \
- /root/repo/src/core/tvof.hpp /root/repo/src/ip/bnb.hpp \
- /root/repo/src/ip/local_search.hpp /root/repo/src/sim/learning.hpp \
- /root/repo/src/sim/execution.hpp \
- /root/repo/src/workload/instance_gen.hpp \
- /root/repo/src/trace/programs.hpp /root/repo/src/trace/swf.hpp \
- /root/repo/src/workload/braun.hpp /root/repo/src/workload/params.hpp \
- /root/repo/src/sim/multi_program.hpp /root/repo/src/sim/runner.hpp \
- /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /root/repo/src/des/fault.hpp /usr/include/c++/12/limits \
+ /root/repo/src/des/network.hpp /usr/include/c++/12/functional \
+ /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h \
+ /root/repo/src/des/event_queue.hpp /usr/include/c++/12/queue \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
+ /root/repo/src/core/rvof.hpp /root/repo/src/core/tvof.hpp \
+ /root/repo/src/ip/bnb.hpp /root/repo/src/ip/local_search.hpp \
+ /root/repo/src/sim/learning.hpp /root/repo/src/sim/execution.hpp \
+ /root/repo/src/workload/instance_gen.hpp \
+ /root/repo/src/trace/programs.hpp /root/repo/src/trace/swf.hpp \
+ /root/repo/src/workload/braun.hpp /root/repo/src/workload/params.hpp \
+ /root/repo/src/sim/multi_program.hpp /root/repo/src/sim/runner.hpp \
  /root/repo/src/sim/scenario.hpp /root/repo/src/sim/config.hpp \
  /root/repo/src/trace/atlas_synth.hpp /root/repo/src/trace/lublin.hpp \
  /root/repo/src/util/stats.hpp /root/repo/src/util/csv.hpp \

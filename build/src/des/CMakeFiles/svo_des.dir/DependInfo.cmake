@@ -9,6 +9,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/des/event_queue.cpp" "src/des/CMakeFiles/svo_des.dir/event_queue.cpp.o" "gcc" "src/des/CMakeFiles/svo_des.dir/event_queue.cpp.o.d"
+  "/root/repo/src/des/fault.cpp" "src/des/CMakeFiles/svo_des.dir/fault.cpp.o" "gcc" "src/des/CMakeFiles/svo_des.dir/fault.cpp.o.d"
   "/root/repo/src/des/network.cpp" "src/des/CMakeFiles/svo_des.dir/network.cpp.o" "gcc" "src/des/CMakeFiles/svo_des.dir/network.cpp.o.d"
   )
 

@@ -1,6 +1,8 @@
 file(REMOVE_RECURSE
   "CMakeFiles/svo_des.dir/event_queue.cpp.o"
   "CMakeFiles/svo_des.dir/event_queue.cpp.o.d"
+  "CMakeFiles/svo_des.dir/fault.cpp.o"
+  "CMakeFiles/svo_des.dir/fault.cpp.o.d"
   "CMakeFiles/svo_des.dir/network.cpp.o"
   "CMakeFiles/svo_des.dir/network.cpp.o.d"
   "libsvo_des.a"

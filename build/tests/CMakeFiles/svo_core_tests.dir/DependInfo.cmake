@@ -9,6 +9,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/core/centrality_vof_test.cpp" "tests/CMakeFiles/svo_core_tests.dir/core/centrality_vof_test.cpp.o" "gcc" "tests/CMakeFiles/svo_core_tests.dir/core/centrality_vof_test.cpp.o.d"
+  "/root/repo/tests/core/distributed_fault_test.cpp" "tests/CMakeFiles/svo_core_tests.dir/core/distributed_fault_test.cpp.o" "gcc" "tests/CMakeFiles/svo_core_tests.dir/core/distributed_fault_test.cpp.o.d"
   "/root/repo/tests/core/distributed_test.cpp" "tests/CMakeFiles/svo_core_tests.dir/core/distributed_test.cpp.o" "gcc" "tests/CMakeFiles/svo_core_tests.dir/core/distributed_test.cpp.o.d"
   "/root/repo/tests/core/mechanism_test.cpp" "tests/CMakeFiles/svo_core_tests.dir/core/mechanism_test.cpp.o" "gcc" "tests/CMakeFiles/svo_core_tests.dir/core/mechanism_test.cpp.o.d"
   "/root/repo/tests/core/merge_split_test.cpp" "tests/CMakeFiles/svo_core_tests.dir/core/merge_split_test.cpp.o" "gcc" "tests/CMakeFiles/svo_core_tests.dir/core/merge_split_test.cpp.o.d"

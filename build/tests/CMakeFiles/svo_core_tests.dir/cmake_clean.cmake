@@ -1,6 +1,8 @@
 file(REMOVE_RECURSE
   "CMakeFiles/svo_core_tests.dir/core/centrality_vof_test.cpp.o"
   "CMakeFiles/svo_core_tests.dir/core/centrality_vof_test.cpp.o.d"
+  "CMakeFiles/svo_core_tests.dir/core/distributed_fault_test.cpp.o"
+  "CMakeFiles/svo_core_tests.dir/core/distributed_fault_test.cpp.o.d"
   "CMakeFiles/svo_core_tests.dir/core/distributed_test.cpp.o"
   "CMakeFiles/svo_core_tests.dir/core/distributed_test.cpp.o.d"
   "CMakeFiles/svo_core_tests.dir/core/mechanism_test.cpp.o"

@@ -212,16 +212,16 @@ tests/CMakeFiles/svo_core_tests.dir/core/distributed_test.cpp.o: \
  /root/repo/src/linalg/power_method.hpp \
  /root/repo/src/trust/trust_graph.hpp /root/repo/src/graph/digraph.hpp \
  /usr/include/c++/12/optional /root/repo/src/util/rng.hpp \
+ /root/repo/src/des/fault.hpp /usr/include/c++/12/limits \
  /root/repo/src/des/network.hpp /usr/include/c++/12/functional \
  /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h \
- /root/repo/src/des/event_queue.hpp /usr/include/c++/12/limits \
- /usr/include/c++/12/queue /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/bits/stl_queue.h \
+ /root/repo/src/des/event_queue.hpp /usr/include/c++/12/queue \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
  /root/miniconda/include/gtest/gtest.h \
  /root/miniconda/include/gtest/internal/gtest-internal.h \
  /root/miniconda/include/gtest/internal/gtest-port.h \

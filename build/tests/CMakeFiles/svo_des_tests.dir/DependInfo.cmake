@@ -9,6 +9,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/des/event_queue_test.cpp" "tests/CMakeFiles/svo_des_tests.dir/des/event_queue_test.cpp.o" "gcc" "tests/CMakeFiles/svo_des_tests.dir/des/event_queue_test.cpp.o.d"
+  "/root/repo/tests/des/fault_test.cpp" "tests/CMakeFiles/svo_des_tests.dir/des/fault_test.cpp.o" "gcc" "tests/CMakeFiles/svo_des_tests.dir/des/fault_test.cpp.o.d"
   "/root/repo/tests/des/network_test.cpp" "tests/CMakeFiles/svo_des_tests.dir/des/network_test.cpp.o" "gcc" "tests/CMakeFiles/svo_des_tests.dir/des/network_test.cpp.o.d"
   )
 

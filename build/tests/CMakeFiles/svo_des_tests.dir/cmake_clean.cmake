@@ -1,6 +1,8 @@
 file(REMOVE_RECURSE
   "CMakeFiles/svo_des_tests.dir/des/event_queue_test.cpp.o"
   "CMakeFiles/svo_des_tests.dir/des/event_queue_test.cpp.o.d"
+  "CMakeFiles/svo_des_tests.dir/des/fault_test.cpp.o"
+  "CMakeFiles/svo_des_tests.dir/des/fault_test.cpp.o.d"
   "CMakeFiles/svo_des_tests.dir/des/network_test.cpp.o"
   "CMakeFiles/svo_des_tests.dir/des/network_test.cpp.o.d"
   "svo_des_tests"

@@ -143,9 +143,9 @@ tests/CMakeFiles/svo_des_tests.dir/des/network_test.cpp.o: \
  /usr/include/c++/12/stdexcept /usr/include/c++/12/exception \
  /usr/include/c++/12/bits/exception_ptr.h \
  /usr/include/c++/12/bits/cxxabi_init_exception.h \
- /usr/include/c++/12/bits/nested_exception.h /root/repo/src/util/rng.hpp \
- /root/miniconda/include/gtest/gtest.h /usr/include/c++/12/cstddef \
- /usr/include/c++/12/memory \
+ /usr/include/c++/12/bits/nested_exception.h /root/repo/src/des/fault.hpp \
+ /root/repo/src/util/rng.hpp /root/miniconda/include/gtest/gtest.h \
+ /usr/include/c++/12/cstddef /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
  /usr/include/c++/12/bits/unique_ptr.h /usr/include/c++/12/ostream \

@@ -305,9 +305,13 @@ tests/CMakeFiles/svo_integration_tests.dir/integration/full_stack_test.cpp.o: \
  /root/repo/src/core/tvof.hpp /root/repo/src/game/payoff.hpp \
  /root/repo/src/ip/bnb.hpp /root/repo/src/ip/local_search.hpp \
  /root/repo/src/ip/dag.hpp /root/repo/src/ip/greedy.hpp \
- /root/repo/src/sim/runner.hpp /root/repo/src/sim/scenario.hpp \
- /root/repo/src/sim/config.hpp /root/repo/src/trace/atlas_synth.hpp \
- /root/repo/src/trace/swf.hpp /root/repo/src/trace/lublin.hpp \
- /root/repo/src/workload/instance_gen.hpp \
+ /root/repo/src/sim/runner.hpp /root/repo/src/core/distributed_tvof.hpp \
+ /root/repo/src/des/fault.hpp /root/repo/src/des/network.hpp \
+ /root/repo/src/des/event_queue.hpp /usr/include/c++/12/queue \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
+ /root/repo/src/sim/scenario.hpp /root/repo/src/sim/config.hpp \
+ /root/repo/src/trace/atlas_synth.hpp /root/repo/src/trace/swf.hpp \
+ /root/repo/src/trace/lublin.hpp /root/repo/src/workload/instance_gen.hpp \
  /root/repo/src/trace/programs.hpp /root/repo/src/workload/braun.hpp \
  /root/repo/src/workload/params.hpp /root/repo/src/util/stats.hpp

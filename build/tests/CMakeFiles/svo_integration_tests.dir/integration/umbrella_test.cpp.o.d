@@ -226,7 +226,8 @@ tests/CMakeFiles/svo_integration_tests.dir/integration/umbrella_test.cpp.o: \
  /root/repo/src/graph/generators.hpp /root/repo/src/graph/scc.hpp \
  /root/repo/src/lp/problem.hpp /root/repo/src/lp/simplex.hpp \
  /root/repo/src/des/event_queue.hpp /root/repo/src/des/network.hpp \
- /root/repo/src/ip/assignment.hpp /usr/include/c++/12/memory \
+ /root/repo/src/des/fault.hpp /root/repo/src/ip/assignment.hpp \
+ /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/shared_ptr_atomic.h \
  /usr/include/c++/12/backward/auto_ptr.h \

@@ -11,6 +11,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/sim/execution_test.cpp" "tests/CMakeFiles/svo_sim_tests.dir/sim/execution_test.cpp.o" "gcc" "tests/CMakeFiles/svo_sim_tests.dir/sim/execution_test.cpp.o.d"
   "/root/repo/tests/sim/learning_test.cpp" "tests/CMakeFiles/svo_sim_tests.dir/sim/learning_test.cpp.o" "gcc" "tests/CMakeFiles/svo_sim_tests.dir/sim/learning_test.cpp.o.d"
   "/root/repo/tests/sim/multi_program_test.cpp" "tests/CMakeFiles/svo_sim_tests.dir/sim/multi_program_test.cpp.o" "gcc" "tests/CMakeFiles/svo_sim_tests.dir/sim/multi_program_test.cpp.o.d"
+  "/root/repo/tests/sim/repair_test.cpp" "tests/CMakeFiles/svo_sim_tests.dir/sim/repair_test.cpp.o" "gcc" "tests/CMakeFiles/svo_sim_tests.dir/sim/repair_test.cpp.o.d"
   "/root/repo/tests/sim/runner_test.cpp" "tests/CMakeFiles/svo_sim_tests.dir/sim/runner_test.cpp.o" "gcc" "tests/CMakeFiles/svo_sim_tests.dir/sim/runner_test.cpp.o.d"
   "/root/repo/tests/sim/scenario_test.cpp" "tests/CMakeFiles/svo_sim_tests.dir/sim/scenario_test.cpp.o" "gcc" "tests/CMakeFiles/svo_sim_tests.dir/sim/scenario_test.cpp.o.d"
   )

@@ -5,6 +5,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/svo_sim_tests.dir/sim/learning_test.cpp.o.d"
   "CMakeFiles/svo_sim_tests.dir/sim/multi_program_test.cpp.o"
   "CMakeFiles/svo_sim_tests.dir/sim/multi_program_test.cpp.o.d"
+  "CMakeFiles/svo_sim_tests.dir/sim/repair_test.cpp.o"
+  "CMakeFiles/svo_sim_tests.dir/sim/repair_test.cpp.o.d"
   "CMakeFiles/svo_sim_tests.dir/sim/runner_test.cpp.o"
   "CMakeFiles/svo_sim_tests.dir/sim/runner_test.cpp.o.d"
   "CMakeFiles/svo_sim_tests.dir/sim/scenario_test.cpp.o"

@@ -99,14 +99,14 @@ tests/CMakeFiles/svo_sim_tests.dir/sim/runner_test.cpp.o: \
  /usr/include/x86_64-linux-gnu/bits/struct_rwlock.h /usr/include/alloca.h \
  /usr/include/x86_64-linux-gnu/bits/stdlib-bsearch.h \
  /usr/include/x86_64-linux-gnu/bits/stdlib-float.h \
- /usr/include/c++/12/bits/std_abs.h /root/repo/src/sim/scenario.hpp \
- /root/repo/src/sim/config.hpp /usr/include/c++/12/cstdint \
- /usr/lib/gcc/x86_64-linux-gnu/12/include/stdint.h /usr/include/stdint.h \
- /usr/include/x86_64-linux-gnu/bits/wchar.h \
- /usr/include/x86_64-linux-gnu/bits/stdint-uintn.h \
+ /usr/include/c++/12/bits/std_abs.h \
+ /root/repo/src/core/distributed_tvof.hpp \
  /root/repo/src/core/mechanism.hpp /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/stdint.h /usr/include/stdint.h \
+ /usr/include/x86_64-linux-gnu/bits/wchar.h \
+ /usr/include/x86_64-linux-gnu/bits/stdint-uintn.h \
  /usr/include/c++/12/bits/unique_ptr.h /usr/include/c++/12/ostream \
  /usr/include/c++/12/ios /usr/include/c++/12/iosfwd \
  /usr/include/c++/12/bits/stringfwd.h /usr/include/c++/12/bits/postypes.h \
@@ -120,7 +120,7 @@ tests/CMakeFiles/svo_sim_tests.dir/sim/runner_test.cpp.o: \
  /usr/include/c++/12/exception /usr/include/c++/12/bits/exception_ptr.h \
  /usr/include/c++/12/bits/cxxabi_init_exception.h \
  /usr/include/c++/12/bits/nested_exception.h \
- /usr/include/c++/12/bits/char_traits.h \
+ /usr/include/c++/12/bits/char_traits.h /usr/include/c++/12/cstdint \
  /usr/include/c++/12/bits/localefwd.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/c++locale.h \
  /usr/include/c++/12/clocale /usr/include/locale.h \
@@ -217,12 +217,18 @@ tests/CMakeFiles/svo_sim_tests.dir/sim/runner_test.cpp.o: \
  /root/repo/src/linalg/power_method.hpp \
  /root/repo/src/trust/trust_graph.hpp /root/repo/src/graph/digraph.hpp \
  /usr/include/c++/12/optional /root/repo/src/util/rng.hpp \
- /root/repo/src/ip/bnb.hpp /root/repo/src/ip/local_search.hpp \
- /root/repo/src/trace/atlas_synth.hpp /root/repo/src/trace/swf.hpp \
- /root/repo/src/trace/lublin.hpp /root/repo/src/workload/instance_gen.hpp \
+ /root/repo/src/des/fault.hpp /usr/include/c++/12/limits \
+ /root/repo/src/des/network.hpp /root/repo/src/des/event_queue.hpp \
+ /usr/include/c++/12/queue /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/bits/stl_queue.h /root/repo/src/sim/scenario.hpp \
+ /root/repo/src/sim/config.hpp /root/repo/src/ip/bnb.hpp \
+ /root/repo/src/ip/local_search.hpp /root/repo/src/trace/atlas_synth.hpp \
+ /root/repo/src/trace/swf.hpp /root/repo/src/trace/lublin.hpp \
+ /root/repo/src/workload/instance_gen.hpp \
  /root/repo/src/trace/programs.hpp /root/repo/src/workload/braun.hpp \
  /root/repo/src/workload/params.hpp /root/repo/src/util/stats.hpp \
- /root/miniconda/include/gtest/gtest.h /usr/include/c++/12/limits \
+ /root/miniconda/include/gtest/gtest.h \
  /root/miniconda/include/gtest/internal/gtest-internal.h \
  /root/miniconda/include/gtest/internal/gtest-port.h \
  /usr/include/c++/12/stdlib.h /usr/include/string.h \

@@ -1,32 +1,376 @@
 #include "core/distributed_tvof.hpp"
 
+#include <cmath>
+#include <optional>
+
 namespace svo::core {
+
+void ProtocolOptions::validate() const {
+  latency.validate();
+  detail::require(std::isfinite(gsp_processing_seconds) &&
+                      gsp_processing_seconds >= 0.0,
+                  "ProtocolOptions: gsp_processing_seconds must be finite "
+                  "and >= 0");
+  detail::require(std::isfinite(report_timeout_seconds) &&
+                      report_timeout_seconds >= 0.0,
+                  "ProtocolOptions: report_timeout_seconds must be finite "
+                  "and >= 0");
+  detail::require(std::isfinite(award_timeout_seconds) &&
+                      award_timeout_seconds >= 0.0,
+                  "ProtocolOptions: award_timeout_seconds must be finite "
+                  "and >= 0");
+  detail::require(std::isfinite(backoff_multiplier) &&
+                      backoff_multiplier >= 1.0,
+                  "ProtocolOptions: backoff_multiplier must be >= 1");
+  detail::require(std::isfinite(quorum_fraction) && quorum_fraction > 0.0 &&
+                      quorum_fraction <= 1.0,
+                  "ProtocolOptions: quorum_fraction must be in (0, 1]");
+  faults.validate();
+  detail::require(!faults.enabled() || (report_timeout_seconds > 0.0 &&
+                                        award_timeout_seconds > 0.0),
+                  "ProtocolOptions: faults require nonzero phase timeouts "
+                  "(a lossy network would hang the trusted party)");
+}
+
+std::vector<des::CrashWindow> gsp_crash_schedule(
+    std::vector<des::CrashWindow> gsp_windows) {
+  for (des::CrashWindow& w : gsp_windows) ++w.node;
+  return gsp_windows;
+}
+
+namespace {
+
+constexpr std::size_t kTrustedParty = 0;
+
+std::size_t gsp_node(std::size_t g) { return g + 1; }
+
+/// Fault-tolerant trusted-party state machine. Phases:
+///
+///   Collecting -> Deciding -> Awarding -> Done
+///                    ^            |
+///                    +-- repair --+   (member failed to acknowledge)
+///
+/// Every timer captures the epoch at arming time; any phase transition
+/// bumps the epoch, so stale timers fire as no-ops. Timers never draw
+/// randomness, which keeps the fault-free run bit-identical to the
+/// lossless protocol.
+class TrustedParty {
+ public:
+  TrustedParty(const VoFormationMechanism& mechanism,
+               const ip::AssignmentInstance& inst,
+               const trust::TrustGraph& trust, util::Xoshiro256& rng,
+               const ProtocolOptions& opt, des::Simulator& sim,
+               des::Network& net, DistributedRunResult& result)
+      : mechanism_(mechanism),
+        inst_(inst),
+        trust_(trust),
+        rng_(rng),
+        opt_(opt),
+        sim_(sim),
+        net_(net),
+        result_(result),
+        m_(inst.num_gsps()),
+        reported_(m_, 0),
+        acked_(m_, 0) {
+    const double q = opt_.quorum_fraction * static_cast<double>(m_);
+    quorum_ = std::max<std::size_t>(1, static_cast<std::size_t>(std::ceil(q)));
+  }
+
+  void start() {
+    for (std::size_t g = 0; g < m_; ++g) send_cfp(g);
+    arm_report_timer();
+  }
+
+  void on_message(const des::Message& msg) {
+    note_event();
+    if (msg.type == "REPORT") {
+      on_report(msg.from - 1);
+    } else if (msg.type == "ACK") {
+      on_ack(msg.from - 1);
+    }
+  }
+
+  /// Record that simulated time advanced through a protocol event (used
+  /// for the completion fallback when no award round finishes).
+  void note_event() { last_event_ = sim_.now(); }
+  [[nodiscard]] double last_event() const noexcept { return last_event_; }
+
+  /// True once the protocol reached a terminal outcome (a mechanism
+  /// decision, or an explicit formation failure).
+  [[nodiscard]] bool decided() const noexcept {
+    return mechanism_ran_ || result_.protocol.formation_failed;
+  }
+
+ private:
+  enum class Phase { Collecting, Deciding, Awarding, Done };
+
+  // --- wire helpers -----------------------------------------------------
+
+  void send_cfp(std::size_t g) {
+    des::Message cfp;
+    cfp.from = kTrustedParty;
+    cfp.to = gsp_node(g);
+    cfp.type = "CFP";
+    cfp.bytes = opt_.envelope_bytes + 32;  // program metadata
+    net_.send(std::move(cfp));
+  }
+
+  void send_award(std::size_t g) {
+    des::Message award;
+    award.from = kTrustedParty;
+    award.to = gsp_node(g);
+    award.type = "AWARD";
+    award.bytes = 8 * tasks_per_member_[g] + opt_.envelope_bytes;
+    net_.send(std::move(award));
+  }
+
+  void send_release(std::size_t g) {
+    des::Message release;
+    release.from = kTrustedParty;
+    release.to = gsp_node(g);
+    release.type = "RELEASE";
+    release.bytes = opt_.envelope_bytes;
+    net_.send(std::move(release));
+  }
+
+  // --- phase 2: report collection ---------------------------------------
+
+  void on_report(std::size_t g) {
+    if (phase_ != Phase::Collecting || g >= m_) return;  // late/duplicate
+    if (reported_[g] != 0) return;                       // duplicate report
+    reported_[g] = 1;
+    if (++reports_ == m_) decide();
+  }
+
+  void arm_report_timer() {
+    if (opt_.report_timeout_seconds <= 0.0) return;  // hardening disabled
+    const double delay =
+        opt_.report_timeout_seconds *
+        std::pow(opt_.backoff_multiplier,
+                 static_cast<double>(report_attempt_));
+    const std::size_t expect = epoch_;
+    sim_.schedule(delay, [this, expect] {
+      if (epoch_ != expect || phase_ != Phase::Collecting) return;  // stale
+      ++result_.protocol.timeouts_fired;
+      note_event();
+      if (reports_ >= quorum_) {
+        decide();
+        return;
+      }
+      if (report_attempt_ < opt_.max_retries) {
+        ++report_attempt_;
+        for (std::size_t g = 0; g < m_; ++g) {
+          if (reported_[g] != 0) continue;
+          send_cfp(g);
+          ++result_.protocol.retries;
+        }
+        arm_report_timer();
+        return;
+      }
+      give_up();  // quorum never reached
+    });
+  }
+
+  // --- phase 3: decision (and repair re-decisions) -----------------------
+
+  void decide() {
+    ++epoch_;
+    phase_ = Phase::Deciding;
+    result_.protocol.report_phase_seconds = sim_.now();
+    result_.protocol.degraded_quorum = reports_ < m_;
+    game::Coalition responsive;
+    for (std::size_t g = 0; g < m_; ++g) {
+      if (reported_[g] != 0) responsive = responsive.with(g);
+    }
+    candidates_ = responsive;
+    run_formation();
+  }
+
+  /// Run the mechanism over the current candidate pool; its measured
+  /// compute time advances the simulated clock before notices go out.
+  void run_formation() {
+    const MechanismResult mr = mechanism_.run(inst_, trust_, rng_, candidates_);
+    mechanism_ran_ = true;
+    result_.mechanism = mr;
+    const std::size_t expect = epoch_;
+    sim_.schedule(mr.elapsed_seconds, [this, expect] {
+      if (epoch_ != expect || phase_ != Phase::Deciding) return;  // stale
+      note_event();
+      dispatch_notices();
+    });
+  }
+
+  // --- phase 4: notices, awards, acknowledgments -------------------------
+
+  void dispatch_notices() {
+    const MechanismResult& r = result_.mechanism;
+    if (repair_rounds_used_ == 0) {
+      // Release every GSP that was removed along the way.
+      for (const auto& it : r.journal) {
+        if (it.removed_gsp == SIZE_MAX) continue;
+        if (r.selected.contains(it.removed_gsp)) continue;
+        send_release(it.removed_gsp);
+      }
+    } else {
+      // Repair round: release previous members no longer selected
+      // (crashed ones simply lose the message).
+      for (const std::size_t g : prev_members_) {
+        if (!r.selected.contains(g)) send_release(g);
+      }
+    }
+    if (!r.success) {
+      // Formation infeasible over the current pool: explicit failure.
+      result_.protocol.formation_failed = true;
+      ++epoch_;
+      phase_ = Phase::Done;
+      return;
+    }
+    ++epoch_;
+    phase_ = Phase::Awarding;
+    members_ = r.selected.members();
+    acked_.assign(m_, 0);
+    acks_ = 0;
+    award_attempt_ = 0;
+    tasks_per_member_.assign(m_, 0);
+    for (const std::size_t g : r.mapping) ++tasks_per_member_[g];
+    for (const std::size_t g : members_) send_award(g);
+    arm_award_timer();
+  }
+
+  void on_ack(std::size_t g) {
+    if (phase_ != Phase::Awarding || g >= m_) return;      // stale round
+    if (!result_.mechanism.selected.contains(g)) return;   // stale member
+    if (acked_[g] != 0) return;                            // duplicate ack
+    acked_[g] = 1;
+    if (++acks_ == members_.size()) {
+      result_.protocol.completion_seconds = sim_.now();
+      ++epoch_;
+      phase_ = Phase::Done;
+    }
+  }
+
+  void arm_award_timer() {
+    if (opt_.award_timeout_seconds <= 0.0) return;  // hardening disabled
+    const double delay =
+        opt_.award_timeout_seconds *
+        std::pow(opt_.backoff_multiplier, static_cast<double>(award_attempt_));
+    const std::size_t expect = epoch_;
+    sim_.schedule(delay, [this, expect] {
+      if (epoch_ != expect || phase_ != Phase::Awarding) return;  // stale
+      ++result_.protocol.timeouts_fired;
+      note_event();
+      if (award_attempt_ < opt_.max_retries) {
+        ++award_attempt_;
+        for (const std::size_t g : members_) {
+          if (acked_[g] != 0) continue;
+          send_award(g);
+          ++result_.protocol.retries;
+        }
+        arm_award_timer();
+        return;
+      }
+      // Retries exhausted: the silent members are declared failed and
+      // the VO is repaired over the survivors.
+      for (const std::size_t g : members_) {
+        if (acked_[g] == 0) failed_ = failed_.with(g);
+      }
+      begin_repair();
+    });
+  }
+
+  // --- VO repair ---------------------------------------------------------
+
+  void begin_repair() {
+    prev_members_ = members_;
+    for (const std::size_t g : failed_.members()) {
+      candidates_ = candidates_.without(g);
+    }
+    if (repair_rounds_used_ >= opt_.max_repair_rounds || candidates_.empty()) {
+      give_up();
+      return;
+    }
+    ++repair_rounds_used_;
+    ++result_.protocol.repair_rounds;
+    ++epoch_;
+    phase_ = Phase::Deciding;
+    run_formation();
+  }
+
+  /// Terminal failure: quorum unreachable, no survivors, or repair
+  /// budget exhausted. Reported explicitly — never a hang.
+  void give_up() {
+    result_.protocol.formation_failed = true;
+    result_.mechanism.success = false;  // no working VO was handed over
+    // Best-effort release of anyone still holding an award.
+    for (const std::size_t g : members_) send_release(g);
+    result_.protocol.completion_seconds = sim_.now();
+    ++epoch_;
+    phase_ = Phase::Done;
+  }
+
+  const VoFormationMechanism& mechanism_;
+  const ip::AssignmentInstance& inst_;
+  const trust::TrustGraph& trust_;
+  util::Xoshiro256& rng_;
+  const ProtocolOptions& opt_;
+  des::Simulator& sim_;
+  des::Network& net_;
+  DistributedRunResult& result_;
+
+  const std::size_t m_;
+  std::size_t quorum_ = 1;
+  Phase phase_ = Phase::Collecting;
+  std::size_t epoch_ = 0;
+  bool mechanism_ran_ = false;
+  double last_event_ = 0.0;
+
+  // Report phase.
+  std::vector<char> reported_;
+  std::size_t reports_ = 0;
+  std::size_t report_attempt_ = 0;
+
+  // Decision / repair.
+  game::Coalition candidates_;
+  game::Coalition failed_;
+  std::size_t repair_rounds_used_ = 0;
+
+  // Award phase.
+  std::vector<std::size_t> members_;
+  std::vector<std::size_t> prev_members_;
+  std::vector<std::size_t> tasks_per_member_;
+  std::vector<char> acked_;
+  std::size_t acks_ = 0;
+  std::size_t award_attempt_ = 0;
+};
+
+}  // namespace
 
 DistributedRunResult run_distributed(const VoFormationMechanism& mechanism,
                                      const ip::AssignmentInstance& inst,
                                      const trust::TrustGraph& trust,
                                      util::Xoshiro256& rng,
                                      const ProtocolOptions& options) {
-  detail::require(options.gsp_processing_seconds >= 0.0,
-                  "run_distributed: negative processing delay");
+  options.validate();
   const std::size_t m = inst.num_gsps();
   const std::size_t n = inst.num_tasks();
 
   des::Simulator sim;
   des::Network net(sim, m + 1, options.latency, options.network_seed);
-  constexpr std::size_t kTrustedParty = 0;
-  const auto gsp_node = [](std::size_t g) { return g + 1; };
+  std::optional<des::FaultInjector> injector;
+  if (options.faults.enabled()) {
+    injector.emplace(options.faults);
+    net.set_fault_injector(&*injector);
+  }
 
   DistributedRunResult result;
-  std::size_t reports = 0;
-  std::size_t acks = 0;
-  std::size_t awards_expected = 0;
-  bool mechanism_ran = false;
+  TrustedParty tp(mechanism, inst, trust, rng, options, sim, net, result);
 
   // GSP behaviour: answer CFPs with a report after local processing;
-  // acknowledge awards; ignore releases.
+  // acknowledge awards; ignore releases. Duplicates (protocol re-sends)
+  // are answered again — the TP deduplicates.
   for (std::size_t g = 0; g < m; ++g) {
     net.set_handler(gsp_node(g), [&, g](const des::Message& msg) {
+      tp.note_event();
       if (msg.type == "CFP") {
         sim.schedule(options.gsp_processing_seconds, [&, g] {
           des::Message report;
@@ -48,71 +392,24 @@ DistributedRunResult run_distributed(const VoFormationMechanism& mechanism,
       // RELEASE needs no reply.
     });
   }
+  net.set_handler(kTrustedParty,
+                  [&](const des::Message& msg) { tp.on_message(msg); });
 
-  // Trusted-party behaviour.
-  net.set_handler(kTrustedParty, [&](const des::Message& msg) {
-    if (msg.type == "REPORT") {
-      if (++reports < m) return;
-      result.protocol.report_phase_seconds = sim.now();
-      // All data in: run the actual mechanism; its measured compute time
-      // advances the simulated clock before the notices go out.
-      const MechanismResult mr = mechanism.run(inst, trust, rng);
-      mechanism_ran = true;
-      const double compute = mr.elapsed_seconds;
-      result.mechanism = mr;
-      sim.schedule(compute, [&] {
-        const MechanismResult& r = result.mechanism;
-        // Release every GSP that was removed along the way.
-        for (const auto& it : r.journal) {
-          if (it.removed_gsp == SIZE_MAX) continue;
-          if (r.selected.contains(it.removed_gsp)) continue;
-          des::Message release;
-          release.from = kTrustedParty;
-          release.to = gsp_node(it.removed_gsp);
-          release.type = "RELEASE";
-          release.bytes = options.envelope_bytes;
-          net.send(std::move(release));
-        }
-        if (!r.success) return;  // no awards: protocol ends with releases
-        // Award each member its task list.
-        std::vector<std::size_t> tasks_per_member(m, 0);
-        for (const std::size_t g : r.mapping) ++tasks_per_member[g];
-        for (const std::size_t g : r.selected.members()) {
-          des::Message award;
-          award.from = kTrustedParty;
-          award.to = gsp_node(g);
-          award.type = "AWARD";
-          award.bytes = 8 * tasks_per_member[g] + options.envelope_bytes;
-          net.send(std::move(award));
-          ++awards_expected;
-        }
-      });
-    } else if (msg.type == "ACK") {
-      if (++acks == awards_expected) {
-        result.protocol.completion_seconds = sim.now();
-      }
-    }
-  });
-
-  // Kick off: CFP broadcast.
-  for (std::size_t g = 0; g < m; ++g) {
-    des::Message cfp;
-    cfp.from = kTrustedParty;
-    cfp.to = gsp_node(g);
-    cfp.type = "CFP";
-    cfp.bytes = options.envelope_bytes + 32;  // program metadata
-    net.send(std::move(cfp));
-  }
+  tp.start();
   (void)sim.run();
 
-  detail::require(mechanism_ran,
+  detail::require(tp.decided(),
                   "run_distributed: protocol never reached the decision");
   if (result.protocol.completion_seconds == 0.0) {
-    // No awards were sent (mechanism failed): completion = last event.
-    result.protocol.completion_seconds = sim.now();
+    // No award round finished (mechanism failed): completion = the last
+    // protocol event (the final release delivery / decision dispatch).
+    result.protocol.completion_seconds = tp.last_event();
   }
   result.protocol.messages = net.messages_sent();
   result.protocol.bytes = net.bytes_sent();
+  if (injector.has_value()) {
+    result.protocol.drops_observed = injector->stats().total_drops();
+  }
   return result;
 }
 

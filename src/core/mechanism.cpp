@@ -34,10 +34,21 @@ double estimate_reliability(const trust::TrustGraph& trust, std::size_t gsp,
 MechanismResult VoFormationMechanism::run(const ip::AssignmentInstance& inst,
                                           const trust::TrustGraph& trust,
                                           util::Xoshiro256& rng) const {
+  return run(inst, trust, rng, game::Coalition::all(inst.num_gsps()));
+}
+
+MechanismResult VoFormationMechanism::run(const ip::AssignmentInstance& inst,
+                                          const trust::TrustGraph& trust,
+                                          util::Xoshiro256& rng,
+                                          game::Coalition candidates) const {
   inst.validate();
   detail::require(trust.size() == inst.num_gsps(),
                   "VoFormationMechanism::run: trust graph size != num GSPs");
   const std::size_t m = inst.num_gsps();
+  detail::require(!candidates.empty(),
+                  "VoFormationMechanism::run: empty candidate pool");
+  detail::require(candidates.is_subset_of(game::Coalition::all(m)),
+                  "VoFormationMechanism::run: candidates exceed the GSP set");
   const util::WallTimer timer;
 
   MechanismResult result;
@@ -55,8 +66,9 @@ MechanismResult VoFormationMechanism::run(const ip::AssignmentInstance& inst,
 
   const game::VoValueFunction v(inst, solver_);
 
-  // Algorithm 1 main loop.
-  game::Coalition c = game::Coalition::all(m);
+  // Algorithm 1 main loop, started from the candidate pool (the grand
+  // coalition in the paper's setting).
+  game::Coalition c = candidates;
   std::vector<game::Coalition> feasible_list;  // L
   bool infeasible_hit = false;
   while (!c.empty()) {

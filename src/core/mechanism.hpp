@@ -127,6 +127,18 @@ class VoFormationMechanism {
                                     const trust::TrustGraph& trust,
                                     util::Xoshiro256& rng) const;
 
+  /// Execute the mechanism over a restricted candidate pool: Algorithm 1
+  /// starts from `candidates` instead of the grand coalition. This is
+  /// the entry point of the fault-tolerant protocol (quorum-degraded
+  /// formation over the responsive GSPs; VO repair over the survivors of
+  /// a member crash). `candidates` must be a non-empty subset of the
+  /// instance's GSPs. run(inst, trust, rng) == run(inst, trust, rng,
+  /// Coalition::all(m)) bit for bit.
+  [[nodiscard]] MechanismResult run(const ip::AssignmentInstance& inst,
+                                    const trust::TrustGraph& trust,
+                                    util::Xoshiro256& rng,
+                                    game::Coalition candidates) const;
+
   [[nodiscard]] virtual std::string name() const = 0;
   [[nodiscard]] const MechanismConfig& config() const noexcept {
     return config_;

@@ -1,0 +1,93 @@
+#include "des/fault.hpp"
+
+#include <cmath>
+
+namespace svo::des {
+
+void FaultConfig::validate() const {
+  detail::require(std::isfinite(drop_probability) && drop_probability >= 0.0 &&
+                      drop_probability <= 1.0,
+                  "FaultConfig: drop_probability must be in [0,1]");
+  detail::require(std::isfinite(straggler_probability) &&
+                      straggler_probability >= 0.0 &&
+                      straggler_probability <= 1.0,
+                  "FaultConfig: straggler_probability must be in [0,1]");
+  detail::require(std::isfinite(straggler_multiplier) &&
+                      straggler_multiplier >= 1.0,
+                  "FaultConfig: straggler_multiplier must be >= 1");
+  for (const CrashWindow& w : crashes) {
+    detail::require(std::isfinite(w.begin) && w.begin >= 0.0,
+                    "FaultConfig: crash window begin must be finite and >= 0");
+    // end == +inf is a permanent crash; NaN and end < begin are rejected.
+    detail::require(!std::isnan(w.end) && w.end >= w.begin,
+                    "FaultConfig: crash window end must be >= begin");
+  }
+}
+
+std::vector<CrashWindow> random_crash_windows(std::size_t nodes,
+                                              double crash_probability,
+                                              double horizon,
+                                              double mean_outage,
+                                              std::uint64_t seed) {
+  detail::require(std::isfinite(crash_probability) &&
+                      crash_probability >= 0.0 && crash_probability <= 1.0,
+                  "random_crash_windows: probability must be in [0,1]");
+  detail::require(std::isfinite(horizon) && horizon > 0.0,
+                  "random_crash_windows: horizon must be positive");
+  util::Xoshiro256 rng(seed);
+  std::vector<CrashWindow> windows;
+  for (std::size_t node = 0; node < nodes; ++node) {
+    // Two draws per node regardless of outcome keeps schedules for
+    // different probabilities aligned on the same seed.
+    const bool crashes = rng.bernoulli(crash_probability);
+    const double begin = rng.uniform(0.0, horizon);
+    if (!crashes) continue;
+    CrashWindow w;
+    w.node = node;
+    w.begin = begin;
+    w.end = mean_outage > 0.0
+                ? begin + rng.exponential(1.0 / mean_outage)
+                : std::numeric_limits<double>::infinity();
+    windows.push_back(w);
+  }
+  return windows;
+}
+
+FaultInjector::FaultInjector(FaultConfig config)
+    : config_(std::move(config)), rng_(config_.seed) {
+  config_.validate();
+}
+
+bool FaultInjector::is_down(std::size_t node, double t) const noexcept {
+  for (const CrashWindow& w : config_.crashes) {
+    if (w.node == node && t >= w.begin && t < w.end) return true;
+  }
+  return false;
+}
+
+FaultInjector::Fate FaultInjector::on_message(std::size_t from, std::size_t to,
+                                              double now,
+                                              double nominal_delay) {
+  // Always consume both draws so the decision stream does not depend on
+  // crash state or on which knobs are active.
+  const bool straggles = rng_.bernoulli(config_.straggler_probability);
+  const bool dropped = rng_.bernoulli(config_.drop_probability);
+
+  Fate fate;
+  fate.delay = straggles ? nominal_delay * config_.straggler_multiplier
+                         : nominal_delay;
+  if (is_down(from, now) || is_down(to, now + fate.delay)) {
+    ++stats_.crash_drops;
+    fate.delivered = false;
+    return fate;
+  }
+  if (dropped) {
+    ++stats_.link_drops;
+    fate.delivered = false;
+    return fate;
+  }
+  if (straggles) ++stats_.stragglers;
+  return fate;
+}
+
+}  // namespace svo::des

@@ -1,0 +1,108 @@
+/// \file fault.hpp
+/// Deterministic fault injection for the des/ message layer. The paper's
+/// premise is that providers fail ("a GSP agrees to provide some
+/// resources, but it fails to deliver"); this module makes the *network
+/// and node* failure modes explicit so the trusted-party protocol can be
+/// stressed: per-message drops, per-node crash/recover windows, and
+/// straggler latency multipliers. Every decision is drawn from the
+/// injector's own seeded stream, so (a) runs are reproducible from the
+/// seed and (b) the network's jitter stream is untouched — attaching an
+/// injector with all knobs at zero leaves delivery times bit-identical.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace svo::des {
+
+/// One scheduled outage: the node neither sends nor receives for
+/// simulated times in [begin, end). `end` may be +infinity (permanent
+/// crash, the paper's defaulting provider).
+struct CrashWindow {
+  std::size_t node = 0;
+  double begin = 0.0;
+  double end = std::numeric_limits<double>::infinity();
+};
+
+/// Fault model of one experiment. All-zero defaults mean "no faults".
+struct FaultConfig {
+  /// Probability that any single message is lost in transit (iid).
+  double drop_probability = 0.0;
+  /// Probability that a message is a straggler (delivered, but late).
+  double straggler_probability = 0.0;
+  /// Latency scale applied to straggler messages (>= 1).
+  double straggler_multiplier = 1.0;
+  /// Node outage schedule (deterministic; see random_crash_windows).
+  std::vector<CrashWindow> crashes;
+  /// Seed of the injector's private decision stream.
+  std::uint64_t seed = 0xFA117;
+
+  /// True when any fault mechanism is configured.
+  [[nodiscard]] bool enabled() const noexcept {
+    return drop_probability > 0.0 || straggler_probability > 0.0 ||
+           !crashes.empty();
+  }
+
+  /// Throws InvalidArgument on non-finite or out-of-range fields.
+  void validate() const;
+};
+
+/// Derive a deterministic outage schedule: each node crashes with
+/// probability `crash_probability` at a uniform time in [0, horizon);
+/// the outage lasts Exp(mean_outage) seconds, or forever when
+/// `mean_outage <= 0` (permanent crash). Deterministic in `seed`.
+[[nodiscard]] std::vector<CrashWindow> random_crash_windows(
+    std::size_t nodes, double crash_probability, double horizon,
+    double mean_outage, std::uint64_t seed);
+
+/// Injection accounting.
+struct FaultStats {
+  /// Messages lost to the iid drop draw.
+  std::size_t link_drops = 0;
+  /// Messages lost because an endpoint was down at send/delivery time.
+  std::size_t crash_drops = 0;
+  /// Messages delivered late through the straggler multiplier.
+  std::size_t stragglers = 0;
+
+  [[nodiscard]] std::size_t total_drops() const noexcept {
+    return link_drops + crash_drops;
+  }
+};
+
+/// Per-message fate oracle, consulted by Network::send. Consumes exactly
+/// two RNG draws per message (straggler, then drop) regardless of the
+/// configuration, so decision streams stay aligned across config
+/// variants sharing a seed.
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultConfig config);
+
+  struct Fate {
+    /// False: the message vanishes (no delivery event is scheduled).
+    bool delivered = true;
+    /// Nominal latency scaled by the straggler multiplier when late.
+    double delay = 0.0;
+  };
+
+  /// Decide the fate of one message sent at `now` with sampled nominal
+  /// latency `nominal_delay`. Updates stats.
+  [[nodiscard]] Fate on_message(std::size_t from, std::size_t to, double now,
+                                double nominal_delay);
+
+  /// Is `node` inside any of its outage windows at time `t`?
+  [[nodiscard]] bool is_down(std::size_t node, double t) const noexcept;
+
+  [[nodiscard]] const FaultStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const FaultConfig& config() const noexcept { return config_; }
+
+ private:
+  FaultConfig config_;
+  util::Xoshiro256 rng_;
+  FaultStats stats_;
+};
+
+}  // namespace svo::des

@@ -1,14 +1,23 @@
 #include "des/network.hpp"
 
+#include <cmath>
+
 namespace svo::des {
+
+void LatencyModel::validate() const {
+  detail::require(std::isfinite(base_seconds) && base_seconds >= 0.0,
+                  "LatencyModel: base_seconds must be finite and >= 0");
+  detail::require(std::isfinite(bytes_per_second) && bytes_per_second >= 0.0,
+                  "LatencyModel: bytes_per_second must be finite and >= 0");
+  detail::require(std::isfinite(jitter) && jitter >= 0.0,
+                  "LatencyModel: jitter must be finite and >= 0");
+}
 
 Network::Network(Simulator& sim, std::size_t nodes, LatencyModel latency,
                  std::uint64_t seed)
     : sim_(sim), handlers_(nodes), latency_(latency), rng_(seed) {
   detail::require(nodes > 0, "Network: need at least one node");
-  detail::require(latency.base_seconds >= 0.0 && latency.jitter >= 0.0 &&
-                      latency.bytes_per_second >= 0.0,
-                  "Network: negative latency parameters");
+  latency_.validate();
 }
 
 void Network::set_handler(std::size_t node, Handler handler) {
@@ -17,12 +26,19 @@ void Network::set_handler(std::size_t node, Handler handler) {
 }
 
 void Network::send(Message message) {
-  detail::require(message.from < handlers_.size() &&
-                      message.to < handlers_.size(),
-                  "Network::send: endpoint out of range");
+  detail::require(message.from < handlers_.size(),
+                  "Network::send: `from` endpoint out of range");
+  detail::require(message.to < handlers_.size(),
+                  "Network::send: `to` endpoint out of range");
   ++messages_;
   bytes_ += message.bytes;
-  const double delay = latency_.sample(message.bytes, rng_);
+  double delay = latency_.sample(message.bytes, rng_);
+  if (fault_ != nullptr) {
+    const FaultInjector::Fate fate =
+        fault_->on_message(message.from, message.to, sim_.now(), delay);
+    if (!fate.delivered) return;  // lost; accounted in the injector stats
+    delay = fate.delay;
+  }
   sim_.schedule(delay, [this, msg = std::move(message)]() {
     detail::require(static_cast<bool>(handlers_[msg.to]),
                     "Network: message delivered to node without handler");

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "des/event_queue.hpp"
+#include "des/fault.hpp"
 #include "util/rng.hpp"
 
 namespace svo::des {
@@ -39,6 +40,13 @@ struct LatencyModel {
   /// Uniform jitter fraction: actual = nominal * U[1, 1 + jitter].
   double jitter = 0.1;
 
+  /// Throws InvalidArgument on non-finite or negative fields. Zero
+  /// base_seconds (instant links) and zero bytes_per_second (size term
+  /// disabled) are valid edge cases; negative values and NaN would
+  /// silently produce negative/NaN delays downstream, so they are
+  /// rejected here.
+  void validate() const;
+
   [[nodiscard]] double sample(std::size_t bytes,
                               util::Xoshiro256& rng) const {
     double t = base_seconds;
@@ -65,9 +73,24 @@ class Network {
   void set_handler(std::size_t node, Handler handler);
 
   /// Send a message; it is delivered through the simulator after the
-  /// sampled latency. Throws InvalidArgument on bad endpoints or if the
-  /// destination has no handler at delivery time (protocol bug).
+  /// sampled latency. Throws InvalidArgument on out-of-range `from`/`to`
+  /// endpoints or if the destination has no handler at delivery time
+  /// (protocol bug). When a fault injector is attached the message may
+  /// be dropped or delayed; drops are accounted in the injector's stats
+  /// but still count toward messages_sent()/bytes_sent() (they were put
+  /// on the wire).
   void send(Message message);
+
+  /// Attach a fault injector consulted on every send (nullptr detaches).
+  /// The injector must outlive the network. Without one — or with one
+  /// whose knobs are all zero — delivery times are bit-identical to the
+  /// fault-free network, because the injector draws from its own stream.
+  void set_fault_injector(FaultInjector* injector) noexcept {
+    fault_ = injector;
+  }
+  [[nodiscard]] const FaultInjector* fault_injector() const noexcept {
+    return fault_;
+  }
 
   /// Accounting.
   [[nodiscard]] std::size_t messages_sent() const noexcept {
@@ -80,6 +103,7 @@ class Network {
   std::vector<Handler> handlers_;
   LatencyModel latency_;
   util::Xoshiro256 rng_;
+  FaultInjector* fault_ = nullptr;
   std::size_t messages_ = 0;
   std::size_t bytes_ = 0;
 };

@@ -81,6 +81,57 @@ ExecutionOutcome simulate_execution(const ip::AssignmentInstance& inst,
   return out;
 }
 
+game::Coalition failed_members(game::Coalition vo,
+                               const ExecutionOutcome& outcome) {
+  game::Coalition failed;
+  for (const std::size_t g : vo.members()) {
+    detail::require(g < outcome.assigned.size(),
+                    "failed_members: VO member outside the outcome");
+    if (outcome.assigned[g] > 0 && outcome.delivered[g] == 0) {
+      failed = failed.with(g);
+    }
+  }
+  return failed;
+}
+
+RepairedExecution execute_with_repair(
+    const core::VoFormationMechanism& mechanism,
+    const ip::AssignmentInstance& inst, const trust::TrustGraph& trust,
+    const core::MechanismResult& formation,
+    const ReliabilityModel& reliability, util::Xoshiro256& rng,
+    const RepairConfig& cfg) {
+  detail::require(formation.success,
+                  "execute_with_repair: formation was not successful");
+
+  RepairedExecution rep;
+  rep.final_formation = formation;
+  rep.final_outcome = simulate_execution(inst, formation.mapping,
+                                         formation.selected, reliability, rng);
+  rep.total_realized_value = rep.final_outcome.realized_value;
+  rep.completed = rep.final_outcome.completed;
+
+  const game::Coalition all = game::Coalition::all(inst.num_gsps());
+  while (!rep.completed && rep.repair_rounds < cfg.max_repair_rounds) {
+    rep.failed = rep.failed.unite(
+        failed_members(rep.final_formation.selected, rep.final_outcome));
+    game::Coalition survivors = all;
+    for (const std::size_t g : rep.failed.members()) {
+      survivors = survivors.without(g);
+    }
+    if (survivors.empty()) break;  // nobody left to repair with
+    const core::MechanismResult retry =
+        mechanism.run(inst, trust, rng, survivors);
+    if (!retry.success) break;  // no feasible VO over the survivors
+    ++rep.repair_rounds;
+    rep.final_formation = retry;
+    rep.final_outcome = simulate_execution(inst, retry.mapping, retry.selected,
+                                           reliability, rng);
+    rep.total_realized_value += rep.final_outcome.realized_value;
+    rep.completed = rep.final_outcome.completed;
+  }
+  return rep;
+}
+
 void update_trust_from_outcome(trust::TrustGraph& trust, game::Coalition vo,
                                const ExecutionOutcome& outcome,
                                double rate) {

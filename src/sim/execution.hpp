@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/mechanism.hpp"
 #include "game/coalition.hpp"
 #include "ip/assignment.hpp"
 #include "trust/trust_graph.hpp"
@@ -80,5 +81,48 @@ void update_trust_from_outcome(trust::TrustGraph& trust,
                                game::Coalition vo,
                                const ExecutionOutcome& outcome,
                                double rate = 0.3);
+
+/// Members of `vo` that defaulted in `outcome`: assigned work but
+/// delivered none of it (the paper's all-or-nothing failure mode).
+[[nodiscard]] game::Coalition failed_members(game::Coalition vo,
+                                             const ExecutionOutcome& outcome);
+
+/// VO repair after mid-execution member failure.
+struct RepairConfig {
+  /// Re-formation attempts after a failed execution.
+  std::size_t max_repair_rounds = 3;
+};
+
+/// Outcome of execute_with_repair.
+struct RepairedExecution {
+  /// Whole program eventually delivered?
+  bool completed = false;
+  /// Outcome of the last execution attempt.
+  ExecutionOutcome final_outcome;
+  /// Formation used by the last attempt (selected VO + mapping). Its
+  /// mapping always assigns every task exactly once, to survivors only.
+  core::MechanismResult final_formation;
+  /// Re-formations performed (0 = first execution succeeded or repair
+  /// was impossible).
+  std::size_t repair_rounds = 0;
+  /// Every GSP that defaulted across all attempts.
+  game::Coalition failed;
+  /// Sum of realized values over all attempts: each failed attempt sinks
+  /// its costs; the completing attempt earns P - C(T,C).
+  double total_realized_value = 0.0;
+};
+
+/// Execute `formation`'s mapping; when members default, repair the VO by
+/// re-running `mechanism` over the survivors (all GSPs minus every
+/// defaulter so far) and re-executing, up to cfg.max_repair_rounds
+/// times. Tasks are never silently dropped: either the returned
+/// formation maps every task onto survivors, or completed == false and
+/// the failure is explicit. Deterministic in `rng`.
+[[nodiscard]] RepairedExecution execute_with_repair(
+    const core::VoFormationMechanism& mechanism,
+    const ip::AssignmentInstance& inst, const trust::TrustGraph& trust,
+    const core::MechanismResult& formation,
+    const ReliabilityModel& reliability, util::Xoshiro256& rng,
+    const RepairConfig& cfg = {});
 
 }  // namespace svo::sim

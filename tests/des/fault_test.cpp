@@ -1,0 +1,220 @@
+#include "des/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "des/network.hpp"
+
+namespace svo::des {
+namespace {
+
+LatencyModel no_jitter() {
+  LatencyModel l;
+  l.base_seconds = 1.0;
+  l.bytes_per_second = 0.0;
+  l.jitter = 0.0;
+  return l;
+}
+
+TEST(FaultConfigTest, ValidatesFields) {
+  FaultConfig bad;
+  bad.drop_probability = 1.5;
+  EXPECT_THROW(bad.validate(), InvalidArgument);
+  bad = FaultConfig{};
+  bad.straggler_probability = -0.1;
+  EXPECT_THROW(bad.validate(), InvalidArgument);
+  bad = FaultConfig{};
+  bad.straggler_multiplier = 0.5;  // would *shorten* latency
+  EXPECT_THROW(bad.validate(), InvalidArgument);
+  bad = FaultConfig{};
+  bad.crashes.push_back({0, 2.0, 1.0});  // end < begin
+  EXPECT_THROW(bad.validate(), InvalidArgument);
+  bad = FaultConfig{};
+  bad.crashes.push_back({0, -1.0, 1.0});  // negative begin
+  EXPECT_THROW(bad.validate(), InvalidArgument);
+
+  FaultConfig ok;
+  ok.drop_probability = 0.3;
+  ok.straggler_probability = 0.2;
+  ok.straggler_multiplier = 4.0;
+  ok.crashes.push_back({1, 0.5});  // permanent crash is valid
+  EXPECT_NO_THROW(ok.validate());
+  EXPECT_TRUE(ok.enabled());
+  EXPECT_FALSE(FaultConfig{}.enabled());
+}
+
+TEST(FaultInjectorTest, DropProbabilityOneLosesEverything) {
+  Simulator sim;
+  Network net(sim, 2, no_jitter(), 1);
+  FaultConfig cfg;
+  cfg.drop_probability = 1.0;
+  FaultInjector injector(cfg);
+  net.set_fault_injector(&injector);
+  std::size_t delivered = 0;
+  net.set_handler(1, [&](const Message&) { ++delivered; });
+  for (int i = 0; i < 10; ++i) net.send({0, 1, "x", 0, {}});
+  (void)sim.run();
+  EXPECT_EQ(delivered, 0u);
+  EXPECT_EQ(injector.stats().link_drops, 10u);
+  EXPECT_EQ(net.messages_sent(), 10u);  // still accounted as sent
+}
+
+TEST(FaultInjectorTest, CrashWindowBlocksNodeOnlyWhileDown) {
+  Simulator sim;
+  Network net(sim, 2, no_jitter(), 1);
+  FaultConfig cfg;
+  cfg.crashes.push_back({1, 5.0, 9.0});  // node 1 down in [5, 9)
+  FaultInjector injector(cfg);
+  net.set_fault_injector(&injector);
+  std::vector<double> deliveries;
+  net.set_handler(1, [&](const Message&) { deliveries.push_back(sim.now()); });
+  // 1 s latency each: sent at 0/5/9 -> delivered at 1/-/10.
+  net.send({0, 1, "a", 0, {}});
+  sim.schedule_at(5.0, [&] { net.send({0, 1, "b", 0, {}}); });
+  sim.schedule_at(9.0, [&] { net.send({0, 1, "c", 0, {}}); });
+  (void)sim.run();
+  EXPECT_EQ(deliveries, (std::vector<double>{1.0, 10.0}));
+  EXPECT_EQ(injector.stats().crash_drops, 1u);
+  EXPECT_TRUE(injector.is_down(1, 5.0));
+  EXPECT_TRUE(injector.is_down(1, 8.999));
+  EXPECT_FALSE(injector.is_down(1, 9.0));
+  EXPECT_FALSE(injector.is_down(0, 6.0));
+}
+
+TEST(FaultInjectorTest, CrashedSourceCannotSend) {
+  Simulator sim;
+  Network net(sim, 2, no_jitter(), 1);
+  FaultConfig cfg;
+  cfg.crashes.push_back({0, 0.0});  // node 0 permanently down
+  FaultInjector injector(cfg);
+  net.set_fault_injector(&injector);
+  std::size_t delivered = 0;
+  net.set_handler(1, [&](const Message&) { ++delivered; });
+  net.send({0, 1, "x", 0, {}});
+  (void)sim.run();
+  EXPECT_EQ(delivered, 0u);
+  EXPECT_EQ(injector.stats().crash_drops, 1u);
+}
+
+TEST(FaultInjectorTest, StragglerScalesLatencyExactly) {
+  Simulator sim;
+  Network net(sim, 2, no_jitter(), 1);
+  FaultConfig cfg;
+  cfg.straggler_probability = 1.0;
+  cfg.straggler_multiplier = 3.5;
+  FaultInjector injector(cfg);
+  net.set_fault_injector(&injector);
+  double at = -1.0;
+  net.set_handler(1, [&](const Message&) { at = sim.now(); });
+  net.send({0, 1, "x", 0, {}});
+  (void)sim.run();
+  EXPECT_DOUBLE_EQ(at, 3.5);  // 1 s nominal * 3.5
+  EXPECT_EQ(injector.stats().stragglers, 1u);
+}
+
+TEST(FaultInjectorTest, DeterministicInSeed) {
+  const auto run_once = [](std::uint64_t seed) {
+    Simulator sim;
+    Network net(sim, 2, no_jitter(), 1);
+    FaultConfig cfg;
+    cfg.drop_probability = 0.5;
+    cfg.straggler_probability = 0.3;
+    cfg.straggler_multiplier = 2.0;
+    cfg.seed = seed;
+    FaultInjector injector(cfg);
+    net.set_fault_injector(&injector);
+    std::vector<double> deliveries;
+    net.set_handler(1,
+                    [&](const Message&) { deliveries.push_back(sim.now()); });
+    for (int i = 0; i < 64; ++i) {
+      sim.schedule_at(static_cast<double>(i), [&net, i] {
+        net.send({0, 1, "x", static_cast<std::size_t>(i), {}});
+      });
+    }
+    (void)sim.run();
+    return deliveries;
+  };
+  const std::vector<double> a = run_once(42);
+  EXPECT_EQ(a, run_once(42));
+  EXPECT_NE(a, run_once(43));
+  EXPECT_GT(a.size(), 0u);
+  EXPECT_LT(a.size(), 64u);  // some drops at p = 0.5
+}
+
+TEST(FaultInjectorTest, ZeroKnobInjectorIsBitIdenticalToNoInjector) {
+  LatencyModel jittery;
+  jittery.base_seconds = 0.01;
+  jittery.bytes_per_second = 1e6;
+  jittery.jitter = 0.4;
+  const auto run_once = [&](bool attach) {
+    Simulator sim;
+    Network net(sim, 3, jittery, 99);
+    FaultInjector injector{FaultConfig{}};
+    if (attach) net.set_fault_injector(&injector);
+    std::vector<double> deliveries;
+    net.set_handler(1,
+                    [&](const Message&) { deliveries.push_back(sim.now()); });
+    net.set_handler(2,
+                    [&](const Message&) { deliveries.push_back(sim.now()); });
+    for (int i = 0; i < 32; ++i) {
+      net.send({0, static_cast<std::size_t>(1 + i % 2), "x",
+                static_cast<std::size_t>(i * 100), {}});
+    }
+    (void)sim.run();
+    return deliveries;
+  };
+  EXPECT_EQ(run_once(false), run_once(true));
+}
+
+TEST(RandomCrashWindowsTest, DeterministicAndBounded) {
+  const auto a = random_crash_windows(32, 0.5, 10.0, 2.0, 7);
+  const auto b = random_crash_windows(32, 0.5, 10.0, 2.0, 7);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].node, b[i].node);
+    EXPECT_DOUBLE_EQ(a[i].begin, b[i].begin);
+    EXPECT_DOUBLE_EQ(a[i].end, b[i].end);
+    EXPECT_GE(a[i].begin, 0.0);
+    EXPECT_LT(a[i].begin, 10.0);
+    EXPECT_GE(a[i].end, a[i].begin);
+  }
+  EXPECT_GT(a.size(), 0u);
+  EXPECT_LT(a.size(), 32u);  // p = 0.5 leaves some nodes alive
+  // Probability zero / one edge cases.
+  EXPECT_TRUE(random_crash_windows(16, 0.0, 5.0, 1.0, 3).empty());
+  EXPECT_EQ(random_crash_windows(16, 1.0, 5.0, 0.0, 3).size(), 16u);
+  for (const CrashWindow& w : random_crash_windows(16, 1.0, 5.0, 0.0, 3)) {
+    EXPECT_TRUE(std::isinf(w.end));  // mean_outage <= 0: permanent
+  }
+  EXPECT_THROW(random_crash_windows(4, 1.5, 5.0, 1.0, 3), InvalidArgument);
+  EXPECT_THROW(random_crash_windows(4, 0.5, 0.0, 1.0, 3), InvalidArgument);
+}
+
+TEST(LatencyModelTest, ValidateRejectsBadFields) {
+  LatencyModel l;
+  l.base_seconds = -1.0;
+  EXPECT_THROW(l.validate(), InvalidArgument);
+  l = LatencyModel{};
+  l.jitter = -0.1;
+  EXPECT_THROW(l.validate(), InvalidArgument);
+  l = LatencyModel{};
+  l.bytes_per_second = -5.0;
+  EXPECT_THROW(l.validate(), InvalidArgument);
+  l = LatencyModel{};
+  l.base_seconds = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(l.validate(), InvalidArgument);
+  // Edge cases that are explicitly legal: instant links and a disabled
+  // size term must not produce NaN/negative delays.
+  l = LatencyModel{};
+  l.base_seconds = 0.0;
+  l.bytes_per_second = 0.0;
+  l.jitter = 0.0;
+  EXPECT_NO_THROW(l.validate());
+  util::Xoshiro256 rng(1);
+  EXPECT_DOUBLE_EQ(l.sample(1000, rng), 0.0);
+}
+
+}  // namespace
+}  // namespace svo::des

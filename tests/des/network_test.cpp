@@ -81,5 +81,29 @@ TEST(NetworkTest, ValidatesEndpointsAndHandlers) {
   EXPECT_THROW(Network(sim, 0, no_jitter(), 1), InvalidArgument);
 }
 
+// Regression: out-of-range endpoints must throw on send — for the
+// *source* as well as the destination — and must not count as sent.
+TEST(NetworkTest, RejectsOutOfRangeEndpointsOnSend) {
+  Simulator sim;
+  Network net(sim, 3, no_jitter(), 1);
+  net.set_handler(1, [](const Message&) {});
+  EXPECT_THROW(net.send({7, 1, "x", 0, {}}), InvalidArgument);   // bad from
+  EXPECT_THROW(net.send({0, 3, "x", 0, {}}), InvalidArgument);   // bad to
+  EXPECT_THROW(net.send({9, 9, "x", 0, {}}), InvalidArgument);   // both
+  EXPECT_EQ(net.messages_sent(), 0u);
+  EXPECT_EQ(net.bytes_sent(), 0u);
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(NetworkTest, ConstructorValidatesLatencyModel) {
+  Simulator sim;
+  LatencyModel bad = no_jitter();
+  bad.base_seconds = -1.0;
+  EXPECT_THROW(Network(sim, 2, bad, 1), InvalidArgument);
+  bad = no_jitter();
+  bad.jitter = -0.5;
+  EXPECT_THROW(Network(sim, 2, bad, 1), InvalidArgument);
+}
+
 }  // namespace
 }  // namespace svo::des

@@ -1,0 +1,152 @@
+/// Tests for the mid-execution VO repair path (sim/execution):
+/// defaulter identification, task conservation after re-formation, and
+/// determinism under identical seeds.
+#include <gtest/gtest.h>
+
+#include "core/tvof.hpp"
+#include "ip/bnb.hpp"
+#include "sim/execution.hpp"
+#include "tests/ip/test_instances.hpp"
+
+namespace svo::sim {
+namespace {
+
+struct Fixture {
+  ip::AssignmentInstance instance;
+  trust::TrustGraph trust{0};
+};
+
+Fixture make_fixture(std::size_t m, std::size_t n, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  Fixture f;
+  f.instance = ip::testing::random_instance(m, n, rng);
+  f.trust = trust::random_trust_graph(m, 0.4, rng);
+  return f;
+}
+
+TEST(FailedMembersTest, IdentifiesDefaulters) {
+  ExecutionOutcome out;
+  out.assigned = {2, 0, 3, 1};
+  out.delivered = {2, 0, 0, 0};
+  const game::Coalition vo = game::Coalition::of({0, 2, 3});
+  const game::Coalition failed = failed_members(vo, out);
+  EXPECT_FALSE(failed.contains(0));  // delivered everything
+  EXPECT_FALSE(failed.contains(1));  // not a member
+  EXPECT_TRUE(failed.contains(2));   // defaulted
+  EXPECT_TRUE(failed.contains(3));   // defaulted
+  ExecutionOutcome short_out;
+  short_out.assigned = {1};
+  short_out.delivered = {1};
+  EXPECT_THROW((void)failed_members(game::Coalition::of({0, 5}), short_out),
+               InvalidArgument);
+}
+
+TEST(ExecuteWithRepairTest, CompletesWithoutRepairWhenAllReliable) {
+  const Fixture f = make_fixture(5, 12, 1);
+  const ip::BnbAssignmentSolver solver;
+  const core::TvofMechanism tvof(solver);
+  util::Xoshiro256 form_rng(7);
+  const core::MechanismResult formation =
+      tvof.run(f.instance, f.trust, form_rng);
+  ASSERT_TRUE(formation.success);
+  const ReliabilityModel model(std::vector<double>(5, 1.0));
+  util::Xoshiro256 rng(3);
+  const RepairedExecution rep = execute_with_repair(
+      tvof, f.instance, f.trust, formation, model, rng);
+  EXPECT_TRUE(rep.completed);
+  EXPECT_EQ(rep.repair_rounds, 0u);
+  EXPECT_TRUE(rep.failed.empty());
+  EXPECT_DOUBLE_EQ(rep.total_realized_value, formation.value);
+  EXPECT_EQ(rep.final_formation.selected, formation.selected);
+}
+
+TEST(ExecuteWithRepairTest, ReassignsEveryTaskAfterMemberFailure) {
+  const Fixture f = make_fixture(5, 12, 2);
+  const ip::BnbAssignmentSolver solver;
+  const core::TvofMechanism tvof(solver);
+  util::Xoshiro256 form_rng(7);
+  const core::MechanismResult formation =
+      tvof.run(f.instance, f.trust, form_rng);
+  ASSERT_TRUE(formation.success);
+  // Kill one selected member outright; everyone else is perfect.
+  const std::size_t victim = formation.selected.members().front();
+  std::vector<double> thetas(5, 1.0);
+  thetas[victim] = 0.0;
+  const ReliabilityModel model(thetas);
+  util::Xoshiro256 rng(3);
+  const RepairedExecution rep = execute_with_repair(
+      tvof, f.instance, f.trust, formation, model, rng);
+
+  EXPECT_GE(rep.repair_rounds, 1u);
+  EXPECT_TRUE(rep.failed.contains(victim));
+  ASSERT_TRUE(rep.completed);
+  // Task conservation: the final mapping assigns every task exactly
+  // once, onto surviving members only.
+  ASSERT_EQ(rep.final_formation.mapping.size(), 12u);
+  for (const std::size_t g : rep.final_formation.mapping) {
+    EXPECT_TRUE(rep.final_formation.selected.contains(g));
+    EXPECT_NE(g, victim);
+  }
+  // The failed attempt sank its costs: realized total < clean value.
+  EXPECT_LT(rep.total_realized_value, rep.final_formation.value);
+}
+
+TEST(ExecuteWithRepairTest, ReportsFailureWhenNoSurvivorsCanExecute) {
+  const Fixture f = make_fixture(4, 10, 3);
+  const ip::BnbAssignmentSolver solver;
+  const core::TvofMechanism tvof(solver);
+  util::Xoshiro256 form_rng(5);
+  const core::MechanismResult formation =
+      tvof.run(f.instance, f.trust, form_rng);
+  ASSERT_TRUE(formation.success);
+  // Nobody ever delivers: repair keeps failing until the pool is empty
+  // or the budget runs out, and reports that explicitly.
+  const ReliabilityModel model(std::vector<double>(4, 0.0));
+  util::Xoshiro256 rng(3);
+  const RepairedExecution rep = execute_with_repair(
+      tvof, f.instance, f.trust, formation, model, rng);
+  EXPECT_FALSE(rep.completed);
+  EXPECT_FALSE(rep.failed.empty());
+  EXPECT_LT(rep.total_realized_value, 0.0);  // sunk costs only
+}
+
+TEST(ExecuteWithRepairTest, DeterministicInSeed) {
+  const Fixture f = make_fixture(6, 14, 4);
+  const ip::BnbAssignmentSolver solver;
+  const core::TvofMechanism tvof(solver);
+  util::Xoshiro256 form_rng(9);
+  const core::MechanismResult formation =
+      tvof.run(f.instance, f.trust, form_rng);
+  ASSERT_TRUE(formation.success);
+  util::Xoshiro256 pop_rng(11);
+  const ReliabilityModel model =
+      ReliabilityModel::bimodal(6, 0.5, 0.9, 0.2, pop_rng);
+  const auto run_once = [&] {
+    util::Xoshiro256 rng(17);
+    return execute_with_repair(tvof, f.instance, f.trust, formation, model,
+                               rng);
+  };
+  const RepairedExecution a = run_once();
+  const RepairedExecution b = run_once();
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.repair_rounds, b.repair_rounds);
+  EXPECT_EQ(a.failed, b.failed);
+  EXPECT_DOUBLE_EQ(a.total_realized_value, b.total_realized_value);
+  EXPECT_EQ(a.final_formation.selected, b.final_formation.selected);
+  EXPECT_EQ(a.final_formation.mapping, b.final_formation.mapping);
+}
+
+TEST(ExecuteWithRepairTest, RejectsFailedFormation) {
+  const Fixture f = make_fixture(4, 10, 3);
+  const ip::BnbAssignmentSolver solver;
+  const core::TvofMechanism tvof(solver);
+  const core::MechanismResult unsuccessful;  // success == false
+  const ReliabilityModel model(std::vector<double>(4, 1.0));
+  util::Xoshiro256 rng(3);
+  EXPECT_THROW((void)execute_with_repair(tvof, f.instance, f.trust,
+                                         unsuccessful, model, rng),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace svo::sim

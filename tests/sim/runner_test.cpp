@@ -105,5 +105,27 @@ TEST(ExperimentRunnerTest, RunPairUsesIndependentStreams) {
   EXPECT_EQ(pr1.rvof.selected, pr2.rvof.selected);
 }
 
+TEST(ExperimentRunnerTest, RunPairDistributedMatchesLocalDecisions) {
+  // The fault-free trusted-party protocol is pure measurement: the
+  // decisions must equal run_pair()'s, with all recovery counters zero.
+  const ExperimentRunner runner(tiny_config());
+  const Scenario s = runner.scenarios().make(24, 0);
+  const auto local = runner.run_pair(s);
+  const auto dist = runner.run_pair_distributed(s);
+  EXPECT_EQ(dist.tvof.mechanism.selected, local.tvof.selected);
+  EXPECT_EQ(dist.tvof.mechanism.mapping, local.tvof.mapping);
+  EXPECT_EQ(dist.rvof.mechanism.selected, local.rvof.selected);
+  EXPECT_EQ(dist.rvof.mechanism.mapping, local.rvof.mapping);
+  for (const auto* p : {&dist.tvof.protocol, &dist.rvof.protocol}) {
+    EXPECT_GT(p->messages, 0u);
+    EXPECT_EQ(p->retries, 0u);
+    EXPECT_EQ(p->timeouts_fired, 0u);
+    EXPECT_EQ(p->drops_observed, 0u);
+    EXPECT_EQ(p->repair_rounds, 0u);
+    EXPECT_FALSE(p->degraded_quorum);
+    EXPECT_FALSE(p->formation_failed);
+  }
+}
+
 }  // namespace
 }  // namespace svo::sim

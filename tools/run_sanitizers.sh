@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Run the tier-1 test suite under AddressSanitizer + UBSan.
+#
+# Uses the `asan-ubsan` CMake preset (build-asan/ tree, RelWithDebInfo,
+# -fsanitize=address,undefined with no recovery so any finding fails the
+# run). Usage:
+#
+#   tools/run_sanitizers.sh [ctest-args...]
+#
+# Extra arguments are forwarded to ctest, e.g.
+#   tools/run_sanitizers.sh -R FaultInjector
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+cmake --preset asan-ubsan
+cmake --build --preset asan-ubsan -j "$(nproc)"
+
+# halt_on_error keeps UBSan findings fatal even where the default would
+# merely print; detect_leaks stays on (default) to catch allocation bugs.
+export ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1:strict_string_checks=1}"
+export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}"
+
+ctest --preset asan-ubsan -j "$(nproc)" "$@"
