@@ -35,7 +35,7 @@ int main() {
                                               cfg.mechanism);
       util::Xoshiro256 rng(s.tvof_seed);
       const core::MechanismResult r =
-          mech.run(s.instance.assignment, s.trust, rng);
+          mech.run(core::FormationRequest{s.instance.assignment, s.trust, rng});
       if (!r.success) continue;
       stats[ri].reputation.add(r.avg_global_reputation);
       stats[ri].payoff.add(r.payoff_share);
@@ -44,7 +44,7 @@ int main() {
     const core::RvofMechanism rvof(solver, cfg.mechanism);
     util::Xoshiro256 rng(s.rvof_seed);
     const core::MechanismResult r =
-        rvof.run(s.instance.assignment, s.trust, rng);
+        rvof.run(core::FormationRequest{s.instance.assignment, s.trust, rng});
     if (r.success) {
       stats.back().reputation.add(r.avg_global_reputation);
       stats.back().payoff.add(r.payoff_share);

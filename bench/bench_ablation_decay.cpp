@@ -61,7 +61,7 @@ int main() {
           workload::generate_instance(program, gopts, rng);
 
       const trust::TrustGraph snap = decaying.snapshot();
-      const core::MechanismResult r = tvof.run(grid.assignment, snap, rng);
+      const core::MechanismResult r = tvof.run(core::FormationRequest{grid.assignment, snap, rng});
       if (r.success) {
         if (!previous.empty()) overlap.add(jaccard(previous, r.selected));
         previous = r.selected;

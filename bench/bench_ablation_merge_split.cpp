@@ -33,7 +33,7 @@ int main() {
     const core::TvofMechanism tvof(solver, cfg.mechanism);
     util::Xoshiro256 rng_t(s.tvof_seed);
     const core::MechanismResult rt =
-        tvof.run(s.instance.assignment, s.trust, rng_t);
+        tvof.run(core::FormationRequest{s.instance.assignment, s.trust, rng_t});
     if (rt.success) {
       tvof_row.payoff.add(rt.payoff_share);
       tvof_row.reputation.add(rt.avg_global_reputation);
@@ -55,7 +55,7 @@ int main() {
     const core::RvofMechanism rvof(solver, cfg.mechanism);
     util::Xoshiro256 rng_r(s.rvof_seed);
     const core::MechanismResult rr =
-        rvof.run(s.instance.assignment, s.trust, rng_r);
+        rvof.run(core::FormationRequest{s.instance.assignment, s.trust, rng_r});
     if (rr.success) {
       rvof_row.payoff.add(rr.payoff_share);
       rvof_row.reputation.add(rr.avg_global_reputation);

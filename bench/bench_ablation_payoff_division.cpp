@@ -36,7 +36,7 @@ int main() {
     const core::TvofMechanism tvof(solver, cfg.mechanism);
     util::Xoshiro256 rng(s.tvof_seed);
     const core::MechanismResult r =
-        tvof.run(s.instance.assignment, s.trust, rng);
+        tvof.run(core::FormationRequest{s.instance.assignment, s.trust, rng});
     if (!r.success) continue;
 
     const game::VoValueFunction v(s.instance.assignment, solver);

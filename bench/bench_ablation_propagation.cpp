@@ -69,7 +69,7 @@ int main() {
       edges.add(static_cast<double>(graph.graph().edge_count()));
       util::Xoshiro256 rng(s.tvof_seed);
       const core::MechanismResult r =
-          tvof.run(s.instance.assignment, graph, rng);
+          tvof.run(core::FormationRequest{s.instance.assignment, graph, rng});
       if (!r.success) continue;
       reputation.add(r.avg_global_reputation);
       payoff.add(r.payoff_share);

@@ -44,7 +44,7 @@ int main() {
     const core::TvofMechanism tvof(solver, cfg.mechanism);
     util::Xoshiro256 rng(s.tvof_seed);
     const core::MechanismResult tv =
-        tvof.run(s.instance.assignment, s.trust, rng);
+        tvof.run(core::FormationRequest{s.instance.assignment, s.trust, rng});
 
     const double gap_pct =
         opt.total_value > 0.0

@@ -82,7 +82,7 @@ int main() {
       trust::random_trust_graph(12, 0.2, rng);
   const ip::DagSolverAdapter solver(dag);
   const core::TvofMechanism tvof(solver);
-  const core::MechanismResult r = tvof.run(grid.assignment, trust, rng);
+  const core::MechanismResult r = tvof.run(core::FormationRequest{grid.assignment, trust, rng});
   if (r.success) {
     std::printf("\nTVOF on the 6x24 workflow: VO of %zu/12 GSPs, "
                 "payoff/member %.2f, avg reputation %.4f, %zu iterations\n",

@@ -34,9 +34,9 @@ int main() {
     util::Xoshiro256 rng_a(s.tvof_seed);
     util::Xoshiro256 rng_b(s.tvof_seed);  // identical removals, by design
     const core::MechanismResult a =
-        tvof.run(s.instance.assignment, s.trust, rng_a);
+        tvof.run(core::FormationRequest{s.instance.assignment, s.trust, rng_a});
     const core::MechanismResult b =
-        tvof_product.run(s.instance.assignment, s.trust, rng_b);
+        tvof_product.run(core::FormationRequest{s.instance.assignment, s.trust, rng_b});
     const bool same = a.selected == b.selected;
     agree += same;
     table.add_row({static_cast<long long>(prog + 1), a.payoff_share,

@@ -18,7 +18,7 @@ void run_program(const char* figure, const svo::sim::ScenarioFactory& factory,
   const core::TvofMechanism tvof(solver, factory.config().mechanism);
   util::Xoshiro256 rng(s.tvof_seed);
   const core::MechanismResult r =
-      tvof.run(s.instance.assignment, s.trust, rng);
+      tvof.run(core::FormationRequest{s.instance.assignment, s.trust, rng});
 
   util::Table table({"|C|", "feasible", "payoff share", "avg reputation",
                      "removed GSP"});

@@ -17,7 +17,7 @@ void run_program(const char* figure, const svo::sim::ScenarioFactory& factory,
   const core::RvofMechanism rvof(solver, factory.config().mechanism);
   util::Xoshiro256 rng(s.rvof_seed);
   const core::MechanismResult r =
-      rvof.run(s.instance.assignment, s.trust, rng);
+      rvof.run(core::FormationRequest{s.instance.assignment, s.trust, rng});
 
   util::Table table({"|C|", "feasible", "payoff share", "avg reputation",
                      "removed GSP"});

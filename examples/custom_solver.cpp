@@ -21,13 +21,14 @@ using namespace svo;
 /// Deliberately naive — no regret ordering, no local search.
 class CheapestFitSolver final : public ip::AssignmentSolver {
  public:
+  using ip::AssignmentSolver::solve;
   ip::AssignmentSolution solve(
       const ip::AssignmentInstance& inst) const override {
     ip::AssignmentSolution sol;
     const std::size_t k = inst.num_gsps();
     const std::size_t n = inst.num_tasks();
     if (inst.require_all_gsps_used && k > n) {
-      sol.status = ip::AssignStatus::Infeasible;  // provable: pigeonhole
+      sol.stats.status = ip::AssignStatus::Infeasible;  // provable: pigeonhole
       return sol;
     }
     ip::Assignment a(n);
@@ -42,7 +43,7 @@ class CheapestFitSolver final : public ip::AssignmentSolver {
         }
       }
       if (best == SIZE_MAX) {
-        sol.status = ip::AssignStatus::Unknown;  // heuristic dead end
+        sol.stats.status = ip::AssignStatus::Unknown;  // heuristic dead end
         return sol;
       }
       a[t] = best;
@@ -64,16 +65,16 @@ class CheapestFitSolver final : public ip::AssignmentSolver {
         }
       }
       if (!repaired) {
-        sol.status = ip::AssignStatus::Unknown;
+        sol.stats.status = ip::AssignStatus::Unknown;
         return sol;
       }
     }
     const double cost = ip::assignment_cost(inst, a);
     if (cost > inst.payment) {
-      sol.status = ip::AssignStatus::Unknown;
+      sol.stats.status = ip::AssignStatus::Unknown;
       return sol;
     }
-    sol.status = ip::AssignStatus::Feasible;
+    sol.stats.status = ip::AssignStatus::Feasible;
     sol.assignment = std::move(a);
     sol.cost = cost;
     return sol;
@@ -110,7 +111,7 @@ int main() {
     const core::TvofMechanism tvof(*solver);
     util::Xoshiro256 mech_rng(7);  // identical removal tie-breaks
     const core::MechanismResult r =
-        tvof.run(grid.assignment, trust, mech_rng);
+        tvof.run(core::FormationRequest{grid.assignment, trust, mech_rng});
     if (!r.success) {
       std::printf("%-14s no feasible VO\n", solver->name().c_str());
       continue;

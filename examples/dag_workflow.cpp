@@ -55,7 +55,7 @@ int main(int argc, char** argv) {
   const trust::TrustGraph trust = trust::random_trust_graph(8, 0.3, rng);
   const ip::DagSolverAdapter solver(dag);
   const core::TvofMechanism tvof(solver);
-  const core::MechanismResult r = tvof.run(grid.assignment, trust, rng);
+  const core::MechanismResult r = tvof.run(core::FormationRequest{grid.assignment, trust, rng});
   if (!r.success) {
     std::printf("no feasible VO for this workflow\n");
     return 1;

@@ -39,7 +39,7 @@ int main() {
   const ip::BnbAssignmentSolver solver;
   const core::TvofMechanism tvof(solver);
   const core::MechanismResult result =
-      tvof.run(grid.assignment, trust, rng);
+      tvof.run(core::FormationRequest{grid.assignment, trust, rng});
 
   if (!result.success) {
     std::printf("no feasible VO found\n");

@@ -44,7 +44,7 @@ int main(int argc, char** argv) {
     const workload::GridInstance grid =
         workload::generate_instance(program, gopts, rng);
 
-    const core::MechanismResult r = tvof.run(grid.assignment, trust, rng);
+    const core::MechanismResult r = tvof.run(core::FormationRequest{grid.assignment, trust, rng});
     if (!r.success) {
       std::printf("%-6zu no feasible VO\n", round);
       continue;

@@ -180,9 +180,9 @@ int cmd_form(int argc, char** argv) {
   const ip::BnbAssignmentSolver solver;
   core::MechanismResult r;
   if (mechanism == "rvof") {
-    r = core::RvofMechanism(solver).run(grid.assignment, trust, rng);
+    r = core::RvofMechanism(solver).run(core::FormationRequest{grid.assignment, trust, rng});
   } else if (mechanism == "tvof") {
-    r = core::TvofMechanism(solver).run(grid.assignment, trust, rng);
+    r = core::TvofMechanism(solver).run(core::FormationRequest{grid.assignment, trust, rng});
   } else {
     std::fprintf(stderr, "unknown --mechanism %s\n", mechanism.c_str());
     return 2;
@@ -199,7 +199,7 @@ int cmd_form(int argc, char** argv) {
   std::printf("payoff/member:   %.2f\n", r.payoff_share);
   std::printf("avg reputation:  %.4f\n", r.avg_global_reputation);
   std::printf("iterations:      %zu (%.3f s, %zu B&B nodes)\n",
-              r.journal.size(), r.elapsed_seconds, r.total_solver_nodes);
+              r.journal.size(), r.elapsed_seconds, r.stats.nodes);
   return 0;
 }
 

@@ -72,9 +72,9 @@ int main(int argc, char** argv) {
   util::Xoshiro256 rng_t(1);
   util::Xoshiro256 rng_r(2);
   const core::MechanismResult rt =
-      tvof.run(grid.assignment, trust, rng_t);
+      tvof.run(core::FormationRequest{grid.assignment, trust, rng_t});
   const core::MechanismResult rr =
-      rvof.run(grid.assignment, trust, rng_r);
+      rvof.run(core::FormationRequest{grid.assignment, trust, rng_r});
 
   const auto report = [](const char* name, const core::MechanismResult& r) {
     if (!r.success) {

@@ -189,7 +189,7 @@ class TrustedParty {
   /// Run the mechanism over the current candidate pool; its measured
   /// compute time advances the simulated clock before notices go out.
   void run_formation() {
-    const MechanismResult mr = mechanism_.run(inst_, trust_, rng_, candidates_);
+    const MechanismResult mr = mechanism_.run(FormationRequest{inst_, trust_, rng_, candidates_});
     mechanism_ran_ = true;
     result_.mechanism = mr;
     const std::size_t expect = epoch_;

@@ -34,13 +34,23 @@ double estimate_reliability(const trust::TrustGraph& trust, std::size_t gsp,
 MechanismResult VoFormationMechanism::run(const ip::AssignmentInstance& inst,
                                           const trust::TrustGraph& trust,
                                           util::Xoshiro256& rng) const {
-  return run(inst, trust, rng, game::Coalition::all(inst.num_gsps()));
+  return run(FormationRequest{inst, trust, rng});
 }
 
 MechanismResult VoFormationMechanism::run(const ip::AssignmentInstance& inst,
                                           const trust::TrustGraph& trust,
                                           util::Xoshiro256& rng,
                                           game::Coalition candidates) const {
+  return run(FormationRequest{inst, trust, rng, candidates});
+}
+
+MechanismResult VoFormationMechanism::run(const FormationRequest& request) const {
+  const ip::AssignmentInstance& inst = request.instance;
+  const trust::TrustGraph& trust = request.trust;
+  util::Xoshiro256& rng = request.rng;
+  const game::Coalition candidates =
+      request.candidates.empty() ? game::Coalition::all(inst.num_gsps())
+                                 : request.candidates;
   inst.validate();
   detail::require(trust.size() == inst.num_gsps(),
                   "VoFormationMechanism::run: trust graph size != num GSPs");
@@ -67,19 +77,27 @@ MechanismResult VoFormationMechanism::run(const ip::AssignmentInstance& inst,
   const game::VoValueFunction v(inst, solver_);
 
   // Algorithm 1 main loop, started from the candidate pool (the grand
-  // coalition in the paper's setting).
+  // coalition in the paper's setting). Under the Incremental policy
+  // each iteration hands the next one its evaluation plus the removed
+  // GSP, so line 5 can repair instead of solving from scratch;
+  // references into the value-function cache are stable.
   game::Coalition c = candidates;
   std::vector<game::Coalition> feasible_list;  // L
   bool infeasible_hit = false;
+  const bool warm = request.warm_start == WarmStartPolicy::Incremental;
+  const game::CoalitionEvaluation* prev_eval = nullptr;
+  std::size_t prev_removed = SIZE_MAX;
   while (!c.empty()) {
-    const game::CoalitionEvaluation& eval = v.evaluate(c);  // line 5
+    const game::CoalitionEvaluation& eval =  // line 5
+        warm && prev_eval != nullptr
+            ? v.evaluate(c, game::WarmHint{prev_eval, prev_removed})
+            : v.evaluate(c);
 
     IterationRecord rec;
     rec.coalition = c;
     rec.feasible = eval.feasible;
-    rec.solver_status = eval.solver_status;
-    rec.solver_nodes = eval.solver_nodes;
-    result.total_solver_nodes += eval.solver_nodes;
+    rec.stats = eval.stats;
+    result.stats.accumulate(eval.stats);
     rec.avg_global_reputation = avg_global(c);
     if (eval.feasible) {
       rec.cost = eval.cost;
@@ -112,6 +130,8 @@ MechanismResult VoFormationMechanism::run(const ip::AssignmentInstance& inst,
                     "choose_removal returned an out-of-range index");
     rec.removed_gsp = members[pick];
     result.journal.push_back(rec);
+    prev_eval = &eval;
+    prev_removed = members[pick];
     c = c.without(members[pick]);
   }
   (void)infeasible_hit;

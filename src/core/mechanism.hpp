@@ -75,9 +75,9 @@ struct IterationRecord {
   double avg_local_reputation = 0.0;
   /// GSP removed *after* this iteration; SIZE_MAX on the last iteration.
   std::size_t removed_gsp = SIZE_MAX;
-  /// Raw solver status for this coalition's IP.
-  ip::AssignStatus solver_status = ip::AssignStatus::Unknown;
-  std::size_t solver_nodes = 0;
+  /// Solver telemetry for this coalition's IP (status, nodes explored,
+  /// warm-start usage, repair moves).
+  ip::SolveStats stats;
 };
 
 /// Full mechanism outcome.
@@ -101,14 +101,47 @@ struct MechanismResult {
   std::vector<IterationRecord> journal;
   /// Wall-clock mechanism time, seconds (paper Fig. 9).
   double elapsed_seconds = 0.0;
-  /// Total IP-B&B nodes over all iterations.
-  std::size_t total_solver_nodes = 0;
+  /// Solver telemetry accumulated over all iterations: `stats.nodes` is
+  /// the total node count, `stats.status` the last iteration's status,
+  /// `stats.warm_start_used` whether any iteration reused an incumbent,
+  /// `stats.repair_moves` the total repair work.
+  ip::SolveStats stats;
 };
 
 /// Mechanism configuration shared by TVOF and RVOF.
 struct MechanismConfig {
   trust::ReputationOptions reputation;
   SelectionRule selection = SelectionRule::MaxIndividualPayoff;
+};
+
+/// Whether the shrinking-coalition loop carries solve artifacts from
+/// one iteration into the next (ip/warm_start.hpp).
+enum class WarmStartPolicy {
+  /// Every iteration solves cold, as the seed implementation did.
+  Off,
+  /// Repair the previous iteration's mapping after the removal and hand
+  /// it to the solver as a warm incumbent, together with the full
+  /// instance's per-task cost orders. Hints only tighten pruning: a
+  /// solver that runs to proof selects a bit-identical VO at identical
+  /// cost (enforced by tests/core/warm_start_test.cpp).
+  Incremental,
+};
+
+/// Everything one VO-formation run needs, as a single value. The
+/// unified entry point of VoFormationMechanism::run; the positional
+/// run() overloads are thin wrappers that build one of these.
+///
+/// Referenced objects (instance, trust, rng) must outlive the call.
+struct FormationRequest {
+  const ip::AssignmentInstance& instance;
+  const trust::TrustGraph& trust;
+  /// Drives tie-breaking / random removal. Consumed identically under
+  /// both warm-start policies, so removal sequences match bit for bit.
+  util::Xoshiro256& rng;
+  /// Candidate pool Algorithm 1 starts from; empty means the grand
+  /// coalition over all of the instance's GSPs.
+  game::Coalition candidates{};
+  WarmStartPolicy warm_start = WarmStartPolicy::Incremental;
 };
 
 /// Abstract VO-formation mechanism (template method over the removal
@@ -121,15 +154,21 @@ class VoFormationMechanism {
                        MechanismConfig config);
   virtual ~VoFormationMechanism() = default;
 
-  /// Execute the mechanism on one instance. `rng` drives tie-breaking /
-  /// random removal; results are deterministic in (instance, trust, rng).
+  /// Execute the mechanism on one request — the single implementation
+  /// every other entry point funnels into. Results are deterministic in
+  /// (instance, trust, rng state, candidates); the warm-start policy
+  /// changes solver work, never the outcome (see WarmStartPolicy).
+  [[nodiscard]] MechanismResult run(const FormationRequest& request) const;
+
+  /// Wrapper: run on the grand coalition with the default warm-start
+  /// policy. Bit-identical to run(FormationRequest{inst, trust, rng}).
   [[nodiscard]] MechanismResult run(const ip::AssignmentInstance& inst,
                                     const trust::TrustGraph& trust,
                                     util::Xoshiro256& rng) const;
 
-  /// Execute the mechanism over a restricted candidate pool: Algorithm 1
-  /// starts from `candidates` instead of the grand coalition. This is
-  /// the entry point of the fault-tolerant protocol (quorum-degraded
+  /// Wrapper: run over a restricted candidate pool: Algorithm 1 starts
+  /// from `candidates` instead of the grand coalition. This is the
+  /// entry point of the fault-tolerant protocol (quorum-degraded
   /// formation over the responsive GSPs; VO repair over the survivors of
   /// a member crash). `candidates` must be a non-empty subset of the
   /// instance's GSPs. run(inst, trust, rng) == run(inst, trust, rng,

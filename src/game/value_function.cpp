@@ -11,6 +11,16 @@ VoValueFunction::VoValueFunction(const ip::AssignmentInstance& inst,
 }
 
 const CoalitionEvaluation& VoValueFunction::evaluate(Coalition c) const {
+  return evaluate_impl(c, nullptr);
+}
+
+const CoalitionEvaluation& VoValueFunction::evaluate(
+    Coalition c, const WarmHint& hint) const {
+  return evaluate_impl(c, &hint);
+}
+
+const CoalitionEvaluation& VoValueFunction::evaluate_impl(
+    Coalition c, const WarmHint* hint) const {
   const auto it = cache_.find(c.bits());
   if (it != cache_.end()) return it->second;
 
@@ -22,9 +32,34 @@ const CoalitionEvaluation& VoValueFunction::evaluate(Coalition c) const {
     std::vector<std::size_t> original;
     const ip::AssignmentInstance sub =
         inst_.restrict_to(c.mask(inst_.num_gsps()), &original);
-    const ip::AssignmentSolution sol = solver_.solve(sub);
-    eval.solver_status = sol.status;
-    eval.solver_nodes = sol.nodes_explored;
+
+    ip::AssignmentSolution sol;
+    if (hint != nullptr) {
+      // The full instance is the common "parent" coordinate system:
+      // mappings are stored in original GSP indices and `original` maps
+      // restricted rows back to it, so both the repaired incumbent and
+      // the shared cost orders translate through `original` alone.
+      if (cost_order_ == nullptr) {
+        cost_order_ = std::make_shared<ip::CostOrderCache>(inst_);
+      }
+      ip::WarmStart warm;
+      warm.cost_order = cost_order_;
+      warm.rows = original;
+      if (hint->previous != nullptr && hint->previous->feasible &&
+          hint->previous->mapping.size() == inst_.num_tasks()) {
+        const ip::RepairResult repaired = ip::repair_for_removal(
+            sub, original, hint->previous->mapping, hint->removed_gsp);
+        if (repaired.ok) {
+          warm.incumbent = repaired.assignment;
+          warm.incumbent_cost = repaired.cost;
+          warm.repair_moves = repaired.moves;
+        }
+      }
+      sol = solver_.solve(sub, warm);
+    } else {
+      sol = solver_.solve(sub);
+    }
+    eval.stats = sol.stats;
     if (sol.has_assignment()) {
       eval.feasible = true;
       eval.cost = sol.cost;

@@ -11,10 +11,12 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <unordered_map>
 
 #include "game/coalition.hpp"
 #include "ip/assignment.hpp"
+#include "ip/warm_start.hpp"
 
 namespace svo::game {
 
@@ -28,9 +30,22 @@ struct CoalitionEvaluation {
   double cost = 0.0;
   /// Task -> *original* GSP index mapping (empty when infeasible).
   ip::Assignment mapping;
-  /// Raw solver status (Optimal / Feasible / Infeasible / Unknown).
-  ip::AssignStatus solver_status = ip::AssignStatus::Unknown;
-  std::size_t solver_nodes = 0;
+  /// Solver telemetry (status, nodes, warm-start usage).
+  ip::SolveStats stats;
+};
+
+/// Warm-start hint for evaluate(): the evaluation of the parent
+/// coalition C in the shrinking loop, plus the (original-index) GSP
+/// whose removal produced the coalition being evaluated. The hint is
+/// advisory — warm and cold evaluations of the same coalition agree on
+/// feasibility, cost, value, and mapping whenever the solver runs to
+/// proof (see ip/warm_start.hpp).
+struct WarmHint {
+  /// Evaluation of the parent coalition; must stay alive for the call.
+  /// References into the VoValueFunction cache are stable.
+  const CoalitionEvaluation* previous = nullptr;
+  /// Original GSP index removed from the parent coalition.
+  std::size_t removed_gsp = SIZE_MAX;
 };
 
 /// Memoizing characteristic function. Holds references to the instance
@@ -52,6 +67,14 @@ class VoValueFunction {
   /// (DESIGN.md §4.4). Throws InvalidArgument if `c` exceeds m players.
   const CoalitionEvaluation& evaluate(Coalition c) const;
 
+  /// Warm evaluation: like evaluate(c), but when `hint.previous` holds a
+  /// feasible mapping of c + {hint.removed_gsp}, repair it (reassign
+  /// only the removed GSP's tasks) into a warm incumbent and reuse the
+  /// full instance's per-task cost orders, both handed to the solver as
+  /// ip::WarmStart. Memoized identically to evaluate(c); a cache hit
+  /// ignores the hint.
+  const CoalitionEvaluation& evaluate(Coalition c, const WarmHint& hint) const;
+
   /// v(C) shortcut.
   [[nodiscard]] double value(Coalition c) const { return evaluate(c).value; }
 
@@ -61,9 +84,15 @@ class VoValueFunction {
   }
 
  private:
+  const CoalitionEvaluation& evaluate_impl(Coalition c,
+                                           const WarmHint* hint) const;
+
   const ip::AssignmentInstance& inst_;
   const ip::AssignmentSolver& solver_;
   mutable std::unordered_map<std::uint64_t, CoalitionEvaluation> cache_;
+  /// Per-task cost orders of the full instance, built lazily on the
+  /// first warm evaluation and shared by every restricted solve.
+  mutable std::shared_ptr<const ip::CostOrderCache> cost_order_;
 };
 
 }  // namespace svo::game

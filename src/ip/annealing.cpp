@@ -104,16 +104,16 @@ AssignmentSolution AnnealingAssignmentSolver::solve(
     a = greedy_construct(inst, GreedyOptions::Order::TimeDescending);
   }
   if (a.empty()) {
-    sol.status = AssignStatus::Unknown;
+    sol.stats.status = AssignStatus::Unknown;
     return sol;
   }
   (void)simulated_annealing(inst, a, opts_);
   const double cost = local_search(inst, a, {});
   if (cost > inst.payment + 1e-9) {
-    sol.status = AssignStatus::Unknown;
+    sol.stats.status = AssignStatus::Unknown;
     return sol;
   }
-  sol.status = AssignStatus::Feasible;
+  sol.stats.status = AssignStatus::Feasible;
   sol.assignment = std::move(a);
   sol.cost = cost;
   return sol;

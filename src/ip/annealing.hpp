@@ -41,6 +41,7 @@ class AnnealingAssignmentSolver final : public AssignmentSolver {
   explicit AnnealingAssignmentSolver(AnnealingOptions opts = {})
       : opts_(opts) {}
 
+  using AssignmentSolver::solve;
   [[nodiscard]] AssignmentSolution solve(
       const AssignmentInstance& inst) const override;
   [[nodiscard]] std::string name() const override { return "annealing"; }

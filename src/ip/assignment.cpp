@@ -3,7 +3,14 @@
 #include <cmath>
 #include <sstream>
 
+#include "ip/warm_start.hpp"
+
 namespace svo::ip {
+
+AssignmentSolution AssignmentSolver::solve(const AssignmentInstance& inst,
+                                           const WarmStart& /*warm*/) const {
+  return solve(inst);
+}
 
 const char* to_string(AssignStatus s) noexcept {
   switch (s) {

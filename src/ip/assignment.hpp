@@ -64,23 +64,51 @@ enum class AssignStatus {
 /// Human-readable status name.
 [[nodiscard]] const char* to_string(AssignStatus s) noexcept;
 
+/// Per-solve telemetry shared by every consumer of a solve outcome:
+/// AssignmentSolution, game::CoalitionEvaluation, core::IterationRecord
+/// and (aggregated) core::MechanismResult all embed this one struct
+/// instead of carrying their own loose status/node fields.
+struct SolveStats {
+  AssignStatus status = AssignStatus::Unknown;
+  /// Search-effort accounting (solver-specific units; B&B nodes).
+  std::size_t nodes = 0;
+  /// True when a warm-start incumbent was accepted into the search.
+  bool warm_start_used = false;
+  /// Cost of the accepted warm-start incumbent (0 when none was used).
+  double incumbent_reused_cost = 0.0;
+  /// Tasks reassigned while repairing the previous mapping into the
+  /// warm-start incumbent (0 for cold solves).
+  std::size_t repair_moves = 0;
+
+  /// Accumulate another solve into this record (mechanism totals):
+  /// nodes/repair_moves/incumbent costs add up, warm_start_used ORs,
+  /// and status takes the most recent solve's status.
+  void accumulate(const SolveStats& other) noexcept {
+    status = other.status;
+    nodes += other.nodes;
+    warm_start_used = warm_start_used || other.warm_start_used;
+    incumbent_reused_cost += other.incumbent_reused_cost;
+    repair_moves += other.repair_moves;
+  }
+};
+
 /// Result of a solve.
 struct AssignmentSolution {
-  AssignStatus status = AssignStatus::Unknown;
-  /// Valid iff status is Optimal or Feasible.
+  /// Status plus search telemetry (see SolveStats).
+  SolveStats stats;
+  /// Valid iff stats.status is Optimal or Feasible.
   Assignment assignment;
   /// Total cost of `assignment` (constraint-(9) objective).
   double cost = 0.0;
-  /// Search-effort accounting (solver-specific units; B&B nodes).
-  std::size_t nodes_explored = 0;
   /// Lower bound proved on the optimum (valid even without incumbent).
   double lower_bound = 0.0;
 
   [[nodiscard]] bool has_assignment() const noexcept {
-    return status == AssignStatus::Optimal || status == AssignStatus::Feasible;
+    return stats.status == AssignStatus::Optimal ||
+           stats.status == AssignStatus::Feasible;
   }
   [[nodiscard]] bool proven_optimal() const noexcept {
-    return status == AssignStatus::Optimal;
+    return stats.status == AssignStatus::Optimal;
   }
 };
 
@@ -94,6 +122,8 @@ struct AssignmentSolution {
                                          const Assignment& a,
                                          double tol = 1e-9);
 
+struct WarmStart;  // ip/warm_start.hpp
+
 /// Abstract assignment solver (strategy interface for the mechanisms).
 class AssignmentSolver {
  public:
@@ -101,6 +131,14 @@ class AssignmentSolver {
   /// Solve `inst`; never throws for infeasibility (reported via status).
   [[nodiscard]] virtual AssignmentSolution solve(
       const AssignmentInstance& inst) const = 0;
+  /// Warm-started solve. `warm` carries hints only — an incumbent
+  /// candidate and reusable combinatorial bounds — so honouring it may
+  /// tighten pruning but never change status or cost relative to the
+  /// cold solve (when the search runs to proof). The default ignores
+  /// the hints and performs a cold solve, which keeps every heuristic
+  /// solver correct without modification.
+  [[nodiscard]] virtual AssignmentSolution solve(const AssignmentInstance& inst,
+                                                const WarmStart& warm) const;
   /// Identifying name for logs and benchmark tables.
   [[nodiscard]] virtual std::string name() const = 0;
 };

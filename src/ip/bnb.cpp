@@ -6,6 +6,7 @@
 #include <numeric>
 
 #include "ip/greedy.hpp"
+#include "ip/warm_start.hpp"
 #include "util/timer.hpp"
 
 namespace svo::ip {
@@ -18,41 +19,65 @@ constexpr double kEps = 1e-9;
 /// depth = number of tasks).
 class Search {
  public:
-  Search(const AssignmentInstance& inst, const BnbOptions& opts)
+  /// `cache`/`rows` (both set or both null) reuse a parent instance's
+  /// per-task cost orders: the restricted orders are obtained by
+  /// filtering the cached ones, which is bit-identical to re-sorting
+  /// because row restriction preserves relative order and both sorts
+  /// are stable.
+  Search(const AssignmentInstance& inst, const BnbOptions& opts,
+         const CostOrderCache* cache = nullptr,
+         const std::vector<std::size_t>* rows = nullptr)
       : inst_(inst), opts_(opts), k_(inst.num_gsps()), n_(inst.num_tasks()) {
-    // Branching order: descending regret (cost spread of two cheapest
-    // GSPs); breaking high-regret decisions first tightens bounds early.
-    order_.resize(n_);
-    std::iota(order_.begin(), order_.end(), 0);
+    // Child order per task (GSPs by ascending cost), per-task minimum
+    // cost, and regret (cost spread of the two cheapest GSPs).
     std::vector<double> regret(n_, 0.0);
     min_cost_.assign(n_, 0.0);
-    for (std::size_t t = 0; t < n_; ++t) {
-      double best = std::numeric_limits<double>::infinity();
-      double second = best;
-      for (std::size_t g = 0; g < k_; ++g) {
-        const double c = inst_.cost(g, t);
-        if (c < best) {
-          second = best;
-          best = c;
-        } else if (c < second) {
-          second = c;
+    gsp_order_.assign(n_ * k_, 0);
+    if (cache != nullptr && rows != nullptr) {
+      std::vector<std::size_t> child_of(cache->num_gsps(), SIZE_MAX);
+      for (std::size_t r = 0; r < k_; ++r) child_of[(*rows)[r]] = r;
+      for (std::size_t t = 0; t < n_; ++t) {
+        const std::size_t* full = cache->order(t);
+        auto* row = gsp_order_.data() + t * k_;
+        std::size_t w = 0;
+        for (std::size_t i = 0; i < cache->num_gsps() && w < k_; ++i) {
+          const std::size_t child = child_of[full[i]];
+          if (child != SIZE_MAX) row[w++] = child;
         }
+        min_cost_[t] = inst_.cost(row[0], t);
+        regret[t] = k_ > 1 ? inst_.cost(row[1], t) - min_cost_[t] : 0.0;
       }
-      min_cost_[t] = best;
-      regret[t] = std::isfinite(second) ? second - best : 0.0;
+    } else {
+      for (std::size_t t = 0; t < n_; ++t) {
+        double best = std::numeric_limits<double>::infinity();
+        double second = best;
+        for (std::size_t g = 0; g < k_; ++g) {
+          const double c = inst_.cost(g, t);
+          if (c < best) {
+            second = best;
+            best = c;
+          } else if (c < second) {
+            second = c;
+          }
+        }
+        min_cost_[t] = best;
+        regret[t] = std::isfinite(second) ? second - best : 0.0;
+      }
+      for (std::size_t t = 0; t < n_; ++t) {
+        auto* row = gsp_order_.data() + t * k_;
+        std::iota(row, row + k_, std::size_t{0});
+        std::stable_sort(row, row + k_, [&](std::size_t a, std::size_t b) {
+          return inst_.cost(a, t) < inst_.cost(b, t);
+        });
+      }
     }
+    // Branching order: descending regret; breaking high-regret
+    // decisions first tightens bounds early.
+    order_.resize(n_);
+    std::iota(order_.begin(), order_.end(), 0);
     std::stable_sort(order_.begin(), order_.end(), [&](std::size_t a, std::size_t b) {
       return regret[a] > regret[b];
     });
-    // Child order per task: GSPs by ascending cost.
-    gsp_order_.assign(n_ * k_, 0);
-    for (std::size_t t = 0; t < n_; ++t) {
-      auto* row = gsp_order_.data() + t * k_;
-      std::iota(row, row + k_, std::size_t{0});
-      std::stable_sort(row, row + k_, [&](std::size_t a, std::size_t b) {
-        return inst_.cost(a, t) < inst_.cost(b, t);
-      });
-    }
     // Suffix of capacity-blind minimum costs in branching order.
     suffix_min_.assign(n_ + 1, 0.0);
     for (std::size_t i = n_; i-- > 0;) {
@@ -176,8 +201,58 @@ class Search {
 
 AssignmentSolution BnbAssignmentSolver::solve(
     const AssignmentInstance& inst) const {
+  return solve_impl(inst, nullptr);
+}
+
+AssignmentSolution BnbAssignmentSolver::solve(const AssignmentInstance& inst,
+                                              const WarmStart& warm) const {
+  return solve_impl(inst, &warm);
+}
+
+AssignmentSolution BnbAssignmentSolver::solve_impl(
+    const AssignmentInstance& inst, const WarmStart* warm) const {
   inst.validate();
-  Search search(inst, opts_);
+
+  // Reuse the parent instance's cost orders when the hint is coherent
+  // with this instance; otherwise fall back to recomputing them.
+  const CostOrderCache* cache = nullptr;
+  const std::vector<std::size_t>* rows = nullptr;
+  if (warm != nullptr && warm->has_bounds() &&
+      warm->rows.size() == inst.num_gsps() &&
+      warm->cost_order->num_tasks() == inst.num_tasks()) {
+    bool coherent = true;
+    for (const std::size_t p : warm->rows) {
+      coherent = coherent && p < warm->cost_order->num_gsps();
+    }
+    if (coherent) {
+      cache = warm->cost_order.get();
+      rows = &warm->rows;
+    }
+  }
+  // Accept the incumbent hint only when fully feasible ((10)-(13)); it
+  // can then only tighten pruning, never change the proven status/cost.
+  const bool warm_incumbent_ok =
+      warm != nullptr && warm->has_incumbent() &&
+      warm->incumbent.size() == inst.num_tasks() &&
+      check_feasible(inst, warm->incumbent).empty();
+
+  // A solve that accepted any warm hint is a re-verification of an
+  // incrementally modified instance; warm_max_nodes (when set) caps it.
+  BnbOptions effective = opts_;
+  if (opts_.warm_max_nodes > 0 && (cache != nullptr || warm_incumbent_ok)) {
+    effective.max_nodes = std::min(effective.max_nodes, opts_.warm_max_nodes);
+  }
+  Search search(inst, effective, cache, rows);
+
+  AssignmentSolution sol;
+  // Warm incumbent first: a repaired previous mapping is typically
+  // tighter than a fresh greedy seed.
+  if (warm_incumbent_ok) {
+    search.seed_incumbent(warm->incumbent, warm->incumbent_cost);
+    sol.stats.warm_start_used = true;
+    sol.stats.incumbent_reused_cost = warm->incumbent_cost;
+    sol.stats.repair_moves = warm->repair_moves;
+  }
   if (opts_.seed_with_greedy) {
     Assignment seed = greedy_construct(inst, GreedyOptions::Order::RegretDescending);
     if (seed.empty()) {
@@ -190,16 +265,20 @@ AssignmentSolution BnbAssignmentSolver::solve(
   }
   const bool exhausted = search.run();
 
-  AssignmentSolution sol;
-  sol.nodes_explored = search.nodes();
+  sol.stats.nodes = search.nodes();
   sol.lower_bound = search.root_bound();
   if (search.has_incumbent()) {
     sol.assignment = search.incumbent();
-    sol.cost = search.incumbent_cost();
-    sol.status = exhausted ? AssignStatus::Optimal : AssignStatus::Feasible;
+    // Canonical cost: always the task-order sum, so the same final
+    // assignment reports the same double regardless of the summation
+    // order the search happened to use.
+    sol.cost = assignment_cost(inst, sol.assignment);
+    sol.stats.status =
+        exhausted ? AssignStatus::Optimal : AssignStatus::Feasible;
     if (exhausted) sol.lower_bound = sol.cost;
   } else {
-    sol.status = exhausted ? AssignStatus::Infeasible : AssignStatus::Unknown;
+    sol.stats.status =
+        exhausted ? AssignStatus::Infeasible : AssignStatus::Unknown;
   }
   return sol;
 }

@@ -22,6 +22,14 @@ namespace svo::ip {
 struct BnbOptions {
   /// Node budget; exceeding it makes the result anytime (no proof).
   std::size_t max_nodes = 500'000;
+  /// Node budget for warm-hinted solves (0 = use max_nodes). A warm
+  /// solve re-verifies an incrementally modified instance whose
+  /// predecessor already received a full budget, so capping the
+  /// re-verification keeps mechanism-loop work proportional to the
+  /// change instead of re-paying the full budget per iteration. Solves
+  /// that exhaust within the reduced budget (the exact regime) are
+  /// bit-identical to cold; truncated ones keep the warm incumbent.
+  std::size_t warm_max_nodes = 0;
   /// Wall-clock budget in seconds; 0 disables the check.
   double time_limit_seconds = 0.0;
   /// Seed the incumbent with greedy construction + local search.
@@ -41,11 +49,20 @@ class BnbAssignmentSolver final : public AssignmentSolver {
 
   [[nodiscard]] AssignmentSolution solve(
       const AssignmentInstance& inst) const override;
+  /// Warm-started solve (ip/warm_start.hpp): seeds the incumbent from
+  /// `warm` when it is feasible and filters the cached parent cost
+  /// orders instead of re-sorting. Hints only tighten pruning — a run
+  /// to proof returns the same status and cost as the cold solve.
+  [[nodiscard]] AssignmentSolution solve(const AssignmentInstance& inst,
+                                         const WarmStart& warm) const override;
   [[nodiscard]] std::string name() const override { return "bnb"; }
 
   [[nodiscard]] const BnbOptions& options() const noexcept { return opts_; }
 
  private:
+  [[nodiscard]] AssignmentSolution solve_impl(const AssignmentInstance& inst,
+                                              const WarmStart* warm) const;
+
   BnbOptions opts_;
 };
 

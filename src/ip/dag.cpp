@@ -309,14 +309,14 @@ AssignmentSolution DagSolverAdapter::solve(
     const AssignmentInstance& inst) const {
   AssignmentSolution sol;
   if (inst.require_all_gsps_used && inst.num_gsps() > inst.num_tasks()) {
-    sol.status = AssignStatus::Infeasible;  // pigeonhole: provable
+    sol.stats.status = AssignStatus::Infeasible;  // pigeonhole: provable
     return sol;
   }
   const DagSchedule s = schedule(inst);
   sol.lower_bound = dag_.critical_path_lower_bound(inst.time);
   // Feasibility: makespan within deadline, payment, and coverage.
   if (s.makespan > inst.deadline || s.cost > inst.payment) {
-    sol.status = AssignStatus::Unknown;
+    sol.stats.status = AssignStatus::Unknown;
     return sol;
   }
   if (inst.require_all_gsps_used) {
@@ -324,12 +324,12 @@ AssignmentSolution DagSolverAdapter::solve(
     for (const std::size_t g : s.assignment) used[g] = true;
     for (const bool u : used) {
       if (!u) {
-        sol.status = AssignStatus::Unknown;
+        sol.stats.status = AssignStatus::Unknown;
         return sol;
       }
     }
   }
-  sol.status = AssignStatus::Feasible;
+  sol.stats.status = AssignStatus::Feasible;
   sol.assignment = s.assignment;
   sol.cost = s.cost;
   return sol;

@@ -99,6 +99,7 @@ class DagSolverAdapter final : public AssignmentSolver {
   explicit DagSolverAdapter(const TaskDag& dag,
                             DagSchedulerOptions opts = {});
 
+  using AssignmentSolver::solve;
   [[nodiscard]] AssignmentSolution solve(
       const AssignmentInstance& inst) const override;
   [[nodiscard]] std::string name() const override { return "dag-heft"; }

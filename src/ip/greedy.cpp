@@ -119,17 +119,17 @@ AssignmentSolution GreedyAssignmentSolver::solve(
     a = greedy_construct(inst, GreedyOptions::Order::TimeDescending);
   }
   if (a.empty()) {
-    sol.status = AssignStatus::Unknown;
+    sol.stats.status = AssignStatus::Unknown;
     return sol;
   }
   double cost = assignment_cost(inst, a);
   if (opts_.polish) cost = local_search(inst, a, opts_.local_search);
   if (cost > inst.payment + 1e-9) {
     // Heuristic could not get under the payment cap; inconclusive.
-    sol.status = AssignStatus::Unknown;
+    sol.stats.status = AssignStatus::Unknown;
     return sol;
   }
-  sol.status = AssignStatus::Feasible;
+  sol.stats.status = AssignStatus::Feasible;
   sol.assignment = std::move(a);
   sol.cost = cost;
   return sol;

@@ -30,6 +30,7 @@ class GreedyAssignmentSolver final : public AssignmentSolver {
  public:
   explicit GreedyAssignmentSolver(GreedyOptions opts = {}) : opts_(opts) {}
 
+  using AssignmentSolver::solve;
   [[nodiscard]] AssignmentSolution solve(
       const AssignmentInstance& inst) const override;
   [[nodiscard]] std::string name() const override { return "greedy"; }

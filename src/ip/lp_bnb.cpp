@@ -149,20 +149,20 @@ AssignmentSolution LpBnbAssignmentSolver::solve(
   const IpResult res = solve_binary_ip(ip, binaries, opts_);
 
   AssignmentSolution sol;
-  sol.nodes_explored = res.nodes;
+  sol.stats.nodes = res.nodes;
   switch (res.status) {
     case IpStatus::Infeasible:
-      sol.status = AssignStatus::Infeasible;
+      sol.stats.status = AssignStatus::Infeasible;
       return sol;
     case IpStatus::NodeLimit:
       if (res.x.empty()) {
-        sol.status = AssignStatus::Unknown;
+        sol.stats.status = AssignStatus::Unknown;
         return sol;
       }
-      sol.status = AssignStatus::Feasible;
+      sol.stats.status = AssignStatus::Feasible;
       break;
     case IpStatus::Optimal:
-      sol.status = AssignStatus::Optimal;
+      sol.stats.status = AssignStatus::Optimal;
       break;
   }
   const std::size_t n = inst.num_tasks();

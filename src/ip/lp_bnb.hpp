@@ -55,6 +55,7 @@ class LpBnbAssignmentSolver final : public AssignmentSolver {
  public:
   explicit LpBnbAssignmentSolver(LpBnbOptions opts = {}) : opts_(opts) {}
 
+  using AssignmentSolver::solve;
   [[nodiscard]] AssignmentSolution solve(
       const AssignmentInstance& inst) const override;
   [[nodiscard]] std::string name() const override { return "lp-bnb"; }

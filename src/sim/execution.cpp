@@ -120,7 +120,7 @@ RepairedExecution execute_with_repair(
     }
     if (survivors.empty()) break;  // nobody left to repair with
     const core::MechanismResult retry =
-        mechanism.run(inst, trust, rng, survivors);
+        mechanism.run(core::FormationRequest{inst, trust, rng, survivors});
     if (!retry.success) break;  // no feasible VO over the survivors
     ++rep.repair_rounds;
     rep.final_formation = retry;

@@ -48,7 +48,7 @@ ClosedLoopResult run_closed_loop(const core::VoFormationMechanism& mechanism,
     RoundRecord rec;
     rec.round = round;
     const core::MechanismResult r =
-        mechanism.run(grid.assignment, trust, mechanism_rng);
+        mechanism.run(core::FormationRequest{grid.assignment, trust, mechanism_rng});
     if (r.success) {
       rec.formed = true;
       ++formed;

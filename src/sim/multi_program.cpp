@@ -57,7 +57,7 @@ MultiProgramResult run_multi_program(
           grid.assignment.restrict_to(free, &original);
       const trust::TrustGraph sub_trust(
           trust.graph().induced_subgraph(free));
-      const core::MechanismResult r = mechanism.run(sub, sub_trust, rng);
+      const core::MechanismResult r = mechanism.run(core::FormationRequest{sub, sub_trust, rng});
       if (r.success) {
         outcome.admitted = true;
         ++admitted;

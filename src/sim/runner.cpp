@@ -20,10 +20,10 @@ ExperimentRunner::PairResult ExperimentRunner::run_pair(
 
   PairResult pr;
   util::Xoshiro256 tvof_rng(scenario.tvof_seed);
-  pr.tvof = tvof.run(scenario.instance.assignment, scenario.trust, tvof_rng);
+  pr.tvof = tvof.run(core::FormationRequest{scenario.instance.assignment, scenario.trust, tvof_rng});
   if (cfg.run_rvof) {
     util::Xoshiro256 rvof_rng(scenario.rvof_seed);
-    pr.rvof = rvof.run(scenario.instance.assignment, scenario.trust, rvof_rng);
+    pr.rvof = rvof.run(core::FormationRequest{scenario.instance.assignment, scenario.trust, rvof_rng});
   }
   return pr;
 }

@@ -1,0 +1,145 @@
+/// The mechanism-level warm-start contract: under WarmStartPolicy::
+/// Incremental the shrinking-coalition loop repairs and reuses previous
+/// solves, but the selected VO, its cost, the journal, and every solver
+/// status must be bit-identical to a cold run. Also covers the
+/// FormationRequest wrapper equivalence.
+#include "core/mechanism.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/rvof.hpp"
+#include "core/tvof.hpp"
+#include "ip/bnb.hpp"
+#include "tests/ip/test_instances.hpp"
+#include "trust/trust_graph.hpp"
+
+namespace svo::core {
+namespace {
+
+struct Fixture {
+  ip::AssignmentInstance instance;
+  trust::TrustGraph trust{0};
+};
+
+Fixture make_fixture(std::size_t m, std::size_t n, std::uint64_t seed,
+                     bool tight = false) {
+  util::Xoshiro256 rng(seed);
+  Fixture f;
+  f.instance = ip::testing::random_instance(m, n, rng, tight);
+  f.trust = trust::random_trust_graph(m, 0.4, rng);
+  return f;
+}
+
+MechanismResult run_with_policy(const VoFormationMechanism& mech,
+                                const Fixture& f, std::uint64_t rng_seed,
+                                WarmStartPolicy policy) {
+  util::Xoshiro256 rng(rng_seed);
+  return mech.run(FormationRequest{f.instance, f.trust, rng,
+                                   game::Coalition{}, policy});
+}
+
+void expect_identical_outcomes(const MechanismResult& cold,
+                               const MechanismResult& warm,
+                               const std::string& label) {
+  SCOPED_TRACE(label);
+  EXPECT_EQ(warm.success, cold.success);
+  EXPECT_EQ(warm.selected.bits(), cold.selected.bits());  // same VO, bitwise
+  EXPECT_EQ(warm.mapping, cold.mapping);
+  EXPECT_EQ(warm.cost, cold.cost);    // exact, not approximate
+  EXPECT_EQ(warm.value, cold.value);  // exact
+  EXPECT_EQ(warm.payoff_share, cold.payoff_share);
+  ASSERT_EQ(warm.journal.size(), cold.journal.size());
+  for (std::size_t i = 0; i < cold.journal.size(); ++i) {
+    SCOPED_TRACE("iteration " + std::to_string(i));
+    EXPECT_EQ(warm.journal[i].coalition.bits(), cold.journal[i].coalition.bits());
+    EXPECT_EQ(warm.journal[i].feasible, cold.journal[i].feasible);
+    EXPECT_EQ(warm.journal[i].cost, cold.journal[i].cost);
+    EXPECT_EQ(warm.journal[i].removed_gsp, cold.journal[i].removed_gsp);
+    EXPECT_EQ(warm.journal[i].stats.status, cold.journal[i].stats.status);
+    EXPECT_LE(warm.journal[i].stats.nodes, cold.journal[i].stats.nodes);
+  }
+  // Warm pruning can only shrink the total search.
+  EXPECT_LE(warm.stats.nodes, cold.stats.nodes);
+}
+
+/// The headline property, over random instances, seeds, and both
+/// mechanisms: warm runs select a bit-identical VO at identical cost.
+TEST(MechanismWarmStartTest, WarmEqualsColdAcrossInstancesAndMechanisms) {
+  const ip::BnbAssignmentSolver solver;
+  const TvofMechanism tvof(solver);
+  const RvofMechanism rvof(solver);
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const Fixture f =
+        make_fixture(5 + seed % 2, 12 + seed, seed, /*tight=*/seed % 3 == 0);
+    for (const VoFormationMechanism* mech :
+         {static_cast<const VoFormationMechanism*>(&tvof),
+          static_cast<const VoFormationMechanism*>(&rvof)}) {
+      const MechanismResult cold =
+          run_with_policy(*mech, f, 100 + seed, WarmStartPolicy::Off);
+      const MechanismResult warm =
+          run_with_policy(*mech, f, 100 + seed, WarmStartPolicy::Incremental);
+      expect_identical_outcomes(
+          cold, warm, mech->name() + " seed " + std::to_string(seed));
+      EXPECT_FALSE(cold.stats.warm_start_used);
+    }
+  }
+}
+
+TEST(MechanismWarmStartTest, WarmRunsActuallyReuseIncumbents) {
+  const ip::BnbAssignmentSolver solver;
+  const TvofMechanism tvof(solver);
+  const Fixture f = make_fixture(6, 16, 5);
+  const MechanismResult warm =
+      run_with_policy(tvof, f, 9, WarmStartPolicy::Incremental);
+  ASSERT_GT(warm.journal.size(), 1u);  // needs at least one shrink step
+  EXPECT_TRUE(warm.stats.warm_start_used);
+  EXPECT_GT(warm.stats.repair_moves, 0u);
+  // The first iteration is always cold; later feasible ones are warm.
+  EXPECT_FALSE(warm.journal.front().stats.warm_start_used);
+}
+
+TEST(MechanismWarmStartTest, WrapperOverloadsMatchFormationRequest) {
+  const ip::BnbAssignmentSolver solver;
+  const TvofMechanism tvof(solver);
+  const Fixture f = make_fixture(6, 14, 17);
+
+  util::Xoshiro256 rng_wrap(33);
+  const MechanismResult via_wrapper = tvof.run(f.instance, f.trust, rng_wrap);
+  util::Xoshiro256 rng_req(33);
+  const MechanismResult via_request =
+      tvof.run(FormationRequest{f.instance, f.trust, rng_req});
+  expect_identical_outcomes(via_wrapper, via_request, "grand coalition");
+  EXPECT_EQ(via_wrapper.stats.nodes, via_request.stats.nodes);
+  // Both consumed the RNG identically.
+  EXPECT_EQ(rng_wrap(), rng_req());
+
+  const game::Coalition pool =
+      game::Coalition::all(f.instance.num_gsps()).without(0);
+  util::Xoshiro256 rng_wrap4(71);
+  const MechanismResult via_wrapper4 =
+      tvof.run(f.instance, f.trust, rng_wrap4, pool);
+  util::Xoshiro256 rng_req4(71);
+  const MechanismResult via_request4 =
+      tvof.run(FormationRequest{f.instance, f.trust, rng_req4, pool});
+  expect_identical_outcomes(via_wrapper4, via_request4, "restricted pool");
+  EXPECT_EQ(via_wrapper4.stats.nodes, via_request4.stats.nodes);
+}
+
+TEST(MechanismWarmStartTest, PolicyDoesNotPerturbRngConsumption) {
+  // Warm repair is deterministic and must not touch the mechanism RNG:
+  // after a run under either policy the RNG must sit at the same point.
+  const ip::BnbAssignmentSolver solver;
+  const RvofMechanism rvof(solver);  // RVOF consumes RNG every removal
+  const Fixture f = make_fixture(6, 14, 23);
+  util::Xoshiro256 rng_cold(7);
+  util::Xoshiro256 rng_warm(7);
+  (void)rvof.run(FormationRequest{f.instance, f.trust, rng_cold,
+                                  game::Coalition{}, WarmStartPolicy::Off});
+  (void)rvof.run(FormationRequest{f.instance, f.trust, rng_warm,
+                                  game::Coalition{},
+                                  WarmStartPolicy::Incremental});
+  EXPECT_EQ(rng_cold(), rng_warm());
+}
+
+}  // namespace
+}  // namespace svo::core

@@ -25,6 +25,7 @@ ip::AssignmentInstance four_gsp_instance() {
 class CountingSolver final : public ip::AssignmentSolver {
  public:
   explicit CountingSolver(const ip::AssignmentSolver& inner) : inner_(inner) {}
+  using ip::AssignmentSolver::solve;
   ip::AssignmentSolution solve(
       const ip::AssignmentInstance& inst) const override {
     ++calls;

@@ -104,7 +104,7 @@ TEST(AnnealingSolverTest, SolverContract) {
       testing::random_instance(4, 12, rng, /*tight=*/true);
   const AnnealingAssignmentSolver solver;
   const AssignmentSolution sol = solver.solve(inst);
-  EXPECT_NE(sol.status, AssignStatus::Optimal);  // heuristics never prove
+  EXPECT_NE(sol.stats.status, AssignStatus::Optimal);  // heuristics never prove
   if (sol.has_assignment()) {
     EXPECT_EQ(check_feasible(inst, sol.assignment), "");
   }

@@ -25,7 +25,7 @@ TEST(BnbNoCoverageTest, CanLeaveExpensiveGspIdle) {
   inst.payment = 1000.0;
   inst.require_all_gsps_used = false;
   const AssignmentSolution sol = BnbAssignmentSolver().solve(inst);
-  ASSERT_EQ(sol.status, AssignStatus::Optimal);
+  ASSERT_EQ(sol.stats.status, AssignStatus::Optimal);
   EXPECT_DOUBLE_EQ(sol.cost, 3.0);  // all on the cheap GSP
   EXPECT_EQ(sol.assignment, (Assignment{0, 0, 0}));
 }
@@ -34,7 +34,7 @@ TEST(BnbNoCoverageTest, MoreGspsThanTasksIsFine) {
   util::Xoshiro256 rng(3);
   const AssignmentInstance inst = no_coverage(5, 3, rng);
   const AssignmentSolution sol = BnbAssignmentSolver().solve(inst);
-  EXPECT_EQ(sol.status, AssignStatus::Optimal);
+  EXPECT_EQ(sol.stats.status, AssignStatus::Optimal);
   EXPECT_EQ(check_feasible(inst, sol.assignment), "");
 }
 
@@ -46,10 +46,10 @@ TEST(BnbNoCoverageTest, OptimumNeverWorseThanWithCoverage) {
     without.require_all_gsps_used = false;
     const AssignmentSolution a = BnbAssignmentSolver().solve(with);
     const AssignmentSolution b = BnbAssignmentSolver().solve(without);
-    ASSERT_TRUE(b.status == AssignStatus::Optimal ||
-                b.status == AssignStatus::Infeasible);
-    if (a.status == AssignStatus::Optimal) {
-      ASSERT_EQ(b.status, AssignStatus::Optimal);
+    ASSERT_TRUE(b.stats.status == AssignStatus::Optimal ||
+                b.stats.status == AssignStatus::Infeasible);
+    if (a.stats.status == AssignStatus::Optimal) {
+      ASSERT_EQ(b.stats.status, AssignStatus::Optimal);
       EXPECT_LE(b.cost, a.cost + 1e-9);  // relaxation can only help
     }
   }
@@ -62,10 +62,10 @@ TEST(BnbNoCoverageTest, MatchesBruteForce) {
     const auto oracle = testing::brute_force_optimum(inst);
     const AssignmentSolution sol = BnbAssignmentSolver().solve(inst);
     if (oracle.has_value()) {
-      ASSERT_EQ(sol.status, AssignStatus::Optimal);
+      ASSERT_EQ(sol.stats.status, AssignStatus::Optimal);
       EXPECT_NEAR(sol.cost, *oracle, 1e-7);
     } else {
-      EXPECT_EQ(sol.status, AssignStatus::Infeasible);
+      EXPECT_EQ(sol.stats.status, AssignStatus::Infeasible);
     }
   }
 }

@@ -15,7 +15,7 @@ TEST(BnbTest, TrivialTwoByTwoOptimal) {
   inst.payment = 100.0;
   const BnbAssignmentSolver solver;
   const AssignmentSolution sol = solver.solve(inst);
-  ASSERT_EQ(sol.status, AssignStatus::Optimal);
+  ASSERT_EQ(sol.stats.status, AssignStatus::Optimal);
   EXPECT_DOUBLE_EQ(sol.cost, 2.0);
   EXPECT_EQ(sol.assignment, (Assignment{0, 1}));
 }
@@ -30,7 +30,7 @@ TEST(BnbTest, CoverageForcesExpensiveGsp) {
   inst.payment = 1000.0;
   const BnbAssignmentSolver solver;
   const AssignmentSolution sol = solver.solve(inst);
-  ASSERT_EQ(sol.status, AssignStatus::Optimal);
+  ASSERT_EQ(sol.stats.status, AssignStatus::Optimal);
   EXPECT_DOUBLE_EQ(sol.cost, 1.0 + 1.0 + 50.0);
 }
 
@@ -40,7 +40,7 @@ TEST(BnbTest, InfeasibleWhenMoreGspsThanTasks) {
   inst.time = linalg::Matrix(3, 2, 1.0);
   inst.deadline = 10.0;
   inst.payment = 100.0;
-  EXPECT_EQ(BnbAssignmentSolver().solve(inst).status,
+  EXPECT_EQ(BnbAssignmentSolver().solve(inst).stats.status,
             AssignStatus::Infeasible);
 }
 
@@ -50,7 +50,7 @@ TEST(BnbTest, InfeasibleWhenDeadlineTooTight) {
   inst.time = linalg::Matrix(2, 2, 5.0);
   inst.deadline = 1.0;  // no task fits anywhere
   inst.payment = 100.0;
-  EXPECT_EQ(BnbAssignmentSolver().solve(inst).status,
+  EXPECT_EQ(BnbAssignmentSolver().solve(inst).stats.status,
             AssignStatus::Infeasible);
 }
 
@@ -60,7 +60,7 @@ TEST(BnbTest, InfeasibleWhenPaymentTooLow) {
   inst.time = linalg::Matrix(2, 2, 1.0);
   inst.deadline = 10.0;
   inst.payment = 5.0;  // min total cost is 20
-  EXPECT_EQ(BnbAssignmentSolver().solve(inst).status,
+  EXPECT_EQ(BnbAssignmentSolver().solve(inst).stats.status,
             AssignStatus::Infeasible);
 }
 
@@ -72,7 +72,7 @@ TEST(BnbTest, DeadlineForcesCostlierSpread) {
   inst.deadline = 3.0;
   inst.payment = 100.0;
   const AssignmentSolution sol = BnbAssignmentSolver().solve(inst);
-  ASSERT_EQ(sol.status, AssignStatus::Optimal);
+  ASSERT_EQ(sol.stats.status, AssignStatus::Optimal);
   EXPECT_DOUBLE_EQ(sol.cost, 11.0);
 }
 
@@ -97,8 +97,8 @@ TEST(BnbTest, NodeBudgetYieldsAnytimeResult) {
   opts.seed_with_greedy = true;
   const AssignmentSolution sol = BnbAssignmentSolver(opts).solve(inst);
   // With a greedy seed we must at least have a feasible incumbent.
-  EXPECT_TRUE(sol.status == AssignStatus::Feasible ||
-              sol.status == AssignStatus::Optimal);
+  EXPECT_TRUE(sol.stats.status == AssignStatus::Feasible ||
+              sol.stats.status == AssignStatus::Optimal);
   if (sol.has_assignment()) {
     EXPECT_EQ(check_feasible(inst, sol.assignment), "");
   }
@@ -126,9 +126,9 @@ TEST(BnbTest, WallClockBudgetTruncatesSearch) {
   opts.time_limit_seconds = 1e-4;
   opts.seed_with_greedy = false;
   const AssignmentSolution sol = BnbAssignmentSolver(opts).solve(inst);
-  EXPECT_TRUE(sol.status == AssignStatus::Unknown ||
-              sol.status == AssignStatus::Feasible);
-  EXPECT_LT(sol.nodes_explored, SIZE_MAX);
+  EXPECT_TRUE(sol.stats.status == AssignStatus::Unknown ||
+              sol.stats.status == AssignStatus::Feasible);
+  EXPECT_LT(sol.stats.nodes, SIZE_MAX);
 }
 
 /// The central correctness property: exact B&B == exhaustive enumeration,
@@ -144,12 +144,12 @@ TEST_P(BnbBruteForceTest, MatchesBruteForce) {
   const auto oracle = testing::brute_force_optimum(inst);
   const AssignmentSolution sol = BnbAssignmentSolver().solve(inst);
   if (oracle.has_value()) {
-    ASSERT_EQ(sol.status, AssignStatus::Optimal)
+    ASSERT_EQ(sol.stats.status, AssignStatus::Optimal)
         << "k=" << k << " n=" << n;
     EXPECT_NEAR(sol.cost, *oracle, 1e-7);
     EXPECT_EQ(check_feasible(inst, sol.assignment), "");
   } else {
-    EXPECT_EQ(sol.status, AssignStatus::Infeasible);
+    EXPECT_EQ(sol.stats.status, AssignStatus::Infeasible);
   }
 }
 

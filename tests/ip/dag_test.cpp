@@ -154,7 +154,7 @@ TEST(DagSolverTest, PigeonholeProvenInfeasible) {
   const AssignmentInstance inst = testing::random_instance(5, 3, rng);
   const TaskDag bag(3);
   const DagSolverAdapter solver(bag);
-  EXPECT_EQ(solver.solve(inst).status, AssignStatus::Infeasible);
+  EXPECT_EQ(solver.solve(inst).stats.status, AssignStatus::Infeasible);
 }
 
 TEST(DagSolverTest, ImpossibleDeadlineIsUnknown) {
@@ -164,7 +164,7 @@ TEST(DagSolverTest, ImpossibleDeadlineIsUnknown) {
   for (std::size_t t = 1; t < 6; ++t) chain.add_dependency(t - 1, t);
   inst.deadline = 0.1;  // even the critical path cannot fit
   const DagSolverAdapter solver(chain);
-  EXPECT_EQ(solver.solve(inst).status, AssignStatus::Unknown);
+  EXPECT_EQ(solver.solve(inst).stats.status, AssignStatus::Unknown);
 }
 
 TEST(DagSolverTest, CostAwareNeverCostlierThanClassicWhenBothFeasible) {

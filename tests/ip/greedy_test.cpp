@@ -53,11 +53,11 @@ TEST(GreedySolverTest, FeasibleResultRespectsAllConstraints) {
     const AssignmentInstance inst =
         testing::random_instance(3, 10, rng, /*tight=*/true);
     const AssignmentSolution sol = GreedyAssignmentSolver().solve(inst);
-    if (sol.status == AssignStatus::Feasible) {
+    if (sol.stats.status == AssignStatus::Feasible) {
       EXPECT_EQ(check_feasible(inst, sol.assignment), "");
       EXPECT_NEAR(sol.cost, assignment_cost(inst, sol.assignment), 1e-9);
     } else {
-      EXPECT_EQ(sol.status, AssignStatus::Unknown);  // heuristics never prove
+      EXPECT_EQ(sol.stats.status, AssignStatus::Unknown);  // heuristics never prove
     }
   }
 }
@@ -65,7 +65,7 @@ TEST(GreedySolverTest, FeasibleResultRespectsAllConstraints) {
 TEST(GreedySolverTest, NeverClaimsOptimality) {
   util::Xoshiro256 rng(11);
   const AssignmentInstance inst = testing::random_instance(3, 8, rng);
-  EXPECT_NE(GreedyAssignmentSolver().solve(inst).status,
+  EXPECT_NE(GreedyAssignmentSolver().solve(inst).stats.status,
             AssignStatus::Optimal);
 }
 

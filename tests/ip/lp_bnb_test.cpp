@@ -89,12 +89,12 @@ TEST_P(SolverAgreementTest, LpBnbAgreesWithSpecializedBnb) {
       testing::random_instance(k, n, rng, /*tight=*/GetParam() % 2 == 1);
   const AssignmentSolution fast = BnbAssignmentSolver().solve(inst);
   const AssignmentSolution literal = LpBnbAssignmentSolver().solve(inst);
-  ASSERT_TRUE(fast.status == AssignStatus::Optimal ||
-              fast.status == AssignStatus::Infeasible);
-  ASSERT_TRUE(literal.status == AssignStatus::Optimal ||
-              literal.status == AssignStatus::Infeasible);
-  EXPECT_EQ(fast.status, literal.status);
-  if (fast.status == AssignStatus::Optimal) {
+  ASSERT_TRUE(fast.stats.status == AssignStatus::Optimal ||
+              fast.stats.status == AssignStatus::Infeasible);
+  ASSERT_TRUE(literal.stats.status == AssignStatus::Optimal ||
+              literal.stats.status == AssignStatus::Infeasible);
+  EXPECT_EQ(fast.stats.status, literal.stats.status);
+  if (fast.stats.status == AssignStatus::Optimal) {
     EXPECT_NEAR(fast.cost, literal.cost, 1e-6);
     EXPECT_EQ(check_feasible(inst, literal.assignment), "");
   }

@@ -21,4 +21,9 @@ cmake --build --preset asan-ubsan -j "$(nproc)"
 export ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1:strict_string_checks=1}"
 export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}"
 
+# Smoke slice first (tests/CMakeLists.txt `smoke` label): the
+# warm-start pipeline tests fail in seconds when the incremental solve
+# path is broken, before the full suite spends its minutes.
+ctest --preset asan-ubsan -L smoke --output-on-failure
+
 ctest --preset asan-ubsan -j "$(nproc)" "$@"
