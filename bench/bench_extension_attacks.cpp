@@ -1,0 +1,323 @@
+/// \file bench_extension_attacks.cpp
+/// Extension: closed-loop resilience under trust attacks — an
+/// attacker-fraction x attack-type sweep of sim::run_adversarial_loop
+/// comparing three arms on identical programs and execution luck:
+///
+///   TVOF-literal  the paper's pipeline, believing every report
+///   TVOF-robust   trust/robust.hpp defenses on (credibility weighting,
+///                 trimmed aggregation, re-entry quarantine)
+///   RVOF          reputation-blind baseline (immune to report attacks,
+///                 but blind to genuine reputation too)
+///
+/// Reported per cell: mean realized share (the money actually earned
+/// after attackers underdeliver), rank corruption of the reputation
+/// vector the mechanism acted on, and the attacker share of the selected
+/// VOs. Emits BENCH_attacks.json with the acceptance aggregate: at >=30%
+/// colluding attackers the robust arm must retain strictly more realized
+/// value than the literal arm, and its degradation across the collusion
+/// sweep must be graceful (bounded and monotone up to a tolerance).
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "ip/bnb.hpp"
+#include "sim/adversary.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace svo;
+
+constexpr std::size_t kGsps = 12;
+constexpr std::size_t kTasks = 36;
+constexpr std::size_t kRounds = 10;
+
+/// Honest direct trust tracking the hidden thetas (plus noise): the
+/// regime where reputation carries real signal about who will deliver —
+/// the premise of TVOF, and the thing the attacks corrupt. Dense enough
+/// (p = 0.85) that every trustee has a meaningful median consensus.
+trust::TrustGraph informed_trust(const std::vector<double>& thetas,
+                                 util::Xoshiro256& rng) {
+  const std::size_t m = thetas.size();
+  trust::TrustGraph trust(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < m; ++j) {
+      if (i == j || rng.uniform() > 0.85) continue;
+      const double noisy = 0.1 + 0.75 * thetas[j] + 0.15 * rng.uniform();
+      trust.set_trust(i, j, std::min(1.0, std::max(0.05, noisy)));
+    }
+  }
+  return trust;
+}
+
+struct ArmStats {
+  util::RunningStats realized;
+  util::RunningStats corruption;
+  util::RunningStats attacker_share;
+  util::RunningStats completion;
+};
+
+struct Cell {
+  std::string attack;
+  double fraction = 0.0;
+  ArmStats literal, robust, rvof;
+  /// Attack-free oracle: the literal pipeline on the same effective
+  /// population (attacker thetas included, honestly known) with no
+  /// report perturbation — the ceiling any defense can retain. The
+  /// degradation gate is robust/oracle, which removes the mechanical
+  /// rise of per-member shares as attackers shrink the usable pool.
+  ArmStats oracle;
+};
+
+sim::AdversarialLoopResult run_arm(sim::MechanismKind kind, bool defended,
+                                   const ip::AssignmentSolver& solver,
+                                   const sim::ReliabilityModel& model,
+                                   const trust::AttackScenario& attack,
+                                   const trust::TrustGraph& initial,
+                                   std::uint64_t seed) {
+  const core::MechanismConfig mechanism_config;
+  sim::AdversarialLoopConfig cfg;
+  cfg.loop.rounds = kRounds;
+  cfg.loop.num_tasks = kTasks;
+  cfg.loop.gen.params.num_gsps = kGsps;
+  // Generous payment band: completing is clearly profitable and the
+  // per-member share peaks at small coalitions, so the *removal order*
+  // (where the reputation signal lives) decides who is in the final VO.
+  cfg.loop.gen.params.payment_factor_lo = 0.8;
+  cfg.loop.gen.params.payment_factor_hi = 1.2;
+  cfg.attack = attack;
+  cfg.defenses.enabled = defended;
+  cfg.initial_trust_graph = initial;
+  return sim::run_adversarial_loop(kind, solver, mechanism_config, model, cfg,
+                                   seed);
+}
+
+double mean_selected_attacker_share(const sim::AdversarialLoopResult& r) {
+  util::RunningStats s;
+  for (const sim::AdversarialRoundRecord& rec : r.rounds) {
+    if (rec.formed) s.add(rec.attacker_selected_fraction);
+  }
+  return s.count() > 0 ? s.mean() : 0.0;
+}
+
+Cell run_cell(const std::string& attack_name, trust::AttackType type,
+              double fraction, std::size_t reps,
+              const ip::AssignmentSolver& solver, std::uint64_t root_seed) {
+  Cell cell;
+  cell.attack = attack_name;
+  cell.fraction = fraction;
+  for (std::size_t rep = 0; rep < reps; ++rep) {
+    util::Xoshiro256 pop(util::derive_seed(root_seed, 100 + rep));
+    // Honest GSPs are reliable (theta in [0.9, 1]); the only unreliable
+    // parties are the attackers, whose theta the loop forces to 0.15 —
+    // the gap a trustworthy reputation signal should exploit.
+    const sim::ReliabilityModel model =
+        sim::ReliabilityModel::bimodal(kGsps, 1.0, 0.9, 0.3, pop);
+
+    trust::AttackScenario attack;
+    attack.type = type;
+    attack.attacker_fraction = fraction;
+    attack.intensity = 0.9;
+    attack.seed = util::derive_seed(root_seed, 200 + rep);
+
+    // Honest raters already know the attackers underdeliver: the initial
+    // graph tracks the loop's *effective* thetas (attackers overridden),
+    // so the attack has real signal to bury.
+    std::vector<double> effective = model.thetas();
+    const trust::AttackInjector preview(attack, kGsps);
+    for (const std::size_t a : preview.attackers()) {
+      effective[a] = 0.15;
+    }
+    const trust::TrustGraph initial = informed_trust(effective, pop);
+
+    const std::uint64_t loop_seed = util::derive_seed(root_seed, 300 + rep);
+    const auto collect = [&](ArmStats& arm, sim::MechanismKind kind,
+                             bool defended, const sim::ReliabilityModel& mdl,
+                             const trust::AttackScenario& atk) {
+      const sim::AdversarialLoopResult r =
+          run_arm(kind, defended, solver, mdl, atk, initial, loop_seed);
+      arm.realized.add(r.mean_realized_share);
+      arm.corruption.add(r.mean_rank_corruption);
+      arm.attacker_share.add(mean_selected_attacker_share(r));
+      arm.completion.add(r.completion_rate);
+    };
+    collect(cell.literal, sim::MechanismKind::Tvof, false, model, attack);
+    collect(cell.robust, sim::MechanismKind::Tvof, true, model, attack);
+    collect(cell.rvof, sim::MechanismKind::Rvof, false, model, attack);
+    // Oracle: no report attack, but the attackers' true (poor) delivery
+    // baked into the model so the populations match.
+    collect(cell.oracle, sim::MechanismKind::Tvof, false,
+            sim::ReliabilityModel(effective), trust::AttackScenario{});
+  }
+  std::fprintf(stderr,
+               "  %-15s f=%.3f  literal %.1f  robust %.1f  rvof %.1f\n",
+               attack_name.c_str(), fraction, cell.literal.realized.mean(),
+               cell.robust.realized.mean(), cell.rvof.realized.mean());
+  return cell;
+}
+
+void emit_json(const std::vector<Cell>& cells,
+               const std::vector<const Cell*>& collusion_sweep) {
+  std::FILE* f = std::fopen("BENCH_attacks.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_attacks.json\n");
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"attack_resilience_closed_loop\",\n");
+  std::fprintf(f, "  \"gsps\": %zu,\n  \"tasks\": %zu,\n  \"rounds\": %zu,\n",
+               kGsps, kTasks, kRounds);
+  std::fprintf(f, "  \"cells\": [\n");
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const Cell& c = cells[i];
+    std::fprintf(
+        f,
+        "    {\"attack\": \"%s\", \"fraction\": %.4f,\n"
+        "     \"tvof_literal\": {\"realized_share\": %.4f, "
+        "\"rank_corruption\": %.4f, \"attacker_vo_share\": %.4f, "
+        "\"completion_rate\": %.4f},\n"
+        "     \"tvof_robust\": {\"realized_share\": %.4f, "
+        "\"rank_corruption\": %.4f, \"attacker_vo_share\": %.4f, "
+        "\"completion_rate\": %.4f},\n"
+        "     \"rvof\": {\"realized_share\": %.4f, "
+        "\"rank_corruption\": %.4f, \"attacker_vo_share\": %.4f, "
+        "\"completion_rate\": %.4f}}%s\n",
+        c.attack.c_str(), c.fraction, c.literal.realized.mean(),
+        c.literal.corruption.mean(), c.literal.attacker_share.mean(),
+        c.literal.completion.mean(), c.robust.realized.mean(),
+        c.robust.corruption.mean(), c.robust.attacker_share.mean(),
+        c.robust.completion.mean(), c.rvof.realized.mean(),
+        c.rvof.corruption.mean(), c.rvof.attacker_share.mean(),
+        c.rvof.completion.mean(), i + 1 < cells.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+
+  // Acceptance aggregate over the collusion sweep. Two gates:
+  //  1. The defended arm strictly beats the literal one wherever the
+  //     ring holds >= 30% of the population.
+  //  2. Graceful degradation: the defense's *retention* — realized value
+  //     relative to the attack-free oracle on the same effective
+  //     population — is bounded and monotonically non-increasing in the
+  //     attacker fraction (up to a noise tolerance; 3 reps).
+  bool robust_beats_literal = true;
+  for (const Cell* c : collusion_sweep) {
+    if (c->fraction >= 0.3 &&
+        !(c->robust.realized.mean() > c->literal.realized.mean())) {
+      robust_beats_literal = false;
+    }
+  }
+  const auto retention = [](const Cell& c) {
+    return c.robust.realized.mean() /
+           std::max(std::abs(c.oracle.realized.mean()), 1.0);
+  };
+  constexpr double kTolerance = 0.1;
+  bool monotone = true;
+  for (std::size_t i = 1; i < collusion_sweep.size(); ++i) {
+    if (retention(*collusion_sweep[i]) >
+        retention(*collusion_sweep[i - 1]) + kTolerance) {
+      monotone = false;
+    }
+  }
+  std::fprintf(f, "  \"aggregate\": {\n");
+  std::fprintf(f, "    \"collusion_sweep\": [");
+  for (std::size_t i = 0; i < collusion_sweep.size(); ++i) {
+    const Cell& c = *collusion_sweep[i];
+    std::fprintf(f,
+                 "%s{\"fraction\": %.4f, \"literal\": %.4f, "
+                 "\"robust\": %.4f, \"rvof\": %.4f, \"oracle\": %.4f, "
+                 "\"robust_retention\": %.4f}",
+                 i > 0 ? ", " : "", c.fraction, c.literal.realized.mean(),
+                 c.robust.realized.mean(), c.rvof.realized.mean(),
+                 c.oracle.realized.mean(), retention(c));
+  }
+  std::fprintf(f, "],\n");
+  std::fprintf(f,
+               "    \"robust_beats_literal_at_30pct\": %s,\n"
+               "    \"robust_degradation_monotone\": %s,\n"
+               "    \"monotone_tolerance\": %.4f\n  }\n}\n",
+               robust_beats_literal ? "true" : "false",
+               monotone ? "true" : "false", kTolerance);
+  std::fclose(f);
+  std::printf("\nacceptance: robust beats literal at >=30%% collusion: %s; "
+              "robust degradation monotone: %s -> BENCH_attacks.json\n",
+              robust_beats_literal ? "yes" : "NO",
+              monotone ? "yes" : "NO");
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Extension",
+                "adversarial trust: attack x fraction sweep, "
+                "TVOF-literal vs TVOF-robust vs RVOF");
+
+  std::uint64_t root_seed = 20120911;
+  if (const char* seed = std::getenv("SVO_SEED")) {
+    root_seed = std::strtoull(seed, nullptr, 10);
+  }
+  std::size_t reps = 3;
+  if (const char* env = std::getenv("SVO_REPS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v > 0) reps = static_cast<std::size_t>(v);
+  }
+
+  // Anytime node budget, identical across arms (DESIGN.md §4.4); small
+  // because the sweep runs 3 arms x ~10 cells x reps closed loops.
+  ip::BnbOptions opts;
+  opts.max_nodes = 4000;
+  const ip::BnbAssignmentSolver solver(opts);
+
+  std::vector<Cell> cells;
+  std::vector<std::size_t> collusion_idx;
+
+  // The acceptance sweep: a colluding ring growing to just under half
+  // the population (>= 0.3 is the gated regime; beyond ~0.5 the ring is
+  // the majority of raters and captures the median consensus — the
+  // <50%-byzantine boundary every robust aggregator shares).
+  for (const double fraction : {0.0, 0.15, 0.3, 0.45}) {
+    collusion_idx.push_back(cells.size());
+    cells.push_back(run_cell("collusion", trust::AttackType::Collusion,
+                             fraction, reps, solver, root_seed));
+  }
+  // One fixed-fraction row per remaining family.
+  for (const trust::AttackType type :
+       {trust::AttackType::Badmouthing, trust::AttackType::BallotStuffing,
+        trust::AttackType::OnOff, trust::AttackType::Whitewashing,
+        trust::AttackType::Sybil}) {
+    cells.push_back(
+        run_cell(trust::to_string(type), type, 0.3, reps, solver, root_seed));
+  }
+
+  util::Table table({"attack", "fraction", "literal $", "robust $", "RVOF $",
+                     "lit corr", "rob corr", "lit atk-VO", "rob atk-VO"});
+  table.set_precision(3);
+  for (const Cell& c : cells) {
+    table.add_row({c.attack, c.fraction, c.literal.realized.mean(),
+                   c.robust.realized.mean(), c.rvof.realized.mean(),
+                   c.literal.corruption.mean(), c.robust.corruption.mean(),
+                   c.literal.attacker_share.mean(),
+                   c.robust.attacker_share.mean()});
+  }
+  bench::emit(table, "extension_attacks.csv");
+
+  std::vector<const Cell*> collusion_sweep;
+  for (const std::size_t i : collusion_idx) {
+    collusion_sweep.push_back(&cells[i]);
+  }
+  emit_json(cells, collusion_sweep);
+
+  std::printf(
+      "\ninterpretation: '$' is the mean realized per-member share over "
+      "%zu reps of a %zu-round closed loop; attackers deliver at theta = "
+      "0.15 regardless of what their stuffed ballots promise. The literal "
+      "eigenvector pipeline ranks the colluding ring highly (rank "
+      "corruption grows with the ring), keeps attackers in the VO, and "
+      "pays for it in realized value; credibility weighting plus trimmed "
+      "aggregation mutes the ring, so the robust arm tracks the honest "
+      "ranking and keeps its earnings close to the attack-free baseline. "
+      "RVOF ignores reputation entirely: unswayed by ballots, but equally "
+      "happy to pick an attacker as anyone else.\n",
+      reps, kRounds);
+  return 0;
+}

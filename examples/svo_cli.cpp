@@ -20,6 +20,14 @@
 ///       --gsps N     (default 10)   --tasks N   (default 48)
 ///       --drop P     (default 0.1)  --crash P   (default 0.1)
 ///       --mechanism tvof|rvof       --seed S    (default 42)
+///   svo_cli attacks [options]                   adversarial closed loop:
+///                                               TVOF with defenses off vs
+///                                               on under a trust attack
+///       --attack  none|badmouthing|ballot-stuffing|collusion|on-off|
+///                 whitewashing|sybil            (default collusion)
+///       --fraction P (default 0.3)  --intensity I (default 0.9)
+///       --gsps N     (default 12)   --tasks N     (default 36)
+///       --rounds N   (default 10)   --seed S      (default 42)
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -30,6 +38,7 @@
 #include "core/rvof.hpp"
 #include "core/tvof.hpp"
 #include "ip/bnb.hpp"
+#include "sim/adversary.hpp"
 #include "sim/learning.hpp"
 #include "sim/multi_program.hpp"
 #include "sim/runner.hpp"
@@ -46,8 +55,8 @@ using namespace svo;
 int usage() {
   std::fprintf(stderr,
                "usage: svo_cli "
-               "<trace-gen|trace-stats|form|sweep|closed-loop|multi|faults>"
-               " ...\n"
+               "<trace-gen|trace-stats|form|sweep|closed-loop|multi|faults|"
+               "attacks> ...\n"
                "see the header of examples/svo_cli.cpp for details\n");
   return 2;
 }
@@ -279,6 +288,86 @@ int cmd_faults(int argc, char** argv) {
   return r.mechanism.success ? 0 : 1;
 }
 
+int cmd_attacks(int argc, char** argv) {
+  const std::size_t gsps =
+      std::strtoul(opt(argc, argv, "--gsps", "12"), nullptr, 10);
+  const std::size_t tasks =
+      std::strtoul(opt(argc, argv, "--tasks", "36"), nullptr, 10);
+  const std::uint64_t seed =
+      std::strtoull(opt(argc, argv, "--seed", "42"), nullptr, 10);
+
+  trust::AttackScenario attack;
+  attack.type =
+      trust::attack_type_from_string(opt(argc, argv, "--attack", "collusion"));
+  attack.attacker_fraction =
+      std::strtod(opt(argc, argv, "--fraction", "0.3"), nullptr);
+  attack.intensity =
+      std::strtod(opt(argc, argv, "--intensity", "0.9"), nullptr);
+  attack.seed = seed ^ 0xA77AC;
+
+  sim::AdversarialLoopConfig cfg;
+  cfg.loop.rounds =
+      std::strtoul(opt(argc, argv, "--rounds", "10"), nullptr, 10);
+  cfg.loop.num_tasks = tasks;
+  cfg.loop.gen.params.num_gsps = gsps;
+  cfg.loop.gen.params.payment_factor_lo = 0.8;
+  cfg.loop.gen.params.payment_factor_hi = 1.2;
+  cfg.attack = attack;
+
+  // Honest GSPs reliable, attackers poor; honest raters start informed.
+  util::Xoshiro256 pop(seed ^ 0x9090);
+  const sim::ReliabilityModel model =
+      sim::ReliabilityModel::bimodal(gsps, 1.0, 0.9, 0.3, pop);
+  std::vector<double> effective = model.thetas();
+  const trust::AttackInjector preview(attack, gsps);
+  for (const std::size_t a : preview.attackers()) {
+    effective[a] = cfg.attacker_theta;
+  }
+  trust::TrustGraph initial(gsps);
+  for (std::size_t i = 0; i < gsps; ++i) {
+    for (std::size_t j = 0; j < gsps; ++j) {
+      if (i == j || pop.uniform() > 0.85) continue;
+      const double noisy = 0.1 + 0.75 * effective[j] + 0.15 * pop.uniform();
+      initial.set_trust(i, j, std::min(1.0, std::max(0.05, noisy)));
+    }
+  }
+  cfg.initial_trust_graph = initial;
+
+  ip::BnbOptions bnb;
+  bnb.max_nodes = 4000;
+  const ip::BnbAssignmentSolver solver(bnb);
+  const core::MechanismConfig mech_cfg;
+
+  cfg.defenses.enabled = false;
+  const sim::AdversarialLoopResult literal = sim::run_adversarial_loop(
+      sim::MechanismKind::Tvof, solver, mech_cfg, model, cfg, seed);
+  cfg.defenses.enabled = true;
+  const sim::AdversarialLoopResult robust = sim::run_adversarial_loop(
+      sim::MechanismKind::Tvof, solver, mech_cfg, model, cfg, seed);
+
+  std::printf("attack:            %s (fraction %.2f, intensity %.2f)\n",
+              trust::to_string(attack.type), attack.attacker_fraction,
+              attack.intensity);
+  std::printf("attackers:        ");
+  for (const std::size_t a : literal.attackers) std::printf(" G%zu", a);
+  std::printf("\n\n%-22s %-14s %-14s\n", "", "TVOF-literal", "TVOF-robust");
+  std::printf("%-22s %-14.3f %-14.3f\n", "completion rate",
+              literal.completion_rate, robust.completion_rate);
+  std::printf("%-22s %-14.2f %-14.2f\n", "mean realized share",
+              literal.mean_realized_share, robust.mean_realized_share);
+  std::printf("%-22s %-14.3f %-14.3f\n", "mean rank corruption",
+              literal.mean_rank_corruption, robust.mean_rank_corruption);
+  std::printf("\nper-round attacker share of the selected VO "
+              "(literal / robust):\n");
+  for (std::size_t i = 0; i < literal.rounds.size(); ++i) {
+    std::printf("  round %2zu: %.2f / %.2f%s\n", i,
+                literal.rounds[i].attacker_selected_fraction,
+                robust.rounds[i].attacker_selected_fraction,
+                literal.rounds[i].attack_active ? "" : "  (attack dormant)");
+  }
+  return 0;
+}
+
 int cmd_sweep(int argc, char** argv) {
   sim::ExperimentConfig cfg;
   cfg.repetitions =
@@ -315,6 +404,7 @@ int main(int argc, char** argv) {
     if (cmd == "closed-loop") return cmd_closed_loop(argc - 2, argv + 2);
     if (cmd == "multi") return cmd_multi(argc - 2, argv + 2);
     if (cmd == "faults") return cmd_faults(argc - 2, argv + 2);
+    if (cmd == "attacks") return cmd_attacks(argc - 2, argv + 2);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

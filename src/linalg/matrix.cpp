@@ -1,5 +1,6 @@
 #include "linalg/matrix.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 namespace svo::linalg {
@@ -118,6 +119,44 @@ bool normalize_l1(std::span<double> v) noexcept {
   if (s <= 0.0) return false;
   for (double& x : v) x /= s;
   return true;
+}
+
+double trimmed_sum(std::span<double> v, double trim_fraction) {
+  detail::require(trim_fraction >= 0.0 && trim_fraction < 0.5,
+                  "trimmed_sum: trim_fraction must be in [0, 0.5)");
+  const std::size_t n = v.size();
+  if (n == 0) return 0.0;
+  const std::size_t t =
+      static_cast<std::size_t>(trim_fraction * static_cast<double>(n));
+  std::sort(v.begin(), v.end());
+  double acc = 0.0;
+  if (2 * t >= n) {
+    for (double x : v) acc += x;
+    return acc;
+  }
+  for (std::size_t i = t; i < n - t; ++i) acc += v[i];
+  return acc * static_cast<double>(n) / static_cast<double>(n - 2 * t);
+}
+
+double median_of_means_sum(std::span<double> v, std::size_t buckets) {
+  detail::require(buckets >= 1, "median_of_means_sum: buckets must be >= 1");
+  const std::size_t n = v.size();
+  if (n == 0) return 0.0;
+  const std::size_t b = std::min(buckets, n);
+  std::vector<double> means(b, 0.0);
+  std::vector<std::size_t> counts(b, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    means[i % b] += v[i];
+    ++counts[i % b];
+  }
+  for (std::size_t k = 0; k < b; ++k) {
+    means[k] /= static_cast<double>(counts[k]);
+  }
+  std::sort(means.begin(), means.end());
+  const double median = b % 2 == 1
+                            ? means[b / 2]
+                            : 0.5 * (means[b / 2 - 1] + means[b / 2]);
+  return median * static_cast<double>(n);
 }
 
 }  // namespace svo::linalg

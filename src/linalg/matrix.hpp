@@ -89,4 +89,22 @@ class Matrix {
 /// A zero vector is left unchanged and reported by returning false.
 bool normalize_l1(std::span<double> v) noexcept;
 
+/// Outlier-resistant sum estimators for the robust reputation pipeline
+/// (trust/robust.hpp): both estimate sum(v) while bounding the influence
+/// any small subset of entries can exert.
+///
+/// Trimmed sum: sort v in place, drop floor(trim_fraction * n) entries
+/// from each end, and rescale the middle sum by n / (n - 2t) so the
+/// estimate stays comparable to a plain sum. trim_fraction must be in
+/// [0, 0.5); when trimming would leave nothing, the untrimmed sum is
+/// returned. Empty v yields 0.
+[[nodiscard]] double trimmed_sum(std::span<double> v, double trim_fraction);
+
+/// Median-of-means sum: deal entries round-robin (in index order) into
+/// `buckets` groups, take each group's mean, and return median(means) * n.
+/// buckets must be >= 1; it is clamped to n. Reorders v in place (the
+/// bucket means are sorted for the median). Empty v yields 0.
+[[nodiscard]] double median_of_means_sum(std::span<double> v,
+                                         std::size_t buckets);
+
 }  // namespace svo::linalg

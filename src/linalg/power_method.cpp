@@ -74,6 +74,7 @@ PowerMethodResult power_method(const Matrix& a, const PowerMethodOptions& opts) 
     for (std::size_t j = 0; j < n; ++j) {
       const double v = a(i, j);
       detail::require(v >= 0.0, "power_method: matrix must be non-negative");
+      detail::require(std::isfinite(v), "power_method: matrix must be finite");
       row_sum += v;
     }
     dangling[i] = (row_sum <= 0.0);

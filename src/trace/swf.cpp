@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <charconv>
+#include <cmath>
 #include <fstream>
 #include <limits>
 #include <sstream>
@@ -28,6 +29,10 @@ std::size_t tokenize(std::string_view line, double (&out)[18]) {
     const auto* last = line.data() + i;
     const auto [ptr, ec] = std::from_chars(first, last, value);
     if (ec != std::errc() || ptr != last) return SIZE_MAX;
+    // from_chars accepts "inf"/"nan" spellings; no SWF field is ever
+    // legitimately non-finite, and letting one through would poison
+    // downstream casts and comparisons. Reject the whole line.
+    if (!std::isfinite(value)) return SIZE_MAX;
     out[count++] = value;
   }
   // Trailing garbage (a 19th token) is malformed.
@@ -37,6 +42,11 @@ std::size_t tokenize(std::string_view line, double (&out)[18]) {
 }
 
 std::int64_t as_int(double v) noexcept {
+  // Saturate: a finite double beyond int64 range (e.g. a "1e300" job
+  // number) must not hit the out-of-range cast, which is UB.
+  constexpr double kMax = 9.2233720368547748e18;
+  if (v >= kMax) return std::numeric_limits<std::int64_t>::max();
+  if (v <= -kMax) return std::numeric_limits<std::int64_t>::min();
   return static_cast<std::int64_t>(v);
 }
 

@@ -1,0 +1,254 @@
+#include "trust/attack.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace svo::trust {
+
+namespace {
+
+/// Ballot ceiling: stuffed reports must compete with the largest honest
+/// weight actually present in the graph (weights are unbounded above in
+/// the model, so a fixed 1.0 could be drowned out).
+double ballot_cap(const TrustGraph& g) {
+  double cap = 1.0;
+  for (std::size_t v = 0; v < g.size(); ++v) {
+    for (const graph::Edge& e : g.graph().out_edges(v)) {
+      cap = std::max(cap, e.weight);
+    }
+  }
+  return cap;
+}
+
+/// Below this, a slandered report is written as 0 (edge removal —
+/// complete distrust), keeping graphs free of denormal litter.
+constexpr double kSlanderFloor = 1e-12;
+
+}  // namespace
+
+const char* to_string(AttackType type) noexcept {
+  switch (type) {
+    case AttackType::None: return "none";
+    case AttackType::Badmouthing: return "badmouthing";
+    case AttackType::BallotStuffing: return "ballot-stuffing";
+    case AttackType::Collusion: return "collusion";
+    case AttackType::OnOff: return "on-off";
+    case AttackType::Whitewashing: return "whitewashing";
+    case AttackType::Sybil: return "sybil";
+  }
+  return "unknown";
+}
+
+AttackType attack_type_from_string(std::string_view name) {
+  for (const AttackType t :
+       {AttackType::None, AttackType::Badmouthing, AttackType::BallotStuffing,
+        AttackType::Collusion, AttackType::OnOff, AttackType::Whitewashing,
+        AttackType::Sybil}) {
+    if (name == to_string(t)) return t;
+  }
+  throw InvalidArgument("attack_type_from_string: unknown attack type '" +
+                        std::string(name) + "'");
+}
+
+void AttackScenario::validate() const {
+  detail::require(attacker_fraction >= 0.0 && attacker_fraction <= 1.0,
+                  "AttackScenario: attacker_fraction must be in [0,1]");
+  if (empty()) return;
+  detail::require(intensity > 0.0 && intensity <= 1.0,
+                  "AttackScenario: intensity must be in (0,1]");
+  detail::require(period >= 2, "AttackScenario: period must be >= 2");
+  detail::require(reentry_interval >= 2,
+                  "AttackScenario: reentry_interval must be >= 2");
+  detail::require(std::isfinite(reentry_trust) && reentry_trust >= 0.0,
+                  "AttackScenario: reentry_trust must be finite and >= 0");
+  detail::require(sybils_per_master >= 1,
+                  "AttackScenario: sybils_per_master must be >= 1");
+}
+
+AttackInjector::AttackInjector(AttackScenario scenario, std::size_t num_gsps)
+    : scenario_(scenario), m_(num_gsps) {
+  scenario_.validate();
+  attacker_mask_.assign(m_, false);
+  if (scenario_.empty()) return;
+
+  // Attacker selection is the only randomized step: a seeded shuffle of
+  // the population, truncated to round(fraction * m). Everything apply()
+  // does afterwards is a deterministic function of (attacker set, round).
+  const std::size_t k = std::min(
+      m_, static_cast<std::size_t>(
+              scenario_.attacker_fraction * static_cast<double>(m_) + 0.5));
+  std::vector<std::size_t> ids(m_);
+  std::iota(ids.begin(), ids.end(), std::size_t{0});
+  util::Xoshiro256 rng(util::derive_seed(scenario_.seed, 0x5E1EC7));
+  rng.shuffle(ids);
+  attackers_.assign(ids.begin(), ids.begin() + k);
+  std::sort(attackers_.begin(), attackers_.end());
+  for (const std::size_t a : attackers_) attacker_mask_[a] = true;
+
+  master_of_.assign(attackers_.size(), SIZE_MAX);
+  if (scenario_.type == AttackType::Sybil) {
+    // Split the ring into masters and their supporters: every
+    // (sybils_per_master + 1)-th attacker anchors a new sybil group.
+    std::size_t current_master = SIZE_MAX;
+    for (std::size_t i = 0; i < attackers_.size(); ++i) {
+      if (i % (scenario_.sybils_per_master + 1) == 0) {
+        current_master = attackers_[i];
+        masters_.push_back(current_master);
+      } else {
+        master_of_[i] = current_master;
+      }
+    }
+  }
+}
+
+bool AttackInjector::is_attacker(std::size_t g) const {
+  detail::require(g < m_, "AttackInjector: GSP out of range");
+  return attacker_mask_[g];
+}
+
+void AttackInjector::badmouth(TrustGraph& g, AttackRound& report) const {
+  for (const std::size_t a : attackers_) {
+    for (std::size_t j = 0; j < m_; ++j) {
+      if (j == a || attacker_mask_[j]) continue;
+      const double u = g.trust(a, j);
+      if (u <= 0.0) continue;  // absence already is complete distrust
+      const double slandered = u * (1.0 - scenario_.intensity);
+      g.set_trust(a, j, slandered < kSlanderFloor ? 0.0 : slandered);
+      ++report.edges_touched;
+    }
+  }
+}
+
+void AttackInjector::stuff_ballots(TrustGraph& g, AttackRound& report) const {
+  const double w = ballot_cap(g) * scenario_.intensity;
+  for (const std::size_t a : attackers_) {
+    for (const std::size_t b : attackers_) {
+      if (a == b || g.trust(a, b) >= w) continue;
+      g.set_trust(a, b, w);
+      ++report.edges_touched;
+    }
+  }
+}
+
+std::size_t AttackInjector::last_reentry(std::size_t idx,
+                                         std::size_t round) const {
+  // Attacker #idx re-enters at rounds r >= 1 with (r + idx) % interval == 0
+  // (staggered so the whole ring never resets at once).
+  const std::size_t interval = scenario_.reentry_interval;
+  const std::size_t r = round - (round + idx) % interval;
+  return (r >= 1 && r <= round) ? r : SIZE_MAX;
+}
+
+void AttackInjector::whitewash(TrustGraph& g, std::size_t round,
+                               AttackRound& report) const {
+  for (std::size_t idx = 0; idx < attackers_.size(); ++idx) {
+    if (round == 0 || (round + idx) % scenario_.reentry_interval != 0) {
+      continue;
+    }
+    // Identity re-entry: the population cannot link the fresh identity
+    // to its history, so every report to and from it resets to the
+    // newcomer prior.
+    const std::size_t a = attackers_[idx];
+    for (std::size_t i = 0; i < m_; ++i) {
+      if (i == a) continue;
+      g.set_trust(i, a, scenario_.reentry_trust);
+      g.set_trust(a, i, scenario_.reentry_trust);
+      report.edges_touched += 2;
+    }
+    report.reentered.push_back(a);
+  }
+}
+
+void AttackInjector::sybil_amplify(TrustGraph& g, AttackRound& report) const {
+  const double w = ballot_cap(g) * scenario_.intensity;
+  for (std::size_t i = 0; i < attackers_.size(); ++i) {
+    const std::size_t master = master_of_[i];
+    if (master == SIZE_MAX) continue;  // masters do not vote for themselves
+    const std::size_t s = attackers_[i];
+    // Concentrate the sybil's row on its group: full ballot for the
+    // master, half for fellow supporters, slander everyone else.
+    if (g.trust(s, master) < w) {
+      g.set_trust(s, master, w);
+      ++report.edges_touched;
+    }
+    for (std::size_t j = 0; j < attackers_.size(); ++j) {
+      if (j == i || master_of_[j] != master) continue;
+      const std::size_t t = attackers_[j];
+      if (g.trust(s, t) < 0.5 * w) {
+        g.set_trust(s, t, 0.5 * w);
+        ++report.edges_touched;
+      }
+    }
+    for (std::size_t j = 0; j < m_; ++j) {
+      if (j == s || attacker_mask_[j]) continue;
+      const double u = g.trust(s, j);
+      if (u <= 0.0) continue;
+      const double reduced = u * (1.0 - scenario_.intensity);
+      g.set_trust(s, j, reduced < kSlanderFloor ? 0.0 : reduced);
+      ++report.edges_touched;
+    }
+  }
+}
+
+AttackRound AttackInjector::apply(TrustGraph& reported,
+                                  std::size_t round) const {
+  detail::require(reported.size() == m_,
+                  "AttackInjector::apply: graph size != population size");
+  AttackRound report;
+  if (scenario_.empty() || attackers_.empty()) return report;
+  switch (scenario_.type) {
+    case AttackType::None:
+      return report;
+    case AttackType::Badmouthing:
+      badmouth(reported, report);
+      break;
+    case AttackType::BallotStuffing:
+      stuff_ballots(reported, report);
+      break;
+    case AttackType::Collusion:
+      stuff_ballots(reported, report);
+      badmouth(reported, report);
+      break;
+    case AttackType::OnOff:
+      // Collude on the first ceil(period/2) rounds of each period, then
+      // behave until the window comes around again.
+      if (round % scenario_.period < (scenario_.period + 1) / 2) {
+        stuff_ballots(reported, report);
+        badmouth(reported, report);
+      } else {
+        return report;  // active stays false
+      }
+      break;
+    case AttackType::Whitewashing:
+      whitewash(reported, round, report);
+      break;
+    case AttackType::Sybil:
+      sybil_amplify(reported, report);
+      break;
+  }
+  report.active = true;
+  return report;
+}
+
+std::vector<std::size_t> AttackInjector::fresh_identities(
+    std::size_t round, std::size_t quarantine_rounds) const {
+  std::vector<std::size_t> fresh;
+  if (scenario_.empty()) return fresh;
+  if (scenario_.type == AttackType::Sybil) {
+    for (std::size_t i = 0; i < attackers_.size(); ++i) {
+      if (master_of_[i] != SIZE_MAX) fresh.push_back(attackers_[i]);
+    }
+    return fresh;  // attackers_ is sorted, so fresh is too
+  }
+  if (scenario_.type != AttackType::Whitewashing) return fresh;
+  for (std::size_t idx = 0; idx < attackers_.size(); ++idx) {
+    const std::size_t lr = last_reentry(idx, round);
+    if (lr != SIZE_MAX && round - lr < quarantine_rounds) {
+      fresh.push_back(attackers_[idx]);
+    }
+  }
+  return fresh;
+}
+
+}  // namespace svo::trust

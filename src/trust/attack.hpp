@@ -1,0 +1,163 @@
+/// \file attack.hpp
+/// Adversarial perturbation of trust reports — the canonical attack
+/// families against reputation systems (badmouthing, ballot-stuffing
+/// collusion rings, on-off oscillation, whitewashing via identity
+/// re-entry, Sybil amplification), injected deterministically into a
+/// `TrustGraph`.
+///
+/// The paper's mechanism (and this repo's `ReputationEngine`) assumes
+/// every trust report is honest; a colluding ring can therefore steer VO
+/// formation toward its own members. The injector makes that threat
+/// model explicit and reproducible: an `AttackScenario` is a pure value
+/// (type, attacker fraction, intensity, seed), and
+/// `AttackInjector::apply` perturbs a graph bit-identically for the same
+/// (scenario, round) on every run and platform. Defenses live in
+/// trust/robust.hpp; the closed-loop harness that couples the two is
+/// sim/adversary.hpp.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "trust/trust_graph.hpp"
+
+namespace svo::trust {
+
+/// Canonical attack families (taxonomy per the robust-reputation
+/// literature: FRTRUST, TrustGuard, EigenTrust's threat models).
+enum class AttackType {
+  /// No perturbation; scenarios default to this.
+  None,
+  /// Attackers slander honest GSPs: every attacker->honest trust report
+  /// is scaled down by `intensity` (an edge driven to ~0 is removed —
+  /// the paper equates u_ij = 0 with complete distrust).
+  Badmouthing,
+  /// Collusion ring mutual praise: every attacker->attacker report is
+  /// raised to intensity * cap, where cap is max(1, largest weight in
+  /// the graph) so the stuffed ballots always compete with honest ones.
+  BallotStuffing,
+  /// Ballot stuffing + badmouthing combined — the strongest stationary
+  /// ring, and the family the resilience acceptance gate sweeps.
+  Collusion,
+  /// Oscillating ("on-off") behavior: the ring colludes only on rounds
+  /// where (round % period) < ceil(period / 2) and looks honest
+  /// otherwise, defeating naive long-horizon averaging.
+  OnOff,
+  /// Whitewashing by identity re-entry: each attacker periodically
+  /// discards its identity; on re-entry every report to and from it is
+  /// reset to `reentry_trust` (the newcomer prior), shedding whatever
+  /// bad reputation its behavior had earned.
+  Whitewashing,
+  /// Sybil amplification: the attacker set splits into masters and
+  /// sybil supporters; each sybil concentrates its (stuffed) trust on
+  /// its master and fellow sybils, multiplying one identity's voice.
+  Sybil,
+};
+
+/// Human-readable name ("badmouthing", "collusion", ...).
+[[nodiscard]] const char* to_string(AttackType type) noexcept;
+
+/// Inverse of to_string; throws InvalidArgument on an unknown name.
+[[nodiscard]] AttackType attack_type_from_string(std::string_view name);
+
+/// A fully specified attack, as a pure value. Same scenario + same round
+/// => bit-identical perturbation (tests/trust/attack_test.cpp).
+struct AttackScenario {
+  AttackType type = AttackType::None;
+  /// Fraction of the GSP population controlled by the adversary; the
+  /// attacker set is round(fraction * m) GSPs sampled by `seed`.
+  double attacker_fraction = 0.0;
+  /// Attack strength in (0, 1]: how hard reports are pushed (ballot
+  /// weight, slander depth, sybil concentration).
+  double intensity = 1.0;
+  /// Drives attacker selection (and nothing else: perturbations are
+  /// deterministic functions of the attacker set and the round).
+  std::uint64_t seed = 0;
+  /// OnOff: oscillation period in rounds (>= 2).
+  std::size_t period = 4;
+  /// Whitewashing: rounds between one attacker's identity re-entries
+  /// (>= 2; re-entries are staggered across attackers).
+  std::size_t reentry_interval = 4;
+  /// Whitewashing: the newcomer prior a re-entered identity is reset to.
+  double reentry_trust = 0.5;
+  /// Sybil: supporters amplifying each master.
+  std::size_t sybils_per_master = 3;
+
+  /// True when applying the scenario is a no-op.
+  [[nodiscard]] bool empty() const noexcept {
+    return type == AttackType::None || attacker_fraction <= 0.0;
+  }
+  /// Throws InvalidArgument on out-of-range knobs (fraction outside
+  /// [0,1], intensity outside (0,1], period/interval < 2, non-finite or
+  /// negative reentry_trust).
+  void validate() const;
+};
+
+/// What one `apply` call did (drives the benchmark's bookkeeping and the
+/// quarantine defense's freshness feed).
+struct AttackRound {
+  /// Whether any perturbation was applied (false on OnOff off-rounds
+  /// and when the scenario is empty).
+  bool active = false;
+  /// Trust reports written (set_trust calls, including removals).
+  std::size_t edges_touched = 0;
+  /// Identities that re-entered this round (Whitewashing only).
+  std::vector<std::size_t> reentered;
+};
+
+/// Applies an `AttackScenario` to trust graphs, round by round.
+class AttackInjector {
+ public:
+  /// Selects the attacker set for a population of `num_gsps` GSPs.
+  /// Validates the scenario.
+  AttackInjector(AttackScenario scenario, std::size_t num_gsps);
+
+  [[nodiscard]] const AttackScenario& scenario() const noexcept {
+    return scenario_;
+  }
+  /// Attacker GSP ids, strictly increasing.
+  [[nodiscard]] const std::vector<std::size_t>& attackers() const noexcept {
+    return attackers_;
+  }
+  [[nodiscard]] bool is_attacker(std::size_t g) const;
+  /// Sybil masters / supporters (empty unless type == Sybil).
+  [[nodiscard]] const std::vector<std::size_t>& masters() const noexcept {
+    return masters_;
+  }
+
+  /// Perturb `reported` in place for `round`. Deterministic in
+  /// (scenario, round): no hidden state, so two injectors built from the
+  /// same scenario produce bit-identical graphs in any call order.
+  AttackRound apply(TrustGraph& reported, std::size_t round) const;
+
+  /// Identities that re-entered within the last `quarantine_rounds`
+  /// rounds as of `round` (Whitewashing), plus all sybil supporters
+  /// (Sybil — sybils are newly minted identities by construction).
+  /// Feed this into RobustOptions::fresh. Strictly increasing.
+  [[nodiscard]] std::vector<std::size_t> fresh_identities(
+      std::size_t round, std::size_t quarantine_rounds) const;
+
+ private:
+  void badmouth(TrustGraph& g, AttackRound& report) const;
+  void stuff_ballots(TrustGraph& g, AttackRound& report) const;
+  void whitewash(TrustGraph& g, std::size_t round, AttackRound& report) const;
+  void sybil_amplify(TrustGraph& g, AttackRound& report) const;
+  /// Round of attacker #idx's most recent re-entry at or before `round`,
+  /// or SIZE_MAX when it has not re-entered yet.
+  [[nodiscard]] std::size_t last_reentry(std::size_t idx,
+                                         std::size_t round) const;
+
+  AttackScenario scenario_;
+  std::size_t m_ = 0;
+  std::vector<std::size_t> attackers_;
+  std::vector<bool> attacker_mask_;
+  std::vector<std::size_t> masters_;
+  /// master_of_[i] = master GSP id of sybil attackers_[i]; SIZE_MAX for
+  /// masters and non-Sybil scenarios.
+  std::vector<std::size_t> master_of_;
+};
+
+}  // namespace svo::trust

@@ -1,5 +1,8 @@
 #include "trust/reputation.hpp"
 
+#include <algorithm>
+#include <numeric>
+
 namespace svo::trust {
 
 ReputationResult ReputationEngine::from_matrix(const linalg::Matrix& a) const {
@@ -12,7 +15,58 @@ ReputationResult ReputationEngine::from_matrix(const linalg::Matrix& a) const {
   return r;
 }
 
+ReputationResult ReputationEngine::compute_robust(
+    const TrustGraph& g, const std::vector<std::size_t>& members) const {
+  opts_.robust.validate();
+  const std::size_t c = members.size();
+
+  std::vector<double> weights(c, 1.0);
+  if (opts_.robust.credibility_weighting) {
+    weights = rater_credibility(g, members, opts_.robust.credibility_strength);
+  }
+  // Quarantined (fresh) identities rate — and are scored — at a
+  // discounted prior. `fresh` holds global GSP ids; remap to coalition
+  // positions (members is strictly increasing, so binary search works).
+  std::vector<std::size_t> fresh_pos;
+  for (const std::size_t id : opts_.robust.fresh) {
+    const auto it = std::lower_bound(members.begin(), members.end(), id);
+    if (it != members.end() && *it == id) {
+      fresh_pos.push_back(static_cast<std::size_t>(it - members.begin()));
+    }
+  }
+  for (const std::size_t p : fresh_pos) {
+    weights[p] *= opts_.robust.quarantine_prior;
+  }
+
+  const linalg::PowerMethodResult pm = robust_power_method(
+      g.normalized_matrix(members), weights, opts_.power,
+      opts_.robust.aggregation, opts_.robust.trim_fraction,
+      opts_.robust.mom_buckets);
+
+  ReputationResult r;
+  r.scores = pm.eigenvector;
+  r.iterations = pm.iterations;
+  r.converged = pm.converged;
+  for (const std::size_t p : fresh_pos) {
+    r.scores[p] *= opts_.robust.quarantine_prior;
+  }
+  if (!fresh_pos.empty()) {
+    double sum = 0.0;
+    for (const double s : r.scores) sum += s;
+    if (sum > 0.0) {
+      for (double& s : r.scores) s /= sum;
+    }
+  }
+  r.average = average_reputation(r.scores);
+  return r;
+}
+
 ReputationResult ReputationEngine::compute(const TrustGraph& g) const {
+  if (opts_.robust.enabled) {
+    std::vector<std::size_t> all(g.size());
+    std::iota(all.begin(), all.end(), std::size_t{0});
+    return compute_robust(g, all);
+  }
   return from_matrix(g.normalized_matrix());
 }
 
@@ -23,6 +77,7 @@ ReputationResult ReputationEngine::compute(
     r.converged = true;
     return r;
   }
+  if (opts_.robust.enabled) return compute_robust(g, members);
   return from_matrix(g.normalized_matrix(members));
 }
 

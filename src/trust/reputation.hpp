@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "linalg/power_method.hpp"
+#include "trust/robust.hpp"
 #include "trust/trust_graph.hpp"
 
 namespace svo::trust {
@@ -29,8 +30,12 @@ struct ReputationResult {
 
 /// Options for the engine. Defaults: epsilon 1e-9, damping 0.15
 /// (DESIGN.md §4.1 — set damping to 0 for the paper's literal iteration).
+/// `robust` defaults to disabled, in which case the engine runs the
+/// literal pipeline untouched — bit-identical scores to a build without
+/// the defense layer (DESIGN.md §4d).
 struct ReputationOptions {
   linalg::PowerMethodOptions power;
+  RobustOptions robust;
 };
 
 /// Computes global reputation vectors for GSP coalitions.
@@ -52,6 +57,11 @@ class ReputationEngine {
 
  private:
   [[nodiscard]] ReputationResult from_matrix(const linalg::Matrix& a) const;
+  /// Defended pipeline (opts_.robust.enabled): credibility-weighted,
+  /// outlier-resistant power iteration plus quarantine of fresh
+  /// identities. `members` are original GSP ids, strictly increasing.
+  [[nodiscard]] ReputationResult compute_robust(
+      const TrustGraph& g, const std::vector<std::size_t>& members) const;
 
   ReputationOptions opts_;
 };

@@ -1,6 +1,7 @@
 #include "trust/trust_graph.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "graph/generators.hpp"
 
@@ -9,6 +10,7 @@ namespace svo::trust {
 void TrustGraph::set_trust(std::size_t i, std::size_t j, double u) {
   detail::require(i < size() && j < size(), "TrustGraph: index out of range");
   detail::require(i != j, "TrustGraph: self-trust is not modeled");
+  detail::require(std::isfinite(u), "TrustGraph: trust must be finite");
   detail::require(u >= 0.0, "TrustGraph: trust must be >= 0");
   if (u == 0.0) {
     (void)graph_.remove_edge(i, j);

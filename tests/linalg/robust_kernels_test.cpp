@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace svo::linalg {
+namespace {
+
+TEST(TrimmedSumTest, NoTrimIsPlainSum) {
+  std::vector<double> v = {3.0, 1.0, 2.0};
+  EXPECT_DOUBLE_EQ(trimmed_sum(v, 0.0), 6.0);
+  std::vector<double> empty;
+  EXPECT_DOUBLE_EQ(trimmed_sum(empty, 0.2), 0.0);
+}
+
+TEST(TrimmedSumTest, DropsExtremesAndRescales) {
+  // n = 5, trim 0.2 -> drop 1 from each end, rescale by 5/3.
+  std::vector<double> v = {100.0, 1.0, 2.0, 3.0, -50.0};
+  EXPECT_DOUBLE_EQ(trimmed_sum(v, 0.2), (1.0 + 2.0 + 3.0) * 5.0 / 3.0);
+}
+
+TEST(TrimmedSumTest, BoundsOutlierInfluence) {
+  // One adversarial entry among ten: the trimmed estimate must stay near
+  // the honest sum however large the outlier grows.
+  for (const double outlier : {1e3, 1e6, 1e12}) {
+    std::vector<double> v(10, 1.0);
+    v[7] = outlier;
+    const double est = trimmed_sum(v, 0.2);
+    EXPECT_LT(est, 20.0) << "outlier " << outlier;
+    EXPECT_GT(est, 5.0);
+  }
+}
+
+TEST(TrimmedSumTest, DegenerateTrimFallsBackToPlainSum) {
+  // Trimming would leave nothing (n = 2, one dropped per side).
+  std::vector<double> v = {1.0, 3.0};
+  EXPECT_DOUBLE_EQ(trimmed_sum(v, 0.49), 4.0);
+  std::vector<double> single = {5.0};
+  EXPECT_DOUBLE_EQ(trimmed_sum(single, 0.4), 5.0);
+}
+
+TEST(MedianOfMeansSumTest, SingleBucketIsPlainSum) {
+  std::vector<double> v = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(median_of_means_sum(v, 1), 10.0);
+  std::vector<double> empty;
+  EXPECT_DOUBLE_EQ(median_of_means_sum(empty, 3), 0.0);
+}
+
+TEST(MedianOfMeansSumTest, BucketsClampedToLength) {
+  std::vector<double> v = {2.0, 4.0};
+  // 5 buckets clamp to 2: means {2, 4}, median 3, times n=2 -> 6.
+  EXPECT_DOUBLE_EQ(median_of_means_sum(v, 5), 6.0);
+}
+
+TEST(MedianOfMeansSumTest, ResistsSingleOutlier) {
+  // 9 honest entries of 1.0 plus one huge outlier, 3 buckets: the
+  // outlier corrupts one bucket mean; the median ignores it.
+  for (const double outlier : {1e3, 1e9}) {
+    std::vector<double> v(9, 1.0);
+    v.push_back(outlier);
+    const double est = median_of_means_sum(v, 3);
+    EXPECT_NEAR(est, 10.0, 1.0) << "outlier " << outlier;
+  }
+}
+
+TEST(MedianOfMeansSumTest, UnanimousEntriesExact) {
+  std::vector<double> v(12, 0.5);
+  EXPECT_DOUBLE_EQ(median_of_means_sum(v, 4), 6.0);
+  std::vector<double> w(12, 0.5);
+  EXPECT_DOUBLE_EQ(trimmed_sum(w, 0.25), 6.0);
+}
+
+TEST(RobustKernelsTest, AgreeWithSumOnCleanData) {
+  // On outlier-free i.i.d. data all three estimators land close together.
+  util::Xoshiro256 rng(77);
+  std::vector<double> v(50);
+  double plain = 0.0;
+  for (double& x : v) {
+    x = rng.uniform(0.4, 0.6);
+    plain += x;
+  }
+  std::vector<double> a = v;
+  std::vector<double> b = v;
+  EXPECT_NEAR(trimmed_sum(a, 0.2), plain, 2.0);
+  EXPECT_NEAR(median_of_means_sum(b, 5), plain, 2.0);
+}
+
+}  // namespace
+}  // namespace svo::linalg

@@ -1,0 +1,190 @@
+#include "sim/adversary.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/rvof.hpp"
+#include "core/tvof.hpp"
+#include "ip/bnb.hpp"
+
+namespace svo::sim {
+namespace {
+
+ClosedLoopConfig small_loop() {
+  ClosedLoopConfig cfg;
+  cfg.rounds = 8;
+  cfg.num_tasks = 24;
+  cfg.gen.params.num_gsps = 6;
+  return cfg;
+}
+
+ReliabilityModel small_model(std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  return ReliabilityModel::bimodal(6, 0.7, 0.9, 0.3, rng);
+}
+
+trust::AttackScenario collusion(double fraction) {
+  trust::AttackScenario s;
+  s.type = trust::AttackType::Collusion;
+  s.attacker_fraction = fraction;
+  s.intensity = 0.9;
+  s.seed = 99;
+  return s;
+}
+
+TEST(AdversarialLoopTest, UnattackedUndefendedMatchesClosedLoopExactly) {
+  // The harness's core guarantee: with an empty scenario and defenses
+  // off, run_adversarial_loop IS run_closed_loop, round for round.
+  const ip::BnbAssignmentSolver solver;
+  const ReliabilityModel model = small_model(3);
+  const ClosedLoopConfig loop = small_loop();
+  for (const MechanismKind kind : {MechanismKind::Tvof, MechanismKind::Rvof}) {
+    AdversarialLoopConfig cfg;
+    cfg.loop = loop;
+    const AdversarialLoopResult adv = run_adversarial_loop(
+        kind, solver, core::MechanismConfig{}, model, cfg, 42);
+
+    ClosedLoopResult plain;
+    if (kind == MechanismKind::Tvof) {
+      plain = run_closed_loop(core::TvofMechanism(solver), model, loop, 42);
+    } else {
+      plain = run_closed_loop(core::RvofMechanism(solver), model, loop, 42);
+    }
+    ASSERT_EQ(adv.rounds.size(), plain.rounds.size());
+    for (std::size_t i = 0; i < adv.rounds.size(); ++i) {
+      EXPECT_EQ(adv.rounds[i].formed, plain.rounds[i].formed);
+      EXPECT_EQ(adv.rounds[i].completed, plain.rounds[i].completed);
+      EXPECT_EQ(adv.rounds[i].vo, plain.rounds[i].vo);
+      EXPECT_EQ(adv.rounds[i].promised_share, plain.rounds[i].promised_share);
+      EXPECT_EQ(adv.rounds[i].realized_share, plain.rounds[i].realized_share);
+      EXPECT_EQ(adv.rounds[i].delivery_rate, plain.rounds[i].delivery_rate);
+      EXPECT_FALSE(adv.rounds[i].attack_active);
+      EXPECT_EQ(adv.rounds[i].attack_edges, 0u);
+      EXPECT_DOUBLE_EQ(adv.rounds[i].attacker_selected_fraction, 0.0);
+    }
+    EXPECT_EQ(adv.completion_rate, plain.completion_rate);
+    EXPECT_EQ(adv.mean_realized_share, plain.mean_realized_share);
+    EXPECT_EQ(adv.mean_promised_share, plain.mean_promised_share);
+    EXPECT_TRUE(adv.attackers.empty());
+  }
+}
+
+TEST(AdversarialLoopTest, DeterministicInSeed) {
+  const ip::BnbAssignmentSolver solver;
+  const ReliabilityModel model = small_model(5);
+  AdversarialLoopConfig cfg;
+  cfg.loop = small_loop();
+  cfg.attack = collusion(0.3);
+  cfg.defenses.enabled = true;
+  const AdversarialLoopResult a = run_adversarial_loop(
+      MechanismKind::Tvof, solver, core::MechanismConfig{}, model, cfg, 7);
+  const AdversarialLoopResult b = run_adversarial_loop(
+      MechanismKind::Tvof, solver, core::MechanismConfig{}, model, cfg, 7);
+  ASSERT_EQ(a.rounds.size(), b.rounds.size());
+  EXPECT_EQ(a.attackers, b.attackers);
+  for (std::size_t i = 0; i < a.rounds.size(); ++i) {
+    EXPECT_EQ(a.rounds[i].vo, b.rounds[i].vo);
+    EXPECT_EQ(a.rounds[i].attack_edges, b.rounds[i].attack_edges);
+    EXPECT_EQ(a.rounds[i].realized_share, b.rounds[i].realized_share);
+    EXPECT_EQ(a.rounds[i].rank_corruption, b.rounds[i].rank_corruption);
+  }
+  EXPECT_EQ(a.mean_rank_corruption, b.mean_rank_corruption);
+}
+
+TEST(AdversarialLoopTest, AttackTelemetryIsPlausible) {
+  const ip::BnbAssignmentSolver solver;
+  const ReliabilityModel model = small_model(11);
+  AdversarialLoopConfig cfg;
+  cfg.loop = small_loop();
+  cfg.attack = collusion(0.34);  // round(0.34 * 6) = 2 attackers
+  const AdversarialLoopResult r = run_adversarial_loop(
+      MechanismKind::Tvof, solver, core::MechanismConfig{}, model, cfg, 13);
+  ASSERT_EQ(r.attackers.size(), 2u);
+  ASSERT_EQ(r.rounds.size(), 8u);
+  for (const auto& rec : r.rounds) {
+    EXPECT_TRUE(rec.attack_active);  // collusion attacks every round
+    EXPECT_GT(rec.attack_edges, 0u);
+    EXPECT_GE(rec.rank_corruption, 0.0);
+    EXPECT_LE(rec.rank_corruption, 1.0);
+    if (rec.formed) {
+      EXPECT_GE(rec.attacker_selected_fraction, 0.0);
+      EXPECT_LE(rec.attacker_selected_fraction, 1.0);
+    }
+  }
+  EXPECT_GE(r.mean_rank_corruption, 0.0);
+  EXPECT_LE(r.mean_rank_corruption, 1.0);
+}
+
+TEST(AdversarialLoopTest, OnOffRoundsAlternateActivity) {
+  const ip::BnbAssignmentSolver solver;
+  const ReliabilityModel model = small_model(17);
+  AdversarialLoopConfig cfg;
+  cfg.loop = small_loop();
+  cfg.attack = collusion(0.34);
+  cfg.attack.type = trust::AttackType::OnOff;
+  cfg.attack.period = 4;
+  const AdversarialLoopResult r = run_adversarial_loop(
+      MechanismKind::Tvof, solver, core::MechanismConfig{}, model, cfg, 19);
+  for (const auto& rec : r.rounds) {
+    EXPECT_EQ(rec.attack_active, (rec.round % 4) < 2) << rec.round;
+  }
+}
+
+TEST(AdversarialLoopTest, CustomInitialTrustGraphIsUsed) {
+  const ip::BnbAssignmentSolver solver;
+  const ReliabilityModel model = small_model(23);
+  AdversarialLoopConfig cfg;
+  cfg.loop = small_loop();
+  util::Xoshiro256 rng(29);
+  cfg.initial_trust_graph = trust::random_trust_graph(6, 0.5, rng);
+  const AdversarialLoopResult a = run_adversarial_loop(
+      MechanismKind::Tvof, solver, core::MechanismConfig{}, model, cfg, 31);
+  AdversarialLoopConfig plain_cfg;
+  plain_cfg.loop = small_loop();
+  const AdversarialLoopResult b = run_adversarial_loop(
+      MechanismKind::Tvof, solver, core::MechanismConfig{}, model, plain_cfg,
+      31);
+  // A different starting graph must change at least one formed VO across
+  // the run (the complete-at-0.5 start is highly symmetric; the random
+  // graph is not).
+  bool any_difference = false;
+  for (std::size_t i = 0; i < a.rounds.size(); ++i) {
+    if (!(a.rounds[i].vo == b.rounds[i].vo)) any_difference = true;
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(AdversarialLoopTest, ValidatesConfig) {
+  const ip::BnbAssignmentSolver solver;
+  const ReliabilityModel model = small_model(37);
+  AdversarialLoopConfig cfg;
+  cfg.loop = small_loop();
+  cfg.loop.rounds = 0;
+  EXPECT_THROW((void)run_adversarial_loop(MechanismKind::Tvof, solver,
+                                          core::MechanismConfig{}, model, cfg,
+                                          1),
+               InvalidArgument);
+  cfg = AdversarialLoopConfig{};
+  cfg.loop = small_loop();
+  cfg.attacker_theta = 1.5;
+  EXPECT_THROW((void)run_adversarial_loop(MechanismKind::Tvof, solver,
+                                          core::MechanismConfig{}, model, cfg,
+                                          1),
+               InvalidArgument);
+  cfg = AdversarialLoopConfig{};
+  cfg.loop = small_loop();
+  cfg.initial_trust_graph = trust::TrustGraph(4);  // wrong size
+  EXPECT_THROW((void)run_adversarial_loop(MechanismKind::Tvof, solver,
+                                          core::MechanismConfig{}, model, cfg,
+                                          1),
+               InvalidArgument);
+  cfg = AdversarialLoopConfig{};
+  cfg.loop = small_loop();
+  cfg.loop.gen.params.num_gsps = 4;  // model has 6
+  EXPECT_THROW((void)run_adversarial_loop(MechanismKind::Tvof, solver,
+                                          core::MechanismConfig{}, model, cfg,
+                                          1),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace svo::sim

@@ -3,6 +3,8 @@
 /// still be recovered.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <limits>
 #include <sstream>
 
 #include "trace/swf.hpp"
@@ -74,6 +76,57 @@ TEST(SwfFuzzTest, ExtremeNumericValuesHandled) {
   // Over 19 fields of pure numbers: malformed.
   EXPECT_FALSE(parse_swf_line(
       "1 2 3 4 5 6 7 8 9 10 11 12 13 14 15 16 17 18 19", j));
+}
+
+TEST(SwfFuzzTest, TruncatedLinesAreMalformedNeverFatal) {
+  constexpr const char* kValid =
+      "5 100 10 9000 128 8500 -1 128 9500 -1 1 3 2 7 1 1 -1 -1";
+  const std::string valid(kValid);
+  SwfJob j;
+  ASSERT_TRUE(parse_swf_line(valid, j));
+  // Every strict prefix either drops a field (wrong count) or cuts one
+  // mid-token; both are malformed, neither may crash or throw.
+  for (std::size_t len = 0; len < valid.size(); ++len) {
+    SwfJob partial;
+    EXPECT_FALSE(parse_swf_line(valid.substr(0, len), partial))
+        << "prefix of length " << len << " parsed as a full record";
+  }
+}
+
+TEST(SwfFuzzTest, NonFiniteTokensRejected) {
+  // from_chars accepts "inf"/"nan" spellings; the parser must not.
+  SwfJob j;
+  EXPECT_FALSE(parse_swf_line(
+      "1 0 0 inf 1 0 -1 1 0 -1 1 1 1 1 1 1 -1 -1", j));
+  EXPECT_FALSE(parse_swf_line(
+      "1 0 0 nan 1 0 -1 1 0 -1 1 1 1 1 1 1 -1 -1", j));
+  EXPECT_FALSE(parse_swf_line(
+      "-inf 0 0 9000 1 0 -1 1 0 -1 1 1 1 1 1 1 -1 -1", j));
+  // Out-of-double-range exponents fail from_chars itself.
+  EXPECT_FALSE(parse_swf_line(
+      "1 0 0 1e400 1 0 -1 1 0 -1 1 1 1 1 1 1 -1 -1", j));
+}
+
+TEST(SwfFuzzTest, HugeIntegerFieldsSaturateInsteadOfOverflowing) {
+  // A finite double beyond int64 range in an integer field must clamp,
+  // not invoke the out-of-range cast (UB).
+  SwfJob j;
+  ASSERT_TRUE(parse_swf_line(
+      "1e300 0 0 9000 1 0 -1 1 0 -1 1 1 1 1 1 1 -1 -1", j));
+  EXPECT_EQ(j.job_number, std::numeric_limits<std::int64_t>::max());
+  ASSERT_TRUE(parse_swf_line(
+      "1 -1e300 0 9000 1 0 -1 1 0 -1 1 1 1 1 1 1 -1 -1", j));
+  EXPECT_EQ(j.submit_time, std::numeric_limits<std::int64_t>::min());
+}
+
+TEST(SwfFuzzTest, GarbageFieldInsideRecordRejectsLine) {
+  SwfJob j;
+  // 18 tokens, one non-numeric: malformed.
+  EXPECT_FALSE(parse_swf_line(
+      "5 100 10 9000 128 8500 -1 128 9500 -1 one 3 2 7 1 1 -1 -1", j));
+  // Embedded NUL-ish / punctuation soup in a field.
+  EXPECT_FALSE(parse_swf_line(
+      "5 100 10 90#0 128 8500 -1 128 9500 -1 1 3 2 7 1 1 -1 -1", j));
 }
 
 }  // namespace

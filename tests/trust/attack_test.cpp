@@ -1,0 +1,330 @@
+#include "trust/attack.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace svo::trust {
+namespace {
+
+AttackScenario scenario(AttackType type, double fraction, double intensity,
+                        std::uint64_t seed) {
+  AttackScenario s;
+  s.type = type;
+  s.attacker_fraction = fraction;
+  s.intensity = intensity;
+  s.seed = seed;
+  return s;
+}
+
+bool graphs_identical(const TrustGraph& a, const TrustGraph& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    for (std::size_t j = 0; j < a.size(); ++j) {
+      if (a.trust(i, j) != b.trust(i, j)) return false;  // exact, bit-level
+    }
+  }
+  return true;
+}
+
+TEST(AttackScenarioTest, ValidateRejectsBadKnobs) {
+  AttackScenario s = scenario(AttackType::Collusion, 0.3, 0.9, 1);
+  EXPECT_NO_THROW(s.validate());
+  s.attacker_fraction = 1.5;
+  EXPECT_THROW(s.validate(), InvalidArgument);
+  s = scenario(AttackType::Collusion, 0.3, 0.0, 1);
+  EXPECT_THROW(s.validate(), InvalidArgument);
+  s = scenario(AttackType::Collusion, 0.3, 1.5, 1);
+  EXPECT_THROW(s.validate(), InvalidArgument);
+  s = scenario(AttackType::OnOff, 0.3, 0.9, 1);
+  s.period = 1;
+  EXPECT_THROW(s.validate(), InvalidArgument);
+  s = scenario(AttackType::Whitewashing, 0.3, 0.9, 1);
+  s.reentry_interval = 1;
+  EXPECT_THROW(s.validate(), InvalidArgument);
+  s = scenario(AttackType::Sybil, 0.3, 0.9, 1);
+  s.sybils_per_master = 0;
+  EXPECT_THROW(s.validate(), InvalidArgument);
+  // Empty scenarios skip the knob checks entirely.
+  s = scenario(AttackType::None, 0.0, -3.0, 1);
+  EXPECT_NO_THROW(s.validate());
+}
+
+TEST(AttackScenarioTest, TypeNamesRoundTrip) {
+  for (const AttackType t :
+       {AttackType::None, AttackType::Badmouthing, AttackType::BallotStuffing,
+        AttackType::Collusion, AttackType::OnOff, AttackType::Whitewashing,
+        AttackType::Sybil}) {
+    EXPECT_EQ(attack_type_from_string(to_string(t)), t);
+  }
+  EXPECT_THROW((void)attack_type_from_string("nonsense"), InvalidArgument);
+}
+
+TEST(AttackInjectorTest, AttackerSetSizeAndOrder) {
+  const AttackInjector inj(scenario(AttackType::Collusion, 0.3, 0.9, 7), 20);
+  // round(0.3 * 20) = 6 attackers, strictly increasing, all in range.
+  ASSERT_EQ(inj.attackers().size(), 6u);
+  EXPECT_TRUE(std::is_sorted(inj.attackers().begin(), inj.attackers().end()));
+  for (std::size_t i = 1; i < inj.attackers().size(); ++i) {
+    EXPECT_LT(inj.attackers()[i - 1], inj.attackers()[i]);
+  }
+  for (const std::size_t a : inj.attackers()) {
+    EXPECT_LT(a, 20u);
+    EXPECT_TRUE(inj.is_attacker(a));
+  }
+  EXPECT_THROW((void)inj.is_attacker(20), InvalidArgument);
+}
+
+TEST(AttackInjectorTest, SameSeedSameScenarioIsBitIdentical) {
+  const AttackScenario s = scenario(AttackType::Collusion, 0.4, 0.8, 99);
+  util::Xoshiro256 rng(5);
+  const TrustGraph base = random_trust_graph(16, 0.4, rng);
+  const AttackInjector one(s, 16);
+  const AttackInjector two(s, 16);
+  EXPECT_EQ(one.attackers(), two.attackers());
+  for (std::size_t round = 0; round < 6; ++round) {
+    TrustGraph ga = base;
+    TrustGraph gb = base;
+    const AttackRound ra = one.apply(ga, round);
+    const AttackRound rb = two.apply(gb, round);
+    EXPECT_EQ(ra.active, rb.active);
+    EXPECT_EQ(ra.edges_touched, rb.edges_touched);
+    EXPECT_EQ(ra.reentered, rb.reentered);
+    EXPECT_TRUE(graphs_identical(ga, gb)) << "round " << round;
+  }
+}
+
+TEST(AttackInjectorTest, DifferentSeedsPickDifferentRings) {
+  // Not guaranteed for any single pair, but across several seeds at
+  // least one attacker set must differ — otherwise selection ignores
+  // the seed.
+  const std::vector<std::size_t> first =
+      AttackInjector(scenario(AttackType::Collusion, 0.3, 0.9, 1), 30)
+          .attackers();
+  bool any_differ = false;
+  for (std::uint64_t seed = 2; seed <= 6; ++seed) {
+    const AttackInjector inj(scenario(AttackType::Collusion, 0.3, 0.9, seed),
+                             30);
+    if (inj.attackers() != first) any_differ = true;
+  }
+  EXPECT_TRUE(any_differ);
+}
+
+TEST(AttackInjectorTest, EmptyScenarioIsNoOp) {
+  util::Xoshiro256 rng(11);
+  const TrustGraph base = random_trust_graph(8, 0.5, rng);
+  const AttackInjector inj(AttackScenario{}, 8);
+  EXPECT_TRUE(inj.attackers().empty());
+  TrustGraph g = base;
+  const AttackRound r = inj.apply(g, 0);
+  EXPECT_FALSE(r.active);
+  EXPECT_EQ(r.edges_touched, 0u);
+  EXPECT_TRUE(graphs_identical(g, base));
+}
+
+TEST(AttackInjectorTest, BadmouthingOnlyScalesAttackerToHonestEdges) {
+  util::Xoshiro256 rng(3);
+  const TrustGraph base = random_trust_graph(12, 0.8, rng);
+  const AttackInjector inj(scenario(AttackType::Badmouthing, 0.25, 0.5, 2),
+                           12);
+  TrustGraph g = base;
+  const AttackRound r = inj.apply(g, 0);
+  EXPECT_TRUE(r.active);
+  EXPECT_GT(r.edges_touched, 0u);
+  for (std::size_t i = 0; i < 12; ++i) {
+    for (std::size_t j = 0; j < 12; ++j) {
+      if (i == j) continue;
+      const double before = base.trust(i, j);
+      const double after = g.trust(i, j);
+      if (inj.is_attacker(i) && !inj.is_attacker(j) && before > 0.0) {
+        EXPECT_DOUBLE_EQ(after, before * 0.5);
+      } else {
+        EXPECT_DOUBLE_EQ(after, before);  // everything else untouched
+      }
+    }
+  }
+}
+
+TEST(AttackInjectorTest, FullIntensityBadmouthingRemovesEdges) {
+  util::Xoshiro256 rng(4);
+  const TrustGraph base = random_trust_graph(10, 0.9, rng);
+  const AttackInjector inj(scenario(AttackType::Badmouthing, 0.3, 1.0, 5), 10);
+  TrustGraph g = base;
+  (void)inj.apply(g, 0);
+  for (const std::size_t a : inj.attackers()) {
+    for (std::size_t j = 0; j < 10; ++j) {
+      if (j == a || inj.is_attacker(j)) continue;
+      EXPECT_DOUBLE_EQ(g.trust(a, j), 0.0);
+    }
+  }
+}
+
+TEST(AttackInjectorTest, BallotStuffingRaisesRingEdgesToCap) {
+  TrustGraph base(10);
+  for (std::size_t i = 0; i < 10; ++i) {
+    for (std::size_t j = 0; j < 10; ++j) {
+      if (i != j) base.set_trust(i, j, 0.3);
+    }
+  }
+  base.set_trust(0, 1, 2.0);  // cap = 2.0
+  const AttackInjector inj(scenario(AttackType::BallotStuffing, 0.4, 0.9, 8),
+                           10);
+  TrustGraph g = base;
+  (void)inj.apply(g, 0);
+  const double expected = 2.0 * 0.9;
+  for (const std::size_t a : inj.attackers()) {
+    for (const std::size_t b : inj.attackers()) {
+      if (a == b) continue;
+      EXPECT_GE(g.trust(a, b), std::min(expected, base.trust(a, b)));
+      if (base.trust(a, b) < expected) {
+        EXPECT_DOUBLE_EQ(g.trust(a, b), expected);
+      }
+    }
+  }
+  // Honest rows untouched.
+  for (std::size_t i = 0; i < 10; ++i) {
+    if (inj.is_attacker(i)) continue;
+    for (std::size_t j = 0; j < 10; ++j) {
+      EXPECT_DOUBLE_EQ(g.trust(i, j), base.trust(i, j));
+    }
+  }
+}
+
+TEST(AttackInjectorTest, OnOffIsDormantOnOffRounds) {
+  util::Xoshiro256 rng(9);
+  const TrustGraph base = random_trust_graph(12, 0.7, rng);
+  AttackScenario s = scenario(AttackType::OnOff, 0.3, 0.9, 3);
+  s.period = 4;  // collude on rounds 0,1 of each period; behave on 2,3
+  const AttackInjector inj(s, 12);
+  for (std::size_t round = 0; round < 8; ++round) {
+    TrustGraph g = base;
+    const AttackRound r = inj.apply(g, round);
+    const bool expect_active = (round % 4) < 2;
+    EXPECT_EQ(r.active, expect_active) << "round " << round;
+    if (!expect_active) {
+      EXPECT_EQ(r.edges_touched, 0u);
+      EXPECT_TRUE(graphs_identical(g, base));
+    } else {
+      EXPECT_GT(r.edges_touched, 0u);
+    }
+  }
+}
+
+TEST(AttackInjectorTest, WhitewashingResetsBothDirectionsAndStaggers) {
+  util::Xoshiro256 rng(13);
+  const TrustGraph base = random_trust_graph(12, 0.8, rng);
+  AttackScenario s = scenario(AttackType::Whitewashing, 0.3, 0.9, 6);
+  s.reentry_interval = 4;
+  s.reentry_trust = 0.5;
+  const AttackInjector inj(s, 12);
+  // Round 0 never re-enters (nothing to whitewash yet).
+  {
+    TrustGraph g = base;
+    const AttackRound r = inj.apply(g, 0);
+    EXPECT_TRUE(r.reentered.empty());
+    EXPECT_TRUE(graphs_identical(g, base));
+  }
+  std::vector<std::size_t> all_reentered;
+  for (std::size_t round = 1; round <= 8; ++round) {
+    TrustGraph g = base;
+    const AttackRound r = inj.apply(g, round);
+    for (const std::size_t a : r.reentered) {
+      EXPECT_TRUE(inj.is_attacker(a));
+      all_reentered.push_back(a);
+      for (std::size_t i = 0; i < 12; ++i) {
+        if (i == a) continue;
+        EXPECT_DOUBLE_EQ(g.trust(i, a), 0.5);
+        EXPECT_DOUBLE_EQ(g.trust(a, i), 0.5);
+      }
+    }
+    // Staggered: never the whole ring at once.
+    EXPECT_LT(r.reentered.size(), inj.attackers().size());
+  }
+  // Over two full intervals, every attacker re-entered at least once.
+  std::sort(all_reentered.begin(), all_reentered.end());
+  all_reentered.erase(
+      std::unique(all_reentered.begin(), all_reentered.end()),
+      all_reentered.end());
+  EXPECT_EQ(all_reentered, inj.attackers());
+}
+
+TEST(AttackInjectorTest, SybilSplitsMastersAndSupporters) {
+  AttackScenario s = scenario(AttackType::Sybil, 0.5, 0.9, 21);
+  s.sybils_per_master = 3;
+  const AttackInjector inj(s, 16);  // 8 attackers -> 2 masters, 6 sybils
+  ASSERT_EQ(inj.attackers().size(), 8u);
+  ASSERT_EQ(inj.masters().size(), 2u);
+  for (const std::size_t mstr : inj.masters()) {
+    EXPECT_TRUE(inj.is_attacker(mstr));
+  }
+  // fresh_identities = all sybil supporters, regardless of round.
+  const std::vector<std::size_t> fresh = inj.fresh_identities(0, 3);
+  EXPECT_EQ(fresh.size(), 6u);
+  EXPECT_TRUE(std::is_sorted(fresh.begin(), fresh.end()));
+  for (const std::size_t f : fresh) {
+    EXPECT_TRUE(inj.is_attacker(f));
+    EXPECT_EQ(std::count(inj.masters().begin(), inj.masters().end(), f), 0);
+  }
+}
+
+TEST(AttackInjectorTest, SybilConcentratesSupportOnMaster) {
+  TrustGraph base(16);
+  for (std::size_t i = 0; i < 16; ++i) {
+    for (std::size_t j = 0; j < 16; ++j) {
+      if (i != j) base.set_trust(i, j, 0.5);
+    }
+  }
+  AttackScenario s = scenario(AttackType::Sybil, 0.5, 1.0, 21);
+  s.sybils_per_master = 3;
+  const AttackInjector inj(s, 16);
+  TrustGraph g = base;
+  (void)inj.apply(g, 0);
+  // Every sybil's strongest report is its master; honest targets are
+  // slandered to zero at full intensity.
+  for (const std::size_t a : inj.attackers()) {
+    const bool is_master =
+        std::count(inj.masters().begin(), inj.masters().end(), a) > 0;
+    if (is_master) continue;
+    double to_master = 0.0;
+    for (const std::size_t mstr : inj.masters()) {
+      to_master = std::max(to_master, g.trust(a, mstr));
+    }
+    EXPECT_GE(to_master, 1.0);  // ballot cap >= 1
+    for (std::size_t j = 0; j < 16; ++j) {
+      if (j == a || inj.is_attacker(j)) continue;
+      EXPECT_DOUBLE_EQ(g.trust(a, j), 0.0);
+    }
+  }
+}
+
+TEST(AttackInjectorTest, WhitewashingFreshIdentitiesAgeOut) {
+  AttackScenario s = scenario(AttackType::Whitewashing, 0.3, 0.9, 6);
+  s.reentry_interval = 4;
+  const AttackInjector inj(s, 12);
+  util::Xoshiro256 rng(1);
+  TrustGraph g = random_trust_graph(12, 0.8, rng);
+  for (std::size_t round = 1; round <= 8; ++round) {
+    TrustGraph copy = g;
+    const AttackRound r = inj.apply(copy, round);
+    const std::vector<std::size_t> fresh = inj.fresh_identities(round, 1);
+    // With a 1-round quarantine, fresh == exactly this round's re-entries.
+    EXPECT_EQ(fresh, r.reentered) << "round " << round;
+    // A longer quarantine only grows the set.
+    const std::vector<std::size_t> fresh3 = inj.fresh_identities(round, 3);
+    for (const std::size_t f : fresh) {
+      EXPECT_NE(std::find(fresh3.begin(), fresh3.end(), f), fresh3.end());
+    }
+  }
+}
+
+TEST(AttackInjectorTest, ApplyRejectsWrongGraphSize) {
+  const AttackInjector inj(scenario(AttackType::Collusion, 0.3, 0.9, 1), 10);
+  TrustGraph wrong(8);
+  EXPECT_THROW((void)inj.apply(wrong, 0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace svo::trust

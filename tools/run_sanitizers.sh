@@ -5,11 +5,19 @@
 # -fsanitize=address,undefined with no recovery so any finding fails the
 # run). Usage:
 #
-#   tools/run_sanitizers.sh [ctest-args...]
+#   tools/run_sanitizers.sh [--smoke-only] [ctest-args...]
 #
-# Extra arguments are forwarded to ctest, e.g.
+# --smoke-only stops after the `smoke` ctest label (the fast slice CI
+# runs on every push); without it the full suite follows. Extra
+# arguments are forwarded to ctest, e.g.
 #   tools/run_sanitizers.sh -R FaultInjector
 set -euo pipefail
+
+smoke_only=0
+if [[ "${1:-}" == "--smoke-only" ]]; then
+  smoke_only=1
+  shift
+fi
 
 cd "$(dirname "$0")/.."
 
@@ -22,8 +30,13 @@ export ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1:strict_string_checks=1}"
 export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}"
 
 # Smoke slice first (tests/CMakeLists.txt `smoke` label): the
-# warm-start pipeline tests fail in seconds when the incremental solve
-# path is broken, before the full suite spends its minutes.
+# warm-start and adversarial-trust tests fail in seconds when the
+# incremental solve path or the defenses-off equivalence is broken,
+# before the full suite spends its minutes.
 ctest --preset asan-ubsan -L smoke --output-on-failure
+
+if [[ "$smoke_only" == "1" ]]; then
+  exit 0
+fi
 
 ctest --preset asan-ubsan -j "$(nproc)" "$@"
