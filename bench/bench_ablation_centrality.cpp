@@ -10,7 +10,7 @@
 
 int main() {
   using namespace svo;
-  bench::banner("Ablation", "removal rule: eigenvector vs other centralities");
+  const bench::Session session("Ablation", "removal rule: eigenvector vs other centralities");
 
   sim::ExperimentConfig cfg = bench::paper_config();
   cfg.task_sizes = {256};

@@ -29,7 +29,7 @@ double jaccard(svo::game::Coalition a, svo::game::Coalition b) {
 
 int main() {
   using namespace svo;
-  bench::banner("Ablation", "time-decaying trust locks VO membership in");
+  const bench::Session session("Ablation", "time-decaying trust locks VO membership in");
 
   constexpr std::size_t kGsps = 16;
   constexpr std::size_t kRounds = 20;

@@ -12,7 +12,7 @@
 
 int main() {
   using namespace svo;
-  bench::banner("Extension", "TVOF vs merge-and-split (MSVOF) vs RVOF");
+  const bench::Session session("Extension", "TVOF vs merge-and-split (MSVOF) vs RVOF");
 
   sim::ExperimentConfig cfg = bench::paper_config();
   cfg.task_sizes = {256};

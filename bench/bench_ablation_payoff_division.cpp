@@ -15,7 +15,7 @@
 
 int main() {
   using namespace svo;
-  bench::banner("Ablation", "payoff division: equal share vs Shapley value");
+  const bench::Session session("Ablation", "payoff division: equal share vs Shapley value");
 
   sim::ExperimentConfig cfg = bench::paper_config();
   cfg.gen.params.num_gsps = 6;  // 2^6 coalition evaluations stay cheap

@@ -30,7 +30,7 @@ svo::trust::TrustGraph densify(const svo::trust::TrustGraph& g,
 
 int main() {
   using namespace svo;
-  bench::banner("Ablation",
+  const bench::Session session("Ablation",
                 "reputation machinery: power method vs trust propagation");
 
   sim::ExperimentConfig cfg = bench::paper_config();

@@ -12,7 +12,7 @@
 
 int main() {
   using namespace svo;
-  bench::banner("Ablation",
+  const bench::Session session("Ablation",
                 "Theorem 1 stability: total vs average reputation preference");
 
   sim::ExperimentConfig cfg = bench::paper_config();

@@ -13,7 +13,7 @@
 
 int main() {
   using namespace svo;
-  bench::banner("Ablation",
+  const bench::Session session("Ablation",
                 "coalition-structure quality: optimal DP vs MSVOF vs TVOF");
 
   sim::ExperimentConfig cfg = bench::paper_config();

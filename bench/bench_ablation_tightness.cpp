@@ -9,7 +9,7 @@
 
 int main() {
   using namespace svo;
-  bench::banner("Ablation", "deadline/payment tightness sensitivity");
+  const bench::Session session("Ablation", "deadline/payment tightness sensitivity");
 
   struct Band {
     const char* name;

@@ -8,7 +8,7 @@
 
 int main() {
   using namespace svo;
-  bench::banner("Ablation", "workload family: Atlas-like vs Lublin-Feitelson");
+  const bench::Session session("Ablation", "workload family: Atlas-like vs Lublin-Feitelson");
 
   util::Table table({"trace model", "tasks", "payoff ratio TVOF/RVOF",
                      "TVOF reputation", "RVOF reputation", "runs"});

@@ -8,7 +8,7 @@
 
 int main() {
   using namespace svo;
-  bench::banner("Ablation", "trust density p vs reputation gap");
+  const bench::Session session("Ablation", "trust density p vs reputation gap");
 
   const std::vector<double> densities{0.05, 0.1, 0.2, 0.4, 0.8};
   util::Table table({"p", "TVOF reputation", "RVOF reputation", "gap",

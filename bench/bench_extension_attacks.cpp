@@ -160,38 +160,28 @@ Cell run_cell(const std::string& attack_name, trust::AttackType type,
 
 void emit_json(const std::vector<Cell>& cells,
                const std::vector<const Cell*>& collusion_sweep) {
-  std::FILE* f = std::fopen("BENCH_attacks.json", "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "cannot write BENCH_attacks.json\n");
-    return;
+  bench::Report report("attacks");
+  obs::JsonWriter& j = report.json();
+  j.kv("experiment", "attack_resilience_closed_loop");
+  j.kv("gsps", kGsps).kv("tasks", kTasks).kv("rounds", kRounds);
+  j.key("cells").begin_array();
+  const auto arm = [&j](const char* name, const ArmStats& a) {
+    j.key(name).begin_object();
+    j.kv("realized_share", a.realized.mean());
+    j.kv("rank_corruption", a.corruption.mean());
+    j.kv("attacker_vo_share", a.attacker_share.mean());
+    j.kv("completion_rate", a.completion.mean());
+    j.end_object();
+  };
+  for (const Cell& c : cells) {
+    j.begin_object();
+    j.kv("attack", c.attack).kv("fraction", c.fraction);
+    arm("tvof_literal", c.literal);
+    arm("tvof_robust", c.robust);
+    arm("rvof", c.rvof);
+    j.end_object();
   }
-  std::fprintf(f, "{\n  \"bench\": \"attack_resilience_closed_loop\",\n");
-  std::fprintf(f, "  \"gsps\": %zu,\n  \"tasks\": %zu,\n  \"rounds\": %zu,\n",
-               kGsps, kTasks, kRounds);
-  std::fprintf(f, "  \"cells\": [\n");
-  for (std::size_t i = 0; i < cells.size(); ++i) {
-    const Cell& c = cells[i];
-    std::fprintf(
-        f,
-        "    {\"attack\": \"%s\", \"fraction\": %.4f,\n"
-        "     \"tvof_literal\": {\"realized_share\": %.4f, "
-        "\"rank_corruption\": %.4f, \"attacker_vo_share\": %.4f, "
-        "\"completion_rate\": %.4f},\n"
-        "     \"tvof_robust\": {\"realized_share\": %.4f, "
-        "\"rank_corruption\": %.4f, \"attacker_vo_share\": %.4f, "
-        "\"completion_rate\": %.4f},\n"
-        "     \"rvof\": {\"realized_share\": %.4f, "
-        "\"rank_corruption\": %.4f, \"attacker_vo_share\": %.4f, "
-        "\"completion_rate\": %.4f}}%s\n",
-        c.attack.c_str(), c.fraction, c.literal.realized.mean(),
-        c.literal.corruption.mean(), c.literal.attacker_share.mean(),
-        c.literal.completion.mean(), c.robust.realized.mean(),
-        c.robust.corruption.mean(), c.robust.attacker_share.mean(),
-        c.robust.completion.mean(), c.rvof.realized.mean(),
-        c.rvof.corruption.mean(), c.rvof.attacker_share.mean(),
-        c.rvof.completion.mean(), i + 1 < cells.size() ? "," : "");
-  }
-  std::fprintf(f, "  ],\n");
+  j.end_array();
 
   // Acceptance aggregate over the collusion sweep. Two gates:
   //  1. The defended arm strictly beats the literal one wherever the
@@ -219,28 +209,27 @@ void emit_json(const std::vector<Cell>& cells,
       monotone = false;
     }
   }
-  std::fprintf(f, "  \"aggregate\": {\n");
-  std::fprintf(f, "    \"collusion_sweep\": [");
-  for (std::size_t i = 0; i < collusion_sweep.size(); ++i) {
-    const Cell& c = *collusion_sweep[i];
-    std::fprintf(f,
-                 "%s{\"fraction\": %.4f, \"literal\": %.4f, "
-                 "\"robust\": %.4f, \"rvof\": %.4f, \"oracle\": %.4f, "
-                 "\"robust_retention\": %.4f}",
-                 i > 0 ? ", " : "", c.fraction, c.literal.realized.mean(),
-                 c.robust.realized.mean(), c.rvof.realized.mean(),
-                 c.oracle.realized.mean(), retention(c));
+  j.key("aggregate").begin_object();
+  j.key("collusion_sweep").begin_array();
+  for (const Cell* cp : collusion_sweep) {
+    const Cell& c = *cp;
+    j.begin_object();
+    j.kv("fraction", c.fraction);
+    j.kv("literal", c.literal.realized.mean());
+    j.kv("robust", c.robust.realized.mean());
+    j.kv("rvof", c.rvof.realized.mean());
+    j.kv("oracle", c.oracle.realized.mean());
+    j.kv("robust_retention", retention(c));
+    j.end_object();
   }
-  std::fprintf(f, "],\n");
-  std::fprintf(f,
-               "    \"robust_beats_literal_at_30pct\": %s,\n"
-               "    \"robust_degradation_monotone\": %s,\n"
-               "    \"monotone_tolerance\": %.4f\n  }\n}\n",
-               robust_beats_literal ? "true" : "false",
-               monotone ? "true" : "false", kTolerance);
-  std::fclose(f);
+  j.end_array();
+  j.kv("robust_beats_literal_at_30pct", robust_beats_literal);
+  j.kv("robust_degradation_monotone", monotone);
+  j.kv("monotone_tolerance", kTolerance);
+  j.end_object();
+  report.write();
   std::printf("\nacceptance: robust beats literal at >=30%% collusion: %s; "
-              "robust degradation monotone: %s -> BENCH_attacks.json\n",
+              "robust degradation monotone: %s\n",
               robust_beats_literal ? "yes" : "NO",
               monotone ? "yes" : "NO");
 }
@@ -248,19 +237,12 @@ void emit_json(const std::vector<Cell>& cells,
 }  // namespace
 
 int main() {
-  bench::banner("Extension",
+  const bench::Session session("Extension",
                 "adversarial trust: attack x fraction sweep, "
                 "TVOF-literal vs TVOF-robust vs RVOF");
 
-  std::uint64_t root_seed = 20120911;
-  if (const char* seed = std::getenv("SVO_SEED")) {
-    root_seed = std::strtoull(seed, nullptr, 10);
-  }
-  std::size_t reps = 3;
-  if (const char* env = std::getenv("SVO_REPS")) {
-    const long v = std::strtol(env, nullptr, 10);
-    if (v > 0) reps = static_cast<std::size_t>(v);
-  }
+  const std::uint64_t root_seed = util::env_u64_or("SVO_SEED", 20120911);
+  const std::size_t reps = util::env_positive_size_or("SVO_REPS", 3);
 
   // Anytime node budget, identical across arms (DESIGN.md §4.4); small
   // because the sweep runs 3 arms x ~10 cells x reps closed loops.

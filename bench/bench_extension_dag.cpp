@@ -31,7 +31,7 @@ svo::ip::TaskDag layered_dag(std::size_t layers, std::size_t width,
 
 int main() {
   using namespace svo;
-  bench::banner("Extension", "task dependencies (paper future work)");
+  const bench::Session session("Extension", "task dependencies (paper future work)");
 
   util::Xoshiro256 rng(1357);
   workload::InstanceGenOptions gopts;

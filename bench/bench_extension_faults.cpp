@@ -48,7 +48,7 @@ struct CellStats {
 }  // namespace
 
 int main() {
-  bench::banner("Extension",
+  const bench::Session session("Extension",
                 "fault-tolerant protocol: drop x crash sweep, TVOF vs RVOF");
 
   constexpr std::size_t kGsps = 10;

@@ -10,7 +10,7 @@
 
 int main() {
   using namespace svo;
-  bench::banner("Extension",
+  const bench::Session session("Extension",
                 "multi-program formation under resource contention");
 
   const ip::BnbAssignmentSolver solver;

@@ -11,7 +11,7 @@
 
 int main() {
   using namespace svo;
-  bench::banner("Extension", "trusted-party protocol cost (messages/bytes)");
+  const bench::Session session("Extension", "trusted-party protocol cost (messages/bytes)");
 
   core::ProtocolOptions proto;
   proto.latency.base_seconds = 0.025;         // WAN round-half: 25 ms

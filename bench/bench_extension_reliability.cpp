@@ -13,7 +13,7 @@
 
 int main() {
   using namespace svo;
-  bench::banner("Extension",
+  const bench::Session session("Extension",
                 "closed-loop reliability: realized value, TVOF vs RVOF");
 
   sim::ClosedLoopConfig cfg;

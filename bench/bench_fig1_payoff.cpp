@@ -7,7 +7,7 @@
 
 int main() {
   using namespace svo;
-  bench::banner("Fig. 1", "GSP individual payoff vs number of tasks");
+  const bench::Session session("Fig. 1", "GSP individual payoff vs number of tasks");
 
   const sim::ExperimentConfig cfg = bench::paper_config();
   const sim::SweepResult sweep = bench::run_paper_sweep(cfg);

@@ -20,7 +20,7 @@
 
 int main() {
   using namespace svo;
-  bench::banner("Fig. 2 follow-up", "why does VO size grow in the paper?");
+  const bench::Session session("Fig. 2 follow-up", "why does VO size grow in the paper?");
 
   struct Variant {
     const char* name;

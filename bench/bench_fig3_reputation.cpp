@@ -6,7 +6,7 @@
 
 int main() {
   using namespace svo;
-  bench::banner("Fig. 3", "average global reputation of the final VO");
+  const bench::Session session("Fig. 3", "average global reputation of the final VO");
 
   const sim::ExperimentConfig cfg = bench::paper_config();
   const sim::SweepResult sweep = bench::run_paper_sweep(cfg);

@@ -10,7 +10,7 @@
 
 int main() {
   using namespace svo;
-  bench::banner("Fig. 4",
+  const bench::Session session("Fig. 4",
                 "per-program payoffs: TVOF pick vs max(payoff x reputation)");
 
   const sim::ExperimentConfig cfg = bench::paper_config();

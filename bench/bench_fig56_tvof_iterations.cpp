@@ -44,7 +44,7 @@ void run_program(const char* figure, const svo::sim::ScenarioFactory& factory,
 
 int main() {
   using namespace svo;
-  bench::banner("Figs. 5-6", "TVOF iteration traces for programs A and B");
+  const bench::Session session("Figs. 5-6", "TVOF iteration traces for programs A and B");
   const sim::ScenarioFactory factory(bench::paper_config());
   run_program("Fig. 5", factory, 0);
   run_program("Fig. 6", factory, 1);

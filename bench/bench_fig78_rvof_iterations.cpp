@@ -52,7 +52,7 @@ void run_program(const char* figure, const svo::sim::ScenarioFactory& factory,
 
 int main() {
   using namespace svo;
-  bench::banner("Figs. 7-8", "RVOF iteration traces for programs A and B");
+  const bench::Session session("Figs. 7-8", "RVOF iteration traces for programs A and B");
   const sim::ScenarioFactory factory(bench::paper_config());
   run_program("Fig. 7", factory, 0);
   run_program("Fig. 8", factory, 1);

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/common.hpp"
 #include "core/tvof.hpp"
 #include "ip/annealing.hpp"
 #include "ip/bnb.hpp"
@@ -223,44 +224,40 @@ void run_warmstart_bench() {
                            static_cast<double>(warm_total)
                      : 0.0;
 
-  std::FILE* f = std::fopen("BENCH_warmstart.json", "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "cannot write BENCH_warmstart.json\n");
-    return;
+  bench::Report report("warmstart");
+  obs::JsonWriter& j = report.json();
+  j.kv("mechanism", "tvof");
+  j.kv("budget_max_nodes", std::size_t{20'000});
+  j.kv("warm_max_nodes", std::size_t{5'000});
+  j.key("runs").begin_array();
+  for (const WarmstartRun& r : runs) {
+    j.begin_object();
+    j.kv("n", r.n).kv("k", r.k).kv("seed", r.seed);
+    j.kv("cold_nodes", r.cold_nodes).kv("warm_nodes", r.warm_nodes);
+    j.kv("cold_ms", r.cold_ms).kv("warm_ms", r.warm_ms);
+    j.kv("repair_moves", r.repair_moves);
+    j.kv("warm_start_used", r.warm_used);
+    j.kv("same_vo", r.same_vo).kv("same_cost", r.same_cost);
+    j.end_object();
   }
-  std::fprintf(f, "{\n  \"bench\": \"warmstart_mechanism_loop\",\n");
-  std::fprintf(f, "  \"mechanism\": \"tvof\",\n");
-  std::fprintf(f, "  \"budget_max_nodes\": 20000,\n");
-  std::fprintf(f, "  \"warm_max_nodes\": 5000,\n  \"runs\": [\n");
-  for (std::size_t i = 0; i < runs.size(); ++i) {
-    const WarmstartRun& r = runs[i];
-    std::fprintf(
-        f,
-        "    {\"n\": %zu, \"k\": %zu, \"seed\": %llu, \"cold_nodes\": %zu, "
-        "\"warm_nodes\": %zu, \"cold_ms\": %.2f, \"warm_ms\": %.2f, "
-        "\"repair_moves\": %zu, \"warm_start_used\": %s, \"same_vo\": %s, "
-        "\"same_cost\": %s}%s\n",
-        r.n, r.k, static_cast<unsigned long long>(r.seed), r.cold_nodes,
-        r.warm_nodes, r.cold_ms, r.warm_ms, r.repair_moves,
-        r.warm_used ? "true" : "false", r.same_vo ? "true" : "false",
-        r.same_cost ? "true" : "false", i + 1 < runs.size() ? "," : "");
-  }
-  std::fprintf(f, "  ],\n  \"aggregate\": {\n");
-  std::fprintf(f, "    \"total_cold_nodes\": %zu,\n", cold_total);
-  std::fprintf(f, "    \"total_warm_nodes\": %zu,\n", warm_total);
-  std::fprintf(f, "    \"node_reduction\": %.3f,\n", reduction);
-  std::fprintf(f, "    \"all_outcomes_identical\": %s\n  }\n}\n",
-               all_identical ? "true" : "false");
-  std::fclose(f);
+  j.end_array();
+  j.key("aggregate").begin_object();
+  j.kv("total_cold_nodes", cold_total);
+  j.kv("total_warm_nodes", warm_total);
+  j.kv("node_reduction", reduction);
+  j.kv("all_outcomes_identical", all_identical);
+  j.end_object();
+  report.write();
   std::printf(
       "\nwarmstart mechanism loop: cold %zu nodes, warm %zu nodes "
-      "(%.2fx reduction), outcomes identical: %s -> BENCH_warmstart.json\n",
+      "(%.2fx reduction), outcomes identical: %s\n",
       cold_total, warm_total, reduction, all_identical ? "yes" : "NO");
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  const svo::obs::TraceSession trace;  // env-driven: SVO_TRACE / SVO_METRICS
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

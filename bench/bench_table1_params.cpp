@@ -9,7 +9,7 @@
 
 int main() {
   using namespace svo;
-  bench::banner("Table I", "simulation parameters (drawn vs documented)");
+  const bench::Session session("Table I", "simulation parameters (drawn vs documented)");
 
   const sim::ExperimentConfig cfg = bench::paper_config();
   const sim::ScenarioFactory factory(cfg);

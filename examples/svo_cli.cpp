@@ -10,7 +10,7 @@
 ///       --trust-p P               (default 0.1)
 ///       --seed S                  (default 42)
 ///   svo_cli sweep [--reps N] [--seed S]         run the paper's sweep
-///                                               and print Figs. 1-3, 9
+///                 [--sizes a,b,c]               and print Figs. 1-3, 9
 ///   svo_cli closed-loop [--rounds N] [--seed S] hidden-reliability closed
 ///                                               loop, TVOF vs RVOF
 ///   svo_cli multi [--programs N] [--seed S]     multi-program contention
@@ -28,16 +28,26 @@
 ///       --fraction P (default 0.3)  --intensity I (default 0.9)
 ///       --gsps N     (default 12)   --tasks N     (default 36)
 ///       --rounds N   (default 10)   --seed S      (default 42)
+///
+/// Global options (any subcommand):
+///   --trace <file>   record a Chrome trace of the run (open in
+///                    chrome://tracing or https://ui.perfetto.dev);
+///                    equivalent to SVO_TRACE=<file>. SVO_METRICS=<file>
+///                    additionally dumps the metric registry JSON.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "core/distributed_tvof.hpp"
 #include "core/rvof.hpp"
 #include "core/tvof.hpp"
 #include "ip/bnb.hpp"
+#include "obs/trace.hpp"
+#include "util/env.hpp"
 #include "sim/adversary.hpp"
 #include "sim/learning.hpp"
 #include "sim/multi_program.hpp"
@@ -56,7 +66,7 @@ int usage() {
   std::fprintf(stderr,
                "usage: svo_cli "
                "<trace-gen|trace-stats|form|sweep|closed-loop|multi|faults|"
-               "attacks> ...\n"
+               "attacks> [--trace <file>] ...\n"
                "see the header of examples/svo_cli.cpp for details\n");
   return 2;
 }
@@ -373,6 +383,17 @@ int cmd_sweep(int argc, char** argv) {
   cfg.repetitions =
       std::strtoul(opt(argc, argv, "--reps", "10"), nullptr, 10);
   cfg.seed = std::strtoull(opt(argc, argv, "--seed", "20120910"), nullptr, 10);
+  if (const char* sizes = opt(argc, argv, "--sizes", nullptr)) {
+    // Strict shared parser (util/env.hpp) — same as the bench harnesses'
+    // SVO_SIZES; a CLI typo should fail loudly, not silently fall back.
+    const auto parsed = util::parse_size_list(sizes);
+    if (!parsed.has_value()) {
+      std::fprintf(stderr, "invalid --sizes \"%s\" (want e.g. 256,1024)\n",
+                   sizes);
+      return 2;
+    }
+    cfg.task_sizes = *parsed;
+  }
   cfg.solver.max_nodes = 20'000;
   const sim::ExperimentRunner runner(cfg);
   const sim::SweepResult sweep = runner.run_sweep();
@@ -394,6 +415,28 @@ int cmd_sweep(int argc, char** argv) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Hoist the global --trace option out of argv *before* subcommand
+  // dispatch so positional arguments stay aligned for every command.
+  std::string trace_path;
+  std::vector<char*> args(argv, argv + argc);
+  for (auto it = args.begin(); it != args.end();) {
+    if (std::strcmp(*it, "--trace") == 0 && it + 1 != args.end()) {
+      trace_path = *(it + 1);
+      it = args.erase(it, it + 2);
+    } else {
+      ++it;
+    }
+  }
+  argc = static_cast<int>(args.size());
+  argv = args.data();
+
+  std::optional<svo::obs::TraceSession> trace_session;
+  if (trace_path.empty()) {
+    trace_session.emplace();  // env-driven: SVO_TRACE / SVO_METRICS
+  } else {
+    trace_session.emplace(trace_path);
+  }
+
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
   try {

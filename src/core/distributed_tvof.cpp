@@ -3,6 +3,8 @@
 #include <cmath>
 #include <optional>
 
+#include "obs/trace.hpp"
+
 namespace svo::core {
 
 void ProtocolOptions::validate() const {
@@ -60,7 +62,8 @@ class TrustedParty {
                const ip::AssignmentInstance& inst,
                const trust::TrustGraph& trust, util::Xoshiro256& rng,
                const ProtocolOptions& opt, des::Simulator& sim,
-               des::Network& net, DistributedRunResult& result)
+               des::Network& net, obs::MetricRegistry& reg,
+               DistributedRunResult& result)
       : mechanism_(mechanism),
         inst_(inst),
         trust_(trust),
@@ -69,6 +72,11 @@ class TrustedParty {
         sim_(sim),
         net_(net),
         result_(result),
+        retries_(reg.counter("protocol.retries")),
+        timeouts_(reg.counter("protocol.timeouts_fired")),
+        repairs_(reg.counter("protocol.repair_rounds")),
+        report_phase_s_(reg.gauge("protocol.report_phase_seconds")),
+        completion_s_(reg.gauge("protocol.completion_seconds")),
         m_(inst.num_gsps()),
         reported_(m_, 0),
         acked_(m_, 0) {
@@ -77,6 +85,7 @@ class TrustedParty {
   }
 
   void start() {
+    set_phase(Phase::Collecting, "protocol.phase.collecting");
     for (std::size_t g = 0; g < m_; ++g) send_cfp(g);
     arm_report_timer();
   }
@@ -103,6 +112,31 @@ class TrustedParty {
 
  private:
   enum class Phase { Collecting, Deciding, Awarding, Done };
+
+  /// Phase transition. Functionally this is just `phase_ = p`; when the
+  /// recorder is enabled it additionally closes the previous phase as a
+  /// trace span (real elapsed time — the DES runs synchronously, so
+  /// Deciding's real duration is dominated by the mechanism run) with
+  /// the simulated clock attached as an annotation. `name == nullptr`
+  /// marks a terminal phase that opens no new span.
+  void set_phase(Phase p, const char* name) {
+    obs::Recorder& rec = obs::Recorder::instance();
+    if (rec.enabled()) {
+      const std::uint64_t now = obs::now_micros();
+      if (phase_name_ != nullptr) {
+        obs::TraceEvent ev;
+        ev.name = phase_name_;
+        ev.category = "protocol";
+        ev.start_us = phase_started_us_;
+        ev.duration_us = now - phase_started_us_;
+        ev.args.emplace_back("sim_now_s", sim_.now());
+        rec.record(std::move(ev));
+      }
+      phase_started_us_ = now;
+    }
+    phase_ = p;
+    phase_name_ = name;
+  }
 
   // --- wire helpers -----------------------------------------------------
 
@@ -151,7 +185,7 @@ class TrustedParty {
     const std::size_t expect = epoch_;
     sim_.schedule(delay, [this, expect] {
       if (epoch_ != expect || phase_ != Phase::Collecting) return;  // stale
-      ++result_.protocol.timeouts_fired;
+      timeouts_.add();
       note_event();
       if (reports_ >= quorum_) {
         decide();
@@ -162,7 +196,7 @@ class TrustedParty {
         for (std::size_t g = 0; g < m_; ++g) {
           if (reported_[g] != 0) continue;
           send_cfp(g);
-          ++result_.protocol.retries;
+          retries_.add();
         }
         arm_report_timer();
         return;
@@ -175,8 +209,8 @@ class TrustedParty {
 
   void decide() {
     ++epoch_;
-    phase_ = Phase::Deciding;
-    result_.protocol.report_phase_seconds = sim_.now();
+    set_phase(Phase::Deciding, "protocol.phase.deciding");
+    report_phase_s_.set(sim_.now());
     result_.protocol.degraded_quorum = reports_ < m_;
     game::Coalition responsive;
     for (std::size_t g = 0; g < m_; ++g) {
@@ -222,11 +256,11 @@ class TrustedParty {
       // Formation infeasible over the current pool: explicit failure.
       result_.protocol.formation_failed = true;
       ++epoch_;
-      phase_ = Phase::Done;
+      set_phase(Phase::Done, nullptr);
       return;
     }
     ++epoch_;
-    phase_ = Phase::Awarding;
+    set_phase(Phase::Awarding, "protocol.phase.awarding");
     members_ = r.selected.members();
     acked_.assign(m_, 0);
     acks_ = 0;
@@ -243,9 +277,9 @@ class TrustedParty {
     if (acked_[g] != 0) return;                            // duplicate ack
     acked_[g] = 1;
     if (++acks_ == members_.size()) {
-      result_.protocol.completion_seconds = sim_.now();
+      completion_s_.set(sim_.now());
       ++epoch_;
-      phase_ = Phase::Done;
+      set_phase(Phase::Done, nullptr);
     }
   }
 
@@ -257,14 +291,14 @@ class TrustedParty {
     const std::size_t expect = epoch_;
     sim_.schedule(delay, [this, expect] {
       if (epoch_ != expect || phase_ != Phase::Awarding) return;  // stale
-      ++result_.protocol.timeouts_fired;
+      timeouts_.add();
       note_event();
       if (award_attempt_ < opt_.max_retries) {
         ++award_attempt_;
         for (const std::size_t g : members_) {
           if (acked_[g] != 0) continue;
           send_award(g);
-          ++result_.protocol.retries;
+          retries_.add();
         }
         arm_award_timer();
         return;
@@ -290,9 +324,9 @@ class TrustedParty {
       return;
     }
     ++repair_rounds_used_;
-    ++result_.protocol.repair_rounds;
+    repairs_.add();
     ++epoch_;
-    phase_ = Phase::Deciding;
+    set_phase(Phase::Deciding, "protocol.phase.deciding");
     run_formation();
   }
 
@@ -303,9 +337,9 @@ class TrustedParty {
     result_.mechanism.success = false;  // no working VO was handed over
     // Best-effort release of anyone still holding an award.
     for (const std::size_t g : members_) send_release(g);
-    result_.protocol.completion_seconds = sim_.now();
+    completion_s_.set(sim_.now());
     ++epoch_;
-    phase_ = Phase::Done;
+    set_phase(Phase::Done, nullptr);
   }
 
   const VoFormationMechanism& mechanism_;
@@ -317,9 +351,20 @@ class TrustedParty {
   des::Network& net_;
   DistributedRunResult& result_;
 
+  // Fault/latency accounting lives in the run's MetricRegistry (the
+  // observability spine); run_distributed copies the final values into
+  // ProtocolMetrics. Cached references — registry entries are stable.
+  obs::Counter& retries_;
+  obs::Counter& timeouts_;
+  obs::Counter& repairs_;
+  obs::Gauge& report_phase_s_;
+  obs::Gauge& completion_s_;
+
   const std::size_t m_;
   std::size_t quorum_ = 1;
   Phase phase_ = Phase::Collecting;
+  const char* phase_name_ = nullptr;
+  std::uint64_t phase_started_us_ = 0;
   std::size_t epoch_ = 0;
   bool mechanism_ran_ = false;
   double last_event_ = 0.0;
@@ -351,6 +396,7 @@ DistributedRunResult run_distributed(const VoFormationMechanism& mechanism,
                                      util::Xoshiro256& rng,
                                      const ProtocolOptions& options) {
   options.validate();
+  obs::Span span("core.protocol.run", "core");
   const std::size_t m = inst.num_gsps();
   const std::size_t n = inst.num_tasks();
 
@@ -362,8 +408,15 @@ DistributedRunResult run_distributed(const VoFormationMechanism& mechanism,
     net.set_fault_injector(&*injector);
   }
 
+  // The protocol's fault/latency counters live in a per-run registry so
+  // they flow through the same obs primitives as every other subsystem;
+  // a local registry (not the global recorder's) keeps concurrent
+  // sweeps from mixing their per-run numbers. Always on — ProtocolMetrics
+  // is part of the functional result, not optional telemetry.
+  obs::MetricRegistry preg;
   DistributedRunResult result;
-  TrustedParty tp(mechanism, inst, trust, rng, options, sim, net, result);
+  TrustedParty tp(mechanism, inst, trust, rng, options, sim, net, preg,
+                  result);
 
   // GSP behaviour: answer CFPs with a report after local processing;
   // acknowledge awards; ignore releases. Duplicates (protocol re-sends)
@@ -400,6 +453,19 @@ DistributedRunResult run_distributed(const VoFormationMechanism& mechanism,
 
   detail::require(tp.decided(),
                   "run_distributed: protocol never reached the decision");
+
+  // Fold the per-run registry back into the plain ProtocolMetrics struct
+  // callers consume.
+  result.protocol.retries =
+      static_cast<std::size_t>(preg.counter_value("protocol.retries"));
+  result.protocol.timeouts_fired =
+      static_cast<std::size_t>(preg.counter_value("protocol.timeouts_fired"));
+  result.protocol.repair_rounds =
+      static_cast<std::size_t>(preg.counter_value("protocol.repair_rounds"));
+  result.protocol.report_phase_seconds =
+      preg.gauge_value("protocol.report_phase_seconds");
+  result.protocol.completion_seconds =
+      preg.gauge_value("protocol.completion_seconds");
   if (result.protocol.completion_seconds == 0.0) {
     // No award round finished (mechanism failed): completion = the last
     // protocol event (the final release delivery / decision dispatch).
@@ -409,6 +475,33 @@ DistributedRunResult run_distributed(const VoFormationMechanism& mechanism,
   result.protocol.bytes = net.bytes_sent();
   if (injector.has_value()) {
     result.protocol.drops_observed = injector->stats().total_drops();
+  }
+
+  if (span.active()) {
+    span.arg("gsps", static_cast<double>(m));
+    span.arg("tasks", static_cast<double>(n));
+    span.arg("messages", static_cast<double>(result.protocol.messages));
+    span.arg("bytes", static_cast<double>(result.protocol.bytes));
+    span.arg("retries", static_cast<double>(result.protocol.retries));
+    span.arg("sim_completion_s", result.protocol.completion_seconds);
+    span.arg("outcome",
+             result.protocol.formation_failed ? "failed" : "formed");
+    obs::MetricRegistry& g = obs::Recorder::instance().metrics();
+    g.counter("core.protocol.runs").add();
+    g.counter("core.protocol.messages").add(result.protocol.messages);
+    g.counter("core.protocol.bytes").add(result.protocol.bytes);
+    g.counter("core.protocol.retries").add(result.protocol.retries);
+    g.counter("core.protocol.timeouts_fired")
+        .add(result.protocol.timeouts_fired);
+    g.counter("core.protocol.repair_rounds")
+        .add(result.protocol.repair_rounds);
+    g.counter("core.protocol.drops_observed")
+        .add(result.protocol.drops_observed);
+    if (result.protocol.formation_failed) {
+      g.counter("core.protocol.formation_failures").add();
+    }
+    g.histogram("core.protocol.sim_completion_seconds")
+        .observe(result.protocol.completion_seconds);
   }
   return result;
 }

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "game/payoff.hpp"
+#include "obs/trace.hpp"
 #include "util/timer.hpp"
 
 namespace svo::core {
@@ -60,6 +61,7 @@ MechanismResult VoFormationMechanism::run(const FormationRequest& request) const
   detail::require(candidates.is_subset_of(game::Coalition::all(m)),
                   "VoFormationMechanism::run: candidates exceed the GSP set");
   const util::WallTimer timer;
+  obs::Span span("core.mechanism.run", "core");
 
   MechanismResult result;
   const trust::ReputationEngine engine(config_.reputation);
@@ -88,10 +90,17 @@ MechanismResult VoFormationMechanism::run(const FormationRequest& request) const
   const game::CoalitionEvaluation* prev_eval = nullptr;
   std::size_t prev_removed = SIZE_MAX;
   while (!c.empty()) {
+    obs::Span iter_span("core.mechanism.iteration", "core");
+    if (iter_span.active()) {
+      iter_span.arg("coalition_size", static_cast<double>(c.size()));
+    }
     const game::CoalitionEvaluation& eval =  // line 5
         warm && prev_eval != nullptr
             ? v.evaluate(c, game::WarmHint{prev_eval, prev_removed})
             : v.evaluate(c);
+    if (iter_span.active()) {
+      iter_span.arg("feasible", eval.feasible ? 1.0 : 0.0);
+    }
 
     IterationRecord rec;
     rec.coalition = c;
@@ -176,6 +185,21 @@ MechanismResult VoFormationMechanism::run(const FormationRequest& request) const
     result.avg_global_reputation = avg_global(best);
   }
   result.elapsed_seconds = timer.seconds();
+  if (span.active()) {
+    span.arg("gsps", static_cast<double>(m));
+    span.arg("iterations", static_cast<double>(result.journal.size()));
+    span.arg("feasible_vos", static_cast<double>(feasible_list.size()));
+    span.arg("success", result.success ? 1.0 : 0.0);
+    span.arg("vo_size", static_cast<double>(result.selected.size()));
+    span.arg("cost", result.cost);
+    span.arg("warm", warm ? 1.0 : 0.0);
+    obs::MetricRegistry& mreg = obs::Recorder::instance().metrics();
+    mreg.counter("core.mechanism.runs").add();
+    mreg.counter("core.mechanism.iterations").add(result.journal.size());
+    if (!result.success) mreg.counter("core.mechanism.failures").add();
+    mreg.histogram("core.mechanism.iters_per_run")
+        .observe(static_cast<double>(result.journal.size()));
+  }
   return result;
 }
 

@@ -7,6 +7,7 @@
 
 #include "ip/greedy.hpp"
 #include "ip/warm_start.hpp"
+#include "obs/trace.hpp"
 #include "util/timer.hpp"
 
 namespace svo::ip {
@@ -95,6 +96,7 @@ class Search {
       incumbent_ = std::move(a);
       incumbent_cost_ = cost;
       has_incumbent_ = true;
+      ++incumbent_updates_;
     }
   }
 
@@ -120,6 +122,11 @@ class Search {
   [[nodiscard]] const Assignment& incumbent() const noexcept { return incumbent_; }
   [[nodiscard]] double incumbent_cost() const noexcept { return incumbent_cost_; }
   [[nodiscard]] std::size_t nodes() const noexcept { return nodes_; }
+  /// Incumbent improvements (seed acceptances + leaf updates) — the obs
+  /// layer reports these per solve; counting here never alters search.
+  [[nodiscard]] std::size_t incumbent_updates() const noexcept {
+    return incumbent_updates_;
+  }
   [[nodiscard]] double root_bound() const noexcept { return suffix_min_[0]; }
 
  private:
@@ -140,6 +147,7 @@ class Search {
         incumbent_ = current_;
         incumbent_cost_ = cost_so_far;
         has_incumbent_ = true;
+        ++incumbent_updates_;
       }
       return;
     }
@@ -194,6 +202,7 @@ class Search {
   bool has_incumbent_ = false;
   bool truncated_ = false;
   std::size_t nodes_ = 0;
+  std::size_t incumbent_updates_ = 0;
   util::WallTimer timer_;
 };
 
@@ -212,6 +221,7 @@ AssignmentSolution BnbAssignmentSolver::solve(const AssignmentInstance& inst,
 AssignmentSolution BnbAssignmentSolver::solve_impl(
     const AssignmentInstance& inst, const WarmStart* warm) const {
   inst.validate();
+  obs::Span span("ip.bnb.solve", "ip");
 
   // Reuse the parent instance's cost orders when the hint is coherent
   // with this instance; otherwise fall back to recomputing them.
@@ -279,6 +289,25 @@ AssignmentSolution BnbAssignmentSolver::solve_impl(
   } else {
     sol.stats.status =
         exhausted ? AssignStatus::Infeasible : AssignStatus::Unknown;
+  }
+  if (span.active()) {
+    // Telemetry is sampled at the solve boundary, never per node: the
+    // search above runs exactly as it does with the recorder off.
+    span.arg("gsps", static_cast<double>(inst.num_gsps()));
+    span.arg("tasks", static_cast<double>(inst.num_tasks()));
+    span.arg("nodes", static_cast<double>(sol.stats.nodes));
+    span.arg("incumbents", static_cast<double>(search.incumbent_updates()));
+    span.arg("warm", sol.stats.warm_start_used ? 1.0 : 0.0);
+    span.arg("cost", sol.cost);
+    span.arg("status", to_string(sol.stats.status));
+    obs::MetricRegistry& m = obs::Recorder::instance().metrics();
+    m.counter("ip.bnb.solves").add();
+    m.counter("ip.bnb.nodes").add(sol.stats.nodes);
+    m.counter("ip.bnb.incumbent_updates").add(search.incumbent_updates());
+    if (sol.stats.warm_start_used) m.counter("ip.bnb.warm_solves").add();
+    if (!exhausted) m.counter("ip.bnb.budget_truncated").add();
+    m.histogram("ip.bnb.nodes_per_solve")
+        .observe(static_cast<double>(sol.stats.nodes));
   }
   return sol;
 }

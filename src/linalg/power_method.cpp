@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/trace.hpp"
 #include "util/thread_pool.hpp"
 
 namespace svo::linalg {
@@ -54,9 +55,8 @@ void apply_operator(const Matrix& a, const std::vector<bool>& dangling,
   for (std::size_t j = 0; j < n; ++j) y[j] = (1.0 - damping) * y[j] + base;
 }
 
-}  // namespace
-
-PowerMethodResult power_method(const Matrix& a, const PowerMethodOptions& opts) {
+PowerMethodResult power_method_impl(const Matrix& a,
+                                    const PowerMethodOptions& opts) {
   detail::require(a.rows() == a.cols(), "power_method: matrix must be square");
   detail::require(opts.epsilon > 0.0, "power_method: epsilon must be > 0");
   detail::require(opts.damping >= 0.0 && opts.damping < 1.0,
@@ -109,6 +109,26 @@ PowerMethodResult power_method(const Matrix& a, const PowerMethodOptions& opts) 
     }
   }
   result.eigenvector = std::move(x);
+  return result;
+}
+
+}  // namespace
+
+PowerMethodResult power_method(const Matrix& a, const PowerMethodOptions& opts) {
+  obs::Span span("linalg.power_method", "linalg");
+  PowerMethodResult result = power_method_impl(a, opts);
+  if (span.active()) {
+    span.arg("n", static_cast<double>(a.rows()));
+    span.arg("iterations", static_cast<double>(result.iterations));
+    span.arg("converged", result.converged ? 1.0 : 0.0);
+    span.arg("eigenvalue", result.eigenvalue);
+    obs::MetricRegistry& m = obs::Recorder::instance().metrics();
+    m.counter("linalg.power_method.calls").add();
+    m.counter("linalg.power_method.iterations").add(result.iterations);
+    if (!result.converged) m.counter("linalg.power_method.nonconverged").add();
+    m.histogram("linalg.power_method.iters_per_call")
+        .observe(static_cast<double>(result.iterations));
+  }
   return result;
 }
 

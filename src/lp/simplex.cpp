@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/trace.hpp"
+
 namespace svo::lp {
 
 const char* to_string(SolveStatus s) noexcept {
@@ -227,7 +229,9 @@ class Tableau {
 
 }  // namespace
 
-Solution solve(const Problem& problem, const SimplexOptions& options) {
+namespace {
+
+Solution solve_impl(const Problem& problem, const SimplexOptions& options) {
   Solution solution;
   Tableau tab(problem, options);
   std::size_t pivots = 0;
@@ -267,6 +271,25 @@ Solution solve(const Problem& problem, const SimplexOptions& options) {
   if (s2 == SolveStatus::Optimal) {
     solution.x = tab.extract_solution();
     solution.objective = problem.objective_value(solution.x);
+  }
+  return solution;
+}
+
+}  // namespace
+
+Solution solve(const Problem& problem, const SimplexOptions& options) {
+  obs::Span span("lp.simplex.solve", "lp");
+  Solution solution = solve_impl(problem, options);
+  if (span.active()) {
+    span.arg("vars", static_cast<double>(problem.num_vars()));
+    span.arg("constraints", static_cast<double>(problem.num_constraints()));
+    span.arg("pivots", static_cast<double>(solution.iterations));
+    span.arg("status", to_string(solution.status));
+    obs::MetricRegistry& m = obs::Recorder::instance().metrics();
+    m.counter("lp.simplex.solves").add();
+    m.counter("lp.simplex.pivots").add(solution.iterations);
+    m.histogram("lp.simplex.pivots_per_solve")
+        .observe(static_cast<double>(solution.iterations));
   }
   return solution;
 }

@@ -1,0 +1,156 @@
+#include "obs/json.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+#include "util/error.hpp"
+
+namespace svo::obs {
+
+void JsonWriter::write_escaped(std::ostream& os, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\b':
+        os << "\\b";
+        break;
+      case '\f':
+        os << "\\f";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\r':
+        os << "\\r";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+}
+
+void JsonWriter::newline_indent() {
+  if (!pretty_) return;
+  os_ << '\n';
+  for (std::size_t i = 0; i < stack_.size(); ++i) os_ << "  ";
+}
+
+void JsonWriter::before_element() {
+  if (stack_.empty()) return;  // top-level value
+  Level& top = stack_.back();
+  if (top.kind == '{') {
+    detail::require(top.key_pending,
+                    "JsonWriter: value inside an object requires key()");
+    top.key_pending = false;
+    return;  // comma/indent were emitted by key()
+  }
+  if (top.count++ > 0) os_ << ',';
+  newline_indent();
+}
+
+JsonWriter& JsonWriter::key(std::string_view k) {
+  detail::require(!stack_.empty() && stack_.back().kind == '{',
+                  "JsonWriter: key() outside an object");
+  Level& top = stack_.back();
+  detail::require(!top.key_pending, "JsonWriter: key() after key()");
+  if (top.count++ > 0) os_ << ',';
+  newline_indent();
+  os_ << '"';
+  write_escaped(os_, k);
+  os_ << (pretty_ ? "\": " : "\":");
+  top.key_pending = true;
+  return *this;
+}
+
+void JsonWriter::open(char kind, char c) {
+  before_element();
+  os_ << c;
+  stack_.push_back(Level{kind, 0, false});
+}
+
+void JsonWriter::close(char kind, char c) {
+  detail::require(!stack_.empty() && stack_.back().kind == kind &&
+                      !stack_.back().key_pending,
+                  "JsonWriter: unbalanced end of container");
+  const bool had_elements = stack_.back().count > 0;
+  stack_.pop_back();
+  if (had_elements) newline_indent();
+  os_ << c;
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  open('{', '{');
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  close('{', '}');
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  open('[', '[');
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  close('[', ']');
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool b) {
+  before_element();
+  os_ << (b ? "true" : "false");
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double d) {
+  before_element();
+  if (!std::isfinite(d)) {
+    os_ << "null";  // JSON has no NaN/Inf
+    return *this;
+  }
+  char buf[32];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), d);
+  detail::require(ec == std::errc(), "JsonWriter: double format failed");
+  os_.write(buf, end - buf);
+  return *this;
+}
+
+JsonWriter& JsonWriter::write_int(std::int64_t v) {
+  before_element();
+  os_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::write_uint(std::uint64_t v) {
+  before_element();
+  os_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view s) {
+  before_element();
+  os_ << '"';
+  write_escaped(os_, s);
+  os_ << '"';
+  return *this;
+}
+
+}  // namespace svo::obs

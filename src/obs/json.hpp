@@ -1,0 +1,87 @@
+/// \file json.hpp
+/// Minimal streaming JSON writer — the one serializer behind every JSON
+/// artifact this repo emits: Chrome trace files, metric registry dumps,
+/// and the bench harnesses' BENCH_*.json reports (which used to
+/// hand-roll fprintf scaffolding per binary; see bench/common.hpp).
+///
+/// The writer is strictly sequential: begin/end containers, key() before
+/// each object member, value() for scalars. Commas, quoting, escaping
+/// and (optional) indentation are handled here so call sites cannot emit
+/// syntactically invalid JSON. Non-finite doubles are emitted as `null`
+/// (JSON has no NaN/Inf).
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+#include <ostream>
+#include <string_view>
+#include <vector>
+
+namespace svo::obs {
+
+/// Streaming JSON writer over an ostream. Throws InvalidArgument on
+/// misuse that would produce malformed output (value without key inside
+/// an object, unbalanced end_*).
+class JsonWriter {
+ public:
+  /// `pretty` adds newlines + two-space indentation (BENCH reports);
+  /// compact mode suits large trace files.
+  explicit JsonWriter(std::ostream& os, bool pretty = false)
+      : os_(os), pretty_(pretty) {}
+
+  JsonWriter(const JsonWriter&) = delete;
+  JsonWriter& operator=(const JsonWriter&) = delete;
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Member key; must be directly inside an object.
+  JsonWriter& key(std::string_view k);
+
+  JsonWriter& value(bool b);
+  JsonWriter& value(double d);
+  JsonWriter& value(std::string_view s);
+  JsonWriter& value(const char* s) { return value(std::string_view(s)); }
+  template <std::integral T>
+    requires(!std::same_as<T, bool>)
+  JsonWriter& value(T v) {
+    if constexpr (std::is_signed_v<T>) {
+      return write_int(static_cast<std::int64_t>(v));
+    } else {
+      return write_uint(static_cast<std::uint64_t>(v));
+    }
+  }
+
+  /// key + value in one call.
+  template <typename T>
+  JsonWriter& kv(std::string_view k, T v) {
+    key(k);
+    return value(v);
+  }
+
+  /// Escape `s` per RFC 8259 into `os` (without surrounding quotes).
+  static void write_escaped(std::ostream& os, std::string_view s);
+
+ private:
+  JsonWriter& write_int(std::int64_t v);
+  JsonWriter& write_uint(std::uint64_t v);
+  /// Comma/indent bookkeeping before a new element at the current level.
+  void before_element();
+  void newline_indent();
+  void open(char kind, char c);
+  void close(char kind, char c);
+
+  struct Level {
+    char kind;               // '{' or '['
+    std::size_t count = 0;   // elements emitted so far
+    bool key_pending = false;
+  };
+
+  std::ostream& os_;
+  bool pretty_;
+  std::vector<Level> stack_;
+};
+
+}  // namespace svo::obs

@@ -1,0 +1,160 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+
+#include "obs/json.hpp"
+#include "util/error.hpp"
+
+namespace svo::obs {
+
+void Histogram::observe(double v) noexcept {
+  if (std::isnan(v)) return;  // never poison the aggregates
+  std::lock_guard<std::mutex> lock(mu_);
+  if (data_.count == 0) {
+    data_.min = v;
+    data_.max = v;
+  } else {
+    data_.min = std::min(data_.min, v);
+    data_.max = std::max(data_.max, v);
+  }
+  ++data_.count;
+  data_.sum += v;
+  std::size_t b = 0;
+  if (v >= 1.0) {
+    const int e = std::ilogb(v);  // floor(log2 v) for finite v >= 1
+    b = std::min<std::size_t>(kBuckets - 1,
+                              static_cast<std::size_t>(e) + 1);
+  }
+  ++data_.buckets[b];
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return data_;
+}
+
+void Histogram::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  data_ = Snapshot{};
+}
+
+MetricRegistry::Entry& MetricRegistry::find_or_create(std::string_view name,
+                                                      Kind kind) {
+  detail::require(!name.empty(), "MetricRegistry: empty metric name");
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    Entry entry;
+    entry.kind = kind;
+    switch (kind) {
+      case Kind::Counter:
+        entry.counter = std::make_unique<Counter>();
+        break;
+      case Kind::Gauge:
+        entry.gauge = std::make_unique<Gauge>();
+        break;
+      case Kind::Histogram:
+        entry.histogram = std::make_unique<Histogram>();
+        break;
+    }
+    it = entries_.emplace(std::string(name), std::move(entry)).first;
+  }
+  detail::require(it->second.kind == kind,
+                  "MetricRegistry: name already registered as another kind");
+  return it->second;
+}
+
+Counter& MetricRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return *find_or_create(name, Kind::Counter).counter;
+}
+
+Gauge& MetricRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return *find_or_create(name, Kind::Gauge).gauge;
+}
+
+Histogram& MetricRegistry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return *find_or_create(name, Kind::Histogram).histogram;
+}
+
+std::uint64_t MetricRegistry::counter_value(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = entries_.find(name);
+  if (it == entries_.end() || it->second.kind != Kind::Counter) return 0;
+  return it->second.counter->value();
+}
+
+double MetricRegistry::gauge_value(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = entries_.find(name);
+  if (it == entries_.end() || it->second.kind != Kind::Gauge) return 0.0;
+  return it->second.gauge->value();
+}
+
+void MetricRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, entry] : entries_) {
+    switch (entry.kind) {
+      case Kind::Counter:
+        entry.counter->reset();
+        break;
+      case Kind::Gauge:
+        entry.gauge->reset();
+        break;
+      case Kind::Histogram:
+        entry.histogram->reset();
+        break;
+    }
+  }
+}
+
+std::vector<std::string> MetricRegistry::names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) out.push_back(name);
+  return out;
+}
+
+void MetricRegistry::write_json(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  JsonWriter w(os, /*pretty=*/true);
+  w.begin_object();
+  w.key("counters").begin_object();
+  for (const auto& [name, entry] : entries_) {
+    if (entry.kind == Kind::Counter) w.kv(name, entry.counter->value());
+  }
+  w.end_object();
+  w.key("gauges").begin_object();
+  for (const auto& [name, entry] : entries_) {
+    if (entry.kind == Kind::Gauge) w.kv(name, entry.gauge->value());
+  }
+  w.end_object();
+  w.key("histograms").begin_object();
+  for (const auto& [name, entry] : entries_) {
+    if (entry.kind != Kind::Histogram) continue;
+    const Histogram::Snapshot s = entry.histogram->snapshot();
+    w.key(name).begin_object();
+    w.kv("count", s.count);
+    w.kv("sum", s.sum);
+    w.kv("min", s.min);
+    w.kv("max", s.max);
+    w.kv("mean", s.count > 0 ? s.sum / static_cast<double>(s.count) : 0.0);
+    // Sparse bucket map: {"<upper bound exponent>": count}.
+    w.key("log2_buckets").begin_object();
+    for (std::size_t b = 0; b < Histogram::kBuckets; ++b) {
+      if (s.buckets[b] == 0) continue;
+      w.kv(std::to_string(b), s.buckets[b]);
+    }
+    w.end_object();
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+  os << '\n';
+}
+
+}  // namespace svo::obs

@@ -1,0 +1,126 @@
+/// \file metrics.hpp
+/// Metric primitives of the observability spine (DESIGN.md §4e):
+/// counters, gauges and log-bucketed histograms, owned by a
+/// MetricRegistry that hands out *stable* references — callers on hot
+/// paths look a metric up once and keep the reference.
+///
+/// Two usage modes share these types:
+///  - the process-wide registry inside obs::Recorder aggregates across a
+///    whole run (exported as JSON via SVO_METRICS / TraceSession);
+///  - *local* registries scope accounting to one operation — e.g.
+///    core::run_distributed builds its ProtocolMetrics from a per-run
+///    registry instead of hand-maintained struct fields.
+///
+/// Counter::add and Gauge::set are lock-free; Histogram::observe and all
+/// registry lookups take a mutex (they sit at solve boundaries, never in
+/// inner loops).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace svo::obs {
+
+/// Monotonic event counter; safe to add() from any thread.
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) noexcept {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-written-value gauge.
+class Gauge {
+ public:
+  void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+  [[nodiscard]] double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { set(0.0); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Histogram of non-negative samples: running count/sum/min/max plus
+/// power-of-two buckets (bucket 0 holds v < 1, bucket i >= 1 holds
+/// 2^(i-1) <= v < 2^i). Coarse on purpose — it answers "are B&B solves
+/// budget-bound or tiny", not percentile SLOs.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 64;
+
+  struct Snapshot {
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    std::array<std::uint64_t, kBuckets> buckets{};
+  };
+
+  void observe(double v) noexcept;
+  [[nodiscard]] Snapshot snapshot() const;
+  void reset();
+
+ private:
+  mutable std::mutex mu_;
+  Snapshot data_;
+};
+
+/// Named metric store. Lookup creates on first use; returned references
+/// stay valid for the registry's lifetime. A name identifies exactly one
+/// kind — asking for `counter("x")` after `gauge("x")` throws.
+class MetricRegistry {
+ public:
+  MetricRegistry() = default;
+  MetricRegistry(const MetricRegistry&) = delete;
+  MetricRegistry& operator=(const MetricRegistry&) = delete;
+
+  [[nodiscard]] Counter& counter(std::string_view name);
+  [[nodiscard]] Gauge& gauge(std::string_view name);
+  [[nodiscard]] Histogram& histogram(std::string_view name);
+
+  /// Read without creating: 0 / 0.0 when the metric does not exist.
+  [[nodiscard]] std::uint64_t counter_value(std::string_view name) const;
+  [[nodiscard]] double gauge_value(std::string_view name) const;
+
+  /// Zero every metric (names stay registered, references stay valid).
+  void reset();
+
+  /// {"counters": {...}, "gauges": {...}, "histograms": {...}}, names
+  /// sorted, suitable for diffing across runs.
+  void write_json(std::ostream& os) const;
+
+  /// Registered metric names, sorted.
+  [[nodiscard]] std::vector<std::string> names() const;
+
+ private:
+  enum class Kind { Counter, Gauge, Histogram };
+  struct Entry {
+    Kind kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+  Entry& find_or_create(std::string_view name, Kind kind);
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry, std::less<>> entries_;
+};
+
+}  // namespace svo::obs

@@ -1,0 +1,251 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "obs/json.hpp"
+
+namespace svo::obs {
+
+std::uint64_t now_micros() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          TraceClock::now().time_since_epoch())
+          .count());
+}
+
+Recorder& Recorder::instance() noexcept {
+  static Recorder recorder;
+  return recorder;
+}
+
+Recorder::ThreadBuffer& Recorder::local_buffer() {
+  // One buffer per (thread, process lifetime); ownership is shared with
+  // the recorder so events survive thread exit until exported.
+  thread_local std::shared_ptr<ThreadBuffer> buffer = [this] {
+    auto b = std::make_shared<ThreadBuffer>();
+    b->tid = next_tid_.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(buffers_mu_);
+    buffers_.push_back(b);
+    return b;
+  }();
+  return *buffer;
+}
+
+void Recorder::record(TraceEvent ev) {
+  if (!enabled()) return;
+  ThreadBuffer& buf = local_buffer();
+  ev.tid = buf.tid;
+  std::lock_guard<std::mutex> lock(buf.mu);
+  buf.events.push_back(std::move(ev));
+}
+
+std::vector<TraceEvent> Recorder::snapshot_events() const {
+  std::vector<TraceEvent> out;
+  {
+    std::lock_guard<std::mutex> lock(buffers_mu_);
+    for (const auto& buf : buffers_) {
+      std::lock_guard<std::mutex> buf_lock(buf->mu);
+      out.insert(out.end(), buf->events.begin(), buf->events.end());
+    }
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.start_us < b.start_us;
+                   });
+  return out;
+}
+
+std::size_t Recorder::event_count() const {
+  std::lock_guard<std::mutex> lock(buffers_mu_);
+  std::size_t n = 0;
+  for (const auto& buf : buffers_) {
+    std::lock_guard<std::mutex> buf_lock(buf->mu);
+    n += buf->events.size();
+  }
+  return n;
+}
+
+void Recorder::clear() {
+  {
+    std::lock_guard<std::mutex> lock(buffers_mu_);
+    for (const auto& buf : buffers_) {
+      std::lock_guard<std::mutex> buf_lock(buf->mu);
+      buf->events.clear();
+    }
+  }
+  metrics_.reset();
+}
+
+namespace {
+
+void write_event_fields(JsonWriter& w, const TraceEvent& ev) {
+  w.kv("name", std::string_view(ev.name));
+  w.kv("cat", std::string_view(ev.category));
+  w.kv("ph", "X");
+  w.kv("ts", ev.start_us);
+  w.kv("dur", ev.duration_us);
+  w.kv("pid", 1);
+  w.kv("tid", ev.tid);
+  if (ev.args.empty() && ev.sargs.empty()) return;
+  w.key("args").begin_object();
+  for (const auto& [k, v] : ev.args) w.kv(std::string_view(k), v);
+  for (const auto& [k, v] : ev.sargs) {
+    w.kv(std::string_view(k), std::string_view(v));
+  }
+  w.end_object();
+}
+
+}  // namespace
+
+void Recorder::write_chrome_trace(std::ostream& os) const {
+  const std::vector<TraceEvent> events = snapshot_events();
+  JsonWriter w(os);
+  w.begin_object();
+  w.kv("displayTimeUnit", "ms");
+  w.key("traceEvents").begin_array();
+  for (const TraceEvent& ev : events) {
+    w.begin_object();
+    write_event_fields(w, ev);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  os << '\n';
+}
+
+void Recorder::write_jsonl(std::ostream& os) const {
+  for (const TraceEvent& ev : snapshot_events()) {
+    JsonWriter w(os);
+    w.begin_object();
+    write_event_fields(w, ev);
+    w.end_object();
+    os << '\n';
+  }
+}
+
+namespace {
+
+bool open_or_warn(std::ofstream& out, const std::string& path) {
+  out.open(path);
+  if (!out) {
+    std::fprintf(stderr, "obs: cannot write %s\n", path.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool Recorder::write_chrome_trace_file(const std::string& path) const {
+  std::ofstream out;
+  if (!open_or_warn(out, path)) return false;
+  write_chrome_trace(out);
+  return static_cast<bool>(out);
+}
+
+bool Recorder::write_jsonl_file(const std::string& path) const {
+  std::ofstream out;
+  if (!open_or_warn(out, path)) return false;
+  write_jsonl(out);
+  return static_cast<bool>(out);
+}
+
+bool Recorder::write_metrics_file(const std::string& path) const {
+  std::ofstream out;
+  if (!open_or_warn(out, path)) return false;
+  metrics_.write_json(out);
+  return static_cast<bool>(out);
+}
+
+// --- Span ---------------------------------------------------------------
+
+Span::Span(const char* name, const char* category) noexcept
+    : name_(name), category_(category) {
+  if (!Recorder::instance().enabled()) return;  // strict no-op path
+  active_ = true;
+  start_us_ = now_micros();
+}
+
+void Span::arg(const char* key, double value) noexcept {
+  if (!active_ || num_args_ >= kMaxArgs) return;
+  args_[num_args_++] = {key, value};
+}
+
+void Span::arg(const char* key, const char* value) noexcept {
+  if (!active_ || num_sargs_ >= kMaxStringArgs) return;
+  sargs_[num_sargs_++] = {key, value};
+}
+
+void Span::end() noexcept {
+  if (!active_) return;
+  active_ = false;
+  const std::uint64_t stop = now_micros();
+  try {
+    TraceEvent ev;
+    ev.name = name_;
+    ev.category = category_;
+    ev.start_us = start_us_;
+    ev.duration_us = stop - start_us_;
+    ev.args.reserve(num_args_);
+    for (std::size_t i = 0; i < num_args_; ++i) {
+      ev.args.emplace_back(args_[i].first, args_[i].second);
+    }
+    for (std::size_t i = 0; i < num_sargs_; ++i) {
+      ev.sargs.emplace_back(sargs_[i].first, sargs_[i].second);
+    }
+    Recorder::instance().record(std::move(ev));
+  } catch (...) {
+    // Allocation failure while recording telemetry must not take down
+    // the solve it was measuring.
+  }
+}
+
+// --- TraceSession -------------------------------------------------------
+
+TraceSession::TraceSession() {
+  if (const char* p = std::getenv("SVO_TRACE")) trace_path_ = p;
+  if (const char* p = std::getenv("SVO_METRICS")) metrics_path_ = p;
+  init();
+}
+
+TraceSession::TraceSession(std::string trace_path, std::string metrics_path)
+    : trace_path_(std::move(trace_path)), metrics_path_(std::move(metrics_path)) {
+  if (metrics_path_.empty()) {
+    if (const char* p = std::getenv("SVO_METRICS")) metrics_path_ = p;
+  }
+  init();
+}
+
+void TraceSession::init() {
+  if (trace_path_.empty() && metrics_path_.empty()) return;
+  active_ = true;
+  Recorder& rec = Recorder::instance();
+  was_enabled_ = rec.enabled();
+  rec.enable();
+}
+
+void TraceSession::flush() {
+  if (!active_ || flushed_) return;
+  flushed_ = true;
+  Recorder& rec = Recorder::instance();
+  if (!trace_path_.empty()) {
+    if (rec.write_chrome_trace_file(trace_path_)) {
+      std::fprintf(stderr, "trace written: %s (%zu events)\n",
+                   trace_path_.c_str(), rec.event_count());
+    }
+  }
+  if (!metrics_path_.empty()) {
+    if (rec.write_metrics_file(metrics_path_)) {
+      std::fprintf(stderr, "metrics written: %s\n", metrics_path_.c_str());
+    }
+  }
+  if (!was_enabled_) rec.disable();
+}
+
+TraceSession::~TraceSession() { flush(); }
+
+}  // namespace svo::obs

@@ -1,0 +1,188 @@
+/// \file trace.hpp
+/// Trace spans and the process-wide Recorder — the timing half of the
+/// observability spine (DESIGN.md §4e).
+///
+/// A Span is an RAII region: construction stamps a start time, the
+/// destructor records a completed TraceEvent into the recorder's
+/// per-thread buffer. When the recorder is disabled (the default) a Span
+/// is a strict no-op — one relaxed atomic load, no clock read, no
+/// allocation — so instrumented code paths stay bit-identical and within
+/// noise of the uninstrumented build.
+///
+/// Spans use the same monotonic clock as util::WallTimer, so span
+/// durations line up with the Fig. 9 wall-clock numbers (enforced by a
+/// static_assert below and a regression test).
+///
+/// Exporters: Chrome trace_event JSON (load in chrome://tracing or
+/// https://ui.perfetto.dev) and flat JSONL (one event per line, for jq
+/// and pandas). TraceSession wires the recorder to output files named on
+/// the command line (svo_cli --trace) or via SVO_TRACE / SVO_METRICS.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "util/timer.hpp"
+
+namespace svo::obs {
+
+/// The tracing clock — shared with util::WallTimer by construction.
+using TraceClock = util::WallTimer::clock;
+static_assert(TraceClock::is_steady,
+              "trace spans require a monotonic clock (same as WallTimer)");
+
+/// Microseconds on the trace clock (epoch is the clock's own; Chrome
+/// tracing only needs timestamps to be mutually consistent).
+[[nodiscard]] std::uint64_t now_micros() noexcept;
+
+/// One completed span, ready for export.
+struct TraceEvent {
+  std::string name;
+  const char* category = "svo";
+  std::uint64_t start_us = 0;
+  std::uint64_t duration_us = 0;
+  /// Recorder-assigned thread id (dense, starts at 1).
+  std::uint32_t tid = 0;
+  /// Numeric annotations (Chrome "args").
+  std::vector<std::pair<std::string, double>> args;
+  /// String annotations (e.g. mechanism name, solver status).
+  std::vector<std::pair<std::string, std::string>> sargs;
+};
+
+/// Process-wide trace + metric sink. Disabled by default; every
+/// instrumentation site checks enabled() (one relaxed load) before doing
+/// any work, which is the whole-repo invariant: recorder-off runs are
+/// bit-identical to pre-instrumentation builds.
+class Recorder {
+ public:
+  [[nodiscard]] static Recorder& instance() noexcept;
+
+  void enable() noexcept { enabled_.store(true, std::memory_order_relaxed); }
+  void disable() noexcept { enabled_.store(false, std::memory_order_relaxed); }
+  [[nodiscard]] bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Process-wide metric registry (aggregates regardless of thread).
+  [[nodiscard]] MetricRegistry& metrics() noexcept { return metrics_; }
+
+  /// Append a completed event to the calling thread's buffer. No-op
+  /// when disabled (events produced by in-flight spans across a
+  /// disable() are dropped, never torn).
+  void record(TraceEvent ev);
+
+  /// All recorded events, merged across threads, sorted by start time.
+  [[nodiscard]] std::vector<TraceEvent> snapshot_events() const;
+  [[nodiscard]] std::size_t event_count() const;
+
+  /// Drop all events and zero all metrics (thread buffers stay
+  /// registered; outstanding references stay valid).
+  void clear();
+
+  /// Chrome trace_event JSON ({"traceEvents": [...]}).
+  void write_chrome_trace(std::ostream& os) const;
+  /// One JSON object per line.
+  void write_jsonl(std::ostream& os) const;
+  /// File variants; return false (after an stderr note) when the path
+  /// cannot be opened — observability must never abort a run.
+  bool write_chrome_trace_file(const std::string& path) const;
+  bool write_jsonl_file(const std::string& path) const;
+  bool write_metrics_file(const std::string& path) const;
+
+ private:
+  Recorder() = default;
+
+  struct ThreadBuffer {
+    std::mutex mu;  // uncontended except during snapshot/clear
+    std::vector<TraceEvent> events;
+    std::uint32_t tid = 0;
+  };
+  [[nodiscard]] ThreadBuffer& local_buffer();
+
+  std::atomic<bool> enabled_{false};
+  MetricRegistry metrics_;
+  mutable std::mutex buffers_mu_;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers_;
+  std::atomic<std::uint32_t> next_tid_{1};
+};
+
+/// RAII trace region. Cheap enough for per-solve / per-iteration
+/// granularity; do not put one inside a B&B node expansion — count
+/// there, annotate here.
+class Span {
+ public:
+  /// `name`/`category` must be string literals (or outlive the span).
+  explicit Span(const char* name, const char* category = "svo") noexcept;
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  ~Span() { end(); }
+
+  /// Attach a numeric / string annotation (kept up to a small fixed
+  /// capacity; silently dropped beyond it). No-ops on inactive spans.
+  void arg(const char* key, double value) noexcept;
+  void arg(const char* key, const char* value) noexcept;
+
+  /// Close early (idempotent); records the event.
+  void end() noexcept;
+
+  /// True when the recorder was enabled at construction.
+  [[nodiscard]] bool active() const noexcept { return active_; }
+
+ private:
+  static constexpr std::size_t kMaxArgs = 8;
+  static constexpr std::size_t kMaxStringArgs = 2;
+
+  const char* name_;
+  const char* category_;
+  std::uint64_t start_us_ = 0;
+  std::size_t num_args_ = 0;
+  std::size_t num_sargs_ = 0;
+  std::array<std::pair<const char*, double>, kMaxArgs> args_{};
+  std::array<std::pair<const char*, const char*>, kMaxStringArgs> sargs_{};
+  bool active_ = false;
+};
+
+/// RAII recorder session bound to output files. On construction enables
+/// the recorder; on destruction (or flush()) writes the Chrome trace
+/// and the metric registry JSON, then restores the previous
+/// enabled/disabled state. The default constructor reads the paths from
+/// the environment: SVO_TRACE=<file> (trace) and SVO_METRICS=<file>
+/// (metrics); with neither set the session is inactive and free.
+class TraceSession {
+ public:
+  /// Environment-driven session (SVO_TRACE / SVO_METRICS).
+  TraceSession();
+  /// Explicit paths (empty string = skip that output). Metrics default
+  /// to SVO_METRICS when unset.
+  explicit TraceSession(std::string trace_path, std::string metrics_path = "");
+  TraceSession(const TraceSession&) = delete;
+  TraceSession& operator=(const TraceSession&) = delete;
+  ~TraceSession();
+
+  /// Write the configured outputs now (idempotent).
+  void flush();
+
+  [[nodiscard]] bool active() const noexcept { return active_; }
+  [[nodiscard]] const std::string& trace_path() const noexcept {
+    return trace_path_;
+  }
+
+ private:
+  void init();
+
+  std::string trace_path_;
+  std::string metrics_path_;
+  bool active_ = false;
+  bool was_enabled_ = false;
+  bool flushed_ = false;
+};
+
+}  // namespace svo::obs

@@ -4,6 +4,7 @@
 
 #include "core/rvof.hpp"
 #include "core/tvof.hpp"
+#include "obs/trace.hpp"
 #include "util/thread_pool.hpp"
 
 namespace svo::sim {
@@ -49,6 +50,12 @@ ExperimentRunner::DistributedPairResult ExperimentRunner::run_pair_distributed(
 
 SweepResult ExperimentRunner::run_sweep(const RunObserver& observer) const {
   const ExperimentConfig& cfg = config();
+  obs::Span sweep_span("sim.sweep", "sim");
+  if (sweep_span.active()) {
+    sweep_span.arg("sizes", static_cast<double>(cfg.task_sizes.size()));
+    sweep_span.arg("repetitions", static_cast<double>(cfg.repetitions));
+    sweep_span.arg("parallel", cfg.parallel ? 1.0 : 0.0);
+  }
   SweepResult result;
   result.points.resize(cfg.task_sizes.size());
 
@@ -56,6 +63,17 @@ SweepResult ExperimentRunner::run_sweep(const RunObserver& observer) const {
     const std::size_t n = cfg.task_sizes[si];
     SweepPoint& point = result.points[si];
     point.num_tasks = n;
+
+    // One sweep cell = one (task size, all repetitions) block. The cell
+    // span brackets the parallel repetition fan-out; each repetition's
+    // mechanism runs carry their own core.mechanism.run spans (tagged
+    // with the worker thread's recorder tid).
+    obs::Span cell_span("sim.sweep.cell", "sim");
+    if (cell_span.active()) {
+      cell_span.arg("tasks", static_cast<double>(n));
+      cell_span.arg("repetitions", static_cast<double>(cfg.repetitions));
+      obs::Recorder::instance().metrics().counter("sim.sweep.cells").add();
+    }
 
     // Repetitions are independent: run them concurrently, then merge in
     // repetition order so parallel and serial sweeps emit identical stats.

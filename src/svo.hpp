@@ -15,6 +15,11 @@
 #include "util/thread_pool.hpp"  // IWYU pragma: export
 #include "util/histogram.hpp"    // IWYU pragma: export
 #include "util/timer.hpp"        // IWYU pragma: export
+#include "util/env.hpp"          // IWYU pragma: export
+
+#include "obs/json.hpp"     // IWYU pragma: export
+#include "obs/metrics.hpp"  // IWYU pragma: export
+#include "obs/trace.hpp"    // IWYU pragma: export
 
 #include "linalg/matrix.hpp"        // IWYU pragma: export
 #include "linalg/power_method.hpp"  // IWYU pragma: export

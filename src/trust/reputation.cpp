@@ -3,20 +3,44 @@
 #include <algorithm>
 #include <numeric>
 
+#include "obs/trace.hpp"
+
 namespace svo::trust {
 
+namespace {
+
+/// Shared telemetry tail for every reputation computation path.
+void note_reputation(obs::Span& span, const char* mode,
+                     const ReputationResult& r) {
+  if (!span.active()) return;
+  span.arg("mode", mode);
+  span.arg("coalition", static_cast<double>(r.scores.size()));
+  span.arg("iterations", static_cast<double>(r.iterations));
+  span.arg("converged", r.converged ? 1.0 : 0.0);
+  span.arg("avg_reputation", r.average);
+  obs::MetricRegistry& m = obs::Recorder::instance().metrics();
+  m.counter("trust.reputation.computes").add();
+  m.counter("trust.reputation.power_iterations").add(r.iterations);
+  if (!r.converged) m.counter("trust.reputation.nonconverged").add();
+}
+
+}  // namespace
+
 ReputationResult ReputationEngine::from_matrix(const linalg::Matrix& a) const {
+  obs::Span span("trust.reputation.compute", "trust");
   ReputationResult r;
   const linalg::PowerMethodResult pm = linalg::power_method(a, opts_.power);
   r.scores = pm.eigenvector;
   r.iterations = pm.iterations;
   r.converged = pm.converged;
   r.average = average_reputation(r.scores);
+  note_reputation(span, "standard", r);
   return r;
 }
 
 ReputationResult ReputationEngine::compute_robust(
     const TrustGraph& g, const std::vector<std::size_t>& members) const {
+  obs::Span span("trust.reputation.compute", "trust");
   opts_.robust.validate();
   const std::size_t c = members.size();
 
@@ -58,6 +82,7 @@ ReputationResult ReputationEngine::compute_robust(
     }
   }
   r.average = average_reputation(r.scores);
+  note_reputation(span, "robust", r);
   return r;
 }
 

@@ -1,0 +1,139 @@
+#include "util/env.hpp"
+
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+
+namespace svo::util {
+
+namespace {
+
+/// Shared preamble: strict parsers reject empty input and any leading
+/// whitespace/sign quirks strtol would silently absorb.
+bool reject_outright(std::string_view s) {
+  if (s.empty()) return true;
+  // strtol skips leading whitespace; "entire string is the number" means
+  // no whitespace anywhere.
+  for (const char c : s) {
+    if (std::isspace(static_cast<unsigned char>(c))) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::optional<long long> parse_ll(std::string_view s) {
+  if (reject_outright(s)) return std::nullopt;
+  const std::string buf(s);  // strtoll needs NUL termination
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(buf.c_str(), &end, 10);
+  if (errno == ERANGE) return std::nullopt;          // overflow/underflow
+  if (end != buf.c_str() + buf.size()) return std::nullopt;  // trailing junk
+  return v;
+}
+
+std::optional<std::uint64_t> parse_u64(std::string_view s) {
+  if (reject_outright(s)) return std::nullopt;
+  if (s.front() == '-') return std::nullopt;  // strtoull wraps negatives
+  const std::string buf(s);
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(buf.c_str(), &end, 10);
+  if (errno == ERANGE) return std::nullopt;
+  if (end != buf.c_str() + buf.size()) return std::nullopt;
+  return static_cast<std::uint64_t>(v);
+}
+
+std::optional<std::size_t> parse_positive_size(std::string_view s) {
+  const std::optional<std::uint64_t> v = parse_u64(s);
+  if (!v.has_value() || *v == 0 ||
+      *v > std::numeric_limits<std::size_t>::max()) {
+    return std::nullopt;
+  }
+  return static_cast<std::size_t>(*v);
+}
+
+std::optional<double> parse_double(std::string_view s) {
+  if (reject_outright(s)) return std::nullopt;
+  const std::string buf(s);
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(buf.c_str(), &end);
+  if (errno == ERANGE) return std::nullopt;
+  if (end != buf.c_str() + buf.size()) return std::nullopt;
+  if (!std::isfinite(v)) return std::nullopt;  // reject "inf"/"nan"
+  return v;
+}
+
+std::optional<std::vector<std::size_t>> parse_size_list(std::string_view s) {
+  if (s.empty()) return std::nullopt;
+  std::vector<std::size_t> out;
+  std::size_t pos = 0;
+  while (pos <= s.size()) {
+    const std::size_t comma = std::min(s.find(',', pos), s.size());
+    const std::optional<std::size_t> v =
+        parse_positive_size(s.substr(pos, comma - pos));
+    if (!v.has_value()) return std::nullopt;  // includes empty tokens
+    out.push_back(*v);
+    if (comma == s.size()) break;
+    pos = comma + 1;
+    if (pos == s.size()) return std::nullopt;  // trailing comma
+  }
+  return out;
+}
+
+namespace {
+
+void warn_malformed(const char* name, const char* value) {
+  std::fprintf(stderr,
+               "warning: ignoring malformed %s=\"%s\" (using the default)\n",
+               name, value);
+}
+
+}  // namespace
+
+std::uint64_t env_u64_or(const char* name, std::uint64_t fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  const std::optional<std::uint64_t> v = parse_u64(raw);
+  if (!v.has_value()) {
+    warn_malformed(name, raw);
+    return fallback;
+  }
+  return *v;
+}
+
+std::size_t env_positive_size_or(const char* name, std::size_t fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  const std::optional<std::size_t> v = parse_positive_size(raw);
+  if (!v.has_value()) {
+    warn_malformed(name, raw);
+    return fallback;
+  }
+  return *v;
+}
+
+std::vector<std::size_t> env_size_list_or(const char* name,
+                                          std::vector<std::size_t> fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  std::optional<std::vector<std::size_t>> v = parse_size_list(raw);
+  if (!v.has_value()) {
+    warn_malformed(name, raw);
+    return fallback;
+  }
+  return std::move(*v);
+}
+
+std::string env_string_or(const char* name, std::string fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  return raw;
+}
+
+}  // namespace svo::util

@@ -1,0 +1,61 @@
+/// \file env.hpp
+/// Strict numeric parsing for environment overrides and CLI options —
+/// the one parser the bench harnesses (SVO_SEED / SVO_REPS / SVO_SIZES)
+/// and svo_cli share.
+///
+/// The parse_* functions accept a value only when the *entire* string is
+/// a single in-range number: trailing garbage ("256x"), embedded
+/// whitespace, empty strings, negative values for unsigned targets and
+/// overflow all return nullopt instead of a silently truncated number
+/// (the old strtol-with-null-endptr parser accepted "10abc" as 10 and
+/// wrapped overflowing seeds).
+///
+/// The env_*_or helpers wrap getenv: unset -> fallback; malformed ->
+/// warning on stderr + fallback, so an experiment never runs quietly
+/// under a garbled override.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace svo::util {
+
+/// Whole-string signed integer; nullopt on garbage/overflow.
+[[nodiscard]] std::optional<long long> parse_ll(std::string_view s);
+
+/// Whole-string unsigned 64-bit integer; rejects a leading '-' (strtoull
+/// would silently wrap it).
+[[nodiscard]] std::optional<std::uint64_t> parse_u64(std::string_view s);
+
+/// Whole-string strictly positive size (what every sweep knob wants).
+[[nodiscard]] std::optional<std::size_t> parse_positive_size(
+    std::string_view s);
+
+/// Whole-string finite double.
+[[nodiscard]] std::optional<double> parse_double(std::string_view s);
+
+/// "a,b,c" of strictly positive sizes. Any malformed, empty or
+/// non-positive entry rejects the whole list.
+[[nodiscard]] std::optional<std::vector<std::size_t>> parse_size_list(
+    std::string_view s);
+
+/// getenv + parse_u64; warns on stderr and falls back on malformed input.
+[[nodiscard]] std::uint64_t env_u64_or(const char* name,
+                                       std::uint64_t fallback);
+
+/// getenv + parse_positive_size, same fallback contract.
+[[nodiscard]] std::size_t env_positive_size_or(const char* name,
+                                               std::size_t fallback);
+
+/// getenv + parse_size_list, same fallback contract.
+[[nodiscard]] std::vector<std::size_t> env_size_list_or(
+    const char* name, std::vector<std::size_t> fallback);
+
+/// getenv as a string; unset or empty -> fallback.
+[[nodiscard]] std::string env_string_or(const char* name,
+                                        std::string fallback);
+
+}  // namespace svo::util

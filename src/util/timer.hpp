@@ -9,6 +9,12 @@ namespace svo::util {
 /// Monotonic wall-clock stopwatch. Started on construction.
 class WallTimer {
  public:
+  /// The timing clock, exposed so other layers (obs trace spans) can be
+  /// pinned to the *same* monotonic clock; must never be system_clock
+  /// (a wall-clock step would corrupt Fig. 9 and every span duration).
+  using clock = std::chrono::steady_clock;
+  static_assert(clock::is_steady, "WallTimer requires a monotonic clock");
+
   WallTimer() noexcept : start_(clock::now()) {}
 
   /// Restart the stopwatch.
@@ -23,7 +29,6 @@ class WallTimer {
   [[nodiscard]] double milliseconds() const noexcept { return seconds() * 1e3; }
 
  private:
-  using clock = std::chrono::steady_clock;
   clock::time_point start_;
 };
 

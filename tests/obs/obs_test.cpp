@@ -1,0 +1,529 @@
+/// Unit tests for the observability spine: JsonWriter, the metric
+/// primitives + registry, the Recorder/Span pair, and the exporters.
+/// Exported JSON is checked with a small recursive-descent validator
+/// written here — the trace must parse, not just look plausible.
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "util/error.hpp"
+
+namespace svo::obs {
+namespace {
+
+// --------------------------------------------------------- JSON validator
+
+/// Minimal RFC 8259 parser: validates syntax, counts nothing. Returns
+/// true iff `text` is exactly one valid JSON value.
+class JsonValidator {
+ public:
+  static bool valid(std::string_view text) {
+    JsonValidator v(text);
+    v.skip_ws();
+    if (!v.value()) return false;
+    v.skip_ws();
+    return v.pos_ == text.size();
+  }
+
+ private:
+  explicit JsonValidator(std::string_view t) : text_(t) {}
+
+  bool value() {
+    if (pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') { ++pos_; return true; }
+    for (;;) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') { ++pos_; return true; }
+    for (;;) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool string() {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '"') { ++pos_; return true; }
+      if (static_cast<unsigned char>(c) < 0x20) return false;  // raw control
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) return false;
+        const char e = text_[pos_];
+        if (e == 'u') {
+          for (int i = 1; i <= 4; ++i) {
+            if (pos_ + i >= text_.size() ||
+                !std::isxdigit(static_cast<unsigned char>(text_[pos_ + i]))) {
+              return false;
+            }
+          }
+          pos_ += 4;
+        } else if (std::string_view("\"\\/bfnrt").find(e) ==
+                   std::string_view::npos) {
+          return false;
+        }
+      }
+      ++pos_;
+    }
+    return false;  // unterminated
+  }
+
+  bool number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    if (peek() == '.') {
+      ++pos_;
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      ++pos_;
+      if (peek() == '+' || peek() == '-') ++pos_;
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    return pos_ > start && std::isdigit(static_cast<unsigned char>(
+                               text_[pos_ - 1]));
+  }
+
+  bool literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+TEST(JsonValidatorTest, SanityOnKnownInputs) {
+  EXPECT_TRUE(JsonValidator::valid(R"({"a": [1, 2.5, -3e4], "b": null})"));
+  EXPECT_TRUE(JsonValidator::valid(R"("just a string")"));
+  EXPECT_FALSE(JsonValidator::valid(R"({"a": 1,})"));
+  EXPECT_FALSE(JsonValidator::valid(R"({"a" 1})"));
+  EXPECT_FALSE(JsonValidator::valid("{\"a\": \"\x01\"}"));
+  EXPECT_FALSE(JsonValidator::valid("{} trailing"));
+}
+
+// ------------------------------------------------------------- JsonWriter
+
+TEST(JsonWriterTest, WritesNestedStructures) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_object();
+  w.kv("name", "svo").kv("count", 3).kv("ok", true);
+  w.key("list").begin_array().value(1).value(2).end_array();
+  w.key("nested").begin_object().kv("x", 0.5).end_object();
+  w.end_object();
+  EXPECT_EQ(os.str(),
+            R"({"name":"svo","count":3,"ok":true,"list":[1,2],"nested":{"x":0.5}})");
+  EXPECT_TRUE(JsonValidator::valid(os.str()));
+}
+
+TEST(JsonWriterTest, EscapesStrings) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_object();
+  w.kv("k", "quote\" backslash\\ newline\n tab\t bell\x01");
+  w.end_object();
+  EXPECT_EQ(os.str(),
+            "{\"k\":\"quote\\\" backslash\\\\ newline\\n tab\\t "
+            "bell\\u0001\"}");
+  EXPECT_TRUE(JsonValidator::valid(os.str()));
+}
+
+TEST(JsonWriterTest, NonFiniteDoublesBecomeNull) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_array();
+  w.value(std::nan(""));
+  w.value(INFINITY);
+  w.value(-INFINITY);
+  w.value(1.25);
+  w.end_array();
+  EXPECT_EQ(os.str(), "[null,null,null,1.25]");
+  EXPECT_TRUE(JsonValidator::valid(os.str()));
+}
+
+TEST(JsonWriterTest, IntegersKeepFullPrecision) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_array();
+  w.value(std::uint64_t{18446744073709551615ULL});
+  w.value(std::int64_t{-9223372036854775807LL});
+  w.end_array();
+  EXPECT_EQ(os.str(), "[18446744073709551615,-9223372036854775807]");
+}
+
+TEST(JsonWriterTest, PrettyModeIsValidJson) {
+  std::ostringstream os;
+  JsonWriter w(os, /*pretty=*/true);
+  w.begin_object();
+  w.kv("a", 1);
+  w.key("b").begin_array().value(1).value(2).end_array();
+  w.end_object();
+  EXPECT_TRUE(JsonValidator::valid(os.str()));
+  EXPECT_NE(os.str().find('\n'), std::string::npos);
+}
+
+TEST(JsonWriterTest, MisuseThrows) {
+  {
+    std::ostringstream os;
+    JsonWriter w(os);
+    w.begin_object();
+    EXPECT_THROW(w.value(1), InvalidArgument);  // value without key
+  }
+  {
+    std::ostringstream os;
+    JsonWriter w(os);
+    w.begin_array();
+    EXPECT_THROW(w.key("k"), InvalidArgument);  // key inside array
+  }
+  {
+    std::ostringstream os;
+    JsonWriter w(os);
+    w.begin_object();
+    EXPECT_THROW(w.end_array(), InvalidArgument);  // mismatched close
+  }
+}
+
+// ---------------------------------------------------------------- metrics
+
+TEST(MetricsTest, CounterAddsAndResets) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(MetricsTest, GaugeKeepsLastValue) {
+  Gauge g;
+  g.set(1.5);
+  g.set(-2.5);
+  EXPECT_DOUBLE_EQ(g.value(), -2.5);
+}
+
+TEST(MetricsTest, HistogramBucketsByPowerOfTwo) {
+  Histogram h;
+  h.observe(0.5);   // bucket 0: v < 1
+  h.observe(1.0);   // bucket 1: [1, 2)
+  h.observe(3.0);   // bucket 2: [2, 4)
+  h.observe(3.9);   // bucket 2
+  h.observe(std::nan(""));  // ignored
+  const Histogram::Snapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_DOUBLE_EQ(s.sum, 8.4);
+  EXPECT_DOUBLE_EQ(s.min, 0.5);
+  EXPECT_DOUBLE_EQ(s.max, 3.9);
+  EXPECT_EQ(s.buckets[0], 1u);
+  EXPECT_EQ(s.buckets[1], 1u);
+  EXPECT_EQ(s.buckets[2], 2u);
+}
+
+TEST(MetricRegistryTest, ReferencesAreStableAcrossInserts) {
+  MetricRegistry reg;
+  Counter& a = reg.counter("a");
+  a.add(7);
+  // Force rebalancing-ish growth; std::map nodes are stable anyway, the
+  // test pins the contract.
+  for (int i = 0; i < 100; ++i) {
+    reg.counter("filler." + std::to_string(i)).add();
+  }
+  EXPECT_EQ(&a, &reg.counter("a"));
+  EXPECT_EQ(a.value(), 7u);
+}
+
+TEST(MetricRegistryTest, KindMismatchThrows) {
+  MetricRegistry reg;
+  (void)reg.counter("x");
+  EXPECT_THROW((void)reg.gauge("x"), InvalidArgument);
+  EXPECT_THROW((void)reg.histogram("x"), InvalidArgument);
+}
+
+TEST(MetricRegistryTest, ReadersReturnZeroForAbsentMetrics) {
+  MetricRegistry reg;
+  EXPECT_EQ(reg.counter_value("ghost"), 0u);
+  EXPECT_DOUBLE_EQ(reg.gauge_value("ghost"), 0.0);
+  EXPECT_TRUE(reg.names().empty());  // reads must not create entries
+}
+
+TEST(MetricRegistryTest, ResetZeroesButKeepsNames) {
+  MetricRegistry reg;
+  reg.counter("c").add(5);
+  reg.gauge("g").set(2.0);
+  reg.histogram("h").observe(1.0);
+  reg.reset();
+  EXPECT_EQ(reg.counter_value("c"), 0u);
+  EXPECT_DOUBLE_EQ(reg.gauge_value("g"), 0.0);
+  EXPECT_EQ(reg.histogram("h").snapshot().count, 0u);
+  EXPECT_EQ(reg.names(), (std::vector<std::string>{"c", "g", "h"}));
+}
+
+TEST(MetricRegistryTest, WriteJsonIsValid) {
+  MetricRegistry reg;
+  reg.counter("runs").add(3);
+  reg.gauge("last_cost").set(12.5);
+  reg.histogram("nodes").observe(100.0);
+  std::ostringstream os;
+  reg.write_json(os);
+  EXPECT_TRUE(JsonValidator::valid(os.str()));
+  EXPECT_NE(os.str().find("\"runs\""), std::string::npos);
+  EXPECT_NE(os.str().find("\"last_cost\""), std::string::npos);
+  EXPECT_NE(os.str().find("\"nodes\""), std::string::npos);
+}
+
+// --------------------------------------------------------- Recorder/Span
+
+/// Every recorder test runs against the process-wide singleton: restore
+/// a clean disabled state on both sides.
+class RecorderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Recorder::instance().disable();
+    Recorder::instance().clear();
+  }
+  void TearDown() override {
+    Recorder::instance().disable();
+    Recorder::instance().clear();
+  }
+};
+
+TEST_F(RecorderTest, DisabledSpanIsInactiveAndRecordsNothing) {
+  {
+    Span span("test.disabled", "test");
+    EXPECT_FALSE(span.active());
+    span.arg("k", 1.0);  // must be a no-op, not a crash
+  }
+  EXPECT_EQ(Recorder::instance().event_count(), 0u);
+}
+
+TEST_F(RecorderTest, RecordIsNoopWhenDisabled) {
+  TraceEvent ev;
+  ev.name = "manual";
+  Recorder::instance().record(std::move(ev));
+  EXPECT_EQ(Recorder::instance().event_count(), 0u);
+}
+
+TEST_F(RecorderTest, EnabledSpanRecordsNameCategoryArgs) {
+  Recorder::instance().enable();
+  {
+    Span span("test.span", "testcat");
+    ASSERT_TRUE(span.active());
+    span.arg("value", 42.0);
+    span.arg("status", "Optimal");
+  }
+  const std::vector<TraceEvent> events =
+      Recorder::instance().snapshot_events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "test.span");
+  EXPECT_STREQ(events[0].category, "testcat");
+  ASSERT_EQ(events[0].args.size(), 1u);
+  EXPECT_EQ(events[0].args[0].first, "value");
+  EXPECT_DOUBLE_EQ(events[0].args[0].second, 42.0);
+  ASSERT_EQ(events[0].sargs.size(), 1u);
+  EXPECT_EQ(events[0].sargs[0].second, "Optimal");
+  EXPECT_GT(events[0].tid, 0u);
+}
+
+TEST_F(RecorderTest, SpanDurationIsConsistentWithWallTimer) {
+  Recorder::instance().enable();
+  {
+    Span span("test.sleep", "test");
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  const auto events = Recorder::instance().snapshot_events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_GE(events[0].duration_us, 4000u);  // >= ~5ms, tolerant floor
+}
+
+TEST_F(RecorderTest, NestedSpansBothRecordedAndOrdered) {
+  Recorder::instance().enable();
+  {
+    Span outer("test.outer", "test");
+    // Separate the start timestamps: with microsecond resolution both
+    // spans can otherwise start in the same tick, making order
+    // unspecified.
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    Span inner("test.inner", "test");
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  const auto events = Recorder::instance().snapshot_events();
+  ASSERT_EQ(events.size(), 2u);
+  // snapshot is sorted by start time: outer starts first.
+  EXPECT_EQ(events[0].name, "test.outer");
+  EXPECT_EQ(events[1].name, "test.inner");
+  EXPECT_LE(events[0].start_us, events[1].start_us);
+  // The outer span encloses the inner one.
+  EXPECT_GE(events[0].start_us + events[0].duration_us,
+            events[1].start_us + events[1].duration_us);
+}
+
+TEST_F(RecorderTest, EndIsIdempotent) {
+  Recorder::instance().enable();
+  Span span("test.end", "test");
+  span.end();
+  span.end();
+  span.end();
+  EXPECT_EQ(Recorder::instance().event_count(), 1u);
+}
+
+TEST_F(RecorderTest, ExtraArgsBeyondCapacityAreDropped) {
+  Recorder::instance().enable();
+  {
+    Span span("test.argcap", "test");
+    for (int i = 0; i < 32; ++i) {
+      span.arg("k", static_cast<double>(i));
+    }
+  }
+  const auto events = Recorder::instance().snapshot_events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_LE(events[0].args.size(), 8u);
+}
+
+TEST_F(RecorderTest, ThreadsGetDistinctTids) {
+  Recorder::instance().enable();
+  const auto spin = [] { Span span("test.threaded", "test"); };
+  std::thread a(spin), b(spin);
+  a.join();
+  b.join();
+  spin();
+  const auto events = Recorder::instance().snapshot_events();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_NE(events[0].tid, events[1].tid);
+  // All three events survive thread exit (recorder co-owns the buffers).
+}
+
+TEST_F(RecorderTest, ClearDropsEventsAndZeroesMetrics) {
+  Recorder::instance().enable();
+  { Span span("test.cleared", "test"); }
+  Recorder::instance().metrics().counter("test.count").add(3);
+  Recorder::instance().clear();
+  EXPECT_EQ(Recorder::instance().event_count(), 0u);
+  EXPECT_EQ(Recorder::instance().metrics().counter_value("test.count"), 0u);
+}
+
+TEST_F(RecorderTest, ChromeTraceExportIsValidJson) {
+  Recorder::instance().enable();
+  {
+    Span span("test.export", "test");
+    span.arg("n", 16.0);
+    span.arg("status", "ok\"quoted\"");
+  }
+  { Span span("test.export2", "test"); }
+  std::ostringstream os;
+  Recorder::instance().write_chrome_trace(os);
+  const std::string text = os.str();
+  ASSERT_TRUE(JsonValidator::valid(text)) << text;
+  EXPECT_NE(text.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(text.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(text.find("test.export"), std::string::npos);
+}
+
+TEST_F(RecorderTest, JsonlExportOneValidObjectPerLine) {
+  Recorder::instance().enable();
+  { Span span("test.line1", "test"); }
+  { Span span("test.line2", "test"); }
+  std::ostringstream os;
+  Recorder::instance().write_jsonl(os);
+  std::istringstream is(os.str());
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    EXPECT_TRUE(JsonValidator::valid(line)) << line;
+    ++lines;
+  }
+  EXPECT_EQ(lines, 2u);
+}
+
+TEST_F(RecorderTest, FileWriterFailsGracefullyOnBadPath) {
+  EXPECT_FALSE(Recorder::instance().write_chrome_trace_file(
+      "/nonexistent-dir-svo/trace.json"));
+}
+
+TEST_F(RecorderTest, TraceSessionWritesFileAndRestoresState) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "svo_obs_session_test.json")
+          .string();
+  std::filesystem::remove(path);
+  {
+    TraceSession session(path);
+    EXPECT_TRUE(session.active());
+    EXPECT_TRUE(Recorder::instance().enabled());
+    Span span("test.session", "test");
+  }
+  EXPECT_FALSE(Recorder::instance().enabled());  // prior state restored
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_TRUE(JsonValidator::valid(buf.str())) << buf.str();
+  EXPECT_NE(buf.str().find("test.session"), std::string::npos);
+  std::filesystem::remove(path);
+}
+
+TEST_F(RecorderTest, InactiveTraceSessionIsFree) {
+  ::unsetenv("SVO_TRACE");
+  ::unsetenv("SVO_METRICS");
+  TraceSession session;  // no env, no paths
+  EXPECT_FALSE(session.active());
+  EXPECT_FALSE(Recorder::instance().enabled());
+}
+
+}  // namespace
+}  // namespace svo::obs

@@ -1,0 +1,166 @@
+#include "util/env.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <limits>
+#include <string>
+
+namespace svo::util {
+namespace {
+
+// ---------------------------------------------------------------- parse_ll
+
+TEST(ParseLlTest, AcceptsPlainIntegers) {
+  EXPECT_EQ(parse_ll("0"), 0);
+  EXPECT_EQ(parse_ll("42"), 42);
+  EXPECT_EQ(parse_ll("-17"), -17);
+  EXPECT_EQ(parse_ll("+5"), 5);
+}
+
+TEST(ParseLlTest, RejectsEmptyAndWhitespace) {
+  EXPECT_FALSE(parse_ll("").has_value());
+  EXPECT_FALSE(parse_ll(" 42").has_value());
+  EXPECT_FALSE(parse_ll("42 ").has_value());
+  EXPECT_FALSE(parse_ll("4 2").has_value());
+  EXPECT_FALSE(parse_ll("\t7").has_value());
+}
+
+TEST(ParseLlTest, RejectsTrailingGarbage) {
+  EXPECT_FALSE(parse_ll("42x").has_value());
+  EXPECT_FALSE(parse_ll("1.5").has_value());
+  EXPECT_FALSE(parse_ll("0x10").has_value());
+  EXPECT_FALSE(parse_ll("abc").has_value());
+}
+
+TEST(ParseLlTest, RejectsOverflow) {
+  // Just past LLONG_MAX / LLONG_MIN: strtoll saturates and sets ERANGE,
+  // which the strict parser must surface as rejection, not saturation.
+  EXPECT_FALSE(parse_ll("9223372036854775808").has_value());
+  EXPECT_FALSE(parse_ll("-9223372036854775809").has_value());
+  EXPECT_EQ(parse_ll("9223372036854775807"),
+            std::numeric_limits<long long>::max());
+}
+
+// --------------------------------------------------------------- parse_u64
+
+TEST(ParseU64Test, AcceptsFullRange) {
+  EXPECT_EQ(parse_u64("0"), 0u);
+  EXPECT_EQ(parse_u64("18446744073709551615"),
+            std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(ParseU64Test, RejectsNegativeInsteadOfWrapping) {
+  // strtoull silently wraps "-1" to 2^64-1; the strict parser must not.
+  EXPECT_FALSE(parse_u64("-1").has_value());
+  EXPECT_FALSE(parse_u64("-0").has_value());
+}
+
+TEST(ParseU64Test, RejectsOverflowAndGarbage) {
+  EXPECT_FALSE(parse_u64("18446744073709551616").has_value());
+  EXPECT_FALSE(parse_u64("12junk").has_value());
+  EXPECT_FALSE(parse_u64("").has_value());
+}
+
+// ------------------------------------------------------ parse_positive_size
+
+TEST(ParsePositiveSizeTest, RejectsZero) {
+  EXPECT_FALSE(parse_positive_size("0").has_value());
+  EXPECT_EQ(parse_positive_size("1"), 1u);
+  EXPECT_EQ(parse_positive_size("8192"), 8192u);
+}
+
+// ------------------------------------------------------------- parse_double
+
+TEST(ParseDoubleTest, AcceptsFiniteValues) {
+  EXPECT_DOUBLE_EQ(*parse_double("0.5"), 0.5);
+  EXPECT_DOUBLE_EQ(*parse_double("-3"), -3.0);
+  EXPECT_DOUBLE_EQ(*parse_double("1e3"), 1000.0);
+}
+
+TEST(ParseDoubleTest, RejectsNonFiniteAndGarbage) {
+  EXPECT_FALSE(parse_double("inf").has_value());
+  EXPECT_FALSE(parse_double("nan").has_value());
+  EXPECT_FALSE(parse_double("1e999").has_value());  // ERANGE
+  EXPECT_FALSE(parse_double("1.5x").has_value());
+  EXPECT_FALSE(parse_double("").has_value());
+  EXPECT_FALSE(parse_double(" 1.5").has_value());
+}
+
+// ---------------------------------------------------------- parse_size_list
+
+TEST(ParseSizeListTest, ParsesCommaSeparatedSizes) {
+  const auto v = parse_size_list("256,1024,8192");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, (std::vector<std::size_t>{256, 1024, 8192}));
+}
+
+TEST(ParseSizeListTest, SingleElement) {
+  const auto v = parse_size_list("64");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, (std::vector<std::size_t>{64}));
+}
+
+TEST(ParseSizeListTest, RejectsMalformedLists) {
+  // One bad token poisons the whole list — no silent partial parses.
+  EXPECT_FALSE(parse_size_list("").has_value());
+  EXPECT_FALSE(parse_size_list(",").has_value());
+  EXPECT_FALSE(parse_size_list("256,").has_value());       // trailing comma
+  EXPECT_FALSE(parse_size_list(",256").has_value());       // leading comma
+  EXPECT_FALSE(parse_size_list("256,,1024").has_value());  // empty token
+  EXPECT_FALSE(parse_size_list("256,abc").has_value());
+  EXPECT_FALSE(parse_size_list("256,0").has_value());      // zero size
+  EXPECT_FALSE(parse_size_list("256, 1024").has_value());  // inner space
+  EXPECT_FALSE(parse_size_list("256,-4").has_value());
+}
+
+// ------------------------------------------------------------ env_*_or
+
+class EnvOverrideTest : public ::testing::Test {
+ protected:
+  void SetEnv(const char* name, const char* value) {
+    ASSERT_EQ(::setenv(name, value, /*overwrite=*/1), 0);
+    set_.push_back(name);
+  }
+  void TearDown() override {
+    for (const std::string& name : set_) ::unsetenv(name.c_str());
+  }
+
+ private:
+  std::vector<std::string> set_;
+};
+
+TEST_F(EnvOverrideTest, UnsetUsesFallback) {
+  ::unsetenv("SVO_TEST_UNSET");
+  EXPECT_EQ(env_u64_or("SVO_TEST_UNSET", 7), 7u);
+  EXPECT_EQ(env_positive_size_or("SVO_TEST_UNSET", 3), 3u);
+  EXPECT_EQ(env_size_list_or("SVO_TEST_UNSET", {1, 2}),
+            (std::vector<std::size_t>{1, 2}));
+  EXPECT_EQ(env_string_or("SVO_TEST_UNSET", "dflt"), "dflt");
+}
+
+TEST_F(EnvOverrideTest, ValidValueOverrides) {
+  SetEnv("SVO_TEST_U64", "123");
+  EXPECT_EQ(env_u64_or("SVO_TEST_U64", 7), 123u);
+  SetEnv("SVO_TEST_SIZES", "2,4,8");
+  EXPECT_EQ(env_size_list_or("SVO_TEST_SIZES", {1}),
+            (std::vector<std::size_t>{2, 4, 8}));
+}
+
+TEST_F(EnvOverrideTest, MalformedValueFallsBack) {
+  SetEnv("SVO_TEST_U64", "12abc");
+  EXPECT_EQ(env_u64_or("SVO_TEST_U64", 7), 7u);
+  SetEnv("SVO_TEST_REPS", "0");  // positive-size: zero is malformed
+  EXPECT_EQ(env_positive_size_or("SVO_TEST_REPS", 10), 10u);
+  SetEnv("SVO_TEST_SIZES", "256,");
+  EXPECT_EQ(env_size_list_or("SVO_TEST_SIZES", {99}),
+            (std::vector<std::size_t>{99}));
+}
+
+TEST_F(EnvOverrideTest, OverflowFallsBack) {
+  SetEnv("SVO_TEST_U64", "99999999999999999999999999");
+  EXPECT_EQ(env_u64_or("SVO_TEST_U64", 5), 5u);
+}
+
+}  // namespace
+}  // namespace svo::util

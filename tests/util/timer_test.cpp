@@ -1,0 +1,67 @@
+#include "util/timer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+#include <type_traits>
+
+#include "obs/trace.hpp"
+
+namespace svo::util {
+namespace {
+
+// The Fig. 9 execution-time experiment and every obs span duration ride
+// on this clock: it must be monotonic (steady), or a wall-clock step
+// (NTP, DST) would corrupt measured durations.
+static_assert(WallTimer::clock::is_steady,
+              "WallTimer must use a monotonic clock");
+
+// The observability spine is pinned to the *same* clock, so span
+// timestamps and WallTimer measurements are mutually comparable.
+static_assert(std::is_same_v<obs::TraceClock, WallTimer::clock>,
+              "obs trace spans must share WallTimer's clock");
+
+TEST(WallTimerTest, ElapsedIsNonNegativeAndMonotone) {
+  const WallTimer timer;
+  double prev = timer.seconds();
+  ASSERT_GE(prev, 0.0);
+  for (int i = 0; i < 1000; ++i) {
+    const double now = timer.seconds();
+    ASSERT_GE(now, prev);  // regression: time never goes backwards
+    prev = now;
+  }
+}
+
+TEST(WallTimerTest, MeasuresSleeps) {
+  const WallTimer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  const double s = timer.seconds();
+  EXPECT_GE(s, 0.009);  // sleep_for may over-sleep, never under
+}
+
+TEST(WallTimerTest, MillisecondsTracksSeconds) {
+  const WallTimer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  const double ms = timer.milliseconds();
+  EXPECT_GE(ms, 1.9);
+}
+
+TEST(WallTimerTest, ResetRestartsTheStopwatch) {
+  WallTimer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  timer.reset();
+  EXPECT_LT(timer.seconds(), 0.005);
+}
+
+TEST(TraceClockTest, NowMicrosIsMonotone) {
+  std::uint64_t prev = obs::now_micros();
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t now = obs::now_micros();
+    ASSERT_GE(now, prev);
+    prev = now;
+  }
+}
+
+}  // namespace
+}  // namespace svo::util
