@@ -28,6 +28,13 @@
 ///       --fraction P (default 0.3)  --intensity I (default 0.9)
 ///       --gsps N     (default 12)   --tasks N     (default 36)
 ///       --rounds N   (default 10)   --seed S      (default 42)
+///   svo_cli trace-report <trace> [options]        analyze a recorded trace
+///                                               (Chrome JSON or JSONL):
+///                                               hot spans, message counts,
+///                                               per-round critical paths
+///       --top N               hot spans listed (default 12)
+///       --collapsed <file>    also write collapsed stacks for
+///                             flamegraph.pl / speedscope
 ///
 /// Global options (any subcommand):
 ///   --trace <file>   record a Chrome trace of the run (open in
@@ -37,6 +44,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <optional>
 #include <string>
@@ -46,6 +54,7 @@
 #include "core/rvof.hpp"
 #include "core/tvof.hpp"
 #include "ip/bnb.hpp"
+#include "obs/analysis.hpp"
 #include "obs/trace.hpp"
 #include "util/env.hpp"
 #include "sim/adversary.hpp"
@@ -66,7 +75,7 @@ int usage() {
   std::fprintf(stderr,
                "usage: svo_cli "
                "<trace-gen|trace-stats|form|sweep|closed-loop|multi|faults|"
-               "attacks> [--trace <file>] ...\n"
+               "attacks|trace-report> [--trace <file>] ...\n"
                "see the header of examples/svo_cli.cpp for details\n");
   return 2;
 }
@@ -378,6 +387,30 @@ int cmd_attacks(int argc, char** argv) {
   return 0;
 }
 
+int cmd_trace_report(int argc, char** argv) {
+  if (argc < 1) return usage();
+  const std::vector<obs::TraceEvent> events =
+      obs::analysis::load_trace_file(argv[0]);
+  obs::analysis::ReportOptions opts;
+  opts.top_k = std::strtoul(opt(argc, argv, "--top", "12"), nullptr, 10);
+  obs::analysis::write_text_report(std::cout, events, opts);
+  if (const char* collapsed = opt(argc, argv, "--collapsed", nullptr)) {
+    std::ofstream out(collapsed);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", collapsed);
+      return 1;
+    }
+    for (const auto& [stack, self_us] :
+         obs::analysis::collapsed_stacks(events)) {
+      out << stack << ' ' << self_us << '\n';
+    }
+    std::printf("\ncollapsed stacks written to %s "
+                "(flamegraph.pl / speedscope input)\n",
+                collapsed);
+  }
+  return 0;
+}
+
 int cmd_sweep(int argc, char** argv) {
   sim::ExperimentConfig cfg;
   cfg.repetitions =
@@ -448,6 +481,7 @@ int main(int argc, char** argv) {
     if (cmd == "multi") return cmd_multi(argc - 2, argv + 2);
     if (cmd == "faults") return cmd_faults(argc - 2, argv + 2);
     if (cmd == "attacks") return cmd_attacks(argc - 2, argv + 2);
+    if (cmd == "trace-report") return cmd_trace_report(argc - 2, argv + 2);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

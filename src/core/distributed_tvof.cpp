@@ -117,35 +117,63 @@ class TrustedParty {
   /// recorder is enabled it additionally closes the previous phase as a
   /// trace span (real elapsed time — the DES runs synchronously, so
   /// Deciding's real duration is dominated by the mechanism run) with
-  /// the simulated clock attached as an annotation. `name == nullptr`
-  /// marks a terminal phase that opens no new span.
+  /// the simulated clock and repair round attached as annotations.
+  /// `name == nullptr` marks a terminal phase that opens no new span.
+  ///
+  /// Phase events carry causal ids: every message the TP sends is
+  /// stamped with the current phase id (Message::trace_parent), and the
+  /// phases themselves parent on the enclosing core.protocol.run span —
+  /// so the exported DAG reads run -> phase -> message -> deliver ->
+  /// reply, per round. Phases cannot use the thread context stack (a
+  /// transition fires *inside* the deliver span of the message that
+  /// triggered it), hence the manual id bookkeeping.
   void set_phase(Phase p, const char* name) {
     obs::Recorder& rec = obs::Recorder::instance();
     if (rec.enabled()) {
       const std::uint64_t now = obs::now_micros();
+      if (root_ctx_ == 0) root_ctx_ = obs::current_span_id();
       if (phase_name_ != nullptr) {
         obs::TraceEvent ev;
         ev.name = phase_name_;
         ev.category = "protocol";
+        ev.id = phase_id_;
+        ev.parent = root_ctx_;
         ev.start_us = phase_started_us_;
         ev.duration_us = now - phase_started_us_;
         ev.args.emplace_back("sim_now_s", sim_.now());
+        // The round the phase *opened* in (begin_repair bumps the
+        // counter before transitioning, so close-time would mislabel
+        // the final phase of each round).
+        ev.args.emplace_back("round", static_cast<double>(phase_round_));
         rec.record(std::move(ev));
       }
       phase_started_us_ = now;
+      phase_id_ = name != nullptr ? rec.next_id() : 0;
+      phase_round_ = repair_rounds_used_;
     }
     phase_ = p;
     phase_name_ = name;
   }
 
+  /// Trace context for messages this phase originates (0 = untraced).
+  [[nodiscard]] std::uint64_t phase_ctx() const noexcept {
+    return phase_id_;
+  }
+
   // --- wire helpers -----------------------------------------------------
 
+  // TP-originated messages parent on the current phase event: most are
+  // sent from timer / post-solve callbacks where no span is open, so
+  // the network's current-span fallback would leave them causally
+  // rootless (re-sends after a timeout in particular must still attach
+  // to their phase for per-round critical paths).
   void send_cfp(std::size_t g) {
     des::Message cfp;
     cfp.from = kTrustedParty;
     cfp.to = gsp_node(g);
     cfp.type = "CFP";
     cfp.bytes = opt_.envelope_bytes + 32;  // program metadata
+    cfp.trace_parent = phase_ctx();
     net_.send(std::move(cfp));
   }
 
@@ -155,6 +183,7 @@ class TrustedParty {
     award.to = gsp_node(g);
     award.type = "AWARD";
     award.bytes = 8 * tasks_per_member_[g] + opt_.envelope_bytes;
+    award.trace_parent = phase_ctx();
     net_.send(std::move(award));
   }
 
@@ -164,6 +193,7 @@ class TrustedParty {
     release.to = gsp_node(g);
     release.type = "RELEASE";
     release.bytes = opt_.envelope_bytes;
+    release.trace_parent = phase_ctx();
     net_.send(std::move(release));
   }
 
@@ -365,6 +395,9 @@ class TrustedParty {
   Phase phase_ = Phase::Collecting;
   const char* phase_name_ = nullptr;
   std::uint64_t phase_started_us_ = 0;
+  std::uint64_t phase_id_ = 0;
+  std::uint64_t root_ctx_ = 0;
+  std::size_t phase_round_ = 0;
   std::size_t epoch_ = 0;
   bool mechanism_ran_ = false;
   double last_event_ = 0.0;
@@ -425,13 +458,18 @@ DistributedRunResult run_distributed(const VoFormationMechanism& mechanism,
     net.set_handler(gsp_node(g), [&, g](const des::Message& msg) {
       tp.note_event();
       if (msg.type == "CFP") {
-        sim.schedule(options.gsp_processing_seconds, [&, g] {
+        // The report is sent from a *scheduled* callback, after the
+        // CFP's deliver span has closed — capture that span id now so
+        // the CFP -> REPORT causal edge survives the async boundary.
+        const std::uint64_t ctx = obs::current_span_id();
+        sim.schedule(options.gsp_processing_seconds, [&, g, ctx] {
           des::Message report;
           report.from = gsp_node(g);
           report.to = kTrustedParty;
           report.type = "REPORT";
           // Trust row (8m) + cost and time columns (16n) + envelope.
           report.bytes = 8 * m + 16 * n + options.envelope_bytes;
+          report.trace_parent = ctx;
           net.send(std::move(report));
         });
       } else if (msg.type == "AWARD") {

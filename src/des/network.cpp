@@ -1,6 +1,9 @@
 #include "des/network.hpp"
 
 #include <cmath>
+#include <utility>
+
+#include "obs/trace.hpp"
 
 namespace svo::des {
 
@@ -25,6 +28,19 @@ void Network::set_handler(std::size_t node, Handler handler) {
   handlers_[node] = std::move(handler);
 }
 
+namespace {
+
+/// Flow start / drop / deliver events share the message type as the
+/// Chrome flow-binding name and carry the wire facts as args.
+void fill_wire_args(obs::TraceEvent& ev, const Message& msg, double sim_now) {
+  ev.args.emplace_back("from", static_cast<double>(msg.from));
+  ev.args.emplace_back("to", static_cast<double>(msg.to));
+  ev.args.emplace_back("bytes", static_cast<double>(msg.bytes));
+  ev.args.emplace_back("sim_now_s", sim_now);
+}
+
+}  // namespace
+
 void Network::send(Message message) {
   detail::require(message.from < handlers_.size(),
                   "Network::send: `from` endpoint out of range");
@@ -33,16 +49,70 @@ void Network::send(Message message) {
   ++messages_;
   bytes_ += message.bytes;
   double delay = latency_.sample(message.bytes, rng_);
+  bool delivered = true;
   if (fault_ != nullptr) {
     const FaultInjector::Fate fate =
         fault_->on_message(message.from, message.to, sim_.now(), delay);
-    if (!fate.delivered) return;  // lost; accounted in the injector stats
-    delay = fate.delay;
+    delivered = fate.delivered;
+    if (delivered) delay = fate.delay;
   }
-  sim_.schedule(delay, [this, msg = std::move(message)]() {
+
+  // Causal flow: one id per message, allocated only while tracing.
+  std::uint64_t flow_id = 0;
+  obs::Recorder& rec = obs::Recorder::instance();
+  if (rec.enabled()) {
+    flow_id = rec.next_id();
+    obs::TraceEvent ev;
+    ev.name = message.type;
+    ev.category = "net";
+    ev.kind = obs::EventKind::FlowStart;
+    ev.start_us = obs::now_micros();
+    ev.id = flow_id;
+    ev.parent = message.trace_parent != 0 ? message.trace_parent
+                                          : rec.current_context();
+    fill_wire_args(ev, message, sim_.now());
+    rec.record(std::move(ev));
+    if (!delivered) {
+      obs::TraceEvent drop;
+      drop.name = "net.drop";
+      drop.category = "net";
+      drop.kind = obs::EventKind::Instant;
+      drop.start_us = obs::now_micros();
+      drop.id = rec.next_id();
+      drop.parent = flow_id;
+      drop.sargs.emplace_back("type", message.type);
+      fill_wire_args(drop, message, sim_.now());
+      rec.record(std::move(drop));
+    }
+  }
+  if (!delivered) return;  // lost; accounted in the injector stats
+
+  sim_.schedule(delay, [this, msg = std::move(message), flow_id]() {
     detail::require(static_cast<bool>(handlers_[msg.to]),
                     "Network: message delivered to node without handler");
-    handlers_[msg.to](msg);
+    obs::Recorder& r = obs::Recorder::instance();
+    if (flow_id != 0 && r.enabled()) {
+      // The deliver span parents on the flow, and — because it wraps
+      // the handler — any message the handler sends in turn parents on
+      // it: the chain send -> deliver -> next send is the causal DAG
+      // obs::analysis walks for critical paths.
+      obs::Span span("net.deliver", "net", flow_id);
+      span.arg("type", msg.type.c_str());
+      span.arg("from", static_cast<double>(msg.from));
+      span.arg("to", static_cast<double>(msg.to));
+      span.arg("sim_now_s", sim_.now());
+      obs::TraceEvent fin;
+      fin.name = msg.type;
+      fin.category = "net";
+      fin.kind = obs::EventKind::FlowEnd;
+      fin.start_us = obs::now_micros();
+      fin.id = flow_id;
+      fin.args.emplace_back("sim_now_s", sim_.now());
+      r.record(std::move(fin));
+      handlers_[msg.to](msg);
+    } else {
+      handlers_[msg.to](msg);
+    }
   });
 }
 

@@ -29,6 +29,12 @@ struct Message {
   /// Application payload: a small vector of doubles covers every message
   /// in the shipped protocols.
   std::vector<double> data;
+  /// Causal trace context: the obs span/event id whose handling caused
+  /// this message (0 = let the network use the sender's innermost open
+  /// span). Purely observational — never consulted by delivery logic —
+  /// and 0 whenever tracing is disabled, so untraced runs stay
+  /// bit-identical.
+  std::uint64_t trace_parent = 0;
 };
 
 /// Link latency model: seconds to deliver `bytes` from `from` to `to`.
@@ -79,6 +85,15 @@ class Network {
   /// be dropped or delayed; drops are accounted in the injector's stats
   /// but still count toward messages_sent()/bytes_sent() (they were put
   /// on the wire).
+  ///
+  /// When the obs recorder is enabled each send additionally emits a
+  /// Chrome flow (arrow) named after the message type — flow start at
+  /// the send, flow end inside a "net.deliver" span wrapping the
+  /// handler, an instant "net.drop" event when the injector destroys
+  /// the message — parented on Message::trace_parent (or the sender's
+  /// innermost span), so traced runs export the full causal message
+  /// DAG. Tracing reads no randomness and with the recorder off this
+  /// path is a single relaxed load.
   void send(Message message);
 
   /// Attach a fault injector consulted on every send (nullptr detaches).

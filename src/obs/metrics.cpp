@@ -30,6 +30,36 @@ void Histogram::observe(double v) noexcept {
   ++data_.buckets[b];
 }
 
+double Histogram::Snapshot::quantile(double q) const noexcept {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank in [0, count-1], same linear-interpolation convention as
+  // util::percentile.
+  const double rank = q * static_cast<double>(count - 1);
+  // Find the bucket containing the rank and interpolate uniformly
+  // across it. Bucket 0 covers [0, 1), bucket i >= 1 covers
+  // [2^(i-1), 2^i).
+  double below = 0.0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    const double in_bucket = static_cast<double>(buckets[b]);
+    if (in_bucket == 0.0) continue;
+    // rank falls in this bucket when below <= rank < below + in_bucket
+    // (the last bucket also takes rank == count-1 exactly).
+    if (rank < below + in_bucket ||
+        below + in_bucket >= static_cast<double>(count)) {
+      const double lo = b == 0 ? 0.0 : std::ldexp(1.0, static_cast<int>(b) - 1);
+      const double hi = b == 0 ? 1.0 : std::ldexp(1.0, static_cast<int>(b));
+      const double frac =
+          in_bucket > 1.0 ? (rank - below) / (in_bucket - 1.0) : 0.5;
+      const double est = lo + std::clamp(frac, 0.0, 1.0) * (hi - lo);
+      // The true min/max are tracked exactly; never answer outside them.
+      return std::clamp(est, min, max);
+    }
+    below += in_bucket;
+  }
+  return max;  // unreachable for a consistent snapshot
+}
+
 Histogram::Snapshot Histogram::snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
   return data_;

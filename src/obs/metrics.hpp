@@ -71,6 +71,19 @@ class Histogram {
     double min = 0.0;
     double max = 0.0;
     std::array<std::uint64_t, kBuckets> buckets{};
+
+    /// Quantile estimate (q in [0,1]) from the log2 buckets, linearly
+    /// interpolated inside the target bucket and clamped to the exact
+    /// [min, max] the histogram tracked.
+    ///
+    /// Error bound: the answer lies in the same power-of-two bucket as
+    /// the true quantile, so it is off by at most the bucket width —
+    /// a factor of 2 of the true value (bucket i covers [2^(i-1), 2^i)).
+    /// Sanity-checked against util::percentile in the unit tests. Use
+    /// util::percentile on raw samples when exact order statistics
+    /// matter; this exists for post-hoc reads of exported histograms
+    /// whose samples are gone. Returns 0 for an empty histogram.
+    [[nodiscard]] double quantile(double q) const noexcept;
   };
 
   void observe(double v) noexcept;

@@ -78,6 +78,76 @@ void Recorder::clear() {
     }
   }
   metrics_.reset();
+  generation_.fetch_add(1, std::memory_order_relaxed);
+}
+
+// --- causal context -----------------------------------------------------
+
+namespace {
+
+/// Per-thread stack of open span ids. Plain thread_local (not owned by
+/// the recorder): contexts are a control-flow property of the thread,
+/// and a stale stack across Recorder::clear() is exactly what the
+/// generation check exists to catch.
+std::vector<std::uint64_t>& context_stack() {
+  thread_local std::vector<std::uint64_t> stack;
+  return stack;
+}
+
+}  // namespace
+
+std::uint64_t Recorder::current_context() const noexcept {
+  const auto& stack = context_stack();
+  return stack.empty() ? 0 : stack.back();
+}
+
+void Recorder::push_context(std::uint64_t id) {
+  if (id != 0) context_stack().push_back(id);
+}
+
+bool Recorder::pop_context(std::uint64_t id) {
+  if (id == 0) return true;  // inactive span: nothing was pushed
+  auto& stack = context_stack();
+  if (!stack.empty() && stack.back() == id) {
+    stack.pop_back();
+    return true;
+  }
+  // Misuse. Distinguish out-of-order (id deeper in the stack: unwind to
+  // it so subsequent parents stay sane) from end-without-begin (absent:
+  // ended twice through different paths, or began before a clear()).
+  for (std::size_t i = stack.size(); i-- > 0;) {
+    if (stack[i] == id) {
+      report_misuse("span ended out of order (unwound enclosing spans)", id);
+      stack.resize(i);
+      return false;
+    }
+  }
+  report_misuse("span end without matching begin", id);
+  return false;
+}
+
+void Recorder::report_misuse(const char* detail, std::uint64_t id) {
+  misuse_count_.fetch_add(1, std::memory_order_relaxed);
+  std::fprintf(stderr, "obs: span-stack misuse: %s (span id %llu)\n", detail,
+               static_cast<unsigned long long>(id));
+  if (!enabled()) return;
+  try {
+    TraceEvent ev;
+    ev.name = "obs.error.span_misuse";
+    ev.category = "obs";
+    ev.kind = EventKind::Instant;
+    ev.start_us = now_micros();
+    ev.id = next_id();
+    ev.parent = id;
+    ev.sargs.emplace_back("detail", detail);
+    record(std::move(ev));
+  } catch (...) {
+    // Telemetry about telemetry must never take the process down.
+  }
+}
+
+std::uint64_t current_span_id() noexcept {
+  return Recorder::instance().current_context();
 }
 
 namespace {
@@ -85,11 +155,32 @@ namespace {
 void write_event_fields(JsonWriter& w, const TraceEvent& ev) {
   w.kv("name", std::string_view(ev.name));
   w.kv("cat", std::string_view(ev.category));
-  w.kv("ph", "X");
+  switch (ev.kind) {
+    case EventKind::Complete:
+      w.kv("ph", "X");
+      break;
+    case EventKind::FlowStart:
+      w.kv("ph", "s");
+      break;
+    case EventKind::FlowEnd:
+      // Bind the arrow head to the enclosing slice (the deliver span).
+      w.kv("ph", "f");
+      w.kv("bp", "e");
+      break;
+    case EventKind::Instant:
+      w.kv("ph", "i");
+      w.kv("s", "t");
+      break;
+  }
   w.kv("ts", ev.start_us);
-  w.kv("dur", ev.duration_us);
+  if (ev.kind == EventKind::Complete) w.kv("dur", ev.duration_us);
   w.kv("pid", 1);
   w.kv("tid", ev.tid);
+  // Causal-DAG fields. "id" is the Chrome flow-binding key for s/f
+  // events; for spans it (and "parent", a custom key both viewers
+  // ignore) exists for obs::analysis to rebuild the DAG.
+  if (ev.id != 0) w.kv("id", ev.id);
+  if (ev.parent != 0) w.kv("parent", ev.parent);
   if (ev.args.empty() && ev.sargs.empty()) return;
   w.key("args").begin_object();
   for (const auto& [k, v] : ev.args) w.kv(std::string_view(k), v);
@@ -163,10 +254,20 @@ bool Recorder::write_metrics_file(const std::string& path) const {
 
 // --- Span ---------------------------------------------------------------
 
-Span::Span(const char* name, const char* category) noexcept
+Span::Span(const char* name, const char* category,
+           std::uint64_t parent) noexcept
     : name_(name), category_(category) {
-  if (!Recorder::instance().enabled()) return;  // strict no-op path
+  Recorder& rec = Recorder::instance();
+  if (!rec.enabled()) return;  // strict no-op path
   active_ = true;
+  id_ = rec.next_id();
+  parent_ = parent != 0 ? parent : rec.current_context();
+  generation_ = rec.generation();
+  try {
+    rec.push_context(id_);
+  } catch (...) {
+    id_ = 0;  // context allocation failed: record as a rootless span
+  }
   start_us_ = now_micros();
 }
 
@@ -184,10 +285,21 @@ void Span::end() noexcept {
   if (!active_) return;
   active_ = false;
   const std::uint64_t stop = now_micros();
+  Recorder& rec = Recorder::instance();
+  rec.pop_context(id_);  // must happen even on rejection paths below
+  if (rec.generation() != generation_) {
+    // The recorder was cleared while this span was open: its start time
+    // belongs to the previous trace window and its parent chain was
+    // invalidated. Reject explicitly instead of recording a torn event.
+    rec.report_misuse("span lifetime crossed Recorder::clear()", id_);
+    return;
+  }
   try {
     TraceEvent ev;
     ev.name = name_;
     ev.category = category_;
+    ev.id = id_;
+    ev.parent = parent_;
     ev.start_us = start_us_;
     ev.duration_us = stop - start_us_;
     ev.args.reserve(num_args_);
@@ -233,7 +345,12 @@ void TraceSession::flush() {
   flushed_ = true;
   Recorder& rec = Recorder::instance();
   if (!trace_path_.empty()) {
-    if (rec.write_chrome_trace_file(trace_path_)) {
+    const bool jsonl = trace_path_.size() >= 6 &&
+                       trace_path_.compare(trace_path_.size() - 6, 6,
+                                           ".jsonl") == 0;
+    const bool ok = jsonl ? rec.write_jsonl_file(trace_path_)
+                          : rec.write_chrome_trace_file(trace_path_);
+    if (ok) {
       std::fprintf(stderr, "trace written: %s (%zu events)\n",
                    trace_path_.c_str(), rec.event_count());
     }

@@ -13,10 +13,19 @@
 /// durations line up with the Fig. 9 wall-clock numbers (enforced by a
 /// static_assert below and a regression test).
 ///
+/// Causal tracing: every enabled span gets a process-unique id and the
+/// id of its nearest enclosing span as parent (a per-thread context
+/// stack maintains the nesting). Cross-thread / cross-simulated-node
+/// causality is carried by *flow* events (Chrome "s"/"f" arrows):
+/// des::Network stamps one flow per message, so a traced protocol run
+/// exports the full CFP/REPORT/AWARD causal DAG. obs::analysis loads
+/// the exported JSON back in to compute aggregates and critical paths.
+///
 /// Exporters: Chrome trace_event JSON (load in chrome://tracing or
 /// https://ui.perfetto.dev) and flat JSONL (one event per line, for jq
-/// and pandas). TraceSession wires the recorder to output files named on
-/// the command line (svo_cli --trace) or via SVO_TRACE / SVO_METRICS.
+/// and pandas; a ".jsonl" TraceSession path selects it). TraceSession
+/// wires the recorder to output files named on the command line
+/// (svo_cli --trace) or via SVO_TRACE / SVO_METRICS.
 #pragma once
 
 #include <array>
@@ -43,14 +52,29 @@ static_assert(TraceClock::is_steady,
 /// tracing only needs timestamps to be mutually consistent).
 [[nodiscard]] std::uint64_t now_micros() noexcept;
 
+/// What a TraceEvent denotes — mapped onto Chrome trace_event phases.
+enum class EventKind : std::uint8_t {
+  Complete,   ///< a span with a duration (ph "X")
+  FlowStart,  ///< causal arrow source, e.g. a message send (ph "s")
+  FlowEnd,    ///< causal arrow sink, e.g. a message delivery (ph "f")
+  Instant,    ///< a point event, e.g. a dropped message (ph "i")
+};
+
 /// One completed span, ready for export.
 struct TraceEvent {
   std::string name;
-  const char* category = "svo";
+  std::string category = "svo";
+  EventKind kind = EventKind::Complete;
   std::uint64_t start_us = 0;
   std::uint64_t duration_us = 0;
   /// Recorder-assigned thread id (dense, starts at 1).
   std::uint32_t tid = 0;
+  /// Process-unique causal-DAG node id (0 = unassigned). Flow start and
+  /// flow end share the id of the message they bracket.
+  std::uint64_t id = 0;
+  /// Causal parent: the id of the enclosing span, the triggering flow,
+  /// or an application-supplied context (0 = root).
+  std::uint64_t parent = 0;
   /// Numeric annotations (Chrome "args").
   std::vector<std::pair<std::string, double>> args;
   /// String annotations (e.g. mechanism name, solver status).
@@ -84,8 +108,48 @@ class Recorder {
   [[nodiscard]] std::size_t event_count() const;
 
   /// Drop all events and zero all metrics (thread buffers stay
-  /// registered; outstanding references stay valid).
+  /// registered; outstanding references stay valid). Bumps the buffer
+  /// generation: spans still open across the clear are rejected at
+  /// their end() with an explicit misuse error instead of leaking a
+  /// half-window event into the next trace.
   void clear();
+
+  // --- causal context ---------------------------------------------------
+  // Ids are process-unique and only allocated while the recorder is
+  // enabled; the per-thread context stack tracks span nesting so new
+  // spans (and message flows) know their causal parent.
+
+  /// Allocate a fresh causal-DAG node id (never 0).
+  [[nodiscard]] std::uint64_t next_id() noexcept {
+    return next_node_id_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Innermost open span id on the calling thread (0 = none).
+  [[nodiscard]] std::uint64_t current_context() const noexcept;
+
+  /// Push a span id onto the calling thread's context stack.
+  void push_context(std::uint64_t id);
+
+  /// Pop `id` from the calling thread's context stack. Correct usage
+  /// pops the innermost id; anything else is span-stack misuse and is
+  /// reported *explicitly* instead of silently corrupting parent links:
+  ///  - `id` below the top (out-of-order end): unwinds to `id`,
+  ///  - `id` absent (end-without-begin, or a span crossing clear()):
+  ///    leaves the stack alone and returns false.
+  /// Both record an "obs.error.span_misuse" instant event and bump
+  /// misuse_count().
+  bool pop_context(std::uint64_t id);
+
+  /// Monotonic count of the buffer clears; Span uses it to detect spans
+  /// whose lifetime crossed a clear()/flush boundary.
+  [[nodiscard]] std::uint64_t generation() const noexcept {
+    return generation_.load(std::memory_order_relaxed);
+  }
+
+  /// Span-stack misuse events observed (see pop_context).
+  [[nodiscard]] std::uint64_t misuse_count() const noexcept {
+    return misuse_count_.load(std::memory_order_relaxed);
+  }
 
   /// Chrome trace_event JSON ({"traceEvents": [...]}).
   void write_chrome_trace(std::ostream& os) const;
@@ -98,6 +162,8 @@ class Recorder {
   bool write_metrics_file(const std::string& path) const;
 
  private:
+  friend class Span;  // reports generation-crossing misuse on end()
+
   Recorder() = default;
 
   struct ThreadBuffer {
@@ -107,12 +173,22 @@ class Recorder {
   };
   [[nodiscard]] ThreadBuffer& local_buffer();
 
+  void report_misuse(const char* detail, std::uint64_t id);
+
   std::atomic<bool> enabled_{false};
   MetricRegistry metrics_;
   mutable std::mutex buffers_mu_;
   std::vector<std::shared_ptr<ThreadBuffer>> buffers_;
   std::atomic<std::uint32_t> next_tid_{1};
+  std::atomic<std::uint64_t> next_node_id_{1};
+  std::atomic<std::uint64_t> generation_{0};
+  std::atomic<std::uint64_t> misuse_count_{0};
 };
+
+/// Innermost open span id on the calling thread; 0 when tracing is
+/// disabled or no span is open. The value application code threads
+/// through asynchronous boundaries (e.g. des::Message::trace_parent).
+[[nodiscard]] std::uint64_t current_span_id() noexcept;
 
 /// RAII trace region. Cheap enough for per-solve / per-iteration
 /// granularity; do not put one inside a B&B node expansion — count
@@ -120,7 +196,11 @@ class Recorder {
 class Span {
  public:
   /// `name`/`category` must be string literals (or outlive the span).
-  explicit Span(const char* name, const char* category = "svo") noexcept;
+  /// The span's causal parent defaults to the innermost open span on
+  /// this thread; pass `parent` to attach it elsewhere in the DAG
+  /// (e.g. a message-flow id).
+  explicit Span(const char* name, const char* category = "svo",
+                std::uint64_t parent = 0) noexcept;
   Span(const Span&) = delete;
   Span& operator=(const Span&) = delete;
   ~Span() { end(); }
@@ -136,6 +216,11 @@ class Span {
   /// True when the recorder was enabled at construction.
   [[nodiscard]] bool active() const noexcept { return active_; }
 
+  /// Causal id of this span (0 when inactive). Valid for the process
+  /// lifetime; safe to hand to other threads / simulated nodes as a
+  /// trace context.
+  [[nodiscard]] std::uint64_t id() const noexcept { return id_; }
+
  private:
   static constexpr std::size_t kMaxArgs = 8;
   static constexpr std::size_t kMaxStringArgs = 2;
@@ -143,6 +228,9 @@ class Span {
   const char* name_;
   const char* category_;
   std::uint64_t start_us_ = 0;
+  std::uint64_t id_ = 0;
+  std::uint64_t parent_ = 0;
+  std::uint64_t generation_ = 0;
   std::size_t num_args_ = 0;
   std::size_t num_sargs_ = 0;
   std::array<std::pair<const char*, double>, kMaxArgs> args_{};
@@ -151,8 +239,9 @@ class Span {
 };
 
 /// RAII recorder session bound to output files. On construction enables
-/// the recorder; on destruction (or flush()) writes the Chrome trace
-/// and the metric registry JSON, then restores the previous
+/// the recorder; on destruction (or flush()) writes the trace (Chrome
+/// trace_event JSON, or flat JSONL when the path ends in ".jsonl") and
+/// the metric registry JSON, then restores the previous
 /// enabled/disabled state. The default constructor reads the paths from
 /// the environment: SVO_TRACE=<file> (trace) and SVO_METRICS=<file>
 /// (metrics); with neither set the session is inactive and free.

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/trace.hpp"
+
 namespace svo::des {
 namespace {
 
@@ -103,6 +105,104 @@ TEST(NetworkTest, ConstructorValidatesLatencyModel) {
   bad = no_jitter();
   bad.jitter = -0.5;
   EXPECT_THROW(Network(sim, 2, bad, 1), InvalidArgument);
+}
+
+// ------------------------------------------------- causal flow tracing
+
+/// Network trace tests share the process-wide recorder.
+class NetworkTraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::Recorder::instance().disable();
+    obs::Recorder::instance().clear();
+  }
+  void TearDown() override {
+    obs::Recorder::instance().disable();
+    obs::Recorder::instance().clear();
+  }
+};
+
+TEST_F(NetworkTraceTest, TracedSendEmitsFlowPairAndDeliverSpan) {
+  obs::Recorder::instance().enable();
+  Simulator sim;
+  Network net(sim, 2, no_jitter(), 1);
+  net.set_handler(1, [](const Message&) {});
+  Message msg{0, 1, "ping", 200, {}};
+  msg.trace_parent = 77;  // explicit application-supplied context
+  net.send(std::move(msg));
+  (void)sim.run();
+  obs::Recorder::instance().disable();
+
+  const obs::TraceEvent* start = nullptr;
+  const obs::TraceEvent* finish = nullptr;
+  const obs::TraceEvent* deliver = nullptr;
+  const auto events = obs::Recorder::instance().snapshot_events();
+  for (const obs::TraceEvent& ev : events) {
+    if (ev.kind == obs::EventKind::FlowStart) start = &ev;
+    if (ev.kind == obs::EventKind::FlowEnd) finish = &ev;
+    if (ev.name == "net.deliver") deliver = &ev;
+  }
+  ASSERT_NE(start, nullptr);
+  ASSERT_NE(finish, nullptr);
+  ASSERT_NE(deliver, nullptr);
+  EXPECT_EQ(start->name, "ping");  // flow named after the message type
+  EXPECT_EQ(start->category, "net");
+  EXPECT_NE(start->id, 0u);
+  EXPECT_EQ(start->id, finish->id);       // arrow endpoints share the id
+  EXPECT_EQ(start->parent, 77u);          // trace_parent honored
+  EXPECT_EQ(deliver->parent, start->id);  // deliver span hangs off the flow
+  // Wire args on the start event.
+  bool saw_from = false, saw_to = false;
+  for (const auto& [k, v] : start->args) {
+    if (k == "from") { saw_from = true; EXPECT_DOUBLE_EQ(v, 0.0); }
+    if (k == "to") { saw_to = true; EXPECT_DOUBLE_EQ(v, 1.0); }
+  }
+  EXPECT_TRUE(saw_from);
+  EXPECT_TRUE(saw_to);
+}
+
+TEST_F(NetworkTraceTest, UntracedSendCarriesNoContextAndEmitsNothing) {
+  Simulator sim;
+  Network net(sim, 2, no_jitter(), 1);
+  std::uint64_t seen = 99;
+  net.set_handler(1, [&](const Message& m) { seen = m.trace_parent; });
+  net.send({0, 1, "ping", 0, {}});
+  (void)sim.run();
+  EXPECT_EQ(seen, 0u);
+  EXPECT_EQ(obs::Recorder::instance().event_count(), 0u);
+}
+
+TEST_F(NetworkTraceTest, TracingDoesNotPerturbDeliveryOrJitter) {
+  LatencyModel jittery = no_jitter();
+  jittery.jitter = 0.5;
+  const auto run_once = [&](bool traced) {
+    obs::Recorder::instance().clear();
+    if (traced) {
+      obs::Recorder::instance().enable();
+    } else {
+      obs::Recorder::instance().disable();
+    }
+    Simulator sim;
+    Network net(sim, 3, jittery, 99);
+    std::vector<double> arrivals;
+    for (std::size_t node = 0; node < 3; ++node) {
+      net.set_handler(node, [&](const Message&) {
+        arrivals.push_back(sim.now());
+      });
+    }
+    net.send({0, 1, "a", 120, {}});
+    net.send({1, 2, "b", 40, {}});
+    net.send({2, 0, "c", 300, {}});
+    (void)sim.run();
+    obs::Recorder::instance().disable();
+    return arrivals;
+  };
+  // The network's jitter RNG must advance identically: delivery times
+  // (and order) are bit-identical with tracing off and on.
+  const std::vector<double> off = run_once(false);
+  const std::vector<double> on = run_once(true);
+  ASSERT_EQ(off.size(), 3u);
+  EXPECT_EQ(off, on);
 }
 
 }  // namespace

@@ -200,6 +200,105 @@ TEST_F(TracingEquivalenceTest, DistributedRunIsBitIdentical) {
   EXPECT_EQ(off.protocol.retries, 0u);
 }
 
+/// Causal context propagation (flow events, Message::trace_parent,
+/// phase ids) must obey the same invariant as spans: a *faulted*
+/// protocol run — retries, timeouts, repair — is bit-identical with the
+/// recorder off and on, and consumes zero extra randomness.
+TEST_F(TracingEquivalenceTest, FaultedDistributedRunIsBitIdentical) {
+  const Fixture f = make_fixture(6, 18, 0xFA11);
+  const ip::BnbAssignmentSolver solver;
+  const TvofMechanism tvof(solver);
+
+  ProtocolOptions proto;
+  proto.latency.base_seconds = 0.02;
+  proto.latency.jitter = 0.3;
+  proto.report_timeout_seconds = 0.2;
+  proto.award_timeout_seconds = 0.15;
+  proto.faults.drop_probability = 0.3;
+  proto.faults.straggler_probability = 0.1;
+  proto.faults.straggler_multiplier = 4.0;
+  proto.faults.seed = 0xFA11 ^ 0xFA117;
+  proto.faults.crashes = gsp_crash_schedule(
+      des::random_crash_windows(6, 0.4, 0.2, 0.0, 0xFA11 ^ 0xC4A5));
+
+  util::Xoshiro256 rng_off(23);
+  obs::Recorder::instance().disable();
+  const DistributedRunResult off =
+      run_distributed(tvof, f.instance, f.trust, rng_off, proto);
+  const std::uint64_t probe_off = rng_off();
+
+  util::Xoshiro256 rng_on(23);
+  obs::Recorder::instance().enable();
+  const DistributedRunResult on =
+      run_distributed(tvof, f.instance, f.trust, rng_on, proto);
+  const std::uint64_t probe_on = rng_on();
+  obs::Recorder::instance().disable();
+
+  expect_bit_identical(off.mechanism, on.mechanism);
+  EXPECT_EQ(probe_off, probe_on);
+  EXPECT_EQ(off.protocol.messages, on.protocol.messages);
+  EXPECT_EQ(off.protocol.bytes, on.protocol.bytes);
+  EXPECT_EQ(off.protocol.report_phase_seconds,
+            on.protocol.report_phase_seconds);
+  EXPECT_EQ(off.protocol.retries, on.protocol.retries);
+  EXPECT_EQ(off.protocol.timeouts_fired, on.protocol.timeouts_fired);
+  EXPECT_EQ(off.protocol.drops_observed, on.protocol.drops_observed);
+  EXPECT_EQ(off.protocol.repair_rounds, on.protocol.repair_rounds);
+  EXPECT_EQ(off.protocol.degraded_quorum, on.protocol.degraded_quorum);
+  EXPECT_EQ(off.protocol.formation_failed, on.protocol.formation_failed);
+
+  // The fault machinery must have actually fired, or this proves
+  // nothing about the retry/timeout instrumentation paths.
+  EXPECT_GT(off.protocol.drops_observed + off.protocol.timeouts_fired, 0u);
+  // And the traced run produced the causal DAG.
+  bool saw_flow = false;
+  for (const obs::TraceEvent& ev :
+       obs::Recorder::instance().snapshot_events()) {
+    if (ev.kind == obs::EventKind::FlowStart) saw_flow = true;
+  }
+  EXPECT_TRUE(saw_flow);
+}
+
+/// The exported causal DAG is *well-formed*: every message flow's
+/// parent chain resolves to recorded events, TP re-sends attach to
+/// their phase, and GSP replies attach to the delivery that caused
+/// them (no rootless protocol messages).
+TEST_F(TracingEquivalenceTest, TracedProtocolMessagesAreCausallyLinked) {
+  const Fixture f = make_fixture(5, 15, 0xCAFE);
+  const ip::BnbAssignmentSolver solver;
+  const TvofMechanism tvof(solver);
+  util::Xoshiro256 rng(11);
+  obs::Recorder::instance().enable();
+  (void)run_distributed(tvof, f.instance, f.trust, rng);
+  obs::Recorder::instance().disable();
+
+  const std::vector<obs::TraceEvent> events =
+      obs::Recorder::instance().snapshot_events();
+  std::size_t flows = 0;
+  std::size_t rootless = 0;
+  for (const obs::TraceEvent& ev : events) {
+    if (ev.kind != obs::EventKind::FlowStart) continue;
+    ++flows;
+    if (ev.parent == 0) ++rootless;
+    // Every flow parent must be a recorded event (a phase event, a
+    // deliver span, or another span) — never a dangling id.
+    if (ev.parent != 0) {
+      bool found = false;
+      for (const obs::TraceEvent& other : events) {
+        if (other.id == ev.parent &&
+            other.kind != obs::EventKind::FlowEnd) {
+          found = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(found) << "flow " << ev.name << " id " << ev.id
+                         << " has dangling parent " << ev.parent;
+    }
+  }
+  EXPECT_GT(flows, 0u);
+  EXPECT_EQ(rootless, 0u) << "protocol messages must be causally rooted";
+}
+
 TEST_F(TracingEquivalenceTest, TracedProtocolEmitsPhaseEvents) {
   const Fixture f = make_fixture(5, 15, 21);
   const ip::BnbAssignmentSolver solver;

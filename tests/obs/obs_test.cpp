@@ -17,6 +17,8 @@
 #include <thread>
 
 #include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
 
 namespace svo::obs {
 namespace {
@@ -275,6 +277,64 @@ TEST(MetricsTest, HistogramBucketsByPowerOfTwo) {
   EXPECT_EQ(s.buckets[2], 2u);
 }
 
+TEST(MetricsTest, EmptyHistogramQuantileIsZero) {
+  Histogram h;
+  EXPECT_DOUBLE_EQ(h.snapshot().quantile(0.5), 0.0);
+}
+
+TEST(MetricsTest, SingleSampleQuantileIsExact) {
+  Histogram h;
+  h.observe(37.5);
+  const Histogram::Snapshot s = h.snapshot();
+  // One sample: min == max pins every quantile exactly via the clamp.
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 37.5);
+  EXPECT_DOUBLE_EQ(s.quantile(0.5), 37.5);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 37.5);
+}
+
+TEST(MetricsTest, QuantileEndpointsClampToTrackedMinMax) {
+  Histogram h;
+  for (const double v : {3.0, 5.0, 700.0, 900.0}) h.observe(v);
+  const Histogram::Snapshot s = h.snapshot();
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 3.0);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 900.0);
+}
+
+TEST(MetricsTest, QuantileWithinDocumentedFactorTwoOfPercentile) {
+  // The documented bound: the log2-bucket estimate lands in the same
+  // power-of-two bucket as the true order statistic, so it is within a
+  // factor of 2. Check against util::percentile on a skewed sample.
+  util::Xoshiro256 rng(20120912);
+  Histogram h;
+  std::vector<double> samples;
+  for (int i = 0; i < 4000; ++i) {
+    // Log-uniform over ~[1, 4096]: every bucket gets traffic.
+    const double v = std::exp2(12.0 * rng.uniform());
+    samples.push_back(v);
+    h.observe(v);
+  }
+  const Histogram::Snapshot s = h.snapshot();
+  for (const double q : {0.05, 0.25, 0.5, 0.75, 0.95, 0.99}) {
+    const double exact = util::percentile(samples, q);
+    const double est = s.quantile(q);
+    EXPECT_GE(est, exact / 2.0) << "q=" << q;
+    EXPECT_LE(est, exact * 2.0) << "q=" << q;
+  }
+}
+
+TEST(MetricsTest, QuantileIsMonotoneInQ) {
+  util::Xoshiro256 rng(7);
+  Histogram h;
+  for (int i = 0; i < 512; ++i) h.observe(1.0 + 200.0 * rng.uniform());
+  const Histogram::Snapshot s = h.snapshot();
+  double prev = s.quantile(0.0);
+  for (double q = 0.1; q <= 1.0; q += 0.1) {
+    const double cur = s.quantile(q);
+    EXPECT_GE(cur, prev) << "q=" << q;
+    prev = cur;
+  }
+}
+
 TEST(MetricRegistryTest, ReferencesAreStableAcrossInserts) {
   MetricRegistry reg;
   Counter& a = reg.counter("a");
@@ -371,7 +431,7 @@ TEST_F(RecorderTest, EnabledSpanRecordsNameCategoryArgs) {
       Recorder::instance().snapshot_events();
   ASSERT_EQ(events.size(), 1u);
   EXPECT_EQ(events[0].name, "test.span");
-  EXPECT_STREQ(events[0].category, "testcat");
+  EXPECT_EQ(events[0].category, "testcat");
   ASSERT_EQ(events[0].args.size(), 1u);
   EXPECT_EQ(events[0].args[0].first, "value");
   EXPECT_DOUBLE_EQ(events[0].args[0].second, 42.0);
@@ -455,6 +515,138 @@ TEST_F(RecorderTest, ClearDropsEventsAndZeroesMetrics) {
   Recorder::instance().clear();
   EXPECT_EQ(Recorder::instance().event_count(), 0u);
   EXPECT_EQ(Recorder::instance().metrics().counter_value("test.count"), 0u);
+}
+
+// ------------------------------------------------- causal ids / contexts
+
+TEST_F(RecorderTest, NestedSpansLinkParentIds) {
+  Recorder::instance().enable();
+  std::uint64_t outer_id = 0;
+  std::uint64_t inner_id = 0;
+  {
+    Span outer("test.parent", "test");
+    outer_id = outer.id();
+    EXPECT_EQ(current_span_id(), outer_id);
+    {
+      Span inner("test.child", "test");
+      inner_id = inner.id();
+      EXPECT_EQ(current_span_id(), inner_id);
+    }
+    EXPECT_EQ(current_span_id(), outer_id);
+  }
+  EXPECT_EQ(current_span_id(), 0u);
+  ASSERT_NE(outer_id, 0u);
+  ASSERT_NE(inner_id, 0u);
+  const auto events = Recorder::instance().snapshot_events();
+  ASSERT_EQ(events.size(), 2u);
+  // Look events up by name: both can start in the same microsecond
+  // tick, which makes snapshot order unspecified.
+  for (const auto& ev : events) {
+    if (ev.name == "test.parent") {
+      EXPECT_EQ(ev.id, outer_id);
+      EXPECT_EQ(ev.parent, 0u);  // root
+    } else {
+      EXPECT_EQ(ev.name, "test.child");
+      EXPECT_EQ(ev.id, inner_id);
+      EXPECT_EQ(ev.parent, outer_id);
+    }
+  }
+}
+
+TEST_F(RecorderTest, ExplicitParentOverridesContextStack) {
+  Recorder::instance().enable();
+  const std::uint64_t flow_id = Recorder::instance().next_id();
+  {
+    Span enclosing("test.enclosing", "test");
+    Span span("test.flow_child", "test", flow_id);
+    EXPECT_EQ(span.id(), current_span_id());
+  }
+  const auto events = Recorder::instance().snapshot_events();
+  ASSERT_EQ(events.size(), 2u);
+  bool found = false;
+  for (const auto& ev : events) {
+    if (ev.name != "test.flow_child") continue;
+    found = true;
+    EXPECT_EQ(ev.parent, flow_id);  // not the enclosing span
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(RecorderTest, DisabledSpansAllocateNoIds) {
+  const std::uint64_t before = Recorder::instance().next_id();
+  {
+    Span span("test.off", "test");
+    EXPECT_EQ(span.id(), 0u);
+    EXPECT_EQ(current_span_id(), 0u);
+  }
+  // Only our own probe advanced the id counter.
+  EXPECT_EQ(Recorder::instance().next_id(), before + 1);
+}
+
+// ------------------------------------------------- span-stack misuse guard
+
+TEST_F(RecorderTest, EndWithoutBeginIsReportedNotCorrupting) {
+  Recorder::instance().enable();
+  const std::uint64_t misuse_before = Recorder::instance().misuse_count();
+  Span outer("test.outer", "test");
+  // A pop for an id that was never pushed: explicit misuse report, and
+  // the real context stack is untouched.
+  EXPECT_FALSE(Recorder::instance().pop_context(0xDEADu));
+  EXPECT_EQ(Recorder::instance().misuse_count(), misuse_before + 1);
+  EXPECT_EQ(current_span_id(), outer.id());
+  outer.end();
+  // The misuse left an explicit marker event in the trace.
+  bool saw_marker = false;
+  for (const auto& ev : Recorder::instance().snapshot_events()) {
+    if (ev.name == "obs.error.span_misuse") saw_marker = true;
+  }
+  EXPECT_TRUE(saw_marker);
+}
+
+TEST_F(RecorderTest, OutOfOrderEndUnwindsAndReports) {
+  Recorder::instance().enable();
+  const std::uint64_t misuse_before = Recorder::instance().misuse_count();
+  auto* outer = new Span("test.outer", "test");
+  auto* inner = new Span("test.inner", "test");
+  const std::uint64_t inner_id = inner->id();
+  // Ending the outer span while the inner is still open is misuse:
+  // the stack unwinds to the outer id and the event is reported.
+  delete outer;
+  EXPECT_GT(Recorder::instance().misuse_count(), misuse_before);
+  EXPECT_EQ(current_span_id(), 0u);  // unwound past the leaked inner
+  // The inner span's own end is now itself a (second) misuse report,
+  // not a crash and not a corrupted context stack.
+  delete inner;
+  EXPECT_EQ(current_span_id(), 0u);
+  bool inner_recorded = false;
+  for (const auto& ev : Recorder::instance().snapshot_events()) {
+    if (ev.id == inner_id && ev.kind == EventKind::Complete) {
+      inner_recorded = true;
+    }
+  }
+  EXPECT_TRUE(inner_recorded);  // the event itself is still recorded
+}
+
+TEST_F(RecorderTest, SpanCrossingClearIsRejectedWithExplicitError) {
+  Recorder::instance().enable();
+  const std::uint64_t misuse_before = Recorder::instance().misuse_count();
+  {
+    Span span("test.crossing", "test");
+    ASSERT_TRUE(span.active());
+    Recorder::instance().clear();  // flush boundary while span is open
+  }
+  // The half-window event must NOT leak into the new trace; the misuse
+  // marker takes its place.
+  std::size_t crossing_events = 0;
+  std::size_t markers = 0;
+  for (const auto& ev : Recorder::instance().snapshot_events()) {
+    if (ev.name == "test.crossing") ++crossing_events;
+    if (ev.name == "obs.error.span_misuse") ++markers;
+  }
+  EXPECT_EQ(crossing_events, 0u);
+  EXPECT_GE(markers, 1u);
+  EXPECT_GT(Recorder::instance().misuse_count(), misuse_before);
+  EXPECT_EQ(current_span_id(), 0u);  // stack does not hold stale ids
 }
 
 TEST_F(RecorderTest, ChromeTraceExportIsValidJson) {

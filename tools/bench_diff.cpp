@@ -1,0 +1,260 @@
+/// \file bench_diff.cpp
+/// Bench regression gate over BENCH_*.json reports (DESIGN.md §4e).
+///
+///   bench_diff [--verdict out.json] [--rule PATTERN:DIR[:TOL]]...
+///              <baseline> <current>
+///
+/// <baseline>/<current> are either two report files or two directories;
+/// directory mode diffs every BENCH_*.json present in the baseline (a
+/// report missing from <current> is itself a regression — a bench that
+/// stopped publishing must not silently pass the gate).
+///
+/// Metrics are flattened to dotted paths ("aggregate.node_reduction",
+/// "runs[2].cold_nodes") and judged by the first matching rule; the
+/// built-in set (obs::analysis::default_bench_rules) treats wall-clock
+/// timings as informational, config echoes and equivalence booleans as
+/// exact, and work/quality counters as directional with relative
+/// tolerances. --rule prepends custom rules (first match wins), DIR one
+/// of lower|higher|exact|info, TOL a relative fraction (default 0).
+///
+/// Exit status: 0 = within tolerance, 1 = regression(s), 2 = usage /
+/// unreadable input. --verdict additionally writes a machine-readable
+/// summary (consumed by CI as an artifact).
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/analysis.hpp"
+#include "obs/json.hpp"
+#include "obs/json_parse.hpp"
+
+namespace {
+
+using namespace svo;
+namespace analysis = obs::analysis;
+namespace fs = std::filesystem;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: bench_diff [--verdict out.json] "
+               "[--rule PATTERN:lower|higher|exact|info[:TOL]]... "
+               "<baseline file|dir> <current file|dir>\n");
+  return 2;
+}
+
+std::optional<obs::JsonValue> load_report(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "bench_diff: cannot open %s\n", path.c_str());
+    return std::nullopt;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  std::optional<obs::JsonValue> v = obs::try_parse_json(buf.str());
+  if (!v) {
+    std::fprintf(stderr, "bench_diff: %s is not valid JSON\n", path.c_str());
+  }
+  return v;
+}
+
+std::optional<analysis::DiffRule> parse_rule(const std::string& spec) {
+  const std::size_t c1 = spec.find(':');
+  if (c1 == std::string::npos || c1 == 0) return std::nullopt;
+  analysis::DiffRule rule;
+  rule.pattern = spec.substr(0, c1);
+  std::string dir = spec.substr(c1 + 1);
+  if (const std::size_t c2 = dir.find(':'); c2 != std::string::npos) {
+    try {
+      rule.rel_tol = std::stod(dir.substr(c2 + 1));
+    } catch (...) {
+      return std::nullopt;
+    }
+    dir.resize(c2);
+  }
+  if (dir == "lower") {
+    rule.dir = analysis::Direction::LowerIsBetter;
+  } else if (dir == "higher") {
+    rule.dir = analysis::Direction::HigherIsBetter;
+  } else if (dir == "exact") {
+    rule.dir = analysis::Direction::Exact;
+  } else if (dir == "info") {
+    rule.dir = analysis::Direction::Informational;
+  } else {
+    return std::nullopt;
+  }
+  return rule;
+}
+
+const char* status_name(analysis::DeltaStatus s) {
+  switch (s) {
+    case analysis::DeltaStatus::Ok: return "ok";
+    case analysis::DeltaStatus::Improved: return "improved";
+    case analysis::DeltaStatus::Regressed: return "REGRESSED";
+    case analysis::DeltaStatus::Info: return "info";
+    case analysis::DeltaStatus::BaselineOnly: return "MISSING";
+    case analysis::DeltaStatus::CurrentOnly: return "new";
+  }
+  return "?";
+}
+
+void print_result(const std::string& name,
+                  const analysis::BenchDiffResult& result) {
+  std::printf("%s: %s (%zu metric(s), %zu regression(s))\n", name.c_str(),
+              result.passed() ? "PASS" : "FAIL", result.deltas.size(),
+              result.regressions);
+  for (const auto& d : result.deltas) {
+    // Quiet gate: full rows only for deltas someone should look at.
+    const bool notable = d.status != analysis::DeltaStatus::Ok &&
+                         d.status != analysis::DeltaStatus::Info;
+    if (!notable) continue;
+    std::printf("  %-10s %-44s %14.6g -> %-14.6g (%+.1f%%)\n",
+                status_name(d.status), d.path.c_str(), d.baseline, d.current,
+                100.0 * d.rel_change);
+  }
+}
+
+void write_verdict_entry(obs::JsonWriter& w, const std::string& name,
+                         const analysis::BenchDiffResult& result) {
+  w.begin_object();
+  w.kv("report", std::string_view(name));
+  w.kv("passed", result.passed());
+  w.kv("metrics", result.deltas.size());
+  w.kv("regressions", result.regressions);
+  w.key("deltas").begin_array();
+  for (const auto& d : result.deltas) {
+    if (d.status == analysis::DeltaStatus::Ok ||
+        d.status == analysis::DeltaStatus::Info) {
+      continue;  // verdict lists actionable deltas only
+    }
+    w.begin_object();
+    w.kv("path", std::string_view(d.path));
+    w.kv("status", status_name(d.status));
+    w.kv("baseline", d.baseline);
+    w.kv("current", d.current);
+    w.kv("rel_change", d.rel_change);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string verdict_path;
+  std::vector<analysis::DiffRule> rules;
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--verdict") == 0 && i + 1 < argc) {
+      verdict_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--rule") == 0 && i + 1 < argc) {
+      std::optional<analysis::DiffRule> rule = parse_rule(argv[++i]);
+      if (!rule) {
+        std::fprintf(stderr, "bench_diff: bad --rule \"%s\"\n", argv[i]);
+        return usage();
+      }
+      rules.push_back(std::move(*rule));
+    } else {
+      positional.emplace_back(argv[i]);
+    }
+  }
+  if (positional.size() != 2) return usage();
+  // Custom rules take precedence over the built-in set.
+  for (const analysis::DiffRule& rule : analysis::default_bench_rules()) {
+    rules.push_back(rule);
+  }
+
+  // Resolve the (baseline, current) report pairs.
+  struct ReportPair {
+    std::string base_path;
+    std::string cur_path;
+  };
+  std::vector<ReportPair> pairs;
+  const fs::path base(positional[0]);
+  const fs::path cur(positional[1]);
+  std::vector<std::string> missing;
+  if (fs::is_directory(base)) {
+    if (!fs::is_directory(cur)) {
+      std::fprintf(stderr, "bench_diff: %s is a directory but %s is not\n",
+                   base.c_str(), cur.c_str());
+      return 2;
+    }
+    std::vector<fs::path> reports;
+    for (const auto& entry : fs::directory_iterator(base)) {
+      const std::string name = entry.path().filename().string();
+      if (entry.is_regular_file() && name.rfind("BENCH_", 0) == 0 &&
+          entry.path().extension() == ".json") {
+        reports.push_back(entry.path());
+      }
+    }
+    std::sort(reports.begin(), reports.end());
+    if (reports.empty()) {
+      std::fprintf(stderr, "bench_diff: no BENCH_*.json under %s\n",
+                   base.c_str());
+      return 2;
+    }
+    for (const fs::path& report : reports) {
+      const fs::path other = cur / report.filename();
+      if (!fs::exists(other)) {
+        missing.push_back(report.filename().string());
+        continue;
+      }
+      pairs.push_back({report.string(), other.string()});
+    }
+  } else {
+    pairs.push_back({base.string(), cur.string()});
+  }
+
+  bool all_passed = missing.empty();
+  for (const std::string& name : missing) {
+    std::fprintf(stderr,
+                 "bench_diff: %s present in baseline but missing from "
+                 "current — FAIL\n",
+                 name.c_str());
+  }
+
+  std::vector<std::pair<std::string, analysis::BenchDiffResult>> results;
+  for (const ReportPair& pair : pairs) {
+    const std::optional<obs::JsonValue> base_doc = load_report(pair.base_path);
+    const std::optional<obs::JsonValue> cur_doc = load_report(pair.cur_path);
+    if (!base_doc || !cur_doc) return 2;
+    analysis::BenchDiffResult result =
+        analysis::diff_bench_reports(*base_doc, *cur_doc, rules);
+    const std::string name = fs::path(pair.cur_path).filename().string();
+    print_result(name, result);
+    all_passed = all_passed && result.passed();
+    results.emplace_back(name, std::move(result));
+  }
+
+  if (!verdict_path.empty()) {
+    std::ofstream out(verdict_path);
+    if (!out) {
+      std::fprintf(stderr, "bench_diff: cannot write %s\n",
+                   verdict_path.c_str());
+      return 2;
+    }
+    obs::JsonWriter w(out);
+    w.begin_object();
+    w.kv("passed", all_passed);
+    w.key("missing_reports").begin_array();
+    for (const std::string& name : missing) w.value(std::string_view(name));
+    w.end_array();
+    w.key("reports").begin_array();
+    for (const auto& [name, result] : results) {
+      write_verdict_entry(w, name, result);
+    }
+    w.end_array();
+    w.end_object();
+    out << '\n';
+  }
+
+  std::printf("bench_diff: %s\n", all_passed ? "PASS" : "FAIL");
+  return all_passed ? 0 : 1;
+}
