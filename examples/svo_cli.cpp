@@ -28,6 +28,15 @@
 ///       --fraction P (default 0.3)  --intensity I (default 0.9)
 ///       --gsps N     (default 12)   --tasks N     (default 36)
 ///       --rounds N   (default 10)   --seed S      (default 42)
+///   svo_cli stream [options]                    streaming grid economy:
+///                                               continuous arrivals, GSP
+///                                               churn, repair + backoff
+///       --requests N  (default 24)  --interval S  (default 60)
+///       --gsps N      (default 8)   --deadline S  (default inf)
+///       --leave-rate R (default 0)  --crash-rate R (default 0)
+///       --absence S   (default 600) --floor N     (default 1)
+///       --mechanism tvof|rvof       --seed S      (default 42)
+///       --ingest sweep|atlas        --timeline    (print event log)
 ///   svo_cli trace-report <trace> [options]        analyze a recorded trace
 ///                                               (Chrome JSON or JSONL):
 ///                                               hot spans, message counts,
@@ -61,6 +70,7 @@
 #include "sim/learning.hpp"
 #include "sim/multi_program.hpp"
 #include "sim/runner.hpp"
+#include "sim/stream_engine.hpp"
 #include "trace/atlas_synth.hpp"
 #include "trace/programs.hpp"
 #include "util/csv.hpp"
@@ -75,7 +85,7 @@ int usage() {
   std::fprintf(stderr,
                "usage: svo_cli "
                "<trace-gen|trace-stats|form|sweep|closed-loop|multi|faults|"
-               "attacks|trace-report> [--trace <file>] ...\n"
+               "attacks|stream|trace-report> [--trace <file>] ...\n"
                "see the header of examples/svo_cli.cpp for details\n");
   return 2;
 }
@@ -387,6 +397,84 @@ int cmd_attacks(int argc, char** argv) {
   return 0;
 }
 
+int cmd_stream(int argc, char** argv) {
+  sim::StreamOptions opts;
+  opts.base.gen.params.num_gsps =
+      std::strtoul(opt(argc, argv, "--gsps", "8"), nullptr, 10);
+  opts.base.seed = std::strtoull(opt(argc, argv, "--seed", "42"), nullptr, 10);
+  opts.base.task_sizes = {24, 48, 96};
+  opts.base.trace.num_jobs = 6000;
+  opts.base.trace.canonical_sizes = {24, 48, 96};
+  opts.base.trace.min_jobs_per_canonical_size = 8;
+  opts.base.solver.max_nodes = 4000;
+  opts.num_requests =
+      std::strtoul(opt(argc, argv, "--requests", "24"), nullptr, 10);
+  opts.arrival_interval_seconds =
+      std::strtod(opt(argc, argv, "--interval", "60"), nullptr);
+  if (const char* deadline = opt(argc, argv, "--deadline", nullptr)) {
+    opts.formation_deadline_seconds = std::strtod(deadline, nullptr);
+  }
+  opts.admission_floor =
+      std::strtoul(opt(argc, argv, "--floor", "1"), nullptr, 10);
+  opts.execution_time_scale = 0.01;
+  opts.churn.leave_rate =
+      std::strtod(opt(argc, argv, "--leave-rate", "0"), nullptr);
+  opts.churn.crash_rate =
+      std::strtod(opt(argc, argv, "--crash-rate", "0"), nullptr);
+  opts.churn.mean_absence_seconds =
+      std::strtod(opt(argc, argv, "--absence", "600"), nullptr);
+  opts.churn.seed = opts.base.seed ^ 0xC1124;
+  const char* mechanism = opt(argc, argv, "--mechanism", "tvof");
+  if (std::strcmp(mechanism, "rvof") == 0) {
+    opts.mechanism = sim::MechanismKind::Rvof;
+  } else if (std::strcmp(mechanism, "tvof") != 0) {
+    std::fprintf(stderr, "unknown --mechanism %s\n", mechanism);
+    return 2;
+  }
+  const char* ingest = opt(argc, argv, "--ingest", "sweep");
+  if (std::strcmp(ingest, "atlas") == 0) {
+    opts.ingest = sim::StreamOptions::Ingest::StreamingAtlas;
+  } else if (std::strcmp(ingest, "sweep") != 0) {
+    std::fprintf(stderr, "unknown --ingest %s\n", ingest);
+    return 2;
+  }
+
+  const sim::StreamEngine engine(opts);
+  const sim::StreamResult result = engine.run();
+
+  std::printf("requests admitted:   %zu\n", result.admitted);
+  std::printf("completed/repaired:  %zu / %zu\n", result.completed,
+              result.repaired);
+  std::printf("shed/timed-out:      %zu / %zu\n", result.shed,
+              result.timed_out);
+  std::printf("completion rate:     %.3f\n", result.completion_rate);
+  std::printf("deadline-miss rate:  %.3f\n", result.deadline_miss_rate);
+  std::printf("realized value:      %.2f\n", result.total_realized_value);
+  std::printf("formation latency:   mean %.2f s, p99 %.2f s (virtual)\n",
+              result.mean_formation_latency, result.p99_formation_latency);
+  std::printf("churn events:        %zu, quarantined rejoins: %zu\n",
+              result.churn_schedule.size(),
+              result.quarantine_activations.size());
+  std::printf("virtual horizon:     %.1f s\n", result.horizon);
+  if (result.lost > 0) {
+    std::printf("LOST REQUESTS:       %zu (invariant violation!)\n",
+                result.lost);
+  }
+  bool timeline = false;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--timeline") == 0) timeline = true;
+  }
+  if (timeline) {
+    std::printf("\n%-12s %-22s %-8s %s\n", "time", "event", "request", "gsp");
+    for (const sim::StreamLogEntry& e : result.timeline) {
+      std::printf("%-12.2f %-22s %-8s %s\n", e.time, to_string(e.kind),
+                  e.request == SIZE_MAX ? "-" : std::to_string(e.request).c_str(),
+                  e.gsp == SIZE_MAX ? "-" : std::to_string(e.gsp).c_str());
+    }
+  }
+  return result.lost == 0 ? 0 : 1;
+}
+
 int cmd_trace_report(int argc, char** argv) {
   if (argc < 1) return usage();
   const std::vector<obs::TraceEvent> events =
@@ -481,6 +569,7 @@ int main(int argc, char** argv) {
     if (cmd == "multi") return cmd_multi(argc - 2, argv + 2);
     if (cmd == "faults") return cmd_faults(argc - 2, argv + 2);
     if (cmd == "attacks") return cmd_attacks(argc - 2, argv + 2);
+    if (cmd == "stream") return cmd_stream(argc - 2, argv + 2);
     if (cmd == "trace-report") return cmd_trace_report(argc - 2, argv + 2);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

@@ -465,6 +465,14 @@ std::vector<DiffRule> default_bench_rules() {
       {"*nodes*", Direction::LowerIsBetter, 0.10},
       {"*iterations*", Direction::LowerIsBetter, 0.10},
       {"*rounds*", Direction::LowerIsBetter, 0.10},
+      // Robustness aggregates (streaming economy): missing deadlines or
+      // losing requests is a regression. Lost requests gate exactly —
+      // the engine's invariant is zero, always. These sit before the
+      // generic "*rate*" rule so deadline_miss_rate gates in the right
+      // direction (first match wins).
+      {"*miss*", Direction::LowerIsBetter, 0.10},
+      {"*lost*", Direction::Exact, 0.0},
+      {"*latency*", Direction::LowerIsBetter, 0.10},
       // Quality ratios: shrinking is a regression.
       {"*reduction*", Direction::HigherIsBetter, 0.10},
       {"*retention*", Direction::HigherIsBetter, 0.10},

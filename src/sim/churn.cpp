@@ -1,0 +1,100 @@
+#include "sim/churn.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace svo::sim {
+
+const char* to_string(ChurnEventKind kind) noexcept {
+  switch (kind) {
+    case ChurnEventKind::Leave:
+      return "leave";
+    case ChurnEventKind::Crash:
+      return "crash";
+    case ChurnEventKind::Rejoin:
+      return "rejoin";
+  }
+  return "unknown";
+}
+
+void ChurnOptions::validate() const {
+  detail::require(std::isfinite(leave_rate) && leave_rate >= 0.0,
+                  "ChurnOptions: leave_rate must be finite and >= 0");
+  detail::require(std::isfinite(crash_rate) && crash_rate >= 0.0,
+                  "ChurnOptions: crash_rate must be finite and >= 0");
+  detail::require(
+      !enabled() ||
+          (std::isfinite(mean_absence_seconds) && mean_absence_seconds > 0.0),
+      "ChurnOptions: mean_absence_seconds must be finite and > 0 when "
+      "churn is enabled");
+  detail::require(
+      std::isfinite(rejoin_probability) && rejoin_probability >= 0.0 &&
+          rejoin_probability <= 1.0,
+      "ChurnOptions: rejoin_probability must be in [0, 1]");
+  detail::require(max_events_per_gsp > 0,
+                  "ChurnOptions: max_events_per_gsp must be > 0");
+}
+
+std::vector<ChurnEvent> build_churn_schedule(const ChurnOptions& options,
+                                             std::size_t num_gsps,
+                                             double horizon) {
+  options.validate();
+  detail::require(std::isfinite(horizon) && horizon > 0.0,
+                  "build_churn_schedule: horizon must be finite and > 0");
+
+  std::vector<ChurnEvent> schedule;
+  if (!options.enabled() || num_gsps == 0) return schedule;
+
+  const double total_rate = options.leave_rate + options.crash_rate;
+  const double crash_share = options.crash_rate / total_rate;
+  for (std::size_t gsp = 0; gsp < num_gsps; ++gsp) {
+    // Private substream per GSP: adding or removing one GSP's churn
+    // never perturbs another's schedule.
+    util::Xoshiro256 rng(
+        util::derive_seed(options.seed, static_cast<std::uint64_t>(gsp)));
+    double t = 0.0;
+    std::size_t emitted = 0;
+    while (emitted < options.max_events_per_gsp) {
+      t += rng.exponential(total_rate);  // next departure while live
+      if (t >= horizon) break;
+      const ChurnEventKind departure = rng.bernoulli(crash_share)
+                                           ? ChurnEventKind::Crash
+                                           : ChurnEventKind::Leave;
+      schedule.push_back({t, departure, gsp});
+      ++emitted;
+      if (emitted >= options.max_events_per_gsp) break;
+      if (!rng.bernoulli(options.rejoin_probability)) break;  // gone for good
+      t += rng.exponential(1.0 / options.mean_absence_seconds);
+      if (t >= horizon) break;
+      schedule.push_back({t, ChurnEventKind::Rejoin, gsp});
+      ++emitted;
+    }
+  }
+  std::sort(schedule.begin(), schedule.end(),
+            [](const ChurnEvent& a, const ChurnEvent& b) {
+              if (a.time != b.time) return a.time < b.time;
+              if (a.gsp != b.gsp) return a.gsp < b.gsp;
+              return static_cast<int>(a.kind) < static_cast<int>(b.kind);
+            });
+  return schedule;
+}
+
+void QuarantineLedger::record_rejoin(std::size_t gsp, std::size_t formation) {
+  if (window_ == 0) return;
+  windows_[gsp] = {formation, formation + window_};
+}
+
+std::vector<std::size_t> QuarantineLedger::fresh(std::size_t formation) const {
+  std::vector<std::size_t> out;
+  for (const auto& [gsp, window] : windows_) {  // std::map: already sorted
+    if (formation >= window.from && formation < window.until) {
+      out.push_back(gsp);
+    }
+  }
+  return out;
+}
+
+}  // namespace svo::sim

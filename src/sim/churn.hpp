@@ -1,0 +1,121 @@
+/// \file churn.hpp
+/// Deterministic GSP churn for the streaming grid economy
+/// (sim/stream_engine.hpp): seeded join/leave/crash/rejoin schedules
+/// over virtual time, plus the re-entry quarantine ledger that keeps
+/// reputation meaningful across identity churn (the PR 3 defense,
+/// driven here by *provider* churn instead of whitewashing attackers).
+///
+/// A schedule is a pure value: build_churn_schedule(options, m, horizon)
+/// always produces the same event list for the same inputs, so churned
+/// runs replay bit-identically (tests/sim/churn_test.cpp). Semantics:
+///
+///  - Leave: graceful departure — the engine lets the GSP drain its
+///    current VO before it goes;
+///  - Crash: immediate failure — mid-formation it aborts the pending
+///    award, mid-execution it triggers VO repair over the survivors;
+///  - Rejoin: the GSP returns to the live pool and enters re-entry
+///    quarantine for the next `quarantine_formations` formation runs.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace svo::sim {
+
+/// What happens to a GSP at one schedule point.
+enum class ChurnEventKind {
+  Leave,   ///< graceful departure (drains its current VO first)
+  Crash,   ///< immediate failure (mid-formation / mid-execution)
+  Rejoin,  ///< returns to the live pool (quarantined on re-entry)
+};
+
+/// Human-readable name ("leave", "crash", "rejoin").
+[[nodiscard]] const char* to_string(ChurnEventKind kind) noexcept;
+
+/// One scheduled churn event.
+struct ChurnEvent {
+  double time = 0.0;
+  ChurnEventKind kind = ChurnEventKind::Leave;
+  std::size_t gsp = 0;
+
+  friend bool operator==(const ChurnEvent& a, const ChurnEvent& b) noexcept {
+    return a.time == b.time && a.kind == b.kind && a.gsp == b.gsp;
+  }
+};
+
+/// Churn model of one streaming run. All-zero rates mean "no churn" —
+/// the regime in which a streaming run is bit-identical to the one-shot
+/// sweep (see StreamEngine).
+struct ChurnOptions {
+  /// Graceful departures per GSP per virtual second while live.
+  double leave_rate = 0.0;
+  /// Crashes per GSP per virtual second while live.
+  double crash_rate = 0.0;
+  /// Mean absence before a rejoin, virtual seconds (must be > 0 when
+  /// either rate is).
+  double mean_absence_seconds = 3600.0;
+  /// Probability a departed GSP ever returns; 0 = all departures are
+  /// permanent, exactly the paper's defaulting provider.
+  double rejoin_probability = 1.0;
+  /// Seed of the schedule's private stream (per-GSP substreams derive
+  /// from it, so one GSP's schedule is independent of the others').
+  std::uint64_t seed = 0xC1124;
+  /// Hard cap on events per GSP — bounds the schedule regardless of
+  /// rates x horizon.
+  std::size_t max_events_per_gsp = 64;
+
+  /// True when any churn can occur.
+  [[nodiscard]] bool enabled() const noexcept {
+    return leave_rate > 0.0 || crash_rate > 0.0;
+  }
+
+  /// Throws InvalidArgument on negative/non-finite rates, a non-positive
+  /// absence mean (with churn enabled), an out-of-range rejoin
+  /// probability, or a zero event cap.
+  void validate() const;
+};
+
+/// Build the deterministic event schedule for `num_gsps` GSPs over
+/// virtual times [0, horizon). Events are sorted by (time, gsp, kind);
+/// per GSP the sequence alternates live -> (Leave|Crash) -> Rejoin ->
+/// live -> ... and stops at the horizon, at the per-GSP cap, or at a
+/// permanent departure. Validates `options` and requires horizon > 0.
+[[nodiscard]] std::vector<ChurnEvent> build_churn_schedule(
+    const ChurnOptions& options, std::size_t num_gsps, double horizon);
+
+/// Re-entry quarantine bookkeeping, keyed by *formation count* — the
+/// rating-count semantics of the PR 3 defense: a rejoined GSP is "fresh"
+/// for exactly the next `window` formation runs after its rejoin, then
+/// ages out. Crucially, a rejoin arms the quarantine ONCE; subsequent
+/// formations must never re-arm it (the bug class
+/// tests/sim/churn_test.cpp pins): only another rejoin restarts the
+/// clock.
+class QuarantineLedger {
+ public:
+  /// `window` = formation runs a re-entered identity stays fresh for.
+  /// 0 disables quarantine (fresh() is always empty).
+  explicit QuarantineLedger(std::size_t window) : window_(window) {}
+
+  /// Record that `gsp` rejoined just before formation #`formation`.
+  /// It will be fresh for formations [formation, formation + window).
+  void record_rejoin(std::size_t gsp, std::size_t formation);
+
+  /// GSP ids fresh at formation #`formation`, strictly increasing —
+  /// feed straight into RobustOptions::fresh.
+  [[nodiscard]] std::vector<std::size_t> fresh(std::size_t formation) const;
+
+  [[nodiscard]] std::size_t window() const noexcept { return window_; }
+
+ private:
+  struct Window {
+    std::size_t from = 0;   ///< first quarantined formation (inclusive)
+    std::size_t until = 0;  ///< first formation no longer quarantined
+  };
+  std::size_t window_ = 0;
+  /// gsp -> its latest rejoin's quarantine window.
+  std::map<std::size_t, Window> windows_;
+};
+
+}  // namespace svo::sim

@@ -51,4 +51,22 @@ struct AtlasSynthOptions {
 [[nodiscard]] Trace generate_atlas_like(const AtlasSynthOptions& opts,
                                         std::uint64_t seed);
 
+namespace detail {
+
+/// Throws InvalidArgument on out-of-range AtlasSynthOptions fields.
+/// Shared by the one-shot generator and the chunked stream
+/// (trace/stream.hpp) so both reject the same inputs.
+void validate_atlas_options(const AtlasSynthOptions& opts);
+
+/// Draw one synthetic job with id `id` from `rng`. The single source of
+/// the per-job marginals: generate_atlas_like consumes it sequentially,
+/// and AtlasJobStream consumes the *same* sequence chunk by chunk, so
+/// the streamed jobs equal the one-shot jobs (before the canonical-size
+/// retag and the submit-time sort, which need the whole trace).
+[[nodiscard]] SwfJob synthesize_job(std::int64_t id,
+                                    const AtlasSynthOptions& opts,
+                                    util::Xoshiro256& rng);
+
+}  // namespace detail
+
 }  // namespace svo::trace

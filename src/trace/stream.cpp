@@ -1,0 +1,49 @@
+#include "trace/stream.hpp"
+
+namespace svo::trace {
+
+AtlasJobStream::AtlasJobStream(AtlasSynthOptions opts, std::uint64_t seed)
+    : opts_(std::move(opts)), seed_(seed), rng_(seed) {
+  detail::validate_atlas_options(opts_);
+}
+
+bool AtlasJobStream::next(SwfJob& out) {
+  if (exhausted()) return false;
+  out = detail::synthesize_job(static_cast<std::int64_t>(produced_ + 1),
+                               opts_, rng_);
+  ++produced_;
+  return true;
+}
+
+std::vector<SwfJob> AtlasJobStream::next_chunk(std::size_t max_jobs) {
+  svo::detail::require(max_jobs > 0, "AtlasJobStream::next_chunk: max_jobs == 0");
+  std::vector<SwfJob> chunk;
+  chunk.reserve(std::min(max_jobs, remaining()));
+  SwfJob job;
+  while (chunk.size() < max_jobs && next(job)) {
+    chunk.push_back(job);
+  }
+  return chunk;
+}
+
+std::optional<ProgramSpec> AtlasJobStream::next_program(
+    double min_runtime_seconds, std::size_t max_tasks) {
+  SwfJob job;
+  while (next(job)) {
+    if (!job.completed() || job.run_time < min_runtime_seconds) continue;
+    if (max_tasks > 0 &&
+        job.allocated_processors > static_cast<std::int64_t>(max_tasks)) {
+      continue;
+    }
+    if (job.allocated_processors <= 0 || job.avg_cpu_time <= 0.0) continue;
+    return program_from_job(job, min_runtime_seconds);
+  }
+  return std::nullopt;
+}
+
+void AtlasJobStream::reset() {
+  rng_ = util::Xoshiro256(seed_);
+  produced_ = 0;
+}
+
+}  // namespace svo::trace

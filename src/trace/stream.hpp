@@ -1,0 +1,80 @@
+/// \file stream.hpp
+/// Chunked, memory-bounded streaming ingest over the synthetic Atlas
+/// generator — the workload source of the streaming grid economy
+/// (sim/stream_engine.hpp). generate_atlas_like materializes the whole
+/// trace because its canonical-size retag and submit-time sort are
+/// global passes; at millions of jobs that is hundreds of MB nobody
+/// consuming jobs one at a time needs. AtlasJobStream draws the *same*
+/// per-job sequence (trace::detail::synthesize_job from the same seeded
+/// generator) but hands it out in caller-sized chunks, so memory stays
+/// O(chunk) no matter how many jobs the options ask for.
+///
+/// Contracts (tests/trace/stream_test.cpp):
+///  - chunk-size invariance: for a fixed (options, seed), concatenating
+///    next()/next_chunk() calls of any sizes yields one fixed job
+///    sequence — chunk boundaries never change a draw;
+///  - one-shot equality: that sequence, stable-sorted by submit time,
+///    equals generate_atlas_like(options, seed) when the canonical-size
+///    guarantee is disabled (the retag pass is inherently global and is
+///    documented as unavailable in streaming mode);
+///  - jobs are produced in generation order, NOT submit order — a
+///    streaming consumer assigns its own arrival clock.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "trace/atlas_synth.hpp"
+#include "trace/programs.hpp"
+#include "trace/swf.hpp"
+#include "util/rng.hpp"
+
+namespace svo::trace {
+
+/// Memory-bounded iterator over a synthetic Atlas-like job stream.
+/// Deterministic in (options, seed); validates the options on
+/// construction exactly like generate_atlas_like.
+class AtlasJobStream {
+ public:
+  AtlasJobStream(AtlasSynthOptions opts, std::uint64_t seed);
+
+  /// Draw the next job into `out`. Returns false (leaving `out`
+  /// untouched) once options.num_jobs jobs have been produced.
+  bool next(SwfJob& out);
+
+  /// Draw up to `max_jobs` further jobs (fewer at end of stream; empty
+  /// when exhausted). Requires max_jobs > 0 — a zero-sized chunk is a
+  /// caller bug, not a way to poll.
+  [[nodiscard]] std::vector<SwfJob> next_chunk(std::size_t max_jobs);
+
+  /// Scan forward for the next *eligible program source* — a completed
+  /// job with run_time >= min_runtime_seconds and, when max_tasks > 0,
+  /// at most max_tasks allocated processors — and convert it via
+  /// program_from_job. Jobs skipped by the scan are consumed and gone,
+  /// exactly like a live feed. nullopt when the stream ends first.
+  [[nodiscard]] std::optional<ProgramSpec> next_program(
+      double min_runtime_seconds = 7200.0, std::size_t max_tasks = 0);
+
+  /// Jobs produced so far / still available.
+  [[nodiscard]] std::size_t produced() const noexcept { return produced_; }
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return opts_.num_jobs - produced_;
+  }
+  [[nodiscard]] bool exhausted() const noexcept { return remaining() == 0; }
+
+  [[nodiscard]] const AtlasSynthOptions& options() const noexcept {
+    return opts_;
+  }
+
+  /// Rewind to the first job (same seed, same sequence again).
+  void reset();
+
+ private:
+  AtlasSynthOptions opts_;
+  std::uint64_t seed_ = 0;
+  util::Xoshiro256 rng_;
+  std::size_t produced_ = 0;
+};
+
+}  // namespace svo::trace

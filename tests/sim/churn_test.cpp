@@ -1,0 +1,156 @@
+/// Tests for the deterministic churn model (sim/churn): option
+/// validation, schedule structure and determinism, and the re-entry
+/// quarantine ledger's exactly-once semantics — the regression pin for
+/// the "re-quarantined on every later formation" bug class.
+#include "sim/churn.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace svo::sim {
+namespace {
+
+ChurnOptions active_options() {
+  ChurnOptions opts;
+  opts.leave_rate = 1.0 / 300.0;
+  opts.crash_rate = 1.0 / 500.0;
+  opts.mean_absence_seconds = 200.0;
+  opts.seed = 99;
+  return opts;
+}
+
+TEST(ChurnOptionsTest, ValidatesRatesAndKnobs) {
+  ChurnOptions opts;
+  opts.leave_rate = -0.1;
+  EXPECT_THROW(opts.validate(), InvalidArgument);
+  opts = {};
+  opts.crash_rate = -1.0;
+  EXPECT_THROW(opts.validate(), InvalidArgument);
+  opts = active_options();
+  opts.mean_absence_seconds = 0.0;
+  EXPECT_THROW(opts.validate(), InvalidArgument);
+  opts = active_options();
+  opts.rejoin_probability = 1.5;
+  EXPECT_THROW(opts.validate(), InvalidArgument);
+  opts = active_options();
+  opts.max_events_per_gsp = 0;
+  EXPECT_THROW(opts.validate(), InvalidArgument);
+  // Disabled churn does not need an absence mean.
+  opts = {};
+  opts.mean_absence_seconds = 0.0;
+  EXPECT_NO_THROW(opts.validate());
+  EXPECT_FALSE(opts.enabled());
+  EXPECT_TRUE(active_options().enabled());
+}
+
+TEST(ChurnScheduleTest, DisabledChurnYieldsEmptySchedule) {
+  EXPECT_TRUE(build_churn_schedule(ChurnOptions{}, 8, 1000.0).empty());
+  EXPECT_TRUE(build_churn_schedule(active_options(), 0, 1000.0).empty());
+  EXPECT_THROW((void)build_churn_schedule(active_options(), 4, 0.0),
+               InvalidArgument);
+}
+
+TEST(ChurnScheduleTest, SameSeedReplaysIdentically) {
+  const auto a = build_churn_schedule(active_options(), 6, 5000.0);
+  const auto b = build_churn_schedule(active_options(), 6, 5000.0);
+  EXPECT_FALSE(a.empty());
+  EXPECT_EQ(a, b);
+  ChurnOptions other = active_options();
+  other.seed ^= 1;
+  EXPECT_NE(build_churn_schedule(other, 6, 5000.0), a);
+}
+
+TEST(ChurnScheduleTest, PerGspSequencesAlternateAndStayInHorizon) {
+  const double horizon = 5000.0;
+  const auto schedule = build_churn_schedule(active_options(), 6, horizon);
+  EXPECT_TRUE(std::is_sorted(schedule.begin(), schedule.end(),
+                             [](const ChurnEvent& a, const ChurnEvent& b) {
+                               return a.time < b.time;
+                             }));
+  for (std::size_t gsp = 0; gsp < 6; ++gsp) {
+    bool live = true;
+    double last = 0.0;
+    for (const ChurnEvent& e : schedule) {
+      if (e.gsp != gsp) continue;
+      EXPECT_GT(e.time, last);
+      EXPECT_LT(e.time, horizon);
+      last = e.time;
+      if (e.kind == ChurnEventKind::Rejoin) {
+        EXPECT_FALSE(live) << "rejoin while live";
+        live = true;
+      } else {
+        EXPECT_TRUE(live) << "departure while absent";
+        live = false;
+      }
+    }
+  }
+}
+
+TEST(ChurnScheduleTest, ZeroRejoinProbabilityMakesDeparturesPermanent) {
+  ChurnOptions opts = active_options();
+  opts.rejoin_probability = 0.0;
+  const auto schedule = build_churn_schedule(opts, 8, 1e7);
+  std::size_t per_gsp[8] = {};
+  for (const ChurnEvent& e : schedule) {
+    EXPECT_NE(e.kind, ChurnEventKind::Rejoin);
+    ++per_gsp[e.gsp];
+  }
+  for (const std::size_t count : per_gsp) EXPECT_LE(count, 1u);
+}
+
+TEST(ChurnScheduleTest, PerGspCapBoundsTheSchedule) {
+  ChurnOptions opts = active_options();
+  opts.max_events_per_gsp = 4;
+  const auto schedule = build_churn_schedule(opts, 5, 1e9);
+  std::size_t per_gsp[5] = {};
+  for (const ChurnEvent& e : schedule) ++per_gsp[e.gsp];
+  for (const std::size_t count : per_gsp) EXPECT_LE(count, 4u);
+}
+
+TEST(ChurnEventKindTest, ToStringNames) {
+  EXPECT_STREQ(to_string(ChurnEventKind::Leave), "leave");
+  EXPECT_STREQ(to_string(ChurnEventKind::Crash), "crash");
+  EXPECT_STREQ(to_string(ChurnEventKind::Rejoin), "rejoin");
+}
+
+/// The satellite regression: a GSP that rejoins before formation #f is
+/// fresh for formations [f, f + window) and NOT ONE FORMATION MORE —
+/// later formations must never re-arm the window; only a new rejoin may.
+TEST(QuarantineLedgerTest, QuarantineArmsExactlyOncePerRejoin) {
+  QuarantineLedger ledger(3);
+  ledger.record_rejoin(2, 5);
+  EXPECT_EQ(ledger.fresh(5), (std::vector<std::size_t>{2}));
+  EXPECT_EQ(ledger.fresh(6), (std::vector<std::size_t>{2}));
+  EXPECT_EQ(ledger.fresh(7), (std::vector<std::size_t>{2}));
+  // Querying fresh() is what a formation run does; doing it repeatedly
+  // (the buggy "re-quarantine every round" behaviour would re-arm here)
+  // must not extend the window.
+  for (int repeat = 0; repeat < 10; ++repeat) (void)ledger.fresh(7);
+  EXPECT_TRUE(ledger.fresh(8).empty());
+  EXPECT_TRUE(ledger.fresh(100).empty());
+  // A *new* rejoin re-arms; an earlier formation index does not resurrect
+  // the old window.
+  ledger.record_rejoin(2, 10);
+  EXPECT_TRUE(ledger.fresh(9).empty());
+  EXPECT_EQ(ledger.fresh(12), (std::vector<std::size_t>{2}));
+  EXPECT_TRUE(ledger.fresh(13).empty());
+}
+
+TEST(QuarantineLedgerTest, FreshListIsSortedAndWindowZeroDisables) {
+  QuarantineLedger ledger(2);
+  ledger.record_rejoin(7, 0);
+  ledger.record_rejoin(1, 0);
+  ledger.record_rejoin(4, 1);
+  EXPECT_EQ(ledger.fresh(1), (std::vector<std::size_t>{1, 4, 7}));
+  EXPECT_EQ(ledger.fresh(2), (std::vector<std::size_t>{4}));
+
+  QuarantineLedger off(0);
+  off.record_rejoin(3, 0);
+  EXPECT_TRUE(off.fresh(0).empty());
+}
+
+}  // namespace
+}  // namespace svo::sim

@@ -1,0 +1,240 @@
+/// Tests for the streaming grid economy (sim/stream_engine): option
+/// validation, the churn-off bit-identical equivalence with the one-shot
+/// sweep, same-seed replay determinism, and the no-lost-requests
+/// invariant under crash x leave churn.
+#include "sim/stream_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "sim/runner.hpp"
+
+namespace svo::sim {
+namespace {
+
+ExperimentConfig tiny_config() {
+  ExperimentConfig cfg;
+  cfg.trace.num_jobs = 3000;
+  cfg.trace.min_jobs_per_canonical_size = 4;
+  cfg.trace.canonical_sizes = {24, 48};
+  cfg.task_sizes = {24, 48};
+  cfg.repetitions = 3;
+  cfg.gen.params.num_gsps = 5;
+  cfg.solver.max_nodes = 2000;
+  return cfg;
+}
+
+/// Churn-off, unbounded deadlines, instantaneous executions: requests
+/// never contend and every formation sees the grand coalition.
+StreamOptions oneshot_equivalent_options() {
+  StreamOptions opts;
+  opts.base = tiny_config();
+  opts.num_requests = 6;
+  opts.arrival_interval_seconds = 60.0;
+  opts.formation_seconds = 1.0;
+  opts.execution_time_scale = 0.0;
+  return opts;
+}
+
+StreamOptions churny_options() {
+  StreamOptions opts;
+  opts.base = tiny_config();
+  opts.num_requests = 6;
+  opts.arrival_interval_seconds = 60.0;
+  opts.formation_seconds = 2.0;
+  opts.formation_deadline_seconds = 240.0;
+  opts.retry_backoff_seconds = 15.0;
+  opts.max_attempts = 4;
+  opts.admission_floor = 2;
+  opts.execution_time_scale = 0.01;
+  opts.churn.leave_rate = 1.0 / 200.0;
+  opts.churn.crash_rate = 1.0 / 150.0;
+  opts.churn.mean_absence_seconds = 100.0;
+  opts.churn.seed = 17;
+  return opts;
+}
+
+TEST(StreamOptionsTest, ValidatesKnobs) {
+  StreamOptions opts = oneshot_equivalent_options();
+  opts.num_requests = 0;
+  EXPECT_THROW(opts.validate(), InvalidArgument);
+  opts = oneshot_equivalent_options();
+  opts.arrival_interval_seconds = 0.0;
+  EXPECT_THROW(opts.validate(), InvalidArgument);
+  opts = oneshot_equivalent_options();
+  opts.formation_deadline_seconds = 0.0;
+  EXPECT_THROW(opts.validate(), InvalidArgument);
+  opts = oneshot_equivalent_options();
+  opts.admission_floor = opts.base.gen.params.num_gsps + 1;
+  EXPECT_THROW(opts.validate(), InvalidArgument);
+  opts = oneshot_equivalent_options();
+  opts.retry_backoff_multiplier = 0.5;
+  EXPECT_THROW(opts.validate(), InvalidArgument);
+  opts = oneshot_equivalent_options();
+  opts.execution_time_scale = -1.0;
+  EXPECT_THROW(opts.validate(), InvalidArgument);
+  opts = oneshot_equivalent_options();
+  opts.churn.leave_rate = -0.5;
+  EXPECT_THROW(opts.validate(), InvalidArgument);
+  opts = oneshot_equivalent_options();
+  opts.base.task_sizes.clear();
+  EXPECT_THROW(opts.validate(), InvalidArgument);
+  EXPECT_NO_THROW(oneshot_equivalent_options().validate());
+  EXPECT_NO_THROW(churny_options().validate());
+}
+
+void expect_same_formation(const core::MechanismResult& a,
+                           const core::MechanismResult& b) {
+  ASSERT_EQ(a.success, b.success);
+  EXPECT_EQ(a.selected.bits(), b.selected.bits());
+  EXPECT_EQ(a.mapping, b.mapping);
+  EXPECT_DOUBLE_EQ(a.cost, b.cost);
+  EXPECT_DOUBLE_EQ(a.value, b.value);
+  EXPECT_DOUBLE_EQ(a.payoff_share, b.payoff_share);
+  EXPECT_DOUBLE_EQ(a.avg_global_reputation, b.avg_global_reputation);
+  // The removal sequence pins the mechanism's RNG consumption draw for
+  // draw: any extra or reordered draw changes some removed_gsp.
+  ASSERT_EQ(a.journal.size(), b.journal.size());
+  for (std::size_t i = 0; i < a.journal.size(); ++i) {
+    EXPECT_EQ(a.journal[i].removed_gsp, b.journal[i].removed_gsp);
+    EXPECT_EQ(a.journal[i].coalition.bits(), b.journal[i].coalition.bits());
+  }
+}
+
+/// Guarantee (1): the streaming economy with churn off is a strict
+/// superset of the one-shot sweep — per request, the committed
+/// MechanismResult is bit-identical to ExperimentRunner::run_pair on the
+/// scenario the request id maps to.
+TEST(StreamEngineTest, ChurnOffStreamingIsBitIdenticalToOneShotSweep) {
+  for (const MechanismKind kind : {MechanismKind::Tvof, MechanismKind::Rvof}) {
+    StreamOptions opts = oneshot_equivalent_options();
+    opts.mechanism = kind;
+    const StreamEngine engine(opts);
+    const StreamResult result = engine.run();
+
+    ASSERT_EQ(result.admitted, opts.num_requests);
+    EXPECT_EQ(result.lost, 0u);
+    EXPECT_TRUE(result.churn_schedule.empty());
+
+    const ExperimentRunner runner(tiny_config());
+    const std::size_t num_sizes = opts.base.task_sizes.size();
+    for (const StreamRequestResult& rr : result.requests) {
+      const Scenario scenario =
+          runner.scenarios().make(opts.base.task_sizes[rr.id % num_sizes],
+                                  rr.id / num_sizes);
+      const ExperimentRunner::PairResult pair = runner.run_pair(scenario);
+      const core::MechanismResult& oneshot =
+          kind == MechanismKind::Tvof ? pair.tvof : pair.rvof;
+      if (!oneshot.success) {
+        EXPECT_NE(rr.outcome, RequestOutcome::Completed);
+        continue;
+      }
+      ASSERT_EQ(rr.outcome, RequestOutcome::Completed);
+      EXPECT_EQ(rr.attempts, 1u);
+      EXPECT_EQ(rr.repair_rounds, 0u);
+      EXPECT_DOUBLE_EQ(rr.realized_value, oneshot.value);
+      expect_same_formation(rr.formation, oneshot);
+    }
+    EXPECT_DOUBLE_EQ(result.completion_rate, 1.0);
+    EXPECT_DOUBLE_EQ(result.deadline_miss_rate, 0.0);
+  }
+}
+
+TEST(StreamEngineTest, SameSeedReplaysIdenticalTimelines) {
+  const StreamEngine engine(churny_options());
+  const StreamResult a = engine.run();
+  const StreamResult b = engine.run();
+  EXPECT_EQ(a.churn_schedule, b.churn_schedule);
+  ASSERT_EQ(a.timeline.size(), b.timeline.size());
+  EXPECT_EQ(a.timeline, b.timeline);
+
+  // A fresh engine over the same options replays too.
+  const StreamResult c = StreamEngine(churny_options()).run();
+  EXPECT_EQ(a.timeline, c.timeline);
+
+  // And a different churn seed produces a different event timeline.
+  StreamOptions other = churny_options();
+  other.churn.seed ^= 1;
+  EXPECT_NE(StreamEngine(other).run().timeline, a.timeline);
+}
+
+/// The no-deadlock / no-lost-requests invariant: under nonzero
+/// crash x leave churn every admitted request reaches a terminal state
+/// and the outcome counts partition the admitted set.
+TEST(StreamEngineTest, EveryAdmittedRequestTerminatesUnderChurn) {
+  const StreamResult result = StreamEngine(churny_options()).run();
+  ASSERT_EQ(result.admitted, 6u);
+  EXPECT_EQ(result.lost, 0u);
+  EXPECT_EQ(result.completed + result.repaired + result.shed +
+                result.timed_out,
+            result.admitted);
+  for (const StreamRequestResult& rr : result.requests) {
+    EXPECT_NE(rr.outcome, RequestOutcome::Pending);
+    EXPECT_GE(rr.terminal_time, rr.arrival_time);
+  }
+  EXPECT_GE(result.completion_rate, 0.0);
+  EXPECT_LE(result.completion_rate, 1.0);
+  EXPECT_LE(result.deadline_miss_rate, 1.0);
+  EXPECT_FALSE(result.timeline.empty());
+}
+
+/// Engine-level satellite regression: quarantine activations equal the
+/// rejoins the timeline shows — one per GspRejoined event, never more.
+TEST(StreamEngineTest, QuarantineActivatesExactlyOncePerRejoin) {
+  StreamOptions opts = churny_options();
+  opts.base.mechanism.reputation.robust.enabled = true;
+  const StreamResult result = StreamEngine(opts).run();
+  std::map<std::size_t, std::size_t> rejoins;
+  for (const StreamLogEntry& e : result.timeline) {
+    if (e.kind == StreamEventKind::GspRejoined) ++rejoins[e.gsp];
+  }
+  EXPECT_EQ(result.quarantine_activations, rejoins);
+}
+
+TEST(StreamEngineTest, StreamingAtlasIngestCompletesWithoutChurn) {
+  StreamOptions opts;
+  opts.base = tiny_config();
+  opts.ingest = StreamOptions::Ingest::StreamingAtlas;
+  opts.num_requests = 3;
+  opts.max_stream_tasks = 64;
+  opts.execution_time_scale = 0.0;
+  const StreamResult result = StreamEngine(opts).run();
+  ASSERT_GT(result.admitted, 0u);
+  EXPECT_EQ(result.lost, 0u);
+  for (const StreamRequestResult& rr : result.requests) {
+    EXPECT_LE(rr.num_tasks, 64u);
+    EXPECT_NE(rr.outcome, RequestOutcome::Pending);
+  }
+  // Deterministic too: the ingest consumes the chunked stream in order.
+  EXPECT_EQ(StreamEngine(opts).run().timeline, result.timeline);
+}
+
+TEST(StreamEngineTest, AdmissionControlShedsBelowFloor) {
+  // Floor above what churn can sustain: with every GSP crashed before
+  // the first arrival, all requests are shed at admission.
+  StreamOptions opts = oneshot_equivalent_options();
+  opts.admission_floor = 5;
+  opts.churn.crash_rate = 10.0;  // everyone crashes almost immediately
+  opts.churn.rejoin_probability = 0.0;
+  opts.churn.seed = 3;
+  const StreamResult result = StreamEngine(opts).run();
+  EXPECT_EQ(result.lost, 0u);
+  EXPECT_GT(result.shed, 0u);
+  for (const StreamRequestResult& rr : result.requests) {
+    EXPECT_NE(rr.outcome, RequestOutcome::Pending);
+  }
+}
+
+TEST(ToStringTest, OutcomeAndEventNames) {
+  EXPECT_STREQ(to_string(RequestOutcome::Completed), "completed");
+  EXPECT_STREQ(to_string(RequestOutcome::Repaired), "repaired");
+  EXPECT_STREQ(to_string(RequestOutcome::Shed), "shed");
+  EXPECT_STREQ(to_string(RequestOutcome::TimedOut), "timed_out");
+  EXPECT_STREQ(to_string(StreamEventKind::FormationCommit),
+               "formation_commit");
+  EXPECT_STREQ(to_string(StreamEventKind::GspRejoined), "gsp_rejoined");
+}
+
+}  // namespace
+}  // namespace svo::sim

@@ -1,0 +1,124 @@
+/// Tests for the chunked streaming Atlas ingest (trace/stream): chunk-size
+/// invariance, equality with the one-shot generator, the program scan,
+/// and option validation.
+#include "trace/stream.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace svo::trace {
+namespace {
+
+AtlasSynthOptions tiny_options() {
+  AtlasSynthOptions opts;
+  opts.num_jobs = 600;
+  // The canonical-size retag is a global pass, documented as unavailable
+  // in streaming mode; disable it so both paths draw identically.
+  opts.min_jobs_per_canonical_size = 0;
+  return opts;
+}
+
+void expect_same_job(const SwfJob& a, const SwfJob& b) {
+  EXPECT_EQ(a.job_number, b.job_number);
+  EXPECT_EQ(a.submit_time, b.submit_time);
+  EXPECT_EQ(a.allocated_processors, b.allocated_processors);
+  EXPECT_DOUBLE_EQ(a.run_time, b.run_time);
+  EXPECT_DOUBLE_EQ(a.avg_cpu_time, b.avg_cpu_time);
+  EXPECT_EQ(static_cast<int>(a.status), static_cast<int>(b.status));
+}
+
+TEST(AtlasJobStreamTest, ChunkBoundariesNeverChangeTheSequence) {
+  const AtlasSynthOptions opts = tiny_options();
+  AtlasJobStream one_by_one(opts, 42);
+  AtlasJobStream chunked(opts, 42);
+
+  std::vector<SwfJob> a;
+  SwfJob job;
+  while (one_by_one.next(job)) a.push_back(job);
+  ASSERT_EQ(a.size(), opts.num_jobs);
+
+  std::vector<SwfJob> b;
+  for (const std::size_t chunk : {7u, 1u, 255u, 64u, 1000u}) {
+    const std::vector<SwfJob> part = chunked.next_chunk(chunk);
+    b.insert(b.end(), part.begin(), part.end());
+    if (chunked.exhausted()) break;
+  }
+  while (chunked.next(job)) b.push_back(job);
+
+  ASSERT_EQ(b.size(), a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) expect_same_job(a[i], b[i]);
+}
+
+TEST(AtlasJobStreamTest, MatchesOneShotGeneratorWithRetagDisabled) {
+  const AtlasSynthOptions opts = tiny_options();
+  const Trace trace = generate_atlas_like(opts, 7);
+
+  AtlasJobStream stream(opts, 7);
+  std::vector<SwfJob> streamed = stream.next_chunk(opts.num_jobs);
+  ASSERT_EQ(streamed.size(), trace.jobs.size());
+  std::stable_sort(streamed.begin(), streamed.end(),
+                   [](const SwfJob& a, const SwfJob& b) {
+                     return a.submit_time < b.submit_time;
+                   });
+  for (std::size_t i = 0; i < streamed.size(); ++i) {
+    expect_same_job(streamed[i], trace.jobs[i]);
+  }
+}
+
+TEST(AtlasJobStreamTest, ProgramScanReturnsOnlyEligibleJobs) {
+  AtlasJobStream stream(tiny_options(), 3);
+  std::size_t programs = 0;
+  while (const auto program = stream.next_program(7200.0, 512)) {
+    ++programs;
+    EXPECT_GT(program->num_tasks, 0u);
+    EXPECT_LE(program->num_tasks, 512u);
+    EXPECT_GT(program->mean_task_runtime, 0.0);
+  }
+  EXPECT_GT(programs, 0u);
+  EXPECT_TRUE(stream.exhausted());
+}
+
+TEST(AtlasJobStreamTest, ResetReplaysTheIdenticalSequence) {
+  AtlasJobStream stream(tiny_options(), 11);
+  const std::vector<SwfJob> first = stream.next_chunk(50);
+  stream.reset();
+  EXPECT_EQ(stream.produced(), 0u);
+  const std::vector<SwfJob> second = stream.next_chunk(50);
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    expect_same_job(first[i], second[i]);
+  }
+}
+
+TEST(AtlasJobStreamTest, ExhaustionAndCounters) {
+  AtlasSynthOptions opts = tiny_options();
+  opts.num_jobs = 5;
+  AtlasJobStream stream(opts, 1);
+  EXPECT_EQ(stream.remaining(), 5u);
+  EXPECT_EQ(stream.next_chunk(3).size(), 3u);
+  EXPECT_EQ(stream.produced(), 3u);
+  EXPECT_EQ(stream.next_chunk(99).size(), 2u);
+  EXPECT_TRUE(stream.exhausted());
+  SwfJob job;
+  EXPECT_FALSE(stream.next(job));
+  EXPECT_TRUE(stream.next_chunk(4).empty());
+}
+
+TEST(AtlasJobStreamTest, ValidatesLikeTheGenerator) {
+  AtlasSynthOptions opts = tiny_options();
+  opts.num_jobs = 0;
+  EXPECT_THROW(AtlasJobStream(opts, 1), InvalidArgument);
+  opts = tiny_options();
+  opts.completed_fraction = 1.5;
+  EXPECT_THROW(AtlasJobStream(opts, 1), InvalidArgument);
+  opts = tiny_options();
+  opts.min_processors = 0;
+  EXPECT_THROW(AtlasJobStream(opts, 1), InvalidArgument);
+
+  AtlasJobStream ok(tiny_options(), 1);
+  EXPECT_THROW((void)ok.next_chunk(0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace svo::trace

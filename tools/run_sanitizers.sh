@@ -29,11 +29,12 @@ cmake --build --preset asan-ubsan -j "$(nproc)"
 export ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1:strict_string_checks=1}"
 export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}"
 
-# Smoke slice first (tests/CMakeLists.txt `smoke` label): the
-# warm-start and adversarial-trust tests fail in seconds when the
-# incremental solve path or the defenses-off equivalence is broken,
+# Smoke slice first (tests/CMakeLists.txt `smoke` and `smoke_stream`
+# labels): the warm-start, adversarial-trust, and streaming-churn tests
+# fail in seconds when the incremental solve path, the defenses-off
+# equivalence, or the churn schedule/quarantine invariants break,
 # before the full suite spends its minutes.
-ctest --preset asan-ubsan -L smoke --output-on-failure
+ctest --preset asan-ubsan -L 'smoke|smoke_stream' --output-on-failure
 
 if [[ "$smoke_only" == "1" ]]; then
   exit 0
