@@ -37,6 +37,15 @@
 ///       --absence S   (default 600) --floor N     (default 1)
 ///       --mechanism tvof|rvof       --seed S      (default 42)
 ///       --ingest sweep|atlas        --timeline    (print event log)
+///   svo_cli serve [options]                     formation-as-a-service: a
+///                                               burst of requests through
+///                                               the sharded async engine
+///       --requests N  (default 64)  --shards N    (default 4)
+///       --threads N   (default 0 = one per shard)
+///       --capacity N  (default 0 = fit the burst) --batch N (default 8)
+///       --gsps N      (default 8)   --tasks N     (default 24)
+///       --defer       (defer instead of shed when a queue fills)
+///       --seed S      (default 42)
 ///   svo_cli trace-report <trace> [options]        analyze a recorded trace
 ///                                               (Chrome JSON or JSONL):
 ///                                               hot spans, message counts,
@@ -71,6 +80,7 @@
 #include "sim/multi_program.hpp"
 #include "sim/runner.hpp"
 #include "sim/stream_engine.hpp"
+#include "svc/service.hpp"
 #include "trace/atlas_synth.hpp"
 #include "trace/programs.hpp"
 #include "util/csv.hpp"
@@ -85,7 +95,7 @@ int usage() {
   std::fprintf(stderr,
                "usage: svo_cli "
                "<trace-gen|trace-stats|form|sweep|closed-loop|multi|faults|"
-               "attacks|stream|trace-report> [--trace <file>] ...\n"
+               "attacks|stream|serve|trace-report> [--trace <file>] ...\n"
                "see the header of examples/svo_cli.cpp for details\n");
   return 2;
 }
@@ -475,6 +485,102 @@ int cmd_stream(int argc, char** argv) {
   return result.lost == 0 ? 0 : 1;
 }
 
+int cmd_serve(int argc, char** argv) {
+  const std::size_t gsps =
+      std::strtoul(opt(argc, argv, "--gsps", "8"), nullptr, 10);
+  const std::size_t tasks =
+      std::strtoul(opt(argc, argv, "--tasks", "24"), nullptr, 10);
+  const std::size_t requests =
+      std::strtoul(opt(argc, argv, "--requests", "64"), nullptr, 10);
+  const std::uint64_t seed =
+      std::strtoull(opt(argc, argv, "--seed", "42"), nullptr, 10);
+
+  svc::ServiceOptions sopt;
+  sopt.shards = std::strtoul(opt(argc, argv, "--shards", "4"), nullptr, 10);
+  sopt.threads = std::strtoul(opt(argc, argv, "--threads", "0"), nullptr, 10);
+  sopt.batch_size = std::strtoul(opt(argc, argv, "--batch", "8"), nullptr, 10);
+  sopt.queue_capacity =
+      std::strtoul(opt(argc, argv, "--capacity", "0"), nullptr, 10);
+  if (sopt.queue_capacity == 0) {
+    sopt.queue_capacity = std::max<std::size_t>(requests, sopt.batch_size);
+  }
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--defer") == 0) {
+      sopt.overload = svc::OverloadPolicy::Defer;
+    }
+  }
+
+  // Small pool of synthetic Table-I instances (no trace needed): a burst
+  // of requests over a few distinct markets, like the throughput bench.
+  constexpr std::size_t kPool = 4;
+  util::Xoshiro256 pool_rng(seed);
+  std::vector<workload::GridInstance> grids;
+  std::vector<trust::TrustGraph> trusts;
+  for (std::size_t p = 0; p < kPool; ++p) {
+    trace::ProgramSpec program;
+    program.num_tasks = tasks;
+    program.mean_task_runtime = 9000.0;
+    workload::InstanceGenOptions gopts;
+    gopts.params.num_gsps = gsps;
+    grids.push_back(workload::generate_instance(program, gopts, pool_rng));
+    trusts.push_back(trust::random_trust_graph(gsps, 0.4, pool_rng));
+  }
+
+  ip::BnbOptions bnb;
+  bnb.max_nodes = 4000;
+  const ip::BnbAssignmentSolver solver(bnb);
+  const core::TvofMechanism tvof(solver);
+  svc::FormationService service(tvof, sopt);
+
+  std::vector<svc::RequestHandle> handles;
+  handles.reserve(requests);
+  const util::WallTimer timer;
+  for (std::size_t i = 0; i < requests; ++i) {
+    util::Xoshiro256 rng(seed ^ (0x9E3779B97F4A7C15ULL * (i + 1)));
+    handles.push_back(service.submit(core::FormationRequest{
+        grids[i % kPool].assignment, trusts[i % kPool], rng}));
+  }
+  service.drain();
+  const double elapsed = timer.seconds();
+  const svc::ServiceStats stats = service.stats();
+
+  std::printf("service:          %zu shard(s), %zu thread(s), batch %zu, "
+              "capacity %zu/shard, %s on overload\n",
+              sopt.shards, sopt.threads == 0 ? sopt.shards : sopt.threads,
+              sopt.batch_size, sopt.queue_capacity,
+              sopt.overload == svc::OverloadPolicy::Shed ? "shed" : "defer");
+  std::printf("requests:         %zu over %zu instances (m=%zu, n=%zu)\n",
+              requests, kPool, gsps, tasks);
+  std::printf("admitted:         %llu\n",
+              static_cast<unsigned long long>(stats.submitted));
+  std::printf("completed:        %llu (%llu solver runs, %llu ticks)\n",
+              static_cast<unsigned long long>(stats.completed),
+              static_cast<unsigned long long>(stats.solver_runs),
+              static_cast<unsigned long long>(stats.ticks));
+  std::printf("shed / deferred:  %llu / %llu\n",
+              static_cast<unsigned long long>(stats.shed),
+              static_cast<unsigned long long>(stats.deferred));
+  std::printf("throughput:       %.1f requests/s (%.3f s wall)\n",
+              elapsed > 0.0 ? static_cast<double>(requests) / elapsed : 0.0,
+              elapsed);
+  std::printf("queue latency:    p50 %.0f us, p99 %.0f us\n",
+              stats.queue_p50_us, stats.queue_p99_us);
+  std::printf("solve latency:    p50 %.0f us, p99 %.0f us\n",
+              stats.solve_p50_us, stats.solve_p99_us);
+  for (const svc::RequestHandle& h : handles) {
+    if (h.poll() != svc::TicketState::Done) continue;
+    const svc::RequestOutcome& out = h.wait();
+    if (!out.result.success) continue;
+    std::printf("sample (ticket %llu, shard %zu): VO {",
+                static_cast<unsigned long long>(out.ticket), out.shard);
+    for (const std::size_t g : out.result.selected.members())
+      std::printf(" G%zu", g);
+    std::printf(" }  payoff/member %.2f\n", out.result.payoff_share);
+    break;
+  }
+  return stats.completed > 0 ? 0 : 1;
+}
+
 int cmd_trace_report(int argc, char** argv) {
   if (argc < 1) return usage();
   const std::vector<obs::TraceEvent> events =
@@ -570,6 +676,7 @@ int main(int argc, char** argv) {
     if (cmd == "faults") return cmd_faults(argc - 2, argv + 2);
     if (cmd == "attacks") return cmd_attacks(argc - 2, argv + 2);
     if (cmd == "stream") return cmd_stream(argc - 2, argv + 2);
+    if (cmd == "serve") return cmd_serve(argc - 2, argv + 2);
     if (cmd == "trace-report") return cmd_trace_report(argc - 2, argv + 2);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

@@ -116,8 +116,9 @@ struct DistributedRunResult {
     std::vector<des::CrashWindow> gsp_windows);
 
 /// Execute `mechanism` under the trusted-party protocol. With faults
-/// disabled this is semantically identical to mechanism.run(inst, trust,
-/// rng) — the protocol layer adds measurement, never changes the
+/// disabled this is semantically identical to mechanism.run(
+/// FormationRequest{inst, trust, rng}) — the protocol layer adds
+/// measurement, never changes the
 /// decision. Under faults the decision is made over the responsive /
 /// surviving subset as described above. Deterministic in (inputs, rng,
 /// options.network_seed, options.faults.seed).

@@ -160,23 +160,26 @@ class VoFormationMechanism {
   /// changes solver work, never the outcome (see WarmStartPolicy).
   [[nodiscard]] MechanismResult run(const FormationRequest& request) const;
 
-  /// Wrapper: run on the grand coalition with the default warm-start
-  /// policy. Bit-identical to run(FormationRequest{inst, trust, rng}).
-  [[nodiscard]] MechanismResult run(const ip::AssignmentInstance& inst,
-                                    const trust::TrustGraph& trust,
-                                    util::Xoshiro256& rng) const;
+  /// Deprecated wrapper: run on the grand coalition with the default
+  /// warm-start policy. Bit-identical to run(FormationRequest{inst,
+  /// trust, rng}) — kept one release for out-of-tree callers; every
+  /// in-repo caller uses FormationRequest (or svc::FormationService for
+  /// asynchronous submission). Old → new mapping: docs/api_migration.md.
+  [[deprecated(
+      "build a core::FormationRequest (or submit to svc::FormationService); "
+      "see docs/api_migration.md")]] [[nodiscard]] MechanismResult
+  run(const ip::AssignmentInstance& inst, const trust::TrustGraph& trust,
+      util::Xoshiro256& rng) const;
 
-  /// Wrapper: run over a restricted candidate pool: Algorithm 1 starts
-  /// from `candidates` instead of the grand coalition. This is the
-  /// entry point of the fault-tolerant protocol (quorum-degraded
-  /// formation over the responsive GSPs; VO repair over the survivors of
-  /// a member crash). `candidates` must be a non-empty subset of the
-  /// instance's GSPs. run(inst, trust, rng) == run(inst, trust, rng,
-  /// Coalition::all(m)) bit for bit.
-  [[nodiscard]] MechanismResult run(const ip::AssignmentInstance& inst,
-                                    const trust::TrustGraph& trust,
-                                    util::Xoshiro256& rng,
-                                    game::Coalition candidates) const;
+  /// Deprecated wrapper: run over a restricted candidate pool
+  /// (quorum-degraded formation, VO repair over survivors). Bit-identical
+  /// to run(FormationRequest{inst, trust, rng, candidates}); same
+  /// migration note as above.
+  [[deprecated(
+      "build a core::FormationRequest (or submit to svc::FormationService); "
+      "see docs/api_migration.md")]] [[nodiscard]] MechanismResult
+  run(const ip::AssignmentInstance& inst, const trust::TrustGraph& trust,
+      util::Xoshiro256& rng, game::Coalition candidates) const;
 
   [[nodiscard]] virtual std::string name() const = 0;
   [[nodiscard]] const MechanismConfig& config() const noexcept {

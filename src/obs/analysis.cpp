@@ -480,6 +480,14 @@ std::vector<DiffRule> default_bench_rules() {
       {"*share*", Direction::HigherIsBetter, 0.15},
       {"*welfare*", Direction::HigherIsBetter, 0.10},
       {"*corruption*", Direction::LowerIsBetter, 0.15},
+      // Service throughput (BENCH_service.json): the shard speedup is
+      // machine-relative (N shards over 1 shard on the same host and
+      // run), so it transfers across machines — gate directionally with
+      // slack for scheduler noise. Absolute throughput is wall clock:
+      // report only. Shard counts are configuration echoes.
+      {"*speedup*", Direction::HigherIsBetter, 0.35},
+      {"*per_sec*", Direction::Informational, 0.0},
+      {"*shards*", Direction::Exact, 0.0},
       // Anything unmatched: visible in the diff, not a gate.
       {"*", Direction::Informational, 0.0},
   };

@@ -1,0 +1,343 @@
+#include "svc/service.hpp"
+
+#include <utility>
+
+#include "obs/trace.hpp"
+#include "util/error.hpp"
+#include "util/timer.hpp"
+
+namespace svo::svc {
+
+const char* to_string(TicketState state) noexcept {
+  switch (state) {
+    case TicketState::Queued: return "queued";
+    case TicketState::Running: return "running";
+    case TicketState::Done: return "done";
+    case TicketState::Cancelled: return "cancelled";
+    case TicketState::Shed: return "shed";
+    case TicketState::Deferred: return "deferred";
+  }
+  return "?";
+}
+
+void ServiceOptions::validate() const {
+  svo::detail::require(shards > 0, "ServiceOptions: shards must be > 0");
+  svo::detail::require(queue_capacity > 0,
+                  "ServiceOptions: queue_capacity must be > 0");
+  svo::detail::require(batch_size > 0, "ServiceOptions: batch_size must be > 0");
+  svo::detail::require(batch_size <= queue_capacity,
+                  "ServiceOptions: batch_size exceeds queue_capacity");
+}
+
+namespace detail {
+
+/// Shared state behind one RequestHandle. The outcome is written before
+/// the terminal state is published under `mu`, so any thread that
+/// observed a terminal poll() may read the outcome without further
+/// synchronization.
+struct Ticket {
+  std::uint64_t id = 0;
+  std::size_t shard = 0;
+  FormationService* service = nullptr;
+
+  // Request snapshot: referenced inputs + copied RNG state / candidates.
+  const ip::AssignmentInstance* instance = nullptr;
+  const trust::TrustGraph* trust = nullptr;
+  util::Xoshiro256 rng;
+  game::Coalition candidates{};
+  core::WarmStartPolicy warm = core::WarmStartPolicy::Incremental;
+
+  util::WallTimer admitted;  ///< reset when the ticket enters its queue
+  std::atomic<TicketState> state{TicketState::Queued};
+  std::mutex mu;
+  std::condition_variable cv;
+  RequestOutcome outcome;
+};
+
+}  // namespace detail
+
+using detail::Ticket;
+
+/// One mechanism shard: a bounded FIFO of tickets plus the scheduling
+/// flag that guarantees at most one tick task is in flight per shard
+/// (shard execution is single-threaded by construction). The metric
+/// references are this shard's own stable obs handles.
+struct FormationService::Shard {
+  Shard(std::size_t idx, obs::Counter& tick_counter,
+        obs::Counter& solved_counter)
+      : index(idx), ticks(tick_counter), solved(solved_counter) {}
+
+  std::size_t index;
+  std::mutex mu;
+  std::deque<std::shared_ptr<Ticket>> queue;  // guarded by mu
+  bool tick_scheduled = false;                // guarded by mu
+  obs::Counter& ticks;
+  obs::Counter& solved;
+};
+
+std::uint64_t RequestHandle::id() const noexcept { return ticket_->id; }
+
+std::size_t RequestHandle::shard() const noexcept { return ticket_->shard; }
+
+TicketState RequestHandle::poll() const noexcept {
+  return ticket_->state.load(std::memory_order_acquire);
+}
+
+bool RequestHandle::cancel() const {
+  return ticket_->service->cancel_ticket(*ticket_);
+}
+
+const RequestOutcome& RequestHandle::wait() const {
+  Ticket& t = *ticket_;
+  std::unique_lock<std::mutex> lock(t.mu);
+  t.cv.wait(lock, [&t] {
+    return is_terminal(t.state.load(std::memory_order_acquire));
+  });
+  return t.outcome;
+}
+
+FormationService::FormationService(const core::VoFormationMechanism& mechanism,
+                                   ServiceOptions options)
+    : options_((options.validate(), options)),
+      mechanism_(mechanism),
+      submitted_(registry_.counter("svc.submitted")),
+      completed_(registry_.counter("svc.completed")),
+      cancelled_(registry_.counter("svc.cancelled")),
+      shed_(registry_.counter("svc.shed")),
+      deferred_(registry_.counter("svc.deferred")),
+      solver_runs_(registry_.counter("svc.solver_runs")),
+      ticks_(registry_.counter("svc.ticks")),
+      queue_us_(registry_.histogram("svc.queue_us")),
+      solve_us_(registry_.histogram("svc.solve_us")),
+      paused_(options_.start_paused),
+      pool_(options_.threads == 0 ? options_.shards : options_.threads) {
+  shards_.reserve(options_.shards);
+  for (std::size_t i = 0; i < options_.shards; ++i) {
+    const std::string prefix = "svc.shard" + std::to_string(i);
+    shards_.push_back(std::make_unique<Shard>(
+        i, registry_.counter(prefix + ".ticks"),
+        registry_.counter(prefix + ".solved")));
+  }
+}
+
+FormationService::~FormationService() {
+  // Everything admitted must reach a terminal state before the pool
+  // joins — handles outliving the service still resolve.
+  resume();
+  drain();
+}
+
+RequestHandle FormationService::submit(const core::FormationRequest& request,
+                                       std::size_t routing_key) {
+  const std::uint64_t id =
+      next_ticket_.fetch_add(1, std::memory_order_relaxed);
+  auto ticket = std::make_shared<Ticket>();
+  ticket->id = id;
+  ticket->service = this;
+  ticket->instance = &request.instance;
+  ticket->trust = &request.trust;
+  ticket->rng = request.rng;  // state snapshot; the caller's RNG is
+                              // never advanced by the service
+  ticket->candidates = request.candidates;
+  ticket->warm = request.warm_start;
+  ticket->outcome.ticket = id;
+
+  // Deterministic routing: a pure function of (routing key | ticket id)
+  // and the shard count — same-seed replays land every request on the
+  // same shard.
+  const std::size_t shard_index =
+      (routing_key == SIZE_MAX ? id : routing_key) % options_.shards;
+  ticket->shard = shard_index;
+  ticket->outcome.shard = shard_index;
+  Shard& shard = *shards_[shard_index];
+
+  bool admitted = false;
+  bool schedule = false;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (shard.queue.size() < options_.queue_capacity) {
+      admitted = true;
+      ticket->admitted.reset();
+      shard.queue.push_back(ticket);
+      outstanding_.fetch_add(1, std::memory_order_relaxed);
+      if (!paused_.load() && !shard.tick_scheduled) {
+        shard.tick_scheduled = true;
+        schedule = true;
+      }
+    }
+  }
+  if (!admitted) {
+    // Batched admission control: reject at the door, before any solver
+    // work. Shed is terminal-dropped; Deferred is terminal-retryable.
+    const TicketState state = options_.overload == OverloadPolicy::Shed
+                                  ? TicketState::Shed
+                                  : TicketState::Deferred;
+    (state == TicketState::Shed ? shed_ : deferred_).add();
+    {
+      std::lock_guard<std::mutex> lock(ticket->mu);
+      ticket->outcome.state = state;
+      ticket->state.store(state, std::memory_order_release);
+    }
+    ticket->cv.notify_all();
+    return RequestHandle(std::move(ticket));
+  }
+  submitted_.add();
+  if (schedule) schedule_tick(shard);
+  return RequestHandle(std::move(ticket));
+}
+
+bool FormationService::cancel_ticket(detail::Ticket& ticket) {
+  {
+    std::lock_guard<std::mutex> lock(ticket.mu);
+    if (ticket.state.load(std::memory_order_acquire) != TicketState::Queued) {
+      return false;  // dispatched, already terminal, or lost the race
+    }
+    cancelled_.add();  // accounted before the terminal publication
+    ticket.outcome.state = TicketState::Cancelled;
+    ticket.state.store(TicketState::Cancelled, std::memory_order_release);
+  }
+  ticket.cv.notify_all();
+  note_terminal();
+  return true;
+}
+
+void FormationService::resume() {
+  paused_.store(false);
+  // Wake every shard that accumulated work while paused. Safe against
+  // racing submits: either they see paused_ == false and schedule, or
+  // this pass sees their enqueued ticket (mutex ordering).
+  for (const auto& shard : shards_) {
+    bool schedule = false;
+    {
+      std::lock_guard<std::mutex> lock(shard->mu);
+      if (!shard->queue.empty() && !shard->tick_scheduled) {
+        shard->tick_scheduled = true;
+        schedule = true;
+      }
+    }
+    if (schedule) schedule_tick(*shard);
+  }
+}
+
+void FormationService::drain() {
+  svo::detail::require(!paused_.load(),
+                  "FormationService::drain: service is paused (resume first)");
+  std::unique_lock<std::mutex> lock(drain_mu_);
+  drain_cv_.wait(lock, [this] {
+    return outstanding_.load(std::memory_order_acquire) == 0;
+  });
+}
+
+void FormationService::note_terminal() {
+  if (outstanding_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    // Notify under the lock so a drain() between its predicate check
+    // and wait cannot miss the wakeup.
+    std::lock_guard<std::mutex> lock(drain_mu_);
+    drain_cv_.notify_all();
+  }
+}
+
+void FormationService::schedule_tick(Shard& shard) {
+  // Message-driven execution: a tick is a short-lived pool task, not a
+  // parked thread — at most one per shard (tick_scheduled), so a pool
+  // smaller than the shard count still serves every shard.
+  auto ignored = pool_.submit([this, &shard] { run_tick(shard); });
+  (void)ignored;  // completion is tracked per ticket, not per tick
+}
+
+void FormationService::run_tick(Shard& shard) {
+  obs::Span tick_span("svc.shard.tick", "svc");
+  if (tick_span.active()) {
+    tick_span.arg("shard", static_cast<double>(shard.index));
+  }
+  // Drain up to batch_size tickets in admission order.
+  std::vector<std::shared_ptr<Ticket>> batch;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    while (batch.size() < options_.batch_size && !shard.queue.empty()) {
+      batch.push_back(std::move(shard.queue.front()));
+      shard.queue.pop_front();
+    }
+  }
+  ticks_.add();
+  shard.ticks.add();
+  if (tick_span.active()) {
+    tick_span.arg("batch", static_cast<double>(batch.size()));
+  }
+
+  for (const std::shared_ptr<Ticket>& ticket : batch) {
+    Ticket& t = *ticket;
+    {
+      std::lock_guard<std::mutex> lock(t.mu);
+      if (t.state.load(std::memory_order_acquire) != TicketState::Queued) {
+        continue;  // cancelled while queued: its solver never runs
+      }
+      t.state.store(TicketState::Running, std::memory_order_release);
+    }
+    const double queue_seconds = t.admitted.seconds();
+    const util::WallTimer solve_timer;
+    core::MechanismResult result;
+    {
+      obs::Span solve_span("svc.request.solve", "svc");
+      if (solve_span.active()) {
+        solve_span.arg("ticket", static_cast<double>(t.id));
+        solve_span.arg("shard", static_cast<double>(shard.index));
+      }
+      result = mechanism_.run(core::FormationRequest{
+          *t.instance, *t.trust, t.rng, t.candidates, t.warm});
+    }
+    const double solve_seconds = solve_timer.seconds();
+    // All accounting happens-before the terminal publication: a waiter
+    // woken by the state change must already see consistent stats().
+    solver_runs_.add();
+    shard.solved.add();
+    queue_us_.observe(queue_seconds * 1e6);
+    solve_us_.observe(solve_seconds * 1e6);
+    completed_.add();
+    {
+      std::lock_guard<std::mutex> lock(t.mu);
+      t.outcome.result = std::move(result);
+      t.outcome.rng_probe = t.rng();  // determinism probe: post-run state
+      t.outcome.queue_seconds = queue_seconds;
+      t.outcome.solve_seconds = solve_seconds;
+      t.outcome.state = TicketState::Done;
+      t.state.store(TicketState::Done, std::memory_order_release);
+    }
+    t.cv.notify_all();
+    note_terminal();
+  }
+
+  // Yield the pool thread between batches; reschedule only while work
+  // remains (and keep tick_scheduled true across the hand-off so a
+  // racing submit cannot double-schedule).
+  bool more = false;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (!shard.queue.empty() && !paused_.load()) {
+      more = true;
+    } else {
+      shard.tick_scheduled = false;
+    }
+  }
+  if (more) schedule_tick(shard);
+}
+
+ServiceStats FormationService::stats() const {
+  ServiceStats s;
+  s.submitted = submitted_.value();
+  s.completed = completed_.value();
+  s.cancelled = cancelled_.value();
+  s.shed = shed_.value();
+  s.deferred = deferred_.value();
+  s.solver_runs = solver_runs_.value();
+  s.ticks = ticks_.value();
+  const obs::Histogram::Snapshot queue = queue_us_.snapshot();
+  const obs::Histogram::Snapshot solve = solve_us_.snapshot();
+  s.queue_p50_us = queue.quantile(0.50);
+  s.queue_p99_us = queue.quantile(0.99);
+  s.solve_p50_us = solve.quantile(0.50);
+  s.solve_p99_us = solve.quantile(0.99);
+  return s;
+}
+
+}  // namespace svo::svc

@@ -1,0 +1,261 @@
+/// \file service.hpp
+/// Formation-as-a-service: a long-running, sharded, batched asynchronous
+/// request engine over the synchronous core mechanism (DESIGN.md §4g).
+///
+/// The paper forms one VO per call; the north-star system is a
+/// multi-tenant service admitting millions of queued formation requests.
+/// svc::FormationService is that service core:
+///
+///   submit(FormationRequest) ──► bounded per-shard queue ──► shard tick
+///        (RequestHandle)             (admission control)    (drains ≤ B,
+///                                                            runs solver)
+///
+///  - N independent *shards*, partitioned per-market / per-trust-domain
+///    by a deterministic routing key (default: ticket id modulo N), each
+///    with its own bounded submission queue, accounting state and stable
+///    obs metric references. A shard processes its queue strictly in
+///    admission order, one batch ("tick") at a time — shard-internal
+///    execution is single-threaded by construction, so per-shard order
+///    is a guarantee, not a scheduling accident.
+///  - Ticks are message-driven tasks on a util::ThreadPool (the oneflow
+///    vm-scheduler idiom: explicit object lifetimes, no long-running
+///    blocked threads): enqueueing into an idle shard schedules exactly
+///    one tick; a tick drains up to ServiceOptions::batch_size tickets,
+///    runs them, and reschedules itself only while work remains, so a
+///    pool smaller than the shard count still makes progress everywhere.
+///  - Batched admission control: a full shard queue sheds (terminal
+///    Shed) or defers (terminal Deferred — "retry later", the caller
+///    owns the backoff) according to ServiceOptions::overload. Both are
+///    decided at submit time, before any solver work.
+///
+/// Determinism contract: a ticket's outcome is a pure function of its
+/// request (instance, trust, RNG *snapshot*, candidates, policy) — the
+/// service copies the caller's RNG state at submit and never advances
+/// the caller's generator — and routing is a pure function of (ticket
+/// id, routing key, shard count). Thread interleaving can reorder
+/// *completion* times, never outcomes: same-seed replays produce
+/// bit-identical per-ticket results at any shard/thread count, and a
+/// single-shard service is bit-identical to calling
+/// core::VoFormationMechanism::run(FormationRequest) directly
+/// (tests/svc/service_test.cpp pins both, RNG probe included).
+///
+/// Lifetime: the referenced mechanism, instance and trust graph must
+/// outlive every ticket that uses them. The service owns its pool;
+/// destruction resumes (if paused), drains all admitted tickets, and
+/// joins.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/mechanism.hpp"
+#include "obs/metrics.hpp"
+#include "util/thread_pool.hpp"
+
+namespace svo::svc {
+
+/// Lifecycle of one submitted request. Terminal states are exactly
+/// {Done, Cancelled, Shed, Deferred}; Queued/Running are transient.
+enum class TicketState : int {
+  Queued,     ///< admitted, waiting in its shard's queue
+  Running,    ///< a shard tick is executing the mechanism
+  Done,       ///< mechanism ran; RequestOutcome::result is valid
+  Cancelled,  ///< cancel() won before dispatch — the solver never ran
+  Shed,       ///< rejected at submit: shard queue full (overload=Shed)
+  Deferred,   ///< rejected at submit, retryable (overload=Defer)
+};
+
+[[nodiscard]] const char* to_string(TicketState state) noexcept;
+[[nodiscard]] constexpr bool is_terminal(TicketState s) noexcept {
+  return s != TicketState::Queued && s != TicketState::Running;
+}
+
+/// What to do with a submission when its shard's queue is at capacity.
+enum class OverloadPolicy {
+  Shed,   ///< reject terminally; the request is dropped
+  Defer,  ///< reject retryably; the caller re-submits after backoff
+};
+
+/// Service configuration. Mirrors sim::StreamOptions::validate() style:
+/// construction of a FormationService validates and throws
+/// InvalidArgument ("ServiceOptions: ...") on nonsense.
+struct ServiceOptions {
+  /// Independent mechanism shards (per-market / per-trust-domain
+  /// partitions). 1 = the bit-identical-to-direct-run mode.
+  std::size_t shards = 1;
+  /// Bounded submission-queue capacity *per shard*; admission control
+  /// sheds/defers beyond it.
+  std::size_t queue_capacity = 256;
+  /// Tickets drained per shard tick. A tick runs its whole batch before
+  /// yielding the pool thread, amortizing scheduling over B solves.
+  std::size_t batch_size = 16;
+  /// Worker threads in the service's pool; 0 = one per shard.
+  std::size_t threads = 0;
+  /// Full-queue behaviour.
+  OverloadPolicy overload = OverloadPolicy::Shed;
+  /// Construct with ticks suspended: submissions queue (and shed/defer
+  /// exactly at capacity) but nothing dispatches until resume(). Gives
+  /// tests and benches deterministic queue-full and cancel-before-
+  /// dispatch setups; production services leave this false.
+  bool start_paused = false;
+
+  /// Throws InvalidArgument on: zero shards, zero queue capacity, zero
+  /// batch size, batch size above queue capacity.
+  void validate() const;
+};
+
+/// Terminal record of one ticket.
+struct RequestOutcome {
+  std::uint64_t ticket = 0;
+  std::size_t shard = 0;
+  TicketState state = TicketState::Queued;
+  /// Mechanism outcome; meaningful only when state == Done.
+  core::MechanismResult result;
+  /// One draw from the ticket's RNG *after* the run — the determinism
+  /// probe: equals rng() after an equivalent direct run() on a generator
+  /// seeded identically. 0 unless state == Done.
+  std::uint64_t rng_probe = 0;
+  /// Admission -> dispatch wall seconds (0 for shed/deferred tickets).
+  double queue_seconds = 0.0;
+  /// Dispatch -> completion wall seconds (solver time; Done only).
+  double solve_seconds = 0.0;
+};
+
+namespace detail {
+struct Ticket;
+}  // namespace detail
+
+/// Caller's view of one submitted request: a ticket id plus poll / wait
+/// / cancel. Copyable (shared state); all members are thread-safe.
+class RequestHandle {
+ public:
+  /// Service-unique ticket id, dense in submission order.
+  [[nodiscard]] std::uint64_t id() const noexcept;
+  /// Shard the ticket routed to.
+  [[nodiscard]] std::size_t shard() const noexcept;
+  /// Current state, without blocking.
+  [[nodiscard]] TicketState poll() const noexcept;
+  /// True once poll() would return a terminal state.
+  [[nodiscard]] bool done() const noexcept { return is_terminal(poll()); }
+  /// Cancel if still queued. True iff *this call* transitioned the
+  /// ticket Queued -> Cancelled; false when dispatch (or a racing
+  /// cancel, or shed/defer at submit) won. A cancelled ticket's solver
+  /// never ran and never will.
+  bool cancel() const;
+  /// Block until terminal; returns the outcome (stable reference, valid
+  /// for the shared state's lifetime — it outlives the service).
+  [[nodiscard]] const RequestOutcome& wait() const;
+
+ private:
+  friend class FormationService;
+  explicit RequestHandle(std::shared_ptr<detail::Ticket> ticket)
+      : ticket_(std::move(ticket)) {}
+  std::shared_ptr<detail::Ticket> ticket_;
+};
+
+/// Aggregate accounting snapshot (stats()); latency quantiles come from
+/// the service's obs histograms (log2 buckets, factor-2 bound — see
+/// obs::Histogram::Snapshot::quantile).
+struct ServiceStats {
+  std::uint64_t submitted = 0;  ///< admitted into a queue
+  std::uint64_t completed = 0;  ///< reached Done
+  std::uint64_t cancelled = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t deferred = 0;
+  std::uint64_t solver_runs = 0;  ///< mechanism invocations (== completed)
+  std::uint64_t ticks = 0;        ///< shard batch executions
+  double queue_p50_us = 0.0;
+  double queue_p99_us = 0.0;
+  double solve_p50_us = 0.0;
+  double solve_p99_us = 0.0;
+};
+
+/// The service core. Thread-safe: submit/cancel/poll/wait/stats may be
+/// called concurrently from any thread.
+class FormationService {
+ public:
+  /// `mechanism` must outlive the service (its run() is const and
+  /// thread-safe, so one instance serves every shard). Validates
+  /// `options`.
+  explicit FormationService(const core::VoFormationMechanism& mechanism,
+                            ServiceOptions options = {});
+  /// Resumes (if paused), drains every admitted ticket, joins the pool.
+  ~FormationService();
+
+  FormationService(const FormationService&) = delete;
+  FormationService& operator=(const FormationService&) = delete;
+
+  /// Submit one formation request. Copies request.rng's *state* (the
+  /// caller's generator is not advanced) and request.candidates; the
+  /// instance and trust graph are captured by reference and must stay
+  /// alive until the ticket is terminal. `routing_key` partitions the
+  /// request space across shards (per-market / per-trust-domain);
+  /// SIZE_MAX routes by ticket id. Never blocks on solver work: a full
+  /// shard returns an already-terminal Shed/Deferred handle.
+  RequestHandle submit(const core::FormationRequest& request,
+                       std::size_t routing_key = SIZE_MAX);
+
+  /// Start dispatching when constructed with start_paused (idempotent).
+  void resume();
+
+  /// Block until every admitted ticket is terminal. Requires a resumed
+  /// service (throws InvalidArgument if still paused — that wait would
+  /// never end). New submissions during drain() extend it.
+  void drain();
+
+  [[nodiscard]] ServiceStats stats() const;
+  [[nodiscard]] const ServiceOptions& options() const noexcept {
+    return options_;
+  }
+  /// The service-local metric registry (svc.* counters/histograms,
+  /// svc.shard<i>.* per-shard counters) — same local-registry pattern
+  /// as core::ProtocolMetrics.
+  [[nodiscard]] const obs::MetricRegistry& metrics() const noexcept {
+    return registry_;
+  }
+
+ private:
+  friend class RequestHandle;  // cancel routes through cancel_ticket
+
+  struct Shard;
+
+  void schedule_tick(Shard& shard);
+  void run_tick(Shard& shard);
+  bool cancel_ticket(detail::Ticket& ticket);
+  /// One admitted ticket reached a terminal state (drain bookkeeping).
+  void note_terminal();
+
+  ServiceOptions options_;
+  const core::VoFormationMechanism& mechanism_;
+
+  mutable obs::MetricRegistry registry_;
+  obs::Counter& submitted_;
+  obs::Counter& completed_;
+  obs::Counter& cancelled_;
+  obs::Counter& shed_;
+  obs::Counter& deferred_;
+  obs::Counter& solver_runs_;
+  obs::Counter& ticks_;
+  obs::Histogram& queue_us_;
+  obs::Histogram& solve_us_;
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  std::atomic<bool> paused_;
+  std::atomic<std::uint64_t> next_ticket_{0};
+  /// Admitted-but-not-terminal tickets, for drain().
+  std::atomic<std::uint64_t> outstanding_{0};
+  std::mutex drain_mu_;
+  std::condition_variable drain_cv_;
+
+  /// Last member: destroyed first, so in-flight ticks still see live
+  /// shards/metrics while the pool drains during destruction.
+  util::ThreadPool pool_;
+};
+
+}  // namespace svo::svc

@@ -8,6 +8,11 @@
 
 namespace svo::util {
 
+namespace {
+/// Pool whose worker_loop owns the calling thread; null off-pool.
+thread_local const ThreadPool* t_worker_pool = nullptr;
+}  // namespace
+
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
     threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
@@ -27,7 +32,12 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
+bool ThreadPool::on_worker_thread() const noexcept {
+  return t_worker_pool == this;
+}
+
 void ThreadPool::worker_loop() {
+  t_worker_pool = this;
   for (;;) {
     std::function<void()> task;
     {
@@ -54,6 +64,14 @@ void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
                   std::size_t grain) {
   detail::require(begin <= end, "parallel_for: begin > end");
   if (begin == end) return;
+  // Nested use from one of this pool's own workers: run inline. The
+  // submitting path would have the worker block in f.get() on chunks
+  // competing for the very threads that are blocked — a deadlock with
+  // every worker nested, and oversubscription otherwise.
+  if (pool.on_worker_thread()) {
+    for (std::size_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
   const std::size_t n = end - begin;
   if (grain == 0) {
     grain = std::max<std::size_t>(1, n / (4 * std::max<std::size_t>(1, pool.size())));

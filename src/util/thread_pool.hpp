@@ -7,6 +7,16 @@
 /// The reputation engine also offers a parallel mat-vec for large trust
 /// graphs. Every parallel path in this repository has a serial twin; the
 /// tests compare the two for bit-identical results.
+///
+/// Reentrancy: parallel_for called *from one of the pool's own worker
+/// threads* (e.g. a reputation mat-vec inside a svc::FormationService
+/// shard tick, itself a pool task) runs its iterations inline on the
+/// calling worker instead of re-submitting chunks. Re-submission from a
+/// worker can deadlock — every worker may end up blocked in f.get() on
+/// chunks that no free worker exists to run — and at best oversubscribes
+/// the pool with nested waiters. Inline execution caps the effective
+/// parallelism of nested loops at the outer level, which is the level
+/// the caller sized.
 #pragma once
 
 #include <condition_variable>
@@ -36,6 +46,13 @@ class ThreadPool {
 
   /// Number of worker threads.
   [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+  /// True when the calling thread is one of *this* pool's workers —
+  /// i.e. the current code runs inside a task submitted to this pool.
+  /// parallel_for uses this to fall back to inline execution (see the
+  /// file comment); services use it to assert they never block a worker
+  /// on work only another worker could perform.
+  [[nodiscard]] bool on_worker_thread() const noexcept;
 
   /// Enqueue a task; returns a future for its result.
   template <typename F>

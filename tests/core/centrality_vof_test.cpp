@@ -36,8 +36,8 @@ TEST(CentralityVofTest, EigenvectorRuleMatchesTvofDecision) {
   const CentralityVofMechanism cvof(solver, CentralityRule::Eigenvector);
   util::Xoshiro256 rng_a(5);
   util::Xoshiro256 rng_b(5);
-  const MechanismResult a = tvof.run(f.instance, f.trust, rng_a);
-  const MechanismResult b = cvof.run(f.instance, f.trust, rng_b);
+  const MechanismResult a = tvof.run(FormationRequest{f.instance, f.trust, rng_a});
+  const MechanismResult b = cvof.run(FormationRequest{f.instance, f.trust, rng_b});
   EXPECT_EQ(a.selected, b.selected);
   EXPECT_DOUBLE_EQ(a.cost, b.cost);
   EXPECT_EQ(cvof.name(), "CVOF-eigenvector");
@@ -51,7 +51,7 @@ TEST(CentralityVofTest, EveryRuleProducesValidMechanismRun) {
         CentralityRule::Betweenness}) {
     const CentralityVofMechanism cvof(solver, rule);
     util::Xoshiro256 rng(7);
-    const MechanismResult r = cvof.run(f.instance, f.trust, rng);
+    const MechanismResult r = cvof.run(FormationRequest{f.instance, f.trust, rng});
     ASSERT_TRUE(r.success) << to_string(rule);
     // Journal invariants hold under any removal rule.
     EXPECT_EQ(r.journal.front().coalition.size(), 6u);
@@ -75,7 +75,7 @@ TEST(CentralityVofTest, DegreeRuleRemovesLeastTrustedFirst) {
   star.set_trust(5, 0, 1.0);  // G5 trusts someone; nobody trusts G5
   const ip::BnbAssignmentSolver solver;
   const CentralityVofMechanism cvof(solver, CentralityRule::Degree);
-  const MechanismResult r = cvof.run(f.instance, star, rng);
+  const MechanismResult r = cvof.run(FormationRequest{f.instance, star, rng});
   ASSERT_GE(r.journal.size(), 1u);
   EXPECT_EQ(r.journal.front().removed_gsp, 5u);
 }

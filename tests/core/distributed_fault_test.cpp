@@ -43,7 +43,7 @@ TEST(DistributedFaultTest, CleanRunHasZeroFaultMetrics) {
   const TvofMechanism tvof(solver);
   util::Xoshiro256 rng_local(9);
   util::Xoshiro256 rng_dist(9);
-  const MechanismResult local = tvof.run(f.instance, f.trust, rng_local);
+  const MechanismResult local = tvof.run(FormationRequest{f.instance, f.trust, rng_local});
   const DistributedRunResult dist =
       run_distributed(tvof, f.instance, f.trust, rng_dist);
   EXPECT_EQ(dist.mechanism.selected, local.selected);
@@ -243,7 +243,7 @@ TEST(DistributedFaultTest, QuorumDegradationMatchesSubsetRun) {
   const game::Coalition responsive =
       game::Coalition::all(6).without(1).without(4);
   const MechanismResult local =
-      tvof.run(f.instance, f.trust, rng_local, responsive);
+      tvof.run(FormationRequest{f.instance, f.trust, rng_local, responsive});
   EXPECT_EQ(r.mechanism.selected, local.selected);
   EXPECT_EQ(r.mechanism.mapping, local.mapping);
   EXPECT_DOUBLE_EQ(r.mechanism.cost, local.cost);

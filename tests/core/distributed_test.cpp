@@ -28,7 +28,7 @@ TEST(DistributedTvofTest, DecisionIdenticalToLocalRun) {
   const TvofMechanism tvof(solver);
   util::Xoshiro256 rng_local(9);
   util::Xoshiro256 rng_dist(9);
-  const MechanismResult local = tvof.run(f.instance, f.trust, rng_local);
+  const MechanismResult local = tvof.run(FormationRequest{f.instance, f.trust, rng_local});
   const DistributedRunResult dist =
       run_distributed(tvof, f.instance, f.trust, rng_dist);
   EXPECT_EQ(dist.mechanism.selected, local.selected);

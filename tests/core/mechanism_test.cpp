@@ -31,7 +31,7 @@ TEST(MechanismTest, JournalCoalitionsShrinkByOne) {
   const ip::BnbAssignmentSolver solver;
   const TvofMechanism tvof(solver);
   util::Xoshiro256 rng(99);
-  const MechanismResult r = tvof.run(f.instance, f.trust, rng);
+  const MechanismResult r = tvof.run(FormationRequest{f.instance, f.trust, rng});
   ASSERT_FALSE(r.journal.empty());
   EXPECT_EQ(r.journal.front().coalition.size(), 6u);
   for (std::size_t i = 1; i < r.journal.size(); ++i) {
@@ -50,7 +50,7 @@ TEST(MechanismTest, LoopStopsAtFirstInfeasible) {
   const ip::BnbAssignmentSolver solver;
   const TvofMechanism tvof(solver);
   util::Xoshiro256 rng(7);
-  const MechanismResult r = tvof.run(f.instance, f.trust, rng);
+  const MechanismResult r = tvof.run(FormationRequest{f.instance, f.trust, rng});
   for (std::size_t i = 0; i + 1 < r.journal.size(); ++i) {
     EXPECT_TRUE(r.journal[i].feasible);  // only the last may be infeasible
   }
@@ -61,7 +61,7 @@ TEST(MechanismTest, SelectedVoMaximizesShareAmongFeasible) {
   const ip::BnbAssignmentSolver solver;
   const TvofMechanism tvof(solver);
   util::Xoshiro256 rng(11);
-  const MechanismResult r = tvof.run(f.instance, f.trust, rng);
+  const MechanismResult r = tvof.run(FormationRequest{f.instance, f.trust, rng});
   ASSERT_TRUE(r.success);
   for (const auto& it : r.journal) {
     if (it.feasible) {
@@ -75,7 +75,7 @@ TEST(MechanismTest, MappingSatisfiesAllIpConstraints) {
   const ip::BnbAssignmentSolver solver;
   const TvofMechanism tvof(solver);
   util::Xoshiro256 rng(13);
-  const MechanismResult r = tvof.run(f.instance, f.trust, rng);
+  const MechanismResult r = tvof.run(FormationRequest{f.instance, f.trust, rng});
   ASSERT_TRUE(r.success);
   // Restrict the instance to the selected VO and check (10)-(13).
   std::vector<std::size_t> original;
@@ -98,7 +98,7 @@ TEST(MechanismTest, TvofRemovesLowestRecomputedReputation) {
   const ip::BnbAssignmentSolver solver;
   const TvofMechanism tvof(solver);
   util::Xoshiro256 rng(17);
-  const MechanismResult r = tvof.run(f.instance, f.trust, rng);
+  const MechanismResult r = tvof.run(FormationRequest{f.instance, f.trust, rng});
   const trust::ReputationEngine engine(tvof.config().reputation);
   for (const auto& it : r.journal) {
     if (it.removed_gsp == SIZE_MAX) continue;
@@ -122,8 +122,8 @@ TEST(MechanismTest, DeterministicInRngSeed) {
   const TvofMechanism tvof(solver);
   util::Xoshiro256 rng_a(23);
   util::Xoshiro256 rng_b(23);
-  const MechanismResult a = tvof.run(f.instance, f.trust, rng_a);
-  const MechanismResult b = tvof.run(f.instance, f.trust, rng_b);
+  const MechanismResult a = tvof.run(FormationRequest{f.instance, f.trust, rng_a});
+  const MechanismResult b = tvof.run(FormationRequest{f.instance, f.trust, rng_b});
   EXPECT_EQ(a.selected, b.selected);
   EXPECT_EQ(a.journal.size(), b.journal.size());
   EXPECT_DOUBLE_EQ(a.cost, b.cost);
@@ -134,7 +134,7 @@ TEST(MechanismTest, RvofRunsSameLoopWithRandomRemoval) {
   const ip::BnbAssignmentSolver solver;
   const RvofMechanism rvof(solver);
   util::Xoshiro256 rng(29);
-  const MechanismResult r = rvof.run(f.instance, f.trust, rng);
+  const MechanismResult r = rvof.run(FormationRequest{f.instance, f.trust, rng});
   ASSERT_TRUE(r.success);
   EXPECT_EQ(r.journal.front().coalition.size(), 6u);
   for (const auto& it : r.journal) {
@@ -149,7 +149,7 @@ TEST(MechanismTest, ProductSelectionRuleUsesReputation) {
   cfg.selection = SelectionRule::MaxPayoffReputationProduct;
   const TvofMechanism tvof(solver, cfg);
   util::Xoshiro256 rng(31);
-  const MechanismResult r = tvof.run(f.instance, f.trust, rng);
+  const MechanismResult r = tvof.run(FormationRequest{f.instance, f.trust, rng});
   ASSERT_TRUE(r.success);
   const double key = r.payoff_share * r.avg_global_reputation;
   for (const auto& it : r.journal) {
@@ -165,7 +165,7 @@ TEST(MechanismTest, FailureWhenNothingFeasible) {
   const ip::BnbAssignmentSolver solver;
   const TvofMechanism tvof(solver);
   util::Xoshiro256 rng(37);
-  const MechanismResult r = tvof.run(f.instance, f.trust, rng);
+  const MechanismResult r = tvof.run(FormationRequest{f.instance, f.trust, rng});
   EXPECT_FALSE(r.success);
   EXPECT_TRUE(r.selected.empty());
   ASSERT_EQ(r.journal.size(), 1u);
@@ -178,7 +178,7 @@ TEST(MechanismTest, TrustSizeMismatchThrows) {
   const ip::BnbAssignmentSolver solver;
   const TvofMechanism tvof(solver);
   util::Xoshiro256 rng(41);
-  EXPECT_THROW((void)tvof.run(f.instance, wrong, rng), InvalidArgument);
+  EXPECT_THROW((void)tvof.run(FormationRequest{f.instance, wrong, rng}), InvalidArgument);
 }
 
 TEST(MechanismTest, GlobalReputationVectorExported) {
@@ -186,7 +186,7 @@ TEST(MechanismTest, GlobalReputationVectorExported) {
   const ip::BnbAssignmentSolver solver;
   const TvofMechanism tvof(solver);
   util::Xoshiro256 rng(43);
-  const MechanismResult r = tvof.run(f.instance, f.trust, rng);
+  const MechanismResult r = tvof.run(FormationRequest{f.instance, f.trust, rng});
   ASSERT_EQ(r.global_reputation.size(), 6u);
   double sum = 0.0;
   for (const double x : r.global_reputation) sum += x;

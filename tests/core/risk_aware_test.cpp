@@ -41,7 +41,7 @@ TEST(RiskAwareSelectionTest, PicksMaxExpectedShareFromJournal) {
   cfg.selection = SelectionRule::MaxExpectedIndividualPayoff;
   const TvofMechanism tvof(solver, cfg);
   util::Xoshiro256 mech_rng(5);
-  const MechanismResult r = tvof.run(inst, trust, mech_rng);
+  const MechanismResult r = tvof.run(FormationRequest{inst, trust, mech_rng});
   if (!r.success) GTEST_SKIP() << "no feasible VO";
 
   const auto expected_share = [&](game::Coalition c, double cost) {
@@ -81,7 +81,7 @@ TEST(RiskAwareSelectionTest, PrefersReliableVoOverCheaperRiskyOne) {
   cfg.selection = SelectionRule::MaxExpectedIndividualPayoff;
   const TvofMechanism risk_aware(solver, cfg);
   util::Xoshiro256 mech_rng(11);
-  const MechanismResult r = risk_aware.run(inst, trust, mech_rng);
+  const MechanismResult r = risk_aware.run(FormationRequest{inst, trust, mech_rng});
   if (!r.success) GTEST_SKIP() << "no feasible VO";
   // The final VO is the feasible list entry with the fewest distrusted
   // members (TVOF's removal order evicts G0/G1 first, and the expected

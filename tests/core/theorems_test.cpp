@@ -42,7 +42,7 @@ TEST_P(TheoremTest, Theorem1IndividualStability) {
   const ip::BnbAssignmentSolver solver;
   const TvofMechanism tvof(solver);
   util::Xoshiro256 rng(GetParam());
-  const MechanismResult r = tvof.run(s.instance, s.trust, rng);
+  const MechanismResult r = tvof.run(FormationRequest{s.instance, s.trust, rng});
   if (!r.success) GTEST_SKIP() << "no feasible VO in this scenario";
 
   const game::VoValueFunction v(s.instance, solver);
@@ -70,7 +70,7 @@ TEST_P(TheoremTest, Theorem2ParetoOptimalWithinL) {
   const ip::BnbAssignmentSolver solver;
   const TvofMechanism tvof(solver);
   util::Xoshiro256 rng(GetParam());
-  const MechanismResult r = tvof.run(s.instance, s.trust, rng);
+  const MechanismResult r = tvof.run(FormationRequest{s.instance, s.trust, rng});
   if (!r.success) GTEST_SKIP() << "no feasible VO in this scenario";
 
   std::vector<game::BicriteriaPoint> points;
@@ -92,7 +92,7 @@ TEST_P(TheoremTest, EqualSharesSumToCoalitionValue) {
   const ip::BnbAssignmentSolver solver;
   const TvofMechanism tvof(solver);
   util::Xoshiro256 rng(GetParam());
-  const MechanismResult r = tvof.run(s.instance, s.trust, rng);
+  const MechanismResult r = tvof.run(FormationRequest{s.instance, s.trust, rng});
   for (const auto& it : r.journal) {
     if (!it.feasible) continue;
     EXPECT_NEAR(it.payoff_share * static_cast<double>(it.coalition.size()),
@@ -117,8 +117,8 @@ TEST(ReputationOrderingTest, TvofBeatsRvofOnAverage) {
     const RvofMechanism rvof(solver);
     util::Xoshiro256 rng_t(seed);
     util::Xoshiro256 rng_r(seed + 1000);
-    const MechanismResult rt = tvof.run(s.instance, s.trust, rng_t);
-    const MechanismResult rr = rvof.run(s.instance, s.trust, rng_r);
+    const MechanismResult rt = tvof.run(FormationRequest{s.instance, s.trust, rng_t});
+    const MechanismResult rr = rvof.run(FormationRequest{s.instance, s.trust, rng_r});
     if (!rt.success || !rr.success) continue;
     tvof_sum += rt.avg_global_reputation;
     rvof_sum += rr.avg_global_reputation;

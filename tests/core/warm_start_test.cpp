@@ -98,6 +98,11 @@ TEST(MechanismWarmStartTest, WarmRunsActuallyReuseIncumbents) {
   EXPECT_FALSE(warm.journal.front().stats.warm_start_used);
 }
 
+// The deprecated positional wrappers must stay bit-identical to the
+// FormationRequest entry point for as long as they exist — this test is
+// the only in-repo caller and suppresses the deprecation on purpose.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 TEST(MechanismWarmStartTest, WrapperOverloadsMatchFormationRequest) {
   const ip::BnbAssignmentSolver solver;
   const TvofMechanism tvof(solver);
@@ -124,6 +129,7 @@ TEST(MechanismWarmStartTest, WrapperOverloadsMatchFormationRequest) {
   expect_identical_outcomes(via_wrapper4, via_request4, "restricted pool");
   EXPECT_EQ(via_wrapper4.stats.nodes, via_request4.stats.nodes);
 }
+#pragma GCC diagnostic pop
 
 TEST(MechanismWarmStartTest, PolicyDoesNotPerturbRngConsumption) {
   // Warm repair is deterministic and must not touch the mechanism RNG:

@@ -60,7 +60,7 @@ TEST(FullStackTest, MechanismInvariantsHoldWithHeuristicSolver) {
     const sim::Scenario s = factory.make(40, rep);
     util::Xoshiro256 rng(s.tvof_seed);
     const core::MechanismResult r =
-        tvof.run(s.instance.assignment, s.trust, rng);
+        tvof.run(core::FormationRequest{s.instance.assignment, s.trust, rng});
     if (!r.success) continue;
     // Selected VO's payoff dominates all feasible journal entries.
     for (const auto& it : r.journal) {
@@ -84,9 +84,9 @@ TEST(FullStackTest, ThreeMechanismsShareOneScenario) {
   util::Xoshiro256 rng_t(1);
   util::Xoshiro256 rng_r(2);
   const core::MechanismResult rt =
-      tvof.run(s.instance.assignment, s.trust, rng_t);
+      tvof.run(core::FormationRequest{s.instance.assignment, s.trust, rng_t});
   const core::MechanismResult rr =
-      rvof.run(s.instance.assignment, s.trust, rng_r);
+      rvof.run(core::FormationRequest{s.instance.assignment, s.trust, rng_r});
   const core::MergeSplitResult rm =
       msvof.run(s.instance.assignment, s.trust);
   // All three agree the instance is workable (generator guarantees it).
@@ -112,7 +112,7 @@ TEST(FullStackTest, DagAdapterInsideSweepRunnerScenario) {
   const core::TvofMechanism tvof(solver);
   util::Xoshiro256 rng(3);
   const core::MechanismResult r =
-      tvof.run(s.instance.assignment, s.trust, rng);
+      tvof.run(core::FormationRequest{s.instance.assignment, s.trust, rng});
   if (!r.success) GTEST_SKIP() << "chained program infeasible here";
   // Rebuild the schedule on the selected VO and verify the deadline.
   std::vector<std::size_t> original;

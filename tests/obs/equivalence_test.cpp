@@ -139,7 +139,7 @@ TEST_F(TracingEquivalenceTest, TracedRunEmitsExpectedSpanNames) {
   const TvofMechanism tvof(solver);
   util::Xoshiro256 rng(3);
   obs::Recorder::instance().enable();
-  (void)tvof.run(f.instance, f.trust, rng);
+  (void)tvof.run(FormationRequest{f.instance, f.trust, rng});
   obs::Recorder::instance().disable();
 
   bool saw_run = false, saw_iteration = false, saw_reputation = false;

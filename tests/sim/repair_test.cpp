@@ -47,7 +47,7 @@ TEST(ExecuteWithRepairTest, CompletesWithoutRepairWhenAllReliable) {
   const core::TvofMechanism tvof(solver);
   util::Xoshiro256 form_rng(7);
   const core::MechanismResult formation =
-      tvof.run(f.instance, f.trust, form_rng);
+      tvof.run(core::FormationRequest{f.instance, f.trust, form_rng});
   ASSERT_TRUE(formation.success);
   const ReliabilityModel model(std::vector<double>(5, 1.0));
   util::Xoshiro256 rng(3);
@@ -66,7 +66,7 @@ TEST(ExecuteWithRepairTest, ReassignsEveryTaskAfterMemberFailure) {
   const core::TvofMechanism tvof(solver);
   util::Xoshiro256 form_rng(7);
   const core::MechanismResult formation =
-      tvof.run(f.instance, f.trust, form_rng);
+      tvof.run(core::FormationRequest{f.instance, f.trust, form_rng});
   ASSERT_TRUE(formation.success);
   // Kill one selected member outright; everyone else is perfect.
   const std::size_t victim = formation.selected.members().front();
@@ -97,7 +97,7 @@ TEST(ExecuteWithRepairTest, ReportsFailureWhenNoSurvivorsCanExecute) {
   const core::TvofMechanism tvof(solver);
   util::Xoshiro256 form_rng(5);
   const core::MechanismResult formation =
-      tvof.run(f.instance, f.trust, form_rng);
+      tvof.run(core::FormationRequest{f.instance, f.trust, form_rng});
   ASSERT_TRUE(formation.success);
   // Nobody ever delivers: repair keeps failing until the pool is empty
   // or the budget runs out, and reports that explicitly.
@@ -116,7 +116,7 @@ TEST(ExecuteWithRepairTest, DeterministicInSeed) {
   const core::TvofMechanism tvof(solver);
   util::Xoshiro256 form_rng(9);
   const core::MechanismResult formation =
-      tvof.run(f.instance, f.trust, form_rng);
+      tvof.run(core::FormationRequest{f.instance, f.trust, form_rng});
   ASSERT_TRUE(formation.success);
   util::Xoshiro256 pop_rng(11);
   const ReliabilityModel model =

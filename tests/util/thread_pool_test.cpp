@@ -128,6 +128,63 @@ TEST(ThreadPoolTest, DestructorDrainsPendingTasks) {
   EXPECT_EQ(done.load(), 32);
 }
 
+TEST(ThreadPoolTest, OnWorkerThreadIdentifiesOwnWorkersOnly) {
+  ThreadPool pool(2);
+  ThreadPool other(1);
+  EXPECT_FALSE(pool.on_worker_thread());  // calling thread is not a worker
+  auto own = pool.submit([&pool] { return pool.on_worker_thread(); });
+  EXPECT_TRUE(own.get());
+  // A worker of `other` is not a worker of `pool`.
+  auto cross = other.submit([&pool] { return pool.on_worker_thread(); });
+  EXPECT_FALSE(cross.get());
+}
+
+// Regression: parallel_for issued from inside one of the pool's own
+// tasks (a svc shard tick running a reputation mat-vec, say) must not
+// re-submit chunks to the pool. With a single worker, re-submission is
+// a guaranteed deadlock: the worker blocks in f.get() on chunks only it
+// could run. The reentrancy fallback runs the loop inline instead.
+TEST(ParallelForTest, NestedCallFromWorkerRunsInlineWithoutDeadlock) {
+  ThreadPool pool(1);
+  std::vector<std::atomic<int>> hits(256);
+  auto outer = pool.submit([&] {
+    // grain=1 forces the submission path if the inline fallback breaks.
+    parallel_for(pool, 0, hits.size(), [&](std::size_t i) { ++hits[i]; },
+                 /*grain=*/1);
+  });
+  outer.get();  // would hang forever without the fix
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+// Doubly-nested: a parallel_for iteration that itself calls parallel_for
+// on the same pool. The inner loops run inline on whichever worker owns
+// the outer iteration; every index is still covered exactly once.
+TEST(ParallelForTest, ParallelForInsideParallelForCoversAllIndices) {
+  ThreadPool pool(2);
+  constexpr std::size_t kOuter = 16;
+  constexpr std::size_t kInner = 64;
+  std::vector<std::atomic<int>> hits(kOuter * kInner);
+  parallel_for(pool, 0, kOuter, [&](std::size_t o) {
+    parallel_for(pool, 0, kInner,
+                 [&](std::size_t i) { ++hits[o * kInner + i]; },
+                 /*grain=*/1);
+  },
+  /*grain=*/1);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+// Nested exceptions still propagate: the inline fallback must keep the
+// rethrow-first-error contract of the submitted path.
+TEST(ParallelForTest, NestedCallStillPropagatesExceptions) {
+  ThreadPool pool(1);
+  auto outer = pool.submit([&] {
+    parallel_for(pool, 0, 8, [](std::size_t i) {
+      if (i == 3) throw std::runtime_error("inner");
+    });
+  });
+  EXPECT_THROW(outer.get(), std::runtime_error);
+}
+
 TEST(ThreadPoolTest, DestructorJoinsWithThrowingTasksInFlight) {
   // Exceptions captured into futures nobody reads must not leak out of
   // the worker loop during shutdown.
