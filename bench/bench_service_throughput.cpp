@@ -81,7 +81,10 @@ RunResult run_service(const core::VoFormationMechanism& mechanism,
       run.elapsed_s > 0.0 ? static_cast<double>(requests) / run.elapsed_s : 0.0;
   run.stats = service.stats();
   run.outcomes.reserve(requests);
-  for (const svc::RequestHandle& h : handles) run.outcomes.push_back(h.wait());
+  for (const svc::RequestHandle& h : handles) {
+    h.wait();
+    run.outcomes.push_back(h.outcome());
+  }
   return run;
 }
 

@@ -45,6 +45,12 @@
 ///       --capacity N  (default 0 = fit the burst) --batch N (default 8)
 ///       --gsps N      (default 8)   --tasks N     (default 24)
 ///       --defer       (defer instead of shed when a queue fills)
+///       --chaos       (seeded fault plan: transient solver failures,
+///                      queue poison, shard kills, straggler ticks)
+///       --deadline S  (per-request deadline, seconds; default inf)
+///       --priority P  (drain priority; higher drains first)
+///       --retries N   (retry budget per request; default 0, or 3
+///                      under --chaos; max 32)
 ///       --seed S      (default 42)
 ///   svo_cli trace-report <trace> [options]        analyze a recorded trace
 ///                                               (Chrome JSON or JSONL):
@@ -59,6 +65,7 @@
 ///                    chrome://tracing or https://ui.perfetto.dev);
 ///                    equivalent to SVO_TRACE=<file>. SVO_METRICS=<file>
 ///                    additionally dumps the metric registry JSON.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -80,6 +87,7 @@
 #include "sim/multi_program.hpp"
 #include "sim/runner.hpp"
 #include "sim/stream_engine.hpp"
+#include "svc/fault_plan.hpp"
 #include "svc/service.hpp"
 #include "trace/atlas_synth.hpp"
 #include "trace/programs.hpp"
@@ -504,11 +512,36 @@ int cmd_serve(int argc, char** argv) {
   if (sopt.queue_capacity == 0) {
     sopt.queue_capacity = std::max<std::size_t>(requests, sopt.batch_size);
   }
+  bool chaos = false;
   for (int i = 0; i < argc; ++i) {
     if (std::strcmp(argv[i], "--defer") == 0) {
       sopt.overload = svc::OverloadPolicy::Defer;
     }
+    if (std::strcmp(argv[i], "--chaos") == 0) chaos = true;
   }
+  if (chaos) {
+    // The soak bench's mix: mostly-transient solver failures plus a
+    // sprinkle of poison, shard kills and stragglers, seeded so the run
+    // replays identically (fault_plan.hpp).
+    svc::ChaosProfile profile;
+    profile.solver_fault_rate = 0.15;
+    profile.poison_rate = 0.05;
+    profile.abort_rate = 0.05;
+    profile.stall_rate = 0.05;
+    profile.stall_seconds = 0.0002;
+    sopt.faults = svc::random_fault_plan(seed ^ 0xC4A05ULL, requests, profile);
+    sopt.retry_backoff_base_seconds = 0.0001;
+    sopt.retry_backoff_cap_seconds = 0.001;
+  }
+  // Scheduling fields ride on every request of the burst; submit()'s
+  // typed InvalidArgument (bad deadline / oversized retry budget)
+  // surfaces through main()'s catch as a CLI error.
+  const double deadline = std::strtod(
+      opt(argc, argv, "--deadline", "inf"), nullptr);
+  const long priority = std::strtol(
+      opt(argc, argv, "--priority", "0"), nullptr, 10);
+  const unsigned long retries = std::strtoul(
+      opt(argc, argv, "--retries", chaos ? "3" : "0"), nullptr, 10);
 
   // Small pool of synthetic Table-I instances (no trace needed): a burst
   // of requests over a few distinct markets, like the throughput bench.
@@ -537,12 +570,21 @@ int cmd_serve(int argc, char** argv) {
   const util::WallTimer timer;
   for (std::size_t i = 0; i < requests; ++i) {
     util::Xoshiro256 rng(seed ^ (0x9E3779B97F4A7C15ULL * (i + 1)));
-    handles.push_back(service.submit(core::FormationRequest{
-        grids[i % kPool].assignment, trusts[i % kPool], rng}));
+    core::FormationRequest req{grids[i % kPool].assignment, trusts[i % kPool],
+                               rng};
+    req.deadline_seconds = deadline;
+    req.priority = static_cast<std::int32_t>(priority);
+    req.max_retries = static_cast<std::uint32_t>(
+        std::min<unsigned long>(retries, 0xFFFFFFFFul));
+    handles.push_back(service.submit(req));
   }
   service.drain();
   const double elapsed = timer.seconds();
   const svc::ServiceStats stats = service.stats();
+  std::size_t lost = 0;
+  for (const svc::RequestHandle& h : handles) {
+    if (!h.done()) ++lost;  // the no-lost-request invariant: always 0
+  }
 
   std::printf("service:          %zu shard(s), %zu thread(s), batch %zu, "
               "capacity %zu/shard, %s on overload\n",
@@ -560,6 +602,20 @@ int cmd_serve(int argc, char** argv) {
   std::printf("shed / deferred:  %llu / %llu\n",
               static_cast<unsigned long long>(stats.shed),
               static_cast<unsigned long long>(stats.deferred));
+  if (chaos || stats.retries + stats.expired + stats.failed + stats.restarts >
+                   0) {
+    std::printf("chaos:            %llu retries, %llu failed, %llu expired, "
+                "%llu shard restarts (%llu aborts, %llu stalls)\n",
+                static_cast<unsigned long long>(stats.retries),
+                static_cast<unsigned long long>(stats.failed),
+                static_cast<unsigned long long>(stats.expired),
+                static_cast<unsigned long long>(stats.restarts),
+                static_cast<unsigned long long>(stats.tick_aborts),
+                static_cast<unsigned long long>(stats.stalls));
+  }
+  if (lost > 0) {
+    std::printf("LOST REQUESTS:    %zu (invariant violation!)\n", lost);
+  }
   std::printf("throughput:       %.1f requests/s (%.3f s wall)\n",
               elapsed > 0.0 ? static_cast<double>(requests) / elapsed : 0.0,
               elapsed);
@@ -569,7 +625,7 @@ int cmd_serve(int argc, char** argv) {
               stats.solve_p50_us, stats.solve_p99_us);
   for (const svc::RequestHandle& h : handles) {
     if (h.poll() != svc::TicketState::Done) continue;
-    const svc::RequestOutcome& out = h.wait();
+    const svc::RequestOutcome& out = h.outcome();
     if (!out.result.success) continue;
     std::printf("sample (ticket %llu, shard %zu): VO {",
                 static_cast<unsigned long long>(out.ticket), out.shard);
@@ -578,7 +634,7 @@ int cmd_serve(int argc, char** argv) {
     std::printf(" }  payoff/member %.2f\n", out.result.payoff_share);
     break;
   }
-  return stats.completed > 0 ? 0 : 1;
+  return (stats.completed > 0 && lost == 0) ? 0 : 1;
 }
 
 int cmd_trace_report(int argc, char** argv) {

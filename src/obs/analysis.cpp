@@ -473,6 +473,14 @@ std::vector<DiffRule> default_bench_rules() {
       {"*miss*", Direction::LowerIsBetter, 0.10},
       {"*lost*", Direction::Exact, 0.0},
       {"*latency*", Direction::LowerIsBetter, 0.10},
+      // Chaos-service aggregates (BENCH_service_chaos.json): retry /
+      // expiry / restart traffic is driven entirely by the seeded fault
+      // plan, so the counts — and retry_success_rate — are deterministic
+      // and gate exactly. Before "*rate*": first match wins.
+      {"*retry*", Direction::Exact, 0.0},
+      {"*retries*", Direction::Exact, 0.0},
+      {"*expired*", Direction::Exact, 0.0},
+      {"*restart*", Direction::Exact, 0.0},
       // Quality ratios: shrinking is a regression.
       {"*reduction*", Direction::HigherIsBetter, 0.10},
       {"*retention*", Direction::HigherIsBetter, 0.10},

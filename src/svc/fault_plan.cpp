@@ -1,0 +1,87 @@
+#include "svc/fault_plan.hpp"
+
+#include <cmath>
+#include <unordered_set>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace svo::svc {
+
+const char* to_string(TickFaultKind kind) noexcept {
+  switch (kind) {
+    case TickFaultKind::Abort: return "abort";
+    case TickFaultKind::Stall: return "stall";
+  }
+  return "?";
+}
+
+void FaultPlan::validate() const {
+  std::unordered_set<std::uint64_t> seen;
+  for (const SolverFault& f : solver_faults) {
+    svo::detail::require(f.attempts >= 1,
+                         "FaultPlan: solver fault attempts must be >= 1");
+    svo::detail::require(seen.insert(f.ticket).second,
+                         "FaultPlan: duplicate solver fault for one ticket");
+  }
+  seen.clear();
+  for (const TickFault& f : tick_faults) {
+    svo::detail::require(
+        std::isfinite(f.stall_seconds) && f.stall_seconds >= 0.0,
+        "FaultPlan: stall_seconds must be finite and >= 0");
+    svo::detail::require(seen.insert(f.ticket).second,
+                         "FaultPlan: duplicate tick fault for one ticket");
+  }
+}
+
+void ChaosProfile::validate() const {
+  const auto is_rate = [](double r) {
+    return std::isfinite(r) && r >= 0.0 && r <= 1.0;
+  };
+  svo::detail::require(is_rate(solver_fault_rate),
+                       "ChaosProfile: solver_fault_rate must be in [0, 1]");
+  svo::detail::require(is_rate(poison_rate),
+                       "ChaosProfile: poison_rate must be in [0, 1]");
+  svo::detail::require(is_rate(abort_rate),
+                       "ChaosProfile: abort_rate must be in [0, 1]");
+  svo::detail::require(is_rate(stall_rate),
+                       "ChaosProfile: stall_rate must be in [0, 1]");
+  svo::detail::require(abort_rate + stall_rate <= 1.0,
+                       "ChaosProfile: abort_rate + stall_rate must be <= 1");
+  svo::detail::require(
+      solver_fault_rate + poison_rate <= 1.0,
+      "ChaosProfile: solver_fault_rate + poison_rate must be <= 1");
+  svo::detail::require(fault_attempts >= 1,
+                       "ChaosProfile: fault_attempts must be >= 1");
+  svo::detail::require(
+      std::isfinite(stall_seconds) && stall_seconds >= 0.0,
+      "ChaosProfile: stall_seconds must be finite and >= 0");
+}
+
+FaultPlan random_fault_plan(std::uint64_t seed, std::uint64_t requests,
+                            const ChaosProfile& profile) {
+  profile.validate();
+  FaultPlan plan;
+  util::Xoshiro256 rng(seed);
+  for (std::uint64_t t = 0; t < requests; ++t) {
+    // Two fixed draws per ticket (solver fate, tick fate) keep the
+    // decision stream aligned across profiles sharing a seed — the
+    // des::FaultInjector discipline.
+    const double solver_draw = rng.uniform();
+    const double tick_draw = rng.uniform();
+    if (solver_draw < profile.poison_rate) {
+      plan.solver_faults.push_back({t, SolverFault::kPoison});
+    } else if (solver_draw < profile.poison_rate + profile.solver_fault_rate) {
+      plan.solver_faults.push_back({t, profile.fault_attempts});
+    }
+    if (tick_draw < profile.abort_rate) {
+      plan.tick_faults.push_back({t, TickFaultKind::Abort, 0.0});
+    } else if (tick_draw < profile.abort_rate + profile.stall_rate) {
+      plan.tick_faults.push_back(
+          {t, TickFaultKind::Stall, profile.stall_seconds});
+    }
+  }
+  return plan;
+}
+
+}  // namespace svo::svc

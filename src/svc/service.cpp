@@ -1,10 +1,16 @@
 #include "svc/service.hpp"
 
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <unordered_map>
 #include <utility>
 
 #include "obs/trace.hpp"
 #include "util/error.hpp"
-#include "util/timer.hpp"
 
 namespace svo::svc {
 
@@ -16,6 +22,8 @@ const char* to_string(TicketState state) noexcept {
     case TicketState::Cancelled: return "cancelled";
     case TicketState::Shed: return "shed";
     case TicketState::Deferred: return "deferred";
+    case TicketState::Failed: return "failed";
+    case TicketState::DeadlineExceeded: return "deadline_exceeded";
   }
   return "?";
 }
@@ -27,6 +35,15 @@ void ServiceOptions::validate() const {
   svo::detail::require(batch_size > 0, "ServiceOptions: batch_size must be > 0");
   svo::detail::require(batch_size <= queue_capacity,
                   "ServiceOptions: batch_size exceeds queue_capacity");
+  svo::detail::require(
+      std::isfinite(retry_backoff_base_seconds) &&
+          retry_backoff_base_seconds >= 0.0,
+      "ServiceOptions: retry_backoff_base_seconds must be finite and >= 0");
+  svo::detail::require(
+      std::isfinite(retry_backoff_cap_seconds) &&
+          retry_backoff_cap_seconds >= retry_backoff_base_seconds,
+      "ServiceOptions: retry_backoff_cap_seconds must be finite and >= base");
+  faults.validate();
 }
 
 namespace detail {
@@ -41,11 +58,31 @@ struct Ticket {
   FormationService* service = nullptr;
 
   // Request snapshot: referenced inputs + copied RNG state / candidates.
+  // `rng` is the pristine admission-time snapshot: every solve attempt
+  // runs on a fresh copy, so retries are exact re-executions and the
+  // probe of a successful attempt is bit-identical to a direct run.
   const ip::AssignmentInstance* instance = nullptr;
   const trust::TrustGraph* trust = nullptr;
   util::Xoshiro256 rng;
   game::Coalition candidates{};
   core::WarmStartPolicy warm = core::WarmStartPolicy::Incremental;
+
+  // Scheduling metadata (§4h). Absolute times on the service clock.
+  std::int32_t priority = 0;
+  double deadline_at = std::numeric_limits<double>::infinity();
+  double ready_at = 0.0;  ///< earliest dispatch (retry backoff)
+  std::uint32_t max_retries = 0;
+  /// Solve attempts taken so far. Mutated only by the owning shard's
+  /// tick (single-threaded per shard); published with the terminal
+  /// outcome under `mu`.
+  std::uint32_t attempts = 0;
+
+  // Injected chaos stamped at submit (fault_plan.hpp), keyed by id.
+  std::uint32_t injected_failures = 0;  ///< attempts that throw (kPoison)
+  bool has_tick_fault = false;
+  TickFaultKind tick_fault_kind = TickFaultKind::Stall;
+  double tick_fault_stall = 0.0;
+  bool tick_fault_fired = false;  ///< owned by the shard tick
 
   util::WallTimer admitted;  ///< reset when the ticket enters its queue
   std::atomic<TicketState> state{TicketState::Queued};
@@ -58,21 +95,53 @@ struct Ticket {
 
 using detail::Ticket;
 
-/// One mechanism shard: a bounded FIFO of tickets plus the scheduling
-/// flag that guarantees at most one tick task is in flight per shard
-/// (shard execution is single-threaded by construction). The metric
-/// references are this shard's own stable obs handles.
+namespace {
+
+/// Injected solver failure: thrown instead of running the mechanism
+/// when the fault plan marks this attempt.
+struct InjectedFault : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// Shard drain order: priority desc, deadline asc (EDF), admission
+/// order. With default metadata this is exactly admission order.
+struct TicketOrder {
+  bool operator()(const std::shared_ptr<Ticket>& a,
+                  const std::shared_ptr<Ticket>& b) const noexcept {
+    if (a->priority != b->priority) return a->priority > b->priority;
+    if (a->deadline_at != b->deadline_at) return a->deadline_at < b->deadline_at;
+    return a->id < b->id;
+  }
+};
+
+}  // namespace
+
+/// One mechanism shard: a bounded priority queue of tickets plus the
+/// scheduling flag that guarantees at most one tick task is in flight
+/// per shard (shard execution is single-threaded by construction) and
+/// the killed flag a fault-plan abort raises until the supervisor
+/// restart clears it. The metric references are this shard's own stable
+/// obs handles.
 struct FormationService::Shard {
-  Shard(std::size_t idx, obs::Counter& tick_counter,
-        obs::Counter& solved_counter)
-      : index(idx), ticks(tick_counter), solved(solved_counter) {}
+  Shard(std::size_t idx, obs::MetricRegistry& registry,
+        const std::string& prefix)
+      : index(idx),
+        ticks(registry.counter(prefix + ".ticks")),
+        solved(registry.counter(prefix + ".solved")),
+        retries(registry.counter(prefix + ".retries")),
+        expired(registry.counter(prefix + ".expired")),
+        restarts(registry.counter(prefix + ".restarts")) {}
 
   std::size_t index;
   std::mutex mu;
-  std::deque<std::shared_ptr<Ticket>> queue;  // guarded by mu
-  bool tick_scheduled = false;                // guarded by mu
+  std::multiset<std::shared_ptr<Ticket>, TicketOrder> queue;  // guarded by mu
+  bool tick_scheduled = false;                                // guarded by mu
+  bool killed = false;  ///< guarded by mu; true between abort and restart
   obs::Counter& ticks;
   obs::Counter& solved;
+  obs::Counter& retries;
+  obs::Counter& expired;
+  obs::Counter& restarts;
 };
 
 std::uint64_t RequestHandle::id() const noexcept { return ticket_->id; }
@@ -84,15 +153,31 @@ TicketState RequestHandle::poll() const noexcept {
 }
 
 bool RequestHandle::cancel() const {
-  return ticket_->service->cancel_ticket(*ticket_);
+  return ticket_->service->cancel_ticket(ticket_);
 }
 
-const RequestOutcome& RequestHandle::wait() const {
+TicketState RequestHandle::wait(std::optional<double> timeout_seconds) const {
   Ticket& t = *ticket_;
-  std::unique_lock<std::mutex> lock(t.mu);
-  t.cv.wait(lock, [&t] {
+  const auto terminal = [&t] {
     return is_terminal(t.state.load(std::memory_order_acquire));
-  });
+  };
+  std::unique_lock<std::mutex> lock(t.mu);
+  if (!timeout_seconds.has_value()) {
+    t.cv.wait(lock, terminal);
+  } else {
+    svo::detail::require(
+        std::isfinite(*timeout_seconds) && *timeout_seconds >= 0.0,
+        "RequestHandle::wait: timeout_seconds must be finite and >= 0");
+    t.cv.wait_for(lock, std::chrono::duration<double>(*timeout_seconds),
+                  terminal);
+  }
+  return t.state.load(std::memory_order_acquire);
+}
+
+const RequestOutcome& RequestHandle::outcome() const {
+  Ticket& t = *ticket_;
+  svo::detail::require(is_terminal(t.state.load(std::memory_order_acquire)),
+                  "RequestHandle::outcome: ticket is not terminal (wait first)");
   return t.outcome;
 }
 
@@ -105,18 +190,29 @@ FormationService::FormationService(const core::VoFormationMechanism& mechanism,
       cancelled_(registry_.counter("svc.cancelled")),
       shed_(registry_.counter("svc.shed")),
       deferred_(registry_.counter("svc.deferred")),
+      failed_(registry_.counter("svc.failed")),
+      expired_(registry_.counter("svc.expired")),
+      retries_(registry_.counter("svc.retries")),
+      restarts_(registry_.counter("svc.restarts")),
+      tick_aborts_(registry_.counter("svc.tick_aborts")),
+      stalls_(registry_.counter("svc.stalls")),
       solver_runs_(registry_.counter("svc.solver_runs")),
       ticks_(registry_.counter("svc.ticks")),
       queue_us_(registry_.histogram("svc.queue_us")),
       solve_us_(registry_.histogram("svc.solve_us")),
+      redelivery_depth_(registry_.histogram("svc.redelivery_depth")),
       paused_(options_.start_paused),
       pool_(options_.threads == 0 ? options_.shards : options_.threads) {
+  for (const SolverFault& f : options_.faults.solver_faults) {
+    solver_faults_by_ticket_.emplace(f.ticket, f.attempts);
+  }
+  for (const TickFault& f : options_.faults.tick_faults) {
+    tick_faults_by_ticket_.emplace(f.ticket, f);
+  }
   shards_.reserve(options_.shards);
   for (std::size_t i = 0; i < options_.shards; ++i) {
-    const std::string prefix = "svc.shard" + std::to_string(i);
     shards_.push_back(std::make_unique<Shard>(
-        i, registry_.counter(prefix + ".ticks"),
-        registry_.counter(prefix + ".solved")));
+        i, registry_, "svc.shard" + std::to_string(i)));
   }
 }
 
@@ -129,6 +225,15 @@ FormationService::~FormationService() {
 
 RequestHandle FormationService::submit(const core::FormationRequest& request,
                                        std::size_t routing_key) {
+  // Typed scheduling-metadata validation (ServiceOptions style): reject
+  // nonsense before a ticket id is burned.
+  svo::detail::require(
+      !std::isnan(request.deadline_seconds) && request.deadline_seconds >= 0.0,
+      "FormationRequest: deadline_seconds must be >= 0 (or infinity)");
+  svo::detail::require(
+      request.max_retries <= ServiceOptions::kMaxRetryBudget,
+      "FormationRequest: max_retries exceeds ServiceOptions::kMaxRetryBudget");
+
   const std::uint64_t id =
       next_ticket_.fetch_add(1, std::memory_order_relaxed);
   auto ticket = std::make_shared<Ticket>();
@@ -140,7 +245,22 @@ RequestHandle FormationService::submit(const core::FormationRequest& request,
                               // never advanced by the service
   ticket->candidates = request.candidates;
   ticket->warm = request.warm_start;
+  ticket->priority = request.priority;
+  ticket->max_retries = request.max_retries;
   ticket->outcome.ticket = id;
+
+  // Stamp this ticket's injected faults (pure function of the plan and
+  // the ticket id, so chaotic replays strike identically).
+  if (const auto it = solver_faults_by_ticket_.find(id);
+      it != solver_faults_by_ticket_.end()) {
+    ticket->injected_failures = it->second;
+  }
+  if (const auto it = tick_faults_by_ticket_.find(id);
+      it != tick_faults_by_ticket_.end()) {
+    ticket->has_tick_fault = true;
+    ticket->tick_fault_kind = it->second.kind;
+    ticket->tick_fault_stall = it->second.stall_seconds;
+  }
 
   // Deterministic routing: a pure function of (routing key | ticket id)
   // and the shard count — same-seed replays land every request on the
@@ -158,9 +278,11 @@ RequestHandle FormationService::submit(const core::FormationRequest& request,
     if (shard.queue.size() < options_.queue_capacity) {
       admitted = true;
       ticket->admitted.reset();
-      shard.queue.push_back(ticket);
+      const double now = clock_.seconds();
+      ticket->deadline_at = now + request.deadline_seconds;  // inf stays inf
+      shard.queue.insert(ticket);
       outstanding_.fetch_add(1, std::memory_order_relaxed);
-      if (!paused_.load() && !shard.tick_scheduled) {
+      if (!paused_.load() && !shard.tick_scheduled && !shard.killed) {
         shard.tick_scheduled = true;
         schedule = true;
       }
@@ -186,17 +308,37 @@ RequestHandle FormationService::submit(const core::FormationRequest& request,
   return RequestHandle(std::move(ticket));
 }
 
-bool FormationService::cancel_ticket(detail::Ticket& ticket) {
+bool FormationService::cancel_ticket(
+    const std::shared_ptr<detail::Ticket>& ticket) {
+  Ticket& t = *ticket;
   {
-    std::lock_guard<std::mutex> lock(ticket.mu);
-    if (ticket.state.load(std::memory_order_acquire) != TicketState::Queued) {
+    std::lock_guard<std::mutex> lock(t.mu);
+    if (t.state.load(std::memory_order_acquire) != TicketState::Queued) {
       return false;  // dispatched, already terminal, or lost the race
     }
+    // Queued covers both never-dispatched tickets and tickets parked
+    // between a failed attempt and their scheduled retry — in both
+    // cases the cancel wins and the solver never runs (again).
     cancelled_.add();  // accounted before the terminal publication
-    ticket.outcome.state = TicketState::Cancelled;
-    ticket.state.store(TicketState::Cancelled, std::memory_order_release);
+    t.outcome.state = TicketState::Cancelled;
+    t.outcome.attempts = t.attempts;
+    t.state.store(TicketState::Cancelled, std::memory_order_release);
   }
-  ticket.cv.notify_all();
+  t.cv.notify_all();
+  // Pull the carcass out of its shard's queue so a parked retry cannot
+  // keep the shard's tick loop alive. Racing ticks are fine either way:
+  // a tick that pops it first observes the terminal state and skips it.
+  {
+    Shard& shard = *shards_[t.shard];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto [lo, hi] = shard.queue.equal_range(ticket);
+    for (auto it = lo; it != hi; ++it) {
+      if (it->get() == &t) {
+        shard.queue.erase(it);
+        break;
+      }
+    }
+  }
   note_terminal();
   return true;
 }
@@ -210,7 +352,7 @@ void FormationService::resume() {
     bool schedule = false;
     {
       std::lock_guard<std::mutex> lock(shard->mu);
-      if (!shard->queue.empty() && !shard->tick_scheduled) {
+      if (!shard->queue.empty() && !shard->tick_scheduled && !shard->killed) {
         shard->tick_scheduled = true;
         schedule = true;
       }
@@ -245,18 +387,51 @@ void FormationService::schedule_tick(Shard& shard) {
   (void)ignored;  // completion is tracked per ticket, not per tick
 }
 
+void FormationService::restart_shard(Shard& shard) {
+  // The supervisor path: the killed worker is gone (its tick returned
+  // without rescheduling); a fresh pool task detects the kill, brings
+  // the shard back with its queue intact, and reschedules its tick.
+  auto ignored = pool_.submit([this, &shard] {
+    bool schedule = false;
+    {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      shard.killed = false;
+      if (!shard.queue.empty() && !paused_.load() && !shard.tick_scheduled) {
+        shard.tick_scheduled = true;
+        schedule = true;
+      }
+    }
+    restarts_.add();
+    shard.restarts.add();
+    if (schedule) schedule_tick(shard);
+  });
+  (void)ignored;
+}
+
 void FormationService::run_tick(Shard& shard) {
   obs::Span tick_span("svc.shard.tick", "svc");
   if (tick_span.active()) {
     tick_span.arg("shard", static_cast<double>(shard.index));
   }
-  // Drain up to batch_size tickets in admission order.
+  // Drain up to batch_size tickets in (priority, deadline, admission)
+  // order. Expired tickets are always eligible (they terminate without
+  // a solve); unexpired tickets still inside their retry backoff are
+  // skipped, and `earliest_ready` remembers when to look again.
   std::vector<std::shared_ptr<Ticket>> batch;
+  double earliest_ready = std::numeric_limits<double>::infinity();
   {
     std::lock_guard<std::mutex> lock(shard.mu);
-    while (batch.size() < options_.batch_size && !shard.queue.empty()) {
-      batch.push_back(std::move(shard.queue.front()));
-      shard.queue.pop_front();
+    const double now = clock_.seconds();
+    auto it = shard.queue.begin();
+    while (it != shard.queue.end() && batch.size() < options_.batch_size) {
+      Ticket& t = **it;
+      if (t.deadline_at > now && t.ready_at > now) {
+        earliest_ready = std::min(earliest_ready, t.ready_at);
+        ++it;
+        continue;
+      }
+      batch.push_back(*it);
+      it = shard.queue.erase(it);
     }
   }
   ticks_.add();
@@ -265,8 +440,63 @@ void FormationService::run_tick(Shard& shard) {
     tick_span.arg("batch", static_cast<double>(batch.size()));
   }
 
+  // Injected tick faults, keyed by the tickets this batch carries and
+  // fired exactly once per ticket. A stall delays the whole batch (the
+  // straggler tick); an abort kills the shard before any of the batch
+  // runs — the batch goes back intact and the supervisor restarts us.
+  bool abort_tick = false;
+  double stall_seconds = 0.0;
+  for (const std::shared_ptr<Ticket>& ticket : batch) {
+    if (!ticket->has_tick_fault || ticket->tick_fault_fired) continue;
+    ticket->tick_fault_fired = true;  // owned by this (single) tick
+    if (ticket->tick_fault_kind == TickFaultKind::Abort) {
+      abort_tick = true;
+    } else {
+      stall_seconds = ticket->tick_fault_stall;
+    }
+    // At most one tick fault fires per tick: an aborted batch is
+    // re-queued and re-popped, so any other marked ticket strikes a
+    // *later* tick — fault counts stay independent of how tickets
+    // happen to group into batches (the replay-identical invariant).
+    break;
+  }
+  if (stall_seconds > 0.0) {
+    stalls_.add();
+    std::this_thread::sleep_for(std::chrono::duration<double>(stall_seconds));
+  }
+  if (abort_tick) {
+    tick_aborts_.add();
+    {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      for (std::shared_ptr<Ticket>& ticket : batch) {
+        shard.queue.insert(std::move(ticket));  // preserved, not lost
+      }
+      shard.killed = true;
+      shard.tick_scheduled = false;  // the worker is dead
+    }
+    restart_shard(shard);
+    return;
+  }
+
   for (const std::shared_ptr<Ticket>& ticket : batch) {
     Ticket& t = *ticket;
+    const double now = clock_.seconds();
+    if (t.deadline_at <= now) {
+      // Deadline-aware scheduling: expire *before* wasting a solve.
+      std::lock_guard<std::mutex> lock(t.mu);
+      if (t.state.load(std::memory_order_acquire) != TicketState::Queued) {
+        continue;  // cancelled while queued
+      }
+      expired_.add();
+      shard.expired.add();
+      t.outcome.state = TicketState::DeadlineExceeded;
+      t.outcome.attempts = t.attempts;
+      t.outcome.queue_seconds = t.admitted.seconds();
+      t.state.store(TicketState::DeadlineExceeded, std::memory_order_release);
+      t.cv.notify_all();
+      note_terminal();
+      continue;
+    }
     {
       std::lock_guard<std::mutex> lock(t.mu);
       if (t.state.load(std::memory_order_acquire) != TicketState::Queued) {
@@ -275,21 +505,90 @@ void FormationService::run_tick(Shard& shard) {
       t.state.store(TicketState::Running, std::memory_order_release);
     }
     const double queue_seconds = t.admitted.seconds();
+    ++t.attempts;
+    if (t.outcome.dispatch_seq == 0) {
+      t.outcome.dispatch_seq =
+          next_dispatch_.fetch_add(1, std::memory_order_relaxed) + 1;
+    }
     const util::WallTimer solve_timer;
     core::MechanismResult result;
+    util::Xoshiro256 attempt_rng = t.rng;  // pristine snapshot per attempt
+    bool attempt_ok = true;
+    std::string attempt_error;
     {
       obs::Span solve_span("svc.request.solve", "svc");
       if (solve_span.active()) {
         solve_span.arg("ticket", static_cast<double>(t.id));
         solve_span.arg("shard", static_cast<double>(shard.index));
+        solve_span.arg("attempt", static_cast<double>(t.attempts));
       }
-      result = mechanism_.run(core::FormationRequest{
-          *t.instance, *t.trust, t.rng, t.candidates, t.warm});
+      try {
+        if (t.injected_failures == SolverFault::kPoison ||
+            t.attempts <= t.injected_failures) {
+          throw InjectedFault("injected solver fault (ticket " +
+                              std::to_string(t.id) + ", attempt " +
+                              std::to_string(t.attempts) + ")");
+        }
+        result = mechanism_.run(core::FormationRequest{
+            *t.instance, *t.trust, attempt_rng, t.candidates, t.warm});
+      } catch (const std::exception& e) {
+        attempt_ok = false;
+        attempt_error = e.what();
+      }
     }
     const double solve_seconds = solve_timer.seconds();
     // All accounting happens-before the terminal publication: a waiter
     // woken by the state change must already see consistent stats().
     solver_runs_.add();
+
+    if (!attempt_ok) {
+      if (t.attempts <= t.max_retries) {
+        // Budget left: park the ticket back in its queue with capped
+        // exponential backoff. State returns to Queued *before* the
+        // re-insert, so a cancel landing between this failed attempt
+        // and the retry finds a cancellable ticket and wins.
+        retries_.add();
+        shard.retries.add();
+        redelivery_depth_.observe(static_cast<double>(t.attempts));
+        const double backoff = std::min(
+            options_.retry_backoff_cap_seconds,
+            options_.retry_backoff_base_seconds *
+                static_cast<double>(1ULL << std::min<std::uint32_t>(
+                                        t.attempts - 1, 62)));
+        {
+          std::lock_guard<std::mutex> lock(t.mu);
+          t.state.store(TicketState::Queued, std::memory_order_release);
+        }
+        {
+          // Re-check under the shard lock: a cancel that landed between
+          // the state flip above and this insert already finalized the
+          // ticket (and found nothing to erase) — don't resurrect it.
+          std::lock_guard<std::mutex> lock(shard.mu);
+          if (t.state.load(std::memory_order_acquire) ==
+              TicketState::Queued) {
+            t.ready_at = clock_.seconds() + backoff;
+            shard.queue.insert(ticket);  // retries bypass admission control
+          }
+        }
+        continue;
+      }
+      // Budget exhausted: typed terminal failure, never a hung handle.
+      failed_.add();
+      redelivery_depth_.observe(static_cast<double>(t.attempts));
+      {
+        std::lock_guard<std::mutex> lock(t.mu);
+        t.outcome.state = TicketState::Failed;
+        t.outcome.attempts = t.attempts;
+        t.outcome.error = std::move(attempt_error);
+        t.outcome.queue_seconds = queue_seconds;
+        t.outcome.solve_seconds = solve_seconds;
+        t.state.store(TicketState::Failed, std::memory_order_release);
+      }
+      t.cv.notify_all();
+      note_terminal();
+      continue;
+    }
+
     shard.solved.add();
     queue_us_.observe(queue_seconds * 1e6);
     solve_us_.observe(solve_seconds * 1e6);
@@ -297,7 +596,8 @@ void FormationService::run_tick(Shard& shard) {
     {
       std::lock_guard<std::mutex> lock(t.mu);
       t.outcome.result = std::move(result);
-      t.outcome.rng_probe = t.rng();  // determinism probe: post-run state
+      t.outcome.rng_probe = attempt_rng();  // determinism probe: post-run
+      t.outcome.attempts = t.attempts;
       t.outcome.queue_seconds = queue_seconds;
       t.outcome.solve_seconds = solve_seconds;
       t.outcome.state = TicketState::Done;
@@ -309,17 +609,28 @@ void FormationService::run_tick(Shard& shard) {
 
   // Yield the pool thread between batches; reschedule only while work
   // remains (and keep tick_scheduled true across the hand-off so a
-  // racing submit cannot double-schedule).
+  // racing submit cannot double-schedule). When everything pending is
+  // parked in retry backoff, nap until the earliest ready time so the
+  // hand-off loop stays cool without a timer thread.
   bool more = false;
   {
     std::lock_guard<std::mutex> lock(shard.mu);
-    if (!shard.queue.empty() && !paused_.load()) {
+    if (!shard.queue.empty() && !paused_.load() && !shard.killed) {
       more = true;
     } else {
       shard.tick_scheduled = false;
     }
   }
-  if (more) schedule_tick(shard);
+  if (more) {
+    if (batch.empty() && std::isfinite(earliest_ready)) {
+      const double nap =
+          std::clamp(earliest_ready - clock_.seconds(), 0.0, 0.002);
+      if (nap > 0.0) {
+        std::this_thread::sleep_for(std::chrono::duration<double>(nap));
+      }
+    }
+    schedule_tick(shard);
+  }
 }
 
 ServiceStats FormationService::stats() const {
@@ -329,14 +640,22 @@ ServiceStats FormationService::stats() const {
   s.cancelled = cancelled_.value();
   s.shed = shed_.value();
   s.deferred = deferred_.value();
+  s.failed = failed_.value();
+  s.expired = expired_.value();
+  s.retries = retries_.value();
+  s.restarts = restarts_.value();
+  s.tick_aborts = tick_aborts_.value();
+  s.stalls = stalls_.value();
   s.solver_runs = solver_runs_.value();
   s.ticks = ticks_.value();
   const obs::Histogram::Snapshot queue = queue_us_.snapshot();
   const obs::Histogram::Snapshot solve = solve_us_.snapshot();
+  const obs::Histogram::Snapshot redelivery = redelivery_depth_.snapshot();
   s.queue_p50_us = queue.quantile(0.50);
   s.queue_p99_us = queue.quantile(0.99);
   s.solve_p50_us = solve.quantile(0.50);
   s.solve_p99_us = solve.quantile(0.99);
+  s.redelivery_max = redelivery.max;
   return s;
 }
 

@@ -1,6 +1,7 @@
 /// \file service.hpp
 /// Formation-as-a-service: a long-running, sharded, batched asynchronous
-/// request engine over the synchronous core mechanism (DESIGN.md §4g).
+/// request engine over the synchronous core mechanism (DESIGN.md §4g),
+/// chaos-hardened against its own failure modes (§4h).
 ///
 /// The paper forms one VO per call; the north-star system is a
 /// multi-tenant service admitting millions of queued formation requests.
@@ -13,10 +14,12 @@
 ///  - N independent *shards*, partitioned per-market / per-trust-domain
 ///    by a deterministic routing key (default: ticket id modulo N), each
 ///    with its own bounded submission queue, accounting state and stable
-///    obs metric references. A shard processes its queue strictly in
-///    admission order, one batch ("tick") at a time — shard-internal
-///    execution is single-threaded by construction, so per-shard order
-///    is a guarantee, not a scheduling accident.
+///    obs metric references. A shard drains its queue by (priority desc,
+///    deadline asc, admission order), one batch ("tick") at a time —
+///    shard-internal execution is single-threaded by construction, so
+///    per-shard order is a guarantee, not a scheduling accident. With
+///    every request at default priority/deadline the order is exactly
+///    admission order (the PR 7 FIFO).
 ///  - Ticks are message-driven tasks on a util::ThreadPool (the oneflow
 ///    vm-scheduler idiom: explicit object lifetimes, no long-running
 ///    blocked threads): enqueueing into an idle shard schedules exactly
@@ -26,18 +29,34 @@
 ///  - Batched admission control: a full shard queue sheds (terminal
 ///    Shed) or defers (terminal Deferred — "retry later", the caller
 ///    owns the backoff) according to ServiceOptions::overload. Both are
-///    decided at submit time, before any solver work.
+///    decided at submit time, before any solver work. Internal retries
+///    of already-admitted tickets bypass the capacity check: admitted
+///    work is never lost to its own backoff.
+///
+/// Degradation contract (§4h): requests carry an optional deadline,
+/// priority and retry budget (core::FormationRequest). A request still
+/// queued past its deadline terminates as DeadlineExceeded *before* any
+/// solve. A failed solve — injected by a FaultPlan or a genuine throw —
+/// retries with capped exponential backoff up to the request's budget,
+/// each attempt from the pristine admission-time RNG snapshot; an
+/// exhausted budget terminates as Failed with the error preserved. A
+/// killed shard (FaultPlan tick abort) is detected and restarted with
+/// its queue intact. Every admitted ticket reaches a terminal state —
+/// across shard crashes, solver throws and stalls — and the retry /
+/// expiry / restart traffic is accounted in the service and per-shard
+/// obs metrics.
 ///
 /// Determinism contract: a ticket's outcome is a pure function of its
-/// request (instance, trust, RNG *snapshot*, candidates, policy) — the
-/// service copies the caller's RNG state at submit and never advances
-/// the caller's generator — and routing is a pure function of (ticket
-/// id, routing key, shard count). Thread interleaving can reorder
-/// *completion* times, never outcomes: same-seed replays produce
-/// bit-identical per-ticket results at any shard/thread count, and a
-/// single-shard service is bit-identical to calling
-/// core::VoFormationMechanism::run(FormationRequest) directly
-/// (tests/svc/service_test.cpp pins both, RNG probe included).
+/// request (instance, trust, RNG *snapshot*, candidates, policy) and the
+/// fault plan — the service copies the caller's RNG state at submit and
+/// never advances the caller's generator — and routing is a pure
+/// function of (ticket id, routing key, shard count). Faults are keyed
+/// by ticket id, so same-seed chaotic replays produce bit-identical
+/// per-ticket results (state, attempts, RNG probe) at any shard/thread
+/// count; with the plan empty the service is bit-identical to the
+/// un-chaosed PR 7 behaviour, and a single-shard service is bit-identical
+/// to calling core::VoFormationMechanism::run(FormationRequest) directly
+/// (tests/svc pin all three, RNG probe included).
 ///
 /// Lifetime: the referenced mechanism, instance and trust graph must
 /// outlive every ticket that uses them. The service owns its pool;
@@ -48,26 +67,33 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "core/mechanism.hpp"
 #include "obs/metrics.hpp"
+#include "svc/fault_plan.hpp"
 #include "util/thread_pool.hpp"
+#include "util/timer.hpp"
 
 namespace svo::svc {
 
 /// Lifecycle of one submitted request. Terminal states are exactly
-/// {Done, Cancelled, Shed, Deferred}; Queued/Running are transient.
+/// {Done, Cancelled, Shed, Deferred, Failed, DeadlineExceeded};
+/// Queued/Running are transient.
 enum class TicketState : int {
-  Queued,     ///< admitted, waiting in its shard's queue
+  Queued,     ///< admitted, waiting in its shard's queue (or in backoff)
   Running,    ///< a shard tick is executing the mechanism
   Done,       ///< mechanism ran; RequestOutcome::result is valid
   Cancelled,  ///< cancel() won before dispatch — the solver never ran
   Shed,       ///< rejected at submit: shard queue full (overload=Shed)
   Deferred,   ///< rejected at submit, retryable (overload=Defer)
+  Failed,     ///< every attempt threw; RequestOutcome::error says why
+  DeadlineExceeded,  ///< expired in queue before a solve could start
 };
 
 [[nodiscard]] const char* to_string(TicketState state) noexcept;
@@ -85,11 +111,15 @@ enum class OverloadPolicy {
 /// construction of a FormationService validates and throws
 /// InvalidArgument ("ServiceOptions: ...") on nonsense.
 struct ServiceOptions {
+  /// Upper bound accepted for FormationRequest::max_retries — bounds
+  /// the worst-case backoff chain of a poisoned request.
+  static constexpr std::uint32_t kMaxRetryBudget = 32;
+
   /// Independent mechanism shards (per-market / per-trust-domain
   /// partitions). 1 = the bit-identical-to-direct-run mode.
   std::size_t shards = 1;
   /// Bounded submission-queue capacity *per shard*; admission control
-  /// sheds/defers beyond it.
+  /// sheds/defers beyond it (internal retries are exempt).
   std::size_t queue_capacity = 256;
   /// Tickets drained per shard tick. A tick runs its whole batch before
   /// yielding the pool thread, amortizing scheduling over B solves.
@@ -103,9 +133,18 @@ struct ServiceOptions {
   /// tests and benches deterministic queue-full and cancel-before-
   /// dispatch setups; production services leave this false.
   bool start_paused = false;
+  /// Backoff before retry attempt k (1-based re-attempt): base * 2^(k-1)
+  /// wall seconds, capped below.
+  double retry_backoff_base_seconds = 0.0005;
+  /// Upper bound on any single retry backoff.
+  double retry_backoff_cap_seconds = 0.050;
+  /// Deterministic chaos injection (fault_plan.hpp). Empty = no faults,
+  /// the bit-identical-to-PR 7 regime.
+  FaultPlan faults;
 
   /// Throws InvalidArgument on: zero shards, zero queue capacity, zero
-  /// batch size, batch size above queue capacity.
+  /// batch size, batch size above queue capacity, negative / non-finite
+  /// backoff, a backoff cap below the base, or an invalid fault plan.
   void validate() const;
 };
 
@@ -120,7 +159,17 @@ struct RequestOutcome {
   /// probe: equals rng() after an equivalent direct run() on a generator
   /// seeded identically. 0 unless state == Done.
   std::uint64_t rng_probe = 0;
-  /// Admission -> dispatch wall seconds (0 for shed/deferred tickets).
+  /// Solve attempts executed (1 + retries taken); 0 when the solver
+  /// never ran (cancelled / shed / deferred / expired before dispatch).
+  std::uint32_t attempts = 0;
+  /// 1-based service-wide dispatch order of the first solve attempt; 0
+  /// when the solver never ran. Deterministic for a single-shard
+  /// service (drain-order observability); diagnostic across shards.
+  std::uint64_t dispatch_seq = 0;
+  /// Failure description (meaningful when state == Failed).
+  std::string error;
+  /// Admission -> final dispatch wall seconds, retry backoff included
+  /// (0 for shed/deferred tickets).
   double queue_seconds = 0.0;
   /// Dispatch -> completion wall seconds (solver time; Done only).
   double solve_seconds = 0.0;
@@ -142,14 +191,22 @@ class RequestHandle {
   [[nodiscard]] TicketState poll() const noexcept;
   /// True once poll() would return a terminal state.
   [[nodiscard]] bool done() const noexcept { return is_terminal(poll()); }
-  /// Cancel if still queued. True iff *this call* transitioned the
-  /// ticket Queued -> Cancelled; false when dispatch (or a racing
-  /// cancel, or shed/defer at submit) won. A cancelled ticket's solver
-  /// never ran and never will.
+  /// Cancel if still queued (including between a failed attempt and its
+  /// scheduled retry — the cancel wins and the retry never dispatches).
+  /// True iff *this call* transitioned the ticket Queued -> Cancelled;
+  /// false when dispatch (or a racing cancel, or shed/defer at submit)
+  /// won. A cancelled ticket's solver never runs again.
   bool cancel() const;
-  /// Block until terminal; returns the outcome (stable reference, valid
-  /// for the shared state's lifetime — it outlives the service).
-  [[nodiscard]] const RequestOutcome& wait() const;
+  /// Block until the ticket is terminal, or until `timeout_seconds`
+  /// elapses (std::nullopt = wait forever). Returns the state observed
+  /// when the wait ended: terminal iff the ticket resolved in time;
+  /// Queued / Running mean the timeout expired first and the handle is
+  /// still live (a stalled shard can no longer wedge a bounded caller).
+  TicketState wait(std::optional<double> timeout_seconds = std::nullopt) const;
+  /// Terminal outcome (stable reference, valid for the shared state's
+  /// lifetime — it outlives the service). Throws InvalidArgument until
+  /// poll() is terminal; wait() first.
+  [[nodiscard]] const RequestOutcome& outcome() const;
 
  private:
   friend class FormationService;
@@ -167,12 +224,20 @@ struct ServiceStats {
   std::uint64_t cancelled = 0;
   std::uint64_t shed = 0;
   std::uint64_t deferred = 0;
-  std::uint64_t solver_runs = 0;  ///< mechanism invocations (== completed)
+  std::uint64_t failed = 0;     ///< retry budget exhausted (terminal)
+  std::uint64_t expired = 0;    ///< DeadlineExceeded before a solve
+  std::uint64_t retries = 0;    ///< re-attempts scheduled after failures
+  std::uint64_t restarts = 0;   ///< killed shards detected + restarted
+  std::uint64_t tick_aborts = 0;  ///< injected shard kills
+  std::uint64_t stalls = 0;       ///< injected straggler ticks
+  std::uint64_t solver_runs = 0;  ///< mechanism attempts (incl. failed)
   std::uint64_t ticks = 0;        ///< shard batch executions
   double queue_p50_us = 0.0;
   double queue_p99_us = 0.0;
   double solve_p50_us = 0.0;
   double solve_p99_us = 0.0;
+  /// Deepest redelivery observed: max attempts of any retried ticket.
+  double redelivery_max = 0.0;
 };
 
 /// The service core. Thread-safe: submit/cancel/poll/wait/stats may be
@@ -196,7 +261,9 @@ class FormationService {
   /// alive until the ticket is terminal. `routing_key` partitions the
   /// request space across shards (per-market / per-trust-domain);
   /// SIZE_MAX routes by ticket id. Never blocks on solver work: a full
-  /// shard returns an already-terminal Shed/Deferred handle.
+  /// shard returns an already-terminal Shed/Deferred handle. Throws
+  /// InvalidArgument ("FormationRequest: ...") on a NaN or negative
+  /// deadline or a retry budget above ServiceOptions::kMaxRetryBudget.
   RequestHandle submit(const core::FormationRequest& request,
                        std::size_t routing_key = SIZE_MAX);
 
@@ -226,12 +293,20 @@ class FormationService {
 
   void schedule_tick(Shard& shard);
   void run_tick(Shard& shard);
-  bool cancel_ticket(detail::Ticket& ticket);
+  /// Supervisor path: a killed shard is brought back on a fresh pool
+  /// task — queue intact, restart accounted — and its tick rescheduled.
+  void restart_shard(Shard& shard);
+  bool cancel_ticket(const std::shared_ptr<detail::Ticket>& ticket);
   /// One admitted ticket reached a terminal state (drain bookkeeping).
   void note_terminal();
 
   ServiceOptions options_;
   const core::VoFormationMechanism& mechanism_;
+
+  /// Fault-plan lookups by ticket id, built once at construction so a
+  /// million-request soak pays O(1) per submit.
+  std::unordered_map<std::uint64_t, std::uint32_t> solver_faults_by_ticket_;
+  std::unordered_map<std::uint64_t, TickFault> tick_faults_by_ticket_;
 
   mutable obs::MetricRegistry registry_;
   obs::Counter& submitted_;
@@ -239,19 +314,33 @@ class FormationService {
   obs::Counter& cancelled_;
   obs::Counter& shed_;
   obs::Counter& deferred_;
+  obs::Counter& failed_;
+  obs::Counter& expired_;
+  obs::Counter& retries_;
+  obs::Counter& restarts_;
+  obs::Counter& tick_aborts_;
+  obs::Counter& stalls_;
   obs::Counter& solver_runs_;
   obs::Counter& ticks_;
   obs::Histogram& queue_us_;
   obs::Histogram& solve_us_;
+  /// Attempt count of every retried ticket at each redelivery — the
+  /// "how deep do retries go" distribution.
+  obs::Histogram& redelivery_depth_;
 
   std::vector<std::unique_ptr<Shard>> shards_;
 
   std::atomic<bool> paused_;
   std::atomic<std::uint64_t> next_ticket_{0};
+  std::atomic<std::uint64_t> next_dispatch_{0};
   /// Admitted-but-not-terminal tickets, for drain().
   std::atomic<std::uint64_t> outstanding_{0};
   std::mutex drain_mu_;
   std::condition_variable drain_cv_;
+
+  /// Service-relative clock: deadlines and retry ready-times are
+  /// absolute seconds on this timer (monotonic, shared by every shard).
+  util::WallTimer clock_;
 
   /// Last member: destroyed first, so in-flight ticks still see live
   /// shards/metrics while the pool drains during destruction.

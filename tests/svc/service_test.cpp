@@ -141,7 +141,8 @@ TEST(FormationServiceTest, SingleShardMatchesDirectRunBitForBit) {
   FormationService service(tvof, ServiceOptions{});
   RequestHandle h =
       service.submit(core::FormationRequest{f.instance, f.trust, rng_svc});
-  const RequestOutcome& out = h.wait();
+  EXPECT_EQ(h.wait(), TicketState::Done);
+  const RequestOutcome& out = h.outcome();
 
   ASSERT_EQ(out.state, TicketState::Done);
   expect_bit_identical(direct, out.result, "single shard vs direct");
@@ -167,12 +168,11 @@ TEST(FormationServiceTest, RestrictedPoolMatchesDirectRun) {
 
   util::Xoshiro256 rng_svc(7);
   FormationService service(tvof);
-  const RequestOutcome& out =
-      service
-          .submit(core::FormationRequest{f.instance, f.trust, rng_svc, pool,
-                                         core::WarmStartPolicy::Off})
-          .wait();
-  ASSERT_EQ(out.state, TicketState::Done);
+  RequestHandle h =
+      service.submit(core::FormationRequest{f.instance, f.trust, rng_svc, pool,
+                                            core::WarmStartPolicy::Off});
+  ASSERT_EQ(h.wait(), TicketState::Done);
+  const RequestOutcome& out = h.outcome();
   expect_bit_identical(direct, out.result, "restricted pool");
 }
 
@@ -197,7 +197,8 @@ TEST(FormationServiceTest, CancelBeforeDispatchNeverRunsSolver) {
   service.resume();
   service.drain();
 
-  const RequestOutcome& out = h.wait();
+  EXPECT_EQ(h.wait(), TicketState::Cancelled);
+  const RequestOutcome& out = h.outcome();
   EXPECT_EQ(out.state, TicketState::Cancelled);
   EXPECT_TRUE(out.result.journal.empty());
   const ServiceStats stats = service.stats();
@@ -215,7 +216,7 @@ TEST(FormationServiceTest, CancelAfterCompletionReturnsFalse) {
   util::Xoshiro256 rng(2);
   RequestHandle h =
       service.submit(core::FormationRequest{f.instance, f.trust, rng});
-  (void)h.wait();
+  h.wait();
   EXPECT_FALSE(h.cancel());
   EXPECT_EQ(h.poll(), TicketState::Done);
 }
@@ -249,8 +250,8 @@ TEST(FormationServiceTest, QueueFullShedAccountingIsExact) {
     EXPECT_TRUE(handles[i].done());
     // Shed is decided at submit: wait() returns without blocking and the
     // outcome carries no result.
-    EXPECT_EQ(handles[i].wait().state, TicketState::Shed);
-    EXPECT_TRUE(handles[i].wait().result.journal.empty());
+    EXPECT_EQ(handles[i].wait(), TicketState::Shed);
+    EXPECT_TRUE(handles[i].outcome().result.journal.empty());
   }
 
   service.resume();
@@ -292,11 +293,9 @@ TEST(FormationServiceTest, QueueFullDefersUnderDeferPolicy) {
   // re-submission is admitted and completes.
   service.drain();
   util::Xoshiro256 rng_retry(2);
-  const RequestOutcome& retried =
-      service
-          .submit(core::FormationRequest{f.instance, f.trust, rng_retry})
-          .wait();
-  EXPECT_EQ(retried.state, TicketState::Done);
+  RequestHandle retried =
+      service.submit(core::FormationRequest{f.instance, f.trust, rng_retry});
+  EXPECT_EQ(retried.wait(), TicketState::Done);
 
   const ServiceStats stats = service.stats();
   EXPECT_EQ(stats.deferred, 1u);
@@ -329,7 +328,10 @@ TEST(FormationServiceTest, MultiShardSameSeedReplayIsIdentical) {
           service.submit(core::FormationRequest{f.instance, f.trust, rng}));
     }
     service.drain();
-    for (const RequestHandle& h : handles) outs.push_back(h.wait());
+    for (const RequestHandle& h : handles) {
+      h.wait();
+      outs.push_back(h.outcome());
+    }
     return outs;
   };
 
@@ -370,8 +372,8 @@ TEST(FormationServiceTest, MultiShardMatchesDirectRunPerRequest) {
     util::Xoshiro256 rng(500 + i);
     const core::MechanismResult direct =
         tvof.run(core::FormationRequest{f.instance, f.trust, rng});
-    const RequestOutcome& out = handles[i].wait();
-    ASSERT_EQ(out.state, TicketState::Done);
+    ASSERT_EQ(handles[i].wait(), TicketState::Done);
+    const RequestOutcome& out = handles[i].outcome();
     expect_bit_identical(direct, out.result,
                          "request " + std::to_string(i));
     EXPECT_EQ(out.rng_probe, rng());
@@ -435,7 +437,7 @@ TEST(FormationServiceTest, HandlesOutliveTheService) {
   }
   for (const RequestHandle& h : handles) {
     EXPECT_EQ(h.poll(), TicketState::Done);
-    EXPECT_TRUE(h.wait().result.success);
+    EXPECT_TRUE(h.outcome().result.success);
   }
 }
 
