@@ -32,19 +32,6 @@ double estimate_reliability(const trust::TrustGraph& trust, std::size_t gsp,
   return observers == 0 ? prior : sum / static_cast<double>(observers);
 }
 
-MechanismResult VoFormationMechanism::run(const ip::AssignmentInstance& inst,
-                                          const trust::TrustGraph& trust,
-                                          util::Xoshiro256& rng) const {
-  return run(FormationRequest{inst, trust, rng});
-}
-
-MechanismResult VoFormationMechanism::run(const ip::AssignmentInstance& inst,
-                                          const trust::TrustGraph& trust,
-                                          util::Xoshiro256& rng,
-                                          game::Coalition candidates) const {
-  return run(FormationRequest{inst, trust, rng, candidates});
-}
-
 MechanismResult VoFormationMechanism::run(const FormationRequest& request) const {
   const ip::AssignmentInstance& inst = request.instance;
   const trust::TrustGraph& trust = request.trust;

@@ -180,27 +180,6 @@ class VoFormationMechanism {
   /// changes solver work, never the outcome (see WarmStartPolicy).
   [[nodiscard]] MechanismResult run(const FormationRequest& request) const;
 
-  /// Deprecated wrapper: run on the grand coalition with the default
-  /// warm-start policy. Bit-identical to run(FormationRequest{inst,
-  /// trust, rng}) — kept one release for out-of-tree callers; every
-  /// in-repo caller uses FormationRequest (or svc::FormationService for
-  /// asynchronous submission). Old → new mapping: docs/api_migration.md.
-  [[deprecated(
-      "build a core::FormationRequest (or submit to svc::FormationService); "
-      "see docs/api_migration.md")]] [[nodiscard]] MechanismResult
-  run(const ip::AssignmentInstance& inst, const trust::TrustGraph& trust,
-      util::Xoshiro256& rng) const;
-
-  /// Deprecated wrapper: run over a restricted candidate pool
-  /// (quorum-degraded formation, VO repair over survivors). Bit-identical
-  /// to run(FormationRequest{inst, trust, rng, candidates}); same
-  /// migration note as above.
-  [[deprecated(
-      "build a core::FormationRequest (or submit to svc::FormationService); "
-      "see docs/api_migration.md")]] [[nodiscard]] MechanismResult
-  run(const ip::AssignmentInstance& inst, const trust::TrustGraph& trust,
-      util::Xoshiro256& rng, game::Coalition candidates) const;
-
   [[nodiscard]] virtual std::string name() const = 0;
   [[nodiscard]] const MechanismConfig& config() const noexcept {
     return config_;

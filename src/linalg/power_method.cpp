@@ -58,9 +58,7 @@ void apply_operator(const Matrix& a, const std::vector<bool>& dangling,
 PowerMethodResult power_method_impl(const Matrix& a,
                                     const PowerMethodOptions& opts) {
   detail::require(a.rows() == a.cols(), "power_method: matrix must be square");
-  detail::require(opts.epsilon > 0.0, "power_method: epsilon must be > 0");
-  detail::require(opts.damping >= 0.0 && opts.damping < 1.0,
-                  "power_method: damping must be in [0,1)");
+  opts.validate();
 
   PowerMethodResult result;
   const std::size_t n = a.rows();
@@ -113,6 +111,16 @@ PowerMethodResult power_method_impl(const Matrix& a,
 }
 
 }  // namespace
+
+void PowerMethodOptions::validate() const {
+  detail::require(std::isfinite(epsilon) && epsilon > 0.0,
+                  "PowerMethodOptions: epsilon must be finite and > 0");
+  detail::require(max_iterations > 0,
+                  "PowerMethodOptions: max_iterations must be > 0");
+  detail::require(std::isfinite(damping) && damping >= 0.0 && damping < 1.0,
+                  "PowerMethodOptions: damping must be finite and in [0,1)");
+  detail::require(threads >= 1, "PowerMethodOptions: threads must be >= 1");
+}
 
 PowerMethodResult power_method(const Matrix& a, const PowerMethodOptions& opts) {
   obs::Span span("linalg.power_method", "linalg");

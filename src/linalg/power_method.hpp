@@ -31,6 +31,12 @@ struct PowerMethodOptions {
   /// Number of pool threads to use for the mat-vec when the matrix is
   /// large; 1 = serial (default; trust graphs in the paper are 16x16).
   std::size_t threads = 1;
+
+  /// Throws InvalidArgument unless epsilon is finite and > 0,
+  /// max_iterations > 0, damping is finite in [0, 1) and threads >= 1 —
+  /// the ReputationOptions/ServiceOptions validation precedent. Called by
+  /// every engine consuming these options (dense, sparse, robust).
+  void validate() const;
 };
 
 /// Result of a power iteration run.
@@ -45,6 +51,9 @@ struct PowerMethodResult {
   std::size_t iterations = 0;
   /// Whether the epsilon criterion was met before the iteration cap.
   bool converged = false;
+  /// Whether the run started from a caller-provided previous eigenvector
+  /// instead of the uniform vector (sparse_power_method only).
+  bool warm_started = false;
 };
 
 /// Compute the dominant *left* eigenvector of `a` (i.e. dominant right

@@ -1,0 +1,291 @@
+#include "linalg/sparse.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "obs/trace.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
+
+namespace svo::linalg {
+
+SparseMatrix SparseMatrix::from_triplets(std::size_t rows, std::size_t cols,
+                                         std::vector<Triplet> triplets) {
+  for (const Triplet& t : triplets) {
+    detail::require(t.row < rows && t.col < cols,
+                    "SparseMatrix: triplet index out of range");
+    detail::require(std::isfinite(t.value),
+                    "SparseMatrix: triplet value must be finite");
+  }
+  std::sort(triplets.begin(), triplets.end(),
+            [](const Triplet& a, const Triplet& b) {
+              return a.row != b.row ? a.row < b.row : a.col < b.col;
+            });
+  SparseMatrix m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+  m.row_ptr_.assign(rows + 1, 0);
+  m.col_.reserve(triplets.size());
+  m.val_.reserve(triplets.size());
+  for (std::size_t k = 0; k < triplets.size();) {
+    const std::size_t r = triplets[k].row;
+    const std::size_t c = triplets[k].col;
+    double v = 0.0;
+    for (; k < triplets.size() && triplets[k].row == r && triplets[k].col == c;
+         ++k) {
+      v += triplets[k].value;
+    }
+    if (v == 0.0) continue;  // stored entry == structural nonzero
+    m.col_.push_back(c);
+    m.val_.push_back(v);
+    m.row_ptr_[r + 1] = m.col_.size();
+  }
+  // Rows with no entry keep offset 0 in the loop above; forward-fill so
+  // row_ptr_ is the usual non-decreasing prefix array.
+  for (std::size_t r = 1; r <= rows; ++r) {
+    m.row_ptr_[r] = std::max(m.row_ptr_[r], m.row_ptr_[r - 1]);
+  }
+  return m;
+}
+
+SparseMatrix SparseMatrix::from_dense(const Matrix& dense) {
+  std::vector<Triplet> triplets;
+  for (std::size_t i = 0; i < dense.rows(); ++i) {
+    for (std::size_t j = 0; j < dense.cols(); ++j) {
+      if (dense(i, j) != 0.0) triplets.push_back({i, j, dense(i, j)});
+    }
+  }
+  return from_triplets(dense.rows(), dense.cols(), std::move(triplets));
+}
+
+double SparseMatrix::fill_ratio() const noexcept {
+  if (rows_ == 0 || cols_ == 0) return 0.0;
+  return static_cast<double>(nnz()) /
+         (static_cast<double>(rows_) * static_cast<double>(cols_));
+}
+
+SparseMatrix::RowView SparseMatrix::row(std::size_t i) const {
+  detail::require(i < rows_, "SparseMatrix: row out of range");
+  const std::size_t lo = row_ptr_[i];
+  const std::size_t hi = row_ptr_[i + 1];
+  return {{col_.data() + lo, hi - lo}, {val_.data() + lo, hi - lo}};
+}
+
+double SparseMatrix::at(std::size_t i, std::size_t j) const {
+  detail::require(i < rows_ && j < cols_, "SparseMatrix: index out of range");
+  const auto begin = col_.begin() + static_cast<std::ptrdiff_t>(row_ptr_[i]);
+  const auto end = col_.begin() + static_cast<std::ptrdiff_t>(row_ptr_[i + 1]);
+  const auto it = std::lower_bound(begin, end, j);
+  if (it == end || *it != j) return 0.0;
+  return val_[static_cast<std::size_t>(it - col_.begin())];
+}
+
+Matrix SparseMatrix::to_dense() const {
+  Matrix m(rows_, cols_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
+      m(i, col_[k]) = val_[k];
+    }
+  }
+  return m;
+}
+
+SparseMatrix SparseMatrix::transposed() const {
+  SparseMatrix t;
+  t.rows_ = cols_;
+  t.cols_ = rows_;
+  t.row_ptr_.assign(cols_ + 1, 0);
+  for (const std::size_t c : col_) ++t.row_ptr_[c + 1];
+  for (std::size_t r = 1; r <= cols_; ++r) t.row_ptr_[r] += t.row_ptr_[r - 1];
+  t.col_.resize(nnz());
+  t.val_.resize(nnz());
+  std::vector<std::size_t> next(t.row_ptr_.begin(), t.row_ptr_.end() - 1);
+  // Walking rows (and columns within rows) ascending fills each output
+  // row in ascending source-row order — the order the gather kernels
+  // depend on for dense/sparse bit-identity.
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
+      const std::size_t slot = next[col_[k]]++;
+      t.col_[slot] = i;
+      t.val_[slot] = val_[k];
+    }
+  }
+  return t;
+}
+
+std::vector<double> SparseMatrix::multiply(std::span<const double> x) const {
+  if (x.size() != cols_) {
+    throw DimensionMismatch("SparseMatrix::multiply: size mismatch");
+  }
+  std::vector<double> y(rows_, 0.0);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    double acc = 0.0;
+    for (std::size_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
+      acc += val_[k] * x[col_[k]];
+    }
+    y[i] = acc;
+  }
+  return y;
+}
+
+std::vector<double> SparseMatrix::multiply_transposed(
+    std::span<const double> x) const {
+  if (x.size() != rows_) {
+    throw DimensionMismatch("SparseMatrix::multiply_transposed: size mismatch");
+  }
+  std::vector<double> y(cols_, 0.0);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    const double xi = x[i];
+    if (xi == 0.0) continue;
+    for (std::size_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
+      y[col_[k]] += xi * val_[k];
+    }
+  }
+  return y;
+}
+
+namespace {
+
+/// Rows below this run the gather loop serially even when opts.threads
+/// asks for the pool; per-element results are identical either way.
+constexpr std::size_t kParallelRows = 2048;
+
+/// One application of the dangling-patched, damped transposed operator
+/// in gather form over the pre-transposed matrix: output j is the
+/// i-ascending dot of at.row(j) with x — exactly the accumulation order
+/// of the dense engine's column-block kernel, for any thread count.
+void apply_gather(const SparseMatrix& at, const std::vector<std::size_t>& dangling,
+                  double damping, std::span<const double> x,
+                  std::vector<double>& y, std::size_t threads) {
+  const std::size_t n = at.rows();
+  double dangling_mass = 0.0;
+  for (const std::size_t i : dangling) dangling_mass += x[i];
+  const double base =
+      (1.0 - damping) * dangling_mass / static_cast<double>(n) +
+      damping / static_cast<double>(n);
+  const auto one_output = [&](std::size_t j) {
+    const SparseMatrix::RowView incoming = at.row(j);
+    double acc = 0.0;
+    for (std::size_t k = 0; k < incoming.size(); ++k) {
+      const double xi = x[incoming.cols[k]];
+      if (xi == 0.0) continue;
+      acc += xi * incoming.values[k];
+    }
+    y[j] = (1.0 - damping) * acc + base;
+  };
+  if (threads > 1 && n >= kParallelRows) {
+    const std::size_t grain = (n + threads * 4 - 1) / (threads * 4);
+    svo::util::parallel_for(0, n, one_output, grain);
+  } else {
+    for (std::size_t j = 0; j < n; ++j) one_output(j);
+  }
+}
+
+PowerMethodResult sparse_power_method_impl(const SparseMatrix& a,
+                                           const PowerMethodOptions& opts,
+                                           std::span<const double> warm_start,
+                                           double* spmv_seconds) {
+  detail::require(a.rows() == a.cols(),
+                  "sparse_power_method: matrix must be square");
+  opts.validate();
+
+  PowerMethodResult result;
+  const std::size_t n = a.rows();
+  if (n == 0) {
+    result.converged = true;
+    return result;
+  }
+  std::vector<std::size_t> dangling;  // empty rows, ascending
+  for (std::size_t i = 0; i < n; ++i) {
+    const SparseMatrix::RowView r = a.row(i);
+    if (r.empty()) {
+      dangling.push_back(i);
+      continue;
+    }
+    for (const double v : r.values) {
+      detail::require(v >= 0.0, "sparse_power_method: matrix must be non-negative");
+    }
+  }
+
+  std::vector<double> x;
+  if (!warm_start.empty()) {
+    detail::require(warm_start.size() == n,
+                    "sparse_power_method: warm_start size mismatch");
+    x.assign(warm_start.begin(), warm_start.end());
+    double sum = 0.0;
+    for (const double v : x) {
+      detail::require(std::isfinite(v) && v >= 0.0,
+                      "sparse_power_method: warm_start must be finite and "
+                      "non-negative");
+      sum += v;
+    }
+    detail::require(sum > 0.0,
+                    "sparse_power_method: warm_start must have positive sum");
+    (void)normalize_l1(x);
+    result.warm_started = true;
+  } else {
+    x.assign(n, 1.0 / static_cast<double>(n));
+  }
+  std::vector<double> y(n, 0.0);
+  const SparseMatrix at = a.transposed();
+
+  for (std::size_t it = 0; it < opts.max_iterations; ++it) {
+    if (spmv_seconds != nullptr) {
+      const util::WallTimer timer;
+      apply_gather(at, dangling, opts.damping, x, y, opts.threads);
+      *spmv_seconds += timer.seconds();
+    } else {
+      apply_gather(at, dangling, opts.damping, x, y, opts.threads);
+    }
+    result.eigenvalue = norm_l1(y);
+    if (!normalize_l1(y)) {
+      std::fill(y.begin(), y.end(), 1.0 / static_cast<double>(n));
+      result.iterations = it + 1;
+      result.converged = false;
+      result.eigenvector = std::move(y);
+      return result;
+    }
+    const double delta = distance_l1(y, x);
+    x.swap(y);
+    result.iterations = it + 1;
+    if (delta < opts.epsilon) {
+      result.converged = true;
+      break;
+    }
+  }
+  result.eigenvector = std::move(x);
+  return result;
+}
+
+}  // namespace
+
+PowerMethodResult sparse_power_method(const SparseMatrix& a,
+                                      const PowerMethodOptions& opts,
+                                      std::span<const double> warm_start) {
+  obs::Span span("linalg.sparse_power_method", "linalg");
+  double spmv_seconds = 0.0;
+  PowerMethodResult result = sparse_power_method_impl(
+      a, opts, warm_start, span.active() ? &spmv_seconds : nullptr);
+  if (span.active()) {
+    span.arg("n", static_cast<double>(a.rows()));
+    span.arg("nnz", static_cast<double>(a.nnz()));
+    span.arg("fill_ratio", a.fill_ratio());
+    span.arg("iterations", static_cast<double>(result.iterations));
+    span.arg("converged", result.converged ? 1.0 : 0.0);
+    span.arg("warm_started", result.warm_started ? 1.0 : 0.0);
+    span.arg("spmv_seconds", spmv_seconds);
+    obs::MetricRegistry& m = obs::Recorder::instance().metrics();
+    m.counter("linalg.sparse_power.calls").add();
+    m.counter("linalg.sparse_power.iterations").add(result.iterations);
+    m.counter("linalg.spmv.applications").add(result.iterations);
+    m.counter("linalg.spmv.nnz").add(a.nnz() * result.iterations);
+    if (result.warm_started) m.counter("linalg.sparse_power.warm_starts").add();
+    if (!result.converged) m.counter("linalg.sparse_power.nonconverged").add();
+    m.histogram("linalg.sparse_power.iters_per_call")
+        .observe(static_cast<double>(result.iterations));
+    m.histogram("linalg.sparse_power.fill_pct").observe(100.0 * a.fill_ratio());
+  }
+  return result;
+}
+
+}  // namespace svo::linalg

@@ -1,0 +1,121 @@
+/// \file sparse.hpp
+/// Compressed-sparse-row (CSR) matrix and the sparse power iteration the
+/// internet-scale reputation engine runs on (DESIGN.md §4i).
+///
+/// The paper's trust matrices are 16x16 and dense; the ROADMAP regime is
+/// 100k-1M participants whose trust graphs are overwhelmingly sparse
+/// (average degree tens, not tens of thousands). This module supplies:
+///
+///  - `SparseMatrix`: immutable CSR with column-sorted rows, built from
+///    triplets; O(nnz) storage, O(row) iteration, O(log deg) lookup.
+///  - `sparse_power_method`: the sparse twin of linalg::power_method.
+///    It applies the transposed operator in *gather* form — output j is
+///    the i-ascending dot of A^T's row j with x — which makes the serial
+///    and pooled paths bit-identical to each other AND to the dense
+///    engine's summation order. Dense-vs-sparse equivalence is therefore
+///    exact, not approximate (tests/trust/sparse_reputation_test.cpp),
+///    and the pooled path is deterministic for every thread count.
+///  - Incremental re-convergence: a caller holding the previous round's
+///    eigenvector passes it as `warm_start`; the iteration starts there
+///    instead of uniform and converges in a fraction of the cold
+///    iterations when few trust edges changed (bench_trust_scale).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "linalg/power_method.hpp"
+
+namespace svo::linalg {
+
+/// One explicit entry of a sparse matrix under construction.
+struct Triplet {
+  std::size_t row = 0;
+  std::size_t col = 0;
+  double value = 0.0;
+};
+
+/// Immutable CSR matrix. Rows store column-sorted entries; exact zeros
+/// are dropped at build time, so "stored entry" always means "structural
+/// nonzero" (the dangling-row test of the power method relies on this).
+class SparseMatrix {
+ public:
+  /// Empty 0x0 matrix.
+  SparseMatrix() = default;
+
+  /// Build from triplets (any order; duplicates of the same (row, col)
+  /// are summed; entries that are — or sum to — exactly 0 are dropped).
+  /// Throws InvalidArgument on out-of-range indices or non-finite values.
+  [[nodiscard]] static SparseMatrix from_triplets(std::size_t rows,
+                                                  std::size_t cols,
+                                                  std::vector<Triplet> triplets);
+
+  /// CSR view of a dense matrix (entries exactly 0 dropped).
+  [[nodiscard]] static SparseMatrix from_dense(const Matrix& dense);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+  /// Stored (structural nonzero) entries.
+  [[nodiscard]] std::size_t nnz() const noexcept { return col_.size(); }
+  /// nnz / (rows * cols); 0 for an empty matrix.
+  [[nodiscard]] double fill_ratio() const noexcept;
+
+  /// One row's entries: parallel spans of column indices (ascending) and
+  /// values.
+  struct RowView {
+    std::span<const std::size_t> cols;
+    std::span<const double> values;
+    [[nodiscard]] std::size_t size() const noexcept { return cols.size(); }
+    [[nodiscard]] bool empty() const noexcept { return cols.empty(); }
+  };
+
+  /// Row i's stored entries. Throws InvalidArgument when out of range.
+  [[nodiscard]] RowView row(std::size_t i) const;
+
+  /// Entry (i, j); 0 when not stored. O(log deg(i)).
+  [[nodiscard]] double at(std::size_t i, std::size_t j) const;
+
+  /// Dense copy (for tests and small-k interop).
+  [[nodiscard]] Matrix to_dense() const;
+
+  /// Transposed copy (CSC of *this viewed as CSR): row j of the result
+  /// holds the incoming entries of column j, sorted by source row — the
+  /// gather layout both the sparse power method and the robust
+  /// aggregation consume.
+  [[nodiscard]] SparseMatrix transposed() const;
+
+  /// y = M x. Throws DimensionMismatch on size mismatch.
+  [[nodiscard]] std::vector<double> multiply(std::span<const double> x) const;
+
+  /// y = M^T x (no transposed copy materialized; scatter form, serial).
+  [[nodiscard]] std::vector<double> multiply_transposed(
+      std::span<const double> x) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  /// rows_ + 1 offsets into col_/val_ (empty matrix: single 0).
+  std::vector<std::size_t> row_ptr_;
+  std::vector<std::size_t> col_;
+  std::vector<double> val_;
+};
+
+/// Sparse twin of linalg::power_method: dominant *left* eigenvector of
+/// `a` by normalized power iteration, with the same dangling-row and
+/// damping conventions. Bit-identical to the dense engine on the same
+/// matrix (see the file comment), at any `opts.threads`.
+///
+/// `warm_start`, when non-empty, must have size a.rows(), be finite and
+/// non-negative with positive sum; it replaces the uniform start vector
+/// (after L1 normalization). Warm and cold runs converge to the same
+/// fixed point within `opts.epsilon` — the *iterate path* differs, so a
+/// warm result matches a cold one only up to the documented tolerance
+/// (DESIGN.md §4i); callers needing bit-identical replays must either
+/// both warm-start or both cold-start.
+[[nodiscard]] PowerMethodResult sparse_power_method(
+    const SparseMatrix& a, const PowerMethodOptions& opts = {},
+    std::span<const double> warm_start = {});
+
+}  // namespace svo::linalg

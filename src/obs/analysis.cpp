@@ -447,6 +447,11 @@ std::vector<DiffRule> default_bench_rules() {
       {"*tasks*", Direction::Exact, 0.0},
       {"*budget*", Direction::Exact, 0.0},
       {"*attack_rate*", Direction::Exact, 0.0},
+      // Sparse-trust structure echoes (BENCH_trust_scale.json): the
+      // graphs are seeded, so nnz/fill drift means the generator or the
+      // CSR build changed — gate exactly.
+      {"*fill*", Direction::Exact, 0.0},
+      {"*nnz*", Direction::Exact, 0.0},
       // Equivalence / quality booleans (all_outcomes_identical,
       // robust_beats_literal_*, *_monotone): exact.
       {"*identical*", Direction::Exact, 0.0},
@@ -454,6 +459,9 @@ std::vector<DiffRule> default_bench_rules() {
       {"*beats*", Direction::Exact, 0.0},
       {"*monotone*", Direction::Exact, 0.0},
       // Wall-clock timings vary across machines: report, never gate.
+      // spmv throughput is the headline *informational* number of the
+      // trust-scale bench (machine-bound like any wall clock).
+      {"*spmv*", Direction::Informational, 0.0},
       {"*_ms", Direction::Informational, 0.0},
       {"*_us", Direction::Informational, 0.0},
       {"*_s", Direction::Informational, 0.0},
@@ -463,6 +471,10 @@ std::vector<DiffRule> default_bench_rules() {
       // Deterministic work counters: more nodes explored is a solver
       // regression.
       {"*nodes*", Direction::LowerIsBetter, 0.10},
+      // Power-iteration convergence work (total_converge_iterations):
+      // deterministic for a seeded graph, so needing more sweeps to
+      // converge is an engine regression.
+      {"*converge*", Direction::LowerIsBetter, 0.10},
       {"*iterations*", Direction::LowerIsBetter, 0.10},
       {"*rounds*", Direction::LowerIsBetter, 0.10},
       // Robustness aggregates (streaming economy): missing deadlines or

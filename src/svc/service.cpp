@@ -203,6 +203,14 @@ FormationService::FormationService(const core::VoFormationMechanism& mechanism,
       redelivery_depth_(registry_.histogram("svc.redelivery_depth")),
       paused_(options_.start_paused),
       pool_(options_.threads == 0 ? options_.shards : options_.threads) {
+  // Shard ticks run the mechanism concurrently; ReputationCache is
+  // single-threaded by contract, so a cache-carrying mechanism would
+  // race on every full-graph compute. Per-thread incremental reuse
+  // belongs in sim::StreamEngine's per-request caches, not here.
+  svo::detail::require(
+      mechanism.config().reputation.cache == nullptr,
+      "FormationService: mechanism must not carry a ReputationCache "
+      "(shards run concurrently; the cache is not thread-safe)");
   for (const SolverFault& f : options_.faults.solver_faults) {
     solver_faults_by_ticket_.emplace(f.ticket, f.attempts);
   }

@@ -1,6 +1,10 @@
 #include "trust/hierarchy.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <unordered_map>
+
+#include "obs/trace.hpp"
 
 namespace svo::trust {
 
@@ -112,6 +116,90 @@ double ReputationHierarchy::vo_reputation(game::Coalition vo) const {
     weights.push_back(total_weight > 0.0 ? total_weight : 1e-12);
   }
   return aggregate(scores, weights);
+}
+
+ClusteredResult clustered_reputation(const TrustGraph& g,
+                                     const std::vector<std::size_t>& assignment,
+                                     const ReputationOptions& opts) {
+  opts.validate();
+  detail::require(opts.cache == nullptr,
+                  "clustered_reputation: cache not supported — the "
+                  "intermediate graphs are rebuilt per call");
+  detail::require(assignment.size() == g.size(),
+                  "clustered_reputation: one cluster id per GSP");
+  obs::Span span("trust.hierarchy.clustered", "trust");
+
+  ClusteredResult result;
+  const std::size_t n = g.size();
+  if (n == 0) return result;
+  std::size_t clusters = 0;
+  for (const std::size_t c : assignment) clusters = std::max(clusters, c + 1);
+  result.clusters = clusters;
+
+  // Cluster membership, ascending GSP ids within each cluster.
+  std::vector<std::vector<std::size_t>> members(clusters);
+  for (std::size_t i = 0; i < n; ++i) members[assignment[i]].push_back(i);
+
+  const ReputationEngine engine(opts);
+
+  // Level 1: each non-empty cluster on its induced subgraph.
+  std::vector<double> within(n, 0.0);
+  for (std::size_t c = 0; c < clusters; ++c) {
+    if (members[c].empty()) continue;
+    const ReputationResult r = engine.compute(g, members[c]);
+    result.iterations += r.iterations;
+    result.converged = result.converged && r.converged;
+    for (std::size_t k = 0; k < members[c].size(); ++k) {
+      within[members[c][k]] = r.scores[k];
+    }
+  }
+
+  // Level 2: cluster-level rollup. Edge (a, b) sums every trust edge
+  // from cluster a into cluster b, accumulated in global edge-scan
+  // order (deterministic for a given graph).
+  std::unordered_map<std::size_t, double> rollup;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t a = assignment[i];
+    for (const graph::Edge& e : g.graph().out_edges(i)) {
+      const std::size_t b = assignment[e.to];
+      if (a == b) continue;
+      rollup[a * clusters + b] += e.weight;
+    }
+  }
+  TrustGraph cluster_graph(clusters);
+  std::vector<std::size_t> keys;
+  keys.reserve(rollup.size());
+  for (const auto& [key, w] : rollup) keys.push_back(key);
+  std::sort(keys.begin(), keys.end());
+  for (const std::size_t key : keys) {
+    cluster_graph.set_trust(key / clusters, key % clusters, rollup[key]);
+  }
+  const ReputationResult cr = engine.compute(cluster_graph);
+  result.cluster_scores = cr.scores;
+  result.iterations += cr.iterations;
+  result.converged = result.converged && cr.converged;
+
+  // Final: cluster mass times within-cluster share, renormalized.
+  result.scores.resize(n, 0.0);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    result.scores[i] = result.cluster_scores[assignment[i]] * within[i];
+    sum += result.scores[i];
+  }
+  if (sum > 0.0) {
+    for (double& s : result.scores) s /= sum;
+  }
+
+  if (span.active()) {
+    span.arg("n", static_cast<double>(n));
+    span.arg("clusters", static_cast<double>(clusters));
+    span.arg("iterations", static_cast<double>(result.iterations));
+    span.arg("converged", result.converged ? 1.0 : 0.0);
+    obs::MetricRegistry& m = obs::Recorder::instance().metrics();
+    m.counter("trust.hierarchy.clustered_computes").add();
+    m.counter("trust.hierarchy.cluster_solves").add(clusters + 1);
+  }
+  return result;
 }
 
 }  // namespace svo::trust

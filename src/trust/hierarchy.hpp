@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "game/coalition.hpp"
+#include "trust/reputation.hpp"
 #include "util/error.hpp"
 
 namespace svo::trust {
@@ -77,5 +78,41 @@ class ReputationHierarchy {
   std::vector<std::vector<Entity>> entities_;
   HierarchyAggregation aggregation_;
 };
+
+/// Result of a clustered (FRTRUST-style) reputation computation.
+struct ClusteredResult {
+  /// Final per-GSP score: cluster_scores[assignment[i]] * within-cluster
+  /// score of i, L1-renormalized over all GSPs (all-zero stays all-zero).
+  std::vector<double> scores;
+  /// Inter-cluster eigenvector (one entry per cluster; empty clusters
+  /// participate as dangling nodes).
+  std::vector<double> cluster_scores;
+  /// Number of clusters (max assignment id + 1).
+  std::size_t clusters = 0;
+  /// Total power iterations across every per-cluster solve plus the
+  /// inter-cluster rollup.
+  std::size_t iterations = 0;
+  /// True iff every sub-solve converged.
+  bool converged = true;
+};
+
+/// Two-level clustered aggregation in the FRTRUST mold, the divide-and-
+/// conquer path for very large populations (DESIGN.md §4i): GSPs are
+/// partitioned by `assignment` (cluster id per GSP, ids in
+/// [0, max_id]); each non-empty cluster is scored on its induced
+/// subgraph (the engine picks dense or CSR per cluster size), then a
+/// cluster-level TrustGraph — edge (a, b) summing all trust from
+/// cluster a's members to cluster b's — is solved the same way and the
+/// two levels multiply. Empty clusters are legal and score 0; a
+/// single-GSP cluster scores its lone member 1 within the cluster;
+/// disconnected clusters fall back to the dangling-node convention.
+///
+/// `opts.cache` must be null (the intermediate graphs are rebuilt per
+/// call, so memoization can never hit; rejecting beats silently
+/// thrashing the caller's cache). Throws InvalidArgument on that, on an
+/// assignment size mismatch, or on invalid options.
+[[nodiscard]] ClusteredResult clustered_reputation(
+    const TrustGraph& g, const std::vector<std::size_t>& assignment,
+    const ReputationOptions& opts = {});
 
 }  // namespace svo::trust

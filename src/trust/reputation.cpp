@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <numeric>
+#include <span>
 
 #include "obs/trace.hpp"
 
@@ -24,7 +25,38 @@ void note_reputation(obs::Span& span, const char* mode,
   if (!r.converged) m.counter("trust.reputation.nonconverged").add();
 }
 
+/// Cache fingerprint: two power-option sets produce interchangeable
+/// results only when every knob matches (threads included — results are
+/// identical across thread counts, but keeping the fingerprint strict
+/// costs one cold start and removes a class of aliasing questions).
+bool same_power(const linalg::PowerMethodOptions& a,
+                const linalg::PowerMethodOptions& b) noexcept {
+  return a.epsilon == b.epsilon && a.max_iterations == b.max_iterations &&
+         a.damping == b.damping && a.threads == b.threads;
+}
+
 }  // namespace
+
+void ReputationOptions::validate() const {
+  power.validate();
+  robust.validate();
+  detail::require(!(robust.enabled && cache != nullptr),
+                  "ReputationOptions: cache requires the standard "
+                  "(non-robust) pipeline — the quarantine list varies per "
+                  "round, so memoization would be incorrect");
+}
+
+bool ReputationEngine::use_sparse(std::size_t n) const noexcept {
+  switch (opts_.backend) {
+    case TrustBackend::Dense:
+      return false;
+    case TrustBackend::Sparse:
+      return true;
+    case TrustBackend::Auto:
+      break;
+  }
+  return n > opts_.sparse_threshold;
+}
 
 ReputationResult ReputationEngine::from_matrix(const linalg::Matrix& a) const {
   obs::Span span("trust.reputation.compute", "trust");
@@ -38,15 +70,92 @@ ReputationResult ReputationEngine::from_matrix(const linalg::Matrix& a) const {
   return r;
 }
 
+ReputationResult ReputationEngine::from_sparse(
+    const linalg::SparseMatrix& a) const {
+  obs::Span span("trust.reputation.compute", "trust");
+  ReputationResult r;
+  const linalg::PowerMethodResult pm =
+      linalg::sparse_power_method(a, opts_.power);
+  r.scores = pm.eigenvector;
+  r.iterations = pm.iterations;
+  r.converged = pm.converged;
+  r.average = average_reputation(r.scores);
+  note_reputation(span, "sparse", r);
+  return r;
+}
+
+ReputationResult ReputationEngine::full_sparse(const TrustGraph& g) const {
+  ReputationCache* cache = opts_.cache;
+  if (cache == nullptr) return from_sparse(g.normalized_sparse());
+
+  obs::Span span("trust.reputation.compute", "trust");
+  obs::MetricRegistry& m = obs::Recorder::instance().metrics();
+  const bool keyed = cache->has_entry_ && cache->graph_uid_ == g.uid() &&
+                     same_power(cache->power_, opts_.power);
+  if (keyed && cache->graph_version_ == g.version()) {
+    // Exact reuse: the compute is deterministic, so returning the memo
+    // is bit-identical to re-running it.
+    ++cache->stats_.exact_hits;
+    note_reputation(span, "sparse-cached", cache->result_);
+    if (span.active()) m.counter("trust.reputation.cache_exact_hits").add();
+    return cache->result_;
+  }
+
+  std::span<const double> warm;
+  if (keyed && cache->result_.converged &&
+      cache->result_.scores.size() == g.size()) {
+    const auto delta = g.edges_changed_since(cache->graph_version_);
+    if (delta.has_value() && delta->size() <= opts_.warm_max_delta) {
+      warm = cache->result_.scores;
+    }
+  }
+
+  const linalg::PowerMethodResult pm =
+      linalg::sparse_power_method(g.normalized_sparse(), opts_.power, warm);
+  ReputationResult r;
+  r.scores = pm.eigenvector;
+  r.iterations = pm.iterations;
+  r.converged = pm.converged;
+  r.average = average_reputation(r.scores);
+
+  if (pm.warm_started) {
+    ++cache->stats_.warm_starts;
+    const std::size_t saved =
+        cache->cold_iterations_ > pm.iterations
+            ? cache->cold_iterations_ - pm.iterations
+            : 0;
+    cache->stats_.iterations_saved += saved;
+    if (span.active()) {
+      m.counter("trust.reputation.warm_starts").add();
+      m.counter("trust.reputation.iterations_saved").add(saved);
+    }
+  } else {
+    ++cache->stats_.cold_starts;
+    cache->cold_iterations_ = pm.iterations;
+    if (span.active()) m.counter("trust.reputation.cold_starts").add();
+  }
+  cache->has_entry_ = true;
+  cache->graph_uid_ = g.uid();
+  cache->graph_version_ = g.version();
+  cache->power_ = opts_.power;
+  cache->result_ = r;
+  note_reputation(span, pm.warm_started ? "sparse-warm" : "sparse", r);
+  return r;
+}
+
 ReputationResult ReputationEngine::compute_robust(
     const TrustGraph& g, const std::vector<std::size_t>& members) const {
   obs::Span span("trust.reputation.compute", "trust");
   opts_.robust.validate();
   const std::size_t c = members.size();
+  const bool sparse = use_sparse(c);
 
   std::vector<double> weights(c, 1.0);
   if (opts_.robust.credibility_weighting) {
-    weights = rater_credibility(g, members, opts_.robust.credibility_strength);
+    weights = sparse ? rater_credibility(g.raw_sparse(members),
+                                         opts_.robust.credibility_strength)
+                     : rater_credibility(g, members,
+                                         opts_.robust.credibility_strength);
   }
   // Quarantined (fresh) identities rate — and are scored — at a
   // discounted prior. `fresh` holds global GSP ids; remap to coalition
@@ -62,10 +171,15 @@ ReputationResult ReputationEngine::compute_robust(
     weights[p] *= opts_.robust.quarantine_prior;
   }
 
-  const linalg::PowerMethodResult pm = robust_power_method(
-      g.normalized_matrix(members), weights, opts_.power,
-      opts_.robust.aggregation, opts_.robust.trim_fraction,
-      opts_.robust.mom_buckets);
+  const linalg::PowerMethodResult pm =
+      sparse ? robust_power_method(g.normalized_sparse(members), weights,
+                                   opts_.power, opts_.robust.aggregation,
+                                   opts_.robust.trim_fraction,
+                                   opts_.robust.mom_buckets)
+             : robust_power_method(g.normalized_matrix(members), weights,
+                                   opts_.power, opts_.robust.aggregation,
+                                   opts_.robust.trim_fraction,
+                                   opts_.robust.mom_buckets);
 
   ReputationResult r;
   r.scores = pm.eigenvector;
@@ -82,27 +196,33 @@ ReputationResult ReputationEngine::compute_robust(
     }
   }
   r.average = average_reputation(r.scores);
-  note_reputation(span, "robust", r);
+  note_reputation(span, sparse ? "robust-sparse" : "robust", r);
   return r;
 }
 
 ReputationResult ReputationEngine::compute(const TrustGraph& g) const {
+  opts_.validate();
   if (opts_.robust.enabled) {
     std::vector<std::size_t> all(g.size());
     std::iota(all.begin(), all.end(), std::size_t{0});
     return compute_robust(g, all);
   }
+  if (use_sparse(g.size())) return full_sparse(g);
   return from_matrix(g.normalized_matrix());
 }
 
 ReputationResult ReputationEngine::compute(
     const TrustGraph& g, const std::vector<std::size_t>& members) const {
+  opts_.validate();
   if (members.empty()) {
     ReputationResult r;
     r.converged = true;
     return r;
   }
   if (opts_.robust.enabled) return compute_robust(g, members);
+  if (use_sparse(members.size())) {
+    return from_sparse(g.normalized_sparse(members));
+  }
   return from_matrix(g.normalized_matrix(members));
 }
 

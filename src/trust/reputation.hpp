@@ -3,12 +3,23 @@
 /// dominant left eigenvector of the (coalition-restricted) normalized
 /// trust matrix, found by power iteration; plus the average global
 /// reputation of eq. (7) used as the VO-level metric.
+///
+/// Storage-polymorphic since DESIGN.md §4i: small coalitions solve on
+/// the dense matrix exactly as the paper does; above a threshold the
+/// engine switches to the CSR backend, whose gather-form iteration is
+/// bit-identical to the dense one — the backend is an implementation
+/// detail, never a semantic knob. An optional ReputationCache makes
+/// repeated full-graph computes incremental: unchanged graphs return the
+/// cached result outright, small edge deltas warm-start the iteration
+/// from the previous eigenvector.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "linalg/power_method.hpp"
+#include "linalg/sparse.hpp"
 #include "trust/robust.hpp"
 #include "trust/trust_graph.hpp"
 
@@ -28,6 +39,71 @@ struct ReputationResult {
   bool converged = false;
 };
 
+/// Which matrix storage the engine solves on.
+enum class TrustBackend {
+  /// Dense at or below ReputationOptions::sparse_threshold, CSR above —
+  /// the default; both sides produce bit-identical results.
+  Auto,
+  /// Always dense (the paper's literal layout; O(n^2) memory).
+  Dense,
+  /// Always CSR (O(nnz) memory; required beyond ~10k participants).
+  Sparse,
+};
+
+/// Memo of the last full-graph standard (non-robust) compute, keyed by
+/// (TrustGraph::uid, TrustGraph::version, power options). Three regimes:
+///
+///  - exact hit — same uid and version: the cached result is returned
+///    without touching the matrix. Bit-identical to recomputing, because
+///    the compute is deterministic.
+///  - warm start — same uid, version advanced by at most
+///    ReputationOptions::warm_max_delta logged edge changes: the cached
+///    eigenvector seeds the power iteration. Converges to the same fixed
+///    point within epsilon in far fewer iterations, but the iterate path
+///    differs from a cold start: warm results match cold ones only up to
+///    the convergence tolerance (DESIGN.md §4i).
+///  - cold start — first sight, options changed, delta too large, or the
+///    graph's bounded change log no longer covers the gap.
+///
+/// NOT thread-safe: one cache per computing thread (svc::FormationService
+/// rejects a shared cache at construction for exactly this reason).
+/// Ignored by coalition-restricted and robust computes.
+class ReputationCache {
+ public:
+  /// Observability counters, cumulative since construction/clear().
+  struct Stats {
+    std::uint64_t exact_hits = 0;
+    std::uint64_t warm_starts = 0;
+    std::uint64_t cold_starts = 0;
+    /// Sum over warm starts of (iterations of the last cold solve on
+    /// this graph - iterations actually run); the headline number
+    /// bench_trust_scale gates on.
+    std::uint64_t iterations_saved = 0;
+  };
+
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+  /// Drop the memo and zero the stats.
+  void clear() noexcept {
+    has_entry_ = false;
+    stats_ = Stats{};
+  }
+
+ private:
+  friend class ReputationEngine;
+
+  bool has_entry_ = false;
+  std::uint64_t graph_uid_ = 0;
+  std::uint64_t graph_version_ = 0;
+  /// Options fingerprint: a memo computed under different power options
+  /// is neither returned nor used as a warm seed.
+  linalg::PowerMethodOptions power_;
+  ReputationResult result_;
+  /// Iterations of the most recent cold solve (warm-start savings base).
+  std::size_t cold_iterations_ = 0;
+  Stats stats_;
+};
+
 /// Options for the engine. Defaults: epsilon 1e-9, damping 0.15
 /// (DESIGN.md §4.1 — set damping to 0 for the paper's literal iteration).
 /// `robust` defaults to disabled, in which case the engine runs the
@@ -36,12 +112,30 @@ struct ReputationResult {
 struct ReputationOptions {
   linalg::PowerMethodOptions power;
   RobustOptions robust;
+  /// Matrix storage selection (see TrustBackend).
+  TrustBackend backend = TrustBackend::Auto;
+  /// Auto switches to CSR strictly above this solved dimension. 64 keeps
+  /// every paper-scale experiment (k <= 16) on the literal dense path.
+  std::size_t sparse_threshold = 64;
+  /// Optional incremental cache for full-graph standard computes; the
+  /// caller owns it and must not share it across threads. Must be null
+  /// when `robust.enabled` (the robust pipeline's quarantine list varies
+  /// per round, so memoization would be incorrect).
+  ReputationCache* cache = nullptr;
+  /// Warm-start only when at most this many edge changes separate the
+  /// cached eigenvector from the current graph; larger deltas cold-start.
+  std::size_t warm_max_delta = 64;
+
+  /// Throws InvalidArgument on invalid power/robust knobs or on
+  /// `cache != nullptr && robust.enabled`.
+  void validate() const;
 };
 
 /// Computes global reputation vectors for GSP coalitions.
 class ReputationEngine {
  public:
-  explicit ReputationEngine(ReputationOptions opts = {}) : opts_(opts) {}
+  explicit ReputationEngine(ReputationOptions opts = {})
+      : opts_(std::move(opts)) {}
 
   /// Score every GSP in the trust graph.
   [[nodiscard]] ReputationResult compute(const TrustGraph& g) const;
@@ -56,10 +150,17 @@ class ReputationEngine {
   }
 
  private:
+  /// True when dimension n solves on the CSR backend.
+  [[nodiscard]] bool use_sparse(std::size_t n) const noexcept;
   [[nodiscard]] ReputationResult from_matrix(const linalg::Matrix& a) const;
+  /// Standard sparse solve of a coalition CSR (no cache).
+  [[nodiscard]] ReputationResult from_sparse(const linalg::SparseMatrix& a) const;
+  /// Standard full-graph sparse solve with cache/warm-start handling.
+  [[nodiscard]] ReputationResult full_sparse(const TrustGraph& g) const;
   /// Defended pipeline (opts_.robust.enabled): credibility-weighted,
   /// outlier-resistant power iteration plus quarantine of fresh
   /// identities. `members` are original GSP ids, strictly increasing.
+  /// Dense and sparse flavors are bit-identical.
   [[nodiscard]] ReputationResult compute_robust(
       const TrustGraph& g, const std::vector<std::size_t>& members) const;
 

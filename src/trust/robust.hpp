@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "linalg/power_method.hpp"
+#include "linalg/sparse.hpp"
 #include "trust/trust_graph.hpp"
 
 namespace svo::trust {
@@ -92,6 +93,30 @@ struct RobustOptions {
 /// be positive and <= 1, one per row of `a`.
 [[nodiscard]] linalg::PowerMethodResult robust_power_method(
     const linalg::Matrix& a, const std::vector<double>& weights,
+    const linalg::PowerMethodOptions& power, RowAggregation aggregation,
+    double trim_fraction, std::size_t mom_buckets);
+
+/// Sparse twin of consensus_opinions: per-trustee median over the
+/// clamped stored reports of `raw` = TrustGraph::raw_sparse(members).
+/// Bit-identical to the dense overload on the same coalition — stored
+/// entries are exactly the u > 0 reports, gathered in the same
+/// rater-ascending order (DESIGN.md §4i).
+[[nodiscard]] std::vector<double> consensus_opinions(
+    const linalg::SparseMatrix& raw);
+
+/// Sparse twin of rater_credibility; same bit-identity contract.
+[[nodiscard]] std::vector<double> rater_credibility(
+    const linalg::SparseMatrix& raw, double strength);
+
+/// Sparse twin of robust_power_method over the normalized coalition CSR.
+/// Contributions for trustee j are gathered from the transposed matrix's
+/// row j in rater-ascending order — the dense loop's exact order — and
+/// zero-valued contributions (x_i == 0) are *kept*, because they
+/// participate in the trimmed / median-of-means order statistics.
+/// Dangling raters hold no stored entries, so they are excluded
+/// structurally, as the dense loop excludes them explicitly.
+[[nodiscard]] linalg::PowerMethodResult robust_power_method(
+    const linalg::SparseMatrix& a, const std::vector<double>& weights,
     const linalg::PowerMethodOptions& power, RowAggregation aggregation,
     double trim_fraction, std::size_t mom_buckets);
 

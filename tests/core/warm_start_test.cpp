@@ -98,39 +98,6 @@ TEST(MechanismWarmStartTest, WarmRunsActuallyReuseIncumbents) {
   EXPECT_FALSE(warm.journal.front().stats.warm_start_used);
 }
 
-// The deprecated positional wrappers must stay bit-identical to the
-// FormationRequest entry point for as long as they exist — this test is
-// the only in-repo caller and suppresses the deprecation on purpose.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-TEST(MechanismWarmStartTest, WrapperOverloadsMatchFormationRequest) {
-  const ip::BnbAssignmentSolver solver;
-  const TvofMechanism tvof(solver);
-  const Fixture f = make_fixture(6, 14, 17);
-
-  util::Xoshiro256 rng_wrap(33);
-  const MechanismResult via_wrapper = tvof.run(f.instance, f.trust, rng_wrap);
-  util::Xoshiro256 rng_req(33);
-  const MechanismResult via_request =
-      tvof.run(FormationRequest{f.instance, f.trust, rng_req});
-  expect_identical_outcomes(via_wrapper, via_request, "grand coalition");
-  EXPECT_EQ(via_wrapper.stats.nodes, via_request.stats.nodes);
-  // Both consumed the RNG identically.
-  EXPECT_EQ(rng_wrap(), rng_req());
-
-  const game::Coalition pool =
-      game::Coalition::all(f.instance.num_gsps()).without(0);
-  util::Xoshiro256 rng_wrap4(71);
-  const MechanismResult via_wrapper4 =
-      tvof.run(f.instance, f.trust, rng_wrap4, pool);
-  util::Xoshiro256 rng_req4(71);
-  const MechanismResult via_request4 =
-      tvof.run(FormationRequest{f.instance, f.trust, rng_req4, pool});
-  expect_identical_outcomes(via_wrapper4, via_request4, "restricted pool");
-  EXPECT_EQ(via_wrapper4.stats.nodes, via_request4.stats.nodes);
-}
-#pragma GCC diagnostic pop
-
 TEST(MechanismWarmStartTest, PolicyDoesNotPerturbRngConsumption) {
   // Warm repair is deterministic and must not touch the mechanism RNG:
   // after a run under either policy the RNG must sit at the same point.

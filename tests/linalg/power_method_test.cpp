@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "util/rng.hpp"
 
 namespace svo::linalg {
@@ -139,6 +141,42 @@ TEST_P(PowerMethodPropertyTest, FixedPointProperties) {
 
 INSTANTIATE_TEST_SUITE_P(RandomStochastic, PowerMethodPropertyTest,
                          ::testing::Range(1, 21));
+
+TEST(PowerMethodOptionsTest, ValidateAcceptsDefaultsAndSaneKnobs) {
+  EXPECT_NO_THROW(PowerMethodOptions{}.validate());
+  PowerMethodOptions o;
+  o.epsilon = 1e-3;
+  o.max_iterations = 1;
+  o.damping = 0.0;
+  o.threads = 8;
+  EXPECT_NO_THROW(o.validate());
+}
+
+TEST(PowerMethodOptionsTest, ValidateRejectsEachBadKnob) {
+  const auto expect_invalid = [](auto mutate) {
+    PowerMethodOptions o;
+    mutate(o);
+    EXPECT_THROW(o.validate(), InvalidArgument);
+    // The engines surface the same error before touching the matrix.
+    const Matrix a = Matrix::from_rows({{0.0, 1.0}, {1.0, 0.0}});
+    EXPECT_THROW((void)power_method(a, o), InvalidArgument);
+  };
+  expect_invalid([](PowerMethodOptions& o) { o.epsilon = 0.0; });
+  expect_invalid([](PowerMethodOptions& o) { o.epsilon = -1e-9; });
+  expect_invalid([](PowerMethodOptions& o) {
+    o.epsilon = std::numeric_limits<double>::quiet_NaN();
+  });
+  expect_invalid([](PowerMethodOptions& o) {
+    o.epsilon = std::numeric_limits<double>::infinity();
+  });
+  expect_invalid([](PowerMethodOptions& o) { o.max_iterations = 0; });
+  expect_invalid([](PowerMethodOptions& o) { o.damping = -0.1; });
+  expect_invalid([](PowerMethodOptions& o) { o.damping = 1.0; });
+  expect_invalid([](PowerMethodOptions& o) {
+    o.damping = std::numeric_limits<double>::quiet_NaN();
+  });
+  expect_invalid([](PowerMethodOptions& o) { o.threads = 0; });
+}
 
 }  // namespace
 }  // namespace svo::linalg

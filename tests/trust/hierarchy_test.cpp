@@ -3,6 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <vector>
+
+#include "util/rng.hpp"
 
 namespace svo::trust {
 namespace {
@@ -81,6 +84,103 @@ TEST(HierarchyTest, ValidatesArguments) {
   EXPECT_THROW(h.record_entity_outcome(0, 0, 2.0), InvalidArgument);
   EXPECT_THROW((void)h.organization_reputation(9), InvalidArgument);
   EXPECT_THROW((void)h.vo_reputation(game::Coalition::of({9})),
+               InvalidArgument);
+}
+
+TEST(ClusteredReputationTest, ThreeClustersMultiplyLevels) {
+  // Clusters {0,1}, {2,3}, {4,5}. Clusters 0 and 2 both send all their
+  // inter-cluster trust to cluster 1, which splits its own evenly — so
+  // cluster 1 must outrank both at level 2 (row normalization makes a
+  // 2-cluster rollup trivially uniform; three are needed for asymmetry).
+  TrustGraph g(6);
+  for (const std::size_t base : {0u, 2u, 4u}) {
+    g.set_trust(base, base + 1, 0.5);
+    g.set_trust(base + 1, base, 0.5);
+  }
+  g.set_trust(0, 2, 0.9);   // cluster 0 -> cluster 1
+  g.set_trust(4, 2, 0.9);   // cluster 2 -> cluster 1
+  g.set_trust(2, 0, 0.45);  // cluster 1 -> cluster 0
+  g.set_trust(2, 4, 0.45);  // cluster 1 -> cluster 2
+  const ClusteredResult r = clustered_reputation(g, {0, 0, 1, 1, 2, 2});
+  EXPECT_TRUE(r.converged);
+  EXPECT_EQ(r.clusters, 3u);
+  ASSERT_EQ(r.scores.size(), 6u);
+  ASSERT_EQ(r.cluster_scores.size(), 3u);
+  EXPECT_GT(r.cluster_scores[1], r.cluster_scores[0]);
+  EXPECT_GT(r.cluster_scores[1], r.cluster_scores[2]);
+  double sum = 0.0;
+  for (const double s : r.scores) {
+    EXPECT_GE(s, 0.0);
+    sum += s;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);  // renormalized
+}
+
+TEST(ClusteredReputationTest, EmptyClustersAreLegalAndScoreZero) {
+  TrustGraph g(3);
+  g.set_trust(0, 1, 0.5);
+  g.set_trust(1, 0, 0.5);
+  // Cluster ids {0, 0, 3}: clusters 1 and 2 are empty.
+  const ClusteredResult r = clustered_reputation(g, {0, 0, 3});
+  EXPECT_EQ(r.clusters, 4u);
+  ASSERT_EQ(r.cluster_scores.size(), 4u);
+  EXPECT_GT(r.cluster_scores[0], 0.0);
+  // Empty clusters hold no members, so no GSP score draws on them; all
+  // mass lives on the populated clusters.
+  double sum = 0.0;
+  for (const double s : r.scores) sum += s;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(ClusteredReputationTest, SingleNodeGraph) {
+  TrustGraph g(1);
+  const ClusteredResult r = clustered_reputation(g, {0});
+  ASSERT_EQ(r.scores.size(), 1u);
+  EXPECT_NEAR(r.scores[0], 1.0, 1e-12);
+  EXPECT_TRUE(r.converged);
+}
+
+TEST(ClusteredReputationTest, DisconnectedComponentsUseDanglingConvention) {
+  // Two islands in separate clusters, no inter-cluster trust at all: the
+  // rollup graph is empty, both clusters are dangling, and the level-2
+  // solve still converges (uniform over clusters).
+  TrustGraph g(4);
+  g.set_trust(0, 1, 0.7);
+  g.set_trust(1, 0, 0.7);
+  g.set_trust(2, 3, 0.7);
+  g.set_trust(3, 2, 0.7);
+  const ClusteredResult r = clustered_reputation(g, {0, 0, 1, 1});
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.cluster_scores[0], r.cluster_scores[1], 1e-9);
+  EXPECT_NEAR(r.scores[0], 0.25, 1e-6);
+  EXPECT_NEAR(r.scores[3], 0.25, 1e-6);
+}
+
+TEST(ClusteredReputationTest, OneClusterMatchesFlatEngine) {
+  // A single cluster collapses to the flat computation up to the final
+  // renormalization (the lone cluster scores 1 at level 2).
+  util::Xoshiro256 rng(17);
+  const TrustGraph g = random_trust_graph(12, 0.35, rng);
+  const ClusteredResult r =
+      clustered_reputation(g, std::vector<std::size_t>(12, 0));
+  const ReputationResult flat = ReputationEngine().compute(g);
+  ASSERT_EQ(r.scores.size(), flat.scores.size());
+  for (std::size_t i = 0; i < 12; ++i) {
+    EXPECT_NEAR(r.scores[i], flat.scores[i], 1e-12);
+  }
+}
+
+TEST(ClusteredReputationTest, ValidatesArguments) {
+  TrustGraph g(3);
+  EXPECT_THROW((void)clustered_reputation(g, {0, 0}), InvalidArgument);
+  ReputationCache cache;
+  ReputationOptions with_cache;
+  with_cache.cache = &cache;
+  EXPECT_THROW((void)clustered_reputation(g, {0, 0, 0}, with_cache),
+               InvalidArgument);
+  ReputationOptions bad;
+  bad.power.epsilon = 0.0;
+  EXPECT_THROW((void)clustered_reputation(g, {0, 0, 0}, bad),
                InvalidArgument);
 }
 

@@ -30,17 +30,20 @@ export ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1:strict_string_checks=1}"
 export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}"
 
 # Smoke slice first (tests/CMakeLists.txt `smoke`, `smoke_stream`,
-# `smoke_service` and `smoke_service_chaos` labels): the warm-start,
-# adversarial-trust, streaming-churn and formation-service tests fail in
-# seconds when the incremental solve path, the defenses-off equivalence,
-# the churn schedule/quarantine invariants, or the service's
-# single-shard ≡ direct-run contract break, before the full suite spends
-# its minutes. The service tests in particular put the sharded
-# submit/cancel/drain paths under ASan/UBSan, where ticket lifetime bugs
-# surface; the chaos slice adds the retry/restart/cancel-race paths,
-# which cross threads mid-failure and are where use-after-free bugs in
-# re-queued tickets would hide.
-ctest --preset asan-ubsan -L 'smoke|smoke_stream|smoke_service|smoke_service_chaos' --output-on-failure
+# `smoke_service`, `smoke_service_chaos` and `smoke_trust_scale`
+# labels): the warm-start, adversarial-trust, streaming-churn,
+# formation-service and sparse-trust tests fail in seconds when the
+# incremental solve path, the defenses-off equivalence, the churn
+# schedule/quarantine invariants, the service's single-shard ≡
+# direct-run contract, or the sparse-vs-dense bit-identity break,
+# before the full suite spends its minutes. The service tests in
+# particular put the sharded submit/cancel/drain paths under
+# ASan/UBSan, where ticket lifetime bugs surface; the chaos slice adds
+# the retry/restart/cancel-race paths, which cross threads mid-failure
+# and are where use-after-free bugs in re-queued tickets would hide;
+# the trust-scale slice drives the pooled gather-spmv kernel, the one
+# new parallel code path of the sparse engine.
+ctest --preset asan-ubsan -L 'smoke|smoke_stream|smoke_service|smoke_service_chaos|smoke_trust_scale' --output-on-failure
 
 if [[ "$smoke_only" == "1" ]]; then
   exit 0
