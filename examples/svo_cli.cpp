@@ -37,6 +37,9 @@
 ///       --absence S   (default 600) --floor N     (default 1)
 ///       --mechanism tvof|rvof       --seed S      (default 42)
 ///       --ingest sweep|atlas        --timeline    (print event log)
+///       --stats-every S  (virtual-time telemetry windows every S
+///                         virtual seconds: per-window table + SLO
+///                         burn-rate verdicts after the run)
 ///   svo_cli serve [options]                     formation-as-a-service: a
 ///                                               burst of requests through
 ///                                               the sharded async engine
@@ -52,6 +55,10 @@
 ///       --retries N   (retry budget per request; default 0, or 3
 ///                      under --chaos; max 32)
 ///       --seed S      (default 42)
+///       --stats-every S    (live telemetry: close a metrics window
+///                           every S wall seconds and print a windowed
+///                           health table while the burst drains)
+///       --stats-jsonl F    (append every closed window to F as JSONL)
 ///   svo_cli trace-report <trace> [options]        analyze a recorded trace
 ///                                               (Chrome JSON or JSONL):
 ///                                               hot spans, message counts,
@@ -66,6 +73,7 @@
 ///                    equivalent to SVO_TRACE=<file>. SVO_METRICS=<file>
 ///                    additionally dumps the metric registry JSON.
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -73,6 +81,7 @@
 #include <iostream>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/distributed_tvof.hpp"
@@ -80,6 +89,8 @@
 #include "core/tvof.hpp"
 #include "ip/bnb.hpp"
 #include "obs/analysis.hpp"
+#include "obs/slo.hpp"
+#include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
 #include "util/env.hpp"
 #include "sim/adversary.hpp"
@@ -456,6 +467,27 @@ int cmd_stream(int argc, char** argv) {
     std::fprintf(stderr, "unknown --ingest %s\n", ingest);
     return 2;
   }
+  const double stats_every =
+      std::strtod(opt(argc, argv, "--stats-every", "0"), nullptr);
+  if (stats_every > 0.0) {
+    opts.stats_window_seconds = stats_every;
+    // Default objectives over the stream.* window metrics: commit
+    // latency p99 inside ten arrival intervals, and at most a quarter
+    // of arriving requests shed or timed out per window.
+    obs::SloObjective latency;
+    latency.name = "commit_latency_p99";
+    latency.kind = obs::SloKind::QuantileBelow;
+    latency.metric = "stream.formation_latency_s";
+    latency.quantile = 0.99;
+    latency.threshold = 10.0 * opts.arrival_interval_seconds;
+    obs::SloObjective rejects;
+    rejects.name = "reject_rate";
+    rejects.kind = obs::SloKind::RatioBelow;
+    rejects.metric = "stream.request_shed";
+    rejects.denominator = "stream.request_arrival";
+    rejects.threshold = 0.25;
+    opts.slos = {latency, rejects};
+  }
 
   const sim::StreamEngine engine(opts);
   const sim::StreamResult result = engine.run();
@@ -477,6 +509,37 @@ int cmd_stream(int argc, char** argv) {
   if (result.lost > 0) {
     std::printf("LOST REQUESTS:       %zu (invariant violation!)\n",
                 result.lost);
+  }
+  if (!result.windows.empty()) {
+    std::printf("\n%-6s %-18s %8s %8s %8s %6s %6s %12s\n", "window",
+                "span (virtual s)", "arrivals", "commits", "timeout",
+                "crash", "live", "p99 lat (s)");
+    for (const obs::Window& w : result.windows) {
+      const obs::Histogram::Snapshot lat =
+          w.histogram("stream.formation_latency_s");
+      std::printf("%-6llu [%7.1f,%7.1f) %8llu %8llu %8llu %6llu %6.0f %12.2f\n",
+                  static_cast<unsigned long long>(w.index), w.start_time,
+                  w.end_time,
+                  static_cast<unsigned long long>(
+                      w.counter("stream.request_arrival")),
+                  static_cast<unsigned long long>(
+                      w.counter("stream.formation_commit")),
+                  static_cast<unsigned long long>(
+                      w.counter("stream.request_timed_out")),
+                  static_cast<unsigned long long>(
+                      w.counter("stream.gsp_crashed")),
+                  w.gauge("stream.live"),
+                  lat.count > 0 ? lat.quantile(0.99) : 0.0);
+    }
+    for (const obs::SloStatus& s : result.slo_status) {
+      std::printf("slo %-20s %llu/%llu windows violated, budget %.2f, "
+                  "burn fast %.2f / slow %.2f -> %s\n",
+                  s.name.c_str(),
+                  static_cast<unsigned long long>(s.violations),
+                  static_cast<unsigned long long>(s.windows),
+                  s.budget_consumed, s.fast_burn, s.slow_burn,
+                  s.breached ? "BREACHED" : "ok");
+    }
   }
   bool timeline = false;
   for (int i = 0; i < argc; ++i) {
@@ -543,6 +606,34 @@ int cmd_serve(int argc, char** argv) {
   const unsigned long retries = std::strtoul(
       opt(argc, argv, "--retries", chaos ? "3" : "0"), nullptr, 10);
 
+  const double stats_every =
+      std::strtod(opt(argc, argv, "--stats-every", "0"), nullptr);
+  if (stats_every > 0.0) {
+    sopt.stats_window_seconds = stats_every;
+    if (const char* jsonl = opt(argc, argv, "--stats-jsonl", nullptr)) {
+      sopt.stats_jsonl_path = jsonl;
+    }
+    // Default objectives: queue p99 under half a second, at most a
+    // fifth of attempts failing, and nothing expiring in queue.
+    obs::SloObjective queue_p99;
+    queue_p99.name = "queue_p99_us";
+    queue_p99.kind = obs::SloKind::QuantileBelow;
+    queue_p99.metric = "svc.queue_us";
+    queue_p99.quantile = 0.99;
+    queue_p99.threshold = 500000.0;
+    obs::SloObjective failure_rate;
+    failure_rate.name = "failure_rate";
+    failure_rate.kind = obs::SloKind::RatioBelow;
+    failure_rate.metric = "svc.failed";
+    failure_rate.denominator = "svc.solver_runs";
+    failure_rate.threshold = 0.2;
+    obs::SloObjective expired;
+    expired.name = "expired";
+    expired.kind = obs::SloKind::CounterZero;
+    expired.metric = "svc.expired";
+    sopt.slos = {queue_p99, failure_rate, expired};
+  }
+
   // Small pool of synthetic Table-I instances (no trace needed): a burst
   // of requests over a few distinct markets, like the throughput bench.
   constexpr std::size_t kPool = 4;
@@ -577,6 +668,38 @@ int cmd_serve(int argc, char** argv) {
     req.max_retries = static_cast<std::uint32_t>(
         std::min<unsigned long>(retries, 0xFFFFFFFFul));
     handles.push_back(service.submit(req));
+  }
+  if (stats_every > 0.0) {
+    // Live windowed health table while the burst drains: poll health()
+    // once per window instead of blocking in drain().
+    std::printf("%-8s %-8s %-6s %-6s %10s %10s %-6s %s\n", "wall s",
+                "windows", "outst", "depth", "q p99 us", "s p99 us", "over",
+                "slo");
+    const auto print_row = [&service](double now) {
+      svc::ServiceHealth h = service.health();
+      std::size_t depth = 0;
+      for (const svc::ShardHealth& sh : h.shards) depth += sh.queue_depth;
+      std::size_t breached = 0;
+      for (const obs::SloStatus& s : h.slos) breached += s.breached ? 1 : 0;
+      std::printf("%-8.2f %-8llu %-6llu %-6zu %10.0f %10.0f %-6s "
+                  "%zu/%zu breached\n",
+                  now, static_cast<unsigned long long>(h.windows_closed),
+                  static_cast<unsigned long long>(h.outstanding), depth,
+                  h.queue_p99_us, h.solve_p99_us,
+                  h.overloaded ? "YES" : "no", breached, h.slos.size());
+    };
+    while (true) {
+      print_row(timer.seconds());
+      bool all_done = true;
+      for (const svc::RequestHandle& h : handles) {
+        if (!h.done()) {
+          all_done = false;
+          break;
+        }
+      }
+      if (all_done) break;
+      std::this_thread::sleep_for(std::chrono::duration<double>(stats_every));
+    }
   }
   service.drain();
   const double elapsed = timer.seconds();
@@ -623,6 +746,19 @@ int cmd_serve(int argc, char** argv) {
               stats.queue_p50_us, stats.queue_p99_us);
   std::printf("solve latency:    p50 %.0f us, p99 %.0f us\n",
               stats.solve_p50_us, stats.solve_p99_us);
+  if (stats_every > 0.0) {
+    const svc::ServiceHealth h = service.health();
+    std::printf("telemetry:        %llu windows closed (%.2fs each)\n",
+                static_cast<unsigned long long>(h.windows_closed),
+                stats_every);
+    for (const obs::SloStatus& s : h.slos) {
+      std::printf("slo %-16s %llu/%llu windows violated, budget %.2f -> %s\n",
+                  s.name.c_str(),
+                  static_cast<unsigned long long>(s.violations),
+                  static_cast<unsigned long long>(s.windows),
+                  s.budget_consumed, s.breached ? "BREACHED" : "ok");
+    }
+  }
   for (const svc::RequestHandle& h : handles) {
     if (h.poll() != svc::TicketState::Done) continue;
     const svc::RequestOutcome& out = h.outcome();

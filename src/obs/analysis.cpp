@@ -452,6 +452,17 @@ std::vector<DiffRule> default_bench_rules() {
       // CSR build changed — gate exactly.
       {"*fill*", Direction::Exact, 0.0},
       {"*nnz*", Direction::Exact, 0.0},
+      // Continuous-telemetry aggregates (BENCH_telemetry.json): the
+      // sampler-overhead ratio is wall clock — report only. Window
+      // counts, SLO verdicts and burn rates come from virtual-time
+      // replays, so they are deterministic — gate exactly. These sit
+      // before the wall-clock rules on purpose: stats_window_seconds
+      // is a config echo, and "*seconds*" would otherwise swallow it
+      // as informational (first match wins).
+      {"*overhead*", Direction::Informational, 0.0},
+      {"*window*", Direction::Exact, 0.0},
+      {"*slo*", Direction::Exact, 0.0},
+      {"*burn*", Direction::Exact, 0.0},
       // Equivalence / quality booleans (all_outcomes_identical,
       // robust_beats_literal_*, *_monotone): exact.
       {"*identical*", Direction::Exact, 0.0},

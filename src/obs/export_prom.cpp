@@ -1,0 +1,118 @@
+#include "obs/export_prom.hpp"
+
+#include <cmath>
+#include <ostream>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/timeseries.hpp"
+
+namespace svo::obs {
+
+std::string prometheus_name(std::string_view name) {
+  std::string out;
+  out.reserve(name.size() + 1);
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  if (!out.empty() && out.front() >= '0' && out.front() <= '9') {
+    out.insert(out.begin(), '_');
+  }
+  return out;
+}
+
+namespace {
+
+std::string family(std::string_view prefix, const std::string& name) {
+  if (prefix.empty()) return prometheus_name(name);
+  return prometheus_name(std::string(prefix) + "_" + name);
+}
+
+/// Doubles in exposition format: plain shortest round-trip is overkill,
+/// printf-style %g matches what Prometheus clients emit.
+void write_double(std::ostream& os, double v) {
+  if (std::isnan(v)) {
+    os << "NaN";
+  } else if (std::isinf(v)) {
+    os << (v > 0 ? "+Inf" : "-Inf");
+  } else {
+    os << v;
+  }
+}
+
+}  // namespace
+
+void write_prometheus(std::ostream& os, const MetricRegistry& registry,
+                      std::string_view prefix) {
+  const RegistrySnapshot snap = registry.snapshot();
+  for (const auto& [name, value] : snap.counters) {
+    const std::string f = family(prefix, name) + "_total";
+    os << "# TYPE " << f << " counter\n";
+    os << f << ' ' << value << '\n';
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    const std::string f = family(prefix, name);
+    os << "# TYPE " << f << " gauge\n";
+    os << f << ' ';
+    write_double(os, value);
+    os << '\n';
+  }
+  for (const auto& [name, s] : snap.histograms) {
+    const std::string f = family(prefix, name);
+    os << "# TYPE " << f << " histogram\n";
+    // Cumulative le-labelled buckets on the log2 bounds. Bucket 0 is
+    // [0,1) → le="1"; bucket i is [2^(i-1), 2^i) → le="2^i". Skip
+    // trailing empty buckets but always emit +Inf.
+    std::size_t last = 0;
+    for (std::size_t b = 0; b < Histogram::kBuckets; ++b) {
+      if (s.buckets[b] != 0) last = b;
+    }
+    std::uint64_t cumulative = 0;
+    for (std::size_t b = 0; b <= last; ++b) {
+      cumulative += s.buckets[b];
+      os << f << "_bucket{le=\"";
+      write_double(os, std::ldexp(1.0, static_cast<int>(b)));
+      os << "\"} " << cumulative << '\n';
+    }
+    os << f << "_bucket{le=\"+Inf\"} " << s.count << '\n';
+    os << f << "_sum ";
+    write_double(os, s.sum);
+    os << '\n';
+    os << f << "_count " << s.count << '\n';
+  }
+}
+
+void write_window_jsonl(std::ostream& os, const Window& window) {
+  JsonWriter w(os, /*pretty=*/false);
+  w.begin_object();
+  w.kv("window", window.index);
+  w.kv("start", window.start_time);
+  w.kv("end", window.end_time);
+  w.key("counters").begin_object();
+  for (const auto& [name, value] : window.counters) {
+    if (value != 0) w.kv(name, value);
+  }
+  w.end_object();
+  w.key("gauges").begin_object();
+  for (const auto& [name, value] : window.gauges) w.kv(name, value);
+  w.end_object();
+  w.key("histograms").begin_object();
+  for (const auto& [name, s] : window.histograms) {
+    if (s.count == 0) continue;
+    w.key(name).begin_object();
+    w.kv("count", s.count);
+    w.kv("sum", s.sum);
+    w.kv("min", s.min);
+    w.kv("max", s.max);
+    w.kv("p50", s.quantile(0.50));
+    w.kv("p95", s.quantile(0.95));
+    w.kv("p99", s.quantile(0.99));
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+}
+
+}  // namespace svo::obs

@@ -1,0 +1,41 @@
+/// \file export_prom.hpp
+/// Live exporters for the continuous-telemetry layer (DESIGN.md §4j):
+///  - write_prometheus(): text exposition format 0.0.4 over a
+///    MetricRegistry snapshot — counters/gauges verbatim, histograms as
+///    cumulative `le`-labelled buckets + `_sum`/`_count`, names
+///    sanitized to the Prometheus charset. Scrape-ready: dump it behind
+///    any HTTP handler or into a node_exporter textfile.
+///  - write_window_jsonl(): one compact JSON object per closed
+///    obs::Window, append-friendly — the service's periodic time-series
+///    log rides the shared JsonWriter like every other artifact.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+namespace svo::obs {
+
+class MetricRegistry;
+struct Window;
+
+/// Sanitize a metric name to Prometheus rules: [a-zA-Z0-9_:], leading
+/// digit prefixed with '_'. Dots (our namespace separator) become '_'.
+[[nodiscard]] std::string prometheus_name(std::string_view name);
+
+/// Text exposition of every metric in the registry, one coherent
+/// snapshot. `prefix` namespaces the exported families ("svo" →
+/// `svo_svc_ticks_total`). Counters gain a `_total` suffix per
+/// convention; histogram buckets are cumulative with
+/// le="1","2","4",...,"+Inf" matching the log2 bucket bounds.
+void write_prometheus(std::ostream& os, const MetricRegistry& registry,
+                      std::string_view prefix = "svo");
+
+/// One window as a single JSON line (no trailing newline is NOT
+/// appended — callers add '\n' to keep JSONL framing explicit).
+/// Histograms are compacted to count/sum/min/max plus p50/p95/p99
+/// estimates — the consumers of the JSONL feed plot trends, they do
+/// not re-bucket.
+void write_window_jsonl(std::ostream& os, const Window& window);
+
+}  // namespace svo::obs

@@ -9,8 +9,34 @@
 
 namespace svo::obs {
 
+void Histogram::Snapshot::merge(const Snapshot& other) noexcept {
+  if (other.count == 0) return;
+  if (count == 0) {
+    min = other.min;
+    max = other.max;
+  } else {
+    min = std::min(min, other.min);
+    max = std::max(max, other.max);
+  }
+  count += other.count;
+  sum += other.sum;
+  for (std::size_t b = 0; b < kBuckets; ++b) buckets[b] += other.buckets[b];
+}
+
 void Histogram::observe(double v) noexcept {
-  if (std::isnan(v)) return;  // never poison the aggregates
+  // Reject anything that would poison sum/min downstream: NaN and ±inf
+  // are dropped outright, negatives clamp to 0 (the event still counts,
+  // its magnitude was garbage). Either way the error tally ticks.
+  if (!std::isfinite(v)) {
+    bad_count_.fetch_add(1, std::memory_order_relaxed);
+    if (bad_counter_ != nullptr) bad_counter_->add();
+    return;
+  }
+  if (v < 0.0) {
+    bad_count_.fetch_add(1, std::memory_order_relaxed);
+    if (bad_counter_ != nullptr) bad_counter_->add();
+    v = 0.0;
+  }
   std::lock_guard<std::mutex> lock(mu_);
   if (data_.count == 0) {
     data_.min = v;
@@ -89,6 +115,15 @@ MetricRegistry::Entry& MetricRegistry::find_or_create(std::string_view name,
         break;
     }
     it = entries_.emplace(std::string(name), std::move(entry)).first;
+    if (kind == Kind::Histogram && name != "obs.error.bad_sample") {
+      // Every histogram in a registry shares one bad-sample error
+      // counter (mu_ is held; call find_or_create directly, the public
+      // counter() accessor would deadlock). Map nodes are stable, so
+      // `it` survives the recursive insert.
+      it->second.histogram->set_bad_sample_counter(
+          find_or_create("obs.error.bad_sample", Kind::Counter)
+              .counter.get());
+    }
   }
   detail::require(it->second.kind == kind,
                   "MetricRegistry: name already registered as another kind");
@@ -139,6 +174,25 @@ void MetricRegistry::reset() {
         break;
     }
   }
+}
+
+RegistrySnapshot MetricRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  RegistrySnapshot out;
+  for (const auto& [name, entry] : entries_) {
+    switch (entry.kind) {
+      case Kind::Counter:
+        out.counters.emplace(name, entry.counter->value());
+        break;
+      case Kind::Gauge:
+        out.gauges.emplace(name, entry.gauge->value());
+        break;
+      case Kind::Histogram:
+        out.histograms.emplace(name, entry.histogram->snapshot());
+        break;
+    }
+  }
+  return out;
 }
 
 std::vector<std::string> MetricRegistry::names() const {

@@ -44,10 +44,18 @@ class Counter {
   std::atomic<std::uint64_t> value_{0};
 };
 
-/// Last-written-value gauge.
+/// Last-written-value gauge. add() exists for up/down tracking (queue
+/// depths): a CAS loop, so concurrent increments never lose a delta the
+/// way racy read-modify-set() would.
 class Gauge {
  public:
   void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+  void add(double delta) noexcept {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
   [[nodiscard]] double value() const noexcept {
     return value_.load(std::memory_order_relaxed);
   }
@@ -61,6 +69,12 @@ class Gauge {
 /// power-of-two buckets (bucket 0 holds v < 1, bucket i >= 1 holds
 /// 2^(i-1) <= v < 2^i). Coarse on purpose — it answers "are B&B solves
 /// budget-bound or tiny", not percentile SLOs.
+///
+/// Malformed samples never poison the aggregates: non-finite values are
+/// dropped, negative ones clamp to 0 (still observed — the event
+/// happened, its magnitude did not). Both increment bad_samples() and,
+/// when the histogram lives in a MetricRegistry, the registry's
+/// `obs.error.bad_sample` counter.
 class Histogram {
  public:
   static constexpr std::size_t kBuckets = 64;
@@ -71,6 +85,15 @@ class Histogram {
     double min = 0.0;
     double max = 0.0;
     std::array<std::uint64_t, kBuckets> buckets{};
+
+    /// Bit-wise equality; meaningful because every mutation is
+    /// deterministic double arithmetic, so replayed runs produce
+    /// bit-equal snapshots.
+    friend bool operator==(const Snapshot&, const Snapshot&) = default;
+
+    /// Accumulate `other` into this snapshot (used by window rollups).
+    /// count/sum/buckets add; min/max widen to cover both.
+    void merge(const Snapshot& other) noexcept;
 
     /// Quantile estimate (q in [0,1]) from the log2 buckets, linearly
     /// interpolated inside the target bucket and clamped to the exact
@@ -90,9 +113,31 @@ class Histogram {
   [[nodiscard]] Snapshot snapshot() const;
   void reset();
 
+  /// Samples rejected (non-finite) or clamped (negative) so far.
+  /// Survives reset() — it is an error tally, not a measurement.
+  [[nodiscard]] std::uint64_t bad_samples() const noexcept {
+    return bad_count_.load(std::memory_order_relaxed);
+  }
+
+  /// Optional shared error counter bumped alongside bad_samples();
+  /// MetricRegistry wires its `obs.error.bad_sample` counter in here.
+  /// The counter must outlive the histogram.
+  void set_bad_sample_counter(Counter* c) noexcept { bad_counter_ = c; }
+
  private:
   mutable std::mutex mu_;
   Snapshot data_;
+  std::atomic<std::uint64_t> bad_count_{0};
+  Counter* bad_counter_ = nullptr;
+};
+
+/// One coherent point-in-time copy of every metric in a registry, keyed
+/// by name. The building block obs::TimeSeries diffs to produce
+/// per-window deltas.
+struct RegistrySnapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, Histogram::Snapshot> histograms;
 };
 
 /// Named metric store. Lookup creates on first use; returned references
@@ -121,6 +166,10 @@ class MetricRegistry {
 
   /// Registered metric names, sorted.
   [[nodiscard]] std::vector<std::string> names() const;
+
+  /// Copy every metric under one lock acquisition — a coherent cut for
+  /// window sampling (obs::TimeSeries) and the Prometheus exporter.
+  [[nodiscard]] RegistrySnapshot snapshot() const;
 
  private:
   enum class Kind { Counter, Gauge, Histogram };

@@ -103,6 +103,17 @@ void StreamOptions::validate() const {
         !base.task_sizes.empty(),
         "StreamOptions: SweepGrid ingest requires non-empty base.task_sizes");
   }
+  detail::require(
+      std::isfinite(stats_window_seconds) && stats_window_seconds >= 0.0,
+      "StreamOptions: stats_window_seconds must be finite and >= 0");
+  if (stats_window_seconds > 0.0) {
+    detail::require(stats_window_capacity > 0,
+                    "StreamOptions: stats_window_capacity must be > 0");
+  } else {
+    detail::require(slos.empty(),
+                    "StreamOptions: slos require stats_window_seconds > 0");
+  }
+  for (const obs::SloObjective& o : slos) o.validate();
 }
 
 namespace {
@@ -166,15 +177,52 @@ struct Engine {
   std::map<std::size_t, std::size_t> quarantine_activations;
   std::size_t m = 0;
 
+  /// Virtual-time telemetry (DESIGN.md §4j), null when off. Windows
+  /// advance *lazily* from this tap — never via scheduled simulator
+  /// events, which would extend the horizon and break the telemetry-off
+  /// bit-identity. Pure observer: reads sim.now(), mutates nothing the
+  /// events see.
+  std::unique_ptr<obs::MetricRegistry> tel_registry;
+  std::unique_ptr<obs::TimeSeries> tel_series;
+  std::unique_ptr<obs::SloTracker> tel_slo;
+  double tel_next_end = 0.0;
+
   Engine(const StreamOptions& o, std::size_t num_gsps)
       : opts(o),
         live(num_gsps, 1),
         leave_pending(num_gsps, 0),
         ledger(o.quarantine_formations),
-        m(num_gsps) {}
+        m(num_gsps) {
+    if (opts.stats_window_seconds > 0.0) {
+      tel_registry = std::make_unique<obs::MetricRegistry>();
+      tel_series = std::make_unique<obs::TimeSeries>(
+          *tel_registry, opts.stats_window_capacity);
+      tel_slo = std::make_unique<obs::SloTracker>(opts.slos,
+                                                  tel_registry.get());
+      tel_next_end = opts.stats_window_seconds;
+    }
+  }
+
+  /// Close every window that ended at or before `now` (an event at the
+  /// exact boundary k*w belongs to window k, which covers [k*w,(k+1)*w)).
+  void advance_telemetry(double now) {
+    while (tel_next_end <= now) {
+      const obs::Window& w = tel_series->advance(tel_next_end);
+      tel_slo->evaluate(w);
+      tel_next_end += opts.stats_window_seconds;
+    }
+  }
 
   void log(StreamEventKind kind, std::size_t request = SIZE_MAX,
            std::size_t gsp = SIZE_MAX) {
+    if (tel_registry) {
+      advance_telemetry(sim.now());
+      tel_registry->counter(std::string("stream.") + to_string(kind)).add();
+      tel_registry->gauge("stream.live")
+          .set(static_cast<double>(live_count()));
+      tel_registry->gauge("stream.busy")
+          .set(static_cast<double>(busy.size()));
+    }
     timeline.push_back({sim.now(), kind, request, gsp});
   }
 
@@ -319,6 +367,10 @@ struct Engine {
     q.committed = true;
     q.commit_time = sim.now();
     log(StreamEventKind::FormationCommit, r);
+    if (tel_registry) {
+      tel_registry->histogram("stream.formation_latency_s")
+          .observe(q.commit_time - q.arrival);
+    }
     const std::size_t e = q.epoch;
     sim.schedule(exec_duration(q), [this, r, e] { complete_execution(r, e); });
   }
@@ -527,6 +579,22 @@ StreamResult StreamEngine::run() const {
         [&engine, i] { engine.arrive(i); });
   }
   engine.sim.run();
+
+  if (engine.tel_registry) {
+    // Close trailing full windows, then one final partial window up to
+    // the horizon so the tail of the run is accounted. Deterministic:
+    // the horizon is itself a pure function of the config.
+    engine.advance_telemetry(engine.sim.now());
+    const double last_closed =
+        engine.tel_next_end - options_.stats_window_seconds;
+    if (engine.sim.now() > last_closed) {
+      const obs::Window& w = engine.tel_series->advance(engine.sim.now());
+      engine.tel_slo->evaluate(w);
+    }
+    const auto& ring = engine.tel_series->windows();
+    out.windows.assign(ring.begin(), ring.end());
+    out.slo_status = engine.tel_slo->status();
+  }
 
   // Aggregate.
   out.timeline = std::move(engine.timeline);

@@ -42,6 +42,8 @@
 #include <vector>
 
 #include "core/mechanism.hpp"
+#include "obs/slo.hpp"
+#include "obs/timeseries.hpp"
 #include "sim/adversary.hpp"  // MechanismKind
 #include "sim/churn.hpp"
 #include "sim/scenario.hpp"
@@ -153,9 +155,26 @@ struct StreamOptions {
   /// arrival span, so churn spans executions tailing past it).
   double churn_horizon_seconds = 0.0;
 
+  /// Continuous telemetry (DESIGN.md §4j): > 0 closes a metrics window
+  /// every this-many *virtual* seconds, advanced lazily from the event
+  /// tap — no simulator events are scheduled, so the event timeline,
+  /// horizon and results are bit-identical to a telemetry-off run, and
+  /// same-seed replays produce identical window sequences and SLO
+  /// verdicts. 0 (default) = off.
+  double stats_window_seconds = 0.0;
+  /// Window ring capacity (StreamResult::windows keeps the newest this
+  /// many).
+  std::size_t stats_window_capacity = 256;
+  /// Objectives evaluated per closed window over the stream.* metrics
+  /// (per-event-kind counters, stream.formation_latency_s histogram,
+  /// stream.live/stream.busy gauges). Requires telemetry on.
+  std::vector<obs::SloObjective> slos;
+
   /// Throws InvalidArgument (message "StreamOptions: ...") on invalid
   /// knobs: zero requests/interval, non-positive deadline, floor above
-  /// the GSP pool size, multiplier < 1, negative scales, bad churn.
+  /// the GSP pool size, multiplier < 1, negative scales, bad churn,
+  /// a negative / non-finite stats window, a zero window capacity,
+  /// SLOs with telemetry off, or an invalid SLO objective.
   void validate() const;
 };
 
@@ -210,6 +229,15 @@ struct StreamResult {
   /// Satellite-1 telemetry: rejoins recorded per GSP — each equals one
   /// quarantine activation, never more (exactly-once semantics).
   std::map<std::size_t, std::size_t> quarantine_activations;
+
+  /// Closed telemetry windows (newest stats_window_capacity of them),
+  /// virtual-time deltas of the stream.* metrics; empty with telemetry
+  /// off. Deterministic: same-seed replays compare equal window for
+  /// window (operator==).
+  std::vector<obs::Window> windows;
+  /// Final SLO verdicts after the last window; empty without
+  /// objectives.
+  std::vector<obs::SloStatus> slo_status;
 };
 
 /// The virtual-time streaming engine. Construction builds the scenario

@@ -3,12 +3,14 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <fstream>
 #include <set>
 #include <stdexcept>
 #include <thread>
 #include <unordered_map>
 #include <utility>
 
+#include "obs/export_prom.hpp"
 #include "obs/trace.hpp"
 #include "util/error.hpp"
 
@@ -44,6 +46,20 @@ void ServiceOptions::validate() const {
           retry_backoff_cap_seconds >= retry_backoff_base_seconds,
       "ServiceOptions: retry_backoff_cap_seconds must be finite and >= base");
   faults.validate();
+  svo::detail::require(
+      std::isfinite(stats_window_seconds) && stats_window_seconds >= 0.0,
+      "ServiceOptions: stats_window_seconds must be finite and >= 0");
+  if (stats_window_seconds > 0.0) {
+    svo::detail::require(stats_window_capacity > 0,
+                    "ServiceOptions: stats_window_capacity must be > 0");
+  } else {
+    svo::detail::require(slos.empty(),
+                    "ServiceOptions: slos require stats_window_seconds > 0");
+    svo::detail::require(
+        stats_jsonl_path.empty(),
+        "ServiceOptions: stats_jsonl_path requires stats_window_seconds > 0");
+  }
+  for (const obs::SloObjective& o : slos) o.validate();
 }
 
 namespace detail {
@@ -130,7 +146,8 @@ struct FormationService::Shard {
         solved(registry.counter(prefix + ".solved")),
         retries(registry.counter(prefix + ".retries")),
         expired(registry.counter(prefix + ".expired")),
-        restarts(registry.counter(prefix + ".restarts")) {}
+        restarts(registry.counter(prefix + ".restarts")),
+        depth(registry.gauge(prefix + ".queue_depth")) {}
 
   std::size_t index;
   std::mutex mu;
@@ -142,6 +159,31 @@ struct FormationService::Shard {
   obs::Counter& retries;
   obs::Counter& expired;
   obs::Counter& restarts;
+  /// Live queue depth, kept by Gauge::add(±delta) at every queue
+  /// mutation (all under mu) — same always-on accounting tier as the
+  /// counters above, read lock-free by health() and the exporters.
+  obs::Gauge& depth;
+};
+
+/// Windowed-telemetry state (DESIGN.md §4j), constructed only when
+/// ServiceOptions::stats_window_seconds > 0. The tick loop's
+/// maybe_sample() try-locks `mu`: sampling is best-effort per call but
+/// every window eventually closes with exact [k*w, (k+1)*w) bounds.
+struct FormationService::Telemetry {
+  Telemetry(obs::MetricRegistry& registry, const ServiceOptions& opt)
+      : window_seconds(opt.stats_window_seconds),
+        next_window_end(opt.stats_window_seconds),
+        series(registry, opt.stats_window_capacity),
+        // Verdicts surface back into the same registry as slo.*
+        // metrics; they land in the *next* window, never their own.
+        slo(opt.slos, &registry) {}
+
+  std::mutex mu;
+  const double window_seconds;
+  double next_window_end;          // guarded by mu
+  obs::TimeSeries series;          // guarded by mu
+  obs::SloTracker slo;             // guarded by mu
+  std::ofstream jsonl;             // guarded by mu
 };
 
 std::uint64_t RequestHandle::id() const noexcept { return ticket_->id; }
@@ -222,6 +264,15 @@ FormationService::FormationService(const core::VoFormationMechanism& mechanism,
     shards_.push_back(std::make_unique<Shard>(
         i, registry_, "svc.shard" + std::to_string(i)));
   }
+  if (options_.stats_window_seconds > 0.0) {
+    telemetry_ = std::make_unique<Telemetry>(registry_, options_);
+    if (!options_.stats_jsonl_path.empty()) {
+      telemetry_->jsonl.open(options_.stats_jsonl_path,
+                             std::ios::out | std::ios::trunc);
+      svo::detail::require(telemetry_->jsonl.is_open(),
+                      "ServiceOptions: cannot open stats_jsonl_path");
+    }
+  }
 }
 
 FormationService::~FormationService() {
@@ -229,6 +280,21 @@ FormationService::~FormationService() {
   // joins — handles outliving the service still resolve.
   resume();
   drain();
+  if (telemetry_) {
+    // Flush the tail: close any due windows plus one final partial one
+    // so the JSONL feed and SLO accounting cover the whole run.
+    maybe_sample();
+    std::lock_guard<std::mutex> lock(telemetry_->mu);
+    const double now = clock_.seconds();
+    if (now > telemetry_->next_window_end - telemetry_->window_seconds) {
+      const obs::Window& w = telemetry_->series.advance(now);
+      telemetry_->slo.evaluate(w);
+      if (telemetry_->jsonl.is_open()) {
+        obs::write_window_jsonl(telemetry_->jsonl, w);
+        telemetry_->jsonl << '\n';
+      }
+    }
+  }
 }
 
 RequestHandle FormationService::submit(const core::FormationRequest& request,
@@ -289,6 +355,7 @@ RequestHandle FormationService::submit(const core::FormationRequest& request,
       const double now = clock_.seconds();
       ticket->deadline_at = now + request.deadline_seconds;  // inf stays inf
       shard.queue.insert(ticket);
+      shard.depth.add(1.0);
       outstanding_.fetch_add(1, std::memory_order_relaxed);
       if (!paused_.load() && !shard.tick_scheduled && !shard.killed) {
         shard.tick_scheduled = true;
@@ -343,6 +410,7 @@ bool FormationService::cancel_ticket(
     for (auto it = lo; it != hi; ++it) {
       if (it->get() == &t) {
         shard.queue.erase(it);
+        shard.depth.add(-1.0);
         break;
       }
     }
@@ -441,6 +509,9 @@ void FormationService::run_tick(Shard& shard) {
       batch.push_back(*it);
       it = shard.queue.erase(it);
     }
+    if (!batch.empty()) {
+      shard.depth.add(-static_cast<double>(batch.size()));
+    }
   }
   ticks_.add();
   shard.ticks.add();
@@ -476,6 +547,7 @@ void FormationService::run_tick(Shard& shard) {
     tick_aborts_.add();
     {
       std::lock_guard<std::mutex> lock(shard.mu);
+      shard.depth.add(static_cast<double>(batch.size()));
       for (std::shared_ptr<Ticket>& ticket : batch) {
         shard.queue.insert(std::move(ticket));  // preserved, not lost
       }
@@ -576,6 +648,7 @@ void FormationService::run_tick(Shard& shard) {
               TicketState::Queued) {
             t.ready_at = clock_.seconds() + backoff;
             shard.queue.insert(ticket);  // retries bypass admission control
+            shard.depth.add(1.0);
           }
         }
         continue;
@@ -615,6 +688,10 @@ void FormationService::run_tick(Shard& shard) {
     note_terminal();
   }
 
+  // Telemetry sampler rides the tick loop: no timer thread, and a
+  // telemetry-off service pays one null-pointer test here.
+  maybe_sample();
+
   // Yield the pool thread between batches; reschedule only while work
   // remains (and keep tick_scheduled true across the hand-off so a
   // racing submit cannot double-schedule). When everything pending is
@@ -639,6 +716,73 @@ void FormationService::run_tick(Shard& shard) {
     }
     schedule_tick(shard);
   }
+}
+
+void FormationService::maybe_sample() {
+  if (!telemetry_) return;  // the entire telemetry-off cost
+  Telemetry& tel = *telemetry_;
+  std::unique_lock<std::mutex> lock(tel.mu, std::try_to_lock);
+  if (!lock.owns_lock()) return;  // another tick is sampling; skip
+  const double now = clock_.seconds();
+  while (now >= tel.next_window_end) {
+    const obs::Window& w = tel.series.advance(tel.next_window_end);
+    tel.slo.evaluate(w);
+    if (tel.jsonl.is_open()) {
+      obs::write_window_jsonl(tel.jsonl, w);
+      tel.jsonl << '\n';
+    }
+    tel.next_window_end += tel.window_seconds;
+  }
+}
+
+ServiceHealth FormationService::health(std::size_t last_n) {
+  maybe_sample();
+  ServiceHealth h;
+  h.now_seconds = clock_.seconds();
+  h.telemetry_enabled = telemetry_ != nullptr;
+  h.outstanding = outstanding_.load(std::memory_order_acquire);
+  h.shards.reserve(shards_.size());
+  bool any_full = false;
+  for (const auto& shard : shards_) {
+    ShardHealth sh;
+    sh.index = shard->index;
+    {
+      std::lock_guard<std::mutex> lock(shard->mu);
+      sh.queue_depth = shard->queue.size();
+      sh.killed = shard->killed;
+    }
+    sh.ticks = shard->ticks.value();
+    sh.solved = shard->solved.value();
+    sh.retries = shard->retries.value();
+    sh.expired = shard->expired.value();
+    sh.restarts = shard->restarts.value();
+    any_full = any_full || sh.queue_depth >= options_.queue_capacity;
+    h.shards.push_back(sh);
+  }
+  bool recent_rejects = false;
+  if (telemetry_) {
+    std::lock_guard<std::mutex> lock(telemetry_->mu);
+    h.windows_closed = telemetry_->series.windows_closed();
+    const obs::Window roll = telemetry_->series.rollup(last_n);
+    const obs::Histogram::Snapshot queue = roll.histogram("svc.queue_us");
+    const obs::Histogram::Snapshot solve = roll.histogram("svc.solve_us");
+    h.queue_p50_us = queue.quantile(0.50);
+    h.queue_p99_us = queue.quantile(0.99);
+    h.solve_p50_us = solve.quantile(0.50);
+    h.solve_p99_us = solve.quantile(0.99);
+    h.slos = telemetry_->slo.status();
+    recent_rejects =
+        roll.counter("svc.shed") + roll.counter("svc.deferred") > 0;
+  } else {
+    const obs::Histogram::Snapshot queue = queue_us_.snapshot();
+    const obs::Histogram::Snapshot solve = solve_us_.snapshot();
+    h.queue_p50_us = queue.quantile(0.50);
+    h.queue_p99_us = queue.quantile(0.99);
+    h.solve_p50_us = solve.quantile(0.50);
+    h.solve_p99_us = solve.quantile(0.99);
+  }
+  h.overloaded = any_full || recent_rejects;
+  return h;
 }
 
 ServiceStats FormationService::stats() const {

@@ -76,6 +76,8 @@
 
 #include "core/mechanism.hpp"
 #include "obs/metrics.hpp"
+#include "obs/slo.hpp"
+#include "obs/timeseries.hpp"
 #include "svc/fault_plan.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
@@ -142,9 +144,27 @@ struct ServiceOptions {
   /// the bit-identical-to-PR 7 regime.
   FaultPlan faults;
 
+  /// Continuous telemetry (DESIGN.md §4j): > 0 closes a metrics window
+  /// every this-many wall seconds on the service clock, sampled from
+  /// the tick loop. 0 (default) = telemetry off — the sampler is never
+  /// constructed, the hot path gains zero atomics, and outcomes/RNG
+  /// probes are bit-identical to a telemetry-on run (tests pin this).
+  double stats_window_seconds = 0.0;
+  /// Window ring capacity (oldest evicted beyond it).
+  std::size_t stats_window_capacity = 64;
+  /// Objectives evaluated against every closed window; verdicts are
+  /// surfaced as slo.* metrics in the service registry. Requires
+  /// telemetry on when non-empty.
+  std::vector<obs::SloObjective> slos;
+  /// Non-empty: append every closed window to this file as JSONL
+  /// (obs::write_window_jsonl). Requires telemetry on.
+  std::string stats_jsonl_path;
+
   /// Throws InvalidArgument on: zero shards, zero queue capacity, zero
   /// batch size, batch size above queue capacity, negative / non-finite
-  /// backoff, a backoff cap below the base, or an invalid fault plan.
+  /// backoff, a backoff cap below the base, an invalid fault plan, a
+  /// negative / non-finite stats window, a zero window capacity, SLOs
+  /// or a JSONL path with telemetry off, or an invalid SLO objective.
   void validate() const;
 };
 
@@ -240,6 +260,42 @@ struct ServiceStats {
   double redelivery_max = 0.0;
 };
 
+/// Live per-shard introspection (health()).
+struct ShardHealth {
+  std::size_t index = 0;
+  std::size_t queue_depth = 0;  ///< tickets queued (incl. retry-parked)
+  bool killed = false;          ///< between a fault-plan abort and restart
+  std::uint64_t ticks = 0;
+  std::uint64_t solved = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t expired = 0;
+  std::uint64_t restarts = 0;
+};
+
+/// Point-in-time operational snapshot (health()): per-shard depths,
+/// latency quantiles over the last N telemetry windows (cumulative when
+/// telemetry is off), SLO verdicts, and an overload verdict. This is
+/// the "is the service healthy right now" API the end-of-run stats()
+/// cannot answer.
+struct ServiceHealth {
+  double now_seconds = 0.0;       ///< service-clock reading
+  bool telemetry_enabled = false;
+  std::uint64_t outstanding = 0;  ///< admitted, not yet terminal
+  std::uint64_t windows_closed = 0;
+  /// Quantiles over the rollup of the last N windows when telemetry is
+  /// on; over the cumulative run otherwise (factor-2 log2-bucket bound
+  /// either way).
+  double queue_p50_us = 0.0;
+  double queue_p99_us = 0.0;
+  double solve_p50_us = 0.0;
+  double solve_p99_us = 0.0;
+  std::vector<ShardHealth> shards;
+  std::vector<obs::SloStatus> slos;
+  /// True when any shard queue is at capacity, or (telemetry on) the
+  /// rollup window saw shed/deferred admissions.
+  bool overloaded = false;
+};
+
 /// The service core. Thread-safe: submit/cancel/poll/wait/stats may be
 /// called concurrently from any thread.
 class FormationService {
@@ -276,6 +332,13 @@ class FormationService {
   void drain();
 
   [[nodiscard]] ServiceStats stats() const;
+
+  /// Operational snapshot: samples any due telemetry windows first,
+  /// then reads shard depths, rollup quantiles over the newest
+  /// min(last_n, closed) windows, and SLO state. Safe to call
+  /// concurrently with everything else.
+  [[nodiscard]] ServiceHealth health(std::size_t last_n = 8);
+
   [[nodiscard]] const ServiceOptions& options() const noexcept {
     return options_;
   }
@@ -293,6 +356,11 @@ class FormationService {
 
   void schedule_tick(Shard& shard);
   void run_tick(Shard& shard);
+  /// Telemetry sampler hook: closes every window whose end has passed
+  /// on the service clock (no-op — one pointer branch, no atomics —
+  /// when telemetry is off). Contended calls skip rather than queue:
+  /// some later tick closes the window, losing nothing.
+  void maybe_sample();
   /// Supervisor path: a killed shard is brought back on a fresh pool
   /// task — queue intact, restart accounted — and its tick rescheduled.
   void restart_shard(Shard& shard);
@@ -329,6 +397,11 @@ class FormationService {
   obs::Histogram& redelivery_depth_;
 
   std::vector<std::unique_ptr<Shard>> shards_;
+
+  /// Windowed-telemetry state; null when stats_window_seconds == 0, so
+  /// the telemetry-off hot path pays exactly one pointer test.
+  struct Telemetry;
+  std::unique_ptr<Telemetry> telemetry_;
 
   std::atomic<bool> paused_;
   std::atomic<std::uint64_t> next_ticket_{0};

@@ -13,8 +13,10 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <thread>
+#include <vector>
 
 #include "util/error.hpp"
 #include "util/rng.hpp"
@@ -371,7 +373,9 @@ TEST(MetricRegistryTest, ResetZeroesButKeepsNames) {
   EXPECT_EQ(reg.counter_value("c"), 0u);
   EXPECT_DOUBLE_EQ(reg.gauge_value("g"), 0.0);
   EXPECT_EQ(reg.histogram("h").snapshot().count, 0u);
-  EXPECT_EQ(reg.names(), (std::vector<std::string>{"c", "g", "h"}));
+  // Creating a histogram auto-registers the shared bad-sample counter.
+  EXPECT_EQ(reg.names(),
+            (std::vector<std::string>{"c", "g", "h", "obs.error.bad_sample"}));
 }
 
 TEST(MetricRegistryTest, WriteJsonIsValid) {
@@ -707,6 +711,109 @@ TEST_F(RecorderTest, TraceSessionWritesFileAndRestoresState) {
   EXPECT_TRUE(JsonValidator::valid(buf.str())) << buf.str();
   EXPECT_NE(buf.str().find("test.session"), std::string::npos);
   std::filesystem::remove(path);
+}
+
+// ------------------------------------------------- bad-sample handling
+
+TEST(HistogramBadSampleTest, NanIsRejectedAndCounted) {
+  Histogram h;
+  h.observe(std::nan(""));
+  h.observe(std::numeric_limits<double>::infinity());
+  EXPECT_EQ(h.snapshot().count, 0u);  // neither polluted the buckets
+  EXPECT_EQ(h.bad_samples(), 2u);
+}
+
+TEST(HistogramBadSampleTest, NegativeIsClampedToZeroAndCounted) {
+  Histogram h;
+  h.observe(-5.0);
+  const Histogram::Snapshot snap = h.snapshot();
+  EXPECT_EQ(snap.count, 1u);  // clamped sample still lands
+  EXPECT_DOUBLE_EQ(snap.min, 0.0);
+  EXPECT_DOUBLE_EQ(snap.max, 0.0);
+  EXPECT_EQ(h.bad_samples(), 1u);
+}
+
+TEST(HistogramBadSampleTest, BadTallySurvivesReset) {
+  Histogram h;
+  h.observe(std::nan(""));
+  h.reset();
+  EXPECT_EQ(h.bad_samples(), 1u);  // an error ledger, not a sample
+}
+
+TEST(HistogramBadSampleTest, RegistryHistogramsShareErrorCounter) {
+  MetricRegistry reg;
+  reg.histogram("a").observe(std::nan(""));
+  reg.histogram("b").observe(-1.0);
+  EXPECT_EQ(reg.counter_value("obs.error.bad_sample"), 2u);
+  // Clean samples never touch the error counter.
+  reg.histogram("a").observe(3.0);
+  EXPECT_EQ(reg.counter_value("obs.error.bad_sample"), 2u);
+}
+
+// ------------------------------------------------------------ Gauge::add
+
+TEST(GaugeAddTest, AccumulatesSignedDeltas) {
+  Gauge g;
+  g.add(3.0);
+  g.add(-1.5);
+  EXPECT_DOUBLE_EQ(g.value(), 1.5);
+  g.set(10.0);  // set still overwrites
+  g.add(0.25);
+  EXPECT_DOUBLE_EQ(g.value(), 10.25);
+}
+
+TEST(GaugeAddTest, ConcurrentAddsConserveTotal) {
+  Gauge g;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&g] {
+      for (int i = 0; i < kPerThread; ++i) g.add(1.0);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_DOUBLE_EQ(g.value(), static_cast<double>(kThreads * kPerThread));
+}
+
+// --------------------------------------------- concurrent registry stress
+
+/// Satellite: N threads hammer one registry — lookups (find_or_create
+/// under the hood), counter adds, gauge adds, histogram observes
+/// (including bad samples), snapshots and resets — while the map grows.
+/// The assertions are modest (no torn names, snapshot sees every
+/// registered metric); the real check is tsan/asan over this test via
+/// the smoke_observability label.
+TEST(RegistryStressTest, ConcurrentMixedOperationsAreSafe) {
+  MetricRegistry reg;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 400;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg, t] {
+      for (int i = 0; i < kIters; ++i) {
+        const std::string name = "m" + std::to_string(i % 7);
+        reg.counter(name + ".count").add(1);
+        reg.gauge(name + ".level").add(t % 2 == 0 ? 1.0 : -1.0);
+        Histogram& h = reg.histogram(name + ".lat");
+        h.observe(static_cast<double>((i * 37) % 1000));
+        if (i % 97 == 0) h.observe(std::nan(""));  // exercises the
+        if (i % 101 == 0) (void)reg.snapshot();    // shared error counter
+        if (t == 0 && i % 173 == 0) reg.reset();
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const RegistrySnapshot snap = reg.snapshot();
+  // 7 metric stems x {count, level, lat} + the shared error counter.
+  EXPECT_EQ(snap.counters.size(), 7u + 1u);
+  EXPECT_EQ(snap.gauges.size(), 7u);
+  EXPECT_EQ(snap.histograms.size(), 7u);
+  for (const std::string& name : reg.names()) {
+    EXPECT_FALSE(name.empty());
+  }
 }
 
 TEST_F(RecorderTest, InactiveTraceSessionIsFree) {

@@ -1,0 +1,444 @@
+/// \file timeseries_test.cpp
+/// The continuous-telemetry layer (DESIGN.md §4j): windowed
+/// time-series over a MetricRegistry, the standalone WindowedHistogram
+/// ring, SLO / error-budget / burn-rate tracking, and the Prometheus +
+/// JSONL exporters. Everything here is pure arithmetic over injected
+/// clocks, so every test is deterministic by construction.
+#include "obs/export_prom.hpp"
+#include "obs/slo.hpp"
+#include "obs/timeseries.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace svo::obs {
+namespace {
+
+// ---------------------------------------------------- WindowedHistogram
+
+TEST(WindowedHistogramTest, CloseWindowSnapshotsAndResets) {
+  WindowedHistogram wh(4);
+  wh.observe(10.0);
+  wh.observe(20.0);
+  const Histogram::Snapshot& w0 = wh.close_window();
+  EXPECT_EQ(w0.count, 2u);
+  wh.observe(100.0);
+  const Histogram::Snapshot& w1 = wh.close_window();
+  EXPECT_EQ(w1.count, 1u);  // fresh window, not cumulative
+  EXPECT_DOUBLE_EQ(w1.min, 100.0);
+  EXPECT_EQ(wh.size(), 2u);
+}
+
+TEST(WindowedHistogramTest, RingEvictsOldestBeyondCapacity) {
+  WindowedHistogram wh(2);
+  for (int w = 0; w < 5; ++w) {
+    wh.observe(static_cast<double>(w + 1));
+    wh.close_window();
+  }
+  EXPECT_EQ(wh.size(), 2u);
+  // Oldest retained window is #3 (value 4).
+  EXPECT_DOUBLE_EQ(wh.windows().front().min, 4.0);
+  EXPECT_DOUBLE_EQ(wh.windows().back().min, 5.0);
+}
+
+TEST(WindowedHistogramTest, RollupMergesNewestWindows) {
+  WindowedHistogram wh(8);
+  for (int w = 0; w < 4; ++w) {
+    for (int i = 0; i < 10; ++i) wh.observe(100.0 * (w + 1));
+    wh.close_window();
+  }
+  const Histogram::Snapshot all = wh.rollup(8);
+  EXPECT_EQ(all.count, 40u);
+  EXPECT_DOUBLE_EQ(all.min, 100.0);
+  EXPECT_DOUBLE_EQ(all.max, 400.0);
+  const Histogram::Snapshot tail = wh.rollup(2);
+  EXPECT_EQ(tail.count, 20u);
+  EXPECT_DOUBLE_EQ(tail.min, 300.0);  // windows 2 and 3 only
+}
+
+TEST(WindowedHistogramTest, RollupQuantileWithinFactorTwoOfExact) {
+  WindowedHistogram wh(16);
+  std::vector<double> samples;
+  util::Xoshiro256 rng(7);
+  for (int w = 0; w < 16; ++w) {
+    for (int i = 0; i < 200; ++i) {
+      // Heavy-tailed integers: mostly small, occasionally large.
+      const double v = (rng() % 20 == 0)
+                           ? 10'000.0 + static_cast<double>(rng() % 50'000)
+                           : 100.0 + static_cast<double>(rng() % 900);
+      wh.observe(v);
+      samples.push_back(v);
+    }
+    wh.close_window();
+  }
+  const Histogram::Snapshot roll = wh.rollup(16);
+  ASSERT_EQ(roll.count, samples.size());
+  for (const double q : {0.5, 0.95, 0.99}) {
+    const double exact = util::percentile(samples, q);
+    const double est = roll.quantile(q);
+    EXPECT_LE(est, 2.0 * exact) << "q=" << q;
+    EXPECT_GE(est, exact / 2.0) << "q=" << q;
+  }
+}
+
+// ------------------------------------------------------------ TimeSeries
+
+TEST(TimeSeriesTest, WindowsCarryCounterDeltasNotTotals) {
+  MetricRegistry reg;
+  TimeSeries ts(reg, 8);
+  reg.counter("req").add(5);
+  const Window& w0 = ts.advance(1.0);
+  EXPECT_EQ(w0.counter("req"), 5u);
+  reg.counter("req").add(2);
+  const Window& w1 = ts.advance(2.0);
+  EXPECT_EQ(w1.counter("req"), 2u);  // delta, not the cumulative 7
+  EXPECT_EQ(w1.index, 1u);
+  EXPECT_DOUBLE_EQ(w1.start_time, 1.0);
+  EXPECT_DOUBLE_EQ(w1.end_time, 2.0);
+}
+
+TEST(TimeSeriesTest, QuietMetricsAreAbsentAndReadZero) {
+  MetricRegistry reg;
+  reg.counter("busy").add(1);
+  (void)reg.counter("quiet");
+  TimeSeries ts(reg, 4, 0.0);
+  reg.counter("busy").add(3);
+  const Window& w = ts.advance(1.0);
+  EXPECT_EQ(w.counters.count("quiet"), 0u);  // untouched => not stored
+  EXPECT_EQ(w.counter("quiet"), 0u);         // but reads as zero
+  EXPECT_EQ(w.counter("busy"), 3u);          // baseline was 1, now 4
+}
+
+TEST(TimeSeriesTest, GaugesAreLevelsAtClose) {
+  MetricRegistry reg;
+  TimeSeries ts(reg, 4);
+  reg.gauge("depth").set(10.0);
+  ts.advance(1.0);
+  reg.gauge("depth").set(4.0);
+  const Window& w1 = ts.advance(2.0);
+  EXPECT_DOUBLE_EQ(w1.gauge("depth"), 4.0);  // level, not a delta
+}
+
+TEST(TimeSeriesTest, HistogramDeltasPerWindow) {
+  MetricRegistry reg;
+  TimeSeries ts(reg, 4);
+  reg.histogram("lat").observe(10.0);
+  reg.histogram("lat").observe(20.0);
+  ts.advance(1.0);
+  reg.histogram("lat").observe(1000.0);
+  const Window& w1 = ts.advance(2.0);
+  EXPECT_EQ(w1.histogram("lat").count, 1u);  // only the new sample
+}
+
+TEST(TimeSeriesTest, CounterShrinkRestartsDelta) {
+  MetricRegistry reg;
+  TimeSeries ts(reg, 4);
+  reg.counter("c").add(10);
+  ts.advance(1.0);
+  reg.reset();  // cumulative value shrank under the baseline
+  reg.counter("c").add(3);
+  const Window& w1 = ts.advance(2.0);
+  EXPECT_EQ(w1.counter("c"), 3u);  // restarted, not underflowed
+}
+
+TEST(TimeSeriesTest, RingEvictsButWindowsClosedIsMonotonic) {
+  MetricRegistry reg;
+  TimeSeries ts(reg, 2);
+  for (int i = 0; i < 5; ++i) ts.advance(static_cast<double>(i + 1));
+  EXPECT_EQ(ts.size(), 2u);
+  EXPECT_EQ(ts.windows_closed(), 5u);
+  EXPECT_EQ(ts.windows().front().index, 3u);
+}
+
+TEST(TimeSeriesTest, RollupSpansAndSums) {
+  MetricRegistry reg;
+  TimeSeries ts(reg, 8);
+  for (int i = 0; i < 3; ++i) {
+    reg.counter("req").add(2);
+    reg.gauge("depth").set(static_cast<double>(i));
+    ts.advance(static_cast<double>(i + 1));
+  }
+  const Window roll = ts.rollup(2);
+  EXPECT_EQ(roll.counter("req"), 4u);         // newest two windows
+  EXPECT_DOUBLE_EQ(roll.gauge("depth"), 2.0); // newest reading wins
+  EXPECT_DOUBLE_EQ(roll.start_time, 1.0);
+  EXPECT_DOUBLE_EQ(roll.end_time, 3.0);
+}
+
+TEST(TimeSeriesTest, BackwardsClockAndZeroCapacityThrow) {
+  MetricRegistry reg;
+  EXPECT_THROW(TimeSeries(reg, 0), InvalidArgument);
+  TimeSeries ts(reg, 4);
+  ts.advance(5.0);
+  EXPECT_THROW(ts.advance(4.0), InvalidArgument);
+  ts.advance(5.0);  // equal time is allowed (empty window)
+}
+
+// ------------------------------------------------------------ SloTracker
+
+Window make_window(std::uint64_t index, double p99_value,
+                   std::uint64_t errors, std::uint64_t total,
+                   std::uint64_t lost) {
+  Window w;
+  w.index = index;
+  w.start_time = static_cast<double>(index);
+  w.end_time = static_cast<double>(index + 1);
+  if (total > 0) w.counters["req.total"] = total;
+  if (errors > 0) w.counters["req.errors"] = errors;
+  if (lost > 0) w.counters["req.lost"] = lost;
+  if (p99_value > 0.0) {
+    Histogram h;
+    h.observe(p99_value);
+    w.histograms["lat"] = h.snapshot();
+  }
+  return w;
+}
+
+std::vector<SloObjective> three_objectives() {
+  SloObjective lat;
+  lat.name = "lat_p99";
+  lat.kind = SloKind::QuantileBelow;
+  lat.metric = "lat";
+  lat.quantile = 0.99;
+  lat.threshold = 1000.0;
+  lat.error_budget = 0.25;
+  lat.fast_windows = 2;
+  lat.slow_windows = 4;
+  SloObjective err;
+  err.name = "error_rate";
+  err.kind = SloKind::RatioBelow;
+  err.metric = "req.errors";
+  err.denominator = "req.total";
+  err.threshold = 0.1;
+  err.error_budget = 0.25;
+  err.fast_windows = 2;
+  err.slow_windows = 4;
+  SloObjective lost;
+  lost.name = "lost_zero";
+  lost.kind = SloKind::CounterZero;
+  lost.metric = "req.lost";
+  lost.error_budget = 0.25;
+  lost.fast_windows = 2;
+  lost.slow_windows = 4;
+  return {lat, err, lost};
+}
+
+TEST(SloTrackerTest, HealthyWindowsViolateNothing) {
+  SloTracker tracker(three_objectives());
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    tracker.evaluate(make_window(i, 100.0, 0, 100, 0));
+  }
+  for (const SloStatus& st : tracker.status()) {
+    EXPECT_EQ(st.violations, 0u) << st.name;
+    EXPECT_FALSE(st.breached) << st.name;
+    EXPECT_DOUBLE_EQ(st.budget_consumed, 0.0) << st.name;
+  }
+  EXPECT_FALSE(tracker.any_breached());
+}
+
+TEST(SloTrackerTest, EachKindDetectsItsViolation) {
+  SloTracker tracker(three_objectives());
+  // p99 over threshold, 50% errors, lost requests — all three violate.
+  tracker.evaluate(make_window(0, 5000.0, 50, 100, 2));
+  const std::vector<SloStatus>& st = tracker.status();
+  ASSERT_EQ(st.size(), 3u);
+  for (const SloStatus& s : st) {
+    EXPECT_EQ(s.violations, 1u) << s.name;
+    EXPECT_TRUE(s.violated_last) << s.name;
+  }
+}
+
+TEST(SloTrackerTest, EmptyWindowHasNoDataAndDoesNotViolate) {
+  SloTracker tracker(three_objectives());
+  tracker.evaluate(Window{});  // no samples, no denominator, no losses
+  for (const SloStatus& s : tracker.status()) {
+    EXPECT_EQ(s.violations, 0u) << s.name;
+  }
+}
+
+TEST(SloTrackerTest, BudgetAndBurnRatesAccumulate) {
+  SloTracker tracker(three_objectives());
+  // 2 of 4 windows violate the latency objective (budget 0.25).
+  tracker.evaluate(make_window(0, 5000.0, 0, 100, 0));
+  tracker.evaluate(make_window(1, 100.0, 0, 100, 0));
+  tracker.evaluate(make_window(2, 5000.0, 0, 100, 0));
+  tracker.evaluate(make_window(3, 100.0, 0, 100, 0));
+  const SloStatus& lat = tracker.status()[0];
+  EXPECT_EQ(lat.windows, 4u);
+  EXPECT_EQ(lat.violations, 2u);
+  // budget_consumed = 2 / (4 * 0.25) = 2: budget doubly spent.
+  EXPECT_DOUBLE_EQ(lat.budget_consumed, 2.0);
+  // fast span (2 windows, 1 bad) burn = 0.5/0.25 = 2; slow (4, 2) = 2.
+  EXPECT_DOUBLE_EQ(lat.fast_burn, 2.0);
+  EXPECT_DOUBLE_EQ(lat.slow_burn, 2.0);
+  EXPECT_TRUE(lat.breached);  // both burns >= burn_threshold = 1
+}
+
+TEST(SloTrackerTest, BreachNeedsFastAndSlowAgreement) {
+  SloTracker tracker(three_objectives());
+  // One bad window among many good: slow burn stays under threshold.
+  tracker.evaluate(make_window(0, 5000.0, 0, 100, 0));
+  tracker.evaluate(make_window(1, 100.0, 0, 100, 0));
+  tracker.evaluate(make_window(2, 100.0, 0, 100, 0));
+  tracker.evaluate(make_window(3, 100.0, 0, 100, 0));
+  const SloStatus& lat = tracker.status()[0];
+  // slow burn = (1/4)/0.25 = 1 >= 1 but fast burn = 0 — no breach.
+  EXPECT_DOUBLE_EQ(lat.fast_burn, 0.0);
+  EXPECT_FALSE(lat.breached);
+}
+
+TEST(SloTrackerTest, BreachOnsetsCountTransitions) {
+  SloTracker tracker(three_objectives());
+  std::uint64_t i = 0;
+  const auto bad = [&] { tracker.evaluate(make_window(i++, 5e3, 0, 10, 0)); };
+  const auto good = [&] { tracker.evaluate(make_window(i++, 1.0, 0, 10, 0)); };
+  bad();
+  bad();  // breach begins (fast 2/2, slow 2/2 against budget 0.25)
+  EXPECT_TRUE(tracker.status()[0].breached);
+  EXPECT_EQ(tracker.status()[0].breach_onsets, 1u);
+  bad();  // still breached: no new onset
+  EXPECT_EQ(tracker.status()[0].breach_onsets, 1u);
+  good();
+  good();  // fast window clears: breach ends
+  EXPECT_FALSE(tracker.status()[0].breached);
+  bad();
+  bad();  // second onset
+  EXPECT_EQ(tracker.status()[0].breach_onsets, 2u);
+}
+
+TEST(SloTrackerTest, SurfacesVerdictsIntoRegistry) {
+  MetricRegistry reg;
+  SloTracker tracker(three_objectives(), &reg);
+  tracker.evaluate(make_window(0, 5000.0, 0, 100, 0));
+  EXPECT_EQ(reg.counter_value("slo.lat_p99.violations"), 1u);
+  EXPECT_DOUBLE_EQ(reg.gauge_value("slo.lat_p99.violated"), 1.0);
+  EXPECT_DOUBLE_EQ(reg.gauge_value("slo.error_rate.violated"), 0.0);
+  tracker.evaluate(make_window(1, 5000.0, 0, 100, 0));
+  EXPECT_EQ(reg.counter_value("slo.lat_p99.breaches"), 1u);
+  EXPECT_DOUBLE_EQ(reg.gauge_value("slo.lat_p99.breached"), 1.0);
+}
+
+TEST(SloTrackerTest, ObjectiveValidationRejectsNonsense) {
+  SloObjective o;
+  o.name = "x";
+  o.kind = SloKind::QuantileBelow;
+  o.metric = "m";
+  o.threshold = 10.0;
+  EXPECT_NO_THROW(o.validate());
+  SloObjective bad = o;
+  bad.name = "";
+  EXPECT_THROW(bad.validate(), InvalidArgument);
+  bad = o;
+  bad.metric = "";
+  EXPECT_THROW(bad.validate(), InvalidArgument);
+  bad = o;
+  bad.quantile = 1.5;
+  EXPECT_THROW(bad.validate(), InvalidArgument);
+  bad = o;
+  bad.threshold = 0.0;  // required positive for quantile/ratio kinds
+  EXPECT_THROW(bad.validate(), InvalidArgument);
+  bad = o;
+  bad.error_budget = 0.0;
+  EXPECT_THROW(bad.validate(), InvalidArgument);
+  bad = o;
+  bad.fast_windows = 0;
+  EXPECT_THROW(bad.validate(), InvalidArgument);
+  bad = o;
+  bad.slow_windows = bad.fast_windows - 1;  // slow must cover fast
+  EXPECT_THROW(bad.validate(), InvalidArgument);
+  bad = o;
+  bad.kind = SloKind::RatioBelow;
+  bad.denominator = "";
+  EXPECT_THROW(bad.validate(), InvalidArgument);
+  SloObjective zero;  // CounterZero needs no threshold
+  zero.name = "z";
+  zero.kind = SloKind::CounterZero;
+  zero.metric = "lost";
+  EXPECT_NO_THROW(zero.validate());
+}
+
+// ----------------------------------------------------- Prometheus export
+
+TEST(PrometheusExportTest, SanitizesNames) {
+  EXPECT_EQ(prometheus_name("svc.queue_us"), "svc_queue_us");
+  EXPECT_EQ(prometheus_name("svc.shard0.ticks"), "svc_shard0_ticks");
+  EXPECT_EQ(prometheus_name("9lives"), "_9lives");
+  EXPECT_EQ(prometheus_name("a-b c"), "a_b_c");
+}
+
+TEST(PrometheusExportTest, EmitsAllFamiliesInExpositionFormat) {
+  MetricRegistry reg;
+  reg.counter("svc.ticks").add(3);
+  reg.gauge("svc.depth").set(7.0);
+  reg.histogram("svc.lat").observe(1.5);
+  reg.histogram("svc.lat").observe(100.0);
+  std::ostringstream os;
+  write_prometheus(os, reg);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("# TYPE svo_svc_ticks_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("svo_svc_ticks_total 3"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE svo_svc_depth gauge"), std::string::npos);
+  EXPECT_NE(text.find("svo_svc_depth 7"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE svo_svc_lat histogram"), std::string::npos);
+  EXPECT_NE(text.find("le=\"+Inf\"} 2"), std::string::npos);
+  EXPECT_NE(text.find("svo_svc_lat_count 2"), std::string::npos);
+  EXPECT_NE(text.find("svo_svc_lat_sum 101.5"), std::string::npos);
+}
+
+TEST(PrometheusExportTest, HistogramBucketsAreCumulative) {
+  MetricRegistry reg;
+  reg.histogram("h").observe(0.5);  // bucket le="1"
+  reg.histogram("h").observe(3.0);  // bucket le="4"
+  std::ostringstream os;
+  write_prometheus(os, reg, "t");
+  const std::string text = os.str();
+  EXPECT_NE(text.find("t_h_bucket{le=\"1\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("t_h_bucket{le=\"4\"} 2"), std::string::npos);
+  EXPECT_NE(text.find("t_h_bucket{le=\"+Inf\"} 2"), std::string::npos);
+}
+
+// ----------------------------------------------------------- JSONL export
+
+TEST(WindowJsonlTest, EmitsOneCompactObjectPerWindow) {
+  Window w;
+  w.index = 3;
+  w.start_time = 10.0;
+  w.end_time = 20.0;
+  w.counters["req"] = 42;
+  w.gauges["depth"] = 2.5;
+  Histogram h;
+  h.observe(7.0);
+  w.histograms["lat"] = h.snapshot();
+  std::ostringstream os;
+  write_window_jsonl(os, w);
+  const std::string line = os.str();
+  EXPECT_EQ(line.find('\n'), std::string::npos);  // caller owns framing
+  EXPECT_NE(line.find("\"window\":3"), std::string::npos);
+  EXPECT_NE(line.find("\"req\":42"), std::string::npos);
+  EXPECT_NE(line.find("\"depth\":2.5"), std::string::npos);
+  EXPECT_NE(line.find("\"lat\""), std::string::npos);
+  EXPECT_NE(line.find("\"count\":1"), std::string::npos);
+}
+
+TEST(WindowJsonlTest, SkipsZeroCountersAndEmptyHistograms) {
+  Window w;
+  w.counters["noise"] = 0;
+  w.histograms["empty"] = Histogram::Snapshot{};
+  std::ostringstream os;
+  write_window_jsonl(os, w);
+  EXPECT_EQ(os.str().find("noise"), std::string::npos);
+  EXPECT_EQ(os.str().find("empty"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace svo::obs

@@ -226,6 +226,115 @@ TEST(StreamEngineTest, AdmissionControlShedsBelowFloor) {
   }
 }
 
+// ------------------------------------------- continuous telemetry (§4j)
+
+StreamOptions telemetry_options() {
+  StreamOptions opts = churny_options();
+  opts.stats_window_seconds = 120.0;
+  obs::SloObjective latency;
+  latency.name = "commit_latency_p99";
+  latency.kind = obs::SloKind::QuantileBelow;
+  latency.metric = "stream.formation_latency_s";
+  latency.quantile = 0.99;
+  latency.threshold = 10.0 * opts.arrival_interval_seconds;
+  obs::SloObjective shed;
+  shed.name = "shed_zero";
+  shed.kind = obs::SloKind::CounterZero;
+  shed.metric = "stream.request_shed";
+  opts.slos = {latency, shed};
+  return opts;
+}
+
+TEST(StreamTelemetryTest, OptionsValidateWindowKnobs) {
+  StreamOptions opts = telemetry_options();
+  EXPECT_NO_THROW(opts.validate());
+  opts.stats_window_seconds = -1.0;
+  EXPECT_THROW(opts.validate(), InvalidArgument);
+  opts = telemetry_options();
+  opts.stats_window_capacity = 0;
+  EXPECT_THROW(opts.validate(), InvalidArgument);
+  opts = telemetry_options();
+  opts.stats_window_seconds = 0.0;  // SLOs without telemetry
+  EXPECT_THROW(opts.validate(), InvalidArgument);
+}
+
+TEST(StreamTelemetryTest, TelemetryOffRunIsBitIdentical) {
+  StreamOptions with = telemetry_options();
+  StreamOptions without = churny_options();
+  const StreamResult on = StreamEngine(with).run();
+  const StreamResult off = StreamEngine(without).run();
+  // The observer never acts: identical timelines, horizons and
+  // per-request terminal states whether windows close or not.
+  EXPECT_EQ(on.timeline, off.timeline);
+  EXPECT_EQ(on.horizon, off.horizon);
+  ASSERT_EQ(on.requests.size(), off.requests.size());
+  for (std::size_t i = 0; i < on.requests.size(); ++i) {
+    SCOPED_TRACE("request " + std::to_string(i));
+    EXPECT_EQ(on.requests[i].outcome, off.requests[i].outcome);
+    EXPECT_EQ(on.requests[i].attempts, off.requests[i].attempts);
+    EXPECT_EQ(on.requests[i].terminal_time, off.requests[i].terminal_time);
+    EXPECT_EQ(on.requests[i].realized_value, off.requests[i].realized_value);
+  }
+  EXPECT_TRUE(off.windows.empty());
+  EXPECT_TRUE(off.slo_status.empty());
+  EXPECT_FALSE(on.windows.empty());
+}
+
+TEST(StreamTelemetryTest, SameSeedReplaysIdenticalWindowsAndVerdicts) {
+  const StreamEngine engine(telemetry_options());
+  const StreamResult a = engine.run();
+  const StreamResult b = engine.run();
+  ASSERT_FALSE(a.windows.empty());
+  EXPECT_EQ(a.windows, b.windows);  // window-for-window bit equality
+  EXPECT_EQ(a.slo_status, b.slo_status);
+}
+
+TEST(StreamTelemetryTest, WindowsPartitionVirtualTimeAndEvents) {
+  const StreamOptions opts = telemetry_options();
+  const StreamResult r = StreamEngine(opts).run();
+  ASSERT_FALSE(r.windows.empty());
+  std::uint64_t arrivals = 0;
+  double prev_end = 0.0;
+  for (std::size_t i = 0; i < r.windows.size(); ++i) {
+    const obs::Window& w = r.windows[i];
+    EXPECT_DOUBLE_EQ(w.start_time, prev_end);
+    if (i + 1 < r.windows.size()) {
+      EXPECT_DOUBLE_EQ(w.end_time, prev_end + opts.stats_window_seconds);
+    } else {
+      // The tail window is the end-of-run partial flush: it closes at
+      // the horizon, not at the next window boundary.
+      EXPECT_GT(w.end_time, w.start_time);
+      EXPECT_LE(w.end_time, prev_end + opts.stats_window_seconds);
+    }
+    prev_end = w.end_time;
+    arrivals += w.counter("stream.request_arrival");
+  }
+  // Ring big enough to retain everything: window deltas must conserve
+  // the event totals (every arrival lands in exactly one window).
+  EXPECT_EQ(arrivals, static_cast<std::uint64_t>(opts.num_requests));
+  // The final window must cover the horizon (lazy advancement still
+  // closes the tail at end of run).
+  EXPECT_GE(r.windows.back().end_time,
+            r.horizon - opts.stats_window_seconds);
+}
+
+TEST(StreamTelemetryTest, SloVerdictsReflectTheRun) {
+  const StreamResult r = StreamEngine(telemetry_options()).run();
+  ASSERT_EQ(r.slo_status.size(), 2u);
+  EXPECT_EQ(r.slo_status[0].name, "commit_latency_p99");
+  EXPECT_EQ(r.slo_status[1].name, "shed_zero");
+  const std::uint64_t closed = r.windows.empty()
+                                   ? 0
+                                   : r.windows.back().index + 1;
+  EXPECT_EQ(r.slo_status[0].windows, closed);
+  // shed_zero violations == windows that actually saw a shed event.
+  std::uint64_t shed_windows = 0;
+  for (const obs::Window& w : r.windows) {
+    if (w.counter("stream.request_shed") > 0) ++shed_windows;
+  }
+  EXPECT_EQ(r.slo_status[1].violations, shed_windows);
+}
+
 TEST(ToStringTest, OutcomeAndEventNames) {
   EXPECT_STREQ(to_string(RequestOutcome::Completed), "completed");
   EXPECT_STREQ(to_string(RequestOutcome::Repaired), "repaired");

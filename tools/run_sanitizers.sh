@@ -42,8 +42,11 @@ export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}"
 # the retry/restart/cancel-race paths, which cross threads mid-failure
 # and are where use-after-free bugs in re-queued tickets would hide;
 # the trust-scale slice drives the pooled gather-spmv kernel, the one
-# new parallel code path of the sparse engine.
-ctest --preset asan-ubsan -L 'smoke|smoke_stream|smoke_service|smoke_service_chaos|smoke_trust_scale' --output-on-failure
+# new parallel code path of the sparse engine; the telemetry slice
+# (DESIGN.md §4j) runs the tick-loop sampler, the concurrent registry
+# stress and the windowed-SLO layer, where data races between
+# submit/tick/health threads would surface.
+ctest --preset asan-ubsan -L 'smoke|smoke_stream|smoke_service|smoke_service_chaos|smoke_trust_scale|smoke_telemetry' --output-on-failure
 
 if [[ "$smoke_only" == "1" ]]; then
   exit 0
